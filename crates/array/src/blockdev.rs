@@ -1,0 +1,354 @@
+//! In-memory block devices with failure injection.
+
+use std::fmt;
+
+/// Errors from a block device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskError {
+    /// The disk has failed; all I/O errors out until it is replaced.
+    Failed,
+    /// Offset beyond the device.
+    OutOfRange,
+    /// Buffer length does not match the unit size.
+    WrongLength,
+    /// An underlying I/O error (file-backed devices).
+    Io,
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Failed => write!(f, "disk failed"),
+            DiskError::OutOfRange => write!(f, "offset out of range"),
+            DiskError::WrongLength => write!(f, "buffer length != unit size"),
+            DiskError::Io => write!(f, "underlying I/O error"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// A stripe-unit block device the array can run on: RAM-backed
+/// ([`RamDisk`]) or file-backed ([`FileDisk`]).
+pub trait BlockDevice: std::fmt::Debug + Send {
+    /// Stripe units on the device.
+    fn units(&self) -> u64;
+    /// Bytes per stripe unit.
+    fn unit_bytes(&self) -> usize;
+    /// Has the disk been failed?
+    fn is_failed(&self) -> bool;
+    /// Read one stripe unit (zeroes if never written).
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Failed`] / [`DiskError::OutOfRange`] /
+    /// [`DiskError::Io`].
+    fn read_unit(&self, offset: u64) -> Result<Vec<u8>, DiskError>;
+    /// Write one stripe unit.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::read_unit`], plus [`DiskError::WrongLength`].
+    fn write_unit(&mut self, offset: u64, data: &[u8]) -> Result<(), DiskError>;
+    /// Inject a failure: the contents become unreadable.
+    fn fail(&mut self);
+    /// Install a fresh blank drive in this slot.
+    fn replace(&mut self);
+}
+
+/// A RAM-backed disk storing whole stripe units; unwritten units read as
+/// zeroes (like a freshly formatted drive).
+#[derive(Debug, Clone)]
+pub struct RamDisk {
+    units: Vec<Option<Vec<u8>>>,
+    unit_bytes: usize,
+    failed: bool,
+}
+
+impl RamDisk {
+    /// Create a healthy disk of `units` stripe units of `unit_bytes`
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_bytes == 0`.
+    pub fn new(units: u64, unit_bytes: usize) -> Self {
+        assert!(unit_bytes > 0, "unit size must be positive");
+        Self {
+            units: vec![None; units as usize],
+            unit_bytes,
+            failed: false,
+        }
+    }
+
+    /// Stripe units on the device.
+    pub fn units(&self) -> u64 {
+        self.units.len() as u64
+    }
+
+    /// Bytes per stripe unit.
+    pub fn unit_bytes(&self) -> usize {
+        self.unit_bytes
+    }
+
+    /// Has the disk been failed?
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Read one stripe unit (zeroes if never written).
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Failed`] / [`DiskError::OutOfRange`].
+    pub fn read_unit(&self, offset: u64) -> Result<Vec<u8>, DiskError> {
+        if self.failed {
+            return Err(DiskError::Failed);
+        }
+        match self.units.get(offset as usize) {
+            Some(Some(data)) => Ok(data.clone()),
+            Some(None) => Ok(vec![0u8; self.unit_bytes]),
+            None => Err(DiskError::OutOfRange),
+        }
+    }
+
+    /// Write one stripe unit.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Failed`] / [`DiskError::OutOfRange`] /
+    /// [`DiskError::WrongLength`].
+    pub fn write_unit(&mut self, offset: u64, data: &[u8]) -> Result<(), DiskError> {
+        if self.failed {
+            return Err(DiskError::Failed);
+        }
+        if data.len() != self.unit_bytes {
+            return Err(DiskError::WrongLength);
+        }
+        match self.units.get_mut(offset as usize) {
+            Some(slot) => {
+                *slot = Some(data.to_vec());
+                Ok(())
+            }
+            None => Err(DiskError::OutOfRange),
+        }
+    }
+
+    /// Inject a failure: the contents become unreadable.
+    pub fn fail(&mut self) {
+        self.failed = true;
+        self.units.iter_mut().for_each(|u| *u = None);
+    }
+
+    /// Install a fresh blank drive in this slot.
+    pub fn replace(&mut self) {
+        self.failed = false;
+        self.units.iter_mut().for_each(|u| *u = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_zero_fill() {
+        let mut d = RamDisk::new(4, 8);
+        assert_eq!(d.read_unit(0).unwrap(), vec![0u8; 8]);
+        d.write_unit(2, &[7u8; 8]).unwrap();
+        assert_eq!(d.read_unit(2).unwrap(), vec![7u8; 8]);
+        assert_eq!(d.units(), 4);
+        assert_eq!(d.unit_bytes(), 8);
+    }
+
+    #[test]
+    fn failure_lifecycle() {
+        let mut d = RamDisk::new(2, 4);
+        d.write_unit(0, &[1, 2, 3, 4]).unwrap();
+        d.fail();
+        assert!(d.is_failed());
+        assert_eq!(d.read_unit(0), Err(DiskError::Failed));
+        assert_eq!(d.write_unit(0, &[0; 4]), Err(DiskError::Failed));
+        d.replace();
+        assert!(!d.is_failed());
+        // Replacement is blank — the old bytes are gone.
+        assert_eq!(d.read_unit(0).unwrap(), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn bounds_and_length_checks() {
+        let mut d = RamDisk::new(2, 4);
+        assert_eq!(d.read_unit(2), Err(DiskError::OutOfRange));
+        assert_eq!(d.write_unit(2, &[0; 4]), Err(DiskError::OutOfRange));
+        assert_eq!(d.write_unit(0, &[0; 3]), Err(DiskError::WrongLength));
+    }
+
+    #[test]
+    #[should_panic(expected = "unit size must be positive")]
+    fn zero_unit_size_rejected() {
+        let _ = RamDisk::new(1, 0);
+    }
+}
+
+impl BlockDevice for RamDisk {
+    fn units(&self) -> u64 {
+        RamDisk::units(self)
+    }
+    fn unit_bytes(&self) -> usize {
+        RamDisk::unit_bytes(self)
+    }
+    fn is_failed(&self) -> bool {
+        RamDisk::is_failed(self)
+    }
+    fn read_unit(&self, offset: u64) -> Result<Vec<u8>, DiskError> {
+        RamDisk::read_unit(self, offset)
+    }
+    fn write_unit(&mut self, offset: u64, data: &[u8]) -> Result<(), DiskError> {
+        RamDisk::write_unit(self, offset, data)
+    }
+    fn fail(&mut self) {
+        RamDisk::fail(self)
+    }
+    fn replace(&mut self) {
+        RamDisk::replace(self)
+    }
+}
+
+/// A file-backed disk: one sparse file per device, sized
+/// `units × unit_bytes` (unwritten regions read as zeroes). Failure is
+/// simulated by refusing I/O; `replace` truncates the file back to
+/// zeroes.
+#[derive(Debug)]
+pub struct FileDisk {
+    file: std::fs::File,
+    path: std::path::PathBuf,
+    units: u64,
+    unit_bytes: usize,
+    failed: bool,
+}
+
+impl FileDisk {
+    /// Create (or truncate) the backing file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_bytes == 0`.
+    pub fn create(
+        path: impl Into<std::path::PathBuf>,
+        units: u64,
+        unit_bytes: usize,
+    ) -> std::io::Result<Self> {
+        assert!(unit_bytes > 0, "unit size must be positive");
+        let path = path.into();
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.set_len(units * unit_bytes as u64)?;
+        Ok(Self {
+            file,
+            path,
+            units,
+            unit_bytes,
+            failed: false,
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl BlockDevice for FileDisk {
+    fn units(&self) -> u64 {
+        self.units
+    }
+    fn unit_bytes(&self) -> usize {
+        self.unit_bytes
+    }
+    fn is_failed(&self) -> bool {
+        self.failed
+    }
+    fn read_unit(&self, offset: u64) -> Result<Vec<u8>, DiskError> {
+        use std::os::unix::fs::FileExt;
+        if self.failed {
+            return Err(DiskError::Failed);
+        }
+        if offset >= self.units {
+            return Err(DiskError::OutOfRange);
+        }
+        let mut buf = vec![0u8; self.unit_bytes];
+        self.file
+            .read_exact_at(&mut buf, offset * self.unit_bytes as u64)
+            .map_err(|_| DiskError::Io)?;
+        Ok(buf)
+    }
+    fn write_unit(&mut self, offset: u64, data: &[u8]) -> Result<(), DiskError> {
+        use std::os::unix::fs::FileExt;
+        if self.failed {
+            return Err(DiskError::Failed);
+        }
+        if offset >= self.units {
+            return Err(DiskError::OutOfRange);
+        }
+        if data.len() != self.unit_bytes {
+            return Err(DiskError::WrongLength);
+        }
+        self.file
+            .write_all_at(data, offset * self.unit_bytes as u64)
+            .map_err(|_| DiskError::Io)?;
+        Ok(())
+    }
+    fn fail(&mut self) {
+        self.failed = true;
+    }
+    fn replace(&mut self) {
+        self.failed = false;
+        let _ = self.file.set_len(0);
+        let _ = self.file.set_len(self.units * self.unit_bytes as u64);
+    }
+}
+
+#[cfg(test)]
+mod file_disk_tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pddl-filedisk-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn file_disk_roundtrip_and_zero_fill() {
+        let path = temp_path("roundtrip");
+        let mut d = FileDisk::create(&path, 8, 32).unwrap();
+        assert_eq!(BlockDevice::read_unit(&d, 0).unwrap(), vec![0u8; 32]);
+        let data = vec![7u8; 32];
+        BlockDevice::write_unit(&mut d, 3, &data).unwrap();
+        assert_eq!(BlockDevice::read_unit(&d, 3).unwrap(), data);
+        assert_eq!(BlockDevice::read_unit(&d, 9), Err(DiskError::OutOfRange));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_disk_failure_and_replacement() {
+        let path = temp_path("fail");
+        let mut d = FileDisk::create(&path, 4, 16).unwrap();
+        BlockDevice::write_unit(&mut d, 0, &[9u8; 16]).unwrap();
+        BlockDevice::fail(&mut d);
+        assert!(BlockDevice::is_failed(&d));
+        assert_eq!(BlockDevice::read_unit(&d, 0), Err(DiskError::Failed));
+        BlockDevice::replace(&mut d);
+        // Fresh drive: the old bytes are gone.
+        assert_eq!(BlockDevice::read_unit(&d, 0).unwrap(), vec![0u8; 16]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

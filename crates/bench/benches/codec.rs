@@ -1,0 +1,60 @@
+//! Reed–Solomon codec throughput: encode and reconstruct bandwidth for
+//! the stripe shapes the arrays use (XOR c = 1 vs RS c = 2/3).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pddl_gf::rs::ReedSolomon;
+
+fn shards(d: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..d)
+        .map(|t| (0..len).map(|i| ((t * 31 + i) % 251) as u8).collect())
+        .collect()
+}
+
+fn encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_encode_8kb_units");
+    for (d, checks) in [(3usize, 1usize), (3, 2), (12, 1), (12, 3)] {
+        let rs = ReedSolomon::new(d, checks).unwrap();
+        let data = shards(d, 8192);
+        group.throughput(Throughput::Bytes((d * 8192) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_c{checks}")),
+            &rs,
+            |b, rs| b.iter(|| black_box(rs.encode(black_box(&data)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_reconstruct_8kb_units");
+    for (d, checks, lost) in [(3usize, 1usize, 1usize), (3, 2, 2), (12, 3, 3)] {
+        let rs = ReedSolomon::new(d, checks).unwrap();
+        let data = shards(d, 8192);
+        let parity = rs.encode(&data).unwrap();
+        let template: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.iter().cloned().map(Some))
+            .collect();
+        group.throughput(Throughput::Bytes((lost * 8192) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_c{checks}_lost{lost}")),
+            &rs,
+            |b, rs| {
+                b.iter(|| {
+                    let mut shards = template.clone();
+                    for slot in shards.iter_mut().take(lost) {
+                        *slot = None;
+                    }
+                    rs.reconstruct(black_box(&mut shards)).unwrap();
+                    black_box(shards)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encode, reconstruct);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: the effect of check-column clustering (see
+//! `Pddl::new`'s documentation) on PDDL's disk working sets.
+//!
+//! The raw Bose ordering scatters the check columns; clustering them
+//! next to the spare keeps large fault-free reads from saturating all
+//! `n` disks, which is the behaviour Figure 3 of the paper shows.
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin ablation_clustering
+//! ```
+
+use pddl_bench::{size_label, DISKS, SIZES_MAIN, WIDTH};
+use pddl_core::analysis::mean_working_set;
+use pddl_core::pddl::bose::bose_permutation;
+use pddl_core::plan::{Mode, Op};
+use pddl_core::Pddl;
+
+fn main() {
+    let g = (DISKS - 1) / WIDTH;
+    let clustered = Pddl::new(DISKS, WIDTH).expect("clustered construction");
+    let raw = Pddl::from_base_permutations(
+        DISKS,
+        WIDTH,
+        vec![bose_permutation(DISKS, g, WIDTH)],
+    )
+    .expect("raw Bose construction");
+    assert!(clustered.is_satisfactory() && raw.is_satisfactory());
+
+    println!("# Ablation: check-column clustering (fault-free read working sets)");
+    println!("size\traw_bose\tclustered");
+    for &units in &SIZES_MAIN {
+        let a = mean_working_set(&raw, Mode::FaultFree, Op::Read, units);
+        let b = mean_working_set(&clustered, Mode::FaultFree, Op::Read, units);
+        println!("{}\t{a:.2}\t{b:.2}", size_label(units));
+    }
+}

@@ -1,0 +1,44 @@
+//! Ablation: what the paper's "SSTF on 20-request queue" buys over FIFO
+//! (window 1), an unbounded SSTF window, and a LOOK elevator.
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin ablation_sstf
+//! ```
+
+use pddl_bench::{Args, DISKS, WIDTH};
+use pddl_core::plan::Op;
+use pddl_core::Pddl;
+use pddl_sim::{ArraySim, SchedulerKind, SimConfig};
+
+fn main() {
+    let args = Args::from_env();
+    println!("# Ablation: disk scheduling policy (PDDL, 8KB reads)");
+    println!("policy\tclients\tthroughput_aps\tresponse_ms\tp99_ms");
+    let policies: [(&str, SchedulerKind, usize); 5] = [
+        ("fifo", SchedulerKind::Sstf, 1),
+        ("sstf-5", SchedulerKind::Sstf, 5),
+        ("sstf-20", SchedulerKind::Sstf, 20),
+        ("sstf-unbounded", SchedulerKind::Sstf, 100_000),
+        ("look", SchedulerKind::Look, 20),
+    ];
+    for (name, scheduler, window) in policies {
+        for clients in [4usize, 10, 25] {
+            let layout = Pddl::new(DISKS, WIDTH).expect("13 disks, width 4");
+            let cfg = SimConfig {
+                clients,
+                access_units: 1,
+                op: Op::Read,
+                scheduler,
+                sstf_window: window,
+                warmup: 200,
+                max_samples: args.max_samples(),
+                ..SimConfig::default()
+            };
+            let r = ArraySim::new(Box::new(layout), cfg).run();
+            println!(
+                "{name}\t{clients}\t{:.2}\t{:.2}\t{:.2}",
+                r.throughput, r.mean_response_ms, r.p99_response_ms
+            );
+        }
+    }
+}

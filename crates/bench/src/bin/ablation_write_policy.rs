@@ -1,0 +1,47 @@
+//! Ablation: the adaptive small/large write choice vs forcing either
+//! strategy — the controller design decision DESIGN.md calls out. The
+//! paper's §4.2 RAID-5 discussion (small writes at 48 KB, large-write
+//! conversions in degraded mode) hinges on exactly this choice.
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin ablation_write_policy
+//! ```
+
+use pddl_bench::{size_label, Args, DISKS, WIDTH};
+use pddl_core::plan::{Op, WritePolicy};
+use pddl_sim::{ArraySim, LayoutKind, SimConfig};
+
+fn main() {
+    let args = Args::from_env();
+    println!("# Ablation: fault-free write strategy (8 clients)");
+    println!("layout\tsize\tpolicy\tthroughput_aps\tresponse_ms");
+    let policies: [(&str, WritePolicy); 3] = [
+        ("adaptive", WritePolicy::Adaptive),
+        ("always-small", WritePolicy::AlwaysSmall),
+        ("always-large", WritePolicy::AlwaysLarge),
+    ];
+    for kind in [LayoutKind::Pddl, LayoutKind::Raid5] {
+        for &units in &[1u64, 6, 12, 24] {
+            for (name, write_policy) in policies {
+                let layout = kind.build(DISKS, WIDTH).expect("standard configuration");
+                let cfg = SimConfig {
+                    clients: 8,
+                    access_units: units,
+                    op: Op::Write,
+                    write_policy,
+                    warmup: 200,
+                    max_samples: args.max_samples(),
+                    ..SimConfig::default()
+                };
+                let r = ArraySim::new(layout, cfg).run();
+                println!(
+                    "{}\t{}\t{name}\t{:.2}\t{:.2}",
+                    kind.name(),
+                    size_label(units),
+                    r.throughput,
+                    r.mean_response_ms
+                );
+            }
+        }
+    }
+}

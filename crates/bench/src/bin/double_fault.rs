@@ -1,0 +1,49 @@
+//! Extension experiment: PDDL with two Reed–Solomon check units per
+//! stripe (§5: "PDDL allows arbitrary fixed combinations of check and
+//! data blocks") operating through zero, one and two concurrent disk
+//! failures.
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin double_fault
+//! ```
+
+use pddl_bench::{size_label, Args, CLIENTS, DISKS, WIDTH};
+use pddl_core::plan::{Mode, Op};
+use pddl_core::Pddl;
+use pddl_sim::{ArraySim, SimConfig};
+
+fn main() {
+    let args = Args::from_env();
+    println!("# PDDL k=4 with c=2 (RS) under concurrent failures (reads)");
+    println!("mode\tsize\tclients\tthroughput_aps\tresponse_ms");
+    let modes: [(&str, Mode); 3] = [
+        ("fault-free", Mode::FaultFree),
+        ("one-failure", Mode::Degraded { failed: 0 }),
+        ("two-failures", Mode::DoubleDegraded { failed: [0, 6] }),
+    ];
+    for &units in &[1u64, 6, 12] {
+        for (label, mode) in modes {
+            for &clients in &CLIENTS {
+                let layout = Pddl::new(DISKS, WIDTH)
+                    .and_then(|l| l.with_check_units(2))
+                    .expect("double-check PDDL");
+                let cfg = SimConfig {
+                    clients,
+                    access_units: units,
+                    op: Op::Read,
+                    mode,
+                    warmup: 200,
+                    max_samples: args.max_samples(),
+                    ..SimConfig::default()
+                };
+                let r = ArraySim::new(Box::new(layout), cfg).run();
+                println!(
+                    "{label}\t{}\t{clients}\t{:.2}\t{:.2}",
+                    size_label(units),
+                    r.throughput,
+                    r.mean_response_ms
+                );
+            }
+        }
+    }
+}

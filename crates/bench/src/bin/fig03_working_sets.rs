@@ -1,0 +1,31 @@
+//! Regenerates **Figure 3**: mean disk working-set sizes per layout,
+//! access size, operation type, and failure mode.
+//!
+//! Computed analytically (no simulation) by averaging over every aligned
+//! offset in one layout period, exactly as the paper describes. Degraded
+//! ("f1") numbers average over all possible failed disks.
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin fig03_working_sets
+//! ```
+
+use pddl_bench::{evaluated_layouts, size_label, SIZES_MAIN};
+use pddl_core::analysis::working_set_table;
+
+fn main() {
+    println!("# Figure 3: disk working set sizes (mean over all offsets)");
+    println!("layout\tsize\tffread\tffwrite\tf1read\tf1write");
+    for (name, layout) in evaluated_layouts() {
+        for &units in &SIZES_MAIN {
+            let row = working_set_table(layout.as_ref(), units);
+            println!(
+                "{name}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
+                size_label(units),
+                row.ff_read,
+                row.ff_write,
+                row.f1_read,
+                row.f1_write
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates the seek/no-switch count bar charts:
+//!
+//! * **Figure 4** — fault-free reads: `--op read`
+//! * **Figure 7** — degraded reads: `--op read --mode f1`
+//! * **Figure 15** — fault-free writes: `--op write`
+//! * **Figure 16** — degraded writes: `--op write --mode f1`
+//!
+//! Counts are mean physical operations per logical access, classified as
+//! non-local seeks vs local cylinder-switch / track-switch / no-switch
+//! operations, measured in simulation at a mid-range load (8 clients;
+//! the paper notes the counts are "almost independent of the workload").
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin fig04_seeks -- --op read --mode f1
+//! ```
+
+use pddl_bench::{size_label, Args, DISKS, SIZES_SEEKS, WIDTH};
+use pddl_sim::{ArraySim, LayoutKind, SimConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let (op, mode) = (args.op(), args.mode());
+    println!("# Seek and no-switch counts per logical access ({op:?}, {mode:?})");
+    println!("layout\tsize\tnonlocal\tcyl_switch\ttrack_switch\tno_switch\ttotal");
+    for kind in LayoutKind::EVALUATED {
+        let sizes: Vec<u64> = SIZES_SEEKS.to_vec();
+        for units in sizes {
+            let layout = kind.build(DISKS, WIDTH).expect("standard configuration");
+            let cfg = SimConfig {
+                clients: 8,
+                access_units: units,
+                op,
+                mode,
+                warmup: 100,
+                max_samples: args.max_samples().min(2_000),
+                ..SimConfig::default()
+            };
+            let r = ArraySim::new(layout, cfg).run();
+            let s = r.seeks;
+            println!(
+                "{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
+                kind.name(),
+                size_label(units),
+                s.non_local,
+                s.cylinder_switch,
+                s.track_switch,
+                s.no_switch,
+                s.total()
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Figure 18**: PDDL read response times in fault-free,
+//! reconstruction (degraded), and post-reconstruction modes, for 8, 24,
+//! 48 and 72 KB accesses.
+//!
+//! The paper's point: once the failed disk's contents live in the
+//! distributed spare space, stripe-unit-sized reads recover almost all
+//! of the fault-free performance (they are redirected, not rebuilt),
+//! while large accesses behave like reconstruction mode.
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin fig18_postrecon
+//! ```
+
+use pddl_bench::{size_label, Args, CLIENTS, DISKS, WIDTH};
+use pddl_core::plan::{Mode, Op};
+use pddl_core::Pddl;
+use pddl_sim::{ArraySim, SimConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let modes: [(&str, Mode); 3] = [
+        ("fault-free", Mode::FaultFree),
+        ("reconstruction", Mode::Degraded { failed: 0 }),
+        ("post-reconstruction", Mode::PostReconstruction { failed: 0 }),
+    ];
+    println!("# Figure 18: PDDL reads by operating mode");
+    println!("mode\tsize\tclients\tthroughput_aps\tresponse_ms\tci_ms");
+    for &units in &[1u64, 3, 6, 9] {
+        for (label, mode) in modes {
+            for &clients in &CLIENTS {
+                let layout = Pddl::new(DISKS, WIDTH).expect("13 disks, width 4");
+                let cfg = SimConfig {
+                    clients,
+                    access_units: units,
+                    op: Op::Read,
+                    mode,
+                    warmup: 200,
+                    max_samples: args.max_samples(),
+                    ..SimConfig::default()
+                };
+                let r = ArraySim::new(Box::new(layout), cfg).run();
+                println!(
+                    "{label}\t{}\t{clients}\t{:.2}\t{:.2}\t{:.2}",
+                    size_label(units),
+                    r.throughput,
+                    r.mean_response_ms,
+                    r.ci_halfwidth_ms
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Extension experiment: on-line rebuild time vs client load — the
+//! classic declustering trade-off curve (Muntz–Lui, Holland–Gibson)
+//! that motivates the paper.
+//!
+//! A background process keeps a fixed number of stripe-repair jobs in
+//! flight: each reads the stripe's survivors and writes the rebuilt unit
+//! to PDDL's distributed spare space (or to a replacement disk at the
+//! failed index for RAID-5). Reported per configuration: time to rebuild
+//! the whole failed disk, and the response time clients saw meanwhile.
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin rebuild_time
+//! ```
+
+use pddl_bench::{DISKS, WIDTH};
+use pddl_core::plan::{Mode, Op};
+use pddl_sim::{ArraySim, LayoutKind, SimConfig};
+
+fn main() {
+    let failed = 2usize;
+    println!("# Rebuild time vs client load (8KB client reads, failed disk {failed})");
+    println!("layout\trebuild_jobs\tclients\trebuild_s\tclient_response_ms");
+    for kind in [
+        LayoutKind::Pddl,
+        LayoutKind::Raid5,
+        LayoutKind::ParityDeclustering,
+        LayoutKind::Datum,
+        LayoutKind::Prime,
+    ] {
+        for jobs in [4usize, 16] {
+            for clients in [0usize, 2, 8, 20] {
+                let layout = kind.build(DISKS, WIDTH).expect("standard configuration");
+                let cfg = SimConfig {
+                    clients,
+                    access_units: 1,
+                    op: Op::Read,
+                    mode: Mode::Degraded { failed },
+                    warmup: 0,
+                    max_samples: u64::MAX,
+                    ..SimConfig::default()
+                };
+                let r = ArraySim::with_rebuild(layout, cfg, failed, jobs).run();
+                let rb = r.rebuild.expect("rebuild report");
+                println!(
+                    "{}\t{jobs}\t{clients}\t{:.1}\t{:.2}",
+                    kind.name(),
+                    rb.rebuild_ms / 1000.0,
+                    r.mean_response_ms
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Render the TSV outputs of the experiment binaries into SVG figures
+//! shaped like the paper's: line charts for response times, stacked
+//! bars for seek classes.
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin response_times -- --op read > results/fig05.tsv
+//! cargo run --release -p pddl-bench --bin render_figures -- --dir results
+//! ```
+//!
+//! Every `figNN*.tsv` in the directory becomes `figNN*.svg` next to it;
+//! the file's header row selects the chart type.
+
+use std::fs;
+
+use pddl_bench::plot::{Bar, LineChart, Series, StackedBars};
+use pddl_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let dir = args.get("dir").unwrap_or("results").to_string();
+    let mut rendered = 0;
+    let entries = match fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("tsv") {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let svgs = render(&text);
+        for (suffix, svg) in svgs {
+            let mut out = path.with_extension("");
+            let stem = out.file_name().unwrap().to_string_lossy().to_string();
+            out.set_file_name(format!("{stem}{suffix}.svg"));
+            fs::write(&out, svg).expect("write svg");
+            println!("rendered {}", out.display());
+            rendered += 1;
+        }
+    }
+    if rendered == 0 {
+        eprintln!("no renderable .tsv files found in {dir}/ (run the experiment binaries first)");
+    }
+}
+
+/// Dispatch on the TSV header; returns (filename suffix, svg) pairs —
+/// response-time files yield one chart per access size.
+fn render(text: &str) -> Vec<(String, String)> {
+    let mut lines = text.lines().filter(|l| !l.is_empty());
+    let title = lines
+        .next()
+        .unwrap_or("")
+        .trim_start_matches(['#', ' '])
+        .to_string();
+    let Some(header) = lines.next() else {
+        return Vec::new();
+    };
+    let rows: Vec<Vec<&str>> = lines.map(|l| l.split('\t').collect()).collect();
+    match header {
+        "layout\tsize\tclients\tthroughput_aps\tresponse_ms\tci_ms\tconverged" => {
+            response_charts(&title, &rows, 0, 3, 4)
+        }
+        "mode\tsize\tclients\tthroughput_aps\tresponse_ms\tci_ms" => {
+            response_charts(&title, &rows, 0, 3, 4)
+        }
+        "layout\tsize\tnonlocal\tcyl_switch\ttrack_switch\tno_switch\ttotal" => {
+            seek_charts(&title, &rows)
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// One line chart per access size: x = throughput, y = response time,
+/// series = first column.
+fn response_charts(
+    title: &str,
+    rows: &[Vec<&str>],
+    series_col: usize,
+    x_col: usize,
+    y_col: usize,
+) -> Vec<(String, String)> {
+    let mut sizes: Vec<&str> = rows.iter().map(|r| r[1]).collect();
+    sizes.dedup();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut out = Vec::new();
+    for size in sizes {
+        let mut chart = LineChart {
+            title: format!("{title} — {size}"),
+            x_label: "workload: accesses/sec".into(),
+            y_label: "response time: ms".into(),
+            series: Vec::new(),
+        };
+        for row in rows.iter().filter(|r| r[1] == size) {
+            let (Ok(x), Ok(y)) = (row[x_col].parse::<f64>(), row[y_col].parse::<f64>()) else {
+                continue;
+            };
+            let name = row[series_col];
+            match chart.series.iter_mut().find(|s| s.name == name) {
+                Some(s) => s.points.push((x, y)),
+                None => chart.series.push(Series {
+                    name: name.to_string(),
+                    points: vec![(x, y)],
+                }),
+            }
+        }
+        if !chart.series.is_empty() {
+            out.push((format!("_{size}"), chart.to_svg()));
+        }
+    }
+    out
+}
+
+/// One stacked-bar chart per layout, bars = access sizes, segments =
+/// seek classes (non-local drawn first like the paper's black band).
+fn seek_charts(title: &str, rows: &[Vec<&str>]) -> Vec<(String, String)> {
+    let mut layouts: Vec<&str> = rows.iter().map(|r| r[0]).collect();
+    layouts.dedup();
+    let mut out = Vec::new();
+    for layout in layouts {
+        let bars: Vec<Bar> = rows
+            .iter()
+            .filter(|r| r[0] == layout)
+            .map(|r| Bar {
+                label: r[1].to_string(),
+                segments: vec![
+                    ("non-local".to_string(), r[2].parse().unwrap_or(0.0)),
+                    ("cyl switch".to_string(), r[3].parse().unwrap_or(0.0)),
+                    ("track switch".to_string(), r[4].parse().unwrap_or(0.0)),
+                    ("no-switch".to_string(), r[5].parse().unwrap_or(0.0)),
+                ],
+            })
+            .collect();
+        if bars.is_empty() {
+            continue;
+        }
+        let chart = StackedBars {
+            title: format!("{title} — {layout}"),
+            y_label: "operations per access".into(),
+            bars,
+        };
+        let slug = layout.to_lowercase().replace(' ', "_");
+        out.push((format!("_{slug}"), chart.to_svg()));
+    }
+    out
+}

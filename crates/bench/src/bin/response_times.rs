@@ -1,0 +1,54 @@
+//! Regenerates the response-time figures: each output row is one point
+//! (throughput, mean response time) of a paper curve.
+//!
+//! * **Figure 5** — `--op read`                    (8–240 KB, fault-free)
+//! * **Figure 6** — `--op read --mode f1`          (degraded)
+//! * **Figure 8** — `--op write`
+//! * **Figure 9** — `--op write --mode f1`
+//! * **Figures 10–13** — add `--sizes appendix`
+//! * **Figure 14** — add `--sizes 336`
+//!
+//! Every (layout × size) pair sweeps the paper's client counts
+//! {1, 2, 4, 8, 10, 15, 20, 25}; runs stop at 2%/95% confidence or the
+//! sample cap.
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin response_times -- --op write --mode f1
+//! ```
+
+use pddl_bench::{size_label, Args, CLIENTS, DISKS, WIDTH};
+use pddl_sim::{ArraySim, LayoutKind, SimConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let (op, mode) = (args.op(), args.mode());
+    println!("# Response times ({op:?}, {mode:?})");
+    println!("layout\tsize\tclients\tthroughput_aps\tresponse_ms\tci_ms\tconverged");
+    for kind in LayoutKind::EVALUATED {
+        for &units in &args.sizes() {
+            for &clients in &CLIENTS {
+                let layout = kind.build(DISKS, WIDTH).expect("standard configuration");
+                let cfg = SimConfig {
+                    clients,
+                    access_units: units,
+                    op,
+                    mode,
+                    warmup: 200,
+                    max_samples: args.max_samples(),
+                    ..SimConfig::default()
+                };
+                let r = ArraySim::new(layout, cfg).run();
+                println!(
+                    "{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{}",
+                    kind.name(),
+                    size_label(units),
+                    clients,
+                    r.throughput,
+                    r.mean_response_ms,
+                    r.ci_halfwidth_ms,
+                    r.converged
+                );
+            }
+        }
+    }
+}

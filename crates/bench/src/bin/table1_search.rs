@@ -1,0 +1,48 @@
+//! Regenerates **Table 1**: satisfactory PDDL base permutations for
+//! stripe widths 5–10 and 1–10 stripes.
+//!
+//! Cell values follow the paper's notation: a number is the size of the
+//! smallest satisfactory base-permutation group found, an apostrophe
+//! marks a prime-power (field-development) solution, and `?` marks a
+//! configuration the search budget did not solve.
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin table1_search
+//! ```
+
+use pddl_bench::Args;
+use pddl_core::pddl::search::{table1_entry, SearchBudget};
+
+fn main() {
+    let args = Args::from_env();
+    // --thorough multiplies the search effort ~20x (minutes instead of
+    // seconds) and usually resolves several of the `?` cells.
+    let (restarts, moves) = if args.has("thorough") {
+        (120usize, 400_000usize)
+    } else {
+        (30, 60_000)
+    };
+    let widths = 5..=10usize;
+    let stripes = 1..=10usize;
+    println!("# Table 1: satisfactory PDDL base permutations");
+    println!("# rows = number of stripes g, columns = stripe width k; n = g*k + 1");
+    print!("g\\k");
+    for k in widths.clone() {
+        print!("\t{k}");
+    }
+    println!();
+    for g in stripes {
+        print!("{g}");
+        for k in widths.clone() {
+            let budget = SearchBudget {
+                restarts,
+                moves,
+                max_group: 4,
+                ..SearchBudget::default()
+            };
+            let entry = table1_entry(g, k, budget);
+            print!("\t{entry}");
+        }
+        println!();
+    }
+}

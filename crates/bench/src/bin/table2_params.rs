@@ -1,0 +1,55 @@
+//! Prints **Table 2**: the simulation parameters, as instantiated by
+//! this reproduction (workload, layouts, disk model).
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin table2_params
+//! ```
+
+use pddl_bench::{evaluated_layouts, size_label, CLIENTS, SIZES_APPENDIX, SIZES_MAIN, SIZE_336KB};
+use pddl_disk::{Disk, MILLISECOND};
+
+fn main() {
+    println!("# Table 2: simulation parameters");
+    println!("## Workload");
+    let mut sizes: Vec<u64> = SIZES_MAIN
+        .iter()
+        .chain(&SIZES_APPENDIX)
+        .copied()
+        .chain([SIZE_336KB])
+        .collect();
+    sizes.sort_unstable();
+    let labels: Vec<String> = sizes.iter().map(|&u| size_label(u)).collect();
+    println!("Access sizes:\t{}", labels.join(","));
+    let clients: Vec<String> = CLIENTS.iter().map(|c| c.to_string()).collect();
+    println!("Concurrency:\t{} clients", clients.join(","));
+    println!("Alignment:\t8 KB (stripe unit boundary)");
+    println!("Distribution:\trandom accesses uniformly distributed over all data");
+
+    println!("## Array");
+    println!("Stripe unit:\t8 KB");
+    for (name, layout) in evaluated_layouts() {
+        println!(
+            "Layout:\t{name}\tn={}\tk={}\tparity={:.1}%\tspare={:.1}%\tperiod={} rows",
+            layout.disks(),
+            layout.stripe_width(),
+            layout.parity_overhead() * 100.0,
+            layout.spare_overhead() * 100.0,
+            layout.period_rows(),
+        );
+    }
+
+    println!("## Disk (HP 2247 model)");
+    let d = Disk::hp2247();
+    let g = d.geometry();
+    println!(
+        "Capacity:\t{:.2} GB\t({} sectors)",
+        g.capacity_bytes() as f64 / 1e9,
+        g.total_sectors()
+    );
+    println!("Geometry:\t{} cylinders, {} heads, 8 zones", g.cylinders(), g.heads());
+    println!(
+        "Rotation:\t5400 RPM ({:.2} ms/rev)",
+        d.revolution() as f64 / MILLISECOND as f64
+    );
+    println!("Head scheduling:\tSSTF on 20-request queue");
+}

@@ -1,0 +1,55 @@
+//! Extension experiment: beyond the paper's homogeneous uniform
+//! workload — read/write mixes, sequential streams, and hot/cold
+//! skew (§4 leaves "a more realistic access mix" as an open question).
+//!
+//! ```text
+//! cargo run --release -p pddl-bench --bin workload_mix
+//! ```
+
+use pddl_bench::{Args, DISKS, WIDTH};
+use pddl_core::plan::Op;
+use pddl_sim::{AccessPattern, ArraySim, LayoutKind, SimConfig};
+
+fn main() {
+    let args = Args::from_env();
+    println!("# Workload-mix extension (48KB accesses, 8 clients)");
+    println!("layout\tworkload\tthroughput_aps\tresponse_ms");
+    let workloads: Vec<(&str, SimConfig)> = vec![
+        ("pure-read", SimConfig { op: Op::Read, ..SimConfig::default() }),
+        ("pure-write", SimConfig { op: Op::Write, ..SimConfig::default() }),
+        (
+            "70/30-mix",
+            SimConfig { read_fraction: Some(0.7), ..SimConfig::default() },
+        ),
+        (
+            "sequential-read",
+            SimConfig { pattern: AccessPattern::Sequential, ..SimConfig::default() },
+        ),
+        (
+            "hot-cold-read",
+            SimConfig {
+                pattern: AccessPattern::HotCold { hot_percent: 10, traffic_percent: 80 },
+                ..SimConfig::default()
+            },
+        ),
+    ];
+    for kind in LayoutKind::EVALUATED {
+        for (name, wl) in &workloads {
+            let layout = kind.build(DISKS, WIDTH).expect("standard configuration");
+            let cfg = SimConfig {
+                clients: 8,
+                access_units: 6,
+                warmup: 200,
+                max_samples: args.max_samples(),
+                ..*wl
+            };
+            let r = ArraySim::new(layout, cfg).run();
+            println!(
+                "{}\t{name}\t{:.2}\t{:.2}",
+                kind.name(),
+                r.throughput,
+                r.mean_response_ms
+            );
+        }
+    }
+}

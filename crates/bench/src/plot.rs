@@ -1,0 +1,376 @@
+//! Minimal SVG chart rendering (no dependencies) so the experiment
+//! harness can emit paper-style figures, not just TSV tables:
+//! line charts for the response-time figures (5, 6, 8–14, 18) and
+//! stacked bars for the seek-class figures (4, 7, 15, 16).
+
+use std::fmt::Write as _;
+
+/// Colors assigned to series, matching across all rendered figures.
+const PALETTE: [&str; 6] = [
+    "#4363d8", "#e6194b", "#3cb44b", "#f58231", "#911eb4", "#469990",
+];
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A line chart in the style of the paper's response-time figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series, drawn in palette order.
+    pub series: Vec<Series>,
+}
+
+impl LineChart {
+    /// Render to an SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series contains a point.
+    pub fn to_svg(&self) -> String {
+        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|s| s.points.clone()).collect();
+        assert!(!all.is_empty(), "cannot plot an empty chart");
+        let (x0, x1) = nice_range(all.iter().map(|p| p.0));
+        let (_, y1) = nice_range(all.iter().map(|p| p.1));
+        let y0 = 0.0; // response-time plots anchor at zero
+        let to_px = |x: f64, y: f64| -> (f64, f64) {
+            (
+                MARGIN_L + (x - x0) / (x1 - x0) * (WIDTH - MARGIN_L - MARGIN_R),
+                HEIGHT - MARGIN_B - (y - y0) / (y1 - y0) * (HEIGHT - MARGIN_T - MARGIN_B),
+            )
+        };
+
+        let mut svg = svg_header(&self.title);
+        draw_axes(&mut svg, &self.x_label, &self.y_label, (x0, x1), (y0, y1), &to_px);
+        for (i, series) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let mut path = String::new();
+            let mut sorted = series.points.clone();
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (j, &(x, y)) in sorted.iter().enumerate() {
+                let (px, py) = to_px(x, y);
+                let _ = write!(path, "{}{px:.1},{py:.1} ", if j == 0 { "M" } else { "L" });
+            }
+            let _ = writeln!(
+                svg,
+                r##"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.8"/>"##
+            );
+            for &(x, y) in &sorted {
+                let (px, py) = to_px(x, y);
+                let _ = writeln!(svg, r##"<circle cx="{px:.1}" cy="{py:.1}" r="2.6" fill="{color}"/>"##);
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 16.0 * i as f64;
+            let lx = WIDTH - MARGIN_R + 12.0;
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{lx}" y="{:.1}" width="12" height="3" fill="{color}"/><text x="{:.1}" y="{:.1}" font-size="11">{}</text>"##,
+                ly - 1.5,
+                lx + 18.0,
+                ly + 4.0,
+                xml_escape(&series.name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// One stacked bar: a label and its segments bottom-to-top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Category label under the bar.
+    pub label: String,
+    /// `(segment name, value)` stacked bottom-up.
+    pub segments: Vec<(String, f64)>,
+}
+
+/// A stacked bar chart in the style of the paper's seek-class figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackedBars {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Bars, left to right.
+    pub bars: Vec<Bar>,
+}
+
+impl StackedBars {
+    /// Render to an SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no bars.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.bars.is_empty(), "cannot plot an empty chart");
+        let max: f64 = self
+            .bars
+            .iter()
+            .map(|b| b.segments.iter().map(|s| s.1).sum::<f64>())
+            .fold(0.0, f64::max)
+            .max(1e-9);
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let slot = plot_w / self.bars.len() as f64;
+        let bar_w = slot * 0.66;
+
+        let mut svg = svg_header(&self.title);
+        // Y axis with ticks.
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{:.1}" stroke="black"/>"##,
+            HEIGHT - MARGIN_B
+        );
+        for t in 0..=4 {
+            let v = max * t as f64 / 4.0;
+            let y = HEIGHT - MARGIN_B - plot_h * t as f64 / 4.0;
+            let _ = writeln!(
+                svg,
+                r##"<text x="{:.1}" y="{y:.1}" font-size="10" text-anchor="end">{v:.1}</text><line x1="{:.1}" y1="{y:.1}" x2="{MARGIN_L}" y2="{y:.1}" stroke="black"/>"##,
+                MARGIN_L - 8.0,
+                MARGIN_L - 4.0
+            );
+        }
+        let _ = writeln!(
+            svg,
+            r##"<text x="14" y="{:.1}" font-size="11" transform="rotate(-90 14 {:.1})">{}</text>"##,
+            HEIGHT / 2.0,
+            HEIGHT / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // Collect segment names in first-seen order for stable colors.
+        let mut names: Vec<&str> = Vec::new();
+        for bar in &self.bars {
+            for (name, _) in &bar.segments {
+                if !names.contains(&name.as_str()) {
+                    names.push(name);
+                }
+            }
+        }
+        for (i, bar) in self.bars.iter().enumerate() {
+            let x = MARGIN_L + slot * i as f64 + (slot - bar_w) / 2.0;
+            let mut acc = 0.0;
+            for (name, value) in &bar.segments {
+                let color_idx = names.iter().position(|n| n == name).unwrap_or(0);
+                let h = value / max * plot_h;
+                let y = HEIGHT - MARGIN_B - (acc + value) / max * plot_h;
+                let _ = writeln!(
+                    svg,
+                    r##"<rect x="{x:.1}" y="{y:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{}"/>"##,
+                    PALETTE[color_idx % PALETTE.len()]
+                );
+                acc += value;
+            }
+            let _ = writeln!(
+                svg,
+                r##"<text x="{:.1}" y="{:.1}" font-size="9" text-anchor="middle">{}</text>"##,
+                x + bar_w / 2.0,
+                HEIGHT - MARGIN_B + 14.0,
+                xml_escape(&bar.label)
+            );
+        }
+        for (i, name) in names.iter().enumerate() {
+            let ly = MARGIN_T + 16.0 * i as f64;
+            let lx = WIDTH - MARGIN_R + 12.0;
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{lx}" y="{:.1}" width="12" height="8" fill="{}"/><text x="{:.1}" y="{:.1}" font-size="11">{}</text>"##,
+                ly,
+                PALETTE[i % PALETTE.len()],
+                lx + 18.0,
+                ly + 8.0,
+                xml_escape(name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        concat!(
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" "##,
+            r##"viewBox="0 0 {w} {h}" font-family="sans-serif">"##,
+            "\n",
+            r##"<rect width="{w}" height="{h}" fill="white"/>"##,
+            "\n",
+            r##"<text x="{cx}" y="22" font-size="14" text-anchor="middle">{title}</text>"##,
+            "\n"
+        ),
+        w = WIDTH,
+        h = HEIGHT,
+        cx = WIDTH / 2.0,
+        title = xml_escape(title)
+    )
+}
+
+fn draw_axes(
+    svg: &mut String,
+    x_label: &str,
+    y_label: &str,
+    (x0, x1): (f64, f64),
+    (y0, y1): (f64, f64),
+    to_px: &dyn Fn(f64, f64) -> (f64, f64),
+) {
+    let (ox, oy) = to_px(x0, y0);
+    let (ex, _) = to_px(x1, y0);
+    let (_, ty) = to_px(x0, y1);
+    let _ = writeln!(svg, r##"<line x1="{ox:.1}" y1="{oy:.1}" x2="{ex:.1}" y2="{oy:.1}" stroke="black"/>"##);
+    let _ = writeln!(svg, r##"<line x1="{ox:.1}" y1="{oy:.1}" x2="{ox:.1}" y2="{ty:.1}" stroke="black"/>"##);
+    for t in 0..=4 {
+        let xv = x0 + (x1 - x0) * t as f64 / 4.0;
+        let yv = y0 + (y1 - y0) * t as f64 / 4.0;
+        let (px, _) = to_px(xv, y0);
+        let (_, py) = to_px(x0, yv);
+        let _ = writeln!(
+            svg,
+            r##"<text x="{px:.1}" y="{:.1}" font-size="10" text-anchor="middle">{xv:.0}</text>"##,
+            oy + 16.0
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{py:.1}" font-size="10" text-anchor="end">{yv:.0}</text>"##,
+            ox - 6.0
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r##"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"##,
+        (ox + ex) / 2.0,
+        HEIGHT - 10.0,
+        xml_escape(x_label)
+    );
+    let _ = writeln!(
+        svg,
+        r##"<text x="14" y="{:.1}" font-size="11" transform="rotate(-90 14 {:.1})">{}</text>"##,
+        HEIGHT / 2.0,
+        HEIGHT / 2.0,
+        xml_escape(y_label)
+    );
+}
+
+/// Expand a data range slightly and guard degenerate spans.
+fn nice_range(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        return (lo - 0.5, hi + 0.5);
+    }
+    let pad = (hi - lo) * 0.05;
+    ((lo - pad).max(0.0), hi + pad)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_line() -> LineChart {
+        LineChart {
+            title: "demo <chart>".into(),
+            x_label: "workload".into(),
+            y_label: "response".into(),
+            series: vec![
+                Series { name: "PDDL".into(), points: vec![(1.0, 10.0), (2.0, 20.0)] },
+                Series { name: "RAID 5".into(), points: vec![(2.0, 30.0), (1.0, 15.0)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn line_chart_structure() {
+        let svg = demo_line().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains("PDDL") && svg.contains("RAID 5"));
+        assert!(svg.contains("&lt;chart&gt;"), "title must be escaped");
+    }
+
+    #[test]
+    fn points_are_sorted_by_x_before_drawing() {
+        let svg = demo_line().to_svg();
+        // The second series' path must start at x=1 (the smaller px).
+        let paths: Vec<&str> = svg.lines().filter(|l| l.starts_with("<path")).collect();
+        let second = paths[1];
+        let m = second.find("M").unwrap();
+        let l = second.find("L").unwrap();
+        let mx: f64 = second[m + 1..].split(',').next().unwrap().parse().unwrap();
+        let lx: f64 = second[l + 1..].split(',').next().unwrap().parse().unwrap();
+        assert!(mx < lx, "path must move left to right");
+    }
+
+    #[test]
+    fn stacked_bars_structure() {
+        let chart = StackedBars {
+            title: "seeks".into(),
+            y_label: "ops/access".into(),
+            bars: vec![
+                Bar {
+                    label: "8KB".into(),
+                    segments: vec![("non-local".into(), 1.0), ("no-switch".into(), 0.0)],
+                },
+                Bar {
+                    label: "48KB".into(),
+                    segments: vec![("non-local".into(), 5.0), ("no-switch".into(), 1.0)],
+                },
+            ],
+        };
+        let svg = chart.to_svg();
+        assert!(svg.contains("non-local") && svg.contains("no-switch"));
+        // 4 segment rects + 2 legend rects + background.
+        assert_eq!(svg.matches("<rect").count(), 7);
+    }
+
+    #[test]
+    fn nice_range_handles_degenerate_input() {
+        assert_eq!(nice_range(std::iter::empty()), (0.0, 1.0));
+        let (lo, hi) = nice_range([5.0f64, 5.0].into_iter());
+        assert!(lo < 5.0 && hi > 5.0);
+        let (lo, hi) = nice_range([1.0f64, 3.0].into_iter());
+        assert!(lo <= 1.0 && hi >= 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty chart")]
+    fn empty_chart_panics() {
+        let _ = LineChart {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: vec![],
+        }
+        .to_svg();
+    }
+}

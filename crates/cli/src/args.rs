@@ -1,0 +1,111 @@
+//! Tiny dependency-free argument parsing for the `pddl` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options and bare
+/// `--flag`s.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    /// First positional argument.
+    pub command: Option<String>,
+    /// Remaining positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Cli {
+    /// Parse from an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cli = Cli::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        cli.options.insert(name.to_string(), value);
+                    }
+                    _ => cli.flags.push(name.to_string()),
+                }
+            } else if cli.command.is_none() {
+                cli.command = Some(arg);
+            } else {
+                cli.positional.push(arg);
+            }
+        }
+        cli
+    }
+
+    /// Parse the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// String option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Bare flag presence (also true when given with a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name) || self.options.contains_key(name)
+    }
+
+    /// Parsed numeric option with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Cli {
+        Cli::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn subcommand_options_and_flags() {
+        let cli = parse("simulate extra --disks 13 --width 4 --fast");
+        assert_eq!(cli.command.as_deref(), Some("simulate"));
+        assert_eq!(cli.get("disks"), Some("13"));
+        assert!(cli.has("fast"));
+        assert!(!cli.has("slow"));
+        assert_eq!(cli.positional, vec!["extra"]);
+        // A word after a flag binds to it as a value (documented
+        // behaviour of the freeform syntax) — `has` still sees it.
+        let bound = parse("simulate --fast extra");
+        assert!(bound.has("fast"));
+        assert_eq!(bound.get("fast"), Some("extra"));
+        assert!(bound.positional.is_empty());
+    }
+
+    #[test]
+    fn numeric_parsing_with_defaults() {
+        let cli = parse("x --n 21");
+        assert_eq!(cli.num("n", 13usize), Ok(21));
+        assert_eq!(cli.num("k", 4usize), Ok(4));
+        assert!(cli.num::<usize>("n", 0).is_ok());
+        let bad = parse("x --n abc");
+        assert!(bad.num::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn trailing_flag_and_empty() {
+        let cli = parse("show --verbose");
+        assert!(cli.has("verbose"));
+        let empty = parse("");
+        assert_eq!(empty.command, None);
+    }
+}

@@ -1,0 +1,286 @@
+//! The `pddl` CLI subcommands.
+
+use pddl_array::DeclusteredArray;
+use pddl_core::analysis::{check_goals, mean_working_set, reconstruction_reads};
+use pddl_core::layout::Layout;
+use pddl_core::pddl::search::{find_base_permutations_with_spares, SearchBudget};
+use pddl_core::plan::{Mode, Op};
+use pddl_core::{Datum, ParityDeclustering, Pddl, PrimeLayout, PseudoRandom, Raid5, Role};
+use pddl_sim::trace::{format_trace, parse_trace, synthesize_poisson};
+use pddl_sim::{ArraySim, SimConfig};
+
+use crate::args::Cli;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+pddl — declustered disk-array toolbox (PDDL, HPCA 1999)
+
+USAGE:
+  pddl show      --disks N --width K [--layout NAME] [--rows R]
+                   print the physical layout pattern
+  pddl verify    --disks N --width K [--layout NAME]
+                   check the eight ideal-layout goals
+  pddl search    --disks N --width K [--spares S] [--moves M] [--restarts R]
+                   find satisfactory base permutations
+  pddl simulate  --disks N --width K [--layout NAME] --clients C --size UNITS
+                 [--op read|write] [--mode ff|f1|f2|postrecon] [--samples X]
+                   run the timing simulator for one configuration
+  pddl rebuild   --disks N --width K [--layout NAME] --clients C [--jobs J]
+                   simulate an on-line rebuild of disk 0 under client load
+  pddl drill     --disks N --width K [--fail D]
+                   functional failure drill with real bytes and parity
+  pddl trace-gen --count N --size UNITS [--read-frac F] [--gap-us G]
+                   synthesize a Poisson trace on stdout
+  pddl replay    --file TRACE [--disks N --width K] [--mode ff|f1]
+                   replay a trace file through the simulator
+
+LAYOUTS: pddl (default), raid5, parity-decl, datum, prime, pseudo-random
+";
+
+fn build_layout(cli: &Cli) -> Result<Box<dyn Layout>, String> {
+    let n: usize = cli.num("disks", 13)?;
+    let k: usize = cli.num("width", 4)?;
+    let name = cli.get("layout").unwrap_or("pddl");
+    let layout: Box<dyn Layout> = match name {
+        "pddl" => Box::new(Pddl::new(n, k).map_err(|e| e.to_string())?),
+        "raid5" => Box::new(Raid5::new(n).map_err(|e| e.to_string())?),
+        "parity-decl" => Box::new(ParityDeclustering::new(n, k).map_err(|e| e.to_string())?),
+        "datum" => Box::new(Datum::new(n, k).map_err(|e| e.to_string())?),
+        "prime" => Box::new(PrimeLayout::new(n, k).map_err(|e| e.to_string())?),
+        "pseudo-random" => Box::new(PseudoRandom::new(n, k, 1).map_err(|e| e.to_string())?),
+        other => return Err(format!("unknown layout {other:?}")),
+    };
+    Ok(layout)
+}
+
+fn parse_mode(cli: &Cli) -> Result<Mode, String> {
+    Ok(match cli.get("mode") {
+        None | Some("ff") => Mode::FaultFree,
+        Some("f1") => Mode::Degraded { failed: cli.num("fail", 0)? },
+        Some("f2") => Mode::DoubleDegraded {
+            failed: [cli.num("fail", 0)?, cli.num("fail2", 6)?],
+        },
+        Some("postrecon") => Mode::PostReconstruction { failed: cli.num("fail", 0)? },
+        Some(other) => return Err(format!("unknown mode {other:?}")),
+    })
+}
+
+fn parse_op(cli: &Cli) -> Result<Op, String> {
+    Ok(match cli.get("op") {
+        None | Some("read") => Op::Read,
+        Some("write") => Op::Write,
+        Some(other) => return Err(format!("unknown op {other:?}")),
+    })
+}
+
+/// `pddl show` — print the layout pattern.
+pub fn show(cli: &Cli) -> Result<(), String> {
+    let layout = build_layout(cli)?;
+    let rows: u64 = cli.num("rows", layout.period_rows().min(32))?;
+    println!(
+        "{}: n={} k={} c={} period={} rows, parity {:.1}%, spare {:.1}%",
+        layout.name(),
+        layout.disks(),
+        layout.stripe_width(),
+        layout.check_per_stripe(),
+        layout.period_rows(),
+        layout.parity_overhead() * 100.0,
+        layout.spare_overhead() * 100.0,
+    );
+    // Build a row-indexed view of one period.
+    let mut grid: Vec<Vec<String>> =
+        vec![vec!["  S  ".to_string(); layout.disks()]; layout.period_rows() as usize];
+    for stripe in 0..layout.stripes_per_period() {
+        let letter = (b'a' + (stripe % 26) as u8) as char;
+        for unit in layout.stripe_units(stripe) {
+            let row = unit.addr.offset as usize;
+            if row >= grid.len() {
+                continue;
+            }
+            grid[row][unit.addr.disk] = match unit.role {
+                Role::Data => format!(" {letter}{:<2} ", unit.index),
+                Role::Check => format!(" P{letter}{} ", unit.index),
+                Role::Spare => "  S  ".into(),
+            };
+        }
+    }
+    print!("row   ");
+    for d in 0..layout.disks() {
+        print!("d{d:<4}");
+    }
+    println!();
+    for (r, row) in grid.iter().enumerate().take(rows as usize) {
+        println!("{r:<5} {}", row.join(""));
+    }
+    if rows < layout.period_rows() {
+        println!("… ({} more rows in the period)", layout.period_rows() - rows);
+    }
+    Ok(())
+}
+
+/// `pddl verify` — goal checklist.
+pub fn verify(cli: &Cli) -> Result<(), String> {
+    let layout = build_layout(cli)?;
+    let g = check_goals(layout.as_ref());
+    println!("goals for {} (n={}, k={}):", layout.name(), layout.disks(), layout.stripe_width());
+    println!("  #1 single failure correcting : {}", g.single_failure_correcting);
+    println!("  #2 distributed parity        : {}", g.distributed_parity);
+    println!("  #3 distributed reconstruction: {}", g.distributed_reconstruction);
+    println!("  #4 large write optimization  : {}", g.large_write_optimization);
+    println!("  #5 read parallelism deviation: {}", g.read_parallelism_deviation);
+    println!("  #6 mapping table bytes       : {}", g.mapping_table_bytes);
+    println!("  #7 distributed sparing       : {:?}", g.distributed_sparing);
+    println!("  #8 degraded parallelism dev. : {:?}", g.degraded_parallelism_deviation);
+    let f = cli.num("fail", 0)?;
+    println!("reconstruction reads if disk {f} fails: {:?}", reconstruction_reads(layout.as_ref(), f));
+    for units in [1u64, 6, 12] {
+        let ws = mean_working_set(layout.as_ref(), Mode::FaultFree, Op::Read, units);
+        println!("mean working set, {units}-unit ff reads: {ws:.2}");
+    }
+    Ok(())
+}
+
+/// `pddl search` — base permutation search.
+pub fn search(cli: &Cli) -> Result<(), String> {
+    let n: usize = cli.num("disks", 13)?;
+    let k: usize = cli.num("width", 4)?;
+    let s: usize = cli.num("spares", 1)?;
+    let budget = SearchBudget {
+        moves: cli.num("moves", 100_000usize)?,
+        restarts: cli.num("restarts", 40usize)?,
+        max_group: cli.num("group", 4usize)?,
+        ..SearchBudget::default()
+    };
+    if k < 2 || n <= s || !(n - s).is_multiple_of(k) {
+        return Err(format!("need n = g*k + s; got n={n}, k={k}, s={s}"));
+    }
+    match find_base_permutations_with_spares(n, k, s, budget) {
+        Some(perms) => {
+            println!("found {} base permutation(s) for n={n}, k={k}, s={s}:", perms.len());
+            for (i, p) in perms.iter().enumerate() {
+                let cells: Vec<String> = p.iter().map(|x| x.to_string()).collect();
+                println!("  #{}: ({})", i + 1, cells.join(" "));
+            }
+            Ok(())
+        }
+        None => Err("no satisfactory permutation group found within budget".into()),
+    }
+}
+
+/// `pddl simulate` — one timing run.
+pub fn simulate(cli: &Cli) -> Result<(), String> {
+    let layout = build_layout(cli)?;
+    let default_samples = if cli.has("fast") { 1_000 } else { 4_000 };
+    let cfg = SimConfig {
+        clients: cli.num("clients", 8)?,
+        access_units: cli.num("size", 1)?,
+        op: parse_op(cli)?,
+        mode: parse_mode(cli)?,
+        max_samples: cli.num("samples", default_samples)?,
+        ..SimConfig::default()
+    };
+    let name = layout.name().to_string();
+    let r = ArraySim::new(layout, cfg).run();
+    println!("{name}: {} clients × {} units, {:?}, {:?}", cfg.clients, cfg.access_units, cfg.op, cfg.mode);
+    println!("  response time : {:.2} ms (±{:.2} ms, 95% CI, converged={})", r.mean_response_ms, r.ci_halfwidth_ms, r.converged);
+    println!("  throughput    : {:.1} accesses/s", r.throughput);
+    println!("  disk busy     : {:.1}%", r.utilization * 100.0);
+    println!(
+        "  ops/access    : {:.2} ({:.2} non-local, {:.2} cyl, {:.2} track, {:.2} no-switch)",
+        r.seeks.total(), r.seeks.non_local, r.seeks.cylinder_switch, r.seeks.track_switch, r.seeks.no_switch
+    );
+    Ok(())
+}
+
+/// `pddl rebuild` — on-line rebuild drill.
+pub fn rebuild(cli: &Cli) -> Result<(), String> {
+    let layout = build_layout(cli)?;
+    let failed: usize = cli.num("fail", 0)?;
+    let jobs: usize = cli.num("jobs", 4)?;
+    let cfg = SimConfig {
+        clients: cli.num("clients", 8)?,
+        access_units: cli.num("size", 1)?,
+        op: parse_op(cli)?,
+        mode: Mode::Degraded { failed },
+        warmup: 0,
+        max_samples: u64::MAX,
+        ..SimConfig::default()
+    };
+    let name = layout.name().to_string();
+    let r = ArraySim::with_rebuild(layout, cfg, failed, jobs).run();
+    let rb = r.rebuild.expect("rebuild report");
+    println!("{name}: rebuilding disk {failed} with {jobs} jobs in flight, {} clients", cfg.clients);
+    println!("  rebuild time        : {:.1} s ({} stripe units)", rb.rebuild_ms / 1000.0, rb.stripes_repaired);
+    if cfg.clients > 0 {
+        println!("  client response time: {:.2} ms during the rebuild", r.mean_response_ms);
+    }
+    Ok(())
+}
+
+/// `pddl drill` — functional failure drill with real bytes.
+pub fn drill(cli: &Cli) -> Result<(), String> {
+    let n: usize = cli.num("disks", 13)?;
+    let k: usize = cli.num("width", 4)?;
+    let fail: usize = cli.num("fail", 0)?;
+    let layout = Pddl::new(n, k).map_err(|e| e.to_string())?;
+    let mut array =
+        DeclusteredArray::new(Box::new(layout), 512, 4).map_err(|e| e.to_string())?;
+    let cap = array.capacity_units();
+    let payload: Vec<u8> = (0..cap as usize * 512).map(|i| (i % 251) as u8).collect();
+    array.write(0, &payload).map_err(|e| e.to_string())?;
+    println!("wrote {} units; failing disk {fail}…", cap);
+    array.fail_disk(fail).map_err(|e| e.to_string())?;
+    let ok_degraded = array.read(0, cap).map_err(|e| e.to_string())? == payload;
+    let rebuilt = array.rebuild_to_spare(fail).map_err(|e| e.to_string())?;
+    let ok_post = array.read(0, cap).map_err(|e| e.to_string())? == payload;
+    array.replace_and_rebuild(fail).map_err(|e| e.to_string())?;
+    let ok_final = array.read(0, cap).map_err(|e| e.to_string())? == payload;
+    let scrub = array.scrub().map_err(|e| e.to_string())?;
+    println!("  degraded reads intact        : {ok_degraded}");
+    println!("  rebuilt to spare             : {rebuilt} units, reads intact: {ok_post}");
+    println!("  after replacement + copyback : reads intact: {ok_final}, scrub issues: {}", scrub.len());
+    if ok_degraded && ok_post && ok_final && scrub.is_empty() {
+        println!("drill passed");
+        Ok(())
+    } else {
+        Err("drill detected data loss".into())
+    }
+}
+
+/// `pddl trace-gen` — synthesize a Poisson trace to stdout.
+pub fn trace_gen(cli: &Cli) -> Result<(), String> {
+    let count: usize = cli.num("count", 1_000)?;
+    let size: u64 = cli.num("size", 1)?;
+    let read_frac: f64 = cli.num("read-frac", 1.0)?;
+    let gap_us: u64 = cli.num("gap-us", 5_000)?;
+    let capacity: u64 = cli.num("capacity", 1_000_000)?;
+    let seed: u64 = cli.num("seed", 42)?;
+    if count == 0 || size == 0 || !(0.0..=1.0).contains(&read_frac) || gap_us == 0 {
+        return Err("invalid trace parameters".into());
+    }
+    let trace = synthesize_poisson(count, capacity, size, read_frac, gap_us, seed);
+    print!("{}", format_trace(&trace));
+    Ok(())
+}
+
+/// `pddl replay` — run a trace file through the simulator.
+pub fn replay(cli: &Cli) -> Result<(), String> {
+    let file = cli.get("file").ok_or("--file is required")?;
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let trace = parse_trace(&text).map_err(|e| e.to_string())?;
+    let layout = build_layout(cli)?;
+    let cfg = SimConfig {
+        mode: parse_mode(cli)?,
+        warmup: cli.num("warmup", 0)?,
+        max_samples: u64::MAX,
+        ..SimConfig::default()
+    };
+    let name = layout.name().to_string();
+    let records = trace.len();
+    let r = ArraySim::with_trace(layout, cfg, trace).run();
+    println!("{name}: replayed {records} accesses from {file} ({:?})", cfg.mode);
+    println!("  response time : {:.2} ms mean", r.mean_response_ms);
+    println!("  throughput    : {:.1} accesses/s", r.throughput);
+    println!("  disk busy     : {:.1}%", r.utilization * 100.0);
+    Ok(())
+}

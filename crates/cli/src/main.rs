@@ -1,0 +1,38 @@
+//! `pddl` — command-line tool for PDDL declustered disk arrays.
+//!
+//! ```text
+//! pddl show      --disks 13 --width 4 [--layout pddl] [--rows 13]
+//! pddl verify    --disks 13 --width 4 [--layout raid5]
+//! pddl search    --disks 10 --width 3 [--spares 1] [--moves 100000]
+//! pddl simulate  --disks 13 --width 4 --clients 8 --size 6 [--op write] [--mode f1]
+//! pddl rebuild   --disks 13 --width 4 --clients 8 [--jobs 16]
+//! pddl drill     --disks 13 --width 4 [--fail 5]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Cli;
+
+fn main() {
+    let cli = Cli::from_env();
+    let result = match cli.command.as_deref() {
+        Some("show") => commands::show(&cli),
+        Some("verify") => commands::verify(&cli),
+        Some("search") => commands::search(&cli),
+        Some("simulate") => commands::simulate(&cli),
+        Some("rebuild") => commands::rebuild(&cli),
+        Some("drill") => commands::drill(&cli),
+        Some("trace-gen") => commands::trace_gen(&cli),
+        Some("replay") => commands::replay(&cli),
+        Some("help") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{}", commands::USAGE)),
+    };
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

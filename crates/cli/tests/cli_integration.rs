@@ -1,0 +1,97 @@
+//! End-to-end tests of the `pddl` binary.
+
+use std::process::Command;
+
+fn pddl(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pddl"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_every_subcommand() {
+    let (ok, stdout, _) = pddl(&["help"]);
+    assert!(ok);
+    for cmd in ["show", "verify", "search", "simulate", "rebuild", "drill", "trace-gen", "replay"] {
+        assert!(stdout.contains(cmd), "usage missing {cmd}");
+    }
+    // No arguments behaves like help.
+    let (ok, stdout2, _) = pddl(&[]);
+    assert!(ok && stdout2 == stdout);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = pddl(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command") && stderr.contains("USAGE"));
+}
+
+#[test]
+fn show_prints_the_seven_disk_pattern() {
+    let (ok, stdout, _) = pddl(&["show", "--disks", "7", "--width", "3"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("PDDL: n=7 k=3"));
+    assert!(stdout.contains("row"));
+    // One spare cell per row.
+    assert_eq!(stdout.matches(" S ").count(), 7, "{stdout}");
+}
+
+#[test]
+fn verify_reports_goals_for_every_layout() {
+    for layout in ["pddl", "raid5", "parity-decl", "datum", "prime", "pseudo-random"] {
+        let (ok, stdout, stderr) = pddl(&["verify", "--layout", layout]);
+        assert!(ok, "{layout}: {stderr}");
+        assert!(stdout.contains("#3 distributed reconstruction"), "{layout}");
+    }
+    let (ok, _, stderr) = pddl(&["verify", "--layout", "nope"]);
+    assert!(!ok && stderr.contains("unknown layout"));
+}
+
+#[test]
+fn search_finds_the_ten_disk_pair() {
+    let (ok, stdout, stderr) = pddl(&["search", "--disks", "10", "--width", "3"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("base permutation"), "{stdout}");
+    // Bad shape errors out cleanly.
+    let (ok, _, stderr) = pddl(&["search", "--disks", "12", "--width", "5"]);
+    assert!(!ok && stderr.contains("n = g*k + s"));
+}
+
+#[test]
+fn simulate_smoke() {
+    let (ok, stdout, stderr) = pddl(&[
+        "simulate", "--clients", "2", "--size", "1", "--samples", "200",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("response time") && stdout.contains("throughput"));
+}
+
+#[test]
+fn drill_passes_end_to_end() {
+    let (ok, stdout, stderr) = pddl(&["drill", "--disks", "7", "--width", "3", "--fail", "1"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("drill passed"), "{stdout}");
+}
+
+#[test]
+fn trace_roundtrip_through_files() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("pddl-cli-trace-{}.trace", std::process::id()));
+    let (ok, stdout, _) = pddl(&["trace-gen", "--count", "50", "--size", "2"]);
+    assert!(ok);
+    std::fs::write(&path, &stdout).unwrap();
+    let (ok, replay_out, stderr) = pddl(&["replay", "--file", path.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(replay_out.contains("replayed 50 accesses"), "{replay_out}");
+    std::fs::remove_file(&path).unwrap();
+    // Missing file errors cleanly.
+    let (ok, _, stderr) = pddl(&["replay", "--file", "/nonexistent.trace"]);
+    assert!(!ok && stderr.contains("nonexistent"));
+}

@@ -1,0 +1,82 @@
+//! Physical addressing types shared by every layout.
+
+use std::fmt;
+
+/// The physical address of one stripe unit: a disk number and a
+/// stripe-unit row (offset) on that disk.
+///
+/// Offsets count whole stripe units, not sectors — the disk model maps
+/// stripe-unit offsets to sectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysAddr {
+    /// Disk number in `0..n`.
+    pub disk: usize,
+    /// Stripe-unit row on the disk.
+    pub offset: u64,
+}
+
+impl PhysAddr {
+    /// Convenience constructor.
+    pub fn new(disk: usize, offset: u64) -> Self {
+        Self { disk, offset }
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(d{}, {})", self.disk, self.offset)
+    }
+}
+
+/// The role a stripe unit plays within its reliability stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Client data.
+    Data,
+    /// Check (parity) information.
+    Check,
+    /// Distributed spare space (only layouts with sparing have these).
+    Spare,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Data => write!(f, "data"),
+            Role::Check => write!(f, "check"),
+            Role::Spare => write!(f, "spare"),
+        }
+    }
+}
+
+/// One stripe unit of a reliability stripe: its physical address, role,
+/// and index among units of the same role within the stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StripeUnit {
+    /// Where the unit lives.
+    pub addr: PhysAddr,
+    /// Data, check, or spare.
+    pub role: Role,
+    /// Index among same-role units of the stripe (data unit 0, 1, …, or
+    /// check unit 0, 1, …).
+    pub index: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_ordering_is_disk_major() {
+        let a = PhysAddr::new(0, 10);
+        let b = PhysAddr::new(1, 0);
+        assert!(a < b);
+        assert_eq!(PhysAddr::new(2, 3), PhysAddr { disk: 2, offset: 3 });
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PhysAddr::new(4, 17).to_string(), "(d4, 17)");
+        assert_eq!(Role::Check.to_string(), "check");
+    }
+}

@@ -1,0 +1,14 @@
+//! Layout analysis: the paper's eight ideal-layout goals, reconstruction
+//! workload distribution, and disk working-set sizes (Figure 3).
+
+mod properties;
+mod reconstruction;
+mod tolerance;
+mod working_set;
+
+pub use properties::{check_goals, GoalReport};
+pub use reconstruction::{
+    is_reconstruction_balanced, reconstruction_reads, reconstruction_writes,
+};
+pub use tolerance::{failures_tolerated, survives_failures};
+pub use working_set::{mean_working_set, working_set_table, WorkingSetRow};

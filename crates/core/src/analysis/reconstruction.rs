@@ -1,0 +1,129 @@
+//! Reconstruction workload distribution (the paper's goal #3 and the §2
+//! tallies).
+//!
+//! When a disk fails, every stripe with a unit on it must read all its
+//! surviving units to rebuild the lost one; layouts with sparing then
+//! write the rebuilt unit to spare space. These functions tally that
+//! work per disk over one layout period.
+
+use crate::layout::Layout;
+
+/// Reads per disk needed to rebuild the entire contents of `failed` over
+/// one layout period. Index `failed` is always 0.
+///
+/// ```
+/// use pddl_core::{Pddl, analysis::reconstruction_reads};
+///
+/// let l = Pddl::new(7, 3).unwrap();
+/// // Every surviving disk contributes equally (satisfactory permutation).
+/// let t = reconstruction_reads(&l, 0);
+/// assert_eq!(t, vec![0, 2, 2, 2, 2, 2, 2]);
+/// ```
+pub fn reconstruction_reads(layout: &dyn Layout, failed: usize) -> Vec<u64> {
+    let mut tally = vec![0u64; layout.disks()];
+    for stripe in 0..layout.stripes_per_period() {
+        let units = layout.stripe_units(stripe);
+        if units.iter().any(|u| u.addr.disk == failed) {
+            for u in &units {
+                if u.addr.disk != failed {
+                    tally[u.addr.disk] += 1;
+                }
+            }
+        }
+    }
+    tally
+}
+
+/// Spare-space writes per disk needed to store the rebuilt contents of
+/// `failed`, for layouts with sparing (empty tally otherwise).
+///
+/// In the paper's 7-disk example, rebuilding disk 0 writes once each to
+/// disks 3, 5 and 6 (left stripe) and 1, 2, 4 (right stripe).
+pub fn reconstruction_writes(layout: &dyn Layout, failed: usize) -> Vec<u64> {
+    let mut tally = vec![0u64; layout.disks()];
+    if !layout.has_sparing() {
+        return tally;
+    }
+    for stripe in 0..layout.stripes_per_period() {
+        let units = layout.stripe_units(stripe);
+        if units.iter().any(|u| u.addr.disk == failed) {
+            if let Some(spare) = layout.spare_unit(stripe, failed) {
+                tally[spare.disk] += 1;
+            }
+        }
+    }
+    tally
+}
+
+/// Does the layout meet goal #3 — is the reconstruction read workload
+/// evenly distributed over the survivors for *every* possible failed
+/// disk?
+pub fn is_reconstruction_balanced(layout: &dyn Layout) -> bool {
+    (0..layout.disks()).all(|failed| {
+        let tally = reconstruction_reads(layout, failed);
+        let survivors: Vec<u64> = (0..layout.disks())
+            .filter(|&d| d != failed)
+            .map(|d| tally[d])
+            .collect();
+        tally[failed] == 0 && survivors.iter().all(|&t| t == survivors[0])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pddl, Raid5};
+
+    #[test]
+    fn paper_seven_disk_tallies() {
+        // §2: "Each of the surviving disks are accessed once ... and
+        // disks 3, 5 and 6 are written once" (left stripe, disk 0 fails);
+        // for the right stripe disks 1, 2, 4 are written once. Over the
+        // 7-row period that is 2 stripes/row × … scaled by rows.
+        let l = Pddl::new(7, 3).unwrap();
+        let reads = reconstruction_reads(&l, 0);
+        // Disk 0 holds 6 stripe units per 7-row period (plus one spare
+        // cell); each affected stripe reads its k − 1 = 2 survivors, and
+        // the satisfactory permutation spreads the 12 reads evenly.
+        assert_eq!(reads, vec![0, 2, 2, 2, 2, 2, 2]);
+        let writes = reconstruction_writes(&l, 0);
+        assert_eq!(writes.iter().sum::<u64>(), 6); // one per affected stripe
+        assert_eq!(writes[0], 0);
+        // Every surviving disk receives the same number of spare writes.
+        assert!(writes[1..].iter().all(|&w| w == writes[1]), "{writes:?}");
+    }
+
+    #[test]
+    fn unsatisfactory_identity_spreads_over_four_disks() {
+        // §2: identity permutation spreads reconstruction over only four
+        // disks, two of them doing double work.
+        let l = Pddl::from_base_permutations(7, 3, vec![(0..7).collect()]).unwrap();
+        let reads = reconstruction_reads(&l, 0);
+        let mut nonzero: Vec<u64> = reads.iter().copied().filter(|&t| t > 0).collect();
+        nonzero.sort_unstable();
+        // "Two of the four disks will be reading two stripe units instead
+        // of one": per period, reads land on disks 1, 2, 5, 6 with counts
+        // 4, 2, 2, 4 — a 2:1 skew.
+        assert_eq!(reads, vec![0, 4, 2, 0, 0, 2, 4]);
+        assert_eq!(nonzero, vec![2, 2, 4, 4]);
+        assert!(!is_reconstruction_balanced(&l));
+    }
+
+    #[test]
+    fn raid5_doubles_survivor_load_uniformly() {
+        let l = Raid5::new(13).unwrap();
+        assert!(is_reconstruction_balanced(&l));
+        let reads = reconstruction_reads(&l, 4);
+        // Every stripe has a unit on every disk: 13 stripes per period,
+        // each survivor read once per stripe.
+        assert!(reads.iter().enumerate().all(|(d, &t)| (d == 4) == (t == 0)));
+        assert_eq!(reads[0], 13);
+    }
+
+    #[test]
+    fn balance_holds_for_all_failed_disks() {
+        for l in [Pddl::new(13, 4).unwrap(), Pddl::new(13, 3).unwrap()] {
+            assert!(is_reconstruction_balanced(&l), "{l:?}");
+        }
+    }
+}

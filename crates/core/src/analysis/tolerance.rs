@@ -1,0 +1,123 @@
+//! Multi-failure tolerance (paper §5: PDDL "can easily accommodate
+//! multiple failure tolerant redundancy schemes" and "allows arbitrary
+//! fixed combinations of check and data blocks").
+//!
+//! With `c` check units per stripe (an MDS code such as Reed–Solomon
+//! over the stripe), a stripe survives the loss of any `c` of its units.
+//! Because every layout here places a stripe's units on distinct disks,
+//! an `m`-disk failure costs each stripe at most `m` units — so the
+//! array tolerates exactly `c` arbitrary concurrent disk failures. These
+//! functions verify that combinatorially rather than assuming it.
+
+use crate::layout::Layout;
+
+/// Does every stripe survive the simultaneous failure of all disks in
+/// `failed`? (I.e., does each stripe lose at most its check-unit count?)
+pub fn survives_failures(layout: &dyn Layout, failed: &[usize]) -> bool {
+    let c = layout.check_per_stripe();
+    (0..layout.stripes_per_period()).all(|s| {
+        let lost = layout
+            .stripe_units(s)
+            .iter()
+            .filter(|u| failed.contains(&u.addr.disk))
+            .count();
+        lost <= c
+    })
+}
+
+/// The largest `m` such that **every** `m`-subset of disks can fail
+/// without data loss, verified by exhaustive enumeration (bounded by
+/// `c + 1`, which always fails when some stripe spans `c + 1` of the
+/// failed disks).
+///
+/// For the single-check layouts of the paper this returns 1; for
+/// [`Pddl::with_check_units`](crate::Pddl::with_check_units)`(c)` it
+/// returns `c`.
+pub fn failures_tolerated(layout: &dyn Layout) -> usize {
+    let n = layout.disks();
+    let c = layout.check_per_stripe();
+    let mut m = 0;
+    while m < c {
+        let candidate = m + 1;
+        if !every_subset_survives(layout, n, candidate) {
+            break;
+        }
+        m = candidate;
+    }
+    m
+}
+
+fn every_subset_survives(layout: &dyn Layout, n: usize, m: usize) -> bool {
+    // Iterate all m-subsets of disks.
+    let mut subset: Vec<usize> = (0..m).collect();
+    loop {
+        if !survives_failures(layout, &subset) {
+            return false;
+        }
+        // Next combination.
+        let mut i = m;
+        loop {
+            if i == 0 {
+                return true;
+            }
+            i -= 1;
+            if subset[i] != i + n - m {
+                break;
+            }
+            if i == 0 {
+                return true;
+            }
+        }
+        subset[i] += 1;
+        for j in i + 1..m {
+            subset[j] = subset[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Datum, Pddl, Raid5};
+
+    #[test]
+    fn single_check_layouts_tolerate_one_failure() {
+        assert_eq!(failures_tolerated(&Pddl::new(13, 4).unwrap()), 1);
+        assert_eq!(failures_tolerated(&Raid5::new(7).unwrap()), 1);
+        assert_eq!(failures_tolerated(&Datum::new(8, 3).unwrap()), 1);
+    }
+
+    #[test]
+    fn double_check_pddl_tolerates_two() {
+        let l = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
+        assert_eq!(failures_tolerated(&l), 2);
+        // but not three: some stripe spans three of any 3 failed disks
+        // (k = 4 stripes over 13 disks: pick a stripe's 3 disks).
+        let units = l.stripe_units(0);
+        let three: Vec<usize> = units.iter().take(3).map(|u| u.addr.disk).collect();
+        assert!(!survives_failures(&l, &three));
+    }
+
+    #[test]
+    fn triple_check_pddl_tolerates_three() {
+        // k = 4, c = 3: every stripe is one data unit plus three checks.
+        let l = Pddl::new(13, 4).unwrap().with_check_units(3).unwrap();
+        assert_eq!(failures_tolerated(&l), 3);
+    }
+
+    #[test]
+    fn survives_specific_pairs() {
+        let l = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
+        for a in 0..13 {
+            for b in (a + 1)..13 {
+                assert!(survives_failures(&l, &[a, b]), "pair ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_failure_set_is_trivially_survivable() {
+        let l = Pddl::new(7, 3).unwrap();
+        assert!(survives_failures(&l, &[]));
+    }
+}

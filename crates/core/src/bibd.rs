@@ -1,0 +1,559 @@
+//! Balanced incomplete block designs (BIBDs) — the combinatorial
+//! substrate of the Parity Declustering layout (Holland & Gibson).
+//!
+//! A `(v, k, λ)`-BIBD is a family of `b` `k`-element blocks over `v`
+//! points such that every point lies in exactly `r` blocks and every
+//! *pair* of points lies in exactly `λ` blocks. Holland and Gibson's
+//! layout stores a BIBD with `v` = number of disks and `k` = stripe
+//! width as a lookup table (their designs came from a database; ours are
+//! built constructively).
+//!
+//! Constructions provided, in the order [`Bibd::new`] tries them:
+//!
+//! 1. **Cyclic difference families** — a curated table of base blocks
+//!    (including `{0, 1, 3, 9} mod 13`, the `(13, 4, 1)` planar design
+//!    matching the paper's 13-disk array) developed modulo `v`;
+//! 2. **Quadratic-residue difference sets** for primes `v ≡ 3 (mod 4)`
+//!    with `k = (v−1)/2`;
+//! 3. the **complete design** (all `k`-subsets) as a last resort.
+
+use std::fmt;
+
+use pddl_gf::is_prime;
+
+use crate::binom::{binomial, colex_unrank};
+use crate::layout::LayoutError;
+
+/// A validated `(v, k, λ)` balanced incomplete block design.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bibd {
+    v: usize,
+    k: usize,
+    lambda: usize,
+    r: usize,
+    blocks: Vec<Vec<usize>>,
+}
+
+impl fmt::Debug for Bibd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bibd")
+            .field("v", &self.v)
+            .field("k", &self.k)
+            .field("lambda", &self.lambda)
+            .field("r", &self.r)
+            .field("b", &self.blocks.len())
+            .finish()
+    }
+}
+
+/// Curated base blocks of cyclic `(v, k, 1)` difference families
+/// (developed mod `v`). Each entry is `(v, k, base blocks)`.
+const DIFFERENCE_FAMILIES: &[(usize, usize, &[&[usize]])] = &[
+    (7, 3, &[&[0, 1, 3]]),            // Fano plane
+    (13, 3, &[&[0, 1, 4], &[0, 2, 7]]),
+    (13, 4, &[&[0, 1, 3, 9]]),        // PG(2,3) — the paper's 13-disk design
+    (21, 5, &[&[0, 1, 6, 8, 18]]),    // PG(2,4)
+    (31, 6, &[&[0, 1, 3, 8, 12, 18]]), // PG(2,5)
+    (19, 3, &[&[0, 1, 4], &[0, 2, 9], &[0, 5, 11]]),
+];
+
+impl Bibd {
+    /// Build a BIBD for `v` points and block size `k`, trying the
+    /// constructions listed in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::NoKnownDesign`] when no construction applies
+    /// (in practice the complete-design fallback covers every feasible
+    /// `(v, k)` with `k ≤ v`, so this only fires for `k > v` or `k < 2`).
+    pub fn new(v: usize, k: usize) -> Result<Self, LayoutError> {
+        if k < 2 || k > v {
+            return Err(LayoutError::NoKnownDesign { disks: v, width: k });
+        }
+        if let Some(d) = Self::from_known_difference_family(v, k) {
+            return Ok(d);
+        }
+        if let Some(d) = Self::projective_plane(v, k) {
+            return Ok(d);
+        }
+        if let Some(d) = Self::affine_plane(v, k) {
+            return Ok(d);
+        }
+        if let Some(d) = Self::quadratic_residue(v, k) {
+            return Ok(d);
+        }
+        if let Some(d) = Self::search_cyclic(v, k, 0x9dd1_b1bd) {
+            return Ok(d);
+        }
+        Self::complete(v, k)
+    }
+
+    /// Look up the curated difference-family table.
+    pub fn from_known_difference_family(v: usize, k: usize) -> Option<Self> {
+        let (_, _, bases) = DIFFERENCE_FAMILIES
+            .iter()
+            .find(|&&(fv, fk, _)| fv == v && fk == k)?;
+        let bases: Vec<Vec<usize>> = bases.iter().map(|b| b.to_vec()).collect();
+        Self::develop(v, &bases).ok()
+    }
+
+    /// Develop explicit base blocks cyclically modulo `v` and validate
+    /// the result.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::NoKnownDesign`] when the developed family is not a
+    /// BIBD (pair coverage not constant).
+    pub fn develop(v: usize, base_blocks: &[Vec<usize>]) -> Result<Self, LayoutError> {
+        let k = base_blocks.first().map_or(0, |b| b.len());
+        let mut blocks = Vec::with_capacity(v * base_blocks.len());
+        for base in base_blocks {
+            for shift in 0..v {
+                let mut blk: Vec<usize> = base.iter().map(|&x| (x + shift) % v).collect();
+                blk.sort_unstable();
+                blocks.push(blk);
+            }
+        }
+        Self::validated(v, k, blocks)
+    }
+
+    /// The projective plane `PG(2, q)` over `GF(q)`, when
+    /// `v = q² + q + 1` and `k = q + 1` for a prime power `q`: points
+    /// are the 1-dimensional subspaces of `GF(q)³`, lines the
+    /// 2-dimensional ones — a `(q²+q+1, q+1, 1)` design. This covers
+    /// every "projective" Table-1-style shape: (7,3), (13,4), (21,5),
+    /// (31,6), (57,8), (73,9), (91,10), …
+    pub fn projective_plane(v: usize, k: usize) -> Option<Self> {
+        if k < 3 {
+            return None;
+        }
+        let q = k - 1;
+        if q * q + q + 1 != v {
+            return None;
+        }
+        let (p, e) = pddl_gf::is_prime_power(q as u64)?;
+        let f = pddl_gf::GfExt::new(p as usize, e).ok()?;
+        // Canonical representatives of projective points: the first
+        // non-zero coordinate is 1. Enumerate as (1, y, z), (0, 1, z),
+        // (0, 0, 1).
+        let mut points: Vec<[usize; 3]> = Vec::with_capacity(v);
+        for y in 0..q {
+            for z in 0..q {
+                points.push([1, y, z]);
+            }
+        }
+        for z in 0..q {
+            points.push([0, 1, z]);
+        }
+        points.push([0, 0, 1]);
+        debug_assert_eq!(points.len(), v);
+        // Lines are dual: for each line [a, b, c] (also projective),
+        // the incident points satisfy a·x + b·y + c·z = 0.
+        let mut blocks = Vec::with_capacity(v);
+        for line in &points {
+            let mut blk = Vec::with_capacity(k);
+            for (idx, pt) in points.iter().enumerate() {
+                let dot = f.add(
+                    f.add(f.mul(line[0], pt[0]), f.mul(line[1], pt[1])),
+                    f.mul(line[2], pt[2]),
+                );
+                if dot == 0 {
+                    blk.push(idx);
+                }
+            }
+            blocks.push(blk);
+        }
+        Self::validated(v, k, blocks).ok()
+    }
+
+    /// The affine plane `AG(2, q)` over `GF(q)`, when `v = q²` and
+    /// `k = q` for a prime power `q`: a resolvable `(q², q, 1)` design
+    /// of `q² + q` lines in `q + 1` parallel classes. Gives Parity
+    /// Declustering designs for shapes like (9,3), (16,4), (25,5),
+    /// (49,7).
+    pub fn affine_plane(v: usize, k: usize) -> Option<Self> {
+        if k < 2 || k * k != v {
+            return None;
+        }
+        let q = k;
+        let (p, e) = pddl_gf::is_prime_power(q as u64)?;
+        let f = pddl_gf::GfExt::new(p as usize, e).ok()?;
+        let point = |x: usize, y: usize| x * q + y;
+        let mut blocks = Vec::with_capacity(q * q + q);
+        // Lines y = m·x + b for each slope m and intercept b…
+        for m in 0..q {
+            for b in 0..q {
+                blocks.push(
+                    (0..q)
+                        .map(|x| point(x, f.add(f.mul(m, x), b)))
+                        .collect::<Vec<_>>(),
+                );
+            }
+        }
+        // …plus the vertical lines x = c.
+        for c in 0..q {
+            blocks.push((0..q).map(|y| point(c, y)).collect());
+        }
+        Self::validated(v, k, blocks).ok()
+    }
+
+    /// The quadratic-residue difference set for prime `v ≡ 3 (mod 4)`:
+    /// a `(v, (v−1)/2, (v−3)/4)` design.
+    pub fn quadratic_residue(v: usize, k: usize) -> Option<Self> {
+        if !is_prime(v as u64) || v % 4 != 3 || k != (v - 1) / 2 {
+            return None;
+        }
+        let mut qrs: Vec<usize> = (1..v).map(|x| x * x % v).collect();
+        qrs.sort_unstable();
+        qrs.dedup();
+        Self::develop(v, &[qrs]).ok()
+    }
+
+    /// The complete design: every `k`-subset of `v` points, in colex
+    /// order. Always a BIBD with `λ = C(v−2, k−2)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::NoKnownDesign`] when `k > v` or the design would
+    /// have more than 10⁶ blocks.
+    pub fn complete(v: usize, k: usize) -> Result<Self, LayoutError> {
+        let b = binomial(v as u64, k as u64);
+        if k > v || b > 1_000_000 {
+            return Err(LayoutError::NoKnownDesign { disks: v, width: k });
+        }
+        let blocks: Vec<Vec<usize>> = (0..b).map(|rank| colex_unrank(rank, k)).collect();
+        Self::validated(v, k, blocks)
+    }
+
+    /// Hill-climbing search for a cyclic difference family (base blocks
+    /// developed modulo `v`) with the smallest feasible `λ`, seeded and
+    /// deterministic. The paper's own base-permutation search (§3) uses
+    /// the same technique; this variant finds *block designs* so Parity
+    /// Declustering can be built for shapes without a curated entry.
+    ///
+    /// Returns `None` when the counting conditions cannot be met or the
+    /// budget runs out.
+    pub fn search_cyclic(v: usize, k: usize, seed: u64) -> Option<Self> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        if k < 2 || k >= v {
+            return None;
+        }
+        // λ(v−1) = t·k(k−1): pick the smallest λ making t integral.
+        let per_block = k * (k - 1);
+        let mut lambda = 1;
+        while !(lambda * (v - 1)).is_multiple_of(per_block) {
+            lambda += 1;
+            if lambda > per_block {
+                return None;
+            }
+        }
+        let t = lambda * (v - 1) / per_block;
+        let mut rng = StdRng::seed_from_u64(seed ^ ((v as u64) << 16) ^ k as u64);
+        let score = |blocks: &[Vec<usize>]| -> i64 {
+            let mut counts = vec![0i64; v];
+            for b in blocks {
+                for &x in b {
+                    for &y in b {
+                        if x != y {
+                            counts[(x + v - y) % v] += 1;
+                        }
+                    }
+                }
+            }
+            counts[1..]
+                .iter()
+                .map(|&c| {
+                    let d = c - lambda as i64;
+                    d * d
+                })
+                .sum()
+        };
+        for _restart in 0..20 {
+            let mut blocks: Vec<Vec<usize>> = (0..t)
+                .map(|_| {
+                    let mut b: Vec<usize> = Vec::with_capacity(k);
+                    while b.len() < k {
+                        let x = rng.gen_range(0..v);
+                        if !b.contains(&x) {
+                            b.push(x);
+                        }
+                    }
+                    b
+                })
+                .collect();
+            let mut current = score(&blocks);
+            for _ in 0..30_000 {
+                if current == 0 {
+                    break;
+                }
+                let bi = rng.gen_range(0..t);
+                let pos = rng.gen_range(0..k);
+                let old = blocks[bi][pos];
+                let candidate = rng.gen_range(0..v);
+                if blocks[bi].contains(&candidate) {
+                    continue;
+                }
+                blocks[bi][pos] = candidate;
+                let next = score(&blocks);
+                if next <= current {
+                    current = next;
+                } else {
+                    blocks[bi][pos] = old;
+                }
+            }
+            if current == 0 {
+                if let Ok(d) = Self::develop(v, &blocks) {
+                    return Some(d);
+                }
+            }
+        }
+        None
+    }
+
+    /// Validate arbitrary blocks as a BIBD.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::NoKnownDesign`] if blocks have mixed sizes, repeat
+    /// elements, leave some point or pair uncovered, or cover pairs
+    /// unevenly.
+    pub fn validated(v: usize, k: usize, blocks: Vec<Vec<usize>>) -> Result<Self, LayoutError> {
+        let fail = || LayoutError::NoKnownDesign { disks: v, width: k };
+        if blocks.is_empty() || k < 2 {
+            return Err(fail());
+        }
+        let mut pair = vec![0u64; v * v];
+        let mut point = vec![0u64; v];
+        for blk in &blocks {
+            if blk.len() != k || blk.iter().any(|&x| x >= v) {
+                return Err(fail());
+            }
+            for (i, &x) in blk.iter().enumerate() {
+                point[x] += 1;
+                for &y in &blk[i + 1..] {
+                    if y == x {
+                        return Err(fail());
+                    }
+                    pair[x * v + y] += 1;
+                    pair[y * v + x] += 1;
+                }
+            }
+        }
+        let lambda = pair[1]; // pair (0,1)
+        for x in 0..v {
+            for y in 0..v {
+                if x != y && pair[x * v + y] != lambda {
+                    return Err(fail());
+                }
+            }
+        }
+        if lambda == 0 || point.iter().any(|&c| c != point[0]) {
+            return Err(fail());
+        }
+        Ok(Self {
+            v,
+            k,
+            lambda: lambda as usize,
+            r: point[0] as usize,
+            blocks,
+        })
+    }
+
+    /// Number of points (disks), `v`.
+    pub fn points(&self) -> usize {
+        self.v
+    }
+
+    /// Block size (stripe width), `k`.
+    pub fn block_size(&self) -> usize {
+        self.k
+    }
+
+    /// Pair-coverage count `λ`.
+    pub fn lambda(&self) -> usize {
+        self.lambda
+    }
+
+    /// Replication: blocks containing each point, `r = λ(v−1)/(k−1)`.
+    pub fn replication(&self) -> usize {
+        self.r
+    }
+
+    /// The blocks, each sorted ascending.
+    pub fn blocks(&self) -> &[Vec<usize>] {
+        &self.blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fano_plane() {
+        let d = Bibd::new(7, 3).unwrap();
+        assert_eq!(d.blocks().len(), 7);
+        assert_eq!(d.lambda(), 1);
+        assert_eq!(d.replication(), 3);
+    }
+
+    #[test]
+    fn paper_thirteen_four_design() {
+        let d = Bibd::new(13, 4).unwrap();
+        assert_eq!(d.blocks().len(), 13);
+        assert_eq!(d.lambda(), 1);
+        assert_eq!(d.replication(), 4);
+        assert_eq!(d.blocks()[0], vec![0, 1, 3, 9]);
+    }
+
+    #[test]
+    fn all_curated_families_validate() {
+        for &(v, k, _) in DIFFERENCE_FAMILIES {
+            let d = Bibd::from_known_difference_family(v, k)
+                .unwrap_or_else(|| panic!("curated family ({v},{k}) is not a BIBD"));
+            assert_eq!(d.points(), v);
+            assert_eq!(d.block_size(), k);
+        }
+    }
+
+    #[test]
+    fn quadratic_residue_designs() {
+        // v = 11: QRs {1,3,4,5,9} → (11, 5, 2) design.
+        let d = Bibd::new(11, 5).unwrap();
+        assert_eq!(d.lambda(), 2);
+        assert_eq!(d.replication(), 5);
+        // v = 19, k = 9 → λ = 4.
+        let d = Bibd::new(19, 9).unwrap();
+        assert_eq!(d.lambda(), 4);
+    }
+
+    #[test]
+    fn complete_design_fallback() {
+        let d = Bibd::new(6, 3).unwrap();
+        assert_eq!(d.blocks().len(), 20);
+        assert_eq!(d.lambda(), 4); // C(4,1)
+        assert_eq!(d.replication(), 10); // C(5,2)
+    }
+
+    #[test]
+    fn fisher_inequality_and_counting_identities() {
+        for (v, k) in [(7usize, 3usize), (13, 4), (11, 5), (6, 3), (21, 5)] {
+            let d = Bibd::new(v, k).unwrap();
+            let (b, r, l) = (d.blocks().len(), d.replication(), d.lambda());
+            assert_eq!(b * k, r * v, "bk = vr");
+            assert_eq!(l * (v - 1), r * (k - 1), "λ(v−1) = r(k−1)");
+            assert!(b >= v, "Fisher's inequality");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_designs() {
+        assert!(Bibd::validated(5, 2, vec![vec![0, 1]]).is_err()); // pair (2,3) uncovered
+        assert!(Bibd::validated(4, 2, vec![vec![0, 0]]).is_err()); // repeated element
+        assert!(Bibd::validated(4, 2, vec![vec![0, 9]]).is_err()); // out of range
+        assert!(Bibd::validated(4, 3, vec![vec![0, 1]]).is_err()); // wrong size
+        assert!(Bibd::new(5, 7).is_err());
+        assert!(Bibd::new(5, 1).is_err());
+    }
+
+    #[test]
+    fn search_finds_small_cyclic_families() {
+        // (15, 7): λ = 3, one base block (a known difference set exists,
+        // e.g. the quadratic residues pattern {0,1,2,4,5,8,10}).
+        let d = Bibd::search_cyclic(15, 7, 1).expect("searchable design");
+        assert_eq!(d.points(), 15);
+        assert_eq!(d.lambda(), 3);
+        // (10, 4): λ(9) = t·12 → λ = 4, t = 3.
+        let d = Bibd::search_cyclic(10, 4, 1).expect("searchable design");
+        assert_eq!(d.lambda(), 4);
+        assert_eq!(d.blocks().len(), 30);
+    }
+
+    #[test]
+    fn search_is_deterministic_and_bounded() {
+        let a = Bibd::search_cyclic(15, 7, 9);
+        let b = Bibd::search_cyclic(15, 7, 9);
+        assert_eq!(a.map(|d| d.blocks().to_vec()), b.map(|d| d.blocks().to_vec()));
+        assert!(Bibd::search_cyclic(10, 1, 0).is_none());
+        assert!(Bibd::search_cyclic(4, 4, 0).is_none());
+    }
+
+    #[test]
+    fn new_prefers_searched_over_complete_design() {
+        // (10, 4) has no curated family and no QR set; the search keeps
+        // the design at 30 blocks instead of the complete C(10,4) = 210.
+        let d = Bibd::new(10, 4).unwrap();
+        assert!(d.blocks().len() <= 30, "got {} blocks", d.blocks().len());
+    }
+
+    #[test]
+    fn projective_planes_over_prime_and_prime_power_fields() {
+        for q in [2usize, 3, 4, 5, 7, 8, 9] {
+            let v = q * q + q + 1;
+            let k = q + 1;
+            let d = Bibd::projective_plane(v, k)
+                .unwrap_or_else(|| panic!("PG(2,{q}) must construct"));
+            assert_eq!(d.lambda(), 1, "q={q}");
+            assert_eq!(d.replication(), q + 1, "q={q}");
+            assert_eq!(d.blocks().len(), v, "q={q}");
+        }
+        // Non-prime-power order (q = 6) and shape mismatches refuse.
+        assert!(Bibd::projective_plane(43, 7).is_none());
+        assert!(Bibd::projective_plane(13, 5).is_none());
+        assert!(Bibd::projective_plane(7, 2).is_none());
+    }
+
+    #[test]
+    fn affine_planes_are_resolvable_designs() {
+        for q in [2usize, 3, 4, 5, 7, 8, 9] {
+            let d = Bibd::affine_plane(q * q, q)
+                .unwrap_or_else(|| panic!("AG(2,{q}) must construct"));
+            assert_eq!(d.lambda(), 1, "q={q}");
+            assert_eq!(d.replication(), q + 1, "q={q}");
+            assert_eq!(d.blocks().len(), q * q + q, "q={q}");
+        }
+        assert!(Bibd::affine_plane(36, 6).is_none()); // q = 6 not a prime power
+        assert!(Bibd::affine_plane(10, 3).is_none()); // not a square
+    }
+
+    #[test]
+    fn developed_pddl_blocks_form_a_near_resolvable_design() {
+        use crate::Layout;
+        // Appendix: "a PDDL with a solitary base permutation gives rise
+        // to a near resolvable design" — developing the stripe blocks of
+        // a satisfactory permutation modulo n yields an (n, k, k−1) BIBD.
+        for (n, k) in [(7usize, 3usize), (13, 4), (13, 3), (11, 5)] {
+            let l = crate::Pddl::new(n, k).unwrap();
+            let perm = &l.base_permutations()[0];
+            let g = (n - 1) / k;
+            let base_blocks: Vec<Vec<usize>> =
+                (0..g).map(|j| perm[1 + j * k..1 + (j + 1) * k].to_vec()).collect();
+            let d = Bibd::develop(n, &base_blocks)
+                .unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+            assert_eq!(d.lambda(), k - 1, "n={n} k={k}");
+            assert_eq!(d.blocks().len() as u64, l.stripes_per_period());
+        }
+        // …and an unsatisfactory permutation does NOT develop into one.
+        let bad: Vec<Vec<usize>> = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        assert!(Bibd::develop(7, &bad).is_err());
+    }
+
+    #[test]
+    fn parity_declustering_on_a_57_disk_array() {
+        use crate::layout::Layout;
+        // PG(2,7): 57 disks, stripe width 8, λ = 1 — usable directly by
+        // the Holland–Gibson layout.
+        let l = crate::ParityDeclustering::new(57, 8).unwrap();
+        assert_eq!(l.disks(), 57);
+        assert_eq!(l.period_rows(), 64); // k·r = 8·8
+    }
+
+    #[test]
+    fn complete_pairs_design_is_valid() {
+        // All pairs of 5 points: (5,2,1) with b=10, r=4.
+        let d = Bibd::complete(5, 2).unwrap();
+        assert_eq!(d.lambda(), 1);
+        assert_eq!(d.replication(), 4);
+    }
+}

@@ -1,0 +1,188 @@
+//! Binomial coefficients and the colexicographic binomial number system
+//! used by the DATUM layout.
+
+/// `C(n, k)` as `u64`, saturating at `u64::MAX` (far beyond any disk-array
+/// configuration).
+///
+/// ```
+/// assert_eq!(pddl_core::binom::binomial(13, 4), 715);
+/// assert_eq!(pddl_core::binom::binomial(3, 5), 0);
+/// ```
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+/// Colexicographic rank of a strictly increasing `k`-subset.
+///
+/// In colex order, subset `{a_1 < a_2 < … < a_k}` has rank
+/// `Σ C(a_i, i)`. This is the binomial number system DATUM uses to turn a
+/// stripe number into a set of disks without any tables.
+///
+/// ```
+/// use pddl_core::binom::{colex_rank, colex_unrank};
+/// assert_eq!(colex_rank(&[0, 1, 2, 3]), 0);
+/// assert_eq!(colex_unrank(714, 4), vec![9, 10, 11, 12]);
+/// ```
+///
+/// # Panics
+///
+/// Debug-asserts the subset is strictly increasing.
+pub fn colex_rank(subset: &[usize]) -> u64 {
+    debug_assert!(subset.windows(2).all(|w| w[0] < w[1]));
+    subset
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| binomial(a as u64, i as u64 + 1))
+        .sum()
+}
+
+/// Inverse of [`colex_rank`]: the `rank`-th `k`-subset in colex order,
+/// returned sorted ascending.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (the empty set is the only 0-subset; rank must be 0
+/// and an empty vector is returned in that case).
+pub fn colex_unrank(mut rank: u64, k: usize) -> Vec<usize> {
+    let mut out = vec![0usize; k];
+    for i in (1..=k).rev() {
+        // Largest m with C(m, i) <= rank.
+        let mut m = i as u64 - 1; // C(i-1, i) = 0 <= rank always
+        while binomial(m + 1, i as u64) <= rank {
+            m += 1;
+        }
+        out[i - 1] = m as usize;
+        rank -= binomial(m, i as u64);
+    }
+    out
+}
+
+/// Number of `k`-subsets with colex rank `< s` that contain element `d`.
+///
+/// This is the on-demand offset computation of DATUM: the unit of stripe
+/// `s` on disk `d` sits at the offset equal to how many earlier stripes
+/// (in the same period) also used disk `d`. Runs in `O(k log)` time with
+/// no tables.
+pub fn colex_count_containing(s: u64, k: usize, d: usize) -> u64 {
+    if s == 0 || k == 0 {
+        return 0;
+    }
+    // The first `s` subsets in colex order are: all subsets with maximum
+    // element < M, plus those with maximum exactly M whose (k−1)-prefix
+    // has colex rank < s − C(M, k).
+    // M = maximum element of the subset at rank s−1.
+    let mut m = k as u64 - 1;
+    while binomial(m + 1, k as u64) < s {
+        m += 1;
+    }
+    let below = s - binomial(m, k as u64); // subsets with max == M, prefix rank < below
+    let mut count = 0u64;
+    if (d as u64) < m {
+        // d inside a full block of subsets with max < M: choose the
+        // remaining k−1 elements from {0..M−1} \ {d}.
+        count += binomial(m - 1, k as u64 - 1);
+    }
+    if (d as u64) == m {
+        count += below;
+    } else if (d as u64) < m {
+        count += colex_count_containing(below, k - 1, d);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_table() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(12, 3), 220);
+        assert_eq!(binomial(52, 5), 2_598_960);
+        // Pascal identity over a range.
+        for n in 1..30u64 {
+            for k in 1..n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        let (n, k) = (13usize, 4usize);
+        let total = binomial(n as u64, k as u64);
+        let mut prev: Option<Vec<usize>> = None;
+        for r in 0..total {
+            let s = colex_unrank(r, k);
+            assert_eq!(s.len(), k);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(*s.last().unwrap() < n);
+            assert_eq!(colex_rank(&s), r);
+            if let Some(p) = prev {
+                assert_ne!(p, s);
+            }
+            prev = Some(s);
+        }
+    }
+
+    #[test]
+    fn colex_order_is_sorted_by_reverse_reading() {
+        // In colex order, comparing reversed subsets lexicographically
+        // matches rank order.
+        let k = 3;
+        let total = binomial(8, 3);
+        let mut last: Option<Vec<usize>> = None;
+        for r in 0..total {
+            let mut s = colex_unrank(r, k);
+            s.reverse();
+            if let Some(l) = &last {
+                assert!(l < &s, "colex order violated at rank {r}");
+            }
+            last = Some(s);
+        }
+    }
+
+    #[test]
+    fn count_containing_matches_enumeration() {
+        let (n, k) = (10usize, 3usize);
+        let total = binomial(n as u64, k as u64);
+        for d in 0..n {
+            let mut running = 0u64;
+            for s in 0..=total {
+                assert_eq!(
+                    colex_count_containing(s, k, d),
+                    running,
+                    "mismatch at s={s}, d={d}"
+                );
+                if s < total && colex_unrank(s, k).contains(&d) {
+                    running += 1;
+                }
+            }
+            // Every disk appears in C(n−1, k−1) subsets in a full period.
+            assert_eq!(running, binomial(n as u64 - 1, k as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn count_containing_edge_cases() {
+        assert_eq!(colex_count_containing(0, 4, 2), 0);
+        assert_eq!(colex_count_containing(5, 0, 0), 0);
+        // First subset {0,1,2}: after one subset, elements 0,1,2 counted once.
+        assert_eq!(colex_count_containing(1, 3, 0), 1);
+        assert_eq!(colex_count_containing(1, 3, 3), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The [`Layout`] trait: the contract every data layout satisfies.
+
+use std::fmt;
+
+use crate::addr::{PhysAddr, Role, StripeUnit};
+
+/// Errors constructing a layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Parameters violate the layout's shape constraint (e.g. PDDL needs
+    /// `n = g·k + 1`, RAID-5 needs `k = n`).
+    BadShape(String),
+    /// No satisfactory base permutation (or permutation group) was found
+    /// for this configuration within the search budget.
+    NoSatisfactoryPermutation { disks: usize, width: usize },
+    /// A supplied base permutation is not a permutation of `0..n`.
+    NotAPermutation,
+    /// No balanced incomplete block design is known for this shape.
+    NoKnownDesign { disks: usize, width: usize },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::BadShape(msg) => write!(f, "bad layout shape: {msg}"),
+            LayoutError::NoSatisfactoryPermutation { disks, width } => write!(
+                f,
+                "no satisfactory base permutation found for n={disks}, k={width}"
+            ),
+            LayoutError::NotAPermutation => {
+                write!(f, "base permutation is not a permutation of the disks")
+            }
+            LayoutError::NoKnownDesign { disks, width } => {
+                write!(f, "no block design known for v={disks}, k={width}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// A single-failure-tolerating disk-array data layout.
+///
+/// The trait exposes the *geometry* of a layout — where every data unit,
+/// check unit and spare unit of every stripe lives — from which the
+/// [`plan`](crate::plan) module derives physical I/O plans and the
+/// [`analysis`](crate::analysis) module derives the paper's metrics.
+///
+/// # Addressing model
+///
+/// Client data is a linear space of *data units* `0, 1, 2, …`. Each data
+/// unit belongs to exactly one reliability *stripe*; stripes are numbered
+/// `0, 1, 2, …` and contain [`Layout::data_per_stripe`] data units plus
+/// [`Layout::check_per_stripe`] check units. The layout repeats after
+/// [`Layout::period_rows`] stripe-unit rows per disk.
+///
+/// Implementations must uphold:
+///
+/// * **single-failure correcting** — units of one stripe land on distinct
+///   disks (checked by [`analysis::check_goal1`](crate::analysis)),
+/// * offsets on each disk within one period are `0..period_rows` with no
+///   collisions between units of different stripes.
+pub trait Layout: fmt::Debug + Send + Sync {
+    /// Short human-readable name ("PDDL", "RAID-5", …).
+    fn name(&self) -> &str;
+
+    /// Number of disks `n` in the array.
+    fn disks(&self) -> usize;
+
+    /// Stripe width `k` (data + check units per stripe).
+    fn stripe_width(&self) -> usize;
+
+    /// Check units per stripe (`c`, usually 1).
+    fn check_per_stripe(&self) -> usize {
+        1
+    }
+
+    /// Data units per stripe, `k − c`.
+    fn data_per_stripe(&self) -> usize {
+        self.stripe_width() - self.check_per_stripe()
+    }
+
+    /// Rows (stripe units per disk) in one repeating layout pattern —
+    /// the *period* of the layout (Table 3 of the paper).
+    fn period_rows(&self) -> u64;
+
+    /// Number of complete stripes in one layout pattern.
+    fn stripes_per_period(&self) -> u64;
+
+    /// Client data units in one layout pattern.
+    fn data_units_per_period(&self) -> u64 {
+        self.stripes_per_period() * self.data_per_stripe() as u64
+    }
+
+    /// Does the layout embed distributed spare space (goal #7)?
+    fn has_sparing(&self) -> bool {
+        false
+    }
+
+    /// Map a logical data unit to `(stripe, index-within-stripe)`.
+    ///
+    /// The default is stripe-major: consecutive data units fill one
+    /// stripe before moving to the next. PDDL overrides this with its
+    /// row-major virtual-disk interface.
+    fn locate(&self, logical: u64) -> (u64, usize) {
+        let d = self.data_per_stripe() as u64;
+        (logical / d, (logical % d) as usize)
+    }
+
+    /// Physical address of data unit `index` of `stripe`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `index >= data_per_stripe()`.
+    fn data_unit(&self, stripe: u64, index: usize) -> PhysAddr;
+
+    /// Physical address of check unit `index` of `stripe`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `index >= check_per_stripe()`.
+    fn check_unit(&self, stripe: u64, index: usize) -> PhysAddr;
+
+    /// Physical address of the spare unit that receives the reconstructed
+    /// content of `stripe`'s unit lost on `failed_disk`, for layouts with
+    /// sparing. `None` when the layout has no spare space or the stripe
+    /// has no unit on `failed_disk`.
+    fn spare_unit(&self, _stripe: u64, _failed_disk: usize) -> Option<PhysAddr> {
+        None
+    }
+
+    /// All units of a stripe: data units in order, then check units.
+    fn stripe_units(&self, stripe: u64) -> Vec<StripeUnit> {
+        let mut v = Vec::with_capacity(self.stripe_width());
+        for i in 0..self.data_per_stripe() {
+            v.push(StripeUnit {
+                addr: self.data_unit(stripe, i),
+                role: Role::Data,
+                index: i,
+            });
+        }
+        for i in 0..self.check_per_stripe() {
+            v.push(StripeUnit {
+                addr: self.check_unit(stripe, i),
+                role: Role::Check,
+                index: i,
+            });
+        }
+        v
+    }
+
+    /// Physical address of a logical data unit (convenience composition
+    /// of [`Layout::locate`] and [`Layout::data_unit`]).
+    fn locate_phys(&self, logical: u64) -> PhysAddr {
+        let (s, i) = self.locate(logical);
+        self.data_unit(s, i)
+    }
+
+    /// Fraction of raw capacity consumed by check units.
+    fn parity_overhead(&self) -> f64 {
+        let per_stripe_units = self.stripes_per_period() * self.stripe_width() as u64;
+        let check = self.stripes_per_period() * self.check_per_stripe() as u64;
+        let total = self.period_rows() * self.disks() as u64;
+        debug_assert!(per_stripe_units <= total);
+        check as f64 / total as f64
+    }
+
+    /// Fraction of raw capacity reserved as spare space.
+    fn spare_overhead(&self) -> f64 {
+        let total = self.period_rows() * self.disks() as u64;
+        let used = self.stripes_per_period() * self.stripe_width() as u64;
+        if self.has_sparing() {
+            (total - used) as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Approximate bytes of tables the mapping function needs at run time
+    /// (Table 3's "Table Size" column).
+    fn mapping_table_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy two-disk mirror used to exercise trait defaults.
+    #[derive(Debug)]
+    struct Mirror;
+
+    impl Layout for Mirror {
+        fn name(&self) -> &str {
+            "mirror"
+        }
+        fn disks(&self) -> usize {
+            2
+        }
+        fn stripe_width(&self) -> usize {
+            2
+        }
+        fn period_rows(&self) -> u64 {
+            1
+        }
+        fn stripes_per_period(&self) -> u64 {
+            1
+        }
+        fn data_unit(&self, stripe: u64, _index: usize) -> PhysAddr {
+            PhysAddr::new(0, stripe)
+        }
+        fn check_unit(&self, stripe: u64, _index: usize) -> PhysAddr {
+            PhysAddr::new(1, stripe)
+        }
+    }
+
+    #[test]
+    fn trait_defaults() {
+        let m = Mirror;
+        assert_eq!(m.data_per_stripe(), 1);
+        assert_eq!(m.data_units_per_period(), 1);
+        assert_eq!(m.locate(5), (5, 0));
+        assert_eq!(m.locate_phys(5), PhysAddr::new(0, 5));
+        assert!(!m.has_sparing());
+        assert_eq!(m.spare_unit(0, 0), None);
+        let units = m.stripe_units(3);
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].role, Role::Data);
+        assert_eq!(units[1].role, Role::Check);
+        assert!((m.parity_overhead() - 0.5).abs() < 1e-12);
+        assert_eq!(m.spare_overhead(), 0.0);
+        assert_eq!(m.mapping_table_bytes(), 0);
+    }
+
+    #[test]
+    fn layout_error_display() {
+        let e = LayoutError::NoSatisfactoryPermutation { disks: 12, width: 5 };
+        assert!(e.to_string().contains("n=12"));
+        assert!(LayoutError::NotAPermutation.to_string().contains("permutation"));
+        assert!(LayoutError::BadShape("x".into()).to_string().contains("x"));
+        let d = LayoutError::NoKnownDesign { disks: 13, width: 4 };
+        assert!(d.to_string().contains("v=13"));
+    }
+}

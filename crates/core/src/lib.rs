@@ -1,0 +1,60 @@
+//! Disk-array data layouts: PDDL and the comparators it is evaluated
+//! against in the HPCA 1999 paper.
+//!
+//! A *data layout* maps a linear space of client **data units** onto an
+//! array of `n` disks, organized in **reliability stripes** of `k` stripe
+//! units (`k − c` data units plus `c` check units, usually `c = 1`), such
+//! that the loss of any single disk can be repaired from the surviving
+//! units. *Declustered* layouts use `k ≪ n` so the repair work spreads
+//! over all survivors.
+//!
+//! # Layouts
+//!
+//! | Type | Paper role | Mapping mechanism |
+//! |------|-----------|-------------------|
+//! | [`Pddl`] | the contribution | base-permutation development over `GF(n)` |
+//! | [`Raid5`] | maximal-parallelism baseline | left-symmetric rotation |
+//! | [`ParityDeclustering`] | BIBD-table baseline (Holland–Gibson) | block-design table + parity rotation |
+//! | [`Datum`] | heavy-workload baseline (Alvarez et al.) | binomial number system |
+//! | [`PrimeLayout`] | near-optimal-parallelism baseline | multiplier phases modulo a prime |
+//! | [`PseudoRandom`] | Merchant–Yu scheme (Table 3) | keyed pseudo-random row permutations |
+//!
+//! All layouts implement the [`Layout`] trait; [`plan`] turns logical
+//! accesses into physical I/O plans (fault-free, degraded, and
+//! post-reconstruction modes) and [`analysis`] verifies the paper's eight
+//! ideal-layout goals, computes disk working sets (Figure 3) and
+//! reconstruction-workload distributions.
+//!
+//! ```
+//! use pddl_core::{Layout, Pddl};
+//! use pddl_core::analysis::reconstruction_reads;
+//!
+//! let l = Pddl::new(7, 3).unwrap();
+//! // Reconstruction workload after disk 0 fails is perfectly balanced:
+//! let tally = reconstruction_reads(&l, 0);
+//! assert!((1..7).all(|d| tally[d] == tally[1]));
+//! ```
+
+pub mod addr;
+pub mod analysis;
+pub mod bibd;
+pub mod binom;
+pub mod datum;
+pub mod layout;
+pub mod parity_decl;
+pub mod pddl;
+pub mod plan;
+pub mod prime_layout;
+pub mod pseudo_random;
+pub mod raid5;
+pub mod reliability;
+
+pub use addr::{PhysAddr, Role, StripeUnit};
+pub use datum::Datum;
+pub use layout::{Layout, LayoutError};
+pub use parity_decl::ParityDeclustering;
+pub use pddl::Pddl;
+pub use plan::{plan_access, plan_access_with_policy, AccessPlan, Mode, Op, WritePolicy};
+pub use prime_layout::PrimeLayout;
+pub use pseudo_random::PseudoRandom;
+pub use raid5::Raid5;

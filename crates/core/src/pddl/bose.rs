@@ -1,0 +1,172 @@
+//! The Bose construction of satisfactory base permutations (paper §3).
+//!
+//! For a prime (or prime-power) number of disks `n = g·k + 1`, pick a
+//! primitive element `ω` of `GF(n)` and deal the non-zero field elements
+//! round-robin into the `g` stripe blocks:
+//!
+//! ```text
+//! B_i = { ω^(i-1), ω^(g+i-1), …, ω^((k-1)g+i-1) },   i = 1..g
+//! ```
+//!
+//! The base permutation is `(0, B_1, B_2, …, B_g)`. The blocks form a
+//! difference family (a near-resolvable design), so the permutation is
+//! always satisfactory.
+
+use pddl_gf::{pow_mod, primitive_root, GfExt};
+
+/// Bose construction for prime `n`, with the smallest primitive root.
+///
+/// For the paper's 7-disk example (`g = 2`, `k = 3`, ω = 3) this yields
+/// exactly `(0 1 2 4 3 6 5)`.
+///
+/// # Panics
+///
+/// Panics if `n` is not prime or `n != g*k + 1`.
+pub fn bose_permutation(n: usize, g: usize, k: usize) -> Vec<usize> {
+    let omega = primitive_root(n as u64)
+        .unwrap_or_else(|| panic!("{n} is not prime; use the GF or search constructions"));
+    bose_permutation_with_root(n, g, k, omega as usize)
+}
+
+/// Bose construction for prime `n` with an explicit primitive root.
+///
+/// Different primitive roots give different (all satisfactory) physical
+/// layouts; the paper's examples use ω = 3 for n = 7.
+///
+/// # Panics
+///
+/// Panics if `n != g*k + 1` or `omega` is not primitive mod `n`.
+pub fn bose_permutation_with_root(n: usize, g: usize, k: usize, omega: usize) -> Vec<usize> {
+    assert_eq!(g * k + 1, n, "Bose needs n = g*k + 1");
+    let mut perm = Vec::with_capacity(n);
+    perm.push(0);
+    for i in 0..g {
+        for j in 0..k {
+            perm.push(pow_mod(omega as u64, (j * g + i) as u64, n as u64) as usize);
+        }
+    }
+    assert_permutation(&perm, n, omega);
+    perm
+}
+
+/// Bose construction over an extension field `GF(p^e)` with `p^e = n`
+/// (paper Appendix: `n` a power of 2 uses XOR development).
+///
+/// Uses the field's own primitive element (see
+/// [`GfExt::generator`]); build the field with
+/// [`GfExt::with_modulus`] to control which one.
+///
+/// # Panics
+///
+/// Panics if `field.size() != g*k + 1`.
+pub fn bose_permutation_gf(field: &GfExt, g: usize, k: usize) -> Vec<usize> {
+    let n = field.size();
+    assert_eq!(g * k + 1, n, "Bose needs n = g*k + 1");
+    let omega = field.generator();
+    let mut perm = Vec::with_capacity(n);
+    perm.push(0);
+    for i in 0..g {
+        for j in 0..k {
+            perm.push(field.pow(omega, (j * g + i) as u64));
+        }
+    }
+    assert_permutation(&perm, n, omega);
+    perm
+}
+
+fn assert_permutation(perm: &[usize], n: usize, omega: usize) {
+    let mut seen = vec![false; n];
+    for &x in perm {
+        assert!(
+            x < n && !seen[x],
+            "ω = {omega} did not generate a permutation — not primitive?"
+        );
+        seen[x] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_seven_disk_example() {
+        // §3: n = 7, g = 2, ω = 3 → B1 = {1,2,4}, B2 = {3,6,5},
+        // base permutation (0 1 2 4 3 6 5).
+        assert_eq!(
+            bose_permutation_with_root(7, 2, 3, 3),
+            vec![0, 1, 2, 4, 3, 6, 5]
+        );
+        // The smallest primitive root of 7 is also 3.
+        assert_eq!(bose_permutation(7, 2, 3), vec![0, 1, 2, 4, 3, 6, 5]);
+    }
+
+    #[test]
+    fn thirteen_disks_width_four() {
+        let perm = bose_permutation(13, 3, 4);
+        assert_eq!(perm.len(), 13);
+        assert_eq!(perm[0], 0);
+        // ω = 2: B1 = {2^0, 2^3, 2^6, 2^9} = {1, 8, 12, 5}.
+        assert_eq!(&perm[1..5], &[1, 8, 12, 5]);
+    }
+
+    #[test]
+    fn blocks_form_difference_family() {
+        for (n, g, k) in [(7usize, 2usize, 3usize), (13, 3, 4), (13, 4, 3), (11, 2, 5), (31, 5, 6)] {
+            let perm = bose_permutation(n, g, k);
+            let mut tally = vec![0usize; n];
+            for b in 0..g {
+                let block = &perm[1 + b * k..1 + (b + 1) * k];
+                for &x in block {
+                    for &y in block {
+                        if x != y {
+                            tally[(x + n - y) % n] += 1;
+                        }
+                    }
+                }
+            }
+            assert!(
+                tally[1..].iter().all(|&t| t == k - 1),
+                "n={n} g={g} k={k}: {tally:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not prime")]
+    fn composite_panics() {
+        let _ = bose_permutation(9, 2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "n = g*k + 1")]
+    fn shape_mismatch_panics() {
+        let _ = bose_permutation(7, 2, 2);
+    }
+
+    #[test]
+    fn gf_blocks_form_difference_family() {
+        for (p, e, g, k) in [(2usize, 3u32, 1usize, 7usize), (3, 2, 2, 4), (2, 4, 3, 5), (5, 2, 4, 6)] {
+            let field = GfExt::new(p, e).unwrap();
+            let n = field.size();
+            let perm = bose_permutation_gf(&field, g, k);
+            let mut tally = vec![0usize; n];
+            for b in 0..g {
+                let block = &perm[1 + b * k..1 + (b + 1) * k];
+                for &x in block {
+                    for &y in block {
+                        if x != y {
+                            tally[field.sub(x, y)] += 1;
+                        }
+                    }
+                }
+            }
+            assert!(
+                tally[1..].iter().all(|&t| t == k - 1),
+                "GF({}^{}) g={g} k={k}: {tally:?}",
+                p,
+                e
+            );
+        }
+    }
+}

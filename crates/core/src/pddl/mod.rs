@@ -1,0 +1,884 @@
+//! The Permutation Development Data Layout — the paper's contribution.
+//!
+//! PDDL maps a *virtual RAID Level 4* array onto the physical array by
+//! developing one or more **base permutations**: stripe-unit row `l` of
+//! virtual column `d` lands on physical disk
+//!
+//! ```text
+//! physical(d, l) = π[d] ⊕ l          (⊕ = GF(n) addition)
+//! ```
+//!
+//! Virtual column 0 is distributed spare space; the `g` stripes occupy
+//! columns `1 + j·k .. (j+1)·k`, the last `c` columns of each stripe
+//! being its check units. Because every developed column visits every
+//! disk exactly once per period, spare, check, and data space are all
+//! perfectly distributed (goals #1, #2, #4, #6, #7 hold for *any* base
+//! permutation); the reconstruction workload (goal #3) is balanced
+//! exactly when the permutation's stripe blocks form a difference family
+//! — a *satisfactory* base permutation.
+
+pub mod bose;
+pub mod search;
+pub mod wrapping;
+
+use std::fmt;
+
+use pddl_gf::{is_prime, is_prime_power, DevelopmentGroup, GfExt, ModularGroup};
+
+use crate::addr::PhysAddr;
+use crate::layout::{Layout, LayoutError};
+
+/// The additive structure a PDDL layout develops over: plain modular
+/// addition for prime (or searched composite) `n`, or `GF(p^e)` addition
+/// for prime-power `n` (XOR when `n = 2^m`).
+#[derive(Debug, Clone)]
+pub enum Development {
+    /// Addition modulo `n`.
+    Modular(ModularGroup),
+    /// Field addition in `GF(p^e)` (digit-wise mod-`p`; XOR for `p = 2`).
+    Field(GfExt),
+}
+
+impl Development {
+    fn order(&self) -> usize {
+        match self {
+            Development::Modular(g) => g.order(),
+            Development::Field(f) => f.size(),
+        }
+    }
+
+    fn add(&self, a: usize, b: usize) -> usize {
+        match self {
+            Development::Modular(g) => g.add(a, b),
+            Development::Field(f) => f.add(a, b),
+        }
+    }
+
+    /// Group subtraction `a ⊖ b` (used by the satisfaction test).
+    fn sub(&self, a: usize, b: usize) -> usize {
+        match self {
+            Development::Modular(g) => {
+                let n = g.order();
+                (a + n - b) % n
+            }
+            Development::Field(f) => f.sub(a, b),
+        }
+    }
+}
+
+/// The PDDL data layout.
+///
+/// ```
+/// use pddl_core::{Layout, Pddl};
+///
+/// // The paper's 7-disk storage server: g = 2 stripes of width k = 3,
+/// // base permutation (0 1 2 4 3 6 5) from Figure 2.
+/// let l = Pddl::from_base_permutations(7, 3, vec![vec![0, 1, 2, 4, 3, 6, 5]]).unwrap();
+/// // Row 0 maps virtual column 3 (check unit of stripe A) to disk 4:
+/// assert_eq!(l.develop(3, 0), 4);
+/// // and row 1 maps it to disk 5 — permutation development.
+/// assert_eq!(l.develop(3, 1), 5);
+/// assert!(l.is_satisfactory());
+///
+/// // `Pddl::new` uses the same Bose blocks but clusters the check
+/// // columns next to the spare disk (see below) — still satisfactory.
+/// assert!(Pddl::new(7, 3).unwrap().is_satisfactory());
+/// ```
+#[derive(Clone)]
+pub struct Pddl {
+    n: usize,
+    k: usize,
+    g: usize,
+    c: usize,
+    /// Spare columns (virtual columns 0..s are spare space).
+    s: usize,
+    perms: Vec<Vec<usize>>,
+    dev: Development,
+}
+
+impl fmt::Debug for Pddl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pddl")
+            .field("n", &self.n)
+            .field("k", &self.k)
+            .field("g", &self.g)
+            .field("check_units", &self.c)
+            .field("spare_disks", &self.s)
+            .field("base_permutations", &self.perms)
+            .finish()
+    }
+}
+
+impl Pddl {
+    /// Build a PDDL layout for `n` disks with stripe width `k`
+    /// (`n = g·k + 1` for some `g ≥ 1`), choosing the construction the
+    /// paper prescribes:
+    ///
+    /// 1. `n` prime → Bose construction (always satisfactory),
+    /// 2. `n` a prime power → Bose construction over `GF(p^e)`,
+    /// 3. otherwise → deterministic hill-climbing search for a solitary
+    ///    satisfactory permutation, escalating to groups of up to 4 base
+    ///    permutations (Table 1).
+    ///
+    /// # Check-column clustering
+    ///
+    /// Within each block the choice of which element becomes the check
+    /// column is free (it does not affect goals #1–#4, #6, #7). `new`
+    /// reorders each block so the check columns develop onto disks
+    /// adjacent to the spare disk, which keeps the working set of large
+    /// accesses below `n` — the behaviour Figure 3 of the paper shows
+    /// for PDDL. Use the explicit constructors to skip this.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::BadShape`] if `n ≠ g·k + 1`;
+    /// [`LayoutError::NoSatisfactoryPermutation`] if the search fails.
+    pub fn new(n: usize, k: usize) -> Result<Self, LayoutError> {
+        let g = Self::shape(n, k)?;
+        if is_prime(n as u64) {
+            let mut perm = bose::bose_permutation(n, g, k);
+            cluster_check_elements(&mut perm, n, g, k);
+            return Self::from_parts(
+                n,
+                k,
+                vec![perm],
+                Development::Modular(ModularGroup::new(n)),
+            );
+        }
+        if let Some((p, e)) = is_prime_power(n as u64) {
+            let field = GfExt::new(p as usize, e)
+                .map_err(|err| LayoutError::BadShape(format!("GF({n}) construction: {err}")))?;
+            let perm = bose::bose_permutation_gf(&field, g, k);
+            return Self::from_parts(n, k, vec![perm], Development::Field(field));
+        }
+        let mut perms = search::find_base_permutations(n, k, search::SearchBudget::default())
+            .ok_or(LayoutError::NoSatisfactoryPermutation { disks: n, width: k })?;
+        for perm in &mut perms {
+            cluster_check_elements(perm, n, g, k);
+        }
+        Self::from_parts(n, k, perms, Development::Modular(ModularGroup::new(n)))
+    }
+
+    /// Build from explicit base permutations with modular development.
+    ///
+    /// The permutations are *not* required to be satisfactory (the paper
+    /// discusses unsatisfactory ones such as the identity); use
+    /// [`Pddl::is_satisfactory`] to check.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::NotAPermutation`] if any `perm` is not a
+    /// permutation of `0..n`; [`LayoutError::BadShape`] on shape errors.
+    pub fn from_base_permutations(
+        n: usize,
+        k: usize,
+        perms: Vec<Vec<usize>>,
+    ) -> Result<Self, LayoutError> {
+        Self::shape(n, k)?;
+        Self::from_parts(n, k, perms, Development::Modular(ModularGroup::new(n)))
+    }
+
+    /// Build from explicit base permutations developed over a supplied
+    /// field (the paper's `n = 2^m` XOR variant, or any `GF(p^e)`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Pddl::from_base_permutations`], plus [`LayoutError::BadShape`]
+    /// if the field size does not equal `n`.
+    pub fn from_base_permutations_gf(
+        n: usize,
+        k: usize,
+        perms: Vec<Vec<usize>>,
+        field: GfExt,
+    ) -> Result<Self, LayoutError> {
+        Self::shape(n, k)?;
+        if field.size() != n {
+            return Err(LayoutError::BadShape(format!(
+                "field size {} does not match disk count {n}",
+                field.size()
+            )));
+        }
+        Self::from_parts(n, k, perms, Development::Field(field))
+    }
+
+    /// Use `c` check units per stripe instead of 1 (the paper: "PDDL can
+    /// be adjusted to schemes using more than one check block per
+    /// stripe"). The last `c` columns of each stripe become check units.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::BadShape`] unless `1 ≤ c < k`.
+    pub fn with_check_units(mut self, c: usize) -> Result<Self, LayoutError> {
+        if c == 0 || c >= self.k {
+            return Err(LayoutError::BadShape(format!(
+                "need 1 <= check units < stripe width, got c={c}, k={}",
+                self.k
+            )));
+        }
+        self.c = c;
+        Ok(self)
+    }
+
+    fn shape(n: usize, k: usize) -> Result<usize, LayoutError> {
+        if k < 2 {
+            return Err(LayoutError::BadShape(format!(
+                "stripe width must be at least 2, got {k}"
+            )));
+        }
+        if n <= k || !(n - 1).is_multiple_of(k) {
+            return Err(LayoutError::BadShape(format!(
+                "PDDL needs n = g*k + 1; got n={n}, k={k}"
+            )));
+        }
+        Ok((n - 1) / k)
+    }
+
+    fn from_parts(
+        n: usize,
+        k: usize,
+        perms: Vec<Vec<usize>>,
+        dev: Development,
+    ) -> Result<Self, LayoutError> {
+        Self::from_parts_with_spares(n, k, 1, perms, dev)
+    }
+
+    fn from_parts_with_spares(
+        n: usize,
+        k: usize,
+        s: usize,
+        perms: Vec<Vec<usize>>,
+        dev: Development,
+    ) -> Result<Self, LayoutError> {
+        if perms.is_empty() {
+            return Err(LayoutError::BadShape("need at least one base permutation".into()));
+        }
+        for p in &perms {
+            if p.len() != n {
+                return Err(LayoutError::NotAPermutation);
+            }
+            let mut seen = vec![false; n];
+            for &x in p {
+                if x >= n || seen[x] {
+                    return Err(LayoutError::NotAPermutation);
+                }
+                seen[x] = true;
+            }
+        }
+        debug_assert_eq!(dev.order(), n);
+        let g = (n - s) / k;
+        Ok(Self {
+            n,
+            k,
+            g,
+            c: 1,
+            s,
+            perms,
+            dev,
+        })
+    }
+
+    /// The base permutations (length-`n` arrays; index = virtual column).
+    pub fn base_permutations(&self) -> &[Vec<usize>] {
+        &self.perms
+    }
+
+    /// Number of stripes per row, `g`.
+    pub fn stripes_per_row(&self) -> usize {
+        self.g
+    }
+
+    /// Number of distributed spare disks' worth of space, `s`.
+    pub fn spare_disks(&self) -> usize {
+        self.s
+    }
+
+    /// Build a PDDL layout with `s ≥ 1` distributed spare disks (paper
+    /// §5: "PDDL can even be altered to have more than one spare disk").
+    /// Requires `n = g·k + s`; the base permutations (and which elements
+    /// serve as spare columns) come from the hill-climbing search, with
+    /// the group size chosen so exact reconstruction balance is
+    /// arithmetically possible.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::BadShape`] on shape violations;
+    /// [`LayoutError::NoSatisfactoryPermutation`] when the search fails.
+    pub fn with_spare_disks(n: usize, k: usize, s: usize) -> Result<Self, LayoutError> {
+        if s == 0 {
+            return Err(LayoutError::BadShape("need at least one spare".into()));
+        }
+        if s == 1 {
+            return Self::new(n, k);
+        }
+        if k < 2 || n <= s || !(n - s).is_multiple_of(k) {
+            return Err(LayoutError::BadShape(format!(
+                "multi-spare PDDL needs n = g*k + s; got n={n}, k={k}, s={s}"
+            )));
+        }
+        // The group size must satisfy (n−1) | p·g·k(k−1); allow the
+        // search to go as deep as the smallest feasible p (capped at 8).
+        let g = (n - s) / k;
+        let p_min = (1..=8usize)
+            .find(|p| (p * g * k * (k - 1)).is_multiple_of(n - 1))
+            .ok_or(LayoutError::NoSatisfactoryPermutation { disks: n, width: k })?;
+        let budget = search::SearchBudget {
+            max_group: p_min.max(search::SearchBudget::default().max_group),
+            ..search::SearchBudget::default()
+        };
+        let perms = search::find_base_permutations_with_spares(n, k, s, budget)
+            .ok_or(LayoutError::NoSatisfactoryPermutation { disks: n, width: k })?;
+        Self::from_parts_with_spares(n, k, s, perms, Development::Modular(ModularGroup::new(n)))
+    }
+
+    /// The development group used by the mapping function.
+    pub fn development(&self) -> &Development {
+        &self.dev
+    }
+
+    /// The paper's `virtual2physical`: which physical disk holds the
+    /// stripe unit of virtual column `col` in row `row`.
+    ///
+    /// With `p` base permutations, row `l` uses permutation `l mod p`
+    /// developed by offset `⌊l/p⌋ mod n`, giving the period `p·n`.
+    pub fn develop(&self, col: usize, row: u64) -> usize {
+        let p = self.perms.len() as u64;
+        let perm = &self.perms[(row % p) as usize];
+        let offset = ((row / p) % self.n as u64) as usize;
+        self.dev.add(perm[col], offset)
+    }
+
+    /// Virtual column of data unit `index` of the row-local stripe `j`.
+    fn data_col(&self, j: usize, index: usize) -> usize {
+        debug_assert!(j < self.g && index < self.k - self.c);
+        self.s + j * self.k + index
+    }
+
+    /// Virtual column of check unit `index` of the row-local stripe `j`.
+    fn check_col(&self, j: usize, index: usize) -> usize {
+        debug_assert!(j < self.g && index < self.c);
+        self.s + j * self.k + (self.k - self.c) + index
+    }
+
+    /// Decompose a global stripe number into `(row, row-local stripe)`.
+    fn split_stripe(&self, stripe: u64) -> (u64, usize) {
+        (stripe / self.g as u64, (stripe % self.g as u64) as usize)
+    }
+
+    /// Is the base permutation (group) *satisfactory*: does it spread the
+    /// reconstruction workload evenly over all surviving disks (goal #3)?
+    ///
+    /// Equivalent to the stripe blocks of all base permutations jointly
+    /// forming a difference family: every non-zero group element must
+    /// appear exactly `p·(k−1)` times among within-block differences.
+    pub fn is_satisfactory(&self) -> bool {
+        let tally = self.difference_tally();
+        // p·g·k(k−1) differences spread over n−1 residues; balance is
+        // only possible when that divides evenly (always true for s = 1,
+        // where g·k = n−1).
+        let total = (self.perms.len() * self.g * self.k * (self.k - 1)) as u64;
+        if !total.is_multiple_of(self.n as u64 - 1) {
+            return false;
+        }
+        let expected = total / (self.n as u64 - 1);
+        tally.iter().skip(1).all(|&t| t == expected)
+    }
+
+    /// Count, for each non-zero group element `δ`, how many ordered
+    /// within-stripe pairs of the base permutations differ by `δ`.
+    /// Index 0 of the returned vector is always 0.
+    pub fn difference_tally(&self) -> Vec<u64> {
+        let mut tally = vec![0u64; self.n];
+        for perm in &self.perms {
+            for j in 0..self.g {
+                for a in 0..self.k {
+                    for b in 0..self.k {
+                        if a == b {
+                            continue;
+                        }
+                        let ca = perm[self.s + j * self.k + a];
+                        let cb = perm[self.s + j * self.k + b];
+                        tally[self.dev.sub(ca, cb)] += 1;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(tally[0], 0);
+        tally
+    }
+}
+
+
+/// The paper's Figure 17: a pair of base permutations for 55 disks and
+/// stripe width 6 (9 stripes + 1 spare) that is jointly satisfactory —
+/// each permutation alone has difference counts 4–6 per residue ("almost
+/// satisfactory"), together exactly 10. Transcribed from the figure; the
+/// printed grid's *columns* are the stripe blocks.
+pub const PAPER_FIGURE17_PAIR: [[usize; 55]; 2] = [
+    [0, 1, 18, 24, 31, 40, 48, 2, 3, 7, 11, 13, 44, 4, 19, 23, 29, 32, 47, 5, 21, 30, 33, 36, 53, 6, 17, 28, 49, 52, 54, 8, 12, 14, 22, 34, 35, 9, 10, 20, 25, 39, 46, 15, 16, 37, 42, 50, 51, 26, 27, 38, 41, 43, 45],
+    [0, 1, 2, 8, 25, 46, 54, 3, 6, 27, 32, 41, 49, 4, 11, 26, 39, 43, 45, 5, 18, 22, 24, 36, 50, 7, 10, 13, 28, 40, 52, 9, 17, 20, 30, 48, 53, 12, 31, 37, 38, 42, 47, 14, 16, 21, 29, 44, 51, 15, 19, 23, 33, 34, 35],
+];
+
+/// Reorder each block of a base permutation (modular development) so its
+/// check element — the block's last position — lands on a disk adjacent
+/// to the spare disk where possible.
+///
+/// Block membership is untouched, so the satisfaction of goal #3 is
+/// preserved; only the role assignment within blocks changes. Choosing
+/// check disks `{1, 2, 3, …}` next to the spare's `0` means that the
+/// *data* disk sets of consecutive developed rows overlap maximally,
+/// which is what keeps PDDL's large-access working sets below `n`
+/// (Figure 3 of the paper).
+pub fn cluster_check_elements(perm: &mut [usize], n: usize, g: usize, k: usize) {
+    assert_eq!(perm.len(), n, "permutation length must be n");
+    let block_of = |elem: usize| -> Option<usize> {
+        (0..g).find(|&j| perm[1 + j * k..1 + (j + 1) * k].contains(&elem))
+    };
+    let mut chosen: Vec<Option<usize>> = vec![None; g];
+    let mut remaining = g;
+    for target in 1..n {
+        if remaining == 0 {
+            break;
+        }
+        if let Some(j) = block_of(target) {
+            if chosen[j].is_none() {
+                chosen[j] = Some(target);
+                remaining -= 1;
+            }
+        }
+    }
+    for (j, check) in chosen.into_iter().enumerate() {
+        let block = &mut perm[1 + j * k..1 + (j + 1) * k];
+        let check = check.unwrap_or(block[k - 1]);
+        block.sort_unstable();
+        let pos = block.iter().position(|&x| x == check).expect("check is in block");
+        block[pos..].rotate_left(1);
+    }
+}
+
+impl Layout for Pddl {
+    fn name(&self) -> &str {
+        "PDDL"
+    }
+
+    fn disks(&self) -> usize {
+        self.n
+    }
+
+    fn stripe_width(&self) -> usize {
+        self.k
+    }
+
+    fn check_per_stripe(&self) -> usize {
+        self.c
+    }
+
+    fn period_rows(&self) -> u64 {
+        (self.perms.len() * self.n) as u64
+    }
+
+    fn stripes_per_period(&self) -> u64 {
+        self.period_rows() * self.g as u64
+    }
+
+    fn has_sparing(&self) -> bool {
+        true
+    }
+
+    /// PDDL's virtual-disk interface is *row-major*: consecutive data
+    /// units fill the data columns of one row (across all `g` stripes)
+    /// before moving to the next row. This is the paper's `virtualDisk`
+    /// function and is what makes row-aligned super-stripe accesses hit
+    /// `n − g − 1` distinct disks (goal #8).
+    fn locate(&self, logical: u64) -> (u64, usize) {
+        let data_per_row = (self.g * (self.k - self.c)) as u64;
+        let row = logical / data_per_row;
+        let rem = (logical % data_per_row) as usize;
+        let j = rem / (self.k - self.c);
+        let index = rem % (self.k - self.c);
+        (row * self.g as u64 + j as u64, index)
+    }
+
+    fn data_unit(&self, stripe: u64, index: usize) -> PhysAddr {
+        let (row, j) = self.split_stripe(stripe);
+        PhysAddr::new(self.develop(self.data_col(j, index), row), row)
+    }
+
+    fn check_unit(&self, stripe: u64, index: usize) -> PhysAddr {
+        let (row, j) = self.split_stripe(stripe);
+        PhysAddr::new(self.develop(self.check_col(j, index), row), row)
+    }
+
+    fn spare_unit(&self, stripe: u64, failed_disk: usize) -> Option<PhysAddr> {
+        let (row, j) = self.split_stripe(stripe);
+        // The stripe must actually have a unit on the failed disk.
+        let has_failed = (0..self.k)
+            .any(|u| self.develop(self.s + j * self.k + u, row) == failed_disk);
+        if !has_failed {
+            return None;
+        }
+        Some(PhysAddr::new(self.develop(0, row), row))
+    }
+
+    fn mapping_table_bytes(&self) -> usize {
+        // Table 3: p·√n? The paper states table size p·n entries ("pn").
+        self.perms.len() * self.n * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Role;
+
+    /// Figure 2: the full 7×7 physical array for base permutation
+    /// (0 1 2 4 3 6 5).
+    fn paper_seven() -> Pddl {
+        Pddl::from_base_permutations(7, 3, vec![vec![0, 1, 2, 4, 3, 6, 5]]).unwrap()
+    }
+
+    #[test]
+    fn paper_figure2_mapping() {
+        let l = paper_seven();
+        // Row 0: S A0 A1 B0 PA PB B1  (by disk 0..6)
+        // Expressed as develop(col, row):
+        // col0 (spare) -> disk 0; col1 (A0) -> 1; col2 (A1) -> 2;
+        // col3 (PA) -> 4; col4 (B0) -> 3; col5 (B1) -> 6; col6 (PB) -> 5.
+        assert_eq!(
+            (0..7).map(|c| l.develop(c, 0)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 4, 3, 6, 5]
+        );
+        // Row 1 (development by 1): paper: D1 on disk 0, S on disk 1,
+        // C0 on disk 2, C1 on disk 3, D0 on disk 4, PC on disk 5, PD on disk 6.
+        assert_eq!(l.develop(0, 1), 1); // spare
+        assert_eq!(l.develop(1, 1), 2); // C0
+        assert_eq!(l.develop(2, 1), 3); // C1
+        assert_eq!(l.develop(3, 1), 5); // PC
+        assert_eq!(l.develop(4, 1), 4); // D0
+        assert_eq!(l.develop(5, 1), 0); // D1
+        assert_eq!(l.develop(6, 1), 6); // PD
+    }
+
+    /// The mapping function given as C code in §2:
+    /// `(permutation[disk] + offset) % 7`.
+    #[test]
+    fn paper_c_snippet_equivalence() {
+        let l = paper_seven();
+        let permutation = [0usize, 1, 2, 4, 3, 6, 5];
+        for (disk, &p) in permutation.iter().enumerate() {
+            for offset in 0..21u64 {
+                assert_eq!(l.develop(disk, offset), (p + offset as usize) % 7);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_gf16_base_permutation() {
+        // Appendix: n = 16, g = 3 — base permutation
+        // 0 1 15 8 4 2 3 14 7 12 6 5 13 9 11 10 with XOR development.
+        let field = GfExt::with_modulus(2, 4, &[1, 1, 1, 1, 1]).unwrap();
+        let perm = bose::bose_permutation_gf(&field, 3, 5);
+        assert_eq!(
+            perm,
+            vec![0, 1, 15, 8, 4, 2, 3, 14, 7, 12, 6, 5, 13, 9, 11, 10]
+        );
+        let l = Pddl::from_base_permutations_gf(16, 5, vec![perm.clone()], field).unwrap();
+        assert!(l.is_satisfactory());
+        // The mapping function is XOR, per the paper's C snippet.
+        for (disk, &p) in perm.iter().enumerate() {
+            for offset in 0..16u64 {
+                assert_eq!(l.develop(disk, offset), p ^ offset as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_permutation_is_unsatisfactory() {
+        // §2: "if we use the permutation (0 1 2 3 4 5 6) ... the
+        // reconstruction workload is spread over only four disks".
+        let l = Pddl::from_base_permutations(7, 3, vec![(0..7).collect()]).unwrap();
+        assert!(!l.is_satisfactory());
+        let tally = l.difference_tally();
+        // Differences from blocks {1,2,3} and {4,5,6}: ±1 ×4, ±2 ×2.
+        assert_eq!(tally[1..].to_vec(), vec![4, 2, 0, 0, 2, 4]);
+    }
+
+    #[test]
+    fn paper_ten_disk_pair() {
+        // §2: base permutations for n = 10, k = 3.
+        let p1 = vec![0, 1, 2, 8, 3, 5, 7, 4, 6, 9];
+        let p2 = vec![0, 1, 2, 4, 3, 7, 8, 5, 6, 9];
+        let single1 = Pddl::from_base_permutations(10, 3, vec![p1.clone()]).unwrap();
+        let single2 = Pddl::from_base_permutations(10, 3, vec![p2.clone()]).unwrap();
+        assert!(!single1.is_satisfactory());
+        assert!(!single2.is_satisfactory());
+        // Paper's tallies for failed disk 0.
+        assert_eq!(
+            single1.difference_tally()[1..].to_vec(),
+            vec![1, 3, 2, 2, 2, 2, 2, 3, 1]
+        );
+        assert_eq!(
+            single2.difference_tally()[1..].to_vec(),
+            vec![3, 1, 2, 2, 2, 2, 2, 1, 3]
+        );
+        let pair = Pddl::from_base_permutations(10, 3, vec![p1, p2]).unwrap();
+        assert!(pair.is_satisfactory());
+        assert_eq!(pair.period_rows(), 20); // "a 20 row layout pattern"
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(matches!(Pddl::new(8, 3), Err(LayoutError::BadShape(_))));
+        assert!(matches!(Pddl::new(3, 1), Err(LayoutError::BadShape(_))));
+        assert!(matches!(Pddl::new(3, 3), Err(LayoutError::BadShape(_))));
+        assert!(Pddl::new(13, 4).is_ok());
+        assert!(Pddl::new(13, 3).is_ok());
+        assert!(Pddl::new(13, 6).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_permutations() {
+        assert!(matches!(
+            Pddl::from_base_permutations(7, 3, vec![vec![0; 7]]),
+            Err(LayoutError::NotAPermutation)
+        ));
+        assert!(matches!(
+            Pddl::from_base_permutations(7, 3, vec![vec![0, 1, 2]]),
+            Err(LayoutError::NotAPermutation)
+        ));
+        assert!(matches!(
+            Pddl::from_base_permutations(7, 3, vec![]),
+            Err(LayoutError::BadShape(_))
+        ));
+    }
+
+    #[test]
+    fn space_distribution_fractions() {
+        // §2: each disk holds 1/7 spare, 2/7 parity, 4/7 data.
+        let l = Pddl::new(7, 3).unwrap();
+        assert!((l.spare_overhead() - 1.0 / 7.0).abs() < 1e-12);
+        assert!((l.parity_overhead() - 2.0 / 7.0).abs() < 1e-12);
+        // §4: 13-disk config: parity 23.1%, spare 7.8% (4/52 per stripe… 3/13 and 1/13).
+        let l13 = Pddl::new(13, 4).unwrap();
+        assert!((l13.parity_overhead() - 3.0 / 13.0).abs() < 1e-12);
+        assert!((l13.spare_overhead() - 1.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_major_locate() {
+        let l = Pddl::new(7, 3).unwrap();
+        // g = 2, k − c = 2 data units per stripe, 4 data units per row.
+        assert_eq!(l.locate(0), (0, 0)); // row 0, stripe 0 (A), unit 0
+        assert_eq!(l.locate(1), (0, 1)); // A1
+        assert_eq!(l.locate(2), (1, 0)); // B0
+        assert_eq!(l.locate(3), (1, 1)); // B1
+        assert_eq!(l.locate(4), (2, 0)); // row 1 stripe C, unit C0
+        assert_eq!(l.locate(7), (3, 1)); // D1
+    }
+
+    #[test]
+    fn virtual_disk_interface_matches_paper_pseudocode() {
+        // Appendix `virtualDisk`: offset = su / (g(k-1));
+        // disk = 1 + rem + rem/(k-1).
+        let l = Pddl::new(7, 3).unwrap();
+        let (g, k) = (2u64, 3u64);
+        for su in 0..200u64 {
+            let offset = su / (g * (k - 1));
+            let mut vd = su % (g * (k - 1));
+            vd = 1 + vd + vd / (k - 1);
+            // Our locate + data_col must reach the same virtual cell.
+            let (stripe, idx) = l.locate(su);
+            let (row, j) = l.split_stripe(stripe);
+            assert_eq!(row, offset, "su={su}");
+            assert_eq!(l.data_col(j, idx) as u64, vd, "su={su}");
+        }
+    }
+
+    #[test]
+    fn stripe_units_land_on_distinct_disks() {
+        for (n, k) in [(7usize, 3usize), (13, 4), (13, 6), (11, 5)] {
+            let l = Pddl::new(n, k).unwrap();
+            for stripe in 0..l.stripes_per_period() {
+                let units = l.stripe_units(stripe);
+                assert_eq!(units.len(), k);
+                let mut disks: Vec<usize> = units.iter().map(|u| u.addr.disk).collect();
+                disks.sort_unstable();
+                disks.dedup();
+                assert_eq!(disks.len(), k, "stripe {stripe} reuses a disk");
+            }
+        }
+    }
+
+    #[test]
+    fn every_cell_of_period_used_exactly_once() {
+        let l = Pddl::new(13, 4).unwrap();
+        let n = l.disks();
+        let rows = l.period_rows();
+        // spare + all stripe units must tile the n×rows grid exactly.
+        let mut grid = vec![vec![0u32; rows as usize]; n];
+        for stripe in 0..l.stripes_per_period() {
+            for u in l.stripe_units(stripe) {
+                grid[u.addr.disk][u.addr.offset as usize] += 1;
+            }
+        }
+        // Spare cells: develop(0, row).
+        for row in 0..rows {
+            grid[l.develop(0, row)][row as usize] += 1;
+        }
+        for (d, col) in grid.iter().enumerate() {
+            for (r, &count) in col.iter().enumerate() {
+                assert_eq!(count, 1, "cell (disk {d}, row {r}) used {count} times");
+            }
+        }
+    }
+
+    #[test]
+    fn spare_unit_is_in_same_row() {
+        let l = Pddl::new(7, 3).unwrap();
+        // Paper §2 example: disk 0 fails; in (left stripe, row 3) the
+        // lost parity is stored on disk 3's spare space.
+        // Row 3, left stripe = stripe 3*g+0 = 6. Unit on disk 0?
+        let stripe = 6;
+        let units = l.stripe_units(stripe);
+        assert!(units.iter().any(|u| u.addr.disk == 0));
+        let spare = l.spare_unit(stripe, 0).unwrap();
+        assert_eq!(spare, PhysAddr::new(3, 3));
+        // A stripe without a unit on the failed disk has no spare target.
+        let no_fail = (0..l.stripes_per_period())
+            .find(|&s| l.stripe_units(s).iter().all(|u| u.addr.disk != 0))
+            .unwrap();
+        assert_eq!(l.spare_unit(no_fail, 0), None);
+    }
+
+    #[test]
+    fn multi_check_units() {
+        let l = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
+        assert_eq!(l.check_per_stripe(), 2);
+        assert_eq!(l.data_per_stripe(), 2);
+        let units = l.stripe_units(0);
+        assert_eq!(
+            units.iter().filter(|u| u.role == Role::Check).count(),
+            2
+        );
+        // Shape errors.
+        assert!(Pddl::new(13, 4).unwrap().with_check_units(0).is_err());
+        assert!(Pddl::new(13, 4).unwrap().with_check_units(4).is_err());
+    }
+
+    #[test]
+    fn check_clustering_preserves_blocks_and_satisfaction() {
+        let l = Pddl::new(13, 4).unwrap();
+        assert!(l.is_satisfactory());
+        let perm = &l.base_permutations()[0];
+        // Blocks are still the Bose cosets {1,8,12,5}, {2,3,11,10}, {4,6,9,7}.
+        let mut blocks: Vec<Vec<usize>> = (0..3)
+            .map(|j| {
+                let mut b = perm[1 + j * 4..5 + j * 4].to_vec();
+                b.sort_unstable();
+                b
+            })
+            .collect();
+        blocks.sort();
+        assert_eq!(
+            blocks,
+            vec![vec![1, 5, 8, 12], vec![2, 3, 10, 11], vec![4, 6, 7, 9]]
+        );
+        // Check columns (block-last) develop onto disks 1, 2, 4 —
+        // clustered next to the spare disk 0.
+        let mut checks: Vec<usize> = (0..3).map(|j| perm[4 + j * 4]).collect();
+        checks.sort_unstable();
+        assert_eq!(checks, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn clustering_caps_large_access_working_sets() {
+        // The point of check clustering: fault-free reads never saturate
+        // all 13 disks ("PDDL does not reach the maximum for any read
+        // size in the figure" — Figure 3).
+        use crate::analysis::mean_working_set;
+        use crate::plan::{Mode, Op};
+        let l = Pddl::new(13, 4).unwrap();
+        let ws30 = mean_working_set(&l, Mode::FaultFree, Op::Read, 30);
+        assert!(ws30 < 13.0, "30-unit reads should not saturate: {ws30}");
+    }
+
+    #[test]
+    fn paper_figure17_pair_is_jointly_satisfactory() {
+        let perms: Vec<Vec<usize>> = super::PAPER_FIGURE17_PAIR
+            .iter()
+            .map(|p| p.to_vec())
+            .collect();
+        let singles: Vec<Pddl> = perms
+            .iter()
+            .map(|p| Pddl::from_base_permutations(55, 6, vec![p.clone()]).unwrap())
+            .collect();
+        // Individually "almost satisfactory" (counts 4..6 around the
+        // target 5), jointly exact.
+        for s in &singles {
+            assert!(!s.is_satisfactory());
+            let t = s.difference_tally();
+            assert!(t[1..].iter().all(|&x| (4..=6).contains(&x)), "{t:?}");
+        }
+        let pair = Pddl::from_base_permutations(55, 6, perms).unwrap();
+        assert!(pair.is_satisfactory());
+        assert_eq!(pair.period_rows(), 110);
+    }
+
+    #[test]
+    fn multi_spare_layout_shape() {
+        let l = Pddl::with_spare_disks(11, 3, 2).expect("n=11, k=3, s=2");
+        assert_eq!(l.spare_disks(), 2);
+        assert_eq!(l.stripes_per_row(), 3);
+        assert!((l.spare_overhead() - 2.0 / 11.0).abs() < 1e-12);
+        assert!((l.parity_overhead() - 3.0 / 11.0).abs() < 1e-12);
+        assert!(l.is_satisfactory());
+        // Every period cell is used exactly once (stripe units + 2 spare
+        // cells per row).
+        let rows = l.period_rows();
+        let mut grid = vec![vec![0u32; rows as usize]; 11];
+        for stripe in 0..l.stripes_per_period() {
+            for u in l.stripe_units(stripe) {
+                grid[u.addr.disk][u.addr.offset as usize] += 1;
+            }
+        }
+        let mut spare_cells = 0u64;
+        for col in &grid {
+            for &c in col {
+                assert!(c <= 1);
+                spare_cells += u64::from(c == 0);
+            }
+        }
+        assert_eq!(spare_cells, 2 * rows);
+        // Spare cells per disk are equal (goal #7 with s = 2).
+        let goals = crate::analysis::check_goals(&l);
+        assert_eq!(goals.distributed_sparing, Some(true));
+        assert!(goals.distributed_reconstruction);
+    }
+
+    #[test]
+    fn multi_spare_shape_errors() {
+        assert!(matches!(
+            Pddl::with_spare_disks(11, 3, 0),
+            Err(LayoutError::BadShape(_))
+        ));
+        assert!(matches!(
+            Pddl::with_spare_disks(12, 3, 2),
+            Err(LayoutError::BadShape(_))
+        ));
+        // s = 1 delegates to the standard construction.
+        assert!(Pddl::with_spare_disks(13, 4, 1).is_ok());
+        // Feasible shape but infeasible balance within the p cap.
+        assert!(matches!(
+            Pddl::with_spare_disks(14, 4, 2),
+            Err(LayoutError::NoSatisfactoryPermutation { .. })
+        ));
+    }
+
+    #[test]
+    fn prime_power_construction_is_satisfactory() {
+        for (n, k) in [(8usize, 7usize), (9, 4), (16, 5), (25, 8), (27, 13), (16, 3), (32, 31)] {
+            let l = Pddl::new(n, k).unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+            assert!(l.is_satisfactory(), "n={n} k={k} not satisfactory");
+            assert!(matches!(l.development(), Development::Field(_)) || is_prime(n as u64));
+        }
+    }
+}

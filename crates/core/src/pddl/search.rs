@@ -1,0 +1,569 @@
+//! Hill-climbing search for satisfactory base permutations (paper §3,
+//! Table 1).
+//!
+//! For composite, non-prime-power `n` there is no algebraic construction;
+//! the paper reports "simple hill-climbing from random starting points"
+//! which finds solitary satisfactory permutations for most
+//! configurations and, failing that, combines *almost satisfactory*
+//! permutations into small groups whose difference multisets jointly
+//! balance. This module reproduces that search deterministically (seeded
+//! RNG), so Table 1 can be regenerated. It also generalizes to `s > 1`
+//! distributed spare disks (`n = g·k + s`), where the elements serving
+//! as spare columns are part of the search.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Effort knobs for the permutation search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchBudget {
+    /// Random restarts per group size.
+    pub restarts: usize,
+    /// Hill-climbing moves per restart.
+    pub moves: usize,
+    /// Largest base-permutation group to try (the paper uses up to ~6).
+    pub max_group: usize,
+    /// RNG seed; the search is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        Self {
+            restarts: 60,
+            moves: 40_000,
+            max_group: 4,
+            seed: 0x5eed_9dd1,
+        }
+    }
+}
+
+/// Find a satisfactory base permutation or group of base permutations for
+/// `n = g·k + 1` disks, modular development.
+///
+/// Tries group sizes `1, 2, …, max_group` in order, so the result is the
+/// smallest group the budget could find. Returns `None` when the budget
+/// is exhausted; `Some(perms)` where each permutation has the PDDL shape
+/// `(spare, B_1, …, B_g)`.
+pub fn find_base_permutations(n: usize, k: usize, budget: SearchBudget) -> Option<Vec<Vec<usize>>> {
+    find_base_permutations_with_spares(n, k, 1, budget)
+}
+
+/// As [`find_base_permutations`] but with `s` spare columns
+/// (`n = g·k + s`). Group sizes for which exact reconstruction balance
+/// is arithmetically impossible (`(n−1) ∤ p·g·k(k−1)`) are skipped.
+pub fn find_base_permutations_with_spares(
+    n: usize,
+    k: usize,
+    s: usize,
+    budget: SearchBudget,
+) -> Option<Vec<Vec<usize>>> {
+    assert!(k >= 2 && s >= 1 && n > s && (n - s).is_multiple_of(k), "need n = g*k + s");
+    let g = (n - s) / k;
+    for p in 1..=budget.max_group {
+        if !(p * g * k * (k - 1)).is_multiple_of(n - 1) {
+            continue;
+        }
+        if let Some(sol) = search_group_with_spares(n, k, s, p, &budget) {
+            return Some(sol);
+        }
+    }
+    None
+}
+
+/// Search for a group of exactly `p` base permutations whose combined
+/// difference tally is perfectly balanced (`s = 1`).
+pub fn search_group(n: usize, k: usize, p: usize, budget: &SearchBudget) -> Option<Vec<Vec<usize>>> {
+    search_group_with_spares(n, k, 1, p, budget)
+}
+
+/// As [`search_group`] with `s` spare columns. Returns `None` when the
+/// balance target is not an integer or the budget runs out.
+pub fn search_group_with_spares(
+    n: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    budget: &SearchBudget,
+) -> Option<Vec<Vec<usize>>> {
+    let g = (n - s) / k;
+    let total = p * g * k * (k - 1);
+    if !total.is_multiple_of(n - 1) {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(budget.seed ^ ((p as u64) << 32) ^ ((s as u64) << 24) ^ n as u64);
+    // For pairs whose per-permutation share is integral, use the paper's
+    // strategy: find an *almost satisfactory* permutation, then search a
+    // partner against the residual targets. Much more effective than a
+    // joint walk on large n (e.g. the n = 55 pair of Figure 17).
+    let combined = (total / (n - 1)) as i64;
+    if p == 2 && combined % 2 == 0 {
+        for _ in 0..budget.restarts {
+            // Stage 1: an almost satisfactory permutation.
+            let mut first = State::random(n, k, s, 1, &mut rng);
+            let _ = first.climb(budget.moves, &mut rng);
+            // Stage 1.5: try partners of the form B = c·A for units c.
+            // Multiplying every element by c maps difference counts to
+            // t_B(δ) = t_A(c⁻¹·δ), so the pair balances exactly when c
+            // pairs A's excess residues with its deficit residues — an
+            // O(n) check per candidate multiplier.
+            if let Some(pair) = multiplier_partner(n, &first) {
+                return Some(pair);
+            }
+            // Stage 2: a partner aimed at the residual targets.
+            let residual: Vec<i64> = std::iter::once(0)
+                .chain(first.tally[1..].iter().map(|&t| combined - t))
+                .collect();
+            let feasible = residual.iter().all(|&r| r >= 0);
+            if !feasible {
+                continue;
+            }
+            let mut second = State::random_with_target(n, k, s, 1, residual, &mut rng);
+            if second.climb(budget.moves, &mut rng) {
+                return Some(vec![
+                    first.perms.into_iter().next().expect("one permutation"),
+                    second.perms.into_iter().next().expect("one permutation"),
+                ]);
+            }
+            // Stage 3: polish both jointly from the near-miss.
+            let mut target = vec![combined; n];
+            target[0] = 0;
+            let mut joint = State::from_perms(
+                n,
+                k,
+                s,
+                vec![
+                    first.perms.into_iter().next().expect("one permutation"),
+                    second.perms.into_iter().next().expect("one permutation"),
+                ],
+                target,
+            );
+            if joint.climb(budget.moves, &mut rng) {
+                return Some(joint.perms);
+            }
+        }
+        return None;
+    }
+    for _ in 0..budget.restarts {
+        let mut state = State::random(n, k, s, p, &mut rng);
+        if state.climb(budget.moves, &mut rng) {
+            return Some(state.perms);
+        }
+    }
+    None
+}
+
+/// Joint hill-climbing state: `p` candidate permutations of `0..n` whose
+/// first `s` positions are spare columns and whose remaining positions
+/// form `g` blocks of `k`; plus the combined difference tally and the
+/// squared-error score (0 ⇔ satisfactory).
+struct State {
+    n: usize,
+    k: usize,
+    s: usize,
+    perms: Vec<Vec<usize>>,
+    tally: Vec<i64>,
+    /// Per-residue difference target (uniform for a joint search,
+    /// residual for the sequential pair strategy).
+    target: Vec<i64>,
+    score: i64,
+}
+
+impl State {
+    fn random(n: usize, k: usize, s: usize, p: usize, rng: &mut StdRng) -> Self {
+        let g = (n - s) / k;
+        let uniform = (p * g * k * (k - 1) / (n - 1)) as i64;
+        let mut target = vec![uniform; n];
+        target[0] = 0;
+        Self::random_with_target(n, k, s, p, target, rng)
+    }
+
+    fn from_perms(
+        n: usize,
+        k: usize,
+        s: usize,
+        perms: Vec<Vec<usize>>,
+        target: Vec<i64>,
+    ) -> Self {
+        let mut st = Self {
+            n,
+            k,
+            s,
+            perms,
+            tally: vec![0; n],
+            target,
+            score: 0,
+        };
+        st.recompute();
+        st
+    }
+
+    fn random_with_target(
+        n: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+        target: Vec<i64>,
+        rng: &mut StdRng,
+    ) -> Self {
+        let perms: Vec<Vec<usize>> = (0..p)
+            .map(|_| {
+                let mut v: Vec<usize> = (0..n).collect();
+                for i in (1..v.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    v.swap(i, j);
+                }
+                v
+            })
+            .collect();
+        let mut st = Self {
+            n,
+            k,
+            s,
+            perms,
+            tally: vec![0; n],
+            target,
+            score: 0,
+        };
+        st.recompute();
+        st
+    }
+
+    /// Block index of a position, `None` for spare positions.
+    fn block_of(&self, pos: usize) -> Option<usize> {
+        if pos < self.s {
+            None
+        } else {
+            Some((pos - self.s) / self.k)
+        }
+    }
+
+    fn block_start(&self, block: usize) -> usize {
+        self.s + block * self.k
+    }
+
+    fn recompute(&mut self) {
+        self.tally.iter_mut().for_each(|t| *t = 0);
+        let (n, k, s) = (self.n, self.k, self.s);
+        for perm in &self.perms {
+            for block in perm[s..].chunks(k) {
+                for &x in block {
+                    for &y in block {
+                        if x != y {
+                            self.tally[(x + n - y) % n] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.score = self
+            .tally
+            .iter()
+            .zip(&self.target)
+            .skip(1)
+            .map(|(&t, &goal)| {
+                let d = t - goal;
+                d * d
+            })
+            .sum();
+    }
+
+    /// Adjust tally[δ] by `by`, updating the score incrementally.
+    fn bump(&mut self, delta: usize, by: i64) {
+        let t = self.tally[delta];
+        let goal = self.target[delta];
+        let d0 = t - goal;
+        let d1 = t + by - goal;
+        self.score += d1 * d1 - d0 * d0;
+        self.tally[delta] = t + by;
+    }
+
+    /// Account (with sign `by`) for all ordered differences between
+    /// element `e` and the other members of the block at `block_start`,
+    /// treating position `skip` as absent.
+    fn account(&mut self, perm: usize, block_start: usize, skip: usize, e: usize, by: i64) {
+        let n = self.n;
+        for pos in block_start..block_start + self.k {
+            if pos == skip {
+                continue;
+            }
+            let x = self.perms[perm][pos];
+            self.bump((e + n - x) % n, by);
+            self.bump((x + n - e) % n, by);
+        }
+    }
+
+    /// Swap elements at positions `a` and `b` of permutation `perm`,
+    /// updating tally and score. Positions may be spare (no differences)
+    /// or block positions; same-block swaps are rejected by `climb`.
+    fn swap(&mut self, perm: usize, a: usize, b: usize) {
+        let (ea, eb) = (self.perms[perm][a], self.perms[perm][b]);
+        if let Some(ba) = self.block_of(a) {
+            self.account(perm, self.block_start(ba), a, ea, -1);
+        }
+        if let Some(bb) = self.block_of(b) {
+            self.account(perm, self.block_start(bb), b, eb, -1);
+        }
+        self.perms[perm].swap(a, b);
+        if let Some(ba) = self.block_of(a) {
+            self.account(perm, self.block_start(ba), a, eb, 1);
+        }
+        if let Some(bb) = self.block_of(b) {
+            self.account(perm, self.block_start(bb), b, ea, 1);
+        }
+    }
+
+    /// Hill climb with iterated-local-search perturbations; returns
+    /// `true` when a perfect (score 0) state is found.
+    fn climb(&mut self, moves: usize, rng: &mut StdRng) -> bool {
+        if self.score == 0 {
+            return true;
+        }
+        let stall_limit = 400 * self.n;
+        let mut stalled = 0usize;
+        let mut best = self.score;
+        for _ in 0..moves {
+            let perm = rng.gen_range(0..self.perms.len());
+            let a = rng.gen_range(0..self.n);
+            let b = rng.gen_range(0..self.n);
+            match (self.block_of(a), self.block_of(b)) {
+                (None, None) => continue,                    // spare↔spare: no-op
+                (Some(x), Some(y)) if x == y => continue,    // same block: no-op
+                _ => {}
+            }
+            let before = self.score;
+            self.swap(perm, a, b);
+            if self.score == 0 {
+                return true;
+            }
+            // Accept improving moves always, plateau moves half the time
+            // (the landscapes are full of flat regions), and mildly
+            // worsening moves occasionally — a fixed-temperature kick
+            // that lets the walk hop out of shallow local minima.
+            let keep = self.score < before
+                || (self.score == before && rng.gen_bool(0.5))
+                || (self.score <= before + 4 && rng.gen_bool(0.02));
+            if !keep {
+                self.swap(perm, a, b); // revert
+            }
+            if self.score < best {
+                best = self.score;
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= stall_limit {
+                    // Iterated local search: kick the state with a burst
+                    // of random swaps, then keep climbing.
+                    self.perturb(8, rng);
+                    best = self.score;
+                    stalled = 0;
+                }
+            }
+        }
+        false
+    }
+
+    /// Apply `count` random valid swaps unconditionally.
+    fn perturb(&mut self, count: usize, rng: &mut StdRng) {
+        let mut applied = 0;
+        while applied < count {
+            let perm = rng.gen_range(0..self.perms.len());
+            let a = rng.gen_range(0..self.n);
+            let b = rng.gen_range(0..self.n);
+            match (self.block_of(a), self.block_of(b)) {
+                (None, None) => continue,
+                (Some(x), Some(y)) if x == y => continue,
+                _ => {}
+            }
+            self.swap(perm, a, b);
+            applied += 1;
+        }
+    }
+}
+
+/// Try to complete an almost-satisfactory permutation into a balanced
+/// pair with a multiplied copy of itself (see the stage-1.5 comment in
+/// [`search_group_with_spares`]). Returns the pair on success.
+fn multiplier_partner(n: usize, first: &State) -> Option<Vec<Vec<usize>>> {
+    let combined = first.target[1] * 2;
+    let gcd = |mut a: usize, mut b: usize| {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    };
+    'mult: for c in 2..n {
+        if gcd(c, n) != 1 {
+            continue;
+        }
+        for delta in 1..n {
+            let mapped = delta * c % n;
+            if first.tally[delta] + first.tally[mapped] != combined {
+                continue 'mult;
+            }
+        }
+        let perm_a = first.perms[0].clone();
+        let perm_b: Vec<usize> = perm_a.iter().map(|&x| x * c % n).collect();
+        return Some(vec![perm_a, perm_b]);
+    }
+    None
+}
+
+/// Diagnostic hook for tuning the search: run one single-permutation
+/// climb and report the final squared-error score (0 = satisfactory).
+#[doc(hidden)]
+pub fn debug_single_climb(n: usize, k: usize, s: usize, moves: usize, seed: u64) -> i64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut st = State::random(n, k, s, 1, &mut rng);
+    let _ = st.climb(moves, &mut rng);
+    st.score
+}
+
+/// Outcome of a Table 1 cell: how the configuration is covered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Table1Entry {
+    /// `n` is prime: Bose gives a solitary satisfactory permutation.
+    Prime,
+    /// `n` is a prime power: Bose over `GF(p^e)` gives a solitary
+    /// satisfactory permutation (the paper's apostrophe entries).
+    PrimePower,
+    /// The search found a group of this many base permutations
+    /// (1 = solitary) with modular addition.
+    Searched(usize),
+    /// Budget exhausted (the paper's `?` entries).
+    Unknown,
+}
+
+impl std::fmt::Display for Table1Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Table1Entry::Prime => write!(f, "1"),
+            Table1Entry::PrimePower => write!(f, "1'"),
+            Table1Entry::Searched(p) => write!(f, "{p}"),
+            Table1Entry::Unknown => write!(f, "?"),
+        }
+    }
+}
+
+/// Classify one Table 1 cell: the smallest satisfactory base-permutation
+/// group for `g` stripes of width `k` (so `n = g·k + 1` disks).
+pub fn table1_entry(g: usize, k: usize, budget: SearchBudget) -> Table1Entry {
+    let n = g * k + 1;
+    if pddl_gf::is_prime(n as u64) {
+        return Table1Entry::Prime;
+    }
+    // Prefer a modular-addition solution (like the paper's search);
+    // fall back to the field construction for prime powers.
+    match find_base_permutations(n, k, budget) {
+        Some(perms) => Table1Entry::Searched(perms.len()),
+        None if pddl_gf::is_prime_power(n as u64).is_some() => Table1Entry::PrimePower,
+        None => Table1Entry::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pddl::Pddl;
+
+    fn assert_satisfactory(n: usize, k: usize, perms: Vec<Vec<usize>>) {
+        let l = Pddl::from_base_permutations(n, k, perms).unwrap();
+        assert!(l.is_satisfactory(), "search returned unsatisfactory group");
+    }
+
+    #[test]
+    fn finds_solitary_for_small_composites() {
+        // g = 1 cells are trivially satisfactory; the search should see that.
+        let budget = SearchBudget { restarts: 10, moves: 5_000, ..Default::default() };
+        for (n, k) in [(6usize, 5usize), (9, 8), (10, 9)] {
+            let perms = find_base_permutations(n, k, budget).expect("g=1 always solvable");
+            assert_eq!(perms.len(), 1);
+            assert_satisfactory(n, k, perms);
+        }
+    }
+
+    #[test]
+    fn finds_group_for_ten_disks_width_three() {
+        // Paper: n = 10, k = 3 needs a pair.
+        let perms = find_base_permutations(10, 3, SearchBudget::default())
+            .expect("paper exhibits a pair for n=10, k=3");
+        assert_satisfactory(10, 3, perms);
+    }
+
+    #[test]
+    fn finds_fifteen_disks_width_seven() {
+        // Table 1: k = 7, g = 2 (n = 15) reports 2 permutations.
+        let perms = find_base_permutations(15, 7, SearchBudget::default())
+            .expect("n=15, k=7 solvable within default budget");
+        assert_satisfactory(15, 7, perms);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let a = find_base_permutations(10, 3, SearchBudget::default());
+        let b = find_base_permutations(10, 3, SearchBudget::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_score_matches_recompute() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for s in [1usize, 2] {
+            let (n, k) = (4 * 3 + s, 3); // g = 4 blocks of 3
+            let mut st = State::random(n, k, s, 2, &mut rng);
+            for _ in 0..500 {
+                let perm = rng.gen_range(0..2);
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                match (st.block_of(a), st.block_of(b)) {
+                    (None, None) => continue,
+                    (Some(x), Some(y)) if x == y => continue,
+                    _ => {}
+                }
+                st.swap(perm, a, b);
+                let (incr_score, incr_tally) = (st.score, st.tally.clone());
+                st.recompute();
+                assert_eq!(st.score, incr_score, "s={s}");
+                assert_eq!(st.tally, incr_tally, "s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_spare_search_finds_balanced_groups() {
+        // n = 11, k = 3, s = 2 (g = 3): exact balance needs
+        // (n−1) | p·g·k(k−1) → 10 | 18p → p = 5.
+        let budget = SearchBudget { max_group: 5, ..Default::default() };
+        let perms = find_base_permutations_with_spares(11, 3, 2, budget)
+            .expect("n=11, k=3, s=2 solvable with a group of 5");
+        assert_eq!(perms.len(), 5);
+        let l = Pddl::with_spare_disks(11, 3, 2).expect("multi-spare layout");
+        assert!(l.is_satisfactory());
+    }
+
+    #[test]
+    fn infeasible_balance_is_rejected_quickly() {
+        // n = 14, k = 4, s = 2 (g = 3): 13 | 36p only for p = 13 — out of
+        // reach of max_group, so the search must return None immediately.
+        let budget = SearchBudget { max_group: 4, ..Default::default() };
+        assert_eq!(find_base_permutations_with_spares(14, 4, 2, budget), None);
+    }
+
+    #[test]
+    fn table1_classifies_primes_and_prime_powers() {
+        // k=6, g=1 → n=7 prime.
+        assert_eq!(
+            table1_entry(1, 6, SearchBudget { restarts: 2, moves: 100, ..Default::default() }),
+            Table1Entry::Prime
+        );
+        // k=7, g=5 → n=36; zero budget forces the prime-power check to
+        // be skipped (36 is not a prime power) → Unknown.
+        let zero = SearchBudget { restarts: 0, moves: 0, max_group: 1, ..Default::default() };
+        assert_eq!(table1_entry(5, 7, zero), Table1Entry::Unknown);
+        // k=8, g=3 → n=25 = 5², zero search budget → PrimePower fallback.
+        assert_eq!(table1_entry(3, 8, zero), Table1Entry::PrimePower);
+        assert_eq!(Table1Entry::PrimePower.to_string(), "1'");
+        assert_eq!(Table1Entry::Searched(2).to_string(), "2");
+        assert_eq!(Table1Entry::Unknown.to_string(), "?");
+    }
+}

@@ -1,0 +1,278 @@
+//! Wrapping: the PDDL × DATUM combination sketched in the paper's
+//! conclusions (§5).
+//!
+//! > "to create a data layout for 30 disks with stripe width seven, we
+//! > first create a DATUM layout with stripe width 29. Then for each of
+//! > the 30 rows of the DATUM layout, we use the PDDL data layout with
+//! > four stripes each of width seven plus a spare."
+//!
+//! The outer layer is the complete block design on `n − 1`-subsets of the
+//! `n` disks — exactly DATUM with stripe width `n − 1`, i.e. `n`
+//! leave-one-out *super-rows* in colex order. Inside each super-row a
+//! PDDL layout on the remaining `n − 1` disks provides the stripes and
+//! the distributed spare. The result meets goals #1, #2, #3, #4, #6 and
+//! #7 for configurations PDDL alone cannot reach (here `n` need only
+//! satisfy `n − 1 = g·k + 1`).
+
+use std::fmt;
+
+use crate::addr::PhysAddr;
+use crate::binom::colex_unrank;
+use crate::layout::{Layout, LayoutError};
+use crate::pddl::Pddl;
+
+/// A wrapped PDDL layout: leave-one-out outer design over `n` disks,
+/// inner PDDL over the `n − 1` survivors of each super-row.
+///
+/// ```
+/// use pddl_core::pddl::wrapping::WrappedPddl;
+/// use pddl_core::Layout;
+///
+/// // The paper's example: 30 disks, stripe width 7 (29 = 4·7 + 1).
+/// let l = WrappedPddl::new(30, 7).unwrap();
+/// assert_eq!(l.disks(), 30);
+/// assert_eq!(l.stripe_width(), 7);
+/// ```
+#[derive(Clone)]
+pub struct WrappedPddl {
+    n: usize,
+    inner: Pddl,
+    /// `excluded_by_row[r]` = the disk left out of super-row `r`.
+    excluded_by_row: Vec<usize>,
+    /// `row_excluding[d]` = the super-row that leaves disk `d` out.
+    row_excluding: Vec<usize>,
+}
+
+impl fmt::Debug for WrappedPddl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WrappedPddl")
+            .field("n", &self.n)
+            .field("inner", &self.inner)
+            .field("excluded_by_row", &self.excluded_by_row)
+            .finish()
+    }
+}
+
+impl WrappedPddl {
+    /// Build a wrapped layout on `n` disks with stripe width `k`;
+    /// requires `n − 1 = g·k + 1` and an inner PDDL for `n − 1` disks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the inner [`Pddl::new`] errors; additionally
+    /// [`LayoutError::BadShape`] when `n < 3`.
+    pub fn new(n: usize, k: usize) -> Result<Self, LayoutError> {
+        if n < 3 {
+            return Err(LayoutError::BadShape(format!(
+                "wrapping needs at least 3 disks, got {n}"
+            )));
+        }
+        let inner = Pddl::new(n - 1, k)?;
+        // Outer design: all (n−1)-subsets of n disks in colex order.
+        let mut excluded_by_row = Vec::with_capacity(n);
+        let mut row_excluding = vec![0usize; n];
+        let total: usize = (0..n).sum();
+        for r in 0..n {
+            let subset = colex_unrank(r as u64, n - 1);
+            let excluded = total - subset.iter().sum::<usize>();
+            excluded_by_row.push(excluded);
+            row_excluding[excluded] = r;
+        }
+        Ok(Self {
+            n,
+            inner,
+            excluded_by_row,
+            row_excluding,
+        })
+    }
+
+    /// The inner PDDL layout used within each super-row.
+    pub fn inner(&self) -> &Pddl {
+        &self.inner
+    }
+
+    /// The disk left out of super-row `r` (within one outer period).
+    pub fn excluded_disk(&self, super_row: usize) -> usize {
+        self.excluded_by_row[super_row % self.n]
+    }
+
+    /// Map an inner virtual disk index within a super-row to the physical
+    /// disk number (the sorted included disks).
+    fn included_disk(&self, super_row: usize, inner_disk: usize) -> usize {
+        let excluded = self.excluded_by_row[super_row % self.n];
+        // Included disks sorted ascending: 0..excluded, excluded+1..n.
+        if inner_disk < excluded {
+            inner_disk
+        } else {
+            inner_disk + 1
+        }
+    }
+
+    /// Inverse of [`Self::included_disk`]: `None` if `disk` is the
+    /// excluded one.
+    fn inner_disk(&self, super_row: usize, disk: usize) -> Option<usize> {
+        let excluded = self.excluded_by_row[super_row % self.n];
+        match disk.cmp(&excluded) {
+            std::cmp::Ordering::Less => Some(disk),
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Greater => Some(disk - 1),
+        }
+    }
+
+    /// Physical offset on `disk` for inner offset `o` in `super_row`,
+    /// compacting the hole each disk has in the super-row excluding it.
+    fn compact_offset(&self, super_row: u64, disk: usize, o: u64) -> u64 {
+        let p = self.inner.period_rows();
+        let cycle = super_row / self.n as u64;
+        let r = (super_row % self.n as u64) as usize;
+        let excl = self.row_excluding[disk];
+        let rows_before = r - usize::from(excl < r);
+        cycle * (self.n as u64 - 1) * p + rows_before as u64 * p + o
+    }
+
+    fn split(&self, stripe: u64) -> (u64, u64) {
+        let per = self.inner.stripes_per_period();
+        (stripe / per, stripe % per)
+    }
+
+    fn lift(&self, super_row: u64, a: PhysAddr) -> PhysAddr {
+        let disk = self.included_disk(super_row as usize % self.n, a.disk);
+        PhysAddr::new(disk, self.compact_offset(super_row, disk, a.offset))
+    }
+}
+
+impl Layout for WrappedPddl {
+    fn name(&self) -> &str {
+        "PDDL-wrapped"
+    }
+
+    fn disks(&self) -> usize {
+        self.n
+    }
+
+    fn stripe_width(&self) -> usize {
+        self.inner.stripe_width()
+    }
+
+    fn check_per_stripe(&self) -> usize {
+        self.inner.check_per_stripe()
+    }
+
+    fn period_rows(&self) -> u64 {
+        (self.n as u64 - 1) * self.inner.period_rows()
+    }
+
+    fn stripes_per_period(&self) -> u64 {
+        self.n as u64 * self.inner.stripes_per_period()
+    }
+
+    fn has_sparing(&self) -> bool {
+        true
+    }
+
+    fn locate(&self, logical: u64) -> (u64, usize) {
+        let per = self.inner.data_units_per_period();
+        let (super_row, rest) = (logical / per, logical % per);
+        let (inner_stripe, index) = self.inner.locate(rest);
+        (super_row * self.inner.stripes_per_period() + inner_stripe, index)
+    }
+
+    fn data_unit(&self, stripe: u64, index: usize) -> PhysAddr {
+        let (super_row, inner_stripe) = self.split(stripe);
+        self.lift(super_row, self.inner.data_unit(inner_stripe, index))
+    }
+
+    fn check_unit(&self, stripe: u64, index: usize) -> PhysAddr {
+        let (super_row, inner_stripe) = self.split(stripe);
+        self.lift(super_row, self.inner.check_unit(inner_stripe, index))
+    }
+
+    fn spare_unit(&self, stripe: u64, failed_disk: usize) -> Option<PhysAddr> {
+        let (super_row, inner_stripe) = self.split(stripe);
+        let inner_failed = self.inner_disk(super_row as usize % self.n, failed_disk)?;
+        let spare = self.inner.spare_unit(inner_stripe, inner_failed)?;
+        Some(self.lift(super_row, spare))
+    }
+
+    fn mapping_table_bytes(&self) -> usize {
+        self.inner.mapping_table_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::reconstruction_reads;
+
+    #[test]
+    fn paper_thirty_disk_example() {
+        let l = WrappedPddl::new(30, 7).unwrap();
+        assert_eq!(l.inner().stripes_per_row(), 4);
+        assert_eq!(l.disks(), 30);
+        // Each of the 30 super-rows excludes a distinct disk.
+        let mut excluded: Vec<usize> = (0..30).map(|r| l.excluded_disk(r)).collect();
+        excluded.sort_unstable();
+        assert_eq!(excluded, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn units_distinct_and_in_range() {
+        let l = WrappedPddl::new(10, 4).unwrap(); // inner n = 9 = 2·4+1 (GF(9))
+        for stripe in 0..l.stripes_per_period() {
+            let units = l.stripe_units(stripe);
+            let mut disks: Vec<usize> = units.iter().map(|u| u.addr.disk).collect();
+            disks.sort_unstable();
+            let len = disks.len();
+            disks.dedup();
+            assert_eq!(disks.len(), len);
+            assert!(disks.iter().all(|&d| d < 10));
+        }
+    }
+
+    #[test]
+    fn period_tiles_exactly() {
+        let l = WrappedPddl::new(8, 3).unwrap(); // inner n = 7
+        let rows = l.period_rows();
+        let mut grid = vec![vec![0u32; rows as usize]; l.disks()];
+        for stripe in 0..l.stripes_per_period() {
+            for u in l.stripe_units(stripe) {
+                grid[u.addr.disk][u.addr.offset as usize] += 1;
+            }
+        }
+        // Stripe units + spare cells tile everything; spare cells are one
+        // per inner row per super-row, i.e. every remaining zero count.
+        let mut zeros = 0u64;
+        for col in &grid {
+            for &c in col {
+                assert!(c <= 1, "cell double-booked");
+                zeros += u64::from(c == 0);
+            }
+        }
+        // Spare fraction: 1 spare unit per inner row, inner rows per
+        // pattern = n * inner period.
+        let expected_spares = l.disks() as u64 * l.inner().period_rows();
+        assert_eq!(zeros, expected_spares);
+    }
+
+    #[test]
+    fn reconstruction_balanced() {
+        let l = WrappedPddl::new(8, 3).unwrap();
+        let tally = reconstruction_reads(&l, 2);
+        let nonzero: Vec<u64> = tally
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d != 2)
+            .map(|(_, &t)| t)
+            .collect();
+        assert!(
+            nonzero.iter().all(|&t| t == nonzero[0]),
+            "wrapped reconstruction unbalanced: {tally:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_tiny_arrays() {
+        assert!(WrappedPddl::new(2, 3).is_err());
+        assert!(WrappedPddl::new(9, 4).is_err()); // 8 ≠ g·4 + 1
+    }
+}

@@ -1,0 +1,701 @@
+//! Translate logical accesses into physical I/O plans.
+//!
+//! This is the array-controller logic of RAIDframe, reimplemented as a
+//! pure function so that both the disk working-set analysis (Figure 3)
+//! and the discrete-event simulator execute *exactly* the same physical
+//! accesses:
+//!
+//! * fault-free reads touch only the requested data units;
+//! * fault-free writes pick, per stripe, the cheapest of full-stripe /
+//!   read-modify-write ("small") / reconstruct-write ("large");
+//! * degraded reads rebuild lost units from the whole surviving stripe;
+//! * degraded writes switch to large writes when the failed disk holds
+//!   modified data (§4.2 of the paper), and skip parity maintenance when
+//!   the failed disk holds the parity;
+//! * post-reconstruction accesses redirect the failed disk's units to the
+//!   distributed spare space (PDDL only).
+
+use std::collections::BTreeSet;
+
+use crate::addr::{PhysAddr, Role};
+use crate::layout::Layout;
+
+/// Logical access type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Read client data.
+    Read,
+    /// Write client data (parity is maintained by the plan).
+    Write,
+}
+
+/// Array operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// All disks operational.
+    FaultFree,
+    /// One disk has failed and its contents have not been rebuilt yet —
+    /// lost units are reconstructed on the fly from their stripes. (For
+    /// PDDL this is the paper's "reconstruction mode".)
+    Degraded {
+        /// The failed disk.
+        failed: usize,
+    },
+    /// One disk has failed and its contents have been rebuilt into the
+    /// distributed spare space; accesses are redirected there. Only
+    /// meaningful for layouts with sparing — without spare space this
+    /// behaves like [`Mode::Degraded`].
+    PostReconstruction {
+        /// The failed disk.
+        failed: usize,
+    },
+    /// Two disks have concurrently failed, neither rebuilt — only
+    /// survivable by multi-check layouts
+    /// ([`Pddl::with_check_units`](crate::Pddl::with_check_units)`(c ≥ 2)`
+    /// with Reed–Solomon checks, §5 of the paper).
+    DoubleDegraded {
+        /// The two (distinct) failed disks.
+        failed: [usize; 2],
+    },
+}
+
+impl Mode {
+    /// The failed disks, if any.
+    pub fn failed_disks(&self) -> Vec<usize> {
+        match *self {
+            Mode::FaultFree => Vec::new(),
+            Mode::Degraded { failed } | Mode::PostReconstruction { failed } => vec![failed],
+            Mode::DoubleDegraded { failed } => failed.to_vec(),
+        }
+    }
+}
+
+/// How fault-free, non-full-stripe writes are implemented.
+///
+/// The paper's RAIDframe controller (and [`plan_access`]) picks
+/// adaptively; the forced variants exist for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Cheapest of read-modify-write vs reconstruct-write per stripe.
+    #[default]
+    Adaptive,
+    /// Always read-modify-write ("small writes").
+    AlwaysSmall,
+    /// Always reconstruct-write ("large writes").
+    AlwaysLarge,
+}
+
+/// The physical I/O of one logical access: `reads` execute first (phase
+/// 1), then `writes` (phase 2, after parity computation). Reads are
+/// deduplicated; both lists are sorted for determinism.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessPlan {
+    /// Phase-1 physical reads.
+    pub reads: Vec<PhysAddr>,
+    /// Phase-2 physical writes.
+    pub writes: Vec<PhysAddr>,
+}
+
+impl AccessPlan {
+    /// The *disk working set*: distinct disks that perform at least one
+    /// physical access (the metric of Figure 3).
+    pub fn working_set(&self) -> usize {
+        let disks: BTreeSet<usize> = self
+            .reads
+            .iter()
+            .chain(&self.writes)
+            .map(|a| a.disk)
+            .collect();
+        disks.len()
+    }
+
+    /// Total physical I/O count.
+    pub fn io_count(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+}
+
+/// Plan the physical I/O for a logical access of `len` data units
+/// starting at data unit `start` (stripe-unit aligned, as in the paper's
+/// workloads).
+///
+/// # Panics
+///
+/// Panics if `len == 0`, or in [`Mode::PostReconstruction`] when the
+/// layout claims sparing but returns no spare unit for an affected
+/// stripe.
+pub fn plan_access(layout: &dyn Layout, mode: Mode, op: Op, start: u64, len: u64) -> AccessPlan {
+    plan_access_with_policy(layout, mode, op, start, len, WritePolicy::Adaptive)
+}
+
+/// [`plan_access`] with an explicit fault-free write policy.
+///
+/// # Panics
+///
+/// As [`plan_access`].
+pub fn plan_access_with_policy(
+    layout: &dyn Layout,
+    mode: Mode,
+    op: Op,
+    start: u64,
+    len: u64,
+    policy: WritePolicy,
+) -> AccessPlan {
+    assert!(len > 0, "access must span at least one data unit");
+    let mut reads: BTreeSet<PhysAddr> = BTreeSet::new();
+    let mut writes: BTreeSet<PhysAddr> = BTreeSet::new();
+
+    // Group the logical range by stripe, preserving stripe order.
+    let mut current: Option<(u64, Vec<usize>)> = None;
+    let mut stripes: Vec<(u64, Vec<usize>)> = Vec::new();
+    for logical in start..start + len {
+        let (s, i) = layout.locate(logical);
+        match &mut current {
+            Some((cs, idxs)) if *cs == s => idxs.push(i),
+            _ => {
+                if let Some(done) = current.take() {
+                    stripes.push(done);
+                }
+                current = Some((s, vec![i]));
+            }
+        }
+    }
+    if let Some(done) = current {
+        stripes.push(done);
+    }
+
+    for (stripe, indices) in stripes {
+        plan_stripe(
+            layout, mode, op, stripe, &indices, policy, &mut reads, &mut writes,
+        );
+    }
+
+    AccessPlan {
+        reads: reads.into_iter().collect(),
+        writes: writes.into_iter().collect(),
+    }
+}
+
+/// Redirect an address on the failed disk to the stripe's spare unit in
+/// post-reconstruction mode; identity otherwise.
+fn resolve(layout: &dyn Layout, mode: Mode, stripe: u64, addr: PhysAddr) -> PhysAddr {
+    if let Mode::PostReconstruction { failed } = mode {
+        if addr.disk == failed && layout.has_sparing() {
+            return layout
+                .spare_unit(stripe, failed)
+                .expect("layout with sparing must provide a spare unit for affected stripes");
+        }
+    }
+    addr
+}
+
+#[allow(clippy::too_many_arguments)]
+fn plan_stripe(
+    layout: &dyn Layout,
+    mode: Mode,
+    op: Op,
+    stripe: u64,
+    written_or_read: &[usize],
+    policy: WritePolicy,
+    reads: &mut BTreeSet<PhysAddr>,
+    writes: &mut BTreeSet<PhysAddr>,
+) {
+    let d = layout.data_per_stripe();
+    let failed: Vec<usize> = match mode {
+        Mode::FaultFree => Vec::new(),
+        Mode::Degraded { failed } => vec![failed],
+        Mode::DoubleDegraded { failed } => {
+            assert_ne!(failed[0], failed[1], "failed disks must be distinct");
+            failed.to_vec()
+        }
+        Mode::PostReconstruction { failed } if !layout.has_sparing() => vec![failed],
+        Mode::PostReconstruction { .. } => Vec::new(),
+    };
+    let units = layout.stripe_units(stripe);
+    let failed_units: Vec<&crate::addr::StripeUnit> = units
+        .iter()
+        .filter(|u| failed.contains(&u.addr.disk))
+        .collect();
+    assert!(
+        failed_units.len() <= layout.check_per_stripe(),
+        "stripe {stripe} lost {} units but only has {} check units",
+        failed_units.len(),
+        layout.check_per_stripe()
+    );
+
+    match op {
+        Op::Read => {
+            for &i in written_or_read {
+                let addr = layout.data_unit(stripe, i);
+                if failed.contains(&addr.disk) {
+                    // Rebuild on the fly: read every surviving unit.
+                    for u in &units {
+                        if !failed.contains(&u.addr.disk) {
+                            reads.insert(u.addr);
+                        }
+                    }
+                } else {
+                    reads.insert(resolve(layout, mode, stripe, addr));
+                }
+            }
+        }
+        Op::Write => {
+            let w: BTreeSet<usize> = written_or_read.iter().copied().collect();
+            if failed_units.len() > 1 {
+                plan_multi_failure_write(layout, stripe, &failed, &w, reads, writes);
+                return;
+            }
+            let failed_unit = failed_units.first().map(|u| **u);
+
+            match failed_unit {
+                None => {
+                    // Fault-free logic (possibly with spare redirection).
+                    let full = w.len() == d;
+                    let small = !full
+                        && match policy {
+                            WritePolicy::Adaptive => 2 * w.len() <= d,
+                            WritePolicy::AlwaysSmall => true,
+                            WritePolicy::AlwaysLarge => false,
+                        };
+                    if full {
+                        // Full-stripe write: no pre-reads.
+                        for &i in &w {
+                            writes.insert(resolve(layout, mode, stripe, layout.data_unit(stripe, i)));
+                        }
+                        for c in 0..layout.check_per_stripe() {
+                            writes.insert(resolve(layout, mode, stripe, layout.check_unit(stripe, c)));
+                        }
+                    } else if small {
+                        // Read-modify-write: old data + old parity.
+                        for &i in &w {
+                            let a = resolve(layout, mode, stripe, layout.data_unit(stripe, i));
+                            reads.insert(a);
+                            writes.insert(a);
+                        }
+                        for c in 0..layout.check_per_stripe() {
+                            let a = resolve(layout, mode, stripe, layout.check_unit(stripe, c));
+                            reads.insert(a);
+                            writes.insert(a);
+                        }
+                    } else {
+                        // Reconstruct-write: read the units that will NOT
+                        // change, write the new data + parity.
+                        for i in 0..d {
+                            let a = resolve(layout, mode, stripe, layout.data_unit(stripe, i));
+                            if w.contains(&i) {
+                                writes.insert(a);
+                            } else {
+                                reads.insert(a);
+                            }
+                        }
+                        for c in 0..layout.check_per_stripe() {
+                            writes.insert(resolve(layout, mode, stripe, layout.check_unit(stripe, c)));
+                        }
+                    }
+                }
+                Some(unit) if unit.role == Role::Check => {
+                    // The (single) parity is lost: just write the data.
+                    // With multiple check units the surviving ones still
+                    // need maintenance — use a small write excluding the
+                    // failed check.
+                    if layout.check_per_stripe() == 1 {
+                        for &i in &w {
+                            writes.insert(layout.data_unit(stripe, i));
+                        }
+                    } else {
+                        for &i in &w {
+                            let a = layout.data_unit(stripe, i);
+                            reads.insert(a);
+                            writes.insert(a);
+                        }
+                        for c in 0..layout.check_per_stripe() {
+                            let a = layout.check_unit(stripe, c);
+                            if a.disk != unit.addr.disk {
+                                reads.insert(a);
+                                writes.insert(a);
+                            }
+                        }
+                    }
+                }
+                Some(unit) if unit.role == Role::Data && w.contains(&unit.index) => {
+                    // Writing the lost data unit: forced large write —
+                    // read the unmodified survivors, write modified
+                    // survivors + parity (the lost unit's new value is
+                    // implied by the parity).
+                    for i in 0..d {
+                        let a = layout.data_unit(stripe, i);
+                        if a.disk == unit.addr.disk {
+                            continue;
+                        }
+                        if w.contains(&i) {
+                            writes.insert(a);
+                        } else {
+                            reads.insert(a);
+                        }
+                    }
+                    for c in 0..layout.check_per_stripe() {
+                        writes.insert(layout.check_unit(stripe, c));
+                    }
+                }
+                Some(_) => {
+                    // A data unit is lost but not being written: a small
+                    // write never touches it, and a large write would
+                    // need its (unreadable) value — so always small.
+                    for &i in &w {
+                        let a = layout.data_unit(stripe, i);
+                        reads.insert(a);
+                        writes.insert(a);
+                    }
+                    for c in 0..layout.check_per_stripe() {
+                        let a = layout.check_unit(stripe, c);
+                        reads.insert(a);
+                        writes.insert(a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Write planning when a stripe has lost two or more units (multi-check
+/// layouts under [`Mode::DoubleDegraded`]). Rules, from the same
+/// readability constraints as the single-failure cases:
+///
+/// * a lost data unit being *written* forbids small writes (its old
+///   value is unreadable);
+/// * a lost data unit *not* written forbids large writes (its current
+///   value is unreadable);
+/// * when both kinds are lost, fall back to reconstruct-everything:
+///   read every surviving unit, decode, then write the touched
+///   survivors and surviving checks.
+fn plan_multi_failure_write(
+    layout: &dyn Layout,
+    stripe: u64,
+    failed: &[usize],
+    w: &BTreeSet<usize>,
+    reads: &mut BTreeSet<PhysAddr>,
+    writes: &mut BTreeSet<PhysAddr>,
+) {
+    let d = layout.data_per_stripe();
+    let surviving_checks: Vec<PhysAddr> = (0..layout.check_per_stripe())
+        .map(|c| layout.check_unit(stripe, c))
+        .filter(|a| !failed.contains(&a.disk))
+        .collect();
+    let lost_written = (0..d).any(|i| {
+        let a = layout.data_unit(stripe, i);
+        failed.contains(&a.disk) && w.contains(&i)
+    });
+    let lost_unwritten = (0..d).any(|i| {
+        let a = layout.data_unit(stripe, i);
+        failed.contains(&a.disk) && !w.contains(&i)
+    });
+    if surviving_checks.is_empty() {
+        // All redundancy lost: just write the surviving touched data.
+        for &i in w {
+            let a = layout.data_unit(stripe, i);
+            if !failed.contains(&a.disk) {
+                writes.insert(a);
+            }
+        }
+        return;
+    }
+    if lost_written && lost_unwritten {
+        // Reconstruct-everything fallback.
+        for u in layout.stripe_units(stripe) {
+            if !failed.contains(&u.addr.disk) {
+                reads.insert(u.addr);
+            }
+        }
+        for &i in w {
+            let a = layout.data_unit(stripe, i);
+            if !failed.contains(&a.disk) {
+                writes.insert(a);
+            }
+        }
+        for &a in &surviving_checks {
+            writes.insert(a);
+        }
+    } else if lost_written {
+        // Forced large write over the survivors.
+        for i in 0..d {
+            let a = layout.data_unit(stripe, i);
+            if failed.contains(&a.disk) {
+                continue;
+            }
+            if w.contains(&i) {
+                writes.insert(a);
+            } else {
+                reads.insert(a);
+            }
+        }
+        for &a in &surviving_checks {
+            writes.insert(a);
+        }
+    } else {
+        // Forced (or plain) small write: touched data + surviving checks.
+        for &i in w {
+            let a = layout.data_unit(stripe, i);
+            if failed.contains(&a.disk) {
+                continue;
+            }
+            reads.insert(a);
+            writes.insert(a);
+        }
+        for &a in &surviving_checks {
+            reads.insert(a);
+            writes.insert(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pddl, Raid5};
+
+    fn raid5_13() -> Raid5 {
+        Raid5::new(13).unwrap()
+    }
+
+    #[test]
+    fn fault_free_read_touches_only_data() {
+        let l = raid5_13();
+        let p = plan_access(&l, Mode::FaultFree, Op::Read, 0, 6);
+        assert_eq!(p.reads.len(), 6);
+        assert!(p.writes.is_empty());
+        assert_eq!(p.working_set(), 6);
+    }
+
+    #[test]
+    fn small_write_costs() {
+        let l = raid5_13();
+        // 1 unit of a 12-data stripe → small write: read old data+parity,
+        // write both back: 2 reads, 2 writes.
+        let p = plan_access(&l, Mode::FaultFree, Op::Write, 0, 1);
+        assert_eq!(p.reads.len(), 2);
+        assert_eq!(p.writes.len(), 2);
+        // 6 of 12 units (the paper's 48KB case) is still a small write.
+        let p = plan_access(&l, Mode::FaultFree, Op::Write, 0, 6);
+        assert_eq!(p.reads.len(), 7);
+        assert_eq!(p.writes.len(), 7);
+    }
+
+    #[test]
+    fn large_and_full_stripe_writes() {
+        let l = raid5_13();
+        // 8 of 12 → reconstruct write: read the 4 untouched, write 8+1.
+        let p = plan_access(&l, Mode::FaultFree, Op::Write, 0, 8);
+        assert_eq!(p.reads.len(), 4);
+        assert_eq!(p.writes.len(), 9);
+        // 12 of 12 → full-stripe: no reads, 13 writes.
+        let p = plan_access(&l, Mode::FaultFree, Op::Write, 0, 12);
+        assert!(p.reads.is_empty());
+        assert_eq!(p.writes.len(), 13);
+    }
+
+    #[test]
+    fn degraded_read_reconstructs() {
+        let l = raid5_13();
+        // Find the data unit of stripe 0 that lives on disk 5.
+        let lost = (0..12).find(|&i| l.data_unit(0, i).disk == 5).unwrap() as u64;
+        let p = plan_access(&l, Mode::Degraded { failed: 5 }, Op::Read, lost, 1);
+        // Must read the 11 surviving data units + parity.
+        assert_eq!(p.reads.len(), 12);
+        assert!(p.reads.iter().all(|a| a.disk != 5));
+        // Reading a unit NOT on the failed disk stays a single read.
+        let ok = (0..12).find(|&i| l.data_unit(0, i).disk != 5).unwrap() as u64;
+        let p = plan_access(&l, Mode::Degraded { failed: 5 }, Op::Read, ok, 1);
+        assert_eq!(p.reads.len(), 1);
+    }
+
+    #[test]
+    fn degraded_write_of_lost_unit_is_large() {
+        let l = raid5_13();
+        let lost = (0..12).find(|&i| l.data_unit(0, i).disk == 3).unwrap() as u64;
+        let p = plan_access(&l, Mode::Degraded { failed: 3 }, Op::Write, lost, 1);
+        // Read the 11 surviving unmodified units, write the parity.
+        assert_eq!(p.reads.len(), 11);
+        assert_eq!(p.writes.len(), 1);
+        assert!(p.reads.iter().all(|a| a.disk != 3));
+        assert!(p.writes.iter().all(|a| a.disk != 3));
+    }
+
+    #[test]
+    fn degraded_write_with_lost_parity_skips_parity() {
+        let l = raid5_13();
+        // Stripe 0 parity is on disk 12.
+        let p = plan_access(&l, Mode::Degraded { failed: 12 }, Op::Write, 0, 2);
+        assert!(p.reads.is_empty());
+        assert_eq!(p.writes.len(), 2);
+    }
+
+    #[test]
+    fn degraded_write_other_unit_lost_stays_small() {
+        let l = raid5_13();
+        // Write data unit 0 of stripe 0 while some OTHER data disk failed.
+        let other = l.data_unit(0, 7).disk;
+        let p = plan_access(&l, Mode::Degraded { failed: other }, Op::Write, 0, 1);
+        assert_eq!(p.reads.len(), 2);
+        assert_eq!(p.writes.len(), 2);
+        assert!(p.reads.iter().all(|a| a.disk != other));
+    }
+
+    #[test]
+    fn post_reconstruction_redirects_to_spare() {
+        let l = Pddl::new(7, 3).unwrap();
+        // Find a logical unit living on disk 0.
+        let lost = (0..l.data_units_per_period())
+            .find(|&u| l.locate_phys(u).disk == 0)
+            .unwrap();
+        let (stripe, _) = l.locate(lost);
+        let spare = l.spare_unit(stripe, 0).unwrap();
+        let p = plan_access(&l, Mode::PostReconstruction { failed: 0 }, Op::Read, lost, 1);
+        assert_eq!(p.reads, vec![spare]);
+        // Degraded mode instead rebuilds from the stripe.
+        let p = plan_access(&l, Mode::Degraded { failed: 0 }, Op::Read, lost, 1);
+        assert_eq!(p.reads.len(), 2); // k − 1 surviving units
+    }
+
+    #[test]
+    fn post_reconstruction_without_sparing_degrades() {
+        let l = raid5_13();
+        let lost = (0..12).find(|&i| l.data_unit(0, i).disk == 5).unwrap() as u64;
+        let p = plan_access(&l, Mode::PostReconstruction { failed: 5 }, Op::Read, lost, 1);
+        assert_eq!(p.reads.len(), 12); // same as degraded
+    }
+
+    #[test]
+    fn full_stripe_write_on_declustered_layout() {
+        let l = Pddl::new(13, 4).unwrap();
+        // 6 units = 2 full stripes of 3 data units (row-major alignment).
+        let p = plan_access(&l, Mode::FaultFree, Op::Write, 0, 6);
+        assert!(p.reads.is_empty(), "full stripes need no pre-reads");
+        assert_eq!(p.writes.len(), 8); // 6 data + 2 parity
+    }
+
+    #[test]
+    fn working_set_counts_distinct_disks() {
+        let l = Pddl::new(13, 4).unwrap();
+        let p = plan_access(&l, Mode::FaultFree, Op::Read, 0, 30);
+        assert!(p.working_set() <= 13);
+        assert!(p.working_set() >= 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data unit")]
+    fn zero_length_access_panics() {
+        let l = raid5_13();
+        let _ = plan_access(&l, Mode::FaultFree, Op::Read, 0, 0);
+    }
+
+    #[test]
+    fn forced_write_policies() {
+        let l = raid5_13();
+        // 6 of 12 units: adaptive = small (7r/7w); forced large = 6r/7w;
+        // forced small = small.
+        let adaptive = plan_access(&l, Mode::FaultFree, Op::Write, 0, 6);
+        let small = plan_access_with_policy(
+            &l, Mode::FaultFree, Op::Write, 0, 6, WritePolicy::AlwaysSmall,
+        );
+        let large = plan_access_with_policy(
+            &l, Mode::FaultFree, Op::Write, 0, 6, WritePolicy::AlwaysLarge,
+        );
+        assert_eq!(adaptive, small);
+        assert_eq!(large.reads.len(), 6);
+        assert_eq!(large.writes.len(), 7);
+        // 8 of 12: adaptive = large.
+        let adaptive8 = plan_access(&l, Mode::FaultFree, Op::Write, 0, 8);
+        let large8 = plan_access_with_policy(
+            &l, Mode::FaultFree, Op::Write, 0, 8, WritePolicy::AlwaysLarge,
+        );
+        assert_eq!(adaptive8, large8);
+        let small8 = plan_access_with_policy(
+            &l, Mode::FaultFree, Op::Write, 0, 8, WritePolicy::AlwaysSmall,
+        );
+        assert_eq!(small8.io_count(), 18); // 9 reads + 9 writes
+        // Full-stripe writes ignore the policy.
+        let full = plan_access_with_policy(
+            &l, Mode::FaultFree, Op::Write, 0, 12, WritePolicy::AlwaysSmall,
+        );
+        assert!(full.reads.is_empty());
+    }
+
+    #[test]
+    fn double_degraded_reads_reconstruct_through_rs_checks() {
+        let l = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
+        // Find a stripe with units on both failed disks.
+        let (f1, f2) = (0usize, 6usize);
+        let stripe = (0..l.stripes_per_period())
+            .find(|&s| {
+                let disks: Vec<usize> = l.stripe_units(s).iter().map(|u| u.addr.disk).collect();
+                disks.contains(&f1) && disks.contains(&f2)
+            })
+            .expect("some stripe spans both disks");
+        // Read a data unit of that stripe that is lost.
+        let logical = (0..l.data_units_per_period())
+            .find(|&u| {
+                let (s, _) = l.locate(u);
+                s == stripe && [f1, f2].contains(&l.locate_phys(u).disk)
+            });
+        if let Some(u) = logical {
+            let p = plan_access(&l, Mode::DoubleDegraded { failed: [f1, f2] }, Op::Read, u, 1);
+            // Reads the 2 surviving units (k = 4, 2 lost).
+            assert_eq!(p.reads.len(), 2, "{p:?}");
+            assert!(p.reads.iter().all(|a| a.disk != f1 && a.disk != f2));
+        }
+    }
+
+    #[test]
+    fn double_degraded_writes_avoid_both_disks_and_keep_surviving_checks() {
+        let l = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
+        for start in 0..50u64 {
+            for len in [1u64, 2, 4] {
+                let p = plan_access(&l, Mode::DoubleDegraded { failed: [2, 9] }, Op::Write, start, len);
+                assert!(p.reads.iter().chain(&p.writes).all(|a| a.disk != 2 && a.disk != 9));
+                let mut stripes: Vec<u64> = (start..start + len).map(|u| l.locate(u).0).collect();
+                stripes.dedup();
+                for s in stripes {
+                    for c in 0..2 {
+                        let check = l.check_unit(s, c);
+                        if check.disk != 2 && check.disk != 9 {
+                            assert!(p.writes.contains(&check), "stripe {s} check {c}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "check units")]
+    fn double_failure_on_single_check_stripe_panics() {
+        let l = Pddl::new(13, 4).unwrap();
+        // Find a stripe spanning disks 0 and 1 and write through it.
+        for start in 0..200u64 {
+            let _ = plan_access(&l, Mode::DoubleDegraded { failed: [0, 1] }, Op::Write, start, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_failed_disks_rejected() {
+        let l = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
+        let _ = plan_access(&l, Mode::DoubleDegraded { failed: [3, 3] }, Op::Read, 0, 1);
+    }
+
+    #[test]
+    fn degraded_write_never_touches_failed_disk() {
+        let l = Pddl::new(13, 4).unwrap();
+        for failed in 0..13 {
+            for start in 0..36u64 {
+                for len in [1u64, 2, 3, 6, 12] {
+                    let p = plan_access(&l, Mode::Degraded { failed }, Op::Write, start, len);
+                    assert!(
+                        p.reads.iter().chain(&p.writes).all(|a| a.disk != failed),
+                        "failed={failed} start={start} len={len}: {p:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The Pseudo-Random layout (Merchant & Yu, IEEE ToC 1996).
+//!
+//! Each stripe-unit row permutes the disks with a keyed pseudo-random
+//! permutation (Merchant and Yu used Thorpe's shuffle; we use a seeded
+//! Fisher–Yates per row, which has the same statistical properties for
+//! layout purposes). The first `⌊n/k⌋·k` positions of the permuted order
+//! form the row's stripes; leftover positions become distributed spare
+//! space ("sparing optional" in Table 3). Parity and reconstruction
+//! workload are balanced only *in expectation* — the layout has no
+//! algebraic period, so Table 3 lists its period as "not applicable".
+
+use std::fmt;
+
+use crate::addr::PhysAddr;
+use crate::layout::{Layout, LayoutError};
+
+/// The Merchant–Yu pseudo-random declustered layout.
+///
+/// ```
+/// use pddl_core::{Layout, PseudoRandom};
+///
+/// let l = PseudoRandom::new(13, 4, 42).unwrap();
+/// assert_eq!(l.stripes_per_period() % 3, 0); // 3 stripes per row
+/// assert!(l.has_sparing()); // the leftover disk of each row
+/// ```
+#[derive(Clone)]
+pub struct PseudoRandom {
+    n: usize,
+    k: usize,
+    seed: u64,
+    /// Rows treated as one "period" for analysis purposes only.
+    analysis_rows: u64,
+}
+
+impl fmt::Debug for PseudoRandom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PseudoRandom")
+            .field("n", &self.n)
+            .field("k", &self.k)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl PseudoRandom {
+    /// Create a pseudo-random layout of `n` disks, stripe width `k`,
+    /// with the given permutation key.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::BadShape`] unless `2 ≤ k ≤ n`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Result<Self, LayoutError> {
+        if k < 2 || k > n {
+            return Err(LayoutError::BadShape(format!(
+                "pseudo-random layout needs 2 <= k <= n, got n={n}, k={k}"
+            )));
+        }
+        Ok(Self {
+            n,
+            k,
+            seed,
+            analysis_rows: 1024,
+        })
+    }
+
+    /// Stripes per row, `⌊n/k⌋`.
+    pub fn stripes_per_row(&self) -> usize {
+        self.n / self.k
+    }
+
+    /// SplitMix64 — a tiny, high-quality keyed PRNG used to derive each
+    /// row's permutation deterministically from (seed, row, step).
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The keyed pseudo-random permutation of the disks for `row`.
+    pub fn row_permutation(&self, row: u64) -> Vec<usize> {
+        let mut perm: Vec<usize> = (0..self.n).collect();
+        let base = Self::mix(self.seed ^ row.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        for i in (1..self.n).rev() {
+            let r = Self::mix(base ^ (i as u64)) as usize % (i + 1);
+            perm.swap(i, r);
+        }
+        perm
+    }
+
+    fn split(&self, stripe: u64) -> (u64, usize) {
+        let spr = self.stripes_per_row() as u64;
+        (stripe / spr, (stripe % spr) as usize)
+    }
+}
+
+impl Layout for PseudoRandom {
+    fn name(&self) -> &str {
+        "PseudoRandom"
+    }
+
+    fn disks(&self) -> usize {
+        self.n
+    }
+
+    fn stripe_width(&self) -> usize {
+        self.k
+    }
+
+    /// Statistical analysis horizon, not an algebraic period: the layout
+    /// never actually repeats (Table 3: "not applicable, expected values
+    /// only").
+    fn period_rows(&self) -> u64 {
+        self.analysis_rows
+    }
+
+    fn stripes_per_period(&self) -> u64 {
+        self.analysis_rows * self.stripes_per_row() as u64
+    }
+
+    fn has_sparing(&self) -> bool {
+        !self.n.is_multiple_of(self.k)
+    }
+
+    /// Row-major like PDDL: consecutive data units fill a row's stripes
+    /// before moving on.
+    fn locate(&self, logical: u64) -> (u64, usize) {
+        let dpr = (self.stripes_per_row() * (self.k - 1)) as u64;
+        let row = logical / dpr;
+        let rem = (logical % dpr) as usize;
+        (
+            row * self.stripes_per_row() as u64 + (rem / (self.k - 1)) as u64,
+            rem % (self.k - 1),
+        )
+    }
+
+    fn data_unit(&self, stripe: u64, index: usize) -> PhysAddr {
+        debug_assert!(index < self.k - 1);
+        let (row, j) = self.split(stripe);
+        let perm = self.row_permutation(row);
+        PhysAddr::new(perm[j * self.k + index], row)
+    }
+
+    fn check_unit(&self, stripe: u64, index: usize) -> PhysAddr {
+        debug_assert_eq!(index, 0);
+        let (row, j) = self.split(stripe);
+        let perm = self.row_permutation(row);
+        PhysAddr::new(perm[j * self.k + self.k - 1], row)
+    }
+
+    fn spare_unit(&self, stripe: u64, failed_disk: usize) -> Option<PhysAddr> {
+        if !self.has_sparing() {
+            return None;
+        }
+        let (row, _) = self.split(stripe);
+        let perm = self.row_permutation(row);
+        let used = self.stripes_per_row() * self.k;
+        // The stripe must have a unit on the failed disk, and the failed
+        // disk must not itself be a spare position this row.
+        let pos = perm.iter().position(|&d| d == failed_disk)?;
+        if pos >= used {
+            return None;
+        }
+        let (_, j) = self.split(stripe);
+        if pos / self.k != j {
+            return None;
+        }
+        Some(PhysAddr::new(perm[used], row))
+    }
+
+    fn mapping_table_bytes(&self) -> usize {
+        // Table 3: log(n) + log(D) bits of key material; call it 16 bytes.
+        std::mem::size_of::<u64>() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_validation() {
+        assert!(PseudoRandom::new(3, 4, 0).is_err());
+        assert!(PseudoRandom::new(13, 1, 0).is_err());
+        assert!(PseudoRandom::new(13, 4, 0).is_ok());
+    }
+
+    #[test]
+    fn row_permutations_are_permutations_and_differ() {
+        let l = PseudoRandom::new(13, 4, 7).unwrap();
+        let mut distinct = 0;
+        for row in 0..50u64 {
+            let p = l.row_permutation(row);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..13).collect::<Vec<_>>());
+            if p != l.row_permutation(0) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 48, "rows should get distinct permutations");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = PseudoRandom::new(13, 4, 99).unwrap();
+        let b = PseudoRandom::new(13, 4, 99).unwrap();
+        for row in 0..20u64 {
+            assert_eq!(a.row_permutation(row), b.row_permutation(row));
+        }
+        let c = PseudoRandom::new(13, 4, 100).unwrap();
+        assert!((0..20u64).any(|r| a.row_permutation(r) != c.row_permutation(r)));
+    }
+
+    #[test]
+    fn stripe_units_distinct_and_row_aligned() {
+        let l = PseudoRandom::new(13, 4, 3).unwrap();
+        for s in 0..300u64 {
+            let units = l.stripe_units(s);
+            let mut d: Vec<usize> = units.iter().map(|u| u.addr.disk).collect();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 4);
+            let row = units[0].addr.offset;
+            assert!(units.iter().all(|u| u.addr.offset == row));
+        }
+    }
+
+    #[test]
+    fn parity_balanced_in_expectation() {
+        let l = PseudoRandom::new(13, 4, 1).unwrap();
+        let mut per_disk = vec![0u64; 13];
+        for s in 0..l.stripes_per_period() {
+            per_disk[l.check_unit(s, 0).disk] += 1;
+        }
+        let mean = per_disk.iter().sum::<u64>() as f64 / 13.0;
+        for &c in &per_disk {
+            assert!(
+                (c as f64 - mean).abs() < mean * 0.35,
+                "parity count {c} too far from mean {mean}: {per_disk:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spare_units() {
+        let l = PseudoRandom::new(13, 4, 5).unwrap();
+        assert!(l.has_sparing());
+        // Find a stripe with a unit on disk 0 and check its spare target
+        // is the row's leftover position.
+        for s in 0..39u64 {
+            let units = l.stripe_units(s);
+            if let Some(u) = units.iter().find(|u| u.addr.disk == 0) {
+                let spare = l.spare_unit(s, 0).expect("stripe touches disk 0");
+                assert_eq!(spare.offset, u.addr.offset);
+                assert_ne!(spare.disk, 0);
+            } else {
+                assert_eq!(l.spare_unit(s, 0), None);
+            }
+        }
+        // n divisible by k → no spare space.
+        let no_spare = PseudoRandom::new(12, 4, 5).unwrap();
+        assert!(!no_spare.has_sparing());
+        assert_eq!(no_spare.spare_unit(0, 0), None);
+    }
+}

@@ -1,0 +1,161 @@
+//! Left-symmetric RAID-5 (Patterson, Gibson, Katz) — the paper's
+//! maximal-parallelism baseline.
+//!
+//! One stripe per row spanning all `n` disks. The parity of row `r` sits
+//! on disk `(n − 1 − r) mod n` and the data units start on the next disk
+//! and wrap around — the *left-symmetric* placement, which guarantees
+//! that any `n` consecutive data units touch all `n` disks (goal #5,
+//! satisfied optimally).
+
+use std::fmt;
+
+use crate::addr::PhysAddr;
+use crate::layout::{Layout, LayoutError};
+
+/// Left-symmetric RAID-5 over `n` disks (stripe width = `n`).
+///
+/// ```
+/// use pddl_core::{Layout, Raid5};
+///
+/// let l = Raid5::new(13).unwrap();
+/// assert_eq!(l.stripe_width(), 13);
+/// // Parity of row 0 is on the last disk.
+/// assert_eq!(l.check_unit(0, 0).disk, 12);
+/// ```
+#[derive(Clone)]
+pub struct Raid5 {
+    n: usize,
+}
+
+impl fmt::Debug for Raid5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Raid5").field("n", &self.n).finish()
+    }
+}
+
+impl Raid5 {
+    /// Create a left-symmetric RAID-5 array of `n ≥ 2` disks.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::BadShape`] when `n < 2`.
+    pub fn new(n: usize) -> Result<Self, LayoutError> {
+        if n < 2 {
+            return Err(LayoutError::BadShape(format!(
+                "RAID-5 needs at least 2 disks, got {n}"
+            )));
+        }
+        Ok(Self { n })
+    }
+
+    fn parity_disk(&self, row: u64) -> usize {
+        let n = self.n as u64;
+        ((n - 1) - (row % n)) as usize
+    }
+}
+
+impl Layout for Raid5 {
+    fn name(&self) -> &str {
+        "RAID-5"
+    }
+
+    fn disks(&self) -> usize {
+        self.n
+    }
+
+    fn stripe_width(&self) -> usize {
+        self.n
+    }
+
+    fn period_rows(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn stripes_per_period(&self) -> u64 {
+        self.n as u64
+    }
+
+    fn data_unit(&self, stripe: u64, index: usize) -> PhysAddr {
+        debug_assert!(index < self.n - 1);
+        let p = self.parity_disk(stripe);
+        PhysAddr::new((p + 1 + index) % self.n, stripe)
+    }
+
+    fn check_unit(&self, stripe: u64, index: usize) -> PhysAddr {
+        debug_assert_eq!(index, 0);
+        PhysAddr::new(self.parity_disk(stripe), stripe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_single_disk() {
+        assert!(Raid5::new(1).is_err());
+        assert!(Raid5::new(0).is_err());
+        assert!(Raid5::new(2).is_ok());
+    }
+
+    #[test]
+    fn left_symmetric_rotation() {
+        let l = Raid5::new(5).unwrap();
+        // Row 0: parity on disk 4, data on 0,1,2,3.
+        assert_eq!(l.check_unit(0, 0), PhysAddr::new(4, 0));
+        assert_eq!(
+            (0..4).map(|i| l.data_unit(0, i).disk).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // Row 1: parity on disk 3, data starts on disk 4 and wraps.
+        assert_eq!(l.check_unit(1, 0).disk, 3);
+        assert_eq!(
+            (0..4).map(|i| l.data_unit(1, i).disk).collect::<Vec<_>>(),
+            vec![4, 0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn n_consecutive_data_units_touch_all_disks() {
+        // The defining property of the left-symmetric layout.
+        let l = Raid5::new(7).unwrap();
+        for start in 0..l.data_units_per_period() {
+            let mut disks: Vec<usize> =
+                (start..start + 7).map(|u| l.locate_phys(u).disk).collect();
+            disks.sort_unstable();
+            disks.dedup();
+            assert_eq!(disks.len(), 7, "window at {start} misses a disk");
+        }
+    }
+
+    #[test]
+    fn parity_evenly_distributed() {
+        let l = Raid5::new(13).unwrap();
+        let mut per_disk = [0u32; 13];
+        for r in 0..l.stripes_per_period() {
+            per_disk[l.check_unit(r, 0).disk] += 1;
+        }
+        assert!(per_disk.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn overheads() {
+        let l = Raid5::new(13).unwrap();
+        // §4: "RAID-5 uses 7.7% of the disks for parity".
+        assert!((l.parity_overhead() - 1.0 / 13.0).abs() < 1e-12);
+        assert_eq!(l.spare_overhead(), 0.0);
+        assert!(!l.has_sparing());
+    }
+
+    #[test]
+    fn units_distinct_per_stripe() {
+        let l = Raid5::new(6).unwrap();
+        for s in 0..6 {
+            let units = l.stripe_units(s);
+            let mut d: Vec<usize> = units.iter().map(|u| u.addr.disk).collect();
+            d.sort_unstable();
+            assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+            assert!(units.iter().all(|u| u.addr.offset == s));
+        }
+    }
+}

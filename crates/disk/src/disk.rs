@@ -1,0 +1,309 @@
+//! The mechanical disk: seek + settle + rotation + transfer.
+
+use crate::geometry::Geometry;
+use crate::seek::SeekModel;
+use crate::{Nanos, MILLISECOND};
+
+/// One physical disk request (a stripe unit read or write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskRequest {
+    /// Unique request id.
+    pub id: u64,
+    /// The logical access this request belongs to (used by the simulator
+    /// to classify local vs non-local operations, Figure 4).
+    pub access: u64,
+    /// Starting sector.
+    pub lba: u64,
+    /// Sectors to transfer (16 per 8 KB stripe unit).
+    pub sectors: u32,
+    /// Write (true) or read (false).
+    pub write: bool,
+}
+
+/// What head movement an operation required — the paper's operation
+/// classes in Figures 4, 7, 15, 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MovementKind {
+    /// The arm moved to a different cylinder ("cylinder switch" when
+    /// local; plain seek when non-local).
+    CylinderSwitch,
+    /// Same cylinder, different head ("track switch").
+    TrackSwitch,
+    /// Same track: rotation only ("no-switch").
+    NoSwitch,
+}
+
+/// The timing decomposition of one serviced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceBreakdown {
+    /// Arm seek time (0 for same-cylinder operations).
+    pub seek: Nanos,
+    /// Head-switch/settle time before the transfer starts.
+    pub head_switch: Nanos,
+    /// Rotational latency until the first sector arrives under the head.
+    pub rotation: Nanos,
+    /// Media transfer time, including any mid-transfer switches.
+    pub transfer: Nanos,
+    /// The movement class of this operation.
+    pub kind: MovementKind,
+}
+
+impl ServiceBreakdown {
+    /// Total service time.
+    pub fn total(&self) -> Nanos {
+        self.seek + self.head_switch + self.rotation + self.transfer
+    }
+}
+
+/// A disk drive with geometry, seek curve, rotation and head state.
+///
+/// The platter rotates continuously: rotational position is a pure
+/// function of absolute time, so latency depends on *when* the head
+/// arrives — capturing the rotational-position-sensitive behaviour that
+/// makes small accesses average half a revolution.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    geometry: Geometry,
+    seek: SeekModel,
+    revolution: Nanos,
+    head_switch: Nanos,
+    cylinder: u32,
+    head: u32,
+}
+
+impl Disk {
+    /// Build a disk from its parts. Rotation is given in RPM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rpm == 0`.
+    pub fn new(geometry: Geometry, seek: SeekModel, rpm: u32, head_switch: Nanos) -> Self {
+        assert!(rpm > 0, "rotation speed must be positive");
+        Self {
+            geometry,
+            seek,
+            revolution: 60_000_000_000 / rpm as u64,
+            head_switch,
+            cylinder: 0,
+            head: 0,
+        }
+    }
+
+    /// The paper's HP 2247: 5400 RPM (11.11 ms/rev), 0.8 ms head switch.
+    pub fn hp2247() -> Self {
+        Self::new(
+            Geometry::hp2247(),
+            SeekModel::hp2247(),
+            5400,
+            (0.8 * MILLISECOND as f64) as Nanos,
+        )
+    }
+
+    /// The disk's geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Revolution time.
+    pub fn revolution(&self) -> Nanos {
+        self.revolution
+    }
+
+    /// Current arm cylinder (for SSTF distance decisions).
+    pub fn current_cylinder(&self) -> u32 {
+        self.cylinder
+    }
+
+    /// Time for one sector to pass under the head at `cylinder`.
+    fn sector_time(&self, cylinder: u32) -> f64 {
+        self.revolution as f64 / self.geometry.sectors_per_track(cylinder) as f64
+    }
+
+    /// Rotational angle (in sectors of the current track) at time `t`:
+    /// sector `s`'s start passes under the head when
+    /// `t ≡ s·sector_time (mod revolution)`.
+    fn wait_for_sector(&self, ready: Nanos, cylinder: u32, sector: u32) -> Nanos {
+        let st = self.sector_time(cylinder);
+        let target = (sector as f64 * st).round() as Nanos % self.revolution;
+        let phase = ready % self.revolution;
+        if target >= phase {
+            target - phase
+        } else {
+            self.revolution - phase + target
+        }
+    }
+
+    /// Service a request arriving at head position `now`; returns the
+    /// timing breakdown and advances the head state.
+    ///
+    /// Transfers that run off the end of a track continue on the next
+    /// head (or cylinder) after the appropriate switch time, assuming
+    /// optimal track skew (no extra rotational delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request runs past the end of the disk.
+    pub fn service(&mut self, request: &DiskRequest, now: Nanos) -> ServiceBreakdown {
+        assert!(
+            request.sectors > 0
+                && request.lba + request.sectors as u64 <= self.geometry.total_sectors(),
+            "request outside disk"
+        );
+        let chs = self.geometry.locate(request.lba);
+        let distance = chs.cylinder.abs_diff(self.cylinder);
+        let seek = self.seek.time(distance);
+        let (head_switch, kind) = if distance > 0 {
+            // Head selection overlaps the arm movement.
+            (0, MovementKind::CylinderSwitch)
+        } else if chs.head != self.head {
+            (self.head_switch, MovementKind::TrackSwitch)
+        } else {
+            (0, MovementKind::NoSwitch)
+        };
+        let ready = now + seek + head_switch;
+        let rotation = self.wait_for_sector(ready, chs.cylinder, chs.sector);
+
+        // Transfer, segment by segment across track boundaries.
+        let mut transfer = 0.0f64;
+        let mut extra: Nanos = 0;
+        let mut remaining = request.sectors;
+        let mut cyl = chs.cylinder;
+        let mut head = chs.head;
+        let mut sector = chs.sector;
+        while remaining > 0 {
+            let spt = self.geometry.sectors_per_track(cyl);
+            let chunk = remaining.min(spt - sector);
+            transfer += chunk as f64 * self.sector_time(cyl);
+            remaining -= chunk;
+            sector += chunk;
+            if remaining > 0 {
+                sector = 0;
+                if head + 1 < self.geometry.heads() {
+                    head += 1;
+                    extra += self.head_switch;
+                } else {
+                    head = 0;
+                    cyl += 1;
+                    extra += self.seek.time(1);
+                }
+            }
+        }
+        self.cylinder = cyl;
+        self.head = head;
+
+        ServiceBreakdown {
+            seek,
+            head_switch,
+            rotation,
+            transfer: transfer.round() as Nanos + extra,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_req(lba: u64) -> DiskRequest {
+        DiskRequest {
+            id: 0,
+            access: 0,
+            lba,
+            sectors: 16,
+            write: false,
+        }
+    }
+
+    #[test]
+    fn same_track_access_is_rotation_plus_transfer() {
+        let mut d = Disk::hp2247();
+        let b = d.service(&small_req(0), 0);
+        assert_eq!(b.seek, 0);
+        assert_eq!(b.head_switch, 0);
+        assert_eq!(b.kind, MovementKind::NoSwitch);
+        // ≤ one revolution of latency, 16/92 of a revolution of transfer.
+        assert!(b.rotation < d.revolution());
+        let expected = 16.0 * d.revolution() as f64 / 92.0;
+        assert!((b.transfer as f64 - expected).abs() < 2.0);
+    }
+
+    #[test]
+    fn head_switch_classified_as_track_switch() {
+        let mut d = Disk::hp2247();
+        // Track 1 of cylinder 0 starts at LBA 92.
+        let b = d.service(&small_req(92), 0);
+        assert_eq!(b.kind, MovementKind::TrackSwitch);
+        assert_eq!(b.head_switch, 800_000);
+        assert_eq!(b.seek, 0);
+    }
+
+    #[test]
+    fn cylinder_move_classified_as_cylinder_switch() {
+        let mut d = Disk::hp2247();
+        let per_cyl = 13 * 92;
+        let b = d.service(&small_req(per_cyl as u64), 0);
+        assert_eq!(b.kind, MovementKind::CylinderSwitch);
+        assert_eq!(b.seek, 2_900_000); // 2.9 ms single-cylinder seek
+    }
+
+    #[test]
+    fn rotation_depends_on_arrival_time() {
+        let d = Disk::hp2247();
+        // Waiting for sector 0: at t=0 it is right under the head.
+        assert_eq!(d.wait_for_sector(0, 0, 0), 0);
+        // Arriving one nanosecond late costs almost a full revolution.
+        assert_eq!(d.wait_for_sector(1, 0, 0), d.revolution() - 1);
+        let mut dd = Disk::hp2247();
+        let a = dd.service(&small_req(0), 0);
+        let mut dd2 = Disk::hp2247();
+        let b = dd2.service(&small_req(0), 3_000_000);
+        assert_ne!(a.rotation, b.rotation);
+    }
+
+    #[test]
+    fn transfer_across_track_boundary_pays_head_switch() {
+        let mut d = Disk::hp2247();
+        // Start 8 sectors before the end of track 0: the 16-sector
+        // transfer crosses onto head 1.
+        let b = d.service(&small_req(84), 0);
+        let pure = 16.0 * d.revolution() as f64 / 92.0;
+        assert!(b.transfer as f64 > pure + 700_000.0, "{:?}", b);
+    }
+
+    #[test]
+    fn transfer_across_cylinder_boundary_pays_seek() {
+        let mut d = Disk::hp2247();
+        let last_of_cyl0 = 13u64 * 92 - 8;
+        let b = d.service(&small_req(last_of_cyl0), 0);
+        let pure = 16.0 * d.revolution() as f64 / 92.0;
+        assert!(b.transfer as f64 > pure + 2_800_000.0, "{:?}", b);
+        assert_eq!(d.current_cylinder(), 1);
+    }
+
+    #[test]
+    fn state_advances_with_service() {
+        let mut d = Disk::hp2247();
+        let far = d.geometry().total_sectors() - 32;
+        let _ = d.service(&small_req(far), 0);
+        assert_eq!(d.current_cylinder(), 1980);
+        // Returning home is a long seek.
+        let b = d.service(&small_req(0), 100 * MILLISECOND);
+        assert!(b.seek > 15 * MILLISECOND);
+    }
+
+    #[test]
+    fn revolution_matches_paper() {
+        let d = Disk::hp2247();
+        // 5400 RPM → 11.111 ms ("11.12 ms/rev" in Table 2).
+        assert_eq!(d.revolution(), 11_111_111);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside disk")]
+    fn rejects_request_past_end() {
+        let mut d = Disk::hp2247();
+        let end = d.geometry().total_sectors();
+        let _ = d.service(&small_req(end - 8), 0);
+    }
+}

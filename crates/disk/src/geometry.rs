@@ -1,0 +1,241 @@
+//! Zoned disk geometry and LBA ↔ CHS translation.
+
+use crate::SECTOR_BYTES;
+
+/// One recording zone: a run of cylinders sharing a sectors-per-track
+/// count (outer zones hold more sectors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zone {
+    /// Number of cylinders in the zone.
+    pub cylinders: u32,
+    /// Sectors on each track of the zone.
+    pub sectors_per_track: u32,
+}
+
+/// A cylinder/head/sector coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Chs {
+    /// Cylinder (0 = outermost).
+    pub cylinder: u32,
+    /// Head (track within the cylinder).
+    pub head: u32,
+    /// Sector within the track.
+    pub sector: u32,
+}
+
+/// Zoned disk geometry. LBAs are laid out cylinder-major: all sectors of
+/// cylinder 0 (track by track), then cylinder 1, and so on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Geometry {
+    heads: u32,
+    zones: Vec<Zone>,
+    /// First cylinder of each zone.
+    zone_first_cyl: Vec<u32>,
+    /// First LBA of each zone.
+    zone_first_lba: Vec<u64>,
+    total_sectors: u64,
+}
+
+impl Geometry {
+    /// Build a geometry from zones (outermost first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads == 0`, `zones` is empty, or any zone is empty.
+    pub fn new(heads: u32, zones: Vec<Zone>) -> Self {
+        assert!(heads > 0, "need at least one head");
+        assert!(!zones.is_empty(), "need at least one zone");
+        let mut zone_first_cyl = Vec::with_capacity(zones.len());
+        let mut zone_first_lba = Vec::with_capacity(zones.len());
+        let mut cyl = 0u32;
+        let mut lba = 0u64;
+        for z in &zones {
+            assert!(z.cylinders > 0 && z.sectors_per_track > 0, "empty zone");
+            zone_first_cyl.push(cyl);
+            zone_first_lba.push(lba);
+            cyl += z.cylinders;
+            lba += z.cylinders as u64 * heads as u64 * z.sectors_per_track as u64;
+        }
+        Self {
+            heads,
+            zones,
+            zone_first_cyl,
+            zone_first_lba,
+            total_sectors: lba,
+        }
+    }
+
+    /// The HP 2247 as parameterized in Table 2: 1.03 GB, 1981 cylinders,
+    /// 13 heads, 8 zones. Published zone tables for this drive are not
+    /// available; the sectors-per-track ramp 92→64 reproduces its
+    /// capacity within 0.2%.
+    pub fn hp2247() -> Self {
+        let spt = [92u32, 88, 84, 80, 76, 72, 68, 64];
+        let zones = spt
+            .iter()
+            .enumerate()
+            .map(|(i, &sectors_per_track)| Zone {
+                cylinders: if i < 5 { 248 } else { 247 },
+                sectors_per_track,
+            })
+            .collect();
+        Self::new(13, zones)
+    }
+
+    /// Number of heads (tracks per cylinder).
+    pub fn heads(&self) -> u32 {
+        self.heads
+    }
+
+    /// Total cylinders.
+    pub fn cylinders(&self) -> u32 {
+        self.zone_first_cyl.last().unwrap() + self.zones.last().unwrap().cylinders
+    }
+
+    /// Total sectors on the disk.
+    pub fn total_sectors(&self) -> u64 {
+        self.total_sectors
+    }
+
+    /// Formatted capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_sectors * SECTOR_BYTES
+    }
+
+    /// The zone index of a cylinder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cylinder` is out of range.
+    pub fn zone_of_cylinder(&self, cylinder: u32) -> usize {
+        assert!(cylinder < self.cylinders(), "cylinder out of range");
+        match self.zone_first_cyl.binary_search(&cylinder) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Sectors per track at a cylinder.
+    pub fn sectors_per_track(&self, cylinder: u32) -> u32 {
+        self.zones[self.zone_of_cylinder(cylinder)].sectors_per_track
+    }
+
+    /// Translate an LBA to cylinder/head/sector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lba >= total_sectors()`.
+    pub fn locate(&self, lba: u64) -> Chs {
+        assert!(lba < self.total_sectors, "LBA {lba} out of range");
+        let zi = match self.zone_first_lba.binary_search(&lba) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let z = &self.zones[zi];
+        let in_zone = lba - self.zone_first_lba[zi];
+        let per_cyl = self.heads as u64 * z.sectors_per_track as u64;
+        let cylinder = self.zone_first_cyl[zi] + (in_zone / per_cyl) as u32;
+        let in_cyl = in_zone % per_cyl;
+        Chs {
+            cylinder,
+            head: (in_cyl / z.sectors_per_track as u64) as u32,
+            sector: (in_cyl % z.sectors_per_track as u64) as u32,
+        }
+    }
+
+    /// Inverse of [`Geometry::locate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn lba_of(&self, chs: Chs) -> u64 {
+        let zi = self.zone_of_cylinder(chs.cylinder);
+        let z = &self.zones[zi];
+        assert!(chs.head < self.heads && chs.sector < z.sectors_per_track);
+        let per_cyl = self.heads as u64 * z.sectors_per_track as u64;
+        self.zone_first_lba[zi]
+            + (chs.cylinder - self.zone_first_cyl[zi]) as u64 * per_cyl
+            + chs.head as u64 * z.sectors_per_track as u64
+            + chs.sector as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hp2247_matches_table2() {
+        let g = Geometry::hp2247();
+        assert_eq!(g.cylinders(), 1981);
+        assert_eq!(g.heads(), 13);
+        // 1.03 GB within 0.5%.
+        let gb = g.capacity_bytes() as f64 / 1e9;
+        assert!((gb - 1.03).abs() < 0.005, "capacity {gb} GB");
+    }
+
+    #[test]
+    fn locate_roundtrip_every_zone() {
+        let g = Geometry::hp2247();
+        let step = 997u64; // prime stride to sample across zones
+        let mut lba = 0;
+        while lba < g.total_sectors() {
+            let chs = g.locate(lba);
+            assert_eq!(g.lba_of(chs), lba);
+            lba += step;
+        }
+        // Exact boundaries.
+        let last = g.total_sectors() - 1;
+        let chs = g.locate(last);
+        assert_eq!(chs.cylinder, 1980);
+        assert_eq!(chs.head, 12);
+        assert_eq!(g.lba_of(chs), last);
+    }
+
+    #[test]
+    fn lba_zero_is_outer_corner() {
+        let g = Geometry::hp2247();
+        assert_eq!(
+            g.locate(0),
+            Chs { cylinder: 0, head: 0, sector: 0 }
+        );
+        assert_eq!(g.sectors_per_track(0), 92);
+        assert_eq!(g.sectors_per_track(1980), 64);
+    }
+
+    #[test]
+    fn zone_boundaries() {
+        let g = Geometry::hp2247();
+        assert_eq!(g.zone_of_cylinder(0), 0);
+        assert_eq!(g.zone_of_cylinder(247), 0);
+        assert_eq!(g.zone_of_cylinder(248), 1);
+        assert_eq!(g.zone_of_cylinder(1980), 7);
+    }
+
+    #[test]
+    fn consecutive_lbas_advance_sector_then_head_then_cylinder() {
+        let g = Geometry::hp2247();
+        let a = g.locate(91);
+        let b = g.locate(92);
+        assert_eq!((a.head, a.sector), (0, 91));
+        assert_eq!((b.head, b.sector), (1, 0));
+        let per_cyl = 13 * 92;
+        let c = g.locate(per_cyl as u64 - 1);
+        let d = g.locate(per_cyl as u64);
+        assert_eq!((c.cylinder, c.head), (0, 12));
+        assert_eq!((d.cylinder, d.head, d.sector), (1, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn locate_rejects_past_end() {
+        let g = Geometry::hp2247();
+        let _ = g.locate(g.total_sectors());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty zone")]
+    fn rejects_empty_zone() {
+        let _ = Geometry::new(2, vec![Zone { cylinders: 0, sectors_per_track: 50 }]);
+    }
+}

@@ -1,0 +1,51 @@
+//! A mechanical disk service-time model in the mold of the HP 2247 drive
+//! the PDDL paper simulates on (Table 2), plus SSTF request scheduling.
+//!
+//! The model covers everything the paper's experiments are sensitive to:
+//!
+//! * **zoned geometry** — 1981 cylinders × 13 heads in 8 zones with
+//!   decreasing sectors per track ([`Geometry::hp2247`]),
+//! * **seek times** — an `a + b·√d + c·d` curve calibrated to the
+//!   paper's 10 ms average and 2.9 ms single-cylinder ("cylinder
+//!   switch") figures ([`SeekModel::hp2247`]),
+//! * **rotation** — 5400 RPM (11.11 ms per revolution, the paper's
+//!   "11.12 ms/rev"), with rotational position tracked continuously so
+//!   latency depends on arrival time,
+//! * **head switches** — 0.8 ms ("track switch"),
+//! * **transfer** — per-sector times by zone, crossing track and
+//!   cylinder boundaries mid-transfer at the appropriate switch costs,
+//! * **SSTF scheduling** over a bounded 20-request window
+//!   ([`SstfQueue`]), exactly the paper's "SSTF on 20-request queue".
+//!
+//! Time is integer nanoseconds ([`Nanos`]) throughout, keeping the
+//! simulator above this crate deterministic.
+//!
+//! ```
+//! use pddl_disk::{Disk, DiskRequest};
+//!
+//! let mut disk = Disk::hp2247();
+//! let req = DiskRequest { id: 0, access: 0, lba: 123_456, sectors: 16, write: false };
+//! let done = disk.service(&req, 0);
+//! assert!(done.total() > 0);
+//! ```
+
+mod disk;
+mod elevator;
+mod geometry;
+mod seek;
+mod sstf;
+
+pub use disk::{Disk, DiskRequest, MovementKind, ServiceBreakdown};
+pub use elevator::{ElevatorQueue, RequestQueue};
+pub use geometry::{Chs, Geometry, Zone};
+pub use seek::SeekModel;
+pub use sstf::SstfQueue;
+
+/// Simulation time in integer nanoseconds.
+pub type Nanos = u64;
+
+/// One millisecond in [`Nanos`].
+pub const MILLISECOND: Nanos = 1_000_000;
+
+/// Bytes per sector (the paper's era standard).
+pub const SECTOR_BYTES: u64 = 512;

@@ -1,0 +1,103 @@
+//! The seek-time curve.
+
+use crate::{Nanos, MILLISECOND};
+
+/// Seek time as a function of cylinder distance:
+/// `t(d) = a + b·√d + c·d` for `d ≥ 1`, `t(0) = 0`.
+///
+/// The square-root term models the accelerate/decelerate regime of short
+/// seeks; the linear term the constant-velocity coast of long ones — the
+/// standard disk-modeling form (Ruemmler & Wilkes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeekModel {
+    a_ms: f64,
+    b_ms: f64,
+    c_ms: f64,
+}
+
+impl SeekModel {
+    /// Build from millisecond coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative coefficients.
+    pub fn new(a_ms: f64, b_ms: f64, c_ms: f64) -> Self {
+        assert!(
+            a_ms >= 0.0 && b_ms >= 0.0 && c_ms >= 0.0,
+            "seek coefficients must be non-negative"
+        );
+        Self { a_ms, b_ms, c_ms }
+    }
+
+    /// The HP 2247 curve, calibrated so that the single-cylinder seek is
+    /// the paper's 2.9 ms "cylinder switch" and the mean seek over
+    /// uniformly random request pairs on 1981 cylinders is the paper's
+    /// 10 ms average (verified by a unit test).
+    pub fn hp2247() -> Self {
+        Self::new(2.6296, 0.2689, 0.0015)
+    }
+
+    /// Seek time for a cylinder distance.
+    pub fn time(&self, distance: u32) -> Nanos {
+        if distance == 0 {
+            return 0;
+        }
+        let d = distance as f64;
+        let ms = self.a_ms + self.b_ms * d.sqrt() + self.c_ms * d;
+        (ms * MILLISECOND as f64).round() as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_is_free() {
+        assert_eq!(SeekModel::hp2247().time(0), 0);
+    }
+
+    #[test]
+    fn single_cylinder_matches_paper_cylinder_switch() {
+        let t = SeekModel::hp2247().time(1) as f64 / MILLISECOND as f64;
+        assert!((t - 2.9).abs() < 0.01, "t(1) = {t} ms");
+    }
+
+    #[test]
+    fn monotone_in_distance() {
+        let m = SeekModel::hp2247();
+        let mut prev = 0;
+        for d in 0..1981 {
+            let t = m.time(d);
+            assert!(t >= prev, "seek time decreased at d={d}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn mean_seek_matches_paper_average() {
+        // E[t(|x−y|)] for x, y uniform on the 1981 cylinders, computed
+        // exactly from the distance distribution P(d) = 2(C−d)/C² (d>0).
+        let m = SeekModel::hp2247();
+        let c = 1981u64;
+        let mut acc = 0.0f64;
+        for d in 1..c {
+            let p = 2.0 * (c - d) as f64 / (c * c) as f64;
+            acc += p * m.time(d as u32) as f64;
+        }
+        let mean_ms = acc / MILLISECOND as f64;
+        assert!((mean_ms - 10.0).abs() < 0.25, "mean seek {mean_ms} ms");
+    }
+
+    #[test]
+    fn full_stroke_is_plausible() {
+        let t = SeekModel::hp2247().time(1980) as f64 / MILLISECOND as f64;
+        assert!(t > 15.0 && t < 22.0, "full stroke {t} ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_coefficients() {
+        let _ = SeekModel::new(-1.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Shortest-seek-time-first scheduling over a bounded window.
+
+use std::collections::VecDeque;
+
+use crate::disk::DiskRequest;
+
+/// A disk request queue scheduled SSTF over the oldest `window` entries
+/// — the paper's "SSTF on 20-request queue". Bounding the window keeps
+/// starvation in check while still reordering aggressively.
+#[derive(Debug, Clone)]
+pub struct SstfQueue {
+    pending: VecDeque<(DiskRequest, u32)>, // request + target cylinder
+    window: usize,
+}
+
+impl Default for SstfQueue {
+    fn default() -> Self {
+        Self::new(20)
+    }
+}
+
+impl SstfQueue {
+    /// Create a queue scheduling SSTF over the oldest `window` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "SSTF window must be positive");
+        Self {
+            pending: VecDeque::new(),
+            window,
+        }
+    }
+
+    /// Enqueue a request whose target cylinder is `cylinder`.
+    pub fn push(&mut self, request: DiskRequest, cylinder: u32) {
+        self.pending.push_back((request, cylinder));
+    }
+
+    /// Dequeue the request with the shortest seek from `current_cylinder`
+    /// among the oldest `window` pending requests. Ties break toward the
+    /// oldest request (FIFO), which also bounds starvation.
+    pub fn pop_next(&mut self, current_cylinder: u32) -> Option<DiskRequest> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let considered = self.pending.len().min(self.window);
+        let best = (0..considered)
+            .min_by_key(|&i| {
+                let cyl = self.pending[i].1;
+                let dist = cyl.abs_diff(current_cylinder);
+                (dist, i)
+            })
+            .expect("non-empty window");
+        self.pending.remove(best).map(|(r, _)| r)
+    }
+
+    /// Pending request count.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64) -> DiskRequest {
+        DiskRequest {
+            id,
+            access: id,
+            lba: 0,
+            sectors: 1,
+            write: false,
+        }
+    }
+
+    #[test]
+    fn picks_shortest_seek() {
+        let mut q = SstfQueue::default();
+        q.push(req(1), 500);
+        q.push(req(2), 100);
+        q.push(req(3), 900);
+        assert_eq!(q.pop_next(120).unwrap().id, 2);
+        assert_eq!(q.pop_next(120).unwrap().id, 1);
+        assert_eq!(q.pop_next(120).unwrap().id, 3);
+        assert!(q.pop_next(0).is_none());
+    }
+
+    #[test]
+    fn window_limits_lookahead() {
+        let mut q = SstfQueue::new(2);
+        q.push(req(1), 1000);
+        q.push(req(2), 800);
+        q.push(req(3), 0); // closest to head position but outside window
+        assert_eq!(q.pop_next(0).unwrap().id, 2);
+        // Now 3 is inside the window.
+        assert_eq!(q.pop_next(0).unwrap().id, 3);
+        assert_eq!(q.pop_next(0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = SstfQueue::default();
+        q.push(req(1), 200);
+        q.push(req(2), 200);
+        assert_eq!(q.pop_next(200).unwrap().id, 1);
+        assert_eq!(q.pop_next(200).unwrap().id, 2);
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = SstfQueue::default();
+        assert!(q.is_empty());
+        q.push(req(1), 5);
+        q.push(req(2), 6);
+        assert_eq!(q.len(), 2);
+        let _ = q.pop_next(0);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = SstfQueue::new(0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests on the disk model: geometry bijectivity and service
+//! time sanity under arbitrary request sequences.
+
+use pddl_disk::{Disk, DiskRequest, Geometry, SeekModel, MILLISECOND};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lba_chs_bijective(lba in 0u64..2_009_124) {
+        let g = Geometry::hp2247();
+        prop_assume!(lba < g.total_sectors());
+        let chs = g.locate(lba);
+        prop_assert!(chs.cylinder < g.cylinders());
+        prop_assert!(chs.head < g.heads());
+        prop_assert!(chs.sector < g.sectors_per_track(chs.cylinder));
+        prop_assert_eq!(g.lba_of(chs), lba);
+    }
+
+    #[test]
+    fn seek_time_bounded_and_monotone(d1 in 0u32..1981, d2 in 0u32..1981) {
+        let m = SeekModel::hp2247();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m.time(lo) <= m.time(hi));
+        prop_assert!(m.time(hi) <= 25 * MILLISECOND);
+    }
+
+    #[test]
+    fn service_time_within_mechanical_bounds(
+        lbas in proptest::collection::vec(0u64..2_000_000, 1..20),
+    ) {
+        let mut disk = Disk::hp2247();
+        let mut now = 0u64;
+        for (i, &lba) in lbas.iter().enumerate() {
+            prop_assume!(lba + 16 <= disk.geometry().total_sectors());
+            let req = DiskRequest { id: i as u64, access: i as u64, lba, sectors: 16, write: i % 2 == 0 };
+            let b = disk.service(&req, now);
+            // Lower bound: pure media transfer of 16 sectors on the
+            // densest track.
+            let min_transfer = 16 * disk.revolution() / 92;
+            prop_assert!(b.transfer >= min_transfer - 2);
+            // Upper bound: full-stroke seek + head switch + full rotation
+            // + transfer with a couple of boundary switches.
+            let max = 25 * MILLISECOND + disk.revolution() + b.transfer + 8 * MILLISECOND;
+            prop_assert!(b.total() <= max, "{b:?}");
+            // Rotation latency strictly below one revolution.
+            prop_assert!(b.rotation < disk.revolution());
+            now += b.total();
+        }
+    }
+
+    #[test]
+    fn repeat_access_to_same_block_is_cheap(raw in 0u64..1_900_000) {
+        let mut disk = Disk::hp2247();
+        // Snap to the start of the track so the 16-sector transfer stays
+        // on one track (shortest track holds 64 sectors).
+        let g = disk.geometry().clone();
+        let mut chs = g.locate(raw);
+        chs.sector = 0;
+        let lba = g.lba_of(chs);
+        let req = DiskRequest { id: 0, access: 0, lba, sectors: 16, write: false };
+        let first = disk.service(&req, 0);
+        // Immediately asking for the same block again: no seek, no head
+        // switch — rotation + transfer only.
+        let second = disk.service(&req, first.total());
+        prop_assert_eq!(second.seek, 0);
+        prop_assert_eq!(second.head_switch, 0);
+    }
+
+    #[test]
+    fn state_tracks_final_cylinder(lba in 0u64..1_900_000) {
+        let mut disk = Disk::hp2247();
+        let req = DiskRequest { id: 0, access: 0, lba, sectors: 16, write: true };
+        let _ = disk.service(&req, 0);
+        let end = disk.geometry().locate(lba + 15);
+        prop_assert_eq!(disk.current_cylinder(), end.cylinder);
+    }
+}

@@ -1,0 +1,522 @@
+//! Extension fields `GF(p^e)` with table-driven multiplication.
+//!
+//! PDDL on a prime-power number of disks develops its base permutation by
+//! *field addition* in `GF(p^e)`: coordinate-wise addition of base-`p`
+//! digit vectors. For `p = 2` this is the bitwise XOR the paper highlights
+//! as "available in most hardware environments".
+//!
+//! Elements are encoded as integers in `[0, p^e)` whose base-`p` digits
+//! are the polynomial coefficients (low digit = constant term). For
+//! `p = 2` this is the familiar bit-vector encoding.
+
+use std::fmt;
+
+use crate::prime::{factorize, is_prime};
+
+/// Largest supported field size (bounds the exp/log table memory).
+const MAX_FIELD_SIZE: usize = 1 << 20;
+
+/// Errors from [`GfExt`] construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildFieldError {
+    /// The characteristic `p` is not prime.
+    NotPrime(usize),
+    /// The extension degree was zero.
+    ZeroDegree,
+    /// `p^e` exceeds the supported table size.
+    TooLarge,
+    /// The supplied modulus polynomial has the wrong coefficient count
+    /// (must be `e + 1`, constant term first).
+    WrongDegree { expected: usize, got: usize },
+    /// The supplied modulus polynomial is not monic.
+    NotMonic,
+    /// A coefficient was `>= p`.
+    CoefficientRange,
+    /// The supplied modulus polynomial is reducible over `GF(p)` so the
+    /// quotient ring is not a field.
+    Reducible,
+    /// No irreducible polynomial was found (cannot happen for valid
+    /// `p`, `e`; kept for totality).
+    NoIrreducible,
+}
+
+impl fmt::Display for BuildFieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotPrime(p) => write!(f, "characteristic {p} is not prime"),
+            Self::ZeroDegree => write!(f, "extension degree must be at least 1"),
+            Self::TooLarge => write!(f, "field size exceeds {MAX_FIELD_SIZE}"),
+            Self::WrongDegree { expected, got } => {
+                write!(f, "modulus needs {expected} coefficients, got {got}")
+            }
+            Self::NotMonic => write!(f, "modulus polynomial must be monic"),
+            Self::CoefficientRange => write!(f, "modulus coefficient out of range"),
+            Self::Reducible => write!(f, "modulus polynomial is reducible"),
+            Self::NoIrreducible => write!(f, "no irreducible polynomial found"),
+        }
+    }
+}
+
+impl std::error::Error for BuildFieldError {}
+
+/// The finite field `GF(p^e)`.
+///
+/// Multiplication uses exp/log tables built once at construction; addition
+/// is coordinate-wise mod-`p` digit addition (XOR when `p = 2`).
+///
+/// ```
+/// use pddl_gf::GfExt;
+///
+/// let f = GfExt::new(3, 2).unwrap(); // GF(9)
+/// assert_eq!(f.size(), 9);
+/// let g = f.primitive_element();
+/// assert!(f.is_primitive(g));
+/// // every nonzero element has an inverse
+/// for a in 1..9 {
+///     assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+/// }
+/// ```
+#[derive(Clone)]
+pub struct GfExt {
+    p: usize,
+    e: u32,
+    size: usize,
+    /// Modulus coefficients `c_0..c_e` (constant first, monic).
+    modulus: Vec<usize>,
+    /// `exp[i] = g^i` for `i in 0..2(q-1)` (doubled to skip a reduction).
+    exp: Vec<usize>,
+    /// `log[a]` for `a in 1..q`; `log[0]` is unused.
+    log: Vec<usize>,
+    /// The generator whose powers fill `exp`.
+    generator: usize,
+}
+
+impl fmt::Debug for GfExt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GfExt")
+            .field("p", &self.p)
+            .field("e", &self.e)
+            .field("modulus", &self.modulus)
+            .field("generator", &self.generator)
+            .finish()
+    }
+}
+
+impl GfExt {
+    /// Build `GF(p^e)` with an automatically-chosen irreducible modulus
+    /// (the lexicographically first monic irreducible of degree `e`).
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildFieldError`].
+    pub fn new(p: usize, e: u32) -> Result<Self, BuildFieldError> {
+        Self::validate_shape(p, e)?;
+        if e == 1 {
+            // modulus x - 0 is fine structurally; arithmetic is plain mod p.
+            return Self::finish(p, e, vec![0, 1]);
+        }
+        // Search monic polynomials x^e + c_{e-1} x^{e-1} + ... + c_0 in
+        // lexicographic order of (c_0, .., c_{e-1}).
+        let combos = (p as u64).pow(e);
+        for idx in 0..combos {
+            let mut coeffs = Vec::with_capacity(e as usize + 1);
+            let mut v = idx;
+            for _ in 0..e {
+                coeffs.push((v % p as u64) as usize);
+                v /= p as u64;
+            }
+            coeffs.push(1);
+            if coeffs[0] == 0 {
+                continue; // divisible by x
+            }
+            if let Ok(field) = Self::finish(p, e, coeffs) {
+                return Ok(field);
+            }
+        }
+        Err(BuildFieldError::NoIrreducible)
+    }
+
+    /// Build `GF(p^e)` with an explicit monic modulus polynomial, given as
+    /// `e + 1` coefficients, constant term first.
+    ///
+    /// The paper's Appendix example uses `GF(16)` with modulus
+    /// `x^4 + x^3 + x^2 + x + 1`, i.e. `&[1, 1, 1, 1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildFieldError::Reducible`] if the polynomial is not
+    /// irreducible over `GF(p)`, plus the shape errors of [`GfExt::new`].
+    pub fn with_modulus(p: usize, e: u32, coeffs: &[usize]) -> Result<Self, BuildFieldError> {
+        Self::validate_shape(p, e)?;
+        if coeffs.len() != e as usize + 1 {
+            return Err(BuildFieldError::WrongDegree {
+                expected: e as usize + 1,
+                got: coeffs.len(),
+            });
+        }
+        if coeffs[e as usize] != 1 {
+            return Err(BuildFieldError::NotMonic);
+        }
+        if coeffs.iter().any(|&c| c >= p) {
+            return Err(BuildFieldError::CoefficientRange);
+        }
+        Self::finish(p, e, coeffs.to_vec())
+    }
+
+    fn validate_shape(p: usize, e: u32) -> Result<(), BuildFieldError> {
+        if !is_prime(p as u64) {
+            return Err(BuildFieldError::NotPrime(p));
+        }
+        if e == 0 {
+            return Err(BuildFieldError::ZeroDegree);
+        }
+        match (p as u128).checked_pow(e) {
+            Some(s) if s <= MAX_FIELD_SIZE as u128 => Ok(()),
+            _ => Err(BuildFieldError::TooLarge),
+        }
+    }
+
+    /// Construct tables; fails with `Reducible` when no element has full
+    /// multiplicative order (which happens exactly when the modulus is
+    /// reducible, since then the ring has zero divisors).
+    fn finish(p: usize, e: u32, modulus: Vec<usize>) -> Result<Self, BuildFieldError> {
+        let size = (p as u64).pow(e) as usize;
+        let mut field = Self {
+            p,
+            e,
+            size,
+            modulus,
+            exp: Vec::new(),
+            log: Vec::new(),
+            generator: 0,
+        };
+        let order = size - 1;
+        let factors = factorize(order as u64);
+        let generator = (1..size)
+            .find(|&g| field.order_is_full(g, order as u64, &factors))
+            .ok_or(BuildFieldError::Reducible)?;
+        // Fill exp/log from the generator.
+        let mut exp = vec![0usize; 2 * order];
+        let mut log = vec![usize::MAX; size];
+        let mut x = 1usize;
+        for (i, slot) in exp.iter_mut().take(order).enumerate() {
+            *slot = x;
+            if log[x] != usize::MAX {
+                // A repeat before covering all of order steps means g's
+                // order was not actually `order` — reducible modulus.
+                return Err(BuildFieldError::Reducible);
+            }
+            log[x] = i;
+            x = field.mul_direct(x, generator);
+        }
+        if x != 1 || log.iter().skip(1).any(|&l| l == usize::MAX) {
+            return Err(BuildFieldError::Reducible);
+        }
+        for i in 0..order {
+            exp[order + i] = exp[i];
+        }
+        field.exp = exp;
+        field.log = log;
+        field.generator = generator;
+        Ok(field)
+    }
+
+    fn order_is_full(&self, g: usize, order: u64, factors: &[(u64, u32)]) -> bool {
+        if self.pow_direct(g, order) != 1 {
+            return false; // zero divisor or not a unit: reducible modulus
+        }
+        factors
+            .iter()
+            .all(|&(q, _)| self.pow_direct(g, order / q) != 1)
+    }
+
+    /// Number of field elements, `p^e`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Field characteristic `p`.
+    pub fn characteristic(&self) -> usize {
+        self.p
+    }
+
+    /// Extension degree `e`.
+    pub fn degree(&self) -> u32 {
+        self.e
+    }
+
+    /// The generator whose powers fill the multiplication tables. Always
+    /// a primitive element.
+    pub fn generator(&self) -> usize {
+        self.generator
+    }
+
+    /// Alias for [`GfExt::generator`], matching the paper's terminology.
+    pub fn primitive_element(&self) -> usize {
+        self.generator
+    }
+
+    /// Modulus polynomial coefficients, constant term first (monic).
+    pub fn modulus(&self) -> &[usize] {
+        &self.modulus
+    }
+
+    fn digits(&self, mut a: usize) -> Vec<usize> {
+        let mut d = vec![0usize; self.e as usize];
+        for slot in d.iter_mut() {
+            *slot = a % self.p;
+            a /= self.p;
+        }
+        d
+    }
+
+    fn undigits(&self, d: &[usize]) -> usize {
+        d.iter().rev().fold(0usize, |acc, &x| acc * self.p + x)
+    }
+
+    /// Field addition: coordinate-wise digit addition mod `p` (XOR when
+    /// `p = 2`). This is the PDDL development operation.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that both operands are in range.
+    pub fn add(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < self.size && b < self.size);
+        if self.p == 2 {
+            return a ^ b;
+        }
+        let (da, db) = (self.digits(a), self.digits(b));
+        let sum: Vec<usize> = da
+            .iter()
+            .zip(&db)
+            .map(|(&x, &y)| {
+                let s = x + y;
+                if s >= self.p {
+                    s - self.p
+                } else {
+                    s
+                }
+            })
+            .collect();
+        self.undigits(&sum)
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < self.size && b < self.size);
+        if self.p == 2 {
+            return a ^ b;
+        }
+        let (da, db) = (self.digits(a), self.digits(b));
+        let diff: Vec<usize> = da
+            .iter()
+            .zip(&db)
+            .map(|(&x, &y)| if x >= y { x - y } else { x + self.p - y })
+            .collect();
+        self.undigits(&diff)
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self, a: usize) -> usize {
+        self.sub(0, a)
+    }
+
+    /// Field multiplication via exp/log tables.
+    pub fn mul(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < self.size && b < self.size);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.exp[self.log[a] + self.log[b]]
+    }
+
+    /// Polynomial multiplication with explicit reduction — used during
+    /// construction before the tables exist, and by tests to cross-check
+    /// the tables.
+    pub fn mul_direct(&self, a: usize, b: usize) -> usize {
+        let e = self.e as usize;
+        let (da, db) = (self.digits(a), self.digits(b));
+        let mut prod = vec![0usize; 2 * e - 1];
+        for (i, &x) in da.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            for (j, &y) in db.iter().enumerate() {
+                prod[i + j] = (prod[i + j] + x * y) % self.p;
+            }
+        }
+        // Reduce modulo the monic modulus: x^e = -(c_{e-1}x^{e-1}+..+c_0).
+        for i in (e..2 * e - 1).rev() {
+            let t = prod[i];
+            if t == 0 {
+                continue;
+            }
+            prod[i] = 0;
+            for j in 0..e {
+                let c = self.modulus[j];
+                if c != 0 {
+                    let sub = t * c % self.p;
+                    prod[i - e + j] = (prod[i - e + j] + self.p - sub) % self.p;
+                }
+            }
+        }
+        self.undigits(&prod[..e])
+    }
+
+    fn pow_direct(&self, a: usize, mut exp: u64) -> usize {
+        let mut result = 1usize;
+        let mut base = a;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = self.mul_direct(result, base);
+            }
+            base = self.mul_direct(base, base);
+            exp >>= 1;
+        }
+        result
+    }
+
+    /// `a^exp` using the log tables.
+    pub fn pow(&self, a: usize, exp: u64) -> usize {
+        debug_assert!(a < self.size);
+        if a == 0 {
+            return if exp == 0 { 1 } else { 0 };
+        }
+        let order = (self.size - 1) as u64;
+        let l = self.log[a] as u64;
+        self.exp[((l * (exp % order)) % order) as usize]
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    pub fn inv(&self, a: usize) -> Option<usize> {
+        debug_assert!(a < self.size);
+        if a == 0 {
+            return None;
+        }
+        let order = self.size - 1;
+        Some(self.exp[(order - self.log[a]) % order])
+    }
+
+    /// Does `a` generate the whole multiplicative group?
+    pub fn is_primitive(&self, a: usize) -> bool {
+        if a == 0 {
+            return false;
+        }
+        let order = (self.size - 1) as u64;
+        factorize(order)
+            .iter()
+            .all(|&(q, _)| self.pow(a, order / q) != 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert_eq!(GfExt::new(4, 2).unwrap_err(), BuildFieldError::NotPrime(4));
+        assert_eq!(GfExt::new(2, 0).unwrap_err(), BuildFieldError::ZeroDegree);
+        assert_eq!(GfExt::new(2, 40).unwrap_err(), BuildFieldError::TooLarge);
+        assert!(matches!(
+            GfExt::with_modulus(2, 4, &[1, 1, 1]).unwrap_err(),
+            BuildFieldError::WrongDegree { .. }
+        ));
+        assert_eq!(
+            GfExt::with_modulus(2, 2, &[1, 1, 0]).unwrap_err(),
+            BuildFieldError::NotMonic
+        );
+        assert_eq!(
+            GfExt::with_modulus(3, 2, &[5, 0, 1]).unwrap_err(),
+            BuildFieldError::CoefficientRange
+        );
+        // x^2 + 1 = (x+1)^2 over GF(2): reducible.
+        assert_eq!(
+            GfExt::with_modulus(2, 2, &[1, 0, 1]).unwrap_err(),
+            BuildFieldError::Reducible
+        );
+    }
+
+    #[test]
+    fn paper_gf16_power_sequence() {
+        // Appendix: GF(16), modulus x^4+x^3+x^2+x+1, primitive element x+1.
+        let f = GfExt::with_modulus(2, 4, &[1, 1, 1, 1, 1]).unwrap();
+        assert!(f.is_primitive(3), "x+1 should be primitive");
+        let powers: Vec<usize> = (0..15).map(|i| {
+            let mut x = 1;
+            for _ in 0..i {
+                x = f.mul(x, 3);
+            }
+            x
+        })
+        .collect();
+        assert_eq!(
+            powers,
+            vec![1, 3, 5, 15, 14, 13, 8, 7, 9, 4, 12, 11, 2, 6, 10]
+        );
+        // x (encoded 2) has order 5 under this modulus, so it is NOT
+        // primitive — exactly why the paper picked x+1.
+        assert!(!f.is_primitive(2));
+        assert_eq!(f.pow(2, 5), 1);
+    }
+
+    #[test]
+    fn field_axioms_for_various_fields() {
+        for (p, e) in [(2usize, 1u32), (2, 3), (2, 4), (3, 2), (5, 2), (7, 1), (3, 3)] {
+            let f = GfExt::new(p, e).unwrap();
+            let q = f.size();
+            for a in 0..q {
+                assert_eq!(f.add(a, 0), a);
+                assert_eq!(f.mul(a, 1), a);
+                assert_eq!(f.add(a, f.neg(a)), 0);
+                if a != 0 {
+                    assert_eq!(f.mul(a, f.inv(a).unwrap()), 1, "p={p} e={e} a={a}");
+                }
+                for b in 0..q {
+                    assert_eq!(f.add(a, b), f.add(b, a));
+                    assert_eq!(f.mul(a, b), f.mul(b, a));
+                    assert_eq!(f.mul(a, b), f.mul_direct(a, b), "table vs direct");
+                    assert_eq!(f.sub(f.add(a, b), b), a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity_sampled() {
+        let f = GfExt::new(3, 3).unwrap(); // GF(27)
+        for a in 0..27 {
+            for b in 0..27 {
+                for c in [0usize, 1, 2, 5, 13, 26] {
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_one_matches_prime_field() {
+        let f = GfExt::new(7, 1).unwrap();
+        let g = crate::Gfp::new(7).unwrap();
+        for a in 0..7 {
+            for b in 0..7 {
+                assert_eq!(f.add(a, b), g.add(a, b));
+                assert_eq!(f.mul(a, b), g.mul(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_and_primitive() {
+        let f = GfExt::new(2, 8).unwrap(); // GF(256)
+        let g = f.generator();
+        assert!(f.is_primitive(g));
+        assert_eq!(f.pow(g, 255), 1);
+        assert_eq!(f.pow(g, 0), 1);
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+        // count primitive elements = φ(255) = φ(3·5·17) = 2·4·16 = 128
+        let count = (1..256).filter(|&a| f.is_primitive(a)).count();
+        assert_eq!(count, 128);
+    }
+}

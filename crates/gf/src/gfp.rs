@@ -1,0 +1,135 @@
+//! Arithmetic in the prime field `GF(p)`.
+
+use crate::prime::{is_prime, pow_mod, primitive_root};
+
+/// The prime field `GF(p)` with elements `0..p` represented as `usize`.
+///
+/// This is a lightweight context object (it stores only `p`); all
+/// operations are plain modular arithmetic. It exists so layout code can
+/// be generic over "prime field" vs "extension field" without paying for
+/// table lookups in the prime case.
+///
+/// ```
+/// use pddl_gf::Gfp;
+///
+/// let f = Gfp::new(7).unwrap();
+/// assert_eq!(f.add(3, 4), 0);
+/// assert_eq!(f.mul(3, 3), 2);
+/// assert_eq!(f.inv(3), Some(5)); // 3 * 5 = 15 ≡ 1 (mod 7)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gfp {
+    p: usize,
+}
+
+impl Gfp {
+    /// Create `GF(p)`. Returns `None` if `p` is not prime.
+    pub fn new(p: usize) -> Option<Self> {
+        if is_prime(p as u64) {
+            Some(Self { p })
+        } else {
+            None
+        }
+    }
+
+    /// The field characteristic and size, `p`.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// `a + b (mod p)`.
+    pub fn add(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < self.p && b < self.p);
+        let s = a + b;
+        if s >= self.p {
+            s - self.p
+        } else {
+            s
+        }
+    }
+
+    /// `a - b (mod p)`.
+    pub fn sub(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < self.p && b < self.p);
+        if a >= b {
+            a - b
+        } else {
+            a + self.p - b
+        }
+    }
+
+    /// `a * b (mod p)`.
+    pub fn mul(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < self.p && b < self.p);
+        (a as u128 * b as u128 % self.p as u128) as usize
+    }
+
+    /// `a^e (mod p)`.
+    pub fn pow(&self, a: usize, e: u64) -> usize {
+        pow_mod(a as u64, e, self.p as u64) as usize
+    }
+
+    /// Multiplicative inverse of `a`, or `None` when `a == 0`.
+    pub fn inv(&self, a: usize) -> Option<usize> {
+        if a == 0 {
+            None
+        } else {
+            // Fermat: a^(p-2) mod p.
+            Some(self.pow(a, self.p as u64 - 2))
+        }
+    }
+
+    /// The smallest primitive element (generator) of the field.
+    pub fn primitive_element(&self) -> usize {
+        primitive_root(self.p as u64).expect("p is prime by construction") as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_composite() {
+        assert!(Gfp::new(6).is_none());
+        assert!(Gfp::new(1).is_none());
+        assert!(Gfp::new(0).is_none());
+        assert!(Gfp::new(13).is_some());
+    }
+
+    #[test]
+    fn field_axioms_small() {
+        for p in [2usize, 3, 5, 7, 11, 13] {
+            let f = Gfp::new(p).unwrap();
+            for a in 0..p {
+                // additive inverse exists
+                assert_eq!(f.add(a, f.sub(0, a)), 0);
+                if a != 0 {
+                    let ai = f.inv(a).unwrap();
+                    assert_eq!(f.mul(a, ai), 1, "inv failed: p={p} a={a}");
+                }
+                for b in 0..p {
+                    assert_eq!(f.add(a, b), f.add(b, a));
+                    assert_eq!(f.mul(a, b), f.mul(b, a));
+                    assert_eq!(f.sub(f.add(a, b), b), a);
+                    for c in 0..p {
+                        assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primitive_element_generates() {
+        let f = Gfp::new(13).unwrap();
+        let g = f.primitive_element();
+        let mut seen = std::collections::HashSet::new();
+        let mut x = 1;
+        for _ in 0..12 {
+            seen.insert(x);
+            x = f.mul(x, g);
+        }
+        assert_eq!(seen.len(), 12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Finite-field arithmetic for PDDL permutation development.
+//!
+//! The PDDL disk-array layout (Schwarz, Steinberg, Burkhard — HPCA 1999)
+//! develops a base permutation by *field addition*: for a prime number of
+//! disks `n` the development step is addition modulo `n`; for `n = 2^m` it
+//! is bitwise XOR; and in general, for `n = p^e` a prime power, it is
+//! coordinate-wise addition of base-`p` digit vectors — addition in the
+//! field `GF(p^e)`.
+//!
+//! This crate provides exactly the machinery the layout needs:
+//!
+//! * [`prime`] — primality testing, factorization and primitive roots of
+//!   prime fields (used by the Bose construction of satisfactory base
+//!   permutations),
+//! * [`gfp`] — a convenience wrapper for arithmetic in `GF(p)`,
+//! * [`gfext`] — extension fields `GF(p^e)` with table-driven
+//!   multiplication, irreducible-polynomial search and primitive-element
+//!   discovery (used for non-prime disk counts such as 8, 9 or 16).
+//!
+//! # Example
+//!
+//! Reproduce the paper's `GF(16)` example (Appendix): with modulus
+//! polynomial `x^4 + x^3 + x^2 + x + 1` the element `x + 1` (encoded `3`)
+//! is primitive and its successive powers are exactly the sequence printed
+//! in the paper.
+//!
+//! ```
+//! use pddl_gf::gfext::GfExt;
+//!
+//! let f = GfExt::with_modulus(2, 4, &[1, 1, 1, 1, 1]).unwrap();
+//! assert!(f.is_primitive(3));
+//! let powers: Vec<usize> = (0..15).map(|i| f.pow(3, i)).collect();
+//! assert_eq!(
+//!     powers,
+//!     [1, 3, 5, 15, 14, 13, 8, 7, 9, 4, 12, 11, 2, 6, 10]
+//! );
+//! ```
+
+pub mod gfext;
+pub mod gfp;
+pub mod prime;
+pub mod rs;
+
+pub use gfext::GfExt;
+pub use rs::ReedSolomon;
+pub use gfp::Gfp;
+pub use prime::{factorize, is_prime, is_prime_power, pow_mod, primitive_root};
+
+/// The additive group a layout develops over.
+///
+/// PDDL only ever needs the *additive* structure of the field at mapping
+/// time (`physical = π[d] ⊕ offset`), so this trait is deliberately tiny.
+/// The multiplicative structure is used once, offline, to build the base
+/// permutation.
+pub trait DevelopmentGroup {
+    /// Number of elements (equals the number of disks `n`).
+    fn order(&self) -> usize;
+
+    /// Group addition: `a ⊕ b`, both in `[0, order)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `a` or `b` is out of range.
+    fn add(&self, a: usize, b: usize) -> usize;
+}
+
+/// Addition modulo a (not necessarily prime) integer — the development
+/// group for prime `n` and the fallback group used by searched base
+/// permutations on composite `n` (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModularGroup {
+    order: usize,
+}
+
+impl ModularGroup {
+    /// Create the additive group of integers modulo `order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`.
+    pub fn new(order: usize) -> Self {
+        assert!(order > 0, "group order must be positive");
+        Self { order }
+    }
+}
+
+impl DevelopmentGroup for ModularGroup {
+    fn order(&self) -> usize {
+        self.order
+    }
+
+    fn add(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < self.order && b < self.order);
+        let s = a + b;
+        if s >= self.order {
+            s - self.order
+        } else {
+            s
+        }
+    }
+}
+
+impl DevelopmentGroup for GfExt {
+    fn order(&self) -> usize {
+        self.size()
+    }
+
+    fn add(&self, a: usize, b: usize) -> usize {
+        GfExt::add(self, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modular_group_wraps() {
+        let g = ModularGroup::new(7);
+        assert_eq!(g.order(), 7);
+        assert_eq!(g.add(3, 4), 0);
+        assert_eq!(g.add(3, 3), 6);
+        assert_eq!(g.add(0, 0), 0);
+        assert_eq!(g.add(6, 6), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "group order must be positive")]
+    fn modular_group_rejects_zero() {
+        let _ = ModularGroup::new(0);
+    }
+
+    #[test]
+    fn gfext_group_is_xor_for_binary() {
+        let f = GfExt::new(2, 4).unwrap();
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(DevelopmentGroup::add(&f, a, b), a ^ b);
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Primality, factorization and primitive roots.
+//!
+//! The Bose construction (paper §3) needs a primitive element of `GF(n)`
+//! for prime `n`; Table 1 additionally needs to recognize prime *powers*
+//! so the extension-field variant can be used.
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the standard deterministic witness set
+/// `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`.
+///
+/// ```
+/// assert!(pddl_gf::is_prime(13));
+/// assert!(!pddl_gf::is_prime(55));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// `(a * b) mod m` without overflow for any `u64` operands.
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `base^exp mod m` by square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn pow_mod(base: u64, mut exp: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be non-zero");
+    if m == 1 {
+        return 0;
+    }
+    let mut result = 1u64;
+    let mut base = base % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = mul_mod(result, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Prime factorization by trial division, returned as `(prime, exponent)`
+/// pairs in increasing prime order.
+///
+/// Suitable for the small moduli that appear in disk-array configurations
+/// (a few thousand at most), though it is exact for all `u64`.
+///
+/// ```
+/// assert_eq!(pddl_gf::factorize(360), vec![(2, 3), (3, 2), (5, 1)]);
+/// ```
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    let mut push = |p: u64, n: &mut u64| {
+        if (*n).is_multiple_of(p) {
+            let mut e = 0;
+            while (*n).is_multiple_of(p) {
+                *n /= p;
+                e += 1;
+            }
+            out.push((p, e));
+        }
+    };
+    push(2, &mut n);
+    push(3, &mut n);
+    let mut p = 5u64;
+    while p.saturating_mul(p) <= n {
+        push(p, &mut n);
+        push(p + 2, &mut n);
+        p += 6;
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// If `n` is a prime power `p^e`, return `(p, e)`; otherwise `None`.
+///
+/// ```
+/// assert_eq!(pddl_gf::is_prime_power(16), Some((2, 4)));
+/// assert_eq!(pddl_gf::is_prime_power(13), Some((13, 1)));
+/// assert_eq!(pddl_gf::is_prime_power(12), None);
+/// ```
+pub fn is_prime_power(n: u64) -> Option<(u64, u32)> {
+    if n < 2 {
+        return None;
+    }
+    let f = factorize(n);
+    if f.len() == 1 {
+        Some(f[0])
+    } else {
+        None
+    }
+}
+
+/// Find the smallest primitive root modulo a prime `p`.
+///
+/// A primitive root generates the whole multiplicative group, which is
+/// exactly what the Bose construction distributes round-robin into the
+/// stripe blocks `B_1..B_g`.
+///
+/// Returns `None` if `p` is not prime (primitive roots modulo composite
+/// numbers are out of scope — the layout never needs them).
+///
+/// ```
+/// assert_eq!(pddl_gf::primitive_root(7), Some(3));
+/// assert_eq!(pddl_gf::primitive_root(13), Some(2));
+/// assert_eq!(pddl_gf::primitive_root(12), None);
+/// ```
+pub fn primitive_root(p: u64) -> Option<u64> {
+    if !is_prime(p) {
+        return None;
+    }
+    if p == 2 {
+        return Some(1);
+    }
+    let phi = p - 1;
+    let factors = factorize(phi);
+    'candidate: for g in 2..p {
+        for &(q, _) in &factors {
+            if pow_mod(g, phi / q, p) == 1 {
+                continue 'candidate;
+            }
+        }
+        return Some(g);
+    }
+    None
+}
+
+/// Enumerate *all* primitive roots modulo a prime `p`.
+///
+/// Useful when searching for the base permutation whose Bose blocks give
+/// the nicest physical layout (the paper's n = 7 example uses ω = 3).
+pub fn primitive_roots(p: u64) -> Vec<u64> {
+    if !is_prime(p) {
+        return Vec::new();
+    }
+    if p == 2 {
+        return vec![1];
+    }
+    let phi = p - 1;
+    let factors = factorize(phi);
+    (2..p)
+        .filter(|&g| factors.iter().all(|&(q, _)| pow_mod(g, phi / q, p) != 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
+                79, 83, 89, 97
+            ]
+        );
+    }
+
+    #[test]
+    fn large_prime_and_composite() {
+        assert!(is_prime(2_147_483_647)); // Mersenne prime 2^31 - 1
+        assert!(!is_prime(2_147_483_649));
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime(18_446_744_073_709_551_615)); // u64::MAX
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        for base in 0..20u64 {
+            for exp in 0..10u64 {
+                let m = 97;
+                let naive = (0..exp).fold(1u64, |acc, _| acc * base % m);
+                assert_eq!(pow_mod(base, exp, m), naive);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_mod_modulus_one() {
+        assert_eq!(pow_mod(5, 3, 1), 0);
+    }
+
+    #[test]
+    fn factorize_roundtrip() {
+        for n in 2..2000u64 {
+            let f = factorize(n);
+            let prod: u64 = f.iter().map(|&(p, e)| p.pow(e)).product();
+            assert_eq!(prod, n, "factorization of {n} does not multiply back");
+            for &(p, _) in &f {
+                assert!(is_prime(p), "{p} reported as prime factor of {n}");
+            }
+            for w in f.windows(2) {
+                assert!(w[0].0 < w[1].0, "factors of {n} not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn prime_powers() {
+        assert_eq!(is_prime_power(2), Some((2, 1)));
+        assert_eq!(is_prime_power(8), Some((2, 3)));
+        assert_eq!(is_prime_power(9), Some((3, 2)));
+        assert_eq!(is_prime_power(25), Some((5, 2)));
+        assert_eq!(is_prime_power(1), None);
+        assert_eq!(is_prime_power(0), None);
+        assert_eq!(is_prime_power(6), None);
+        assert_eq!(is_prime_power(100), None);
+    }
+
+    #[test]
+    fn primitive_root_generates_group() {
+        for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 41, 53, 55 + 2] {
+            if !is_prime(p) {
+                continue;
+            }
+            let g = primitive_root(p).unwrap();
+            let mut seen = vec![false; p as usize];
+            let mut x = 1u64;
+            for _ in 0..p - 1 {
+                assert!(!seen[x as usize], "repeat before full cycle for p={p}");
+                seen[x as usize] = true;
+                x = x * g % p;
+            }
+            assert_eq!(x, 1, "order of {g} is not {} for p={p}", p - 1);
+        }
+    }
+
+    #[test]
+    fn paper_primitive_element_for_seven() {
+        // Paper §3: "3 is a primitive element since 3^0=1, 3^1=3, 3^2=2,
+        // 3^3=6, 3^4=4, 3^5=5 (mod 7)".
+        let powers: Vec<u64> = (0..6).map(|i| pow_mod(3, i, 7)).collect();
+        assert_eq!(powers, vec![1, 3, 2, 6, 4, 5]);
+        assert!(primitive_roots(7).contains(&3));
+    }
+
+    #[test]
+    fn primitive_roots_count_is_phi_phi() {
+        // The number of primitive roots mod p is φ(p−1).
+        let phi = |mut n: u64| {
+            let mut r = n;
+            for (p, _) in factorize(n) {
+                r = r / p * (p - 1);
+                while n.is_multiple_of(p) {
+                    n /= p;
+                }
+            }
+            r
+        };
+        for p in [5u64, 7, 11, 13, 23, 31] {
+            assert_eq!(primitive_roots(p).len() as u64, phi(p - 1), "p={p}");
+        }
+    }
+}

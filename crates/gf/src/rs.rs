@@ -1,0 +1,463 @@
+//! Systematic Reed–Solomon erasure coding over `GF(256)`.
+//!
+//! The PDDL paper treats check-unit contents abstractly ("the check unit
+//! contains the parity of the data units"; §5 allows "arbitrary fixed
+//! combinations of check and data blocks"). This module supplies the
+//! actual redundancy math for a functional array: `c = 1` reduces to
+//! XOR parity; `c ≥ 2` uses a Vandermonde-style systematic code that
+//! recovers from any combination of up to `c` erased units.
+
+use crate::gfext::GfExt;
+
+/// Errors from Reed–Solomon coding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// More erasures than check units.
+    TooManyErasures {
+        /// Erased shard count.
+        erased: usize,
+        /// Available check units.
+        checks: usize,
+    },
+    /// Shards have inconsistent lengths or counts.
+    ShapeMismatch,
+    /// `data + checks` exceeds the field size (255 shards max).
+    TooManyShards,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::TooManyErasures { erased, checks } => {
+                write!(f, "{erased} erasures exceed {checks} check units")
+            }
+            CodecError::ShapeMismatch => write!(f, "shard shape mismatch"),
+            CodecError::TooManyShards => write!(f, "too many shards for GF(256)"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A systematic `(d + c, d)` Reed–Solomon code: `d` data shards, `c`
+/// check shards, tolerating any `c` erasures.
+///
+/// ```
+/// use pddl_gf::rs::ReedSolomon;
+///
+/// let rs = ReedSolomon::new(3, 2).unwrap();
+/// let data = [b"abcd".to_vec(), b"efgh".to_vec(), b"ijkl".to_vec()];
+/// let checks = rs.encode(&data).unwrap();
+///
+/// // Lose data shard 0 and check shard 1:
+/// let mut shards: Vec<Option<Vec<u8>>> = vec![
+///     None, Some(data[1].clone()), Some(data[2].clone()),
+///     Some(checks[0].clone()), None,
+/// ];
+/// rs.reconstruct(&mut shards).unwrap();
+/// assert_eq!(shards[0].as_deref(), Some(&b"abcd"[..]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    data: usize,
+    checks: usize,
+    field: GfExt,
+    /// `c × d` encoding matrix: `check_i = Σ_j enc[i][j] · data_j`.
+    enc: Vec<Vec<usize>>,
+}
+
+impl ReedSolomon {
+    /// Create a code with `d ≥ 1` data shards and `c ≥ 1` check shards.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TooManyShards`] when `d + c > 255`.
+    pub fn new(data: usize, checks: usize) -> Result<Self, CodecError> {
+        if data == 0 || checks == 0 || data + checks > 255 {
+            return Err(CodecError::TooManyShards);
+        }
+        let field = GfExt::new(2, 8).expect("GF(256) always constructible");
+        // Rows of a Vandermonde matrix over distinct non-zero points
+        // x_1..x_d evaluated at c distinct exponents: enc[i][j] = x_j^i.
+        // Row 0 is all-ones, so c = 1 is plain XOR parity.
+        let enc: Vec<Vec<usize>> = (0..checks)
+            .map(|i| {
+                (0..data)
+                    .map(|j| field.pow(j + 1, i as u64))
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            data,
+            checks,
+            field,
+            enc,
+        })
+    }
+
+    /// Number of data shards `d`.
+    pub fn data_shards(&self) -> usize {
+        self.data
+    }
+
+    /// Number of check shards `c`.
+    pub fn check_shards(&self) -> usize {
+        self.checks
+    }
+
+    /// Encode: compute the `c` check shards from `d` equal-length data
+    /// shards.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::ShapeMismatch`] on wrong shard count or ragged
+    /// lengths.
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodecError> {
+        if data.len() != self.data {
+            return Err(CodecError::ShapeMismatch);
+        }
+        let len = data[0].len();
+        if data.iter().any(|s| s.len() != len) {
+            return Err(CodecError::ShapeMismatch);
+        }
+        let mut checks = vec![vec![0u8; len]; self.checks];
+        for (i, check) in checks.iter_mut().enumerate() {
+            for (j, shard) in data.iter().enumerate() {
+                let coeff = self.enc[i][j];
+                if coeff == 0 {
+                    continue;
+                }
+                for (out, &byte) in check.iter_mut().zip(shard) {
+                    *out ^= self.field.mul(coeff, byte as usize) as u8;
+                }
+            }
+        }
+        Ok(checks)
+    }
+
+    /// Incremental parity update: fold the change of one data shard into
+    /// one check shard. With `delta = old_data ⊕ new_data`,
+    /// `check_i' = check_i ⊕ enc[i][j]·delta` — the read-modify-write
+    /// "small write" a real controller performs without touching the
+    /// other data shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when indices are out of range or lengths differ.
+    pub fn apply_delta(&self, check_index: usize, data_index: usize, delta: &[u8], check: &mut [u8]) {
+        assert!(check_index < self.checks && data_index < self.data, "shard index out of range");
+        assert_eq!(delta.len(), check.len(), "length mismatch");
+        let coeff = self.enc[check_index][data_index];
+        if coeff == 0 {
+            return;
+        }
+        for (c, &d) in check.iter_mut().zip(delta) {
+            *c ^= self.field.mul(coeff, d as usize) as u8;
+        }
+    }
+
+    /// Reconstruct missing shards in place. `shards` holds the `d` data
+    /// shards followed by the `c` check shards; `None` marks an erasure.
+    /// On success every entry is `Some`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TooManyErasures`] when more than `c` entries are
+    /// `None`; [`CodecError::ShapeMismatch`] on wrong count or ragged
+    /// lengths.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodecError> {
+        let total = self.data + self.checks;
+        if shards.len() != total {
+            return Err(CodecError::ShapeMismatch);
+        }
+        let missing: Vec<usize> = (0..total).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        if missing.len() > self.checks {
+            return Err(CodecError::TooManyErasures {
+                erased: missing.len(),
+                checks: self.checks,
+            });
+        }
+        let len = shards
+            .iter()
+            .flatten()
+            .map(Vec::len)
+            .next()
+            .ok_or(CodecError::ShapeMismatch)?;
+        if shards.iter().flatten().any(|s| s.len() != len) {
+            return Err(CodecError::ShapeMismatch);
+        }
+
+        // Build the linear system over the *data* unknowns. Each
+        // available row (identity rows for data shards, encoding rows
+        // for check shards) gives one equation; pick d independent ones.
+        let missing_data: Vec<usize> = missing.iter().copied().filter(|&i| i < self.data).collect();
+        if !missing_data.is_empty() {
+            self.solve_data(shards, &missing_data, len)?;
+        }
+        // With all data present, re-encode any missing checks.
+        let data: Vec<Vec<u8>> = shards[..self.data]
+            .iter()
+            .map(|s| s.clone().expect("data restored"))
+            .collect();
+        let checks = self.encode(&data)?;
+        for i in 0..self.checks {
+            if shards[self.data + i].is_none() {
+                shards[self.data + i] = Some(checks[i].clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve for missing data shards by Gaussian elimination on the
+    /// available rows.
+    fn solve_data(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+        missing_data: &[usize],
+        len: usize,
+    ) -> Result<(), CodecError> {
+        let f = &self.field;
+        // Equations: for each available check shard i,
+        //   Σ_{j missing} enc[i][j]·x_j = check_i − Σ_{j present} enc[i][j]·data_j.
+        let mut rows: Vec<(Vec<usize>, Vec<u8>)> = Vec::new();
+        for i in 0..self.checks {
+            let Some(check) = &shards[self.data + i] else {
+                continue;
+            };
+            let mut coeffs = Vec::with_capacity(missing_data.len());
+            for &j in missing_data {
+                coeffs.push(self.enc[i][j]);
+            }
+            let mut rhs = check.clone();
+            for (j, slot) in shards.iter().take(self.data).enumerate() {
+                if missing_data.contains(&j) {
+                    continue;
+                }
+                let shard = slot.as_ref().expect("present data shard");
+                let coeff = self.enc[i][j];
+                for (out, &byte) in rhs.iter_mut().zip(shard) {
+                    *out ^= f.mul(coeff, byte as usize) as u8;
+                }
+            }
+            rows.push((coeffs, rhs));
+        }
+        let unknowns = missing_data.len();
+        if rows.len() < unknowns {
+            return Err(CodecError::TooManyErasures {
+                erased: unknowns,
+                checks: rows.len(),
+            });
+        }
+        // Gaussian elimination over GF(256), column by column.
+        for col in 0..unknowns {
+            let pivot = (col..rows.len())
+                .find(|&r| rows[r].0[col] != 0)
+                .expect("Vandermonde submatrix is invertible");
+            rows.swap(col, pivot);
+            let inv = f.inv(rows[col].0[col]).expect("non-zero pivot");
+            for c in 0..unknowns {
+                rows[col].0[c] = f.mul(rows[col].0[c], inv);
+            }
+            for b in rows[col].1.iter_mut() {
+                *b = f.mul(inv, *b as usize) as u8;
+            }
+            for r in 0..rows.len() {
+                if r == col || rows[r].0[col] == 0 {
+                    continue;
+                }
+                let factor = rows[r].0[col];
+                let (head, tail) = rows.split_at_mut(r.max(col));
+                let (src, dst) = if r > col {
+                    (&head[col], &mut tail[0])
+                } else {
+                    (&tail[0], &mut head[r])
+                };
+                for c in 0..unknowns {
+                    dst.0[c] ^= f.mul(factor, src.0[c]);
+                }
+                for (d, &s) in dst.1.iter_mut().zip(&src.1) {
+                    *d ^= f.mul(factor, s as usize) as u8;
+                }
+            }
+        }
+        debug_assert!(rows.iter().all(|(_, rhs)| rhs.len() == len));
+        for (idx, &j) in missing_data.iter().enumerate() {
+            shards[j] = Some(rows[idx].1.clone());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(tag: u8, len: usize) -> Vec<u8> {
+        (0..len).map(|i| tag.wrapping_mul(31).wrapping_add(i as u8)).collect()
+    }
+
+    #[test]
+    fn xor_parity_for_single_check() {
+        let rs = ReedSolomon::new(3, 1).unwrap();
+        let data = [shard(1, 8), shard(2, 8), shard(3, 8)];
+        let checks = rs.encode(&data).unwrap();
+        for i in 0..8 {
+            assert_eq!(checks[0][i], data[0][i] ^ data[1][i] ^ data[2][i]);
+        }
+    }
+
+    #[test]
+    fn recovers_any_single_erasure() {
+        let rs = ReedSolomon::new(3, 1).unwrap();
+        let data = [shard(5, 16), shard(6, 16), shard(7, 16)];
+        let checks = rs.encode(&data).unwrap();
+        for lost in 0..4 {
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(checks.iter().cloned().map(Some))
+                .collect();
+            shards[lost] = None;
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, d) in data.iter().enumerate() {
+                assert_eq!(shards[i].as_ref().unwrap(), d, "lost={lost}");
+            }
+            assert_eq!(shards[3].as_ref().unwrap(), &checks[0]);
+        }
+    }
+
+    #[test]
+    fn recovers_every_double_erasure() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = [shard(9, 32), shard(10, 32), shard(11, 32), shard(12, 32)];
+        let checks = rs.encode(&data).unwrap();
+        let total = 6;
+        for a in 0..total {
+            for b in (a + 1)..total {
+                let mut shards: Vec<Option<Vec<u8>>> = data
+                    .iter()
+                    .cloned()
+                    .map(Some)
+                    .chain(checks.iter().cloned().map(Some))
+                    .collect();
+                shards[a] = None;
+                shards[b] = None;
+                rs.reconstruct(&mut shards).unwrap();
+                for (i, d) in data.iter().enumerate() {
+                    assert_eq!(shards[i].as_ref().unwrap(), d, "lost ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_triple_erasures_with_three_checks() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data: Vec<Vec<u8>> = (0..5).map(|t| shard(t as u8 + 40, 64)).collect();
+        let checks = rs.encode(&data).unwrap();
+        for lost in [[0usize, 1, 2], [0, 4, 7], [5, 6, 7], [2, 3, 6]] {
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(checks.iter().cloned().map(Some))
+                .collect();
+            for &l in &lost {
+                shards[l] = None;
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, d) in data.iter().enumerate() {
+                assert_eq!(shards[i].as_ref().unwrap(), d, "lost {lost:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_detected() {
+        let rs = ReedSolomon::new(3, 1).unwrap();
+        let data = [shard(1, 4), shard(2, 4), shard(3, 4)];
+        let checks = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![
+            None,
+            None,
+            Some(data[2].clone()),
+            Some(checks[0].clone()),
+        ];
+        assert!(matches!(
+            rs.reconstruct(&mut shards),
+            Err(CodecError::TooManyErasures { erased: 2, checks: 1 })
+        ));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        assert_eq!(
+            rs.encode(&[shard(1, 4)]).unwrap_err(),
+            CodecError::ShapeMismatch
+        );
+        assert_eq!(
+            rs.encode(&[shard(1, 4), shard(2, 5)]).unwrap_err(),
+            CodecError::ShapeMismatch
+        );
+        assert!(ReedSolomon::new(0, 1).is_err());
+        assert!(ReedSolomon::new(1, 0).is_err());
+        assert!(ReedSolomon::new(250, 6).is_err());
+        let mut wrong_count = vec![Some(shard(1, 4)); 2];
+        assert_eq!(
+            rs.reconstruct(&mut wrong_count).unwrap_err(),
+            CodecError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn apply_delta_matches_full_reencode() {
+        let rs = ReedSolomon::new(4, 3).unwrap();
+        let mut data = vec![shard(1, 16), shard(2, 16), shard(3, 16), shard(4, 16)];
+        let mut checks = rs.encode(&data).unwrap();
+        // Mutate data shard 2 and patch every check incrementally.
+        let new_shard = shard(99, 16);
+        let delta: Vec<u8> = data[2].iter().zip(&new_shard).map(|(a, b)| a ^ b).collect();
+        for (i, check) in checks.iter_mut().enumerate() {
+            rs.apply_delta(i, 2, &delta, check);
+        }
+        data[2] = new_shard;
+        assert_eq!(checks, rs.encode(&data).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_delta_bounds_checked() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        let mut check = vec![0u8; 4];
+        rs.apply_delta(1, 0, &[0; 4], &mut check);
+    }
+
+    #[test]
+    fn nothing_missing_is_a_noop() {
+        let rs = ReedSolomon::new(2, 2).unwrap();
+        let data = [shard(1, 4), shard(2, 4)];
+        let checks = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(checks.iter().cloned().map(Some))
+            .collect();
+        let before = shards.clone();
+        rs.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards, before);
+    }
+
+    #[test]
+    fn empty_shards_roundtrip() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        let data = [Vec::new(), Vec::new()];
+        let checks = rs.encode(&data).unwrap();
+        assert_eq!(checks[0].len(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests: field axioms and number-theoretic identities.
+
+use pddl_gf::{factorize, is_prime, pow_mod, primitive_root, GfExt, Gfp};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn factorization_multiplies_back(n in 2u64..1_000_000) {
+        let f = factorize(n);
+        let product: u64 = f.iter().map(|&(p, e)| p.pow(e)).product();
+        prop_assert_eq!(product, n);
+        for &(p, _) in &f {
+            prop_assert!(is_prime(p));
+        }
+    }
+
+    #[test]
+    fn pow_mod_is_homomorphic(base in 0u64..1000, e1 in 0u64..50, e2 in 0u64..50, m in 2u64..10_000) {
+        // base^(e1+e2) = base^e1 · base^e2 (mod m)
+        let lhs = pow_mod(base, e1 + e2, m);
+        let rhs = pow_mod(base, e1, m) * pow_mod(base, e2, m) % m;
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn fermat_little_theorem(a in 1u64..10_000, pi in 0usize..8) {
+        let primes = [3u64, 5, 7, 13, 17, 31, 101, 257];
+        let p = primes[pi];
+        if a % p != 0 {
+            prop_assert_eq!(pow_mod(a, p - 1, p), 1);
+        }
+    }
+
+    #[test]
+    fn gfp_field_axioms(a in 0usize..13, b in 0usize..13, c in 0usize..13) {
+        let f = Gfp::new(13).unwrap();
+        prop_assert_eq!(f.add(a, f.add(b, c)), f.add(f.add(a, b), c));
+        prop_assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        prop_assert_eq!(f.sub(f.add(a, b), b), a);
+        if a != 0 {
+            prop_assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+        }
+    }
+
+    #[test]
+    fn gf16_axioms_with_paper_modulus(a in 0usize..16, b in 0usize..16, c in 0usize..16) {
+        // The paper's GF(16): x^4 + x^3 + x^2 + x + 1.
+        let f = GfExt::with_modulus(2, 4, &[1, 1, 1, 1, 1]).unwrap();
+        prop_assert_eq!(f.add(a, b), a ^ b); // XOR development
+        prop_assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        if a != 0 {
+            prop_assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+        }
+    }
+
+    #[test]
+    fn gf_ext_pow_matches_repeated_multiplication(a in 0usize..27, e in 0u64..30) {
+        let f = GfExt::new(3, 3).unwrap();
+        let mut expected = 1usize;
+        for _ in 0..e {
+            expected = f.mul(expected, a);
+        }
+        prop_assert_eq!(f.pow(a, e), expected);
+    }
+
+    #[test]
+    fn primitive_roots_generate(pi in 0usize..6) {
+        let primes = [5u64, 7, 11, 13, 17, 19];
+        let p = primes[pi];
+        let g = primitive_root(p).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut x = 1u64;
+        for _ in 0..p - 1 {
+            seen.insert(x);
+            x = x * g % p;
+        }
+        prop_assert_eq!(seen.len() as u64, p - 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Simulation configuration (the knobs of Table 2).
+
+use pddl_core::layout::{Layout, LayoutError};
+use pddl_core::plan::{Mode, Op, WritePolicy};
+use pddl_core::{Datum, ParityDeclustering, Pddl, PrimeLayout, PseudoRandom, Raid5};
+
+/// Where clients point their accesses — the paper uses
+/// [`AccessPattern::Uniform`] and leaves "more realistic access mixes"
+/// open; the other patterns are this reproduction's extensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Uniformly random, stripe-unit aligned (Table 2).
+    Uniform,
+    /// Each client streams sequentially from a random starting point,
+    /// wrapping at the end of the array.
+    Sequential,
+    /// A hot-spot workload: `traffic_percent` of accesses land in the
+    /// first `hot_percent` of the data space.
+    HotCold {
+        /// Portion of the address space that is hot (1..=99).
+        hot_percent: u8,
+        /// Portion of the traffic aimed at the hot region (1..=99).
+        traffic_percent: u8,
+    },
+}
+
+/// Per-disk request scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Shortest seek time first over a bounded window (the paper's
+    /// "SSTF on 20-request queue"; the window is `sstf_window`).
+    Sstf,
+    /// LOOK / elevator sweeps — starvation-free alternative for
+    /// scheduling ablations.
+    Look,
+}
+
+/// How accesses enter the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// The paper's model: `clients` closed-loop clients, each blocking
+    /// on its access and reissuing immediately.
+    ClosedLoop,
+    /// Open-loop Poisson arrivals at the given rate (accesses/second),
+    /// independent of completions — an extension for plotting response
+    /// time against offered load instead of client count.
+    Poisson {
+        /// Mean arrival rate in accesses per second.
+        rate_per_sec: f64,
+    },
+}
+
+/// Parameters of one simulation run. The defaults mirror Table 2 where a
+/// single value applies (8 KB stripe units, SSTF window 20, 2%/95%
+/// stopping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Concurrent closed-loop clients (Table 2: 1–25).
+    pub clients: usize,
+    /// Logical access size in stripe units (Table 2: 8 KB–336 KB at
+    /// 8 KB units → 1–42).
+    pub access_units: u64,
+    /// Access type; the paper uses homogeneous read or write streams.
+    pub op: Op,
+    /// When set, each access is independently a read with this
+    /// probability and a write otherwise, overriding `op` — a mixed
+    /// workload extension. Must be within `[0, 1]`.
+    pub read_fraction: Option<f64>,
+    /// Spatial access pattern.
+    pub pattern: AccessPattern,
+    /// Fault-free write strategy (ablation knob; the paper's controller
+    /// is adaptive).
+    pub write_policy: WritePolicy,
+    /// Arrival process (closed-loop clients vs open-loop Poisson).
+    pub arrivals: ArrivalProcess,
+    /// Fault-free / degraded / post-reconstruction.
+    pub mode: Mode,
+    /// Sectors per stripe unit (16 → 8 KB).
+    pub sectors_per_unit: u32,
+    /// Per-disk scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// SSTF scheduling window (Table 2: 20); ignored for LOOK.
+    pub sstf_window: usize,
+    /// RNG seed; runs are deterministic given the seed.
+    pub seed: u64,
+    /// Response-time samples discarded as warm-up.
+    pub warmup: u64,
+    /// Samples per batch for the confidence interval.
+    pub batch: usize,
+    /// Relative CI half-width target (paper: 0.02).
+    pub ci_target: f64,
+    /// Hard cap on measured samples (keeps worst-case runtimes bounded).
+    pub max_samples: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            clients: 1,
+            access_units: 1,
+            op: Op::Read,
+            read_fraction: None,
+            pattern: AccessPattern::Uniform,
+            write_policy: WritePolicy::default(),
+            arrivals: ArrivalProcess::ClosedLoop,
+            mode: Mode::FaultFree,
+            sectors_per_unit: 16,
+            scheduler: SchedulerKind::Sstf,
+            sstf_window: 20,
+            seed: 0x9dd1_5eed,
+            warmup: 200,
+            batch: 50,
+            ci_target: 0.02,
+            max_samples: 20_000,
+        }
+    }
+}
+
+/// The five layouts of the paper's evaluation (§4), plus the
+/// Merchant–Yu pseudo-random scheme from Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// The paper's contribution.
+    Pddl,
+    /// Left-symmetric RAID-5 (stripe width = n).
+    Raid5,
+    /// Holland–Gibson Parity Declustering.
+    ParityDeclustering,
+    /// DATUM.
+    Datum,
+    /// PRIME.
+    Prime,
+    /// Merchant–Yu pseudo-random.
+    PseudoRandom,
+}
+
+impl LayoutKind {
+    /// All evaluation layouts in the paper's plotting order.
+    pub const EVALUATED: [LayoutKind; 5] = [
+        LayoutKind::Datum,
+        LayoutKind::ParityDeclustering,
+        LayoutKind::Raid5,
+        LayoutKind::Pddl,
+        LayoutKind::Prime,
+    ];
+
+    /// Construct the layout for `n` disks and stripe width `k` (ignored
+    /// for RAID-5, which always uses `k = n`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the layout constructors' shape errors.
+    pub fn build(self, n: usize, k: usize) -> Result<Box<dyn Layout>, LayoutError> {
+        Ok(match self {
+            LayoutKind::Pddl => Box::new(Pddl::new(n, k)?),
+            LayoutKind::Raid5 => Box::new(Raid5::new(n)?),
+            LayoutKind::ParityDeclustering => Box::new(ParityDeclustering::new(n, k)?),
+            LayoutKind::Datum => Box::new(Datum::new(n, k)?),
+            LayoutKind::Prime => Box::new(PrimeLayout::new(n, k)?),
+            LayoutKind::PseudoRandom => Box::new(PseudoRandom::new(n, k, 0x9dd1)?),
+        })
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutKind::Pddl => "PDDL",
+            LayoutKind::Raid5 => "RAID 5",
+            LayoutKind::ParityDeclustering => "Parity Declustering",
+            LayoutKind::Datum => "DATUM",
+            LayoutKind::Prime => "PRIME",
+            LayoutKind::PseudoRandom => "Pseudo-Random",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let c = SimConfig::default();
+        assert_eq!(c.sectors_per_unit, 16); // 8 KB
+        assert_eq!(c.sstf_window, 20);
+        assert_eq!(c.ci_target, 0.02);
+        assert_eq!(c.pattern, AccessPattern::Uniform);
+        assert_eq!(c.read_fraction, None);
+    }
+
+    #[test]
+    fn builds_every_evaluated_layout() {
+        for kind in LayoutKind::EVALUATED {
+            let l = kind.build(13, 4).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(l.disks(), 13);
+            if kind == LayoutKind::Raid5 {
+                assert_eq!(l.stripe_width(), 13);
+            } else {
+                assert_eq!(l.stripe_width(), 4);
+            }
+        }
+        assert!(LayoutKind::PseudoRandom.build(13, 4).is_ok());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LayoutKind::Pddl.name(), "PDDL");
+        assert_eq!(LayoutKind::Raid5.name(), "RAID 5");
+    }
+}

@@ -1,0 +1,94 @@
+//! A discrete-event disk-array simulator — the reproduction's substitute
+//! for RAIDframe (Table 2 of the PDDL paper).
+//!
+//! The simulator executes the paper's experimental setup:
+//!
+//! * a fixed number of **closed-loop clients**, each issuing fixed-size
+//!   logical accesses at uniformly random stripe-unit-aligned locations,
+//!   blocking until the array completes the access, then immediately
+//!   reissuing (§4 "Workload"),
+//! * an **array controller** that translates logical accesses into
+//!   physical stripe-unit I/O via [`pddl_core::plan`], with a read phase
+//!   (old data / reconstruction / pre-reads) followed by a write phase,
+//! * per-disk **SSTF scheduling on a 20-request queue** over the
+//!   mechanical HP 2247 model of [`pddl_disk`],
+//! * the paper's **stopping rule**: run until the access response time is
+//!   within 2% of its mean with 95% confidence (batch means),
+//! * **operation classification** for Figures 4/7/15/16: non-local
+//!   seeks vs local cylinder-switch / track-switch / no-switch
+//!   operations.
+//!
+//! Everything is deterministic given the configuration seed.
+//!
+//! ```
+//! use pddl_core::{Pddl, plan::{Mode, Op}};
+//! use pddl_sim::{ArraySim, SimConfig};
+//!
+//! let layout = Pddl::new(7, 3).unwrap();
+//! let cfg = SimConfig {
+//!     clients: 2,
+//!     access_units: 1,
+//!     op: Op::Read,
+//!     mode: Mode::FaultFree,
+//!     max_samples: 500,
+//!     ..SimConfig::default()
+//! };
+//! let result = ArraySim::new(Box::new(layout), cfg).run();
+//! assert!(result.mean_response_ms > 0.0);
+//! ```
+
+mod array;
+mod config;
+mod metrics;
+mod stats;
+pub mod trace;
+
+pub use array::ArraySim;
+pub use config::{AccessPattern, ArrivalProcess, LayoutKind, SchedulerKind, SimConfig};
+pub use metrics::{SeekClasses, SeekMetrics};
+pub use stats::ResponseStats;
+
+/// The outcome of one simulation run: one point of a response-time
+/// figure plus the seek-class tallies of the matching bar chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Mean access response time in milliseconds.
+    pub mean_response_ms: f64,
+    /// Half-width of the 95% confidence interval (ms).
+    pub ci_halfwidth_ms: f64,
+    /// 95th-percentile response time (ms).
+    pub p95_response_ms: f64,
+    /// 99th-percentile response time (ms).
+    pub p99_response_ms: f64,
+    /// Measured throughput in accesses per second (the x-axis of the
+    /// paper's response-time figures).
+    pub throughput: f64,
+    /// Completed accesses measured (after warm-up).
+    pub completed: u64,
+    /// Whether the 2%/95% stopping rule was met before the sample cap.
+    pub converged: bool,
+    /// Mean per-access operation counts by class (Figures 4/7/15/16).
+    pub seeks: SeekClasses,
+    /// Total simulated time in milliseconds.
+    pub sim_time_ms: f64,
+    /// Mean fraction of time the disks spent servicing requests over
+    /// the whole run (0..=1).
+    pub utilization: f64,
+    /// Time-averaged number of in-flight accesses over the whole run
+    /// (Little's law: ≈ throughput × mean response time at steady state;
+    /// ≈ the client count for saturated closed loops).
+    pub mean_in_flight: f64,
+    /// Present when the run included an on-line rebuild
+    /// ([`ArraySim::with_rebuild`]).
+    pub rebuild: Option<RebuildReport>,
+}
+
+/// Outcome of an on-line rebuild of a failed disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildReport {
+    /// Time from failure (t = 0) to the last spare write, in
+    /// milliseconds.
+    pub rebuild_ms: f64,
+    /// Stripe units reconstructed.
+    pub stripes_repaired: u64,
+}

@@ -1,0 +1,111 @@
+//! Operation classification — the bar charts of Figures 4, 7, 15, 16.
+//!
+//! Each physical operation is classified at service time:
+//!
+//! * **non-local** — the disk's previous operation belonged to a
+//!   *different* logical access (or the disk was freshly idle);
+//! * **local** — same logical access as the previous operation on that
+//!   disk, subdivided by required head movement: cylinder switch, track
+//!   (head) switch, or no-switch (rotation only).
+
+use pddl_disk::MovementKind;
+
+/// Mean per-access operation counts by class.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SeekClasses {
+    /// Non-local operations (equal to the disk working set in
+    /// expectation — §4.1).
+    pub non_local: f64,
+    /// Local operations requiring a cylinder switch.
+    pub cylinder_switch: f64,
+    /// Local operations requiring a head switch.
+    pub track_switch: f64,
+    /// Local operations with rotation only.
+    pub no_switch: f64,
+}
+
+impl SeekClasses {
+    /// Total operations per access.
+    pub fn total(&self) -> f64 {
+        self.non_local + self.cylinder_switch + self.track_switch + self.no_switch
+    }
+}
+
+/// Accumulates operation classifications over completed accesses.
+#[derive(Debug, Clone, Default)]
+pub struct SeekMetrics {
+    non_local: u64,
+    cylinder_switch: u64,
+    track_switch: u64,
+    no_switch: u64,
+    accesses: u64,
+}
+
+impl SeekMetrics {
+    /// Create an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one serviced physical operation.
+    pub fn record_op(&mut self, local: bool, kind: MovementKind) {
+        if !local {
+            self.non_local += 1;
+        } else {
+            match kind {
+                MovementKind::CylinderSwitch => self.cylinder_switch += 1,
+                MovementKind::TrackSwitch => self.track_switch += 1,
+                MovementKind::NoSwitch => self.no_switch += 1,
+            }
+        }
+    }
+
+    /// Record one completed logical access (the denominator).
+    pub fn record_access(&mut self) {
+        self.accesses += 1;
+    }
+
+    /// Mean per-access class counts.
+    pub fn per_access(&self) -> SeekClasses {
+        if self.accesses == 0 {
+            return SeekClasses::default();
+        }
+        let d = self.accesses as f64;
+        SeekClasses {
+            non_local: self.non_local as f64 / d,
+            cylinder_switch: self.cylinder_switch as f64 / d,
+            track_switch: self.track_switch as f64 / d,
+            no_switch: self.no_switch as f64 / d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_buckets() {
+        let mut m = SeekMetrics::new();
+        m.record_op(false, MovementKind::CylinderSwitch); // non-local
+        m.record_op(true, MovementKind::CylinderSwitch);
+        m.record_op(true, MovementKind::TrackSwitch);
+        m.record_op(true, MovementKind::NoSwitch);
+        m.record_op(true, MovementKind::NoSwitch);
+        m.record_access();
+        m.record_access();
+        let c = m.per_access();
+        assert_eq!(c.non_local, 0.5);
+        assert_eq!(c.cylinder_switch, 0.5);
+        assert_eq!(c.track_switch, 0.5);
+        assert_eq!(c.no_switch, 1.0);
+        assert_eq!(c.total(), 2.5);
+    }
+
+    #[test]
+    fn empty_tally_is_zero() {
+        let m = SeekMetrics::new();
+        assert_eq!(m.per_access(), SeekClasses::default());
+        assert_eq!(m.per_access().total(), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Response-time statistics with the paper's stopping rule.
+//!
+//! "Experiments run until the measured access response time is within 2%
+//! of the true average with 95% confidence." Closed-loop response times
+//! are autocorrelated, so the confidence interval is computed over
+//! *batch means*.
+
+/// Accumulates response-time samples and answers the 2%/95% stopping
+/// question via batch means.
+#[derive(Debug, Clone)]
+pub struct ResponseStats {
+    batch_size: usize,
+    /// Completed batch means.
+    batches: Vec<f64>,
+    /// Current partial batch accumulator.
+    current_sum: f64,
+    current_count: usize,
+    /// All-sample running totals (for the reported mean).
+    total_sum: f64,
+    total_count: u64,
+    /// All samples, kept for percentile queries (sample counts are
+    /// bounded by the stopping rule, so this stays small).
+    samples: Vec<f64>,
+}
+
+impl ResponseStats {
+    /// Create with the given batch size (samples per batch mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            batch_size,
+            batches: Vec::new(),
+            current_sum: 0.0,
+            current_count: 0,
+            total_sum: 0.0,
+            total_count: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Record one response-time sample.
+    pub fn record(&mut self, value: f64) {
+        self.total_sum += value;
+        self.total_count += 1;
+        self.samples.push(value);
+        self.current_sum += value;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batches.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Mean over all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total_count == 0 {
+            0.0
+        } else {
+            self.total_sum / self.total_count as f64
+        }
+    }
+
+    /// Half-width of the 95% confidence interval from batch means, or
+    /// `None` with fewer than 8 complete batches.
+    pub fn ci_halfwidth(&self) -> Option<f64> {
+        let m = self.batches.len();
+        if m < 8 {
+            return None;
+        }
+        let mean = self.batches.iter().sum::<f64>() / m as f64;
+        let var = self
+            .batches
+            .iter()
+            .map(|b| (b - mean) * (b - mean))
+            .sum::<f64>()
+            / (m - 1) as f64;
+        let se = (var / m as f64).sqrt();
+        Some(t_quantile_975(m - 1) * se)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of all samples by nearest-rank;
+    /// 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Has the mean converged to within `target` relative precision at
+    /// 95% confidence?
+    pub fn converged(&self, target: f64) -> bool {
+        match self.ci_halfwidth() {
+            Some(hw) if self.mean() > 0.0 => hw / self.mean() <= target,
+            _ => false,
+        }
+    }
+}
+
+/// Two-sided 97.5% Student-t quantile by degrees of freedom (→ 1.96).
+fn t_quantile_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[df - 1]
+    } else if df <= 60 {
+        2.02 - (df as f64 - 30.0) * 0.0007
+    } else {
+        1.96
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_all_samples() {
+        let mut s = ResponseStats::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_ci_before_eight_batches() {
+        let mut s = ResponseStats::new(2);
+        for v in 0..14 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.ci_halfwidth(), None);
+        assert!(!s.converged(0.02));
+        s.record(14.0);
+        s.record(15.0);
+        assert!(s.ci_halfwidth().is_some());
+    }
+
+    #[test]
+    fn constant_samples_converge_immediately() {
+        let mut s = ResponseStats::new(5);
+        for _ in 0..50 {
+            s.record(7.0);
+        }
+        assert!(s.converged(0.02));
+        assert_eq!(s.ci_halfwidth(), Some(0.0));
+    }
+
+    #[test]
+    fn noisy_samples_eventually_converge() {
+        // Deterministic "noise" around 100.
+        let mut s = ResponseStats::new(10);
+        let mut converged_at = None;
+        let mut state = 12345u64;
+        for i in 0..10_000u32 {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let v = 100.0 + ((state >> 33) % 41) as f64 - 20.0;
+            s.record(v);
+            if converged_at.is_none() && s.converged(0.02) {
+                converged_at = Some(i);
+            }
+        }
+        let at = converged_at.expect("must converge");
+        assert!(at >= 79, "needs at least 8 batches, converged at {at}");
+        // The final mean is near 100.
+        assert!((s.mean() - 100.0).abs() < 2.0, "mean {}", s.mean());
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = ResponseStats::new(100);
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(0.5), 3.0);
+        assert_eq!(s.quantile(0.9), 5.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(ResponseStats::new(10).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_range_checked() {
+        let _ = ResponseStats::new(10).quantile(1.5);
+    }
+
+    #[test]
+    fn t_table_shape() {
+        assert!(t_quantile_975(1) > 12.0);
+        assert!((t_quantile_975(30) - 2.042).abs() < 1e-9);
+        assert!((t_quantile_975(100) - 1.96).abs() < 1e-9);
+        assert_eq!(t_quantile_975(0), f64::INFINITY);
+        // Monotone decreasing.
+        for df in 1..60 {
+            assert!(t_quantile_975(df) >= t_quantile_975(df + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        let _ = ResponseStats::new(0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Trace-driven workloads.
+//!
+//! §4 of the paper: "Traces or synthetic workloads with a more realistic
+//! access mix would be a better predictor of the performance of the
+//! arrays in a real situation." This module supplies the machinery: a
+//! plain-text trace format, parsing/serialization, and generators —
+//! replayed open-loop by [`ArraySim::with_trace`](crate::ArraySim::with_trace).
+//!
+//! # Format
+//!
+//! One access per line, tab- or space-separated:
+//!
+//! ```text
+//! <start_unit> <units> <R|W> <interarrival_us>
+//! ```
+//!
+//! Lines starting with `#` are comments.
+
+use pddl_core::plan::Op;
+use pddl_disk::Nanos;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One trace record: a logical access plus the gap since the previous
+/// arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Starting data unit.
+    pub start: u64,
+    /// Access length in data units.
+    pub units: u64,
+    /// Read or write.
+    pub op: Op,
+    /// Nanoseconds after the previous arrival.
+    pub gap: Nanos,
+}
+
+/// Errors parsing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parse a whole trace document.
+///
+/// # Errors
+///
+/// [`ParseTraceError`] with the offending line number.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let err = |message: &str| ParseTraceError {
+            line: i + 1,
+            message: message.to_string(),
+        };
+        if fields.len() != 4 {
+            return Err(err("expected: <start> <units> <R|W> <interarrival_us>"));
+        }
+        let start: u64 = fields[0].parse().map_err(|_| err("bad start unit"))?;
+        let units: u64 = fields[1].parse().map_err(|_| err("bad unit count"))?;
+        if units == 0 {
+            return Err(err("unit count must be positive"));
+        }
+        let op = match fields[2] {
+            "R" | "r" => Op::Read,
+            "W" | "w" => Op::Write,
+            _ => return Err(err("op must be R or W")),
+        };
+        let gap_us: u64 = fields[3].parse().map_err(|_| err("bad interarrival"))?;
+        out.push(TraceRecord {
+            start,
+            units,
+            op,
+            gap: gap_us * 1_000,
+        });
+    }
+    Ok(out)
+}
+
+/// Serialize records back into the text format (round-trips with
+/// [`parse_trace`], modulo sub-microsecond gap truncation).
+pub fn format_trace(records: &[TraceRecord]) -> String {
+    let mut out = String::from("# start units op interarrival_us\n");
+    for r in records {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            r.start,
+            r.units,
+            if r.op == Op::Read { "R" } else { "W" },
+            r.gap / 1_000
+        ));
+    }
+    out
+}
+
+/// Synthesize a Poisson trace: `count` accesses of `units` data units,
+/// uniformly placed over `capacity_units`, read with probability
+/// `read_fraction`, mean interarrival `mean_gap_us`.
+///
+/// # Panics
+///
+/// Panics on zero counts/sizes or `read_fraction` outside `[0, 1]`.
+pub fn synthesize_poisson(
+    count: usize,
+    capacity_units: u64,
+    units: u64,
+    read_fraction: f64,
+    mean_gap_us: u64,
+    seed: u64,
+) -> Vec<TraceRecord> {
+    assert!(count > 0 && units > 0 && capacity_units >= units);
+    assert!((0.0..=1.0).contains(&read_fraction));
+    assert!(mean_gap_us > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            TraceRecord {
+                start: rng.gen_range(0..=capacity_units - units),
+                units,
+                op: if rng.gen_bool(read_fraction) { Op::Read } else { Op::Write },
+                gap: ((-u.ln() * mean_gap_us as f64) * 1_000.0).max(1.0) as Nanos,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# comment\n10 6 R 500\n\n20 1 W 0\n";
+        let records = parse_trace(text).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                TraceRecord { start: 10, units: 6, op: Op::Read, gap: 500_000 },
+                TraceRecord { start: 20, units: 1, op: Op::Write, gap: 0 },
+            ]
+        );
+        let again = parse_trace(&format_trace(&records)).unwrap();
+        assert_eq!(again, records);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        assert_eq!(parse_trace("1 2 R").unwrap_err().line, 1);
+        assert_eq!(parse_trace("# ok\n1 0 R 5").unwrap_err().line, 2);
+        assert!(parse_trace("x 2 R 5").unwrap_err().message.contains("start"));
+        assert!(parse_trace("1 2 Q 5").unwrap_err().message.contains("R or W"));
+        assert!(parse_trace("1 2 R x").unwrap_err().message.contains("interarrival"));
+    }
+
+    #[test]
+    fn synthesized_trace_respects_parameters() {
+        let t = synthesize_poisson(500, 1000, 6, 0.7, 200, 42);
+        assert_eq!(t.len(), 500);
+        assert!(t.iter().all(|r| r.start + r.units <= 1000 && r.units == 6));
+        let reads = t.iter().filter(|r| r.op == Op::Read).count();
+        assert!((0.6..0.8).contains(&(reads as f64 / 500.0)));
+        let mean_gap = t.iter().map(|r| r.gap).sum::<u64>() as f64 / 500.0;
+        assert!((100_000.0..300_000.0).contains(&mean_gap), "{mean_gap}");
+        // Deterministic.
+        assert_eq!(t, synthesize_poisson(500, 1000, 6, 0.7, 200, 42));
+    }
+}

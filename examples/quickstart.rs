@@ -1,0 +1,55 @@
+//! Quickstart: build the paper's 7-disk PDDL storage server, print its
+//! physical layout (Figure 2), and verify the ideal-layout goals.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pddl::layout::analysis::{check_goals, reconstruction_reads};
+use pddl::layout::{Layout, Pddl, Role};
+
+fn main() {
+    // The paper's example: n = 7 disks, g = 2 stripes of width k = 3,
+    // base permutation (0 1 2 4 3 6 5) from the Bose construction.
+    let layout =
+        Pddl::from_base_permutations(7, 3, vec![vec![0, 1, 2, 4, 3, 6, 5]]).expect("valid layout");
+
+    println!("PDDL physical layout, one period (rows × disks):\n");
+    print!("      ");
+    for d in 0..7 {
+        print!("disk{d} ");
+    }
+    println!();
+
+    // Label stripes A.. in row-major order like Figure 2.
+    for row in 0..layout.period_rows() {
+        let mut cells = vec!["  S  ".to_string(); 7];
+        for j in 0..layout.stripes_per_row() {
+            let stripe = row * 2 + j as u64;
+            let letter = (b'A' + (stripe % 26) as u8) as char;
+            for unit in layout.stripe_units(stripe) {
+                cells[unit.addr.disk] = match unit.role {
+                    Role::Data => format!("  {letter}{} ", unit.index),
+                    Role::Check => format!("  P{letter} "),
+                    Role::Spare => "  S  ".to_string(),
+                };
+            }
+        }
+        println!("row {row} {}", cells.join(" "));
+    }
+
+    // Reconstruction balance: the property PDDL is built around.
+    println!("\nIf disk 0 fails, reconstruction reads per surviving disk:");
+    println!("  {:?}", reconstruction_reads(&layout, 0));
+
+    let goals = check_goals(&layout);
+    println!("\nIdeal-layout goals (paper §1):");
+    println!("  #1 single failure correcting : {}", goals.single_failure_correcting);
+    println!("  #2 distributed parity        : {}", goals.distributed_parity);
+    println!("  #3 distributed reconstruction: {}", goals.distributed_reconstruction);
+    println!("  #4 large write optimization  : {}", goals.large_write_optimization);
+    println!("  #5 read parallelism deviation: {}", goals.read_parallelism_deviation);
+    println!("  #6 mapping table bytes       : {}", goals.mapping_table_bytes);
+    println!("  #7 distributed sparing       : {:?}", goals.distributed_sparing);
+    println!("  #8 degraded parallelism dev. : {:?}", goals.degraded_parallelism_deviation);
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerate every table, figure and extension experiment into results/.
+# Usage: scripts/run_experiments.sh [--fast]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+FAST="${1:-}"
+run() { echo ">> $*" >&2; cargo run --quiet --release -p pddl-bench --bin "$@"; }
+mkdir -p results
+
+run table1_search                                    > results/table1.tsv
+run table2_params                                    > results/table2.txt
+run fig03_working_sets                               > results/fig03.tsv
+run fig04_seeks -- --op read  $FAST                  > results/fig04.tsv
+run fig04_seeks -- --op read  --mode f1 $FAST        > results/fig07.tsv
+run fig04_seeks -- --op write $FAST                  > results/fig15.tsv
+run fig04_seeks -- --op write --mode f1 $FAST        > results/fig16.tsv
+run response_times -- --op read  $FAST               > results/fig05.tsv
+run response_times -- --op read  --mode f1 $FAST     > results/fig06.tsv
+run response_times -- --op write $FAST               > results/fig08.tsv
+run response_times -- --op write --mode f1 $FAST     > results/fig09.tsv
+run response_times -- --op read  --sizes appendix $FAST          > results/fig10.tsv
+run response_times -- --op write --sizes appendix $FAST          > results/fig11.tsv
+run response_times -- --op read  --mode f1 --sizes appendix $FAST > results/fig12.tsv
+run response_times -- --op write --mode f1 --sizes appendix $FAST > results/fig13.tsv
+run response_times -- --op read  --sizes 336 $FAST               > results/fig14_read.tsv
+run response_times -- --op write --sizes 336 $FAST               > results/fig14_write.tsv
+run response_times -- --op read  --mode f1 --sizes 336 $FAST     > results/fig14_read_f1.tsv
+run response_times -- --op write --mode f1 --sizes 336 $FAST     > results/fig14_write_f1.tsv
+run fig17_n55                                        > results/fig17.txt
+run fig18_postrecon -- $FAST                         > results/fig18.tsv
+run table3_costs                                     > results/table3.tsv
+
+# Extensions (DESIGN.md §3, X1–X7)
+run rebuild_time                                     > results/rebuild_time.tsv
+run mttdl                                            > results/mttdl.tsv
+run workload_mix -- $FAST                            > results/workload_mix.tsv
+run double_fault -- $FAST                            > results/double_fault.tsv
+run ablation_sstf -- $FAST                           > results/ablation_sstf.tsv
+run ablation_clustering                              > results/ablation_clustering.tsv
+run ablation_write_policy -- $FAST                   > results/ablation_write_policy.tsv
+
+run render_figures -- --dir results > /dev/null
+echo "done — TSVs and SVGs in results/"

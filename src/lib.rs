@@ -1,0 +1,37 @@
+//! # PDDL — Permutation Development Data Layout
+//!
+//! A full reproduction of *"Permutation Development Data Layout (PDDL)
+//! Disk Array Declustering"* (Schwarz, Steinberg, Burkhard — HPCA 1999):
+//! the PDDL declustered layout itself, the comparator layouts the paper
+//! evaluates against (RAID-5, Parity Declustering, DATUM, PRIME,
+//! Pseudo-Random), an HP 2247 disk model, and a discrete-event disk-array
+//! simulator that regenerates every table and figure in the paper.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`gf`] — finite-field arithmetic and Reed–Solomon ([`pddl_gf`]),
+//! * [`layout`] — data layouts and analysis ([`pddl_core`]),
+//! * [`disk`] — the disk model ([`pddl_disk`]),
+//! * [`sim`] — the timing simulator ([`pddl_sim`]),
+//! * [`mod@array`] — the functional byte-level array ([`pddl_array`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pddl::layout::{Layout, Pddl};
+//!
+//! // The paper's 7-disk storage server: 2 stripes of width 3 + 1 spare,
+//! // base permutation (0 1 2 4 3 6 5) from Figure 2.
+//! let layout = Pddl::from_base_permutations(7, 3, vec![vec![0, 1, 2, 4, 3, 6, 5]]).unwrap();
+//! assert_eq!(layout.disks(), 7);
+//! // Virtual address (disk 1, stripe-unit row 0) — client data unit A0.
+//! assert_eq!(layout.develop(1, 0), 1);
+//! // Development: row 1 shifts every column by one disk.
+//! assert_eq!(layout.develop(1, 1), 2);
+//! ```
+
+pub use pddl_array as array;
+pub use pddl_core as layout;
+pub use pddl_disk as disk;
+pub use pddl_gf as gf;
+pub use pddl_sim as sim;

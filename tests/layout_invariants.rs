@@ -1,0 +1,113 @@
+//! Cross-crate property tests: structural invariants every layout must
+//! uphold, driven by proptest over configurations and addresses.
+
+use pddl::layout::analysis::{check_goals, is_reconstruction_balanced};
+use pddl::layout::layout::Layout;
+use pddl::layout::{Datum, ParityDeclustering, Pddl, PrimeLayout, PseudoRandom, Raid5};
+use proptest::prelude::*;
+
+/// All layouts under test at the paper's 13-disk configuration.
+fn all_layouts() -> Vec<Box<dyn Layout>> {
+    vec![
+        Box::new(Pddl::new(13, 4).unwrap()),
+        Box::new(Pddl::new(13, 3).unwrap()),
+        Box::new(Pddl::new(7, 3).unwrap()),
+        Box::new(Raid5::new(13).unwrap()),
+        Box::new(ParityDeclustering::new(13, 4).unwrap()),
+        Box::new(Datum::new(13, 4).unwrap()),
+        Box::new(PrimeLayout::new(13, 4).unwrap()),
+        Box::new(PseudoRandom::new(13, 4, 7).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every logical data unit maps into its stripe consistently:
+    /// locate() and data_unit() agree, and the stripe really contains
+    /// the unit's address.
+    #[test]
+    fn locate_agrees_with_stripe_membership(logical in 0u64..5_000) {
+        for l in all_layouts() {
+            let (stripe, index) = l.locate(logical);
+            prop_assert!(index < l.data_per_stripe());
+            let addr = l.data_unit(stripe, index);
+            prop_assert_eq!(l.locate_phys(logical), addr, "{}", l.name());
+            let units = l.stripe_units(stripe);
+            prop_assert!(
+                units.iter().any(|u| u.addr == addr),
+                "{}: unit not in its own stripe", l.name()
+            );
+        }
+    }
+
+    /// No two distinct logical data units share a physical address.
+    #[test]
+    fn logical_units_never_collide(a in 0u64..3_000, b in 0u64..3_000) {
+        prop_assume!(a != b);
+        for l in all_layouts() {
+            prop_assert_ne!(l.locate_phys(a), l.locate_phys(b), "{}", l.name());
+        }
+    }
+
+    /// Stripe units of any stripe land on distinct disks in range
+    /// (goal #1, checked at arbitrary stripe numbers, not just period 0).
+    #[test]
+    fn stripes_use_distinct_disks(stripe in 0u64..100_000) {
+        for l in all_layouts() {
+            let units = l.stripe_units(stripe);
+            prop_assert_eq!(units.len(), l.stripe_width());
+            let mut disks: Vec<usize> = units.iter().map(|u| u.addr.disk).collect();
+            prop_assert!(disks.iter().all(|&d| d < l.disks()), "{}", l.name());
+            disks.sort_unstable();
+            disks.dedup();
+            prop_assert_eq!(disks.len(), l.stripe_width(), "{}", l.name());
+        }
+    }
+
+    /// The layout repeats: stripe s and stripe s + stripes_per_period
+    /// use the same disks, offset by period_rows.
+    #[test]
+    fn periodicity(stripe in 0u64..2_000) {
+        for l in all_layouts() {
+            if l.name() == "PseudoRandom" {
+                continue; // statistical period only
+            }
+            let a = l.stripe_units(stripe);
+            let b = l.stripe_units(stripe + l.stripes_per_period());
+            for (ua, ub) in a.iter().zip(&b) {
+                prop_assert_eq!(ua.addr.disk, ub.addr.disk, "{}", l.name());
+                prop_assert_eq!(ua.addr.offset + l.period_rows(), ub.addr.offset, "{}", l.name());
+                prop_assert_eq!(ua.role, ub.role);
+            }
+        }
+    }
+
+    /// PDDL base permutations found by search are always satisfactory
+    /// and develop into layouts meeting the core goals.
+    #[test]
+    fn searched_pddl_configs_meet_goals(g in 1usize..4, k in 2usize..6) {
+        let n = g * k + 1;
+        if let Ok(l) = Pddl::new(n, k) {
+            prop_assert!(l.is_satisfactory(), "n={n} k={k}");
+            prop_assert!(is_reconstruction_balanced(&l), "n={n} k={k}");
+        }
+    }
+}
+
+#[test]
+fn goal_reports_match_paper_table() {
+    // The qualitative goal table of the paper's §1/§5 discussion.
+    let pddl = check_goals(&Pddl::new(13, 4).unwrap());
+    assert!(pddl.single_failure_correcting
+        && pddl.distributed_parity
+        && pddl.distributed_reconstruction
+        && pddl.large_write_optimization);
+    assert_eq!(pddl.distributed_sparing, Some(true));
+
+    let raid5 = check_goals(&Raid5::new(13).unwrap());
+    assert_eq!(raid5.read_parallelism_deviation, 0);
+
+    let datum = check_goals(&Datum::new(13, 4).unwrap());
+    assert!(datum.read_parallelism_deviation > 0);
+}

@@ -1,0 +1,258 @@
+//! End-to-end checks of the paper's headline performance claims, run on
+//! the full simulator with small sample budgets (qualitative shape, not
+//! publication precision).
+
+use pddl::layout::plan::{Mode, Op};
+use pddl::layout::{Datum, ParityDeclustering, Pddl, Raid5};
+use pddl::sim::{ArraySim, SimConfig};
+
+fn run(layout: Box<dyn pddl::layout::layout::Layout>, cfg: SimConfig) -> pddl::sim::SimResult {
+    ArraySim::new(layout, cfg).run()
+}
+
+fn cfg(clients: usize, units: u64, op: Op, mode: Mode) -> SimConfig {
+    SimConfig {
+        clients,
+        access_units: units,
+        op,
+        mode,
+        warmup: 100,
+        max_samples: 600,
+        batch: 30,
+        ..SimConfig::default()
+    }
+}
+
+/// §4.1/Figure 6: "RAID-5's run-time performance degrades significantly
+/// [after a failure]; this phenomenon is, in fact, the rationale for
+/// declustering."
+#[test]
+fn declustering_rationale_degraded_reads() {
+    let ff = run(
+        Box::new(Raid5::new(13).unwrap()),
+        cfg(8, 6, Op::Read, Mode::FaultFree),
+    );
+    let f1 = run(
+        Box::new(Raid5::new(13).unwrap()),
+        cfg(8, 6, Op::Read, Mode::Degraded { failed: 0 }),
+    );
+    let pddl_f1 = run(
+        Box::new(Pddl::new(13, 4).unwrap()),
+        cfg(8, 6, Op::Read, Mode::Degraded { failed: 0 }),
+    );
+    assert!(
+        f1.mean_response_ms > ff.mean_response_ms * 1.25,
+        "RAID-5 degraded ({:.1} ms) must clearly exceed fault-free ({:.1} ms)",
+        f1.mean_response_ms,
+        ff.mean_response_ms
+    );
+    assert!(
+        pddl_f1.mean_response_ms < f1.mean_response_ms,
+        "declustered PDDL degraded ({:.1} ms) must beat RAID-5 degraded ({:.1} ms)",
+        pddl_f1.mean_response_ms,
+        f1.mean_response_ms
+    );
+}
+
+/// §4.2: "RAID-5 has much higher response times than the declustering
+/// layouts for 48KB accesses" — full-stripe writes for k = 4 vs small
+/// writes for k = 13.
+#[test]
+fn forty_eight_kb_writes_favor_declustering() {
+    let raid5 = run(
+        Box::new(Raid5::new(13).unwrap()),
+        cfg(8, 6, Op::Write, Mode::FaultFree),
+    );
+    for layout in [
+        run(Box::new(Pddl::new(13, 4).unwrap()), cfg(8, 6, Op::Write, Mode::FaultFree)),
+        run(Box::new(Datum::new(13, 4).unwrap()), cfg(8, 6, Op::Write, Mode::FaultFree)),
+    ] {
+        assert!(
+            layout.mean_response_ms * 1.3 < raid5.mean_response_ms,
+            "declustered write {:.1} ms vs RAID-5 {:.1} ms",
+            layout.mean_response_ms,
+            raid5.mean_response_ms
+        );
+    }
+}
+
+/// §4.2: "For degraded writes, the response times of the declustered
+/// layouts are slightly better than in the failure-free case" (the
+/// failed disk cannot be written).
+#[test]
+fn degraded_declustered_writes_not_worse() {
+    let ff = run(
+        Box::new(Pddl::new(13, 4).unwrap()),
+        cfg(8, 6, Op::Write, Mode::FaultFree),
+    );
+    let f1 = run(
+        Box::new(Pddl::new(13, 4).unwrap()),
+        cfg(8, 6, Op::Write, Mode::Degraded { failed: 0 }),
+    );
+    assert!(
+        f1.mean_response_ms < ff.mean_response_ms * 1.1,
+        "degraded writes {:.1} ms should not exceed fault-free {:.1} ms by >10%",
+        f1.mean_response_ms,
+        ff.mean_response_ms
+    );
+}
+
+/// Figure 18: post-reconstruction stripe-unit reads recover most of the
+/// fault-free performance, while reconstruction-mode reads stay slower.
+#[test]
+fn post_reconstruction_recovers_small_reads() {
+    let ff = run(
+        Box::new(Pddl::new(13, 4).unwrap()),
+        cfg(8, 1, Op::Read, Mode::FaultFree),
+    );
+    let recon = run(
+        Box::new(Pddl::new(13, 4).unwrap()),
+        cfg(8, 1, Op::Read, Mode::Degraded { failed: 0 }),
+    );
+    let post = run(
+        Box::new(Pddl::new(13, 4).unwrap()),
+        cfg(8, 1, Op::Read, Mode::PostReconstruction { failed: 0 }),
+    );
+    assert!(
+        post.mean_response_ms < recon.mean_response_ms,
+        "post-reconstruction {:.1} ms must beat reconstruction {:.1} ms",
+        post.mean_response_ms,
+        recon.mean_response_ms
+    );
+    assert!(
+        post.mean_response_ms < ff.mean_response_ms * 1.35,
+        "post-reconstruction {:.1} ms should be near fault-free {:.1} ms",
+        post.mean_response_ms,
+        ff.mean_response_ms
+    );
+}
+
+/// §4.1: under heavy load, small working sets win — DATUM (smallest
+/// working set) must beat Parity Declustering (larger working set +
+/// costly local operations) for large reads at 25 clients.
+#[test]
+fn heavy_load_favors_small_working_sets() {
+    let datum = run(
+        Box::new(Datum::new(13, 4).unwrap()),
+        cfg(25, 24, Op::Read, Mode::FaultFree),
+    );
+    let pd = run(
+        Box::new(ParityDeclustering::new(13, 4).unwrap()),
+        cfg(25, 24, Op::Read, Mode::FaultFree),
+    );
+    assert!(
+        datum.mean_response_ms < pd.mean_response_ms,
+        "DATUM {:.1} ms vs Parity Declustering {:.1} ms at heavy load",
+        datum.mean_response_ms,
+        pd.mean_response_ms
+    );
+}
+
+/// Throughput sanity: closed-loop identity Throughput ≈ clients /
+/// mean-response holds for every layout.
+#[test]
+fn closed_loop_identity() {
+    for layout in pddl::sim::LayoutKind::EVALUATED {
+        let r = run(
+            layout.build(13, 4).unwrap(),
+            cfg(10, 6, Op::Read, Mode::FaultFree),
+        );
+        let predicted = 10.0 / (r.mean_response_ms / 1000.0);
+        let err = (r.throughput - predicted).abs() / predicted;
+        assert!(
+            err < 0.1,
+            "{}: measured {:.1} aps vs predicted {:.1} aps",
+            layout.name(),
+            r.throughput,
+            predicted
+        );
+    }
+}
+
+/// §4.1: "The non-local seeks counts obtained in our experiments and the
+/// working set sizes from Figure 3 are equal; moreover, they are
+/// determined independently." Check simulation against the analytic
+/// planner for a large fault-free read.
+#[test]
+fn non_local_seeks_equal_working_set() {
+    use pddl::layout::analysis::mean_working_set;
+    let units = 30u64;
+    for kind in [
+        pddl::sim::LayoutKind::Pddl,
+        pddl::sim::LayoutKind::Datum,
+        pddl::sim::LayoutKind::Raid5,
+    ] {
+        let analytic = mean_working_set(
+            kind.build(13, 4).unwrap().as_ref(),
+            Mode::FaultFree,
+            Op::Read,
+            units,
+        );
+        let r = run(kind.build(13, 4).unwrap(), cfg(8, units, Op::Read, Mode::FaultFree));
+        let rel = (r.seeks.non_local - analytic).abs() / analytic;
+        assert!(
+            rel < 0.12,
+            "{}: simulated non-local {:.2} vs analytic working set {:.2}",
+            kind.name(),
+            r.seeks.non_local,
+            analytic
+        );
+        // The total operation count equals the plan size (reads only),
+        // up to small boundary effects at the start and end of the
+        // measurement window (in-flight accesses contribute partial op
+        // counts there).
+        assert!(
+            (r.seeks.total() - units as f64).abs() < 1.0,
+            "{}: {:.2} ops per {units}-unit access",
+            kind.name(),
+            r.seeks.total()
+        );
+    }
+}
+
+/// §5 extension: a two-check PDDL keeps serving through two concurrent
+/// failures, degrading gracefully (ff < one failure < two failures).
+#[test]
+fn double_fault_tolerance_degrades_gracefully() {
+    let make = || {
+        Box::new(
+            Pddl::new(13, 4)
+                .and_then(|l| l.with_check_units(2))
+                .unwrap(),
+        )
+    };
+    let ff = run(make(), cfg(8, 1, Op::Read, Mode::FaultFree));
+    let one = run(make(), cfg(8, 1, Op::Read, Mode::Degraded { failed: 0 }));
+    let two = run(
+        make(),
+        cfg(8, 1, Op::Read, Mode::DoubleDegraded { failed: [0, 6] }),
+    );
+    assert!(
+        ff.mean_response_ms < one.mean_response_ms && one.mean_response_ms < two.mean_response_ms,
+        "ff {:.1} < f1 {:.1} < f2 {:.1} expected",
+        ff.mean_response_ms,
+        one.mean_response_ms,
+        two.mean_response_ms
+    );
+    // Still bounded: reconstruction costs at most k−1 extra reads.
+    assert!(two.mean_response_ms < ff.mean_response_ms * 1.6);
+}
+
+/// §5 wrapping: the PDDL×DATUM combination for 30 disks runs in the
+/// full simulator, fault-free and degraded, with balanced declustered
+/// behaviour.
+#[test]
+fn wrapped_pddl_simulates_end_to_end() {
+    use pddl::layout::pddl::wrapping::WrappedPddl;
+    let make = || Box::new(WrappedPddl::new(30, 7).unwrap());
+    let ff = run(make(), cfg(8, 6, Op::Read, Mode::FaultFree));
+    let f1 = run(make(), cfg(8, 6, Op::Read, Mode::Degraded { failed: 11 }));
+    assert!(ff.mean_response_ms > 0.0 && ff.converged || ff.completed == 600);
+    // Declustered degradation: mild, nothing like RAID-5's doubling.
+    assert!(
+        f1.mean_response_ms < ff.mean_response_ms * 1.3,
+        "ff {:.1} vs f1 {:.1}",
+        ff.mean_response_ms,
+        f1.mean_response_ms
+    );
+}
