@@ -1,11 +1,14 @@
 //! The declustered array: layout + parity + failure lifecycle.
 
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::rc::Rc;
 
 use pddl_core::addr::{PhysAddr, Role};
 use pddl_core::layout::Layout;
 use pddl_gf::rs::{CodecError, ReedSolomon};
+use pddl_obs::{Event as ObsEvent, ObsSink};
 
 use crate::blockdev::{BlockDevice, DiskError, RamDisk};
 
@@ -105,6 +108,10 @@ pub struct DeclusteredArray {
     /// Fault injection: abort with [`ArrayError::InjectedCrash`] after
     /// this many more physical writes.
     crash_after_writes: Option<u64>,
+    /// Optional observability sink. The functional array has no clock,
+    /// so events carry a monotonic sequence number as their timestamp.
+    obs: Option<Rc<RefCell<dyn ObsSink>>>,
+    obs_seq: Cell<u64>,
 }
 
 impl fmt::Debug for DeclusteredArray {
@@ -183,7 +190,25 @@ impl DeclusteredArray {
             unit_writes: 0,
             intents: Vec::new(),
             crash_after_writes: None,
+            obs: None,
+            obs_seq: Cell::new(0),
         })
+    }
+
+    /// Attach an observability sink. Lifecycle events (journal commits
+    /// and replays, disk failures, rebuild/copy-back progress, scrub
+    /// passes) flow to it, timestamped by a per-array sequence number —
+    /// the functional array is untimed.
+    pub fn attach_observer(&mut self, sink: Rc<RefCell<dyn ObsSink>>) {
+        self.obs = Some(sink);
+    }
+
+    fn emit(&self, event: ObsEvent) {
+        if let Some(obs) = &self.obs {
+            let seq = self.obs_seq.get() + 1;
+            self.obs_seq.set(seq);
+            obs.borrow_mut().event(seq, event);
+        }
     }
 
     /// Client capacity in data units.
@@ -276,7 +301,10 @@ impl DeclusteredArray {
                 .reconstruct(&mut shards)
                 .map_err(|_| ArrayError::Unrecoverable { stripe })?;
         }
-        Ok(shards.into_iter().map(|s| s.expect("reconstructed")).collect())
+        Ok(shards
+            .into_iter()
+            .map(|s| s.expect("reconstructed"))
+            .collect())
     }
 
     /// Read `units` data units starting at logical unit `start`.
@@ -347,6 +375,7 @@ impl DeclusteredArray {
                 self.rmw_stripe(stripe, &updates)?;
             }
             self.intents.pop();
+            self.emit(ObsEvent::JournalCommit { stripe });
         }
         Ok(())
     }
@@ -444,6 +473,7 @@ impl DeclusteredArray {
                 self.write_phys(self.layout.check_unit(stripe, i), check)?;
             }
         }
+        self.emit(ObsEvent::JournalReplay { stripes: repaired });
         Ok(repaired)
     }
 
@@ -477,6 +507,7 @@ impl DeclusteredArray {
         for d in lost_spares {
             self.spared.remove(&d);
         }
+        self.emit(ObsEvent::DiskFailed { disk: disk as u32 });
         Ok(())
     }
 
@@ -528,8 +559,16 @@ impl DeclusteredArray {
             self.disks[spare.disk].write_unit(spare.offset, content)?;
             self.redirects.insert(lost.addr, spare);
             rebuilt += 1;
+            self.emit(ObsEvent::RebuildProgress {
+                repaired: rebuilt,
+                total: 0,
+            });
         }
         self.spared.insert(disk);
+        self.emit(ObsEvent::RebuildProgress {
+            repaired: rebuilt,
+            total: rebuilt,
+        });
         Ok(rebuilt)
     }
 
@@ -567,9 +606,17 @@ impl DeclusteredArray {
             self.disks[disk].write_unit(lost.addr.offset, &content)?;
             self.redirects.remove(&lost.addr);
             restored += 1;
+            self.emit(ObsEvent::RebuildProgress {
+                repaired: restored,
+                total: 0,
+            });
         }
         self.failed.remove(&disk);
         self.spared.remove(&disk);
+        self.emit(ObsEvent::RebuildProgress {
+            repaired: restored,
+            total: restored,
+        });
         Ok(restored)
     }
 
@@ -603,7 +650,10 @@ impl DeclusteredArray {
                 .reconstruct(&mut shards)
                 .map_err(|_| ArrayError::Unrecoverable { stripe })?;
         }
-        Ok(shards.into_iter().map(|s| s.expect("reconstructed")).collect())
+        Ok(shards
+            .into_iter()
+            .map(|s| s.expect("reconstructed"))
+            .collect())
     }
 
     /// Verify parity consistency of every stripe on healthy disks;
@@ -633,6 +683,10 @@ impl DeclusteredArray {
                 }
             }
         }
+        self.emit(ObsEvent::ScrubPass {
+            stripes: self.periods * self.layout.stripes_per_period(),
+            repaired: bad.len() as u64,
+        });
         Ok(bad)
     }
 }
@@ -786,6 +840,53 @@ mod tests {
     }
 
     #[test]
+    fn lifecycle_events_reach_the_observer() {
+        use pddl_obs::{ObsConfig, Observer};
+        let obs = Rc::new(RefCell::new(Observer::new(ObsConfig::default())));
+        let mut a = small_array();
+        a.attach_observer(obs.clone());
+        a.write(0, &pattern(16 * 8, 1)).unwrap();
+        a.fail_disk(2).unwrap();
+        let rebuilt = a.rebuild_to_spare(2).unwrap();
+        a.replace_and_rebuild(2).unwrap();
+        a.scrub().unwrap();
+        let o = obs.borrow();
+        let r = o.registry();
+        // One journal commit per touched stripe on the write path.
+        assert!(r.counter("journal.commits").unwrap() > 0);
+        assert_eq!(r.counter("disk.failures"), Some(1));
+        assert_eq!(r.counter("scrub.passes"), Some(1));
+        assert_eq!(r.counter("scrub.repaired"), Some(0));
+        // Rebuild progress reached the rebuilt-unit count (copy-back
+        // restores the same set of units, so the final gauge matches).
+        assert!(rebuilt > 0);
+        assert_eq!(r.gauge("rebuild.repaired_units"), Some(rebuilt as f64));
+        // Events are ordered by the pseudo-clock sequence.
+        let mut last = 0;
+        for &(t, _) in o.tracer().iter() {
+            assert!(t > last, "sequence must be strictly increasing");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn journal_replay_is_observable() {
+        use pddl_obs::{ObsConfig, Observer};
+        let obs = Rc::new(RefCell::new(Observer::new(ObsConfig::default())));
+        let mut a = small_array();
+        a.write(0, &pattern(16 * 8, 2)).unwrap();
+        a.attach_observer(obs.clone());
+        a.arm_crash(1);
+        let _ = a.write(0, &pattern(16, 3));
+        let replayed = a.recover().unwrap();
+        assert_eq!(replayed, 1);
+        assert_eq!(
+            obs.borrow().registry().counter("journal.replayed_stripes"),
+            Some(1)
+        );
+    }
+
+    #[test]
     fn capacity_matches_layout() {
         let a = small_array();
         // 7-disk PDDL, g = 2, k = 3: 4 data units per row × 7 rows × 3 periods.
@@ -801,19 +902,17 @@ mod small_write_tests {
     use pddl_core::Pddl;
 
     fn pattern(len: usize, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| seed.wrapping_mul(31).wrapping_add(i as u8)).collect()
+        (0..len)
+            .map(|i| seed.wrapping_mul(31).wrapping_add(i as u8))
+            .collect()
     }
 
     #[test]
     fn small_writes_use_fewer_ios_and_stay_consistent() {
         // RAID-5 with a 12-data-unit stripe: a single-unit update should
         // cost 2 reads + 2 writes, not 12 reads + 2 writes.
-        let mut a = DeclusteredArray::new(
-            Box::new(pddl_core::Raid5::new(13).unwrap()),
-            16,
-            2,
-        )
-        .unwrap();
+        let mut a =
+            DeclusteredArray::new(Box::new(pddl_core::Raid5::new(13).unwrap()), 16, 2).unwrap();
         a.write(0, &pattern(16 * 24, 1)).unwrap();
         let (r0, w0) = a.io_counts();
         a.write(5, &pattern(16, 2)).unwrap();
@@ -830,8 +929,7 @@ mod small_write_tests {
         // healthy array vs the same update forced through RMW by a
         // concurrent failure) and compare the readback + parity.
         let make = || {
-            let mut a =
-                DeclusteredArray::new(Box::new(Pddl::new(13, 4).unwrap()), 16, 1).unwrap();
+            let mut a = DeclusteredArray::new(Box::new(Pddl::new(13, 4).unwrap()), 16, 1).unwrap();
             a.write(0, &pattern(16 * 30, 3)).unwrap();
             a
         };
@@ -880,7 +978,9 @@ mod file_backed_tests {
             .collect();
         let mut a = DeclusteredArray::with_devices(Box::new(layout), 64, 2, devices).unwrap();
         let cap = a.capacity_units();
-        let payload: Vec<u8> = (0..cap as usize * 64).map(|i| (i * 7 % 256) as u8).collect();
+        let payload: Vec<u8> = (0..cap as usize * 64)
+            .map(|i| (i * 7 % 256) as u8)
+            .collect();
         a.write(0, &payload).unwrap();
         a.fail_disk(4).unwrap();
         assert_eq!(a.read(0, cap).unwrap(), payload);
@@ -911,8 +1011,9 @@ mod file_backed_tests {
             Some(ArrayError::BadAddress)
         );
         // Wrong unit size.
-        let mismatched: Vec<Box<dyn BlockDevice>> =
-            (0..7).map(|_| Box::new(RamDisk::new(14, 16)) as _).collect();
+        let mismatched: Vec<Box<dyn BlockDevice>> = (0..7)
+            .map(|_| Box::new(RamDisk::new(14, 16)) as _)
+            .collect();
         assert_eq!(
             DeclusteredArray::with_devices(layout(), 8, 2, mismatched).err(),
             Some(ArrayError::BadAddress)
@@ -926,12 +1027,13 @@ mod write_hole_tests {
     use pddl_core::Pddl;
 
     fn pattern(len: usize, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| seed.wrapping_mul(37).wrapping_add(i as u8)).collect()
+        (0..len)
+            .map(|i| seed.wrapping_mul(37).wrapping_add(i as u8))
+            .collect()
     }
 
     fn fresh() -> DeclusteredArray {
-        let mut a =
-            DeclusteredArray::new(Box::new(Pddl::new(7, 3).unwrap()), 8, 2).unwrap();
+        let mut a = DeclusteredArray::new(Box::new(Pddl::new(7, 3).unwrap()), 8, 2).unwrap();
         a.write(0, &pattern(8 * 20, 1)).unwrap();
         a
     }

@@ -1,10 +1,12 @@
 //! Model-based property test: the array must behave exactly like a flat
 //! byte vector under arbitrary interleavings of writes, reads, failures
-//! and repairs.
+//! and repairs — deterministic PRNG-driven op sequences.
+//!
+//! Build with `--features slow-tests` to multiply the case counts.
 
 use pddl_array::{ArrayError, DeclusteredArray};
+use pddl_core::rng::Xoshiro256pp;
 use pddl_core::Pddl;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,42 +18,61 @@ enum Op {
     Scrub,
 }
 
-fn op_strategy(capacity: u64, disks: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..capacity, 1..6u64, any::<u8>()).prop_map(move |(start, len, seed)| Op::Write {
-            start,
-            len: len.min(capacity - start).max(1),
-            seed,
-        }),
-        4 => (0..capacity, 1..8u64).prop_map(move |(start, len)| Op::Read {
-            start,
-            len: len.min(capacity - start).max(1),
-        }),
-        1 => (0..disks).prop_map(|disk| Op::Fail { disk }),
-        1 => (0..disks).prop_map(|disk| Op::RebuildSpare { disk }),
-        1 => (0..disks).prop_map(|disk| Op::Replace { disk }),
-        1 => Just(Op::Scrub),
-    ]
+/// Weighted op generator matching the original proptest strategy
+/// (4:4:1:1:1:1 writes:reads:fail:rebuild:replace:scrub).
+fn random_op(rng: &mut Xoshiro256pp, capacity: u64, disks: usize) -> Op {
+    match rng.below_u64(12) {
+        0..=3 => {
+            let start = rng.below_u64(capacity);
+            let len = (1 + rng.below_u64(5)).min(capacity - start).max(1);
+            Op::Write {
+                start,
+                len,
+                seed: rng.below_u64(256) as u8,
+            }
+        }
+        4..=7 => {
+            let start = rng.below_u64(capacity);
+            let len = (1 + rng.below_u64(7)).min(capacity - start).max(1);
+            Op::Read { start, len }
+        }
+        8 => Op::Fail {
+            disk: rng.below(disks),
+        },
+        9 => Op::RebuildSpare {
+            disk: rng.below(disks),
+        },
+        10 => Op::Replace {
+            disk: rng.below(disks),
+        },
+        _ => Op::Scrub,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "slow-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
 
-    #[test]
-    fn array_matches_flat_model(
-        ops in proptest::collection::vec(op_strategy(4 * 7 * 2, 7), 1..60)
-    ) {
-        let unit = 8usize;
+#[test]
+fn array_matches_flat_model() {
+    let unit = 8usize;
+    let capacity = 4 * 7 * 2u64; // data units for 2 periods
+    let mut rng = Xoshiro256pp::seed_from_u64(0xa88a1);
+    for case in 0..cases(48) {
         let layout = Pddl::new(7, 3).unwrap();
-        let capacity = 4 * 7 * 2u64; // data units for 2 periods
         let mut array = DeclusteredArray::new(Box::new(layout), unit, 2).unwrap();
         let mut model = vec![0u8; capacity as usize * unit];
         // At most one un-rebuilt failure at a time (single-check layout);
         // the driver only injects a failure when the array is healthy.
         let mut live_failure: Option<usize> = None;
 
-        for op in ops {
-            match op {
+        let n_ops = 1 + rng.below(59);
+        for _ in 0..n_ops {
+            match random_op(&mut rng, capacity, 7) {
                 Op::Write { start, len, seed } => {
                     let bytes: Vec<u8> = (0..len as usize * unit)
                         .map(|i| seed.wrapping_add(i as u8))
@@ -63,7 +84,11 @@ proptest! {
                 Op::Read { start, len } => {
                     let got = array.read(start, len).unwrap();
                     let lo = start as usize * unit;
-                    prop_assert_eq!(&got[..], &model[lo..lo + len as usize * unit]);
+                    assert_eq!(
+                        &got[..],
+                        &model[lo..lo + len as usize * unit],
+                        "case {case}"
+                    );
                 }
                 Op::Fail { disk } => {
                     if live_failure.is_none() {
@@ -71,31 +96,27 @@ proptest! {
                         live_failure = Some(disk);
                     }
                 }
-                Op::RebuildSpare { disk } => {
-                    match array.rebuild_to_spare(disk) {
-                        Ok(_) => {}
-                        Err(ArrayError::WrongDiskState | ArrayError::NoSpareSpace) => {}
-                        Err(e) => return Err(TestCaseError::fail(format!("rebuild: {e}"))),
-                    }
-                }
-                Op::Replace { disk } => {
-                    match array.replace_and_rebuild(disk) {
-                        Ok(_) => {
-                            if live_failure == Some(disk) {
-                                live_failure = None;
-                            }
+                Op::RebuildSpare { disk } => match array.rebuild_to_spare(disk) {
+                    Ok(_) => {}
+                    Err(ArrayError::WrongDiskState | ArrayError::NoSpareSpace) => {}
+                    Err(e) => panic!("case {case}: rebuild: {e}"),
+                },
+                Op::Replace { disk } => match array.replace_and_rebuild(disk) {
+                    Ok(_) => {
+                        if live_failure == Some(disk) {
+                            live_failure = None;
                         }
-                        Err(ArrayError::WrongDiskState) => {}
-                        Err(e) => return Err(TestCaseError::fail(format!("replace: {e}"))),
                     }
-                }
+                    Err(ArrayError::WrongDiskState) => {}
+                    Err(e) => panic!("case {case}: replace: {e}"),
+                },
                 Op::Scrub => {
-                    prop_assert_eq!(array.scrub().unwrap(), Vec::<u64>::new());
+                    assert_eq!(array.scrub().unwrap(), Vec::<u64>::new(), "case {case}");
                 }
             }
         }
         // Final full-array readback must equal the model.
         let full = array.read(0, capacity).unwrap();
-        prop_assert_eq!(full, model);
+        assert_eq!(full, model, "case {case}");
     }
 }

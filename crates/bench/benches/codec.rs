@@ -1,7 +1,11 @@
 //! Reed–Solomon codec throughput: encode and reconstruct bandwidth for
 //! the stripe shapes the arrays use (XOR c = 1 vs RS c = 2/3).
+//!
+//! Run with `cargo bench --features bench --bench codec`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pddl_bench::timing::{bench_ns, header};
 use pddl_gf::rs::ReedSolomon;
 
 fn shards(d: usize, len: usize) -> Vec<Vec<u8>> {
@@ -10,23 +14,18 @@ fn shards(d: usize, len: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
-fn encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rs_encode_8kb_units");
+fn main() {
+    header();
     for (d, checks) in [(3usize, 1usize), (3, 2), (12, 1), (12, 3)] {
         let rs = ReedSolomon::new(d, checks).unwrap();
         let data = shards(d, 8192);
-        group.throughput(Throughput::Bytes((d * 8192) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("d{d}_c{checks}")),
-            &rs,
-            |b, rs| b.iter(|| black_box(rs.encode(black_box(&data)).unwrap())),
-        );
+        let ns = bench_ns(&format!("rs_encode_8kb_units/d{d}_c{checks}"), || {
+            black_box(rs.encode(black_box(&data)).unwrap())
+        });
+        let gbps = (d * 8192) as f64 / ns;
+        println!("#   encode d{d} c{checks}: {gbps:.2} GB/s");
     }
-    group.finish();
-}
 
-fn reconstruct(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rs_reconstruct_8kb_units");
     for (d, checks, lost) in [(3usize, 1usize, 1usize), (3, 2, 2), (12, 3, 3)] {
         let rs = ReedSolomon::new(d, checks).unwrap();
         let data = shards(d, 8192);
@@ -37,24 +36,18 @@ fn reconstruct(c: &mut Criterion) {
             .map(Some)
             .chain(parity.iter().cloned().map(Some))
             .collect();
-        group.throughput(Throughput::Bytes((lost * 8192) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("d{d}_c{checks}_lost{lost}")),
-            &rs,
-            |b, rs| {
-                b.iter(|| {
-                    let mut shards = template.clone();
-                    for slot in shards.iter_mut().take(lost) {
-                        *slot = None;
-                    }
-                    rs.reconstruct(black_box(&mut shards)).unwrap();
-                    black_box(shards)
-                })
+        let ns = bench_ns(
+            &format!("rs_reconstruct_8kb_units/d{d}_c{checks}_lost{lost}"),
+            || {
+                let mut shards = template.clone();
+                for slot in shards.iter_mut().take(lost) {
+                    *slot = None;
+                }
+                rs.reconstruct(black_box(&mut shards)).unwrap();
+                black_box(shards)
             },
         );
+        let gbps = (lost * 8192) as f64 / ns;
+        println!("#   reconstruct d{d} c{checks} lost{lost}: {gbps:.2} GB/s");
     }
-    group.finish();
 }
-
-criterion_group!(benches, encode, reconstruct);
-criterion_main!(benches);

@@ -1,57 +1,50 @@
-//! Table 3's "Translation Time" column, rigorously: Criterion benches of
+//! Table 3's "Translation Time" column: wall-clock benches of
 //! logical-to-physical address translation for every scheme.
 //!
 //! PDDL's mapping is "very few arithmetic operations & vector lookup" —
 //! it should be the fastest of the declustered schemes, with DATUM (pure
 //! binomial arithmetic) the slowest.
+//!
+//! Run with `cargo bench --features bench --bench mapping`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pddl_bench::timing::{bench_ns, header};
 use pddl_core::layout::Layout;
 use pddl_core::{Datum, ParityDeclustering, Pddl, PrimeLayout, PseudoRandom, Raid5};
 
-fn bench_layout(c: &mut Criterion, name: &str, layout: &dyn Layout) {
+fn bench_layout(name: &str, layout: &dyn Layout) {
     let span = layout.data_units_per_period();
-    let mut group = c.benchmark_group("translate");
-    group.bench_function(name, |b| {
-        let mut u = 0u64;
-        b.iter(|| {
-            u = (u + 97) % span;
-            black_box(layout.locate_phys(black_box(u)))
-        })
+    let mut u = 0u64;
+    bench_ns(&format!("translate/{name}"), || {
+        u = (u + 97) % span;
+        black_box(layout.locate_phys(black_box(u)))
     });
-    group.finish();
 }
 
-fn translation(c: &mut Criterion) {
-    bench_layout(c, "pddl", &Pddl::new(13, 4).unwrap());
-    bench_layout(c, "raid5", &Raid5::new(13).unwrap());
-    bench_layout(c, "parity_declustering", &ParityDeclustering::new(13, 4).unwrap());
-    bench_layout(c, "datum", &Datum::new(13, 4).unwrap());
-    bench_layout(c, "prime", &PrimeLayout::new(13, 4).unwrap());
-    bench_layout(c, "pseudo_random", &PseudoRandom::new(13, 4, 1).unwrap());
-}
+fn main() {
+    header();
+    bench_layout("pddl", &Pddl::new(13, 4).unwrap());
+    bench_layout("raid5", &Raid5::new(13).unwrap());
+    bench_layout(
+        "parity_declustering",
+        &ParityDeclustering::new(13, 4).unwrap(),
+    );
+    bench_layout("datum", &Datum::new(13, 4).unwrap());
+    bench_layout("prime", &PrimeLayout::new(13, 4).unwrap());
+    bench_layout("pseudo_random", &PseudoRandom::new(13, 4, 1).unwrap());
 
-fn stripe_lookup(c: &mut Criterion) {
     // Full stripe reconstruction lookup (the degraded-mode hot path).
     let pddl = Pddl::new(13, 4).unwrap();
     let datum = Datum::new(13, 4).unwrap();
-    let mut group = c.benchmark_group("stripe_units");
-    group.bench_function("pddl", |b| {
-        let mut s = 0u64;
-        b.iter(|| {
-            s = (s + 7) % pddl.stripes_per_period();
-            black_box(pddl.stripe_units(black_box(s)))
-        })
+    let mut s = 0u64;
+    bench_ns("stripe_units/pddl", || {
+        s = (s + 7) % pddl.stripes_per_period();
+        black_box(pddl.stripe_units(black_box(s)))
     });
-    group.bench_function("datum", |b| {
-        let mut s = 0u64;
-        b.iter(|| {
-            s = (s + 7) % datum.stripes_per_period();
-            black_box(datum.stripe_units(black_box(s)))
-        })
+    let mut s = 0u64;
+    bench_ns("stripe_units/datum", || {
+        s = (s + 7) % datum.stripes_per_period();
+        black_box(datum.stripe_units(black_box(s)))
     });
-    group.finish();
 }
-
-criterion_group!(benches, translation, stripe_lookup);
-criterion_main!(benches);

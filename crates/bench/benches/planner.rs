@@ -1,36 +1,31 @@
 //! Benches of the array-controller access planner — the per-access
 //! overhead a real controller would pay on top of the disk time.
+//!
+//! Run with `cargo bench --features bench --bench planner`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pddl_bench::timing::{bench_ns, header};
 use pddl_core::plan::{plan_access, Mode, Op};
 use pddl_core::{Pddl, Raid5};
 
-fn plan_sizes(c: &mut Criterion) {
+fn main() {
+    header();
     let pddl = Pddl::new(13, 4).unwrap();
     let raid5 = Raid5::new(13).unwrap();
-    let mut group = c.benchmark_group("plan_ff_read");
     for units in [1u64, 6, 30] {
-        group.bench_with_input(BenchmarkId::new("pddl", units), &units, |b, &n| {
-            let mut start = 0u64;
-            b.iter(|| {
-                start = (start + 13) % 1000;
-                black_box(plan_access(&pddl, Mode::FaultFree, Op::Read, start, n))
-            })
+        let mut start = 0u64;
+        bench_ns(&format!("plan_ff_read/pddl/{units}"), || {
+            start = (start + 13) % 1000;
+            black_box(plan_access(&pddl, Mode::FaultFree, Op::Read, start, units))
         });
-        group.bench_with_input(BenchmarkId::new("raid5", units), &units, |b, &n| {
-            let mut start = 0u64;
-            b.iter(|| {
-                start = (start + 13) % 1000;
-                black_box(plan_access(&raid5, Mode::FaultFree, Op::Read, start, n))
-            })
+        let mut start = 0u64;
+        bench_ns(&format!("plan_ff_read/raid5/{units}"), || {
+            start = (start + 13) % 1000;
+            black_box(plan_access(&raid5, Mode::FaultFree, Op::Read, start, units))
         });
     }
-    group.finish();
-}
 
-fn plan_modes(c: &mut Criterion) {
-    let pddl = Pddl::new(13, 4).unwrap();
-    let mut group = c.benchmark_group("plan_modes_6units");
     let modes: [(&str, Mode, Op); 4] = [
         ("ff_write", Mode::FaultFree, Op::Write),
         ("degraded_read", Mode::Degraded { failed: 0 }, Op::Read),
@@ -42,16 +37,10 @@ fn plan_modes(c: &mut Criterion) {
         ),
     ];
     for (name, mode, op) in modes {
-        group.bench_function(name, |b| {
-            let mut start = 0u64;
-            b.iter(|| {
-                start = (start + 13) % 1000;
-                black_box(plan_access(&pddl, mode, op, start, 6))
-            })
+        let mut start = 0u64;
+        bench_ns(&format!("plan_modes_6units/{name}"), || {
+            start = (start + 13) % 1000;
+            black_box(plan_access(&pddl, mode, op, start, 6))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, plan_sizes, plan_modes);
-criterion_main!(benches);

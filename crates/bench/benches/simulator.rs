@@ -1,46 +1,44 @@
 //! End-to-end simulator throughput: simulated accesses per wall-clock
 //! second, so experiment runtimes stay predictable.
+//!
+//! Run with `cargo bench --features bench --bench simulator`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pddl_bench::timing::{bench_ns, header};
 use pddl_core::plan::{Mode, Op};
 use pddl_core::Pddl;
 use pddl_sim::{ArraySim, SimConfig};
 
-fn short_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_500_accesses");
-    group.sample_size(10);
-    group.bench_function("pddl_8kb_read_8clients", |b| {
-        b.iter(|| {
-            let layout = Pddl::new(13, 4).unwrap();
-            let cfg = SimConfig {
-                clients: 8,
-                access_units: 1,
-                op: Op::Read,
-                mode: Mode::FaultFree,
-                warmup: 50,
-                max_samples: 500,
-                ..SimConfig::default()
-            };
-            black_box(ArraySim::new(Box::new(layout), cfg).run())
-        })
+fn main() {
+    header();
+    let ns = bench_ns("sim_500_accesses/pddl_8kb_read_8clients", || {
+        let layout = Pddl::new(13, 4).unwrap();
+        let cfg = SimConfig {
+            clients: 8,
+            access_units: 1,
+            op: Op::Read,
+            mode: Mode::FaultFree,
+            warmup: 50,
+            max_samples: 500,
+            ..SimConfig::default()
+        };
+        black_box(ArraySim::new(Box::new(layout), cfg).run())
     });
-    group.bench_function("pddl_96kb_write_degraded", |b| {
-        b.iter(|| {
-            let layout = Pddl::new(13, 4).unwrap();
-            let cfg = SimConfig {
-                clients: 8,
-                access_units: 12,
-                op: Op::Write,
-                mode: Mode::Degraded { failed: 0 },
-                warmup: 50,
-                max_samples: 500,
-                ..SimConfig::default()
-            };
-            black_box(ArraySim::new(Box::new(layout), cfg).run())
-        })
-    });
-    group.finish();
-}
+    println!("#   {:.0} simulated accesses/s", 500.0 / (ns / 1e9));
 
-criterion_group!(benches, short_run);
-criterion_main!(benches);
+    let ns = bench_ns("sim_500_accesses/pddl_96kb_write_degraded", || {
+        let layout = Pddl::new(13, 4).unwrap();
+        let cfg = SimConfig {
+            clients: 8,
+            access_units: 12,
+            op: Op::Write,
+            mode: Mode::Degraded { failed: 0 },
+            warmup: 50,
+            max_samples: 500,
+            ..SimConfig::default()
+        };
+        black_box(ArraySim::new(Box::new(layout), cfg).run())
+    });
+    println!("#   {:.0} simulated accesses/s", 500.0 / (ns / 1e9));
+}

@@ -18,12 +18,8 @@ use pddl_core::Pddl;
 fn main() {
     let g = (DISKS - 1) / WIDTH;
     let clustered = Pddl::new(DISKS, WIDTH).expect("clustered construction");
-    let raw = Pddl::from_base_permutations(
-        DISKS,
-        WIDTH,
-        vec![bose_permutation(DISKS, g, WIDTH)],
-    )
-    .expect("raw Bose construction");
+    let raw = Pddl::from_base_permutations(DISKS, WIDTH, vec![bose_permutation(DISKS, g, WIDTH)])
+        .expect("raw Bose construction");
     assert!(clustered.is_satisfactory() && raw.is_satisfactory());
 
     println!("# Ablation: check-column clustering (fault-free read working sets)");

@@ -13,7 +13,7 @@ use pddl_sim::{ArraySim, SchedulerKind, SimConfig};
 fn main() {
     let args = Args::from_env();
     println!("# Ablation: disk scheduling policy (PDDL, 8KB reads)");
-    println!("policy\tclients\tthroughput_aps\tresponse_ms\tp99_ms");
+    println!("policy\tclients\tthroughput_aps\tresponse_ms\tp95_ms\tp99_ms");
     let policies: [(&str, SchedulerKind, usize); 5] = [
         ("fifo", SchedulerKind::Sstf, 1),
         ("sstf-5", SchedulerKind::Sstf, 5),
@@ -36,8 +36,8 @@ fn main() {
             };
             let r = ArraySim::new(Box::new(layout), cfg).run();
             println!(
-                "{name}\t{clients}\t{:.2}\t{:.2}\t{:.2}",
-                r.throughput, r.mean_response_ms, r.p99_response_ms
+                "{name}\t{clients}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
+                r.throughput, r.mean_response_ms, r.p95_response_ms, r.p99_response_ms
             );
         }
     }

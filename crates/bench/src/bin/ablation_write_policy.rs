@@ -14,7 +14,7 @@ use pddl_sim::{ArraySim, LayoutKind, SimConfig};
 fn main() {
     let args = Args::from_env();
     println!("# Ablation: fault-free write strategy (8 clients)");
-    println!("layout\tsize\tpolicy\tthroughput_aps\tresponse_ms");
+    println!("layout\tsize\tpolicy\tthroughput_aps\tresponse_ms\tp95_ms\tp99_ms");
     let policies: [(&str, WritePolicy); 3] = [
         ("adaptive", WritePolicy::Adaptive),
         ("always-small", WritePolicy::AlwaysSmall),
@@ -35,11 +35,13 @@ fn main() {
                 };
                 let r = ArraySim::new(layout, cfg).run();
                 println!(
-                    "{}\t{}\t{name}\t{:.2}\t{:.2}",
+                    "{}\t{}\t{name}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
                     kind.name(),
                     size_label(units),
                     r.throughput,
-                    r.mean_response_ms
+                    r.mean_response_ms,
+                    r.p95_response_ms,
+                    r.p99_response_ms
                 );
             }
         }

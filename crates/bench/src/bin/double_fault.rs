@@ -15,7 +15,7 @@ use pddl_sim::{ArraySim, SimConfig};
 fn main() {
     let args = Args::from_env();
     println!("# PDDL k=4 with c=2 (RS) under concurrent failures (reads)");
-    println!("mode\tsize\tclients\tthroughput_aps\tresponse_ms");
+    println!("mode\tsize\tclients\tthroughput_aps\tresponse_ms\tp95_ms\tp99_ms");
     let modes: [(&str, Mode); 3] = [
         ("fault-free", Mode::FaultFree),
         ("one-failure", Mode::Degraded { failed: 0 }),
@@ -38,10 +38,12 @@ fn main() {
                 };
                 let r = ArraySim::new(Box::new(layout), cfg).run();
                 println!(
-                    "{label}\t{}\t{clients}\t{:.2}\t{:.2}",
+                    "{label}\t{}\t{clients}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
                     size_label(units),
                     r.throughput,
-                    r.mean_response_ms
+                    r.mean_response_ms,
+                    r.p95_response_ms,
+                    r.p99_response_ms
                 );
             }
         }

@@ -18,8 +18,7 @@ use pddl_core::pddl::PAPER_FIGURE17_PAIR;
 use pddl_core::Pddl;
 
 fn report(label: &str, perms: &[Vec<usize>]) {
-    let layout =
-        Pddl::from_base_permutations(55, 6, perms.to_vec()).expect("valid permutations");
+    let layout = Pddl::from_base_permutations(55, 6, perms.to_vec()).expect("valid permutations");
     println!("## {label}");
     for (i, perm) in perms.iter().enumerate() {
         println!("### permutation {}", i + 1);
@@ -40,10 +39,7 @@ fn report(label: &str, perms: &[Vec<usize>]) {
 
 fn main() {
     println!("# Figure 17: base permutation pairs for n=55, k=6 (g=9)");
-    let paper: Vec<Vec<usize>> = PAPER_FIGURE17_PAIR
-        .iter()
-        .map(|p| p.to_vec())
-        .collect();
+    let paper: Vec<Vec<usize>> = PAPER_FIGURE17_PAIR.iter().map(|p| p.to_vec()).collect();
     report("the paper's pair (Figure 17)", &paper);
 
     let budget = SearchBudget {

@@ -21,10 +21,13 @@ fn main() {
     let modes: [(&str, Mode); 3] = [
         ("fault-free", Mode::FaultFree),
         ("reconstruction", Mode::Degraded { failed: 0 }),
-        ("post-reconstruction", Mode::PostReconstruction { failed: 0 }),
+        (
+            "post-reconstruction",
+            Mode::PostReconstruction { failed: 0 },
+        ),
     ];
     println!("# Figure 18: PDDL reads by operating mode");
-    println!("mode\tsize\tclients\tthroughput_aps\tresponse_ms\tci_ms");
+    println!("mode\tsize\tclients\tthroughput_aps\tresponse_ms\tp95_ms\tp99_ms\tci_ms");
     for &units in &[1u64, 3, 6, 9] {
         for (label, mode) in modes {
             for &clients in &CLIENTS {
@@ -40,10 +43,12 @@ fn main() {
                 };
                 let r = ArraySim::new(Box::new(layout), cfg).run();
                 println!(
-                    "{label}\t{}\t{clients}\t{:.2}\t{:.2}\t{:.2}",
+                    "{label}\t{}\t{clients}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
                     size_label(units),
                     r.throughput,
                     r.mean_response_ms,
+                    r.p95_response_ms,
+                    r.p99_response_ms,
                     r.ci_halfwidth_ms
                 );
             }

@@ -23,7 +23,9 @@ const HOURS_PER_YEAR: f64 = 24.0 * 365.0;
 fn main() {
     let args = Args::from_env();
     let jobs = args.get("jobs").and_then(|j| j.parse().ok()).unwrap_or(16);
-    println!("# MTTDL from measured rebuild times (MTBF {MTBF_HOURS} h/disk, 8 clients during rebuild)");
+    println!(
+        "# MTTDL from measured rebuild times (MTBF {MTBF_HOURS} h/disk, 8 clients during rebuild)"
+    );
     println!("layout\trebuild_h\treplacement_h\tmttr_h\tmttdl_years");
     for kind in LayoutKind::EVALUATED {
         let layout = kind.build(DISKS, WIDTH).expect("standard configuration");

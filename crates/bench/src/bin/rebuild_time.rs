@@ -19,7 +19,7 @@ use pddl_sim::{ArraySim, LayoutKind, SimConfig};
 fn main() {
     let failed = 2usize;
     println!("# Rebuild time vs client load (8KB client reads, failed disk {failed})");
-    println!("layout\trebuild_jobs\tclients\trebuild_s\tclient_response_ms");
+    println!("layout\trebuild_jobs\tclients\trebuild_s\tclient_response_ms\tp95_ms\tp99_ms");
     for kind in [
         LayoutKind::Pddl,
         LayoutKind::Raid5,
@@ -42,10 +42,12 @@ fn main() {
                 let r = ArraySim::with_rebuild(layout, cfg, failed, jobs).run();
                 let rb = r.rebuild.expect("rebuild report");
                 println!(
-                    "{}\t{jobs}\t{clients}\t{:.1}\t{:.2}",
+                    "{}\t{jobs}\t{clients}\t{:.1}\t{:.2}\t{:.2}\t{:.2}",
                     kind.name(),
                     rb.rebuild_ms / 1000.0,
-                    r.mean_response_ms
+                    r.mean_response_ms,
+                    r.p95_response_ms,
+                    r.p99_response_ms
                 );
             }
         }

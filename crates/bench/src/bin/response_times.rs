@@ -23,7 +23,9 @@ fn main() {
     let args = Args::from_env();
     let (op, mode) = (args.op(), args.mode());
     println!("# Response times ({op:?}, {mode:?})");
-    println!("layout\tsize\tclients\tthroughput_aps\tresponse_ms\tci_ms\tconverged");
+    println!(
+        "layout\tsize\tclients\tthroughput_aps\tresponse_ms\tp95_ms\tp99_ms\tci_ms\tconverged"
+    );
     for kind in LayoutKind::EVALUATED {
         for &units in &args.sizes() {
             for &clients in &CLIENTS {
@@ -39,12 +41,14 @@ fn main() {
                 };
                 let r = ArraySim::new(layout, cfg).run();
                 println!(
-                    "{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{}",
+                    "{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{}",
                     kind.name(),
                     size_label(units),
                     clients,
                     r.throughput,
                     r.mean_response_ms,
+                    r.p95_response_ms,
+                    r.p99_response_ms,
                     r.ci_halfwidth_ms,
                     r.converged
                 );

@@ -46,7 +46,11 @@ fn main() {
         g.capacity_bytes() as f64 / 1e9,
         g.total_sectors()
     );
-    println!("Geometry:\t{} cylinders, {} heads, 8 zones", g.cylinders(), g.heads());
+    println!(
+        "Geometry:\t{} cylinders, {} heads, 8 zones",
+        g.cylinders(),
+        g.heads()
+    );
     println!(
         "Rotation:\t5400 RPM ({:.2} ms/rev)",
         d.revolution() as f64 / MILLISECOND as f64

@@ -12,10 +12,10 @@
 
 use std::time::Instant;
 
-use pddl_core::layout::Layout;
-use pddl_core::{ParityDeclustering, Pddl, PrimeLayout, PseudoRandom, Raid5};
-use pddl_core::Datum;
 use pddl_bench::{DISKS, WIDTH};
+use pddl_core::layout::Layout;
+use pddl_core::Datum;
+use pddl_core::{ParityDeclustering, Pddl, PrimeLayout, PseudoRandom, Raid5};
 
 fn measure_translation(layout: &dyn Layout) -> f64 {
     let span = layout.data_units_per_period().min(100_000);

@@ -13,22 +13,43 @@ use pddl_sim::{AccessPattern, ArraySim, LayoutKind, SimConfig};
 fn main() {
     let args = Args::from_env();
     println!("# Workload-mix extension (48KB accesses, 8 clients)");
-    println!("layout\tworkload\tthroughput_aps\tresponse_ms");
+    println!("layout\tworkload\tthroughput_aps\tresponse_ms\tp95_ms\tp99_ms");
     let workloads: Vec<(&str, SimConfig)> = vec![
-        ("pure-read", SimConfig { op: Op::Read, ..SimConfig::default() }),
-        ("pure-write", SimConfig { op: Op::Write, ..SimConfig::default() }),
+        (
+            "pure-read",
+            SimConfig {
+                op: Op::Read,
+                ..SimConfig::default()
+            },
+        ),
+        (
+            "pure-write",
+            SimConfig {
+                op: Op::Write,
+                ..SimConfig::default()
+            },
+        ),
         (
             "70/30-mix",
-            SimConfig { read_fraction: Some(0.7), ..SimConfig::default() },
+            SimConfig {
+                read_fraction: Some(0.7),
+                ..SimConfig::default()
+            },
         ),
         (
             "sequential-read",
-            SimConfig { pattern: AccessPattern::Sequential, ..SimConfig::default() },
+            SimConfig {
+                pattern: AccessPattern::Sequential,
+                ..SimConfig::default()
+            },
         ),
         (
             "hot-cold-read",
             SimConfig {
-                pattern: AccessPattern::HotCold { hot_percent: 10, traffic_percent: 80 },
+                pattern: AccessPattern::HotCold {
+                    hot_percent: 10,
+                    traffic_percent: 80,
+                },
                 ..SimConfig::default()
             },
         ),
@@ -45,10 +66,12 @@ fn main() {
             };
             let r = ArraySim::new(layout, cfg).run();
             println!(
-                "{}\t{name}\t{:.2}\t{:.2}",
+                "{}\t{name}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
                 kind.name(),
                 r.throughput,
-                r.mean_response_ms
+                r.mean_response_ms,
+                r.p95_response_ms,
+                r.p99_response_ms
             );
         }
     }

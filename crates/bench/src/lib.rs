@@ -6,6 +6,7 @@
 //! `DESIGN.md`; expected-vs-measured notes in `EXPERIMENTS.md`.
 
 pub mod plot;
+pub mod timing;
 
 use pddl_core::layout::Layout;
 use pddl_core::plan::{Mode, Op};
@@ -46,7 +47,8 @@ pub fn evaluated_layouts() -> Vec<(&'static str, Box<dyn Layout>)> {
         .map(|kind| {
             (
                 kind.name(),
-                kind.build(DISKS, WIDTH).expect("standard configuration builds"),
+                kind.build(DISKS, WIDTH)
+                    .expect("standard configuration builds"),
             )
         })
         .collect()

@@ -59,7 +59,14 @@ impl LineChart {
         };
 
         let mut svg = svg_header(&self.title);
-        draw_axes(&mut svg, &self.x_label, &self.y_label, (x0, x1), (y0, y1), &to_px);
+        draw_axes(
+            &mut svg,
+            &self.x_label,
+            &self.y_label,
+            (x0, x1),
+            (y0, y1),
+            &to_px,
+        );
         for (i, series) in self.series.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
             let mut path = String::new();
@@ -75,7 +82,10 @@ impl LineChart {
             );
             for &(x, y) in &sorted {
                 let (px, py) = to_px(x, y);
-                let _ = writeln!(svg, r##"<circle cx="{px:.1}" cy="{py:.1}" r="2.6" fill="{color}"/>"##);
+                let _ = writeln!(
+                    svg,
+                    r##"<circle cx="{px:.1}" cy="{py:.1}" r="2.6" fill="{color}"/>"##
+                );
             }
             // Legend entry.
             let ly = MARGIN_T + 16.0 * i as f64;
@@ -236,8 +246,14 @@ fn draw_axes(
     let (ox, oy) = to_px(x0, y0);
     let (ex, _) = to_px(x1, y0);
     let (_, ty) = to_px(x0, y1);
-    let _ = writeln!(svg, r##"<line x1="{ox:.1}" y1="{oy:.1}" x2="{ex:.1}" y2="{oy:.1}" stroke="black"/>"##);
-    let _ = writeln!(svg, r##"<line x1="{ox:.1}" y1="{oy:.1}" x2="{ox:.1}" y2="{ty:.1}" stroke="black"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{ox:.1}" y1="{oy:.1}" x2="{ex:.1}" y2="{oy:.1}" stroke="black"/>"##
+    );
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{ox:.1}" y1="{oy:.1}" x2="{ox:.1}" y2="{ty:.1}" stroke="black"/>"##
+    );
     for t in 0..=4 {
         let xv = x0 + (x1 - x0) * t as f64 / 4.0;
         let yv = y0 + (y1 - y0) * t as f64 / 4.0;
@@ -288,7 +304,9 @@ fn nice_range(values: impl Iterator<Item = f64>) -> (f64, f64) {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -301,8 +319,14 @@ mod tests {
             x_label: "workload".into(),
             y_label: "response".into(),
             series: vec![
-                Series { name: "PDDL".into(), points: vec![(1.0, 10.0), (2.0, 20.0)] },
-                Series { name: "RAID 5".into(), points: vec![(2.0, 30.0), (1.0, 15.0)] },
+                Series {
+                    name: "PDDL".into(),
+                    points: vec![(1.0, 10.0), (2.0, 20.0)],
+                },
+                Series {
+                    name: "RAID 5".into(),
+                    points: vec![(2.0, 30.0), (1.0, 15.0)],
+                },
             ],
         }
     }

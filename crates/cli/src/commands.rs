@@ -1,11 +1,15 @@
 //! The `pddl` CLI subcommands.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use pddl_array::DeclusteredArray;
 use pddl_core::analysis::{check_goals, mean_working_set, reconstruction_reads};
 use pddl_core::layout::Layout;
 use pddl_core::pddl::search::{find_base_permutations_with_spares, SearchBudget};
 use pddl_core::plan::{Mode, Op};
 use pddl_core::{Datum, ParityDeclustering, Pddl, PrimeLayout, PseudoRandom, Raid5, Role};
+use pddl_obs::{MetricsSnapshot, ObsConfig, ObsSink, Observer};
 use pddl_sim::trace::{format_trace, parse_trace, synthesize_poisson};
 use pddl_sim::{ArraySim, SimConfig};
 
@@ -33,9 +37,69 @@ USAGE:
                    synthesize a Poisson trace on stdout
   pddl replay    --file TRACE [--disks N --width K] [--mode ff|f1]
                    replay a trace file through the simulator
+  pddl report    METRICS.tsv
+                   summarize a metrics file: latency percentiles and
+                   per-disk utilization skew
+
+OBSERVABILITY (simulate, rebuild, replay, drill):
+  --trace FILE     write a Chrome trace-event JSON (open in Perfetto)
+  --metrics FILE   write a metrics TSV (input for `pddl report`)
+  --sample-us N    per-disk sampling interval in µs (default 1000; 0 off)
 
 LAYOUTS: pddl (default), raid5, parity-decl, datum, prime, pseudo-random
 ";
+
+/// Observability outputs requested on the command line.
+struct ObsOutput {
+    observer: Rc<RefCell<Observer>>,
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+}
+
+/// Build an observer when `--trace` or `--metrics` was given; `None`
+/// (zero overhead, bit-for-bit identical run) otherwise.
+fn obs_from_cli(cli: &Cli) -> Result<Option<ObsOutput>, String> {
+    let trace_path = cli.get("trace").map(str::to_string);
+    let metrics_path = cli.get("metrics").map(str::to_string);
+    if trace_path.is_none() && metrics_path.is_none() {
+        return Ok(None);
+    }
+    let sample_us: u64 = cli.num("sample-us", 1_000)?;
+    let cfg = ObsConfig {
+        sample_interval_ns: (sample_us > 0).then_some(sample_us * 1_000),
+        ..ObsConfig::default()
+    };
+    Ok(Some(ObsOutput {
+        observer: Rc::new(RefCell::new(Observer::new(cfg))),
+        trace_path,
+        metrics_path,
+    }))
+}
+
+impl ObsOutput {
+    /// The observer as the trait object instrumented components hold.
+    fn sink(&self) -> Rc<RefCell<dyn ObsSink>> {
+        self.observer.clone()
+    }
+
+    fn set_info(&self, key: &str, value: &str) {
+        self.observer.borrow_mut().set_info(key, value);
+    }
+
+    /// Write the requested files and tell the user where they went.
+    fn write_outputs(&self) -> Result<(), String> {
+        let obs = self.observer.borrow();
+        if let Some(path) = &self.trace_path {
+            std::fs::write(path, obs.chrome_trace_json()).map_err(|e| format!("{path}: {e}"))?;
+            println!("  trace         : {path} (load in Perfetto / chrome://tracing)");
+        }
+        if let Some(path) = &self.metrics_path {
+            std::fs::write(path, obs.metrics_tsv()).map_err(|e| format!("{path}: {e}"))?;
+            println!("  metrics       : {path} (summarize with `pddl report {path}`)");
+        }
+        Ok(())
+    }
+}
 
 fn build_layout(cli: &Cli) -> Result<Box<dyn Layout>, String> {
     let n: usize = cli.num("disks", 13)?;
@@ -56,11 +120,15 @@ fn build_layout(cli: &Cli) -> Result<Box<dyn Layout>, String> {
 fn parse_mode(cli: &Cli) -> Result<Mode, String> {
     Ok(match cli.get("mode") {
         None | Some("ff") => Mode::FaultFree,
-        Some("f1") => Mode::Degraded { failed: cli.num("fail", 0)? },
+        Some("f1") => Mode::Degraded {
+            failed: cli.num("fail", 0)?,
+        },
         Some("f2") => Mode::DoubleDegraded {
             failed: [cli.num("fail", 0)?, cli.num("fail2", 6)?],
         },
-        Some("postrecon") => Mode::PostReconstruction { failed: cli.num("fail", 0)? },
+        Some("postrecon") => Mode::PostReconstruction {
+            failed: cli.num("fail", 0)?,
+        },
         Some(other) => return Err(format!("unknown mode {other:?}")),
     })
 }
@@ -113,7 +181,10 @@ pub fn show(cli: &Cli) -> Result<(), String> {
         println!("{r:<5} {}", row.join(""));
     }
     if rows < layout.period_rows() {
-        println!("… ({} more rows in the period)", layout.period_rows() - rows);
+        println!(
+            "… ({} more rows in the period)",
+            layout.period_rows() - rows
+        );
     }
     Ok(())
 }
@@ -122,17 +193,43 @@ pub fn show(cli: &Cli) -> Result<(), String> {
 pub fn verify(cli: &Cli) -> Result<(), String> {
     let layout = build_layout(cli)?;
     let g = check_goals(layout.as_ref());
-    println!("goals for {} (n={}, k={}):", layout.name(), layout.disks(), layout.stripe_width());
-    println!("  #1 single failure correcting : {}", g.single_failure_correcting);
+    println!(
+        "goals for {} (n={}, k={}):",
+        layout.name(),
+        layout.disks(),
+        layout.stripe_width()
+    );
+    println!(
+        "  #1 single failure correcting : {}",
+        g.single_failure_correcting
+    );
     println!("  #2 distributed parity        : {}", g.distributed_parity);
-    println!("  #3 distributed reconstruction: {}", g.distributed_reconstruction);
-    println!("  #4 large write optimization  : {}", g.large_write_optimization);
-    println!("  #5 read parallelism deviation: {}", g.read_parallelism_deviation);
+    println!(
+        "  #3 distributed reconstruction: {}",
+        g.distributed_reconstruction
+    );
+    println!(
+        "  #4 large write optimization  : {}",
+        g.large_write_optimization
+    );
+    println!(
+        "  #5 read parallelism deviation: {}",
+        g.read_parallelism_deviation
+    );
     println!("  #6 mapping table bytes       : {}", g.mapping_table_bytes);
-    println!("  #7 distributed sparing       : {:?}", g.distributed_sparing);
-    println!("  #8 degraded parallelism dev. : {:?}", g.degraded_parallelism_deviation);
+    println!(
+        "  #7 distributed sparing       : {:?}",
+        g.distributed_sparing
+    );
+    println!(
+        "  #8 degraded parallelism dev. : {:?}",
+        g.degraded_parallelism_deviation
+    );
     let f = cli.num("fail", 0)?;
-    println!("reconstruction reads if disk {f} fails: {:?}", reconstruction_reads(layout.as_ref(), f));
+    println!(
+        "reconstruction reads if disk {f} fails: {:?}",
+        reconstruction_reads(layout.as_ref(), f)
+    );
     for units in [1u64, 6, 12] {
         let ws = mean_working_set(layout.as_ref(), Mode::FaultFree, Op::Read, units);
         println!("mean working set, {units}-unit ff reads: {ws:.2}");
@@ -156,7 +253,10 @@ pub fn search(cli: &Cli) -> Result<(), String> {
     }
     match find_base_permutations_with_spares(n, k, s, budget) {
         Some(perms) => {
-            println!("found {} base permutation(s) for n={n}, k={k}, s={s}:", perms.len());
+            println!(
+                "found {} base permutation(s) for n={n}, k={k}, s={s}:",
+                perms.len()
+            );
             for (i, p) in perms.iter().enumerate() {
                 let cells: Vec<String> = p.iter().map(|x| x.to_string()).collect();
                 println!("  #{}: ({})", i + 1, cells.join(" "));
@@ -180,15 +280,39 @@ pub fn simulate(cli: &Cli) -> Result<(), String> {
         ..SimConfig::default()
     };
     let name = layout.name().to_string();
-    let r = ArraySim::new(layout, cfg).run();
-    println!("{name}: {} clients × {} units, {:?}, {:?}", cfg.clients, cfg.access_units, cfg.op, cfg.mode);
-    println!("  response time : {:.2} ms (±{:.2} ms, 95% CI, converged={})", r.mean_response_ms, r.ci_halfwidth_ms, r.converged);
+    let obs = obs_from_cli(cli)?;
+    let mut sim = ArraySim::new(layout, cfg);
+    if let Some(o) = &obs {
+        o.set_info("driver", "simulate");
+        o.set_info("layout", &name);
+        o.set_info("mode", &format!("{:?}", cfg.mode));
+        o.set_info("op", &format!("{:?}", cfg.op));
+        o.set_info("clients", &cfg.clients.to_string());
+        o.set_info("size", &cfg.access_units.to_string());
+        sim.attach_observer(o.sink());
+    }
+    let r = sim.run();
+    println!(
+        "{name}: {} clients × {} units, {:?}, {:?}",
+        cfg.clients, cfg.access_units, cfg.op, cfg.mode
+    );
+    println!(
+        "  response time : {:.2} ms (±{:.2} ms, 95% CI, converged={})",
+        r.mean_response_ms, r.ci_halfwidth_ms, r.converged
+    );
     println!("  throughput    : {:.1} accesses/s", r.throughput);
     println!("  disk busy     : {:.1}%", r.utilization * 100.0);
     println!(
         "  ops/access    : {:.2} ({:.2} non-local, {:.2} cyl, {:.2} track, {:.2} no-switch)",
-        r.seeks.total(), r.seeks.non_local, r.seeks.cylinder_switch, r.seeks.track_switch, r.seeks.no_switch
+        r.seeks.total(),
+        r.seeks.non_local,
+        r.seeks.cylinder_switch,
+        r.seeks.track_switch,
+        r.seeks.no_switch
     );
+    if let Some(o) = &obs {
+        o.write_outputs()?;
+    }
     Ok(())
 }
 
@@ -207,12 +331,35 @@ pub fn rebuild(cli: &Cli) -> Result<(), String> {
         ..SimConfig::default()
     };
     let name = layout.name().to_string();
-    let r = ArraySim::with_rebuild(layout, cfg, failed, jobs).run();
+    let obs = obs_from_cli(cli)?;
+    let mut sim = ArraySim::with_rebuild(layout, cfg, failed, jobs);
+    if let Some(o) = &obs {
+        o.set_info("driver", "rebuild");
+        o.set_info("layout", &name);
+        o.set_info("failed_disk", &failed.to_string());
+        o.set_info("jobs", &jobs.to_string());
+        o.set_info("clients", &cfg.clients.to_string());
+        sim.attach_observer(o.sink());
+    }
+    let r = sim.run();
     let rb = r.rebuild.expect("rebuild report");
-    println!("{name}: rebuilding disk {failed} with {jobs} jobs in flight, {} clients", cfg.clients);
-    println!("  rebuild time        : {:.1} s ({} stripe units)", rb.rebuild_ms / 1000.0, rb.stripes_repaired);
+    println!(
+        "{name}: rebuilding disk {failed} with {jobs} jobs in flight, {} clients",
+        cfg.clients
+    );
+    println!(
+        "  rebuild time        : {:.1} s ({} stripe units)",
+        rb.rebuild_ms / 1000.0,
+        rb.stripes_repaired
+    );
     if cfg.clients > 0 {
-        println!("  client response time: {:.2} ms during the rebuild", r.mean_response_ms);
+        println!(
+            "  client response time: {:.2} ms during the rebuild",
+            r.mean_response_ms
+        );
+    }
+    if let Some(o) = &obs {
+        o.write_outputs()?;
     }
     Ok(())
 }
@@ -223,8 +370,13 @@ pub fn drill(cli: &Cli) -> Result<(), String> {
     let k: usize = cli.num("width", 4)?;
     let fail: usize = cli.num("fail", 0)?;
     let layout = Pddl::new(n, k).map_err(|e| e.to_string())?;
-    let mut array =
-        DeclusteredArray::new(Box::new(layout), 512, 4).map_err(|e| e.to_string())?;
+    let mut array = DeclusteredArray::new(Box::new(layout), 512, 4).map_err(|e| e.to_string())?;
+    let obs = obs_from_cli(cli)?;
+    if let Some(o) = &obs {
+        o.set_info("driver", "drill");
+        o.set_info("failed_disk", &fail.to_string());
+        array.attach_observer(o.sink());
+    }
     let cap = array.capacity_units();
     let payload: Vec<u8> = (0..cap as usize * 512).map(|i| (i % 251) as u8).collect();
     array.write(0, &payload).map_err(|e| e.to_string())?;
@@ -238,7 +390,13 @@ pub fn drill(cli: &Cli) -> Result<(), String> {
     let scrub = array.scrub().map_err(|e| e.to_string())?;
     println!("  degraded reads intact        : {ok_degraded}");
     println!("  rebuilt to spare             : {rebuilt} units, reads intact: {ok_post}");
-    println!("  after replacement + copyback : reads intact: {ok_final}, scrub issues: {}", scrub.len());
+    println!(
+        "  after replacement + copyback : reads intact: {ok_final}, scrub issues: {}",
+        scrub.len()
+    );
+    if let Some(o) = &obs {
+        o.write_outputs()?;
+    }
     if ok_degraded && ok_post && ok_final && scrub.is_empty() {
         println!("drill passed");
         Ok(())
@@ -277,10 +435,125 @@ pub fn replay(cli: &Cli) -> Result<(), String> {
     };
     let name = layout.name().to_string();
     let records = trace.len();
-    let r = ArraySim::with_trace(layout, cfg, trace).run();
-    println!("{name}: replayed {records} accesses from {file} ({:?})", cfg.mode);
+    let obs = obs_from_cli(cli)?;
+    let mut sim = ArraySim::with_trace(layout, cfg, trace);
+    if let Some(o) = &obs {
+        o.set_info("driver", "replay");
+        o.set_info("layout", &name);
+        o.set_info("trace_file", file);
+        o.set_info("mode", &format!("{:?}", cfg.mode));
+        sim.attach_observer(o.sink());
+    }
+    let r = sim.run();
+    println!(
+        "{name}: replayed {records} accesses from {file} ({:?})",
+        cfg.mode
+    );
     println!("  response time : {:.2} ms mean", r.mean_response_ms);
     println!("  throughput    : {:.1} accesses/s", r.throughput);
     println!("  disk busy     : {:.1}%", r.utilization * 100.0);
+    if let Some(o) = &obs {
+        o.write_outputs()?;
+    }
+    Ok(())
+}
+
+/// `pddl report` — summarize a metrics TSV written by `--metrics`.
+pub fn report(cli: &Cli) -> Result<(), String> {
+    let path = cli
+        .positional
+        .first()
+        .map(String::as_str)
+        .or_else(|| cli.get("file"))
+        .ok_or("usage: pddl report METRICS.tsv")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snap = MetricsSnapshot::parse(&text)?;
+    if !snap.info.is_empty() {
+        let ctx: Vec<String> = snap.info.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("run: {}", ctx.join(" "));
+    }
+    // Latency and service-time percentiles (ns histograms → ms).
+    let ms = |v: u64| v as f64 / 1e6;
+    let mut any = false;
+    for (name, h) in &snap.hists {
+        if !name.ends_with("_ns") || h.count == 0 {
+            continue;
+        }
+        if !any {
+            println!(
+                "{:<22} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "histogram", "count", "mean", "p50", "p95", "p99", "max"
+            );
+            any = true;
+        }
+        println!(
+            "{:<22} {:>10} {:>8.2}m {:>8.2}m {:>8.2}m {:>8.2}m {:>8.2}m",
+            name,
+            h.count,
+            h.mean / 1e6,
+            ms(h.p50),
+            ms(h.p95),
+            ms(h.p99),
+            ms(h.max),
+        );
+    }
+    for (name, h) in &snap.hists {
+        if name.ends_with("_ns") || h.count == 0 {
+            continue;
+        }
+        println!(
+            "{:<22} {:>10} {:>8.2}  {:>8}  {:>8}  {:>8}  {:>8} ",
+            name, h.count, h.mean, h.p50, h.p95, h.p99, h.max,
+        );
+    }
+    // Per-disk utilization skew from the disk.util.N gauges.
+    let mut utils: Vec<(usize, f64)> = snap
+        .gauges
+        .iter()
+        .filter_map(|(k, &v)| {
+            k.strip_prefix("disk.util.")
+                .and_then(|d| d.parse().ok())
+                .map(|d: usize| (d, v))
+        })
+        .collect();
+    utils.sort_unstable_by_key(|&(d, _)| d);
+    if !utils.is_empty() {
+        let mean = utils.iter().map(|&(_, u)| u).sum::<f64>() / utils.len() as f64;
+        let (max_d, max_u) =
+            utils
+                .iter()
+                .copied()
+                .fold((0, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+        println!("per-disk utilization ({} disks):", utils.len());
+        let bars: Vec<String> = utils
+            .iter()
+            .map(|&(d, u)| {
+                format!(
+                    "  d{d:<3} {:>5.1}% {}",
+                    u * 100.0,
+                    "#".repeat((u * 40.0).round() as usize)
+                )
+            })
+            .collect();
+        println!("{}", bars.join("\n"));
+        let skew = if mean > 0.0 { max_u / mean } else { 1.0 };
+        println!(
+            "  mean {:.1}%  max {:.1}% (disk {max_d})  skew max/mean {skew:.3}",
+            mean * 100.0,
+            max_u * 100.0,
+        );
+    }
+    // A few headline counters, if present.
+    for key in [
+        "access.completed",
+        "op.count",
+        "journal.commits",
+        "scrub.passes",
+        "disk.failures",
+    ] {
+        if let Some(v) = snap.counters.get(key) {
+            println!("{key:<22} {v}");
+        }
+    }
     Ok(())
 }

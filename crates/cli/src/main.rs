@@ -25,6 +25,7 @@ fn main() {
         Some("drill") => commands::drill(&cli),
         Some("trace-gen") => commands::trace_gen(&cli),
         Some("replay") => commands::replay(&cli),
+        Some("report") => commands::report(&cli),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -18,7 +18,17 @@ fn pddl(args: &[&str]) -> (bool, String, String) {
 fn help_lists_every_subcommand() {
     let (ok, stdout, _) = pddl(&["help"]);
     assert!(ok);
-    for cmd in ["show", "verify", "search", "simulate", "rebuild", "drill", "trace-gen", "replay"] {
+    for cmd in [
+        "show",
+        "verify",
+        "search",
+        "simulate",
+        "rebuild",
+        "drill",
+        "trace-gen",
+        "replay",
+        "report",
+    ] {
         assert!(stdout.contains(cmd), "usage missing {cmd}");
     }
     // No arguments behaves like help.
@@ -45,7 +55,14 @@ fn show_prints_the_seven_disk_pattern() {
 
 #[test]
 fn verify_reports_goals_for_every_layout() {
-    for layout in ["pddl", "raid5", "parity-decl", "datum", "prime", "pseudo-random"] {
+    for layout in [
+        "pddl",
+        "raid5",
+        "parity-decl",
+        "datum",
+        "prime",
+        "pseudo-random",
+    ] {
         let (ok, stdout, stderr) = pddl(&["verify", "--layout", layout]);
         assert!(ok, "{layout}: {stderr}");
         assert!(stdout.contains("#3 distributed reconstruction"), "{layout}");
@@ -67,7 +84,13 @@ fn search_finds_the_ten_disk_pair() {
 #[test]
 fn simulate_smoke() {
     let (ok, stdout, stderr) = pddl(&[
-        "simulate", "--clients", "2", "--size", "1", "--samples", "200",
+        "simulate",
+        "--clients",
+        "2",
+        "--size",
+        "1",
+        "--samples",
+        "200",
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("response time") && stdout.contains("throughput"));
@@ -78,6 +101,84 @@ fn drill_passes_end_to_end() {
     let (ok, stdout, stderr) = pddl(&["drill", "--disks", "7", "--width", "3", "--fail", "1"]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("drill passed"), "{stdout}");
+}
+
+#[test]
+fn observability_outputs_and_report() {
+    let dir = std::env::temp_dir();
+    let tag = std::process::id();
+    let trace = dir.join(format!("pddl-cli-obs-{tag}.json"));
+    let metrics = dir.join(format!("pddl-cli-obs-{tag}.tsv"));
+    let (ok, stdout, stderr) = pddl(&[
+        "simulate",
+        "--clients",
+        "2",
+        "--size",
+        "2",
+        "--samples",
+        "150",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("trace") && stdout.contains("metrics"),
+        "{stdout}"
+    );
+    // The trace is valid JSON with balanced async spans.
+    let json = std::fs::read_to_string(&trace).unwrap();
+    pddl_obs::validate_json(&json).unwrap();
+    assert_eq!(
+        json.matches("\"ph\":\"b\"").count(),
+        json.matches("\"ph\":\"e\"").count(),
+        "access spans must balance"
+    );
+    assert!(json.contains("\"ph\":\"X\""), "physical op slices present");
+    // The metrics file round-trips through `pddl report`.
+    let (ok, report, stderr) = pddl(&["report", metrics.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(report.contains("latency.access_ns"), "{report}");
+    assert!(report.contains("skew max/mean"), "{report}");
+    assert!(report.contains("driver=simulate"), "{report}");
+    std::fs::remove_file(&trace).unwrap();
+    std::fs::remove_file(&metrics).unwrap();
+    // Missing metrics file errors cleanly.
+    let (ok, _, stderr) = pddl(&["report", "/nonexistent.tsv"]);
+    assert!(!ok && stderr.contains("nonexistent"));
+    // Report with no path prints usage guidance.
+    let (ok, _, stderr) = pddl(&["report"]);
+    assert!(!ok && stderr.contains("usage"));
+}
+
+#[test]
+fn observability_does_not_change_results() {
+    let dir = std::env::temp_dir();
+    let metrics = dir.join(format!("pddl-cli-bitident-{}.tsv", std::process::id()));
+    let args = [
+        "simulate",
+        "--clients",
+        "2",
+        "--size",
+        "1",
+        "--samples",
+        "150",
+    ];
+    let (ok, plain, _) = pddl(&args);
+    assert!(ok);
+    let mut with_obs = args.to_vec();
+    with_obs.extend(["--metrics", metrics.to_str().unwrap()]);
+    let (ok, observed, _) = pddl(&with_obs);
+    assert!(ok);
+    // All simulation lines identical; the obs run only appends the
+    // output-file notices.
+    let observed_head: Vec<&str> = observed
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("metrics"))
+        .collect();
+    assert_eq!(plain.lines().collect::<Vec<_>>(), observed_head);
+    std::fs::remove_file(&metrics).unwrap();
 }
 
 #[test]

@@ -7,8 +7,6 @@ mod tolerance;
 mod working_set;
 
 pub use properties::{check_goals, GoalReport};
-pub use reconstruction::{
-    is_reconstruction_balanced, reconstruction_reads, reconstruction_writes,
-};
+pub use reconstruction::{is_reconstruction_balanced, reconstruction_reads, reconstruction_writes};
 pub use tolerance::{failures_tolerated, survives_failures};
 pub use working_set::{mean_working_set, working_set_table, WorkingSetRow};

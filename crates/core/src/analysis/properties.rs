@@ -83,7 +83,8 @@ fn goal4(layout: &dyn Layout) -> bool {
         let mut v = units.clone();
         v.sort_unstable();
         v.len() == layout.data_per_stripe()
-            && v.windows(2).all(|w| w[1].1 == w[0].1 + 1 && w[1].0 == w[0].0 + 1)
+            && v.windows(2)
+                .all(|w| w[1].1 == w[0].1 + 1 && w[1].0 == w[0].0 + 1)
     })
 }
 
@@ -172,7 +173,10 @@ mod tests {
         assert!(g.distributed_parity);
         assert!(g.distributed_reconstruction);
         assert!(g.large_write_optimization);
-        assert_eq!(g.read_parallelism_deviation, 0, "RAID-5 satisfies #5 optimally");
+        assert_eq!(
+            g.read_parallelism_deviation, 0,
+            "RAID-5 satisfies #5 optimally"
+        );
         assert_eq!(g.distributed_sparing, None);
         assert_eq!(g.mapping_table_bytes, 0);
     }

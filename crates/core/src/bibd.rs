@@ -49,10 +49,10 @@ impl fmt::Debug for Bibd {
 /// Curated base blocks of cyclic `(v, k, 1)` difference families
 /// (developed mod `v`). Each entry is `(v, k, base blocks)`.
 const DIFFERENCE_FAMILIES: &[(usize, usize, &[&[usize]])] = &[
-    (7, 3, &[&[0, 1, 3]]),            // Fano plane
+    (7, 3, &[&[0, 1, 3]]), // Fano plane
     (13, 3, &[&[0, 1, 4], &[0, 2, 7]]),
-    (13, 4, &[&[0, 1, 3, 9]]),        // PG(2,3) — the paper's 13-disk design
-    (21, 5, &[&[0, 1, 6, 8, 18]]),    // PG(2,4)
+    (13, 4, &[&[0, 1, 3, 9]]),     // PG(2,3) — the paper's 13-disk design
+    (21, 5, &[&[0, 1, 6, 8, 18]]), // PG(2,4)
     (31, 6, &[&[0, 1, 3, 8, 12, 18]]), // PG(2,5)
     (19, 3, &[&[0, 1, 4], &[0, 2, 9], &[0, 5, 11]]),
 ];
@@ -234,8 +234,7 @@ impl Bibd {
     /// Returns `None` when the counting conditions cannot be met or the
     /// budget runs out.
     pub fn search_cyclic(v: usize, k: usize, seed: u64) -> Option<Self> {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use crate::rng::Xoshiro256pp;
         if k < 2 || k >= v {
             return None;
         }
@@ -249,7 +248,7 @@ impl Bibd {
             }
         }
         let t = lambda * (v - 1) / per_block;
-        let mut rng = StdRng::seed_from_u64(seed ^ ((v as u64) << 16) ^ k as u64);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ ((v as u64) << 16) ^ k as u64);
         let score = |blocks: &[Vec<usize>]| -> i64 {
             let mut counts = vec![0i64; v];
             for b in blocks {
@@ -274,7 +273,7 @@ impl Bibd {
                 .map(|_| {
                     let mut b: Vec<usize> = Vec::with_capacity(k);
                     while b.len() < k {
-                        let x = rng.gen_range(0..v);
+                        let x = rng.below(v);
                         if !b.contains(&x) {
                             b.push(x);
                         }
@@ -287,10 +286,10 @@ impl Bibd {
                 if current == 0 {
                     break;
                 }
-                let bi = rng.gen_range(0..t);
-                let pos = rng.gen_range(0..k);
+                let bi = rng.below(t);
+                let pos = rng.below(k);
                 let old = blocks[bi][pos];
-                let candidate = rng.gen_range(0..v);
+                let candidate = rng.below(v);
                 if blocks[bi].contains(&candidate) {
                     continue;
                 }
@@ -474,7 +473,10 @@ mod tests {
     fn search_is_deterministic_and_bounded() {
         let a = Bibd::search_cyclic(15, 7, 9);
         let b = Bibd::search_cyclic(15, 7, 9);
-        assert_eq!(a.map(|d| d.blocks().to_vec()), b.map(|d| d.blocks().to_vec()));
+        assert_eq!(
+            a.map(|d| d.blocks().to_vec()),
+            b.map(|d| d.blocks().to_vec())
+        );
         assert!(Bibd::search_cyclic(10, 1, 0).is_none());
         assert!(Bibd::search_cyclic(4, 4, 0).is_none());
     }
@@ -492,8 +494,8 @@ mod tests {
         for q in [2usize, 3, 4, 5, 7, 8, 9] {
             let v = q * q + q + 1;
             let k = q + 1;
-            let d = Bibd::projective_plane(v, k)
-                .unwrap_or_else(|| panic!("PG(2,{q}) must construct"));
+            let d =
+                Bibd::projective_plane(v, k).unwrap_or_else(|| panic!("PG(2,{q}) must construct"));
             assert_eq!(d.lambda(), 1, "q={q}");
             assert_eq!(d.replication(), q + 1, "q={q}");
             assert_eq!(d.blocks().len(), v, "q={q}");
@@ -507,8 +509,8 @@ mod tests {
     #[test]
     fn affine_planes_are_resolvable_designs() {
         for q in [2usize, 3, 4, 5, 7, 8, 9] {
-            let d = Bibd::affine_plane(q * q, q)
-                .unwrap_or_else(|| panic!("AG(2,{q}) must construct"));
+            let d =
+                Bibd::affine_plane(q * q, q).unwrap_or_else(|| panic!("AG(2,{q}) must construct"));
             assert_eq!(d.lambda(), 1, "q={q}");
             assert_eq!(d.replication(), q + 1, "q={q}");
             assert_eq!(d.blocks().len(), q * q + q, "q={q}");
@@ -527,10 +529,10 @@ mod tests {
             let l = crate::Pddl::new(n, k).unwrap();
             let perm = &l.base_permutations()[0];
             let g = (n - 1) / k;
-            let base_blocks: Vec<Vec<usize>> =
-                (0..g).map(|j| perm[1 + j * k..1 + (j + 1) * k].to_vec()).collect();
-            let d = Bibd::develop(n, &base_blocks)
-                .unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+            let base_blocks: Vec<Vec<usize>> = (0..g)
+                .map(|j| perm[1 + j * k..1 + (j + 1) * k].to_vec())
+                .collect();
+            let d = Bibd::develop(n, &base_blocks).unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
             assert_eq!(d.lambda(), k - 1, "n={n} k={k}");
             assert_eq!(d.blocks().len() as u64, l.stripes_per_period());
         }

@@ -74,7 +74,11 @@ impl Datum {
     fn split(&self, stripe: u64) -> (u64, u64, u64) {
         let per = self.stripes_per_period();
         let (cycle, within) = (stripe / per, stripe % per);
-        (cycle, within / self.design_stripes, within % self.design_stripes)
+        (
+            cycle,
+            within / self.design_stripes,
+            within % self.design_stripes,
+        )
     }
 
     /// The sorted disk tuple of a stripe: the colex-unranked `k`-subset.
@@ -97,9 +101,7 @@ impl Datum {
     /// DATUM's "few arithmetic operations" entry in Table 3.
     fn offset_on(&self, stripe: u64, d: usize) -> u64 {
         let (cycle, pass, rank) = self.split(stripe);
-        cycle * self.period_rows()
-            + pass * self.pass_rows
-            + colex_count_containing(rank, self.k, d)
+        cycle * self.period_rows() + pass * self.pass_rows + colex_count_containing(rank, self.k, d)
     }
 }
 

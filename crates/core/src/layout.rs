@@ -235,11 +235,19 @@ mod tests {
 
     #[test]
     fn layout_error_display() {
-        let e = LayoutError::NoSatisfactoryPermutation { disks: 12, width: 5 };
+        let e = LayoutError::NoSatisfactoryPermutation {
+            disks: 12,
+            width: 5,
+        };
         assert!(e.to_string().contains("n=12"));
-        assert!(LayoutError::NotAPermutation.to_string().contains("permutation"));
+        assert!(LayoutError::NotAPermutation
+            .to_string()
+            .contains("permutation"));
         assert!(LayoutError::BadShape("x".into()).to_string().contains("x"));
-        let d = LayoutError::NoKnownDesign { disks: 13, width: 4 };
+        let d = LayoutError::NoKnownDesign {
+            disks: 13,
+            width: 4,
+        };
         assert!(d.to_string().contains("v=13"));
     }
 }

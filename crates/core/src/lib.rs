@@ -48,6 +48,7 @@ pub mod prime_layout;
 pub mod pseudo_random;
 pub mod raid5;
 pub mod reliability;
+pub mod rng;
 
 pub use addr::{PhysAddr, Role, StripeUnit};
 pub use datum::Datum;

@@ -112,7 +112,13 @@ mod tests {
 
     #[test]
     fn blocks_form_difference_family() {
-        for (n, g, k) in [(7usize, 2usize, 3usize), (13, 3, 4), (13, 4, 3), (11, 2, 5), (31, 5, 6)] {
+        for (n, g, k) in [
+            (7usize, 2usize, 3usize),
+            (13, 3, 4),
+            (13, 4, 3),
+            (11, 2, 5),
+            (31, 5, 6),
+        ] {
             let perm = bose_permutation(n, g, k);
             let mut tally = vec![0usize; n];
             for b in 0..g {
@@ -146,7 +152,12 @@ mod tests {
 
     #[test]
     fn gf_blocks_form_difference_family() {
-        for (p, e, g, k) in [(2usize, 3u32, 1usize, 7usize), (3, 2, 2, 4), (2, 4, 3, 5), (5, 2, 4, 6)] {
+        for (p, e, g, k) in [
+            (2usize, 3u32, 1usize, 7usize),
+            (3, 2, 2, 4),
+            (2, 4, 3, 5),
+            (5, 2, 4, 6),
+        ] {
             let field = GfExt::new(p, e).unwrap();
             let n = field.size();
             let perm = bose_permutation_gf(&field, g, k);

@@ -138,12 +138,7 @@ impl Pddl {
         if is_prime(n as u64) {
             let mut perm = bose::bose_permutation(n, g, k);
             cluster_check_elements(&mut perm, n, g, k);
-            return Self::from_parts(
-                n,
-                k,
-                vec![perm],
-                Development::Modular(ModularGroup::new(n)),
-            );
+            return Self::from_parts(n, k, vec![perm], Development::Modular(ModularGroup::new(n)));
         }
         if let Some((p, e)) = is_prime_power(n as u64) {
             let field = GfExt::new(p as usize, e)
@@ -250,7 +245,9 @@ impl Pddl {
         dev: Development,
     ) -> Result<Self, LayoutError> {
         if perms.is_empty() {
-            return Err(LayoutError::BadShape("need at least one base permutation".into()));
+            return Err(LayoutError::BadShape(
+                "need at least one base permutation".into(),
+            ));
         }
         for p in &perms {
             if p.len() != n {
@@ -407,15 +404,22 @@ impl Pddl {
     }
 }
 
-
 /// The paper's Figure 17: a pair of base permutations for 55 disks and
 /// stripe width 6 (9 stripes + 1 spare) that is jointly satisfactory —
 /// each permutation alone has difference counts 4–6 per residue ("almost
 /// satisfactory"), together exactly 10. Transcribed from the figure; the
 /// printed grid's *columns* are the stripe blocks.
 pub const PAPER_FIGURE17_PAIR: [[usize; 55]; 2] = [
-    [0, 1, 18, 24, 31, 40, 48, 2, 3, 7, 11, 13, 44, 4, 19, 23, 29, 32, 47, 5, 21, 30, 33, 36, 53, 6, 17, 28, 49, 52, 54, 8, 12, 14, 22, 34, 35, 9, 10, 20, 25, 39, 46, 15, 16, 37, 42, 50, 51, 26, 27, 38, 41, 43, 45],
-    [0, 1, 2, 8, 25, 46, 54, 3, 6, 27, 32, 41, 49, 4, 11, 26, 39, 43, 45, 5, 18, 22, 24, 36, 50, 7, 10, 13, 28, 40, 52, 9, 17, 20, 30, 48, 53, 12, 31, 37, 38, 42, 47, 14, 16, 21, 29, 44, 51, 15, 19, 23, 33, 34, 35],
+    [
+        0, 1, 18, 24, 31, 40, 48, 2, 3, 7, 11, 13, 44, 4, 19, 23, 29, 32, 47, 5, 21, 30, 33, 36,
+        53, 6, 17, 28, 49, 52, 54, 8, 12, 14, 22, 34, 35, 9, 10, 20, 25, 39, 46, 15, 16, 37, 42,
+        50, 51, 26, 27, 38, 41, 43, 45,
+    ],
+    [
+        0, 1, 2, 8, 25, 46, 54, 3, 6, 27, 32, 41, 49, 4, 11, 26, 39, 43, 45, 5, 18, 22, 24, 36, 50,
+        7, 10, 13, 28, 40, 52, 9, 17, 20, 30, 48, 53, 12, 31, 37, 38, 42, 47, 14, 16, 21, 29, 44,
+        51, 15, 19, 23, 33, 34, 35,
+    ],
 ];
 
 /// Reorder each block of a base permutation (modular development) so its
@@ -450,7 +454,10 @@ pub fn cluster_check_elements(perm: &mut [usize], n: usize, g: usize, k: usize) 
         let block = &mut perm[1 + j * k..1 + (j + 1) * k];
         let check = check.unwrap_or(block[k - 1]);
         block.sort_unstable();
-        let pos = block.iter().position(|&x| x == check).expect("check is in block");
+        let pos = block
+            .iter()
+            .position(|&x| x == check)
+            .expect("check is in block");
         block[pos..].rotate_left(1);
     }
 }
@@ -511,8 +518,8 @@ impl Layout for Pddl {
     fn spare_unit(&self, stripe: u64, failed_disk: usize) -> Option<PhysAddr> {
         let (row, j) = self.split_stripe(stripe);
         // The stripe must actually have a unit on the failed disk.
-        let has_failed = (0..self.k)
-            .any(|u| self.develop(self.s + j * self.k + u, row) == failed_disk);
+        let has_failed =
+            (0..self.k).any(|u| self.develop(self.s + j * self.k + u, row) == failed_disk);
         if !has_failed {
             return None;
         }
@@ -755,10 +762,7 @@ mod tests {
         assert_eq!(l.check_per_stripe(), 2);
         assert_eq!(l.data_per_stripe(), 2);
         let units = l.stripe_units(0);
-        assert_eq!(
-            units.iter().filter(|u| u.role == Role::Check).count(),
-            2
-        );
+        assert_eq!(units.iter().filter(|u| u.role == Role::Check).count(), 2);
         // Shape errors.
         assert!(Pddl::new(13, 4).unwrap().with_check_units(0).is_err());
         assert!(Pddl::new(13, 4).unwrap().with_check_units(4).is_err());
@@ -875,7 +879,15 @@ mod tests {
 
     #[test]
     fn prime_power_construction_is_satisfactory() {
-        for (n, k) in [(8usize, 7usize), (9, 4), (16, 5), (25, 8), (27, 13), (16, 3), (32, 31)] {
+        for (n, k) in [
+            (8usize, 7usize),
+            (9, 4),
+            (16, 5),
+            (25, 8),
+            (27, 13),
+            (16, 3),
+            (32, 31),
+        ] {
             let l = Pddl::new(n, k).unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
             assert!(l.is_satisfactory(), "n={n} k={k} not satisfactory");
             assert!(matches!(l.development(), Development::Field(_)) || is_prime(n as u64));

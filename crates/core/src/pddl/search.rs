@@ -11,8 +11,7 @@
 //! distributed spare disks (`n = g·k + s`), where the elements serving
 //! as spare columns are part of the search.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Xoshiro256pp;
 
 /// Effort knobs for the permutation search.
 #[derive(Debug, Clone, Copy)]
@@ -58,7 +57,10 @@ pub fn find_base_permutations_with_spares(
     s: usize,
     budget: SearchBudget,
 ) -> Option<Vec<Vec<usize>>> {
-    assert!(k >= 2 && s >= 1 && n > s && (n - s).is_multiple_of(k), "need n = g*k + s");
+    assert!(
+        k >= 2 && s >= 1 && n > s && (n - s).is_multiple_of(k),
+        "need n = g*k + s"
+    );
     let g = (n - s) / k;
     for p in 1..=budget.max_group {
         if !(p * g * k * (k - 1)).is_multiple_of(n - 1) {
@@ -73,7 +75,12 @@ pub fn find_base_permutations_with_spares(
 
 /// Search for a group of exactly `p` base permutations whose combined
 /// difference tally is perfectly balanced (`s = 1`).
-pub fn search_group(n: usize, k: usize, p: usize, budget: &SearchBudget) -> Option<Vec<Vec<usize>>> {
+pub fn search_group(
+    n: usize,
+    k: usize,
+    p: usize,
+    budget: &SearchBudget,
+) -> Option<Vec<Vec<usize>>> {
     search_group_with_spares(n, k, 1, p, budget)
 }
 
@@ -91,7 +98,9 @@ pub fn search_group_with_spares(
     if !total.is_multiple_of(n - 1) {
         return None;
     }
-    let mut rng = StdRng::seed_from_u64(budget.seed ^ ((p as u64) << 32) ^ ((s as u64) << 24) ^ n as u64);
+    let mut rng = Xoshiro256pp::seed_from_u64(
+        budget.seed ^ ((p as u64) << 32) ^ ((s as u64) << 24) ^ n as u64,
+    );
     // For pairs whose per-permutation share is integral, use the paper's
     // strategy: find an *almost satisfactory* permutation, then search a
     // partner against the residual targets. Much more effective than a
@@ -170,7 +179,7 @@ struct State {
 }
 
 impl State {
-    fn random(n: usize, k: usize, s: usize, p: usize, rng: &mut StdRng) -> Self {
+    fn random(n: usize, k: usize, s: usize, p: usize, rng: &mut Xoshiro256pp) -> Self {
         let g = (n - s) / k;
         let uniform = (p * g * k * (k - 1) / (n - 1)) as i64;
         let mut target = vec![uniform; n];
@@ -178,13 +187,7 @@ impl State {
         Self::random_with_target(n, k, s, p, target, rng)
     }
 
-    fn from_perms(
-        n: usize,
-        k: usize,
-        s: usize,
-        perms: Vec<Vec<usize>>,
-        target: Vec<i64>,
-    ) -> Self {
+    fn from_perms(n: usize, k: usize, s: usize, perms: Vec<Vec<usize>>, target: Vec<i64>) -> Self {
         let mut st = Self {
             n,
             k,
@@ -204,13 +207,13 @@ impl State {
         s: usize,
         p: usize,
         target: Vec<i64>,
-        rng: &mut StdRng,
+        rng: &mut Xoshiro256pp,
     ) -> Self {
         let perms: Vec<Vec<usize>> = (0..p)
             .map(|_| {
                 let mut v: Vec<usize> = (0..n).collect();
                 for i in (1..v.len()).rev() {
-                    let j = rng.gen_range(0..=i);
+                    let j = rng.below(i + 1);
                     v.swap(i, j);
                 }
                 v
@@ -315,7 +318,7 @@ impl State {
 
     /// Hill climb with iterated-local-search perturbations; returns
     /// `true` when a perfect (score 0) state is found.
-    fn climb(&mut self, moves: usize, rng: &mut StdRng) -> bool {
+    fn climb(&mut self, moves: usize, rng: &mut Xoshiro256pp) -> bool {
         if self.score == 0 {
             return true;
         }
@@ -323,12 +326,12 @@ impl State {
         let mut stalled = 0usize;
         let mut best = self.score;
         for _ in 0..moves {
-            let perm = rng.gen_range(0..self.perms.len());
-            let a = rng.gen_range(0..self.n);
-            let b = rng.gen_range(0..self.n);
+            let perm = rng.below(self.perms.len());
+            let a = rng.below(self.n);
+            let b = rng.below(self.n);
             match (self.block_of(a), self.block_of(b)) {
-                (None, None) => continue,                    // spare↔spare: no-op
-                (Some(x), Some(y)) if x == y => continue,    // same block: no-op
+                (None, None) => continue,                 // spare↔spare: no-op
+                (Some(x), Some(y)) if x == y => continue, // same block: no-op
                 _ => {}
             }
             let before = self.score;
@@ -341,8 +344,8 @@ impl State {
             // worsening moves occasionally — a fixed-temperature kick
             // that lets the walk hop out of shallow local minima.
             let keep = self.score < before
-                || (self.score == before && rng.gen_bool(0.5))
-                || (self.score <= before + 4 && rng.gen_bool(0.02));
+                || (self.score == before && rng.chance(0.5))
+                || (self.score <= before + 4 && rng.chance(0.02));
             if !keep {
                 self.swap(perm, a, b); // revert
             }
@@ -364,12 +367,12 @@ impl State {
     }
 
     /// Apply `count` random valid swaps unconditionally.
-    fn perturb(&mut self, count: usize, rng: &mut StdRng) {
+    fn perturb(&mut self, count: usize, rng: &mut Xoshiro256pp) {
         let mut applied = 0;
         while applied < count {
-            let perm = rng.gen_range(0..self.perms.len());
-            let a = rng.gen_range(0..self.n);
-            let b = rng.gen_range(0..self.n);
+            let perm = rng.below(self.perms.len());
+            let a = rng.below(self.n);
+            let b = rng.below(self.n);
             match (self.block_of(a), self.block_of(b)) {
                 (None, None) => continue,
                 (Some(x), Some(y)) if x == y => continue,
@@ -413,7 +416,7 @@ fn multiplier_partner(n: usize, first: &State) -> Option<Vec<Vec<usize>>> {
 /// climb and report the final squared-error score (0 = satisfactory).
 #[doc(hidden)]
 pub fn debug_single_climb(n: usize, k: usize, s: usize, moves: usize, seed: u64) -> i64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut st = State::random(n, k, s, 1, &mut rng);
     let _ = st.climb(moves, &mut rng);
     st.score
@@ -474,7 +477,11 @@ mod tests {
     #[test]
     fn finds_solitary_for_small_composites() {
         // g = 1 cells are trivially satisfactory; the search should see that.
-        let budget = SearchBudget { restarts: 10, moves: 5_000, ..Default::default() };
+        let budget = SearchBudget {
+            restarts: 10,
+            moves: 5_000,
+            ..Default::default()
+        };
         for (n, k) in [(6usize, 5usize), (9, 8), (10, 9)] {
             let perms = find_base_permutations(n, k, budget).expect("g=1 always solvable");
             assert_eq!(perms.len(), 1);
@@ -507,14 +514,14 @@ mod tests {
 
     #[test]
     fn incremental_score_matches_recompute() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         for s in [1usize, 2] {
             let (n, k) = (4 * 3 + s, 3); // g = 4 blocks of 3
             let mut st = State::random(n, k, s, 2, &mut rng);
             for _ in 0..500 {
-                let perm = rng.gen_range(0..2);
-                let a = rng.gen_range(0..n);
-                let b = rng.gen_range(0..n);
+                let perm = rng.below(2);
+                let a = rng.below(n);
+                let b = rng.below(n);
                 match (st.block_of(a), st.block_of(b)) {
                     (None, None) => continue,
                     (Some(x), Some(y)) if x == y => continue,
@@ -533,7 +540,10 @@ mod tests {
     fn multi_spare_search_finds_balanced_groups() {
         // n = 11, k = 3, s = 2 (g = 3): exact balance needs
         // (n−1) | p·g·k(k−1) → 10 | 18p → p = 5.
-        let budget = SearchBudget { max_group: 5, ..Default::default() };
+        let budget = SearchBudget {
+            max_group: 5,
+            ..Default::default()
+        };
         let perms = find_base_permutations_with_spares(11, 3, 2, budget)
             .expect("n=11, k=3, s=2 solvable with a group of 5");
         assert_eq!(perms.len(), 5);
@@ -545,7 +555,10 @@ mod tests {
     fn infeasible_balance_is_rejected_quickly() {
         // n = 14, k = 4, s = 2 (g = 3): 13 | 36p only for p = 13 — out of
         // reach of max_group, so the search must return None immediately.
-        let budget = SearchBudget { max_group: 4, ..Default::default() };
+        let budget = SearchBudget {
+            max_group: 4,
+            ..Default::default()
+        };
         assert_eq!(find_base_permutations_with_spares(14, 4, 2, budget), None);
     }
 
@@ -553,12 +566,25 @@ mod tests {
     fn table1_classifies_primes_and_prime_powers() {
         // k=6, g=1 → n=7 prime.
         assert_eq!(
-            table1_entry(1, 6, SearchBudget { restarts: 2, moves: 100, ..Default::default() }),
+            table1_entry(
+                1,
+                6,
+                SearchBudget {
+                    restarts: 2,
+                    moves: 100,
+                    ..Default::default()
+                }
+            ),
             Table1Entry::Prime
         );
         // k=7, g=5 → n=36; zero budget forces the prime-power check to
         // be skipped (36 is not a prime power) → Unknown.
-        let zero = SearchBudget { restarts: 0, moves: 0, max_group: 1, ..Default::default() };
+        let zero = SearchBudget {
+            restarts: 0,
+            moves: 0,
+            max_group: 1,
+            ..Default::default()
+        };
         assert_eq!(table1_entry(5, 7, zero), Table1Entry::Unknown);
         // k=8, g=3 → n=25 = 5², zero search budget → PrimePower fallback.
         assert_eq!(table1_entry(3, 8, zero), Table1Entry::PrimePower);

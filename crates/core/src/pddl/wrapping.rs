@@ -174,7 +174,10 @@ impl Layout for WrappedPddl {
         let per = self.inner.data_units_per_period();
         let (super_row, rest) = (logical / per, logical % per);
         let (inner_stripe, index) = self.inner.locate(rest);
-        (super_row * self.inner.stripes_per_period() + inner_stripe, index)
+        (
+            super_row * self.inner.stripes_per_period() + inner_stripe,
+            index,
+        )
     }
 
     fn data_unit(&self, stripe: u64, index: usize) -> PhysAddr {

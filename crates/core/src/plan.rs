@@ -166,7 +166,14 @@ pub fn plan_access_with_policy(
 
     for (stripe, indices) in stripes {
         plan_stripe(
-            layout, mode, op, stripe, &indices, policy, &mut reads, &mut writes,
+            layout,
+            mode,
+            op,
+            stripe,
+            &indices,
+            policy,
+            &mut reads,
+            &mut writes,
         );
     }
 
@@ -260,10 +267,20 @@ fn plan_stripe(
                     if full {
                         // Full-stripe write: no pre-reads.
                         for &i in &w {
-                            writes.insert(resolve(layout, mode, stripe, layout.data_unit(stripe, i)));
+                            writes.insert(resolve(
+                                layout,
+                                mode,
+                                stripe,
+                                layout.data_unit(stripe, i),
+                            ));
                         }
                         for c in 0..layout.check_per_stripe() {
-                            writes.insert(resolve(layout, mode, stripe, layout.check_unit(stripe, c)));
+                            writes.insert(resolve(
+                                layout,
+                                mode,
+                                stripe,
+                                layout.check_unit(stripe, c),
+                            ));
                         }
                     } else if small {
                         // Read-modify-write: old data + old parity.
@@ -289,7 +306,12 @@ fn plan_stripe(
                             }
                         }
                         for c in 0..layout.check_per_stripe() {
-                            writes.insert(resolve(layout, mode, stripe, layout.check_unit(stripe, c)));
+                            writes.insert(resolve(
+                                layout,
+                                mode,
+                                stripe,
+                                layout.check_unit(stripe, c),
+                            ));
                         }
                     }
                 }
@@ -549,7 +571,13 @@ mod tests {
             .unwrap();
         let (stripe, _) = l.locate(lost);
         let spare = l.spare_unit(stripe, 0).unwrap();
-        let p = plan_access(&l, Mode::PostReconstruction { failed: 0 }, Op::Read, lost, 1);
+        let p = plan_access(
+            &l,
+            Mode::PostReconstruction { failed: 0 },
+            Op::Read,
+            lost,
+            1,
+        );
         assert_eq!(p.reads, vec![spare]);
         // Degraded mode instead rebuilds from the stripe.
         let p = plan_access(&l, Mode::Degraded { failed: 0 }, Op::Read, lost, 1);
@@ -560,7 +588,13 @@ mod tests {
     fn post_reconstruction_without_sparing_degrades() {
         let l = raid5_13();
         let lost = (0..12).find(|&i| l.data_unit(0, i).disk == 5).unwrap() as u64;
-        let p = plan_access(&l, Mode::PostReconstruction { failed: 5 }, Op::Read, lost, 1);
+        let p = plan_access(
+            &l,
+            Mode::PostReconstruction { failed: 5 },
+            Op::Read,
+            lost,
+            1,
+        );
         assert_eq!(p.reads.len(), 12); // same as degraded
     }
 
@@ -595,10 +629,20 @@ mod tests {
         // forced small = small.
         let adaptive = plan_access(&l, Mode::FaultFree, Op::Write, 0, 6);
         let small = plan_access_with_policy(
-            &l, Mode::FaultFree, Op::Write, 0, 6, WritePolicy::AlwaysSmall,
+            &l,
+            Mode::FaultFree,
+            Op::Write,
+            0,
+            6,
+            WritePolicy::AlwaysSmall,
         );
         let large = plan_access_with_policy(
-            &l, Mode::FaultFree, Op::Write, 0, 6, WritePolicy::AlwaysLarge,
+            &l,
+            Mode::FaultFree,
+            Op::Write,
+            0,
+            6,
+            WritePolicy::AlwaysLarge,
         );
         assert_eq!(adaptive, small);
         assert_eq!(large.reads.len(), 6);
@@ -606,16 +650,31 @@ mod tests {
         // 8 of 12: adaptive = large.
         let adaptive8 = plan_access(&l, Mode::FaultFree, Op::Write, 0, 8);
         let large8 = plan_access_with_policy(
-            &l, Mode::FaultFree, Op::Write, 0, 8, WritePolicy::AlwaysLarge,
+            &l,
+            Mode::FaultFree,
+            Op::Write,
+            0,
+            8,
+            WritePolicy::AlwaysLarge,
         );
         assert_eq!(adaptive8, large8);
         let small8 = plan_access_with_policy(
-            &l, Mode::FaultFree, Op::Write, 0, 8, WritePolicy::AlwaysSmall,
+            &l,
+            Mode::FaultFree,
+            Op::Write,
+            0,
+            8,
+            WritePolicy::AlwaysSmall,
         );
         assert_eq!(small8.io_count(), 18); // 9 reads + 9 writes
-        // Full-stripe writes ignore the policy.
+                                           // Full-stripe writes ignore the policy.
         let full = plan_access_with_policy(
-            &l, Mode::FaultFree, Op::Write, 0, 12, WritePolicy::AlwaysSmall,
+            &l,
+            Mode::FaultFree,
+            Op::Write,
+            0,
+            12,
+            WritePolicy::AlwaysSmall,
         );
         assert!(full.reads.is_empty());
     }
@@ -632,13 +691,18 @@ mod tests {
             })
             .expect("some stripe spans both disks");
         // Read a data unit of that stripe that is lost.
-        let logical = (0..l.data_units_per_period())
-            .find(|&u| {
-                let (s, _) = l.locate(u);
-                s == stripe && [f1, f2].contains(&l.locate_phys(u).disk)
-            });
+        let logical = (0..l.data_units_per_period()).find(|&u| {
+            let (s, _) = l.locate(u);
+            s == stripe && [f1, f2].contains(&l.locate_phys(u).disk)
+        });
         if let Some(u) = logical {
-            let p = plan_access(&l, Mode::DoubleDegraded { failed: [f1, f2] }, Op::Read, u, 1);
+            let p = plan_access(
+                &l,
+                Mode::DoubleDegraded { failed: [f1, f2] },
+                Op::Read,
+                u,
+                1,
+            );
             // Reads the 2 surviving units (k = 4, 2 lost).
             assert_eq!(p.reads.len(), 2, "{p:?}");
             assert!(p.reads.iter().all(|a| a.disk != f1 && a.disk != f2));
@@ -650,8 +714,18 @@ mod tests {
         let l = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
         for start in 0..50u64 {
             for len in [1u64, 2, 4] {
-                let p = plan_access(&l, Mode::DoubleDegraded { failed: [2, 9] }, Op::Write, start, len);
-                assert!(p.reads.iter().chain(&p.writes).all(|a| a.disk != 2 && a.disk != 9));
+                let p = plan_access(
+                    &l,
+                    Mode::DoubleDegraded { failed: [2, 9] },
+                    Op::Write,
+                    start,
+                    len,
+                );
+                assert!(p
+                    .reads
+                    .iter()
+                    .chain(&p.writes)
+                    .all(|a| a.disk != 2 && a.disk != 9));
                 let mut stripes: Vec<u64> = (start..start + len).map(|u| l.locate(u).0).collect();
                 stripes.dedup();
                 for s in stripes {
@@ -672,7 +746,13 @@ mod tests {
         let l = Pddl::new(13, 4).unwrap();
         // Find a stripe spanning disks 0 and 1 and write through it.
         for start in 0..200u64 {
-            let _ = plan_access(&l, Mode::DoubleDegraded { failed: [0, 1] }, Op::Write, start, 3);
+            let _ = plan_access(
+                &l,
+                Mode::DoubleDegraded { failed: [0, 1] },
+                Op::Write,
+                start,
+                3,
+            );
         }
     }
 

@@ -120,8 +120,7 @@ mod tests {
         // The defining property of the left-symmetric layout.
         let l = Raid5::new(7).unwrap();
         for start in 0..l.data_units_per_period() {
-            let mut disks: Vec<usize> =
-                (start..start + 7).map(|u| l.locate_phys(u).disk).collect();
+            let mut disks: Vec<usize> = (start..start + 7).map(|u| l.locate_phys(u).disk).collect();
             disks.sort_unstable();
             disks.dedup();
             assert_eq!(disks.len(), 7, "window at {start} misses a disk");

@@ -121,7 +121,10 @@ mod tests {
         let single = mttdl_multi_fault(p, 1);
         let double = mttdl_multi_fault(p, 2);
         // The second check unit buys roughly MTBF/(n·MTTR) extra decades.
-        assert!(double > single * 1_000.0, "single {single}, double {double}");
+        assert!(
+            double > single * 1_000.0,
+            "single {single}, double {double}"
+        );
         // And the c = 1 multi-fault formula agrees with the exact model
         // within the μ ≫ λ approximation.
         let exact = mttdl_single_fault(p);

@@ -1,0 +1,209 @@
+//! Small deterministic PRNGs so the workspace has no external `rand`
+//! dependency (DESIGN §5 requires explicit seeding everywhere anyway).
+//!
+//! [`SplitMix64`] is the canonical seeding/stream-splitting generator;
+//! [`Xoshiro256pp`] (xoshiro256++) is the general-purpose generator used
+//! by the permutation search, the simulator's workload generators, and
+//! the deterministic property-test drivers. Both are tiny, well studied,
+//! and pass BigCrush-scale batteries; neither is cryptographic.
+
+/// SplitMix64: one u64 of state, one output per step. Used directly for
+/// cheap derived streams and to seed [`Xoshiro256pp`].
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a 64-bit seed (any value is fine).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna), seeded via SplitMix64 so any
+/// u64 — including 0 — is a valid seed.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed the full 256-bit state from one u64 via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform f64 in the open interval `(0, 1)` — safe for `ln()`.
+    pub fn open01(&mut self) -> f64 {
+        loop {
+            let x = self.next_f64();
+            if x > 0.0 {
+                return x;
+            }
+        }
+    }
+
+    /// Uniform u64 in `[0, bound)` without modulo bias (rejection over
+    /// the top of the range). `bound` must be nonzero.
+    pub fn below_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below_u64 needs a positive bound");
+        // Lemire-style threshold rejection: accept when the value falls
+        // inside the largest multiple of `bound` that fits in 2^64.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = x as u128 * bound as u128;
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform usize in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.below_u64(bound as u64) as usize
+    }
+
+    /// Uniform u64 in the inclusive range `[lo, hi]`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below_u64(hi - lo + 1)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 1234567 from the reference C code.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256pp::seed_from_u64(7);
+        let mut b = Xoshiro256pp::seed_from_u64(7);
+        let mut c = Xoshiro256pp::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+        for _ in 0..1_000 {
+            let x = rng.open01();
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn bounded_draws_cover_range_without_bias_smoke() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.below(10)] += 1;
+        }
+        // Each bucket expects 10_000; allow ±5% — far looser than the
+        // ~3 sigma band (~300) for a uniform generator.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((9_500..=10_500).contains(&c), "bucket {i}: {c}");
+        }
+        for _ in 0..1_000 {
+            let x = rng.range_u64(5, 7);
+            assert!((5..=7).contains(&x));
+        }
+        assert_eq!(rng.range_u64(4, 4), 4);
+    }
+
+    #[test]
+    fn chance_extremes_are_exact() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(0.0));
+        let heads = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_200..=2_800).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left identity");
+    }
+}

@@ -12,6 +12,7 @@ pub struct ElevatorQueue {
     pending: Vec<(DiskRequest, u32)>,
     /// Current sweep direction: toward higher cylinders?
     ascending: bool,
+    max_depth: usize,
 }
 
 impl ElevatorQueue {
@@ -20,12 +21,14 @@ impl ElevatorQueue {
         Self {
             pending: Vec::new(),
             ascending: true,
+            max_depth: 0,
         }
     }
 
     /// Enqueue a request targeting `cylinder`.
     pub fn push(&mut self, request: DiskRequest, cylinder: u32) {
         self.pending.push((request, cylinder));
+        self.max_depth = self.max_depth.max(self.pending.len());
     }
 
     /// Dequeue the next request under LOOK from `current_cylinder`.
@@ -70,6 +73,11 @@ impl ElevatorQueue {
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// High-water mark of pending requests over the queue's lifetime.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
 }
 
 /// A disk request queue with a pluggable scheduling policy.
@@ -109,6 +117,14 @@ impl RequestQueue {
     /// Is the queue empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// High-water mark of pending requests over the queue's lifetime.
+    pub fn max_depth(&self) -> usize {
+        match self {
+            RequestQueue::Sstf(q) => q.max_depth(),
+            RequestQueue::Look(q) => q.max_depth(),
+        }
     }
 }
 

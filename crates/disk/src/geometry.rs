@@ -197,7 +197,11 @@ mod tests {
         let g = Geometry::hp2247();
         assert_eq!(
             g.locate(0),
-            Chs { cylinder: 0, head: 0, sector: 0 }
+            Chs {
+                cylinder: 0,
+                head: 0,
+                sector: 0
+            }
         );
         assert_eq!(g.sectors_per_track(0), 92);
         assert_eq!(g.sectors_per_track(1980), 64);
@@ -236,6 +240,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty zone")]
     fn rejects_empty_zone() {
-        let _ = Geometry::new(2, vec![Zone { cylinders: 0, sectors_per_track: 50 }]);
+        let _ = Geometry::new(
+            2,
+            vec![Zone {
+                cylinders: 0,
+                sectors_per_track: 50,
+            }],
+        );
     }
 }

@@ -11,6 +11,7 @@ use crate::disk::DiskRequest;
 pub struct SstfQueue {
     pending: VecDeque<(DiskRequest, u32)>, // request + target cylinder
     window: usize,
+    max_depth: usize,
 }
 
 impl Default for SstfQueue {
@@ -30,12 +31,14 @@ impl SstfQueue {
         Self {
             pending: VecDeque::new(),
             window,
+            max_depth: 0,
         }
     }
 
     /// Enqueue a request whose target cylinder is `cylinder`.
     pub fn push(&mut self, request: DiskRequest, cylinder: u32) {
         self.pending.push_back((request, cylinder));
+        self.max_depth = self.max_depth.max(self.pending.len());
     }
 
     /// Dequeue the request with the shortest seek from `current_cylinder`
@@ -64,6 +67,12 @@ impl SstfQueue {
     /// Is the queue empty?
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// High-water mark of pending requests over the queue's lifetime
+    /// (observability: exposes burstiness SSTF reordering hides).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
     }
 }
 
@@ -124,6 +133,20 @@ mod tests {
         let _ = q.pop_next(0);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn max_depth_is_a_high_water_mark() {
+        let mut q = SstfQueue::default();
+        assert_eq!(q.max_depth(), 0);
+        q.push(req(1), 5);
+        q.push(req(2), 6);
+        let _ = q.pop_next(0);
+        let _ = q.pop_next(0);
+        assert!(q.is_empty());
+        assert_eq!(q.max_depth(), 2, "drain must not lower the mark");
+        q.push(req(3), 7);
+        assert_eq!(q.max_depth(), 2);
     }
 
     #[test]

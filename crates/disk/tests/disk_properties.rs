@@ -1,55 +1,103 @@
 //! Property tests on the disk model: geometry bijectivity and service
-//! time sanity under arbitrary request sequences.
+//! time sanity under arbitrary request sequences, driven by a
+//! deterministic local PRNG (the disk crate stays dependency-free).
+//!
+//! Build with `--features slow-tests` to multiply the case counts.
 
 use pddl_disk::{Disk, DiskRequest, Geometry, SeekModel, MILLISECOND};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn lba_chs_bijective(lba in 0u64..2_009_124) {
-        let g = Geometry::hp2247();
-        prop_assume!(lba < g.total_sectors());
+/// SplitMix64 — enough randomness for test-case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "slow-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
+
+#[test]
+fn lba_chs_bijective() {
+    let g = Geometry::hp2247();
+    let mut rng = Rng(0xd15c0);
+    for _ in 0..cases(512) {
+        let lba = rng.below(g.total_sectors());
         let chs = g.locate(lba);
-        prop_assert!(chs.cylinder < g.cylinders());
-        prop_assert!(chs.head < g.heads());
-        prop_assert!(chs.sector < g.sectors_per_track(chs.cylinder));
-        prop_assert_eq!(g.lba_of(chs), lba);
+        assert!(chs.cylinder < g.cylinders());
+        assert!(chs.head < g.heads());
+        assert!(chs.sector < g.sectors_per_track(chs.cylinder));
+        assert_eq!(g.lba_of(chs), lba);
     }
+}
 
-    #[test]
-    fn seek_time_bounded_and_monotone(d1 in 0u32..1981, d2 in 0u32..1981) {
-        let m = SeekModel::hp2247();
+#[test]
+fn seek_time_bounded_and_monotone() {
+    let m = SeekModel::hp2247();
+    let mut rng = Rng(0xd15c1);
+    for _ in 0..cases(512) {
+        let d1 = rng.below(1981) as u32;
+        let d2 = rng.below(1981) as u32;
         let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
-        prop_assert!(m.time(lo) <= m.time(hi));
-        prop_assert!(m.time(hi) <= 25 * MILLISECOND);
+        assert!(m.time(lo) <= m.time(hi));
+        assert!(m.time(hi) <= 25 * MILLISECOND);
     }
+}
 
-    #[test]
-    fn service_time_within_mechanical_bounds(
-        lbas in proptest::collection::vec(0u64..2_000_000, 1..20),
-    ) {
+#[test]
+fn service_time_within_mechanical_bounds() {
+    let mut rng = Rng(0xd15c2);
+    for _ in 0..cases(64) {
         let mut disk = Disk::hp2247();
         let mut now = 0u64;
-        for (i, &lba) in lbas.iter().enumerate() {
-            prop_assume!(lba + 16 <= disk.geometry().total_sectors());
-            let req = DiskRequest { id: i as u64, access: i as u64, lba, sectors: 16, write: i % 2 == 0 };
+        let n = 1 + rng.below(19) as usize;
+        for i in 0..n {
+            let lba = rng.below(2_000_000);
+            if lba + 16 > disk.geometry().total_sectors() {
+                continue;
+            }
+            let req = DiskRequest {
+                id: i as u64,
+                access: i as u64,
+                lba,
+                sectors: 16,
+                write: i % 2 == 0,
+            };
             let b = disk.service(&req, now);
             // Lower bound: pure media transfer of 16 sectors on the
             // densest track.
             let min_transfer = 16 * disk.revolution() / 92;
-            prop_assert!(b.transfer >= min_transfer - 2);
+            assert!(b.transfer >= min_transfer - 2);
             // Upper bound: full-stroke seek + head switch + full rotation
             // + transfer with a couple of boundary switches.
             let max = 25 * MILLISECOND + disk.revolution() + b.transfer + 8 * MILLISECOND;
-            prop_assert!(b.total() <= max, "{b:?}");
+            assert!(b.total() <= max, "{b:?}");
             // Rotation latency strictly below one revolution.
-            prop_assert!(b.rotation < disk.revolution());
+            assert!(b.rotation < disk.revolution());
             now += b.total();
         }
     }
+}
 
-    #[test]
-    fn repeat_access_to_same_block_is_cheap(raw in 0u64..1_900_000) {
+#[test]
+fn repeat_access_to_same_block_is_cheap() {
+    let mut rng = Rng(0xd15c3);
+    for _ in 0..cases(256) {
+        let raw = rng.below(1_900_000);
         let mut disk = Disk::hp2247();
         // Snap to the start of the track so the 16-sector transfer stays
         // on one track (shortest track holds 64 sectors).
@@ -57,21 +105,37 @@ proptest! {
         let mut chs = g.locate(raw);
         chs.sector = 0;
         let lba = g.lba_of(chs);
-        let req = DiskRequest { id: 0, access: 0, lba, sectors: 16, write: false };
+        let req = DiskRequest {
+            id: 0,
+            access: 0,
+            lba,
+            sectors: 16,
+            write: false,
+        };
         let first = disk.service(&req, 0);
         // Immediately asking for the same block again: no seek, no head
         // switch — rotation + transfer only.
         let second = disk.service(&req, first.total());
-        prop_assert_eq!(second.seek, 0);
-        prop_assert_eq!(second.head_switch, 0);
+        assert_eq!(second.seek, 0);
+        assert_eq!(second.head_switch, 0);
     }
+}
 
-    #[test]
-    fn state_tracks_final_cylinder(lba in 0u64..1_900_000) {
+#[test]
+fn state_tracks_final_cylinder() {
+    let mut rng = Rng(0xd15c4);
+    for _ in 0..cases(256) {
+        let lba = rng.below(1_900_000);
         let mut disk = Disk::hp2247();
-        let req = DiskRequest { id: 0, access: 0, lba, sectors: 16, write: true };
+        let req = DiskRequest {
+            id: 0,
+            access: 0,
+            lba,
+            sectors: 16,
+            write: true,
+        };
         let _ = disk.service(&req, 0);
         let end = disk.geometry().locate(lba + 15);
-        prop_assert_eq!(disk.current_cylinder(), end.cylinder);
+        assert_eq!(disk.current_cylinder(), end.cylinder);
     }
 }

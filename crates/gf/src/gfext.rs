@@ -442,14 +442,15 @@ mod tests {
         // Appendix: GF(16), modulus x^4+x^3+x^2+x+1, primitive element x+1.
         let f = GfExt::with_modulus(2, 4, &[1, 1, 1, 1, 1]).unwrap();
         assert!(f.is_primitive(3), "x+1 should be primitive");
-        let powers: Vec<usize> = (0..15).map(|i| {
-            let mut x = 1;
-            for _ in 0..i {
-                x = f.mul(x, 3);
-            }
-            x
-        })
-        .collect();
+        let powers: Vec<usize> = (0..15)
+            .map(|i| {
+                let mut x = 1;
+                for _ in 0..i {
+                    x = f.mul(x, 3);
+                }
+                x
+            })
+            .collect();
         assert_eq!(
             powers,
             vec![1, 3, 5, 15, 14, 13, 8, 7, 9, 4, 12, 11, 2, 6, 10]
@@ -462,7 +463,15 @@ mod tests {
 
     #[test]
     fn field_axioms_for_various_fields() {
-        for (p, e) in [(2usize, 1u32), (2, 3), (2, 4), (3, 2), (5, 2), (7, 1), (3, 3)] {
+        for (p, e) in [
+            (2usize, 1u32),
+            (2, 3),
+            (2, 4),
+            (3, 2),
+            (5, 2),
+            (7, 1),
+            (3, 3),
+        ] {
             let f = GfExt::new(p, e).unwrap();
             let q = f.size();
             for a in 0..q {

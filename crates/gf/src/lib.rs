@@ -42,9 +42,9 @@ pub mod prime;
 pub mod rs;
 
 pub use gfext::GfExt;
-pub use rs::ReedSolomon;
 pub use gfp::Gfp;
 pub use prime::{factorize, is_prime, is_prime_power, pow_mod, primitive_root};
+pub use rs::ReedSolomon;
 
 /// The additive group a layout develops over.
 ///

@@ -81,11 +81,7 @@ impl ReedSolomon {
         // x_1..x_d evaluated at c distinct exponents: enc[i][j] = x_j^i.
         // Row 0 is all-ones, so c = 1 is plain XOR parity.
         let enc: Vec<Vec<usize>> = (0..checks)
-            .map(|i| {
-                (0..data)
-                    .map(|j| field.pow(j + 1, i as u64))
-                    .collect()
-            })
+            .map(|i| (0..data).map(|j| field.pow(j + 1, i as u64)).collect())
             .collect();
         Ok(Self {
             data,
@@ -144,8 +140,17 @@ impl ReedSolomon {
     /// # Panics
     ///
     /// Panics when indices are out of range or lengths differ.
-    pub fn apply_delta(&self, check_index: usize, data_index: usize, delta: &[u8], check: &mut [u8]) {
-        assert!(check_index < self.checks && data_index < self.data, "shard index out of range");
+    pub fn apply_delta(
+        &self,
+        check_index: usize,
+        data_index: usize,
+        delta: &[u8],
+        check: &mut [u8],
+    ) {
+        assert!(
+            check_index < self.checks && data_index < self.data,
+            "shard index out of range"
+        );
         assert_eq!(delta.len(), check.len(), "length mismatch");
         let coeff = self.enc[check_index][data_index];
         if coeff == 0 {
@@ -296,7 +301,9 @@ mod tests {
     use super::*;
 
     fn shard(tag: u8, len: usize) -> Vec<u8> {
-        (0..len).map(|i| tag.wrapping_mul(31).wrapping_add(i as u8)).collect()
+        (0..len)
+            .map(|i| tag.wrapping_mul(31).wrapping_add(i as u8))
+            .collect()
     }
 
     #[test]
@@ -381,15 +388,14 @@ mod tests {
         let rs = ReedSolomon::new(3, 1).unwrap();
         let data = [shard(1, 4), shard(2, 4), shard(3, 4)];
         let checks = rs.encode(&data).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> = vec![
-            None,
-            None,
-            Some(data[2].clone()),
-            Some(checks[0].clone()),
-        ];
+        let mut shards: Vec<Option<Vec<u8>>> =
+            vec![None, None, Some(data[2].clone()), Some(checks[0].clone())];
         assert!(matches!(
             rs.reconstruct(&mut shards),
-            Err(CodecError::TooManyErasures { erased: 2, checks: 1 })
+            Err(CodecError::TooManyErasures {
+                erased: 2,
+                checks: 1
+            })
         ));
     }
 

@@ -1,74 +1,132 @@
-//! Property tests: field axioms and number-theoretic identities.
+//! Property tests: field axioms and number-theoretic identities, driven
+//! by a deterministic local PRNG (the gf crate stays dependency-free).
+//!
+//! Build with `--features slow-tests` to multiply the case counts.
 
 use pddl_gf::{factorize, is_prime, pow_mod, primitive_root, GfExt, Gfp};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn factorization_multiplies_back(n in 2u64..1_000_000) {
-        let f = factorize(n);
-        let product: u64 = f.iter().map(|&(p, e)| p.pow(e)).product();
-        prop_assert_eq!(product, n);
-        for &(p, _) in &f {
-            prop_assert!(is_prime(p));
-        }
+/// SplitMix64 — enough randomness for test-case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn pow_mod_is_homomorphic(base in 0u64..1000, e1 in 0u64..50, e2 in 0u64..50, m in 2u64..10_000) {
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "slow-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
+
+#[test]
+fn factorization_multiplies_back() {
+    let mut rng = Rng(0xf1e1d);
+    for _ in 0..cases(256) {
+        let n = 2 + rng.below(999_998);
+        let f = factorize(n);
+        let product: u64 = f.iter().map(|&(p, e)| p.pow(e)).product();
+        assert_eq!(product, n);
+        for &(p, _) in &f {
+            assert!(is_prime(p));
+        }
+    }
+}
+
+#[test]
+fn pow_mod_is_homomorphic() {
+    let mut rng = Rng(0xf1e1e);
+    for _ in 0..cases(256) {
+        let base = rng.below(1000);
+        let e1 = rng.below(50);
+        let e2 = rng.below(50);
+        let m = 2 + rng.below(9_998);
         // base^(e1+e2) = base^e1 · base^e2 (mod m)
         let lhs = pow_mod(base, e1 + e2, m);
         let rhs = pow_mod(base, e1, m) * pow_mod(base, e2, m) % m;
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn fermat_little_theorem(a in 1u64..10_000, pi in 0usize..8) {
-        let primes = [3u64, 5, 7, 13, 17, 31, 101, 257];
-        let p = primes[pi];
-        if a % p != 0 {
-            prop_assert_eq!(pow_mod(a, p - 1, p), 1);
+#[test]
+fn fermat_little_theorem() {
+    let mut rng = Rng(0xf1e1f);
+    let primes = [3u64, 5, 7, 13, 17, 31, 101, 257];
+    for _ in 0..cases(256) {
+        let a = 1 + rng.below(9_999);
+        let p = primes[rng.below(primes.len() as u64) as usize];
+        if !a.is_multiple_of(p) {
+            assert_eq!(pow_mod(a, p - 1, p), 1);
         }
     }
+}
 
-    #[test]
-    fn gfp_field_axioms(a in 0usize..13, b in 0usize..13, c in 0usize..13) {
-        let f = Gfp::new(13).unwrap();
-        prop_assert_eq!(f.add(a, f.add(b, c)), f.add(f.add(a, b), c));
-        prop_assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
-        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
-        prop_assert_eq!(f.sub(f.add(a, b), b), a);
-        if a != 0 {
-            prop_assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+#[test]
+fn gfp_field_axioms() {
+    // Small enough to check exhaustively — stronger than sampling.
+    let f = Gfp::new(13).unwrap();
+    for a in 0..13 {
+        for b in 0..13 {
+            for c in 0..13 {
+                assert_eq!(f.add(a, f.add(b, c)), f.add(f.add(a, b), c));
+                assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+                assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                assert_eq!(f.sub(f.add(a, b), b), a);
+            }
+            if a != 0 {
+                assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+            }
         }
     }
+}
 
-    #[test]
-    fn gf16_axioms_with_paper_modulus(a in 0usize..16, b in 0usize..16, c in 0usize..16) {
-        // The paper's GF(16): x^4 + x^3 + x^2 + x + 1.
-        let f = GfExt::with_modulus(2, 4, &[1, 1, 1, 1, 1]).unwrap();
-        prop_assert_eq!(f.add(a, b), a ^ b); // XOR development
-        prop_assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
-        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
-        if a != 0 {
-            prop_assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+#[test]
+fn gf16_axioms_with_paper_modulus() {
+    // The paper's GF(16): x^4 + x^3 + x^2 + x + 1 — exhaustive.
+    let f = GfExt::with_modulus(2, 4, &[1, 1, 1, 1, 1]).unwrap();
+    for a in 0..16 {
+        for b in 0..16 {
+            assert_eq!(f.add(a, b), a ^ b); // XOR development
+            for c in 0..16 {
+                assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+                assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+            }
+            if a != 0 {
+                assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+            }
         }
     }
+}
 
-    #[test]
-    fn gf_ext_pow_matches_repeated_multiplication(a in 0usize..27, e in 0u64..30) {
-        let f = GfExt::new(3, 3).unwrap();
+#[test]
+fn gf_ext_pow_matches_repeated_multiplication() {
+    let mut rng = Rng(0xf1e20);
+    let f = GfExt::new(3, 3).unwrap();
+    for _ in 0..cases(256) {
+        let a = rng.below(27) as usize;
+        let e = rng.below(30);
         let mut expected = 1usize;
         for _ in 0..e {
             expected = f.mul(expected, a);
         }
-        prop_assert_eq!(f.pow(a, e), expected);
+        assert_eq!(f.pow(a, e), expected);
     }
+}
 
-    #[test]
-    fn primitive_roots_generate(pi in 0usize..6) {
-        let primes = [5u64, 7, 11, 13, 17, 19];
-        let p = primes[pi];
+#[test]
+fn primitive_roots_generate() {
+    for p in [5u64, 7, 11, 13, 17, 19] {
         let g = primitive_root(p).unwrap();
         let mut seen = std::collections::HashSet::new();
         let mut x = 1u64;
@@ -76,6 +134,6 @@ proptest! {
             seen.insert(x);
             x = x * g % p;
         }
-        prop_assert_eq!(seen.len() as u64, p - 1);
+        assert_eq!(seen.len() as u64, p - 1);
     }
 }

@@ -1,0 +1,306 @@
+//! Log-bucketed histogram: powers-of-√2 buckets over `u64` values.
+//!
+//! Two buckets per octave (boundaries at `2^b` and `≈ 2^b·√2`) give a
+//! worst-case relative quantile error of √2 ≈ 41% — one bucket — using a
+//! fixed 129-slot table regardless of how many samples are recorded.
+//! That bounded footprint is the point: the simulator's open-loop
+//! workloads record millions of latencies and the histogram never grows.
+
+/// Number of buckets: slot 0 holds the value 0; slots `1 + 2b` and
+/// `2 + 2b` split octave `[2^b, 2^(b+1))` at `≈ 2^b·√2` for `b` in
+/// `0..64`.
+const BUCKETS: usize = 129;
+
+/// The sub-octave split point `≈ 2^b · √2`, computed as `2^b · 181/128`
+/// (1.4140625, within 0.01% of √2) in integer arithmetic so bucket edges
+/// are identical on every platform.
+fn mid_boundary(octave: usize) -> u64 {
+    (((1u128 << octave) * 181) >> 7) as u64
+}
+
+/// Bucket index for a value.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let octave = 63 - v.leading_zeros() as usize;
+    1 + 2 * octave + usize::from(v >= mid_boundary(octave))
+}
+
+/// Smallest value mapping to bucket `i`.
+fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        return 0;
+    }
+    let octave = (i - 1) / 2;
+    if i % 2 == 1 {
+        1u64 << octave
+    } else {
+        mid_boundary(octave)
+    }
+}
+
+/// Largest value mapping to bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower(i + 1) - 1
+}
+
+/// A mergeable log-bucketed histogram over `u64` samples (typically
+/// nanoseconds) answering quantiles within one bucket (≤ √2 relative
+/// error) in O(1) memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (exact — the sum is tracked outside the buckets).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate, `q` in `[0, 1]`. The estimate is
+    /// the midpoint of the bucket holding the rank-`⌈q·n⌉` sample,
+    /// clamped to the observed `[min, max]`, so it lies within one
+    /// bucket of the exact sorted-sample quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = bucket_lower(i);
+                let hi = bucket_upper(i);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one. Merging is exact
+    /// (bucket-wise addition), hence associative and commutative.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower, upper, count)` triples.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower(i), bucket_upper(i), c))
+    }
+
+    /// Width (`upper − lower`) of the bucket containing `v` — the
+    /// absolute error bound for a quantile estimate falling in it.
+    pub fn bucket_width(v: u64) -> u64 {
+        let i = bucket_index(v);
+        bucket_upper(i).saturating_sub(bucket_lower(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_monotone_and_tight() {
+        for i in 0..BUCKETS {
+            let (lo, hi) = (bucket_lower(i), bucket_upper(i));
+            if lo > hi {
+                // Sub-resolution bucket: at octaves 0–1 the √2 split
+                // collapses onto an edge and one half is empty.
+                continue;
+            }
+            assert_eq!(bucket_index(lo), i, "lower edge of {i}");
+            assert_eq!(bucket_index(hi), i, "upper edge of {i}");
+        }
+        // Every value lands in a bucket whose range contains it.
+        for v in (0..64)
+            .map(|b| 1u64 << b)
+            .chain([0, 3, 5, 7, 100, u64::MAX])
+        {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v && v <= bucket_upper(i), "v={v}");
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_answers_zeroes() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact() {
+        let mut h = LogHistogram::new();
+        h.record(1_000_000);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1_000_000);
+        }
+        assert_eq!(h.mean(), 1_000_000.0);
+    }
+
+    #[test]
+    fn mean_is_exact_regardless_of_buckets() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 10, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 11_111.0 / 5.0);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn quantile_tracks_exact_within_one_bucket() {
+        // Deterministic log-uniform-ish samples via a tiny LCG.
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let mut h = LogHistogram::new();
+        let mut raw = Vec::new();
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 33) % 50_000_000 + 1;
+            h.record(v);
+            raw.push(v);
+        }
+        raw.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999] {
+            let rank = ((q * raw.len() as f64).ceil() as usize).clamp(1, raw.len());
+            let exact = raw[rank - 1];
+            let est = h.quantile(q);
+            let i = bucket_index(exact);
+            assert!(
+                est >= bucket_lower(i) && est <= bucket_upper(i),
+                "q={q}: est {est} outside exact bucket [{}, {}]",
+                bucket_lower(i),
+                bucket_upper(i)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_union() {
+        let mut parts: Vec<LogHistogram> = Vec::new();
+        let mut union = LogHistogram::new();
+        let mut x = 7u64;
+        for p in 0..3 {
+            let mut h = LogHistogram::new();
+            for _ in 0..1000 {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let v = x >> (20 + p * 8);
+                h.record(v);
+                union.record(v);
+            }
+            parts.push(h);
+        }
+        // (a ⊕ b) ⊕ c
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = parts[1].clone();
+        right_tail.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&right_tail);
+        assert_eq!(left, right);
+        assert_eq!(left, union);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = LogHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(48271) % 0x7fff_ffff;
+            h.record(x);
+        }
+        let mut prev = 0;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+    }
+}

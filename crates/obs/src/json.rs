@@ -1,0 +1,292 @@
+//! A minimal JSON *validity* checker — no DOM, no deps — used by the
+//! trace-export tests ("the generated Chrome trace is well-formed
+//! JSON") and available to downstream tests via the public API.
+
+/// Validate that `text` is exactly one well-formed JSON value
+/// (RFC 8259 grammar; nesting capped at 256 to keep recursion bounded).
+///
+/// # Errors
+///
+/// Returns a byte-offset message describing the first syntax error.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char,
+                self.pos.saturating_sub(1),
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected {word:?} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        if self.depth >= 256 {
+            return Err(format!("nesting too deep at byte {}", self.pos));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                got => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got {:?}",
+                        self.pos.saturating_sub(1),
+                        got.map(|g| g as char)
+                    ))
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                got => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, got {:?}",
+                        self.pos.saturating_sub(1),
+                        got.map(|g| g as char)
+                    ))
+                }
+            }
+        }
+        self.depth -= 1;
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(c) if c.is_ascii_hexdigit() => {}
+                                _ => return Err(format!("bad \\u escape at byte {}", self.pos)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.pos)),
+                },
+                Some(c) if c < 0x20 => {
+                    return Err(format!("raw control char at byte {}", self.pos - 1))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(format!("bad number at byte {start}")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(format!("bad fraction at byte {}", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(format!("bad exponent at byte {}", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e3",
+            r#""hi\nthere""#,
+            r#"{"a": [1, 2.5, {"b": null}], "c": "é"}"#,
+            " { \"x\" : [ ] } ",
+        ] {
+            assert!(validate_json(doc).is_ok(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "[] []",
+            "{\"a\":1,}",
+            "{1: 2}",
+        ] {
+            assert!(validate_json(doc).is_err(), "{doc:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips_through_validation() {
+        let nasty = "quote\" slash\\ newline\n tab\t bell\u{7}";
+        let doc = format!("{{\"k\": \"{}\"}}", escape_json(nasty));
+        assert!(validate_json(&doc).is_ok(), "{doc}");
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_crashing() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(validate_json(&deep).is_err());
+        let ok = "[".repeat(200) + &"]".repeat(200);
+        assert!(validate_json(&ok).is_ok());
+    }
+}

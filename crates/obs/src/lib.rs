@@ -1,0 +1,60 @@
+//! Zero-dependency observability for the PDDL simulator and functional
+//! array: a metrics registry (counters, gauges, log-bucketed
+//! histograms), a structured event tracer with Chrome trace-event /
+//! Perfetto export, and a per-disk time-series sampler.
+//!
+//! # Design
+//!
+//! Instrumented components talk to one trait, [`ObsSink`], through an
+//! `Option<Rc<RefCell<dyn ObsSink>>>`. With the option `None` (the
+//! default everywhere) every hook is a single branch and the host is
+//! bit-for-bit unchanged — no allocation, no formatting, no clock
+//! skew. With a sink attached:
+//!
+//! * every event lands in a bounded ring buffer ([`EventTracer`]) and
+//!   updates the [`MetricsRegistry`];
+//! * physical ops carry their parent logical access id, so the
+//!   exported Chrome trace shows op slices per disk nested under async
+//!   access spans;
+//! * quantiles come from [`LogHistogram`] — powers-of-√2 buckets over
+//!   `u64` nanoseconds: p50/p95/p99/p999 within one bucket (≤ √2
+//!   relative error) in constant memory.
+//!
+//! # Example
+//!
+//! ```
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//! use pddl_obs::{Actor, Event, ObsConfig, ObsSink, Observer};
+//!
+//! let obs = Rc::new(RefCell::new(Observer::new(ObsConfig::default())));
+//! // An instrumented component would hold this as Rc<RefCell<dyn ObsSink>>:
+//! let sink: Rc<RefCell<dyn ObsSink>> = obs.clone();
+//! sink.borrow_mut().event(
+//!     0,
+//!     Event::AccessStart { access: 1, actor: Actor::Client(0), units: 1, write: false },
+//! );
+//! sink.borrow_mut().event(2_000_000, Event::AccessEnd { access: 1, latency_ns: 2_000_000 });
+//! sink.borrow_mut().event(2_000_000, Event::RunEnd);
+//! let tsv = obs.borrow().metrics_tsv();
+//! assert!(tsv.contains("latency.access_ns"));
+//! ```
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod observer;
+pub mod registry;
+pub mod sink;
+pub mod tracer;
+
+pub use event::{Actor, Event, Nanos, OpClass};
+pub use hist::LogHistogram;
+pub use json::{escape_json, validate_json};
+pub use observer::{ObsConfig, Observer};
+pub use registry::{HistSummary, Metric, MetricsRegistry, MetricsSnapshot};
+pub use sink::{NullSink, ObsSink};
+pub use tracer::{DiskSample, EventTracer};
+
+/// Convenience alias for the handle instrumented components hold.
+pub type SharedSink = std::rc::Rc<std::cell::RefCell<dyn ObsSink>>;

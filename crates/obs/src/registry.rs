@@ -1,0 +1,287 @@
+//! A metrics registry: named counters, gauges, and log-bucketed
+//! histograms with a TSV serialization that round-trips through
+//! [`MetricsSnapshot`] (what `pddl report` consumes).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::LogHistogram;
+
+/// One registered metric.
+///
+/// Histograms are boxed: their fixed bucket array dwarfs the scalar
+/// variants, and registries hold few of them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-write-wins scalar.
+    Gauge(f64),
+    /// Log-bucketed distribution.
+    Histogram(Box<LogHistogram>),
+}
+
+/// Named metrics plus free-form `info` annotations (run parameters such
+/// as layout, mode, client count) carried into the TSV export.
+///
+/// Backed by `BTreeMap` so exports are deterministically ordered.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+    info: BTreeMap<String, String>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a counter, creating it at zero first.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += delta,
+            other => panic!("metric {name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.metrics.insert(name.to_string(), Metric::Gauge(value));
+    }
+
+    /// Record a sample into a histogram, creating it first if needed.
+    pub fn record(&mut self, name: &str, value: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => panic!("metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Attach a free-form run annotation (layout name, mode, …).
+    pub fn set_info(&mut self, key: &str, value: &str) {
+        self.info.insert(key.to_string(), value.to_string());
+    }
+
+    /// Counter value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name)? {
+            Metric::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Gauge value, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name)? {
+            Metric::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        match self.metrics.get(name)? {
+            Metric::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Iterate all metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serialize as the `pddl metrics v1` TSV format: one
+    /// `kind\tname\tfield\tvalue` row per scalar, histograms flattened
+    /// to count/sum/min/max/mean/p50/p95/p99/p999 rows.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("# pddl metrics v1\nkind\tname\tfield\tvalue\n");
+        for (k, v) in &self.info {
+            let _ = writeln!(out, "info\t{k}\tvalue\t{v}");
+        }
+        for (name, metric) in &self.metrics {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "counter\t{name}\tvalue\t{c}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "gauge\t{name}\tvalue\t{g}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "hist\t{name}\tcount\t{}", h.count());
+                    let _ = writeln!(out, "hist\t{name}\tsum\t{}", h.sum());
+                    let _ = writeln!(out, "hist\t{name}\tmin\t{}", h.min());
+                    let _ = writeln!(out, "hist\t{name}\tmax\t{}", h.max());
+                    let _ = writeln!(out, "hist\t{name}\tmean\t{}", h.mean());
+                    for (q, field) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99"), (0.999, "p999")]
+                    {
+                        let _ = writeln!(out, "hist\t{name}\t{field}\t{}", h.quantile(q));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Summary row for one histogram parsed back from TSV.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u128,
+    /// Observed minimum.
+    pub min: u64,
+    /// Observed maximum.
+    pub max: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th percentile estimate.
+    pub p95: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+    /// 99.9th percentile estimate.
+    pub p999: u64,
+}
+
+/// A metrics file parsed back into typed maps — the input to
+/// `pddl report`.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsSnapshot {
+    /// Run annotations.
+    pub info: BTreeMap<String, String>,
+    /// Counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub hists: BTreeMap<String, HistSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Parse the `pddl metrics v1` TSV format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-numbered message on rows that are not
+    /// tab-separated `kind name field value` or whose value fails to
+    /// parse for the row kind.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut snap = MetricsSnapshot::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let n = lineno + 1;
+            if line.is_empty() || line.starts_with('#') || line.starts_with("kind\t") {
+                continue;
+            }
+            let mut parts = line.splitn(4, '\t');
+            let (kind, name, field, value) =
+                match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                    (Some(k), Some(n), Some(f), Some(v)) => (k, n, f, v),
+                    _ => return Err(format!("line {n}: expected 4 tab-separated columns")),
+                };
+            let bad = |what: &str| format!("line {n}: bad {what} value {value:?}");
+            match kind {
+                "info" => {
+                    snap.info.insert(name.to_string(), value.to_string());
+                }
+                "counter" => {
+                    let v = value.parse().map_err(|_| bad("counter"))?;
+                    snap.counters.insert(name.to_string(), v);
+                }
+                "gauge" => {
+                    let v = value.parse().map_err(|_| bad("gauge"))?;
+                    snap.gauges.insert(name.to_string(), v);
+                }
+                "hist" => {
+                    let h = snap.hists.entry(name.to_string()).or_default();
+                    match field {
+                        "count" => h.count = value.parse().map_err(|_| bad("count"))?,
+                        "sum" => h.sum = value.parse().map_err(|_| bad("sum"))?,
+                        "min" => h.min = value.parse().map_err(|_| bad("min"))?,
+                        "max" => h.max = value.parse().map_err(|_| bad("max"))?,
+                        "mean" => h.mean = value.parse().map_err(|_| bad("mean"))?,
+                        "p50" => h.p50 = value.parse().map_err(|_| bad("p50"))?,
+                        "p95" => h.p95 = value.parse().map_err(|_| bad("p95"))?,
+                        "p99" => h.p99 = value.parse().map_err(|_| bad("p99"))?,
+                        "p999" => h.p999 = value.parse().map_err(|_| bad("p999"))?,
+                        other => return Err(format!("line {n}: unknown hist field {other:?}")),
+                    }
+                }
+                other => return Err(format!("line {n}: unknown kind {other:?}")),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.add("ops", 3);
+        r.add("ops", 4);
+        r.set_gauge("util", 0.25);
+        r.set_gauge("util", 0.75);
+        assert_eq!(r.counter("ops"), Some(7));
+        assert_eq!(r.gauge("util"), Some(0.75));
+        assert_eq!(r.counter("util"), None);
+    }
+
+    #[test]
+    fn tsv_round_trips_through_snapshot() {
+        let mut r = MetricsRegistry::new();
+        r.set_info("layout", "pddl");
+        r.set_info("mode", "degraded");
+        r.add("access.completed", 4000);
+        r.set_gauge("disk.util.3", 0.4375);
+        for v in [1_000_000u64, 2_000_000, 30_000_000, 4_000_000] {
+            r.record("latency.access_ns", v);
+        }
+        let tsv = r.to_tsv();
+        let snap = MetricsSnapshot::parse(&tsv).expect("parses");
+        assert_eq!(snap.info["layout"], "pddl");
+        assert_eq!(snap.counters["access.completed"], 4000);
+        assert!((snap.gauges["disk.util.3"] - 0.4375).abs() < 1e-12);
+        let h = &snap.hists["latency.access_ns"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 37_000_000);
+        assert_eq!(h.min, 1_000_000);
+        assert_eq!(h.max, 30_000_000);
+        let hist = r.histogram("latency.access_ns").unwrap();
+        assert_eq!(h.p50, hist.quantile(0.5));
+        assert_eq!(h.p99, hist.quantile(0.99));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_rows() {
+        assert!(MetricsSnapshot::parse("counter\tonly-two\t").is_err());
+        assert!(MetricsSnapshot::parse("counter\tx\tvalue\tnot-a-number").is_err());
+        assert!(MetricsSnapshot::parse("martian\tx\tvalue\t1").is_err());
+        assert!(MetricsSnapshot::parse("hist\tx\tp42\t1").is_err());
+        // Comments, blank lines, and the header are fine.
+        assert!(MetricsSnapshot::parse("# hi\n\nkind\tname\tfield\tvalue\n").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_confusion_panics() {
+        let mut r = MetricsRegistry::new();
+        r.record("x", 1);
+        r.add("x", 1);
+    }
+}

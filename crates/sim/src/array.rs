@@ -1,14 +1,18 @@
 //! The event-driven array simulator.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
 
 use pddl_core::layout::Layout;
 use pddl_core::plan::plan_access_with_policy;
+use pddl_core::rng::Xoshiro256pp;
 use pddl_core::PhysAddr;
-use pddl_disk::{Disk, DiskRequest, ElevatorQueue, Nanos, RequestQueue, SstfQueue, MILLISECOND};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pddl_disk::{
+    Disk, DiskRequest, ElevatorQueue, MovementKind, Nanos, RequestQueue, SstfQueue, MILLISECOND,
+};
+use pddl_obs::{Actor, Event as ObsEvent, ObsSink, OpClass};
 
 use crate::metrics::SeekMetrics;
 use crate::stats::ResponseStats;
@@ -82,7 +86,7 @@ pub struct ArraySim {
     next_access: u64,
     next_request: u64,
     now: Nanos,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     stats: ResponseStats,
     metrics: SeekMetrics,
     /// Total addressable data units given the disk capacity.
@@ -104,6 +108,12 @@ pub struct ArraySim {
     in_flight_area: f64,
     /// When `in_flight_area` was last advanced.
     in_flight_since: Nanos,
+    /// Optional observability sink. `None` (the default) keeps every
+    /// hook a single branch: no events, no samples, no RNG draws — the
+    /// run is bit-for-bit identical to an uninstrumented simulator.
+    obs: Option<Rc<RefCell<dyn ObsSink>>>,
+    /// Next per-disk sample tick, when the sink requests sampling.
+    next_sample: Option<Nanos>,
 }
 
 impl ArraySim {
@@ -186,7 +196,11 @@ impl ArraySim {
                 "arrival rate must be positive"
             );
         }
-        if let crate::AccessPattern::HotCold { hot_percent, traffic_percent } = cfg.pattern {
+        if let crate::AccessPattern::HotCold {
+            hot_percent,
+            traffic_percent,
+        } = cfg.pattern
+        {
             assert!(
                 (1..=99).contains(&hot_percent) && (1..=99).contains(&traffic_percent),
                 "hot/cold percentages must be in 1..=99"
@@ -225,7 +239,7 @@ impl ArraySim {
             next_access: 0,
             next_request: 0,
             now: 0,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Xoshiro256pp::seed_from_u64(cfg.seed),
             stats: ResponseStats::new(cfg.batch),
             metrics: SeekMetrics::new(),
             total_data_units,
@@ -238,7 +252,51 @@ impl ArraySim {
             trace: None,
             in_flight_area: 0.0,
             in_flight_since: 0,
+            obs: None,
+            next_sample: None,
         }
+    }
+
+    /// Attach an observability sink; every structured event and (if the
+    /// sink asks for an interval) periodic per-disk samples flow into
+    /// it. Attaching changes nothing about the simulation itself — the
+    /// RNG stream, event order and results are identical with or
+    /// without a sink.
+    pub fn attach_observer(&mut self, sink: Rc<RefCell<dyn ObsSink>>) {
+        self.next_sample = sink.borrow().sample_interval_ns();
+        self.obs = Some(sink);
+    }
+
+    /// Emit one event into the attached sink, if any.
+    fn emit(&self, event: ObsEvent) {
+        if let Some(obs) = &self.obs {
+            obs.borrow_mut().event(self.now, event);
+        }
+    }
+
+    /// Take due per-disk samples (called whenever the clock advances).
+    fn maybe_sample(&mut self) {
+        let Some(next) = self.next_sample else { return };
+        if self.now < next {
+            return;
+        }
+        let Some(obs) = self.obs.clone() else { return };
+        let Some(interval) = obs.borrow().sample_interval_ns().filter(|&i| i > 0) else {
+            self.next_sample = None;
+            return;
+        };
+        let mut sink = obs.borrow_mut();
+        for (d, unit) in self.disks.iter().enumerate() {
+            let depth = unit.queue.len() as u32 + u32::from(unit.current.is_some());
+            sink.sample_disk(self.now, d as u32, depth, unit.busy);
+        }
+        // One sample per clock advance; skip ticks the event gap jumped
+        // over (the simulator only observes state at event times).
+        let mut t = next;
+        while t <= self.now {
+            t += interval;
+        }
+        self.next_sample = Some(t);
     }
 
     /// Advance the in-flight time integral to `now`.
@@ -297,10 +355,7 @@ impl ArraySim {
             .collect();
         // Rebuilt unit goes to distributed spare space, or to the
         // replacement disk (same index/offset) without sparing.
-        let target = self
-            .layout
-            .spare_unit(stripe, failed)
-            .unwrap_or(lost);
+        let target = self.layout.spare_unit(stripe, failed).unwrap_or(lost);
         self.advance_in_flight();
         let id = self.next_access;
         self.next_access += 1;
@@ -313,6 +368,12 @@ impl ArraySim {
                 writes: vec![target],
             },
         );
+        self.emit(ObsEvent::AccessStart {
+            access: id,
+            actor: Actor::Rebuild,
+            units: reads.len() as u32 + 1,
+            write: true,
+        });
         for addr in reads {
             self.enqueue(id, addr, false);
         }
@@ -339,6 +400,7 @@ impl ArraySim {
         while let Some(Reverse((t, _, event))) = self.events.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
+            self.maybe_sample();
             match event {
                 Event::DiskDone(d) => self.complete_disk_op(d),
                 Event::Arrival => {
@@ -357,6 +419,7 @@ impl ArraySim {
         }
         let measured_ns = self.now.saturating_sub(self.measure_start).max(1);
         self.advance_in_flight();
+        self.emit(ObsEvent::RunEnd);
         let busy_total: Nanos = self.disks.iter().map(|d| d.busy).sum();
         let utilization =
             (busy_total as f64 / (self.disks.len() as u64 * self.now.max(1)) as f64).min(1.0);
@@ -413,7 +476,7 @@ impl ArraySim {
         let crate::ArrivalProcess::Poisson { rate_per_sec } = self.cfg.arrivals else {
             return;
         };
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u: f64 = self.rng.open01();
         let gap_s = -u.ln() / rate_per_sec;
         let gap = (gap_s * 1e9) as Nanos;
         self.seq += 1;
@@ -426,11 +489,11 @@ impl ArraySim {
     fn next_start(&mut self, client: usize) -> u64 {
         let span = self.total_data_units - self.cfg.access_units;
         match self.cfg.pattern {
-            crate::AccessPattern::Uniform => self.rng.gen_range(0..=span),
+            crate::AccessPattern::Uniform => self.rng.range_u64(0, span),
             crate::AccessPattern::Sequential => {
                 if self.cursors.is_empty() {
                     self.cursors = (0..self.cfg.clients)
-                        .map(|_| self.rng.gen_range(0..=span))
+                        .map(|_| self.rng.range_u64(0, span))
                         .collect();
                 }
                 let cur = self.cursors[client];
@@ -441,13 +504,16 @@ impl ArraySim {
                 self.cursors[client] = next;
                 cur
             }
-            crate::AccessPattern::HotCold { hot_percent, traffic_percent } => {
-                let hot_units = (self.total_data_units * hot_percent as u64 / 100)
-                    .max(self.cfg.access_units);
-                if self.rng.gen_range(0..100u8) < traffic_percent {
-                    self.rng.gen_range(0..=hot_units.min(span))
+            crate::AccessPattern::HotCold {
+                hot_percent,
+                traffic_percent,
+            } => {
+                let hot_units =
+                    (self.total_data_units * hot_percent as u64 / 100).max(self.cfg.access_units);
+                if self.rng.below_u64(100) < traffic_percent as u64 {
+                    self.rng.range_u64(0, hot_units.min(span))
                 } else {
-                    self.rng.gen_range(0..=span)
+                    self.rng.range_u64(0, span)
                 }
             }
         }
@@ -457,7 +523,7 @@ impl ArraySim {
     /// mix.
     fn next_op(&mut self) -> pddl_core::plan::Op {
         match self.cfg.read_fraction {
-            Some(f) if self.rng.gen_bool(f) => pddl_core::plan::Op::Read,
+            Some(f) if self.rng.chance(f) => pddl_core::plan::Op::Read,
             Some(_) => pddl_core::plan::Op::Write,
             None => self.cfg.op,
         }
@@ -491,6 +557,8 @@ impl ArraySim {
             (plan.reads, plan.writes)
         };
         debug_assert!(!phase.is_empty(), "plan with no physical I/O");
+        let planned_ops = (phase.len() + writes.len()) as u32;
+        let is_write_access = is_write_phase || !writes.is_empty();
         self.accesses.insert(
             id,
             AccessState {
@@ -500,6 +568,16 @@ impl ArraySim {
                 writes,
             },
         );
+        self.emit(ObsEvent::AccessStart {
+            access: id,
+            actor: if self.trace.is_some() {
+                Actor::Replay
+            } else {
+                Actor::Client(client as u32)
+            },
+            units: planned_ops,
+            write: is_write_access,
+        });
         for addr in phase {
             self.enqueue(id, addr, is_write_phase);
         }
@@ -537,12 +615,40 @@ impl ArraySim {
         if measuring {
             self.metrics.record_op(local, breakdown.kind);
         }
+        let (req_id, access, write) = (req.id, req.access, req.write);
+        let queue_depth = unit.queue.len() as u32;
         unit.last_access = Some(req.access);
         unit.current = Some(req);
         unit.busy += breakdown.total();
         self.seq += 1;
-        self.events
-            .push(Reverse((self.now + breakdown.total(), self.seq, Event::DiskDone(d))));
+        self.events.push(Reverse((
+            self.now + breakdown.total(),
+            self.seq,
+            Event::DiskDone(d),
+        )));
+        if self.obs.is_some() {
+            let class = if !local {
+                OpClass::NonLocal
+            } else {
+                match breakdown.kind {
+                    MovementKind::CylinderSwitch => OpClass::CylinderSwitch,
+                    MovementKind::TrackSwitch => OpClass::TrackSwitch,
+                    MovementKind::NoSwitch => OpClass::NoSwitch,
+                }
+            };
+            self.emit(ObsEvent::OpServiced {
+                req: req_id,
+                access,
+                disk: d as u32,
+                write,
+                class,
+                queue_depth,
+                seek_ns: breakdown.seek + breakdown.head_switch,
+                rotation_ns: breakdown.rotation,
+                transfer_ns: breakdown.transfer,
+                service_ns: breakdown.total(),
+            });
+        }
     }
 
     /// A disk finished its current operation.
@@ -577,16 +683,26 @@ impl ArraySim {
         // Access complete.
         self.advance_in_flight();
         let state = self.accesses.remove(&access).expect("state exists");
+        self.emit(ObsEvent::AccessEnd {
+            access,
+            latency_ns: self.now - state.issued,
+        });
         if state.kind == AccessKind::Rebuild {
-            let rb = self.rebuild.as_mut().expect("rebuild job without rebuild state");
+            let rb = self
+                .rebuild
+                .as_mut()
+                .expect("rebuild job without rebuild state");
             rb.outstanding -= 1;
             rb.repaired += 1;
-            let done = rb.repaired == rb.total;
+            let (repaired, total) = (rb.repaired, rb.total);
+            let done = repaired == total;
             if done {
                 rb.finished_at = Some(self.now);
                 // The rebuild defines the run length: stop the clients.
                 self.stopping = true;
-            } else {
+            }
+            self.emit(ObsEvent::RebuildProgress { repaired, total });
+            if !done {
                 self.issue_rebuild_job();
             }
             return;
@@ -661,6 +777,46 @@ mod tests {
     }
 
     #[test]
+    fn observer_never_perturbs_results() {
+        use pddl_obs::{ObsConfig, Observer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let cfg = SimConfig {
+            clients: 4,
+            access_units: 6,
+            op: Op::Write,
+            ..quick_cfg()
+        };
+        let plain = ArraySim::new(Box::new(Pddl::new(13, 4).unwrap()), cfg).run();
+        let obs = Rc::new(RefCell::new(Observer::new(ObsConfig {
+            sample_interval_ns: Some(5 * MILLISECOND),
+            ..Default::default()
+        })));
+        let mut sim = ArraySim::new(Box::new(Pddl::new(13, 4).unwrap()), cfg);
+        sim.attach_observer(obs.clone());
+        let observed = sim.run();
+        // Bit-for-bit identical simulation outcome.
+        assert_eq!(plain, observed);
+        let o = obs.borrow();
+        let r = o.registry();
+        // Every access span opened was closed (closed-loop drains fully).
+        let started = r.counter("access.started").unwrap();
+        let ended = r.counter("access.completed").unwrap();
+        assert!(started > 0);
+        assert_eq!(started, ended);
+        // Physical op accounting: every op carries a seek class.
+        let ops = r.counter("op.count").unwrap();
+        let classed: u64 = ["non_local", "cylinder_switch", "track_switch", "no_switch"]
+            .iter()
+            .filter_map(|c| r.counter(&format!("op.class.{c}")))
+            .sum();
+        assert_eq!(ops, classed);
+        assert_eq!(r.histogram("op.service_ns").unwrap().count(), ops);
+        // Per-disk samples were collected on the 5 ms cadence.
+        assert!(!o.samples().is_empty());
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let cfg = SimConfig {
             clients: 4,
@@ -693,7 +849,10 @@ mod tests {
         .run();
         let heavy = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { clients: 20, ..base },
+            SimConfig {
+                clients: 20,
+                ..base
+            },
         )
         .run();
         assert!(heavy.throughput > light.throughput * 2.0);
@@ -711,7 +870,10 @@ mod tests {
         let ff = ArraySim::new(Box::new(Pddl::new(13, 4).unwrap()), base).run();
         let f1 = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { mode: Mode::Degraded { failed: 0 }, ..base },
+            SimConfig {
+                mode: Mode::Degraded { failed: 0 },
+                ..base
+            },
         )
         .run();
         assert!(
@@ -743,7 +905,10 @@ mod tests {
         let reads = ArraySim::new(Box::new(Pddl::new(13, 4).unwrap()), base).run();
         let writes = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { op: Op::Write, ..base },
+            SimConfig {
+                op: Op::Write,
+                ..base
+            },
         )
         .run();
         // Small writes = 2 reads + 2 writes with a barrier.
@@ -756,7 +921,10 @@ mod tests {
     fn zero_clients_rejected() {
         let _ = ArraySim::new(
             Box::new(Raid5::new(13).unwrap()),
-            SimConfig { clients: 0, ..SimConfig::default() },
+            SimConfig {
+                clients: 0,
+                ..SimConfig::default()
+            },
         );
     }
 }
@@ -875,12 +1043,7 @@ mod rebuild_tests {
     #[test]
     fn raid5_rebuild_writes_to_replacement_disk() {
         // Without sparing the rebuilt units go to the failed index.
-        let sim = ArraySim::with_rebuild(
-            Box::new(Raid5::new(13).unwrap()),
-            rebuild_cfg(0),
-            2,
-            2,
-        );
+        let sim = ArraySim::with_rebuild(Box::new(Raid5::new(13).unwrap()), rebuild_cfg(0), 2, 2);
         let r = sim.run();
         let rb = r.rebuild.unwrap();
         assert!(rb.stripes_repaired > 0);
@@ -899,12 +1062,7 @@ mod rebuild_tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn rebuild_failed_disk_out_of_range() {
-        let _ = ArraySim::with_rebuild(
-            Box::new(Pddl::new(13, 4).unwrap()),
-            rebuild_cfg(0),
-            13,
-            4,
-        );
+        let _ = ArraySim::with_rebuild(Box::new(Pddl::new(13, 4).unwrap()), rebuild_cfg(0), 13, 4);
     }
 }
 
@@ -935,11 +1093,17 @@ mod workload_tests {
         // (With several interleaved clients each disk still alternates
         // between the clients' distant regions, so multi-client
         // sequential ≈ uniform at shallow queue depths — also checked.)
-        let one = SimConfig { clients: 1, ..base() };
+        let one = SimConfig {
+            clients: 1,
+            ..base()
+        };
         let uniform = ArraySim::new(Box::new(Pddl::new(13, 4).unwrap()), one).run();
         let seq = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { pattern: AccessPattern::Sequential, ..one },
+            SimConfig {
+                pattern: AccessPattern::Sequential,
+                ..one
+            },
         )
         .run();
         assert!(
@@ -950,7 +1114,10 @@ mod workload_tests {
         );
         let multi_seq = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { pattern: AccessPattern::Sequential, ..base() },
+            SimConfig {
+                pattern: AccessPattern::Sequential,
+                ..base()
+            },
         )
         .run();
         let multi_uni = ArraySim::new(Box::new(Pddl::new(13, 4).unwrap()), base()).run();
@@ -968,7 +1135,10 @@ mod workload_tests {
         let hot = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
             SimConfig {
-                pattern: AccessPattern::HotCold { hot_percent: 5, traffic_percent: 90 },
+                pattern: AccessPattern::HotCold {
+                    hot_percent: 5,
+                    traffic_percent: 90,
+                },
                 ..base()
             },
         )
@@ -986,12 +1156,18 @@ mod workload_tests {
         let reads = ArraySim::new(Box::new(Pddl::new(13, 4).unwrap()), base()).run();
         let writes = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { op: Op::Write, ..base() },
+            SimConfig {
+                op: Op::Write,
+                ..base()
+            },
         )
         .run();
         let mixed = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { read_fraction: Some(0.5), ..base() },
+            SimConfig {
+                read_fraction: Some(0.5),
+                ..base()
+            },
         )
         .run();
         assert!(
@@ -1009,7 +1185,10 @@ mod workload_tests {
     fn invalid_read_fraction_rejected() {
         let _ = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { read_fraction: Some(1.5), ..SimConfig::default() },
+            SimConfig {
+                read_fraction: Some(1.5),
+                ..SimConfig::default()
+            },
         );
     }
 
@@ -1019,7 +1198,10 @@ mod workload_tests {
         let _ = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
             SimConfig {
-                pattern: AccessPattern::HotCold { hot_percent: 0, traffic_percent: 50 },
+                pattern: AccessPattern::HotCold {
+                    hot_percent: 0,
+                    traffic_percent: 50,
+                },
                 ..SimConfig::default()
             },
         );
@@ -1050,10 +1232,17 @@ mod utilization_tests {
         .run();
         let heavy = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { clients: 25, ..base },
+            SimConfig {
+                clients: 25,
+                ..base
+            },
         )
         .run();
-        assert!(light.utilization > 0.0 && light.utilization < 0.2, "{}", light.utilization);
+        assert!(
+            light.utilization > 0.0 && light.utilization < 0.2,
+            "{}",
+            light.utilization
+        );
         assert!(heavy.utilization > light.utilization * 4.0);
         assert!(heavy.utilization <= 1.0);
     }
@@ -1104,7 +1293,11 @@ mod open_loop_tests {
             heavy.mean_response_ms
         );
         // Measured throughput tracks the offered rate while unsaturated.
-        assert!((light.throughput - 50.0).abs() < 10.0, "{:.1}", light.throughput);
+        assert!(
+            (light.throughput - 50.0).abs() < 10.0,
+            "{:.1}",
+            light.throughput
+        );
     }
 
     #[test]
@@ -1141,9 +1334,24 @@ mod trace_tests {
     #[test]
     fn replays_every_record_once() {
         let trace = vec![
-            TraceRecord { start: 0, units: 3, op: Op::Read, gap: 0 },
-            TraceRecord { start: 9, units: 3, op: Op::Write, gap: 1_000_000 },
-            TraceRecord { start: 100, units: 1, op: Op::Read, gap: 2_000_000 },
+            TraceRecord {
+                start: 0,
+                units: 3,
+                op: Op::Read,
+                gap: 0,
+            },
+            TraceRecord {
+                start: 9,
+                units: 3,
+                op: Op::Write,
+                gap: 1_000_000,
+            },
+            TraceRecord {
+                start: 100,
+                units: 1,
+                op: Op::Read,
+                gap: 2_000_000,
+            },
         ];
         let r = ArraySim::with_trace(Box::new(Pddl::new(13, 4).unwrap()), cfg(), trace).run();
         assert_eq!(r.completed, 3);
@@ -1155,7 +1363,8 @@ mod trace_tests {
         // Spread the trace over (most of) the real address space so the
         // seek distances match the built-in uniform workload.
         let trace = synthesize_poisson(800, 1_000_000, 1, 1.0, 5_000, 7);
-        let a = ArraySim::with_trace(Box::new(Pddl::new(13, 4).unwrap()), cfg(), trace.clone()).run();
+        let a =
+            ArraySim::with_trace(Box::new(Pddl::new(13, 4).unwrap()), cfg(), trace.clone()).run();
         let b = ArraySim::with_trace(Box::new(Pddl::new(13, 4).unwrap()), cfg(), trace).run();
         assert_eq!(a, b);
         assert_eq!(a.completed, 800);
@@ -1164,7 +1373,9 @@ mod trace_tests {
         let open = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
             SimConfig {
-                arrivals: crate::ArrivalProcess::Poisson { rate_per_sec: 200.0 },
+                arrivals: crate::ArrivalProcess::Poisson {
+                    rate_per_sec: 200.0,
+                },
                 clients: 0,
                 warmup: 0,
                 max_samples: 800,
@@ -1173,17 +1384,26 @@ mod trace_tests {
         )
         .run();
         let rel = (a.mean_response_ms - open.mean_response_ms).abs() / open.mean_response_ms;
-        assert!(rel < 0.25, "trace {:.2} ms vs poisson {:.2} ms", a.mean_response_ms, open.mean_response_ms);
+        assert!(
+            rel < 0.25,
+            "trace {:.2} ms vs poisson {:.2} ms",
+            a.mean_response_ms,
+            open.mean_response_ms
+        );
     }
 
     #[test]
     fn trace_mode_honours_degraded_operation() {
         // Pure reads: degraded mode can only ADD reconstruction reads.
         let trace = synthesize_poisson(400, 5_000, 2, 1.0, 5_000, 3);
-        let ff = ArraySim::with_trace(Box::new(Pddl::new(13, 4).unwrap()), cfg(), trace.clone()).run();
+        let ff =
+            ArraySim::with_trace(Box::new(Pddl::new(13, 4).unwrap()), cfg(), trace.clone()).run();
         let f1 = ArraySim::with_trace(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { mode: Mode::Degraded { failed: 1 }, ..cfg() },
+            SimConfig {
+                mode: Mode::Degraded { failed: 1 },
+                ..cfg()
+            },
             trace,
         )
         .run();
@@ -1193,7 +1413,12 @@ mod trace_tests {
     #[test]
     #[should_panic(expected = "outside array capacity")]
     fn trace_capacity_checked() {
-        let trace = vec![TraceRecord { start: u64::MAX - 5, units: 3, op: Op::Read, gap: 0 }];
+        let trace = vec![TraceRecord {
+            start: u64::MAX - 5,
+            units: 3,
+            op: Op::Read,
+            gap: 0,
+        }];
         let _ = ArraySim::with_trace(Box::new(Pddl::new(13, 4).unwrap()), cfg(), trace);
     }
 
@@ -1244,7 +1469,9 @@ mod littles_law_tests {
     fn open_loop_satisfies_littles_law() {
         let cfg = SimConfig {
             clients: 0,
-            arrivals: crate::ArrivalProcess::Poisson { rate_per_sec: 300.0 },
+            arrivals: crate::ArrivalProcess::Poisson {
+                rate_per_sec: 300.0,
+            },
             access_units: 1,
             op: Op::Read,
             mode: Mode::FaultFree,
@@ -1308,13 +1535,19 @@ mod scheduler_tests {
         };
         let fifo = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { sstf_window: 1, ..base },
+            SimConfig {
+                sstf_window: 1,
+                ..base
+            },
         )
         .run();
         let sstf = ArraySim::new(Box::new(Pddl::new(13, 4).unwrap()), base).run();
         let look = ArraySim::new(
             Box::new(Pddl::new(13, 4).unwrap()),
-            SimConfig { scheduler: SchedulerKind::Look, ..base },
+            SimConfig {
+                scheduler: SchedulerKind::Look,
+                ..base
+            },
         )
         .run();
         assert!(sstf.mean_response_ms < fifo.mean_response_ms);

@@ -191,7 +191,9 @@ mod tests {
     #[test]
     fn builds_every_evaluated_layout() {
         for kind in LayoutKind::EVALUATED {
-            let l = kind.build(13, 4).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            let l = kind
+                .build(13, 4)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             assert_eq!(l.disks(), 13);
             if kind == LayoutKind::Raid5 {
                 assert_eq!(l.stripe_width(), 13);

@@ -4,9 +4,16 @@
 //! of the true average with 95% confidence." Closed-loop response times
 //! are autocorrelated, so the confidence interval is computed over
 //! *batch means*.
+//!
+//! Percentiles come from a [`LogHistogram`] (powers-of-√2 buckets over
+//! nanoseconds), so memory stays constant no matter how many samples an
+//! open-loop run records — the old raw-sample vector grew without bound
+//! under Poisson arrivals.
 
-/// Accumulates response-time samples and answers the 2%/95% stopping
-/// question via batch means.
+use pddl_obs::LogHistogram;
+
+/// Accumulates response-time samples (milliseconds) and answers the
+/// 2%/95% stopping question via batch means.
 #[derive(Debug, Clone)]
 pub struct ResponseStats {
     batch_size: usize,
@@ -18,9 +25,9 @@ pub struct ResponseStats {
     /// All-sample running totals (for the reported mean).
     total_sum: f64,
     total_count: u64,
-    /// All samples, kept for percentile queries (sample counts are
-    /// bounded by the stopping rule, so this stays small).
-    samples: Vec<f64>,
+    /// Bounded-memory distribution for percentile queries, in integer
+    /// nanoseconds.
+    hist: LogHistogram,
 }
 
 impl ResponseStats {
@@ -38,15 +45,15 @@ impl ResponseStats {
             current_count: 0,
             total_sum: 0.0,
             total_count: 0,
-            samples: Vec::new(),
+            hist: LogHistogram::new(),
         }
     }
 
-    /// Record one response-time sample.
+    /// Record one response-time sample in milliseconds.
     pub fn record(&mut self, value: f64) {
         self.total_sum += value;
         self.total_count += 1;
-        self.samples.push(value);
+        self.hist.record((value * 1e6).max(0.0).round() as u64);
         self.current_sum += value;
         self.current_count += 1;
         if self.current_count == self.batch_size {
@@ -88,21 +95,21 @@ impl ResponseStats {
         Some(t_quantile_975(m - 1) * se)
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1) of all samples by nearest-rank;
-    /// 0 when empty.
+    /// The `q`-quantile (0 ≤ q ≤ 1) of all samples in milliseconds,
+    /// estimated from the log-bucketed histogram: within one √2 bucket
+    /// of the exact nearest-rank value. 0 when empty.
     ///
     /// # Panics
     ///
     /// Panics when `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(f64::total_cmp);
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        self.hist.quantile(q) as f64 / 1e6
+    }
+
+    /// The underlying nanosecond histogram (mergeable, exportable).
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
     }
 
     /// Has the mean converged to within `target` relative precision at
@@ -118,9 +125,9 @@ impl ResponseStats {
 /// Two-sided 97.5% Student-t quantile by degrees of freedom (→ 1.96).
 fn t_quantile_975(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -177,7 +184,9 @@ mod tests {
         let mut converged_at = None;
         let mut state = 12345u64;
         for i in 0..10_000u32 {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let v = 100.0 + ((state >> 33) % 41) as f64 - 20.0;
             s.record(v);
             if converged_at.is_none() && s.converged(0.02) {
@@ -191,16 +200,41 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_nearest_rank() {
+    fn quantiles_track_nearest_rank_within_a_bucket() {
         let mut s = ResponseStats::new(100);
         for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
             s.record(v);
         }
+        // Extremes clamp to the observed min/max exactly.
         assert_eq!(s.quantile(0.0), 1.0);
-        assert_eq!(s.quantile(0.5), 3.0);
-        assert_eq!(s.quantile(0.9), 5.0);
         assert_eq!(s.quantile(1.0), 5.0);
+        // Interior quantiles are within one √2 bucket of exact.
+        let sqrt2 = std::f64::consts::SQRT_2;
+        let p50 = s.quantile(0.5); // exact: 3.0
+        assert!(p50 >= 3.0 / sqrt2 && p50 <= 3.0 * sqrt2, "p50 {p50}");
+        let p90 = s.quantile(0.9); // exact: 5.0
+        assert!(p90 >= 5.0 / sqrt2 && p90 <= 5.0, "p90 {p90}");
         assert_eq!(ResponseStats::new(10).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn memory_stays_bounded_for_huge_sample_counts() {
+        // A million samples: the old implementation kept them all; the
+        // histogram keeps a fixed bucket table. Sanity-check estimates.
+        let mut s = ResponseStats::new(1_000_000);
+        let mut state = 9u64;
+        for _ in 0..1_000_000u32 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            let v = 5.0 + ((state >> 40) % 1000) as f64 / 100.0; // 5..15 ms
+            s.record(v);
+        }
+        assert_eq!(s.count(), 1_000_000);
+        let p50 = s.quantile(0.5); // exact ≈ 10
+        assert!((7.0..=14.2).contains(&p50), "p50 {p50}");
+        assert!(s.quantile(0.99) <= 15.0 * std::f64::consts::SQRT_2);
+        assert_eq!(s.histogram().count(), 1_000_000);
     }
 
     #[test]

@@ -17,9 +17,8 @@
 //! Lines starting with `#` are comments.
 
 use pddl_core::plan::Op;
+use pddl_core::rng::Xoshiro256pp;
 use pddl_disk::Nanos;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One trace record: a logical access plus the gap since the previous
 /// arrival.
@@ -127,14 +126,18 @@ pub fn synthesize_poisson(
     assert!(count > 0 && units > 0 && capacity_units >= units);
     assert!((0.0..=1.0).contains(&read_fraction));
     assert!(mean_gap_us > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u: f64 = rng.open01();
             TraceRecord {
-                start: rng.gen_range(0..=capacity_units - units),
+                start: rng.range_u64(0, capacity_units - units),
                 units,
-                op: if rng.gen_bool(read_fraction) { Op::Read } else { Op::Write },
+                op: if rng.chance(read_fraction) {
+                    Op::Read
+                } else {
+                    Op::Write
+                },
                 gap: ((-u.ln() * mean_gap_us as f64) * 1_000.0).max(1.0) as Nanos,
             }
         })
@@ -152,8 +155,18 @@ mod tests {
         assert_eq!(
             records,
             vec![
-                TraceRecord { start: 10, units: 6, op: Op::Read, gap: 500_000 },
-                TraceRecord { start: 20, units: 1, op: Op::Write, gap: 0 },
+                TraceRecord {
+                    start: 10,
+                    units: 6,
+                    op: Op::Read,
+                    gap: 500_000
+                },
+                TraceRecord {
+                    start: 20,
+                    units: 1,
+                    op: Op::Write,
+                    gap: 0
+                },
             ]
         );
         let again = parse_trace(&format_trace(&records)).unwrap();
@@ -164,9 +177,18 @@ mod tests {
     fn parse_errors_carry_line_numbers() {
         assert_eq!(parse_trace("1 2 R").unwrap_err().line, 1);
         assert_eq!(parse_trace("# ok\n1 0 R 5").unwrap_err().line, 2);
-        assert!(parse_trace("x 2 R 5").unwrap_err().message.contains("start"));
-        assert!(parse_trace("1 2 Q 5").unwrap_err().message.contains("R or W"));
-        assert!(parse_trace("1 2 R x").unwrap_err().message.contains("interarrival"));
+        assert!(parse_trace("x 2 R 5")
+            .unwrap_err()
+            .message
+            .contains("start"));
+        assert!(parse_trace("1 2 Q 5")
+            .unwrap_err()
+            .message
+            .contains("R or W"));
+        assert!(parse_trace("1 2 R x")
+            .unwrap_err()
+            .message
+            .contains("interarrival"));
     }
 
     #[test]

@@ -39,8 +39,14 @@ fn main() {
     println!("Client-visible 48KB read response times (8 clients):");
     for (label, mode) in [
         ("fault-free", Mode::FaultFree),
-        ("reconstruction (rebuilding on the fly)", Mode::Degraded { failed }),
-        ("post-reconstruction (spare populated)", Mode::PostReconstruction { failed }),
+        (
+            "reconstruction (rebuilding on the fly)",
+            Mode::Degraded { failed },
+        ),
+        (
+            "post-reconstruction (spare populated)",
+            Mode::PostReconstruction { failed },
+        ),
     ] {
         let sim = ArraySim::new(Box::new(pddl.clone()), SimConfig { mode, ..base });
         let r = sim.run();

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| ((i * 2654435761) >> 16) as u8)
         .collect();
     array.write(0, &payload)?;
-    println!("wrote {} MB; scrub: {:?} inconsistencies", payload.len() >> 20, array.scrub()?.len());
+    println!(
+        "wrote {} MB; scrub: {:?} inconsistencies",
+        payload.len() >> 20,
+        array.scrub()?.len()
+    );
 
     // Disk 7 dies.
     array.fail_disk(7)?;
@@ -50,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A replacement drive arrives: copy back and return to fault-free.
     let restored = array.replace_and_rebuild(7)?;
     assert_eq!(array.mode(), ArrayMode::FaultFree);
-    println!("copy-back restored {restored} units; mode = {:?}", array.mode());
+    println!(
+        "copy-back restored {restored} units; mode = {:?}",
+        array.mode()
+    );
 
     // Full verification.
     let mut expected = payload;

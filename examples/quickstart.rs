@@ -44,12 +44,36 @@ fn main() {
 
     let goals = check_goals(&layout);
     println!("\nIdeal-layout goals (paper §1):");
-    println!("  #1 single failure correcting : {}", goals.single_failure_correcting);
-    println!("  #2 distributed parity        : {}", goals.distributed_parity);
-    println!("  #3 distributed reconstruction: {}", goals.distributed_reconstruction);
-    println!("  #4 large write optimization  : {}", goals.large_write_optimization);
-    println!("  #5 read parallelism deviation: {}", goals.read_parallelism_deviation);
-    println!("  #6 mapping table bytes       : {}", goals.mapping_table_bytes);
-    println!("  #7 distributed sparing       : {:?}", goals.distributed_sparing);
-    println!("  #8 degraded parallelism dev. : {:?}", goals.degraded_parallelism_deviation);
+    println!(
+        "  #1 single failure correcting : {}",
+        goals.single_failure_correcting
+    );
+    println!(
+        "  #2 distributed parity        : {}",
+        goals.distributed_parity
+    );
+    println!(
+        "  #3 distributed reconstruction: {}",
+        goals.distributed_reconstruction
+    );
+    println!(
+        "  #4 large write optimization  : {}",
+        goals.large_write_optimization
+    );
+    println!(
+        "  #5 read parallelism deviation: {}",
+        goals.read_parallelism_deviation
+    );
+    println!(
+        "  #6 mapping table bytes       : {}",
+        goals.mapping_table_bytes
+    );
+    println!(
+        "  #7 distributed sparing       : {:?}",
+        goals.distributed_sparing
+    );
+    println!(
+        "  #8 degraded parallelism dev. : {:?}",
+        goals.degraded_parallelism_deviation
+    );
 }

@@ -64,8 +64,14 @@ fn forty_eight_kb_writes_favor_declustering() {
         cfg(8, 6, Op::Write, Mode::FaultFree),
     );
     for layout in [
-        run(Box::new(Pddl::new(13, 4).unwrap()), cfg(8, 6, Op::Write, Mode::FaultFree)),
-        run(Box::new(Datum::new(13, 4).unwrap()), cfg(8, 6, Op::Write, Mode::FaultFree)),
+        run(
+            Box::new(Pddl::new(13, 4).unwrap()),
+            cfg(8, 6, Op::Write, Mode::FaultFree),
+        ),
+        run(
+            Box::new(Datum::new(13, 4).unwrap()),
+            cfg(8, 6, Op::Write, Mode::FaultFree),
+        ),
     ] {
         assert!(
             layout.mean_response_ms * 1.3 < raid5.mean_response_ms,
@@ -188,7 +194,10 @@ fn non_local_seeks_equal_working_set() {
             Op::Read,
             units,
         );
-        let r = run(kind.build(13, 4).unwrap(), cfg(8, units, Op::Read, Mode::FaultFree));
+        let r = run(
+            kind.build(13, 4).unwrap(),
+            cfg(8, units, Op::Read, Mode::FaultFree),
+        );
         let rel = (r.seeks.non_local - analytic).abs() / analytic;
         assert!(
             rel < 0.12,

@@ -1,10 +1,21 @@
 //! Property tests on the access planner: parity-maintenance and
-//! failure-safety invariants for every layout, mode and access shape.
+//! failure-safety invariants for every layout, mode and access shape,
+//! driven by a deterministic in-tree PRNG.
+//!
+//! Build with `--features slow-tests` to multiply the case counts.
 
 use pddl::layout::layout::Layout;
 use pddl::layout::plan::{plan_access, Mode, Op};
+use pddl::layout::rng::Xoshiro256pp;
 use pddl::layout::{Datum, ParityDeclustering, Pddl, PrimeLayout, Raid5};
-use proptest::prelude::*;
+
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "slow-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
 
 /// §4: "the average number of physical accesses per logical access is
 /// the same for any declustered layout with the same values of n and k".
@@ -16,7 +27,12 @@ fn mean_io_count_is_layout_invariant() {
         Box::new(Datum::new(13, 4).unwrap()),
         Box::new(PrimeLayout::new(13, 4).unwrap()),
     ];
-    for (op, len) in [(Op::Read, 6u64), (Op::Write, 6), (Op::Read, 12), (Op::Write, 1)] {
+    for (op, len) in [
+        (Op::Read, 6u64),
+        (Op::Write, 6),
+        (Op::Read, 12),
+        (Op::Write, 1),
+    ] {
         let means: Vec<f64> = declustered
             .iter()
             .map(|l| {
@@ -46,25 +62,33 @@ fn layouts() -> Vec<Box<dyn Layout>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Reads never write; fault-free reads read exactly the data units.
-    #[test]
-    fn fault_free_reads_are_minimal(start in 0u64..2_000, len in 1u64..40) {
+/// Reads never write; fault-free reads read exactly the data units.
+#[test]
+fn fault_free_reads_are_minimal() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x91a0);
+    for _ in 0..cases(48) {
+        let start = rng.below_u64(2_000);
+        let len = 1 + rng.below_u64(39);
         for l in layouts() {
             let p = plan_access(l.as_ref(), Mode::FaultFree, Op::Read, start, len);
-            prop_assert!(p.writes.is_empty());
-            prop_assert_eq!(p.reads.len() as u64, len, "{}", l.name());
+            assert!(p.writes.is_empty());
+            assert_eq!(p.reads.len() as u64, len, "{}", l.name());
         }
     }
+}
 
-    /// Every write plan touches every affected stripe's check units
-    /// (all of them, including multi-check stripes).
-    #[test]
-    fn writes_maintain_parity(start in 0u64..2_000, len in 1u64..40) {
+/// Every write plan touches every affected stripe's check units (all of
+/// them, including multi-check stripes).
+#[test]
+fn writes_maintain_parity() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x91a1);
+    for _ in 0..cases(48) {
+        let start = rng.below_u64(2_000);
+        let len = 1 + rng.below_u64(39);
         let mut all = layouts();
-        all.push(Box::new(Pddl::new(13, 4).unwrap().with_check_units(2).unwrap()));
+        all.push(Box::new(
+            Pddl::new(13, 4).unwrap().with_check_units(2).unwrap(),
+        ));
         for l in all {
             let p = plan_access(l.as_ref(), Mode::FaultFree, Op::Write, start, len);
             // Collect affected stripes.
@@ -73,29 +97,36 @@ proptest! {
             for s in stripes {
                 for c in 0..l.check_per_stripe() {
                     let check = l.check_unit(s, c);
-                    prop_assert!(
+                    assert!(
                         p.writes.contains(&check),
-                        "{}: stripe {s} check {c} not written", l.name()
+                        "{}: stripe {s} check {c} not written",
+                        l.name()
                     );
                 }
             }
         }
     }
+}
 
-    /// Double-check PDDL: degraded plans with one failed disk never
-    /// touch it, and surviving checks are still maintained on writes.
-    #[test]
-    fn multi_check_degraded_writes(start in 0u64..1_000, len in 1u64..10, failed in 0usize..13) {
-        let l = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
+/// Double-check PDDL: degraded plans with one failed disk never touch
+/// it, and surviving checks are still maintained on writes.
+#[test]
+fn multi_check_degraded_writes() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x91a2);
+    let l = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
+    for _ in 0..cases(48) {
+        let start = rng.below_u64(1_000);
+        let len = 1 + rng.below_u64(9);
+        let failed = rng.below(13);
         let p = plan_access(&l, Mode::Degraded { failed }, Op::Write, start, len);
-        prop_assert!(p.reads.iter().chain(&p.writes).all(|a| a.disk != failed));
+        assert!(p.reads.iter().chain(&p.writes).all(|a| a.disk != failed));
         let mut stripes: Vec<u64> = (start..start + len).map(|u| l.locate(u).0).collect();
         stripes.dedup();
         for s in stripes {
             for c in 0..2 {
                 let check = l.check_unit(s, c);
                 if check.disk != failed {
-                    prop_assert!(
+                    assert!(
                         p.writes.contains(&check),
                         "stripe {s} surviving check {c} not written"
                     );
@@ -103,69 +134,86 @@ proptest! {
             }
         }
     }
+}
 
-    /// Degraded plans never touch the failed disk, for any failed disk.
-    #[test]
-    fn degraded_plans_avoid_failed_disk(
-        start in 0u64..2_000,
-        len in 1u64..40,
-        failed in 0usize..13,
-        write in proptest::bool::ANY,
-    ) {
-        let op = if write { Op::Write } else { Op::Read };
+/// Degraded plans never touch the failed disk, for any failed disk.
+#[test]
+fn degraded_plans_avoid_failed_disk() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x91a3);
+    for _ in 0..cases(48) {
+        let start = rng.below_u64(2_000);
+        let len = 1 + rng.below_u64(39);
+        let failed = rng.below(13);
+        let op = if rng.chance(0.5) { Op::Write } else { Op::Read };
         for l in layouts() {
             let p = plan_access(l.as_ref(), Mode::Degraded { failed }, op, start, len);
-            prop_assert!(
+            assert!(
                 p.reads.iter().chain(&p.writes).all(|a| a.disk != failed),
-                "{} op={op:?} touched failed disk {failed}", l.name()
+                "{} op={op:?} touched failed disk {failed}",
+                l.name()
             );
         }
     }
+}
 
-    /// Write plans in degraded mode still cover all written data units
-    /// on surviving disks (lost units are implied by parity).
-    #[test]
-    fn degraded_writes_cover_surviving_data(
-        start in 0u64..2_000,
-        len in 1u64..20,
-        failed in 0usize..13,
-    ) {
+/// Write plans in degraded mode still cover all written data units on
+/// surviving disks (lost units are implied by parity).
+#[test]
+fn degraded_writes_cover_surviving_data() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x91a4);
+    for _ in 0..cases(48) {
+        let start = rng.below_u64(2_000);
+        let len = 1 + rng.below_u64(19);
+        let failed = rng.below(13);
         for l in layouts() {
             let p = plan_access(l.as_ref(), Mode::Degraded { failed }, Op::Write, start, len);
             for u in start..start + len {
                 let addr = l.locate_phys(u);
                 if addr.disk != failed {
-                    prop_assert!(
+                    assert!(
                         p.writes.contains(&addr),
-                        "{}: written unit {u} missing from plan", l.name()
+                        "{}: written unit {u} missing from plan",
+                        l.name()
                     );
                 }
             }
         }
     }
+}
 
-    /// Post-reconstruction reads on PDDL read exactly `len` units (the
-    /// redirection is one-for-one), and never from the failed disk.
-    #[test]
-    fn postrecon_reads_are_one_for_one(
-        start in 0u64..2_000,
-        len in 1u64..40,
-        failed in 0usize..13,
-    ) {
-        let l = Pddl::new(13, 4).unwrap();
-        let p = plan_access(&l, Mode::PostReconstruction { failed }, Op::Read, start, len);
-        prop_assert_eq!(p.reads.len() as u64, len);
-        prop_assert!(p.reads.iter().all(|a| a.disk != failed));
-        prop_assert!(p.writes.is_empty());
+/// Post-reconstruction reads on PDDL read exactly `len` units (the
+/// redirection is one-for-one), and never from the failed disk.
+#[test]
+fn postrecon_reads_are_one_for_one() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x91a5);
+    let l = Pddl::new(13, 4).unwrap();
+    for _ in 0..cases(48) {
+        let start = rng.below_u64(2_000);
+        let len = 1 + rng.below_u64(39);
+        let failed = rng.below(13);
+        let p = plan_access(
+            &l,
+            Mode::PostReconstruction { failed },
+            Op::Read,
+            start,
+            len,
+        );
+        assert_eq!(p.reads.len() as u64, len);
+        assert!(p.reads.iter().all(|a| a.disk != failed));
+        assert!(p.writes.is_empty());
     }
+}
 
-    /// Small writes cost at most large writes' I/O (the adaptive rule
-    /// picks a minimum): total I/O for a 1-unit write is 4 everywhere.
-    #[test]
-    fn single_unit_write_cost(start in 0u64..2_000) {
+/// Small writes cost at most large writes' I/O (the adaptive rule picks
+/// a minimum): total I/O for a 1-unit write is 4 everywhere.
+#[test]
+fn single_unit_write_cost() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x91a6);
+    for _ in 0..cases(48) {
+        let start = rng.below_u64(2_000);
         for l in layouts() {
             let p = plan_access(l.as_ref(), Mode::FaultFree, Op::Write, start, 1);
-            prop_assert_eq!(p.io_count(), 4, "{}", l.name()); // read D+P, write D+P
+            assert_eq!(p.io_count(), 4, "{}", l.name()); // read D+P, write D+P
         }
     }
 }
