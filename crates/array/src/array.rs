@@ -1,16 +1,41 @@
 //! The declustered array: layout + parity + failure lifecycle.
+//!
+//! # Threading model
+//!
+//! The array is `Send + Sync`. Client I/O ([`DeclusteredArray::read`],
+//! [`DeclusteredArray::write`], [`DeclusteredArray::scrub`]) takes
+//! `&self` and may run concurrently from many threads: each disk sits
+//! behind its own mutex (a disk serves one op at a time, as in
+//! hardware), and the shared bookkeeping (I/O counters, write-intent
+//! journal, observer sequence) is atomic or mutex-guarded.
+//!
+//! One invariant is the *caller's* job: two concurrent writes to the
+//! **same stripe** race on the parity read-modify-write and can leave
+//! the stripe inconsistent — exactly the hazard a real controller
+//! serializes in firmware. `pddl-server` enforces this with a
+//! stripe-striped lock table; embedders driving the array directly from
+//! multiple threads must do the same. Writes to distinct stripes need
+//! no external coordination. Management operations (failure injection,
+//! rebuild, replacement, journal recovery) take `&mut self` and thus
+//! exclude all concurrent I/O by construction.
 
-use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 use pddl_core::addr::{PhysAddr, Role};
 use pddl_core::layout::Layout;
 use pddl_gf::rs::{CodecError, ReedSolomon};
-use pddl_obs::{Event as ObsEvent, ObsSink};
+use pddl_obs::{Event as ObsEvent, SyncSharedSink};
 
 use crate::blockdev::{BlockDevice, DiskError, RamDisk};
+
+/// Lock a mutex, recovering the data from a poisoned lock: a panicking
+/// peer thread must not cascade into aborting every other request.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Errors from array operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,7 +113,9 @@ pub enum ArrayMode {
 /// by logical data-unit number.
 pub struct DeclusteredArray {
     layout: Box<dyn Layout>,
-    disks: Vec<Box<dyn BlockDevice>>,
+    /// One mutex per disk: a disk serves one op at a time (as in
+    /// hardware), while ops on distinct disks proceed in parallel.
+    disks: Vec<Mutex<Box<dyn BlockDevice>>>,
     rs: ReedSolomon,
     unit_bytes: usize,
     periods: u64,
@@ -99,19 +126,19 @@ pub struct DeclusteredArray {
     /// Failed disks fully rebuilt into spare space.
     spared: BTreeSet<usize>,
     /// Client-path stripe-unit reads performed (observability).
-    unit_reads: std::cell::Cell<u64>,
+    unit_reads: AtomicU64,
     /// Client-path stripe-unit writes performed.
-    unit_writes: u64,
+    unit_writes: AtomicU64,
     /// Write-intent journal (models the NVRAM log real controllers use
     /// to close the RAID "write hole"): stripes with updates in flight.
-    intents: Vec<u64>,
+    intents: Mutex<Vec<u64>>,
     /// Fault injection: abort with [`ArrayError::InjectedCrash`] after
     /// this many more physical writes.
-    crash_after_writes: Option<u64>,
+    crash_after_writes: Mutex<Option<u64>>,
     /// Optional observability sink. The functional array has no clock,
     /// so events carry a monotonic sequence number as their timestamp.
-    obs: Option<Rc<RefCell<dyn ObsSink>>>,
-    obs_seq: Cell<u64>,
+    obs: Option<SyncSharedSink>,
+    obs_seq: AtomicU64,
 }
 
 impl fmt::Debug for DeclusteredArray {
@@ -179,35 +206,40 @@ impl DeclusteredArray {
         let rs = ReedSolomon::new(layout.data_per_stripe(), layout.check_per_stripe())?;
         Ok(Self {
             layout,
-            disks,
+            disks: disks.into_iter().map(Mutex::new).collect(),
             rs,
             unit_bytes,
             periods,
             redirects: HashMap::new(),
             failed: BTreeSet::new(),
             spared: BTreeSet::new(),
-            unit_reads: std::cell::Cell::new(0),
-            unit_writes: 0,
-            intents: Vec::new(),
-            crash_after_writes: None,
+            unit_reads: AtomicU64::new(0),
+            unit_writes: AtomicU64::new(0),
+            intents: Mutex::new(Vec::new()),
+            crash_after_writes: Mutex::new(None),
             obs: None,
-            obs_seq: Cell::new(0),
+            obs_seq: AtomicU64::new(0),
         })
     }
 
     /// Attach an observability sink. Lifecycle events (journal commits
     /// and replays, disk failures, rebuild/copy-back progress, scrub
     /// passes) flow to it, timestamped by a per-array sequence number —
-    /// the functional array is untimed.
-    pub fn attach_observer(&mut self, sink: Rc<RefCell<dyn ObsSink>>) {
+    /// the functional array is untimed. The sink is the thread-safe
+    /// flavor ([`SyncSharedSink`]) because client I/O may emit from many
+    /// threads at once.
+    pub fn attach_observer(&mut self, sink: SyncSharedSink) {
         self.obs = Some(sink);
     }
 
     fn emit(&self, event: ObsEvent) {
         if let Some(obs) = &self.obs {
-            let seq = self.obs_seq.get() + 1;
-            self.obs_seq.set(seq);
-            obs.borrow_mut().event(seq, event);
+            // Draw the sequence number while holding the sink lock so
+            // the tracer sees strictly increasing pseudo-timestamps even
+            // under concurrent emitters.
+            let mut sink = lock(obs);
+            let seq = self.obs_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            sink.event(seq, event);
         }
     }
 
@@ -230,7 +262,10 @@ impl DeclusteredArray {
     /// writes)`. Rebuild/scrub internals are included where they go
     /// through the normal read/write paths.
     pub fn io_counts(&self) -> (u64, u64) {
-        (self.unit_reads.get(), self.unit_writes)
+        (
+            self.unit_reads.load(Ordering::Relaxed),
+            self.unit_writes.load(Ordering::Relaxed),
+        )
     }
 
     /// Current operating mode.
@@ -255,32 +290,36 @@ impl DeclusteredArray {
     }
 
     /// Read one stripe unit, following redirects; `None` when the unit
-    /// is on a failed, un-rebuilt disk.
+    /// is on a failed, un-rebuilt disk. The failed-check and the read
+    /// happen under one disk lock, so a concurrent reader never sees a
+    /// half-failed device.
     fn read_phys(&self, addr: PhysAddr) -> Result<Option<Vec<u8>>, ArrayError> {
         let addr = self.resolve(addr);
-        if self.disks[addr.disk].is_failed() {
+        let disk = lock(&self.disks[addr.disk]);
+        if disk.is_failed() {
             return Ok(None);
         }
-        self.unit_reads.set(self.unit_reads.get() + 1);
-        Ok(Some(self.disks[addr.disk].read_unit(addr.offset)?))
+        self.unit_reads.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(disk.read_unit(addr.offset)?))
     }
 
     /// Write one stripe unit, following redirects; silently skipped when
     /// the target is a failed, un-rebuilt disk (its value is implied by
     /// parity, exactly as in degraded-mode RAID).
-    fn write_phys(&mut self, addr: PhysAddr, data: &[u8]) -> Result<(), ArrayError> {
+    fn write_phys(&self, addr: PhysAddr, data: &[u8]) -> Result<(), ArrayError> {
         let addr = self.resolve(addr);
-        if self.disks[addr.disk].is_failed() {
+        let mut disk = lock(&self.disks[addr.disk]);
+        if disk.is_failed() {
             return Ok(());
         }
-        if let Some(left) = self.crash_after_writes.as_mut() {
+        if let Some(left) = lock(&self.crash_after_writes).as_mut() {
             if *left == 0 {
                 return Err(ArrayError::InjectedCrash);
             }
             *left -= 1;
         }
-        self.unit_writes += 1;
-        self.disks[addr.disk].write_unit(addr.offset, data)?;
+        self.unit_writes.fetch_add(1, Ordering::Relaxed);
+        disk.write_unit(addr.offset, data)?;
         Ok(())
     }
 
@@ -338,10 +377,15 @@ impl DeclusteredArray {
     /// Write `data` (a whole number of stripe units) starting at logical
     /// unit `start`, maintaining parity. Works in every mode.
     ///
+    /// Takes `&self`: concurrent writes to *distinct* stripes are safe
+    /// and proceed in parallel. Concurrent writes to the **same** stripe
+    /// race on the parity read-modify-write and must be serialized by
+    /// the caller (see the module docs' threading model).
+    ///
     /// # Errors
     ///
     /// As [`DeclusteredArray::read`].
-    pub fn write(&mut self, start: u64, data: &[u8]) -> Result<(), ArrayError> {
+    pub fn write(&self, start: u64, data: &[u8]) -> Result<(), ArrayError> {
         if data.is_empty() || !data.len().is_multiple_of(self.unit_bytes) {
             return Err(ArrayError::BadAddress);
         }
@@ -364,7 +408,7 @@ impl DeclusteredArray {
             // Log the intent first (write-hole protection), perform the
             // update, then retire the intent. A crash between the two
             // leaves the stripe marked for parity repair at recovery.
-            self.intents.push(stripe);
+            lock(&self.intents).push(stripe);
             // Small updates on healthy stripes use the delta path: read
             // old data + old checks, fold the XOR-delta into each check
             // (read-modify-write, like a real controller). Everything
@@ -374,15 +418,24 @@ impl DeclusteredArray {
             } else {
                 self.rmw_stripe(stripe, &updates)?;
             }
-            self.intents.pop();
+            self.retire_intent(stripe);
             self.emit(ObsEvent::JournalCommit { stripe });
         }
         Ok(())
     }
 
+    /// Retire one journal entry for `stripe` (the newest, though any
+    /// occurrence is equivalent — entries are just stripe numbers).
+    fn retire_intent(&self, stripe: u64) {
+        let mut intents = lock(&self.intents);
+        if let Some(pos) = intents.iter().rposition(|&s| s == stripe) {
+            intents.remove(pos);
+        }
+    }
+
     /// Read-modify-write a whole stripe: fetch current data
     /// (reconstructing if degraded), apply updates, re-encode.
-    fn rmw_stripe(&mut self, stripe: u64, updates: &[(usize, &[u8])]) -> Result<(), ArrayError> {
+    fn rmw_stripe(&self, stripe: u64, updates: &[(usize, &[u8])]) -> Result<(), ArrayError> {
         let mut shards = self.stripe_shards(stripe)?;
         for &(index, chunk) in updates {
             shards[index] = chunk.to_vec();
@@ -400,7 +453,7 @@ impl DeclusteredArray {
 
     /// Delta small write: touch only the updated data units and the
     /// check units (`2(w + c)` I/Os instead of `d + c + w`).
-    fn small_write(&mut self, stripe: u64, updates: &[(usize, &[u8])]) -> Result<(), ArrayError> {
+    fn small_write(&self, stripe: u64, updates: &[(usize, &[u8])]) -> Result<(), ArrayError> {
         let c = self.layout.check_per_stripe();
         let mut checks: Vec<Vec<u8>> = Vec::with_capacity(c);
         for i in 0..c {
@@ -430,13 +483,13 @@ impl DeclusteredArray {
     /// intent stays journaled; call [`DeclusteredArray::recover`] to
     /// repair parity, as a controller would on power-up.
     pub fn arm_crash(&mut self, after_writes: u64) {
-        self.crash_after_writes = Some(after_writes);
+        *lock(&self.crash_after_writes) = Some(after_writes);
     }
 
     /// Stripes whose updates were interrupted (journal entries awaiting
     /// recovery).
-    pub fn outstanding_intents(&self) -> &[u64] {
-        &self.intents
+    pub fn outstanding_intents(&self) -> Vec<u64> {
+        lock(&self.intents).clone()
     }
 
     /// Journal replay after a crash: for every stripe with an
@@ -451,11 +504,11 @@ impl DeclusteredArray {
     /// [`ArrayError::WrongDiskState`] while disks are failed (replay
     /// needs every data unit readable — repair the array first).
     pub fn recover(&mut self) -> Result<u64, ArrayError> {
-        self.crash_after_writes = None;
+        *lock(&self.crash_after_writes) = None;
         if !self.failed.is_empty() {
             return Err(ArrayError::WrongDiskState);
         }
-        let mut stripes = std::mem::take(&mut self.intents);
+        let mut stripes = std::mem::take(&mut *lock(&self.intents));
         stripes.sort_unstable();
         stripes.dedup();
         let repaired = stripes.len() as u64;
@@ -488,7 +541,7 @@ impl DeclusteredArray {
         if disk >= self.disks.len() || self.failed.contains(&disk) {
             return Err(ArrayError::WrongDiskState);
         }
-        self.disks[disk].fail();
+        lock(&self.disks[disk]).fail();
         self.failed.insert(disk);
         // Any redirects pointing INTO the newly failed disk are void —
         // those units are lost again and revert to on-the-fly repair.
@@ -539,7 +592,7 @@ impl DeclusteredArray {
             if self
                 .redirects
                 .get(&lost.addr)
-                .is_some_and(|t| !self.disks[t.disk].is_failed())
+                .is_some_and(|t| !lock(&self.disks[t.disk]).is_failed())
             {
                 continue; // already safely in spare space
             }
@@ -547,7 +600,7 @@ impl DeclusteredArray {
                 .layout
                 .spare_unit(stripe, disk)
                 .expect("sparing layout provides spare cells for affected stripes");
-            if self.disks[spare.disk].is_failed() {
+            if lock(&self.disks[spare.disk]).is_failed() {
                 return Err(ArrayError::SpareUnavailable);
             }
             let shards = self.stripe_shards(stripe)?;
@@ -556,7 +609,7 @@ impl DeclusteredArray {
                 Role::Check => &shards[self.layout.data_per_stripe() + lost.index],
                 Role::Spare => unreachable!("stripe units are never spares"),
             };
-            self.disks[spare.disk].write_unit(spare.offset, content)?;
+            lock(&self.disks[spare.disk]).write_unit(spare.offset, content)?;
             self.redirects.insert(lost.addr, spare);
             rebuilt += 1;
             self.emit(ObsEvent::RebuildProgress {
@@ -585,7 +638,7 @@ impl DeclusteredArray {
         if !self.failed.contains(&disk) {
             return Err(ArrayError::WrongDiskState);
         }
-        self.disks[disk].replace();
+        lock(&self.disks[disk]).replace();
         let mut restored = 0u64;
         for stripe in 0..self.periods * self.layout.stripes_per_period() {
             let units = self.layout.stripe_units(stripe);
@@ -594,7 +647,7 @@ impl DeclusteredArray {
             };
             let content = if let Some(&spare) = self.redirects.get(&lost.addr) {
                 // Copy-back from spare space.
-                self.disks[spare.disk].read_unit(spare.offset)?
+                lock(&self.disks[spare.disk]).read_unit(spare.offset)?
             } else {
                 let shards = self.stripe_shards_excluding(stripe, disk)?;
                 match lost.role {
@@ -603,7 +656,7 @@ impl DeclusteredArray {
                     Role::Spare => unreachable!("stripe units are never spares"),
                 }
             };
-            self.disks[disk].write_unit(lost.addr.offset, &content)?;
+            lock(&self.disks[disk]).write_unit(lost.addr.offset, &content)?;
             self.redirects.remove(&lost.addr);
             restored += 1;
             self.emit(ObsEvent::RebuildProgress {
@@ -708,7 +761,7 @@ mod tests {
 
     #[test]
     fn write_read_roundtrip() {
-        let mut a = small_array();
+        let a = small_array();
         let buf = pattern(16 * 10, 1);
         a.write(5, &buf).unwrap();
         assert_eq!(a.read(5, 10).unwrap(), buf);
@@ -719,14 +772,14 @@ mod tests {
 
     #[test]
     fn scrub_is_clean_after_writes() {
-        let mut a = small_array();
+        let a = small_array();
         a.write(0, &pattern(16 * 20, 2)).unwrap();
         assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
     }
 
     #[test]
     fn degraded_reads_reconstruct() {
-        let mut a = small_array();
+        let a = small_array();
         let buf = pattern(16 * 24, 3);
         a.write(0, &buf).unwrap();
         for victim in 0..7 {
@@ -803,26 +856,26 @@ mod tests {
     }
 
     #[test]
-    fn sequential_failures_with_spare_recovery() {
+    fn sequential_failures_with_spare_recovery() -> Result<(), ArrayError> {
         // Fail disk A, rebuild to spare, then fail disk B: the array is
         // again degraded but still serves everything (A's data lives in
         // spare space; B reconstructs on the fly).
         let mut a = small_array();
         let buf = pattern(16 * 24, 9);
-        a.write(0, &buf).unwrap();
-        a.fail_disk(6).unwrap();
-        a.rebuild_to_spare(6).unwrap();
-        a.fail_disk(4).unwrap();
+        a.write(0, &buf)?;
+        a.fail_disk(6)?;
+        a.rebuild_to_spare(6)?;
+        a.fail_disk(4)?;
         assert_eq!(a.mode(), ArrayMode::Degraded);
-        let read = a.read(0, 24);
         // Stripes whose spare cell for disk 6 lived on disk 4 lose two
-        // units — recoverable only if no such stripe is touched; either
-        // outcome must be a clean result, not a panic.
-        match read {
+        // units — recoverable only if no such stripe is touched; any
+        // other error propagates as a test failure instead of panicking.
+        match a.read(0, 24) {
             Ok(data) => assert_eq!(data, buf),
             Err(ArrayError::Unrecoverable { .. }) => {}
-            Err(other) => panic!("unexpected error {other}"),
+            Err(other) => return Err(other),
         }
+        Ok(())
     }
 
     #[test]
@@ -842,7 +895,8 @@ mod tests {
     #[test]
     fn lifecycle_events_reach_the_observer() {
         use pddl_obs::{ObsConfig, Observer};
-        let obs = Rc::new(RefCell::new(Observer::new(ObsConfig::default())));
+        use std::sync::{Arc, Mutex};
+        let obs = Arc::new(Mutex::new(Observer::new(ObsConfig::default())));
         let mut a = small_array();
         a.attach_observer(obs.clone());
         a.write(0, &pattern(16 * 8, 1)).unwrap();
@@ -850,7 +904,7 @@ mod tests {
         let rebuilt = a.rebuild_to_spare(2).unwrap();
         a.replace_and_rebuild(2).unwrap();
         a.scrub().unwrap();
-        let o = obs.borrow();
+        let o = obs.lock().unwrap();
         let r = o.registry();
         // One journal commit per touched stripe on the write path.
         assert!(r.counter("journal.commits").unwrap() > 0);
@@ -872,7 +926,8 @@ mod tests {
     #[test]
     fn journal_replay_is_observable() {
         use pddl_obs::{ObsConfig, Observer};
-        let obs = Rc::new(RefCell::new(Observer::new(ObsConfig::default())));
+        use std::sync::{Arc, Mutex};
+        let obs = Arc::new(Mutex::new(Observer::new(ObsConfig::default())));
         let mut a = small_array();
         a.write(0, &pattern(16 * 8, 2)).unwrap();
         a.attach_observer(obs.clone());
@@ -881,7 +936,10 @@ mod tests {
         let replayed = a.recover().unwrap();
         assert_eq!(replayed, 1);
         assert_eq!(
-            obs.borrow().registry().counter("journal.replayed_stripes"),
+            obs.lock()
+                .unwrap()
+                .registry()
+                .counter("journal.replayed_stripes"),
             Some(1)
         );
     }
@@ -911,8 +969,7 @@ mod small_write_tests {
     fn small_writes_use_fewer_ios_and_stay_consistent() {
         // RAID-5 with a 12-data-unit stripe: a single-unit update should
         // cost 2 reads + 2 writes, not 12 reads + 2 writes.
-        let mut a =
-            DeclusteredArray::new(Box::new(pddl_core::Raid5::new(13).unwrap()), 16, 2).unwrap();
+        let a = DeclusteredArray::new(Box::new(pddl_core::Raid5::new(13).unwrap()), 16, 2).unwrap();
         a.write(0, &pattern(16 * 24, 1)).unwrap();
         let (r0, w0) = a.io_counts();
         a.write(5, &pattern(16, 2)).unwrap();
@@ -929,11 +986,11 @@ mod small_write_tests {
         // healthy array vs the same update forced through RMW by a
         // concurrent failure) and compare the readback + parity.
         let make = || {
-            let mut a = DeclusteredArray::new(Box::new(Pddl::new(13, 4).unwrap()), 16, 1).unwrap();
+            let a = DeclusteredArray::new(Box::new(Pddl::new(13, 4).unwrap()), 16, 1).unwrap();
             a.write(0, &pattern(16 * 30, 3)).unwrap();
             a
         };
-        let mut healthy = make();
+        let healthy = make();
         healthy.write(7, &pattern(16, 4)).unwrap(); // delta path
         let mut degraded = make();
         degraded.fail_disk(12).unwrap();
@@ -1033,7 +1090,7 @@ mod write_hole_tests {
     }
 
     fn fresh() -> DeclusteredArray {
-        let mut a = DeclusteredArray::new(Box::new(Pddl::new(7, 3).unwrap()), 8, 2).unwrap();
+        let a = DeclusteredArray::new(Box::new(Pddl::new(7, 3).unwrap()), 8, 2).unwrap();
         a.write(0, &pattern(8 * 20, 1)).unwrap();
         a
     }

@@ -1,7 +1,9 @@
 //! The `pddl` CLI subcommands.
 
 use std::cell::RefCell;
+use std::net::ToSocketAddrs;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use pddl_array::DeclusteredArray;
 use pddl_core::analysis::{check_goals, mean_working_set, reconstruction_reads};
@@ -9,7 +11,10 @@ use pddl_core::layout::Layout;
 use pddl_core::pddl::search::{find_base_permutations_with_spares, SearchBudget};
 use pddl_core::plan::{Mode, Op};
 use pddl_core::{Datum, ParityDeclustering, Pddl, PrimeLayout, PseudoRandom, Raid5, Role};
-use pddl_obs::{MetricsSnapshot, ObsConfig, ObsSink, Observer};
+use pddl_obs::{MetricsSnapshot, ObsConfig, ObsSink, Observer, SyncAdapter, SyncSharedSink};
+use pddl_server::engine::Engine;
+use pddl_server::server::{serve, ServerConfig};
+use pddl_server::BenchConfig;
 use pddl_sim::trace::{format_trace, parse_trace, synthesize_poisson};
 use pddl_sim::{ArraySim, SimConfig};
 
@@ -40,8 +45,17 @@ USAGE:
   pddl report    METRICS.tsv
                    summarize a metrics file: latency percentiles and
                    per-disk utilization skew
+  pddl serve     --disks N --width K [--unit B] [--periods P]
+                 [--addr HOST:PORT] [--workers W] [--queue-depth Q]
+                 [--shards S] [--duration-ms T]
+                   export the functional array as a TCP block service
+  pddl remote-bench --addr HOST:PORT | --self-serve [--threads T]
+                 [--ops N] [--read-frac F] [--max-units U] [--seed S]
+                 [--metrics FILE]
+                   closed-loop load generator: throughput and latency
+                   percentiles against a served volume
 
-OBSERVABILITY (simulate, rebuild, replay, drill):
+OBSERVABILITY (simulate, rebuild, replay, drill, serve):
   --trace FILE     write a Chrome trace-event JSON (open in Perfetto)
   --metrics FILE   write a metrics TSV (input for `pddl report`)
   --sample-us N    per-disk sampling interval in µs (default 1000; 0 off)
@@ -50,8 +64,13 @@ LAYOUTS: pddl (default), raid5, parity-decl, datum, prime, pseudo-random
 ";
 
 /// Observability outputs requested on the command line.
+///
+/// The observer lives behind `Arc<Mutex<_>>` so one instance can feed
+/// both single-threaded hosts (the simulator, via a [`SyncAdapter`]
+/// bridge) and thread-crossing hosts (the functional array, the server
+/// engine) in the same process.
 struct ObsOutput {
-    observer: Rc<RefCell<Observer>>,
+    observer: Arc<Mutex<Observer>>,
     trace_path: Option<String>,
     metrics_path: Option<String>,
 }
@@ -70,25 +89,37 @@ fn obs_from_cli(cli: &Cli) -> Result<Option<ObsOutput>, String> {
         ..ObsConfig::default()
     };
     Ok(Some(ObsOutput {
-        observer: Rc::new(RefCell::new(Observer::new(cfg))),
+        observer: Arc::new(Mutex::new(Observer::new(cfg))),
         trace_path,
         metrics_path,
     }))
 }
 
 impl ObsOutput {
-    /// The observer as the trait object instrumented components hold.
+    /// The observer as the single-threaded trait object the simulator
+    /// holds, bridged through [`SyncAdapter`].
     fn sink(&self) -> Rc<RefCell<dyn ObsSink>> {
+        Rc::new(RefCell::new(SyncAdapter(self.sync_sink())))
+    }
+
+    /// The observer as the thread-safe handle the array and server hold.
+    fn sync_sink(&self) -> SyncSharedSink {
         self.observer.clone()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, Observer> {
+        self.observer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn set_info(&self, key: &str, value: &str) {
-        self.observer.borrow_mut().set_info(key, value);
+        self.lock().set_info(key, value);
     }
 
     /// Write the requested files and tell the user where they went.
     fn write_outputs(&self) -> Result<(), String> {
-        let obs = self.observer.borrow();
+        let obs = self.lock();
         if let Some(path) = &self.trace_path {
             std::fs::write(path, obs.chrome_trace_json()).map_err(|e| format!("{path}: {e}"))?;
             println!("  trace         : {path} (load in Perfetto / chrome://tracing)");
@@ -375,7 +406,7 @@ pub fn drill(cli: &Cli) -> Result<(), String> {
     if let Some(o) = &obs {
         o.set_info("driver", "drill");
         o.set_info("failed_disk", &fail.to_string());
-        array.attach_observer(o.sink());
+        array.attach_observer(o.sync_sink());
     }
     let cap = array.capacity_units();
     let payload: Vec<u8> = (0..cap as usize * 512).map(|i| (i % 251) as u8).collect();
@@ -554,6 +585,126 @@ pub fn report(cli: &Cli) -> Result<(), String> {
         if let Some(v) = snap.counters.get(key) {
             println!("{key:<22} {v}");
         }
+    }
+    Ok(())
+}
+
+/// Build the served array + engine shared by `serve` and
+/// `remote-bench --self-serve`.
+fn build_engine(cli: &Cli, obs: Option<&ObsOutput>) -> Result<Engine, String> {
+    let n: usize = cli.num("disks", 13)?;
+    let k: usize = cli.num("width", 4)?;
+    let unit: usize = cli.num("unit", 512)?;
+    let periods: u64 = cli.num("periods", 4)?;
+    let shards: usize = cli.num("shards", pddl_server::engine::DEFAULT_SHARDS)?;
+    let layout = Pddl::new(n, k).map_err(|e| e.to_string())?;
+    let array =
+        DeclusteredArray::new(Box::new(layout), unit, periods).map_err(|e| e.to_string())?;
+    let mut engine = Engine::with_shards(array, shards);
+    if let Some(o) = obs {
+        engine.attach_observer(o.sync_sink());
+    }
+    Ok(engine)
+}
+
+fn server_config(cli: &Cli) -> Result<ServerConfig, String> {
+    Ok(ServerConfig {
+        workers: cli.num("workers", 4)?,
+        queue_depth: cli.num("queue-depth", 64)?,
+        ..ServerConfig::default()
+    })
+}
+
+/// `pddl serve` — export the functional array as a TCP block service.
+pub fn serve_cmd(cli: &Cli) -> Result<(), String> {
+    let addr = cli.get("addr").unwrap_or("127.0.0.1:7490");
+    let duration_ms: u64 = cli.num("duration-ms", 0)?;
+    let obs = obs_from_cli(cli)?;
+    if let Some(o) = &obs {
+        o.set_info("driver", "serve");
+    }
+    let engine = build_engine(cli, obs.as_ref())?;
+    let info = engine.volume_info();
+    let handle = serve(Arc::new(engine), addr, server_config(cli)?).map_err(|e| e.to_string())?;
+    println!(
+        "serving on {}: {} disks, {} units × {} B ({} KiB client capacity), {} stripe shards",
+        handle.local_addr(),
+        info.disks,
+        info.capacity_units,
+        info.unit_bytes,
+        info.capacity_units * info.unit_bytes as u64 / 1024,
+        handle.engine().shards(),
+    );
+    if duration_ms == 0 {
+        // Run until killed; the handle's threads do all the work.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+    let served = handle.requests_served();
+    handle.shutdown();
+    println!("served {served} requests");
+    if let Some(o) = &obs {
+        o.write_outputs()?;
+    }
+    Ok(())
+}
+
+/// `pddl remote-bench` — closed-loop load generator against a served
+/// volume; reports throughput and latency percentiles from the obs
+/// log-histogram.
+pub fn remote_bench(cli: &Cli) -> Result<(), String> {
+    let cfg = BenchConfig {
+        threads: cli.num("threads", 4)?,
+        ops_per_thread: cli.num("ops", 500)?,
+        read_fraction: cli.num("read-frac", 0.7)?,
+        max_units: cli.num("max-units", 4)?,
+        seed: cli.num("seed", 42)?,
+    };
+    if !(0.0..=1.0).contains(&cfg.read_fraction) {
+        return Err("--read-frac must be in [0, 1]".into());
+    }
+    // --self-serve spins up an in-process loopback server so the whole
+    // pipeline can be exercised with a single command.
+    let local = if cli.has("self-serve") {
+        let engine = build_engine(cli, None)?;
+        Some(
+            serve(Arc::new(engine), "127.0.0.1:0", server_config(cli)?)
+                .map_err(|e| e.to_string())?,
+        )
+    } else {
+        None
+    };
+    let addr = match &local {
+        Some(handle) => handle.local_addr(),
+        None => cli
+            .get("addr")
+            .ok_or("--addr is required (or use --self-serve)")?
+            .to_socket_addrs()
+            .map_err(|e| e.to_string())?
+            .next()
+            .ok_or("--addr resolved to no address")?,
+    };
+    let result = pddl_server::run_bench(addr, &cfg);
+    if let Some(handle) = local {
+        handle.shutdown();
+    }
+    let mut report = result.map_err(|e| e.to_string())?;
+    println!(
+        "remote-bench {}: {} threads × {} ops, {:.0}% reads, ≤{} units/op",
+        addr,
+        cfg.threads,
+        cfg.ops_per_thread,
+        cfg.read_fraction * 100.0,
+        cfg.max_units
+    );
+    print!("{}", report.render());
+    if let Some(path) = cli.get("metrics") {
+        report.registry.set_info("driver", "remote-bench");
+        report.registry.set_info("addr", &addr.to_string());
+        std::fs::write(path, report.registry.to_tsv()).map_err(|e| format!("{path}: {e}"))?;
+        println!("  metrics       : {path} (summarize with `pddl report {path}`)");
     }
     Ok(())
 }

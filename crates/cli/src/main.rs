@@ -7,6 +7,8 @@
 //! pddl simulate  --disks 13 --width 4 --clients 8 --size 6 [--op write] [--mode f1]
 //! pddl rebuild   --disks 13 --width 4 --clients 8 [--jobs 16]
 //! pddl drill     --disks 13 --width 4 [--fail 5]
+//! pddl serve     --disks 13 --width 4 --addr 127.0.0.1:7490
+//! pddl remote-bench --addr 127.0.0.1:7490 --threads 4 --ops 500
 //! ```
 
 mod args;
@@ -26,6 +28,8 @@ fn main() {
         Some("trace-gen") => commands::trace_gen(&cli),
         Some("replay") => commands::replay(&cli),
         Some("report") => commands::report(&cli),
+        Some("serve") => commands::serve_cmd(&cli),
+        Some("remote-bench") => commands::remote_bench(&cli),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -28,6 +28,8 @@ fn help_lists_every_subcommand() {
         "trace-gen",
         "replay",
         "report",
+        "serve",
+        "remote-bench",
     ] {
         assert!(stdout.contains(cmd), "usage missing {cmd}");
     }
@@ -179,6 +181,62 @@ fn observability_does_not_change_results() {
         .collect();
     assert_eq!(plain.lines().collect::<Vec<_>>(), observed_head);
     std::fs::remove_file(&metrics).unwrap();
+}
+
+#[test]
+fn serve_runs_for_a_bounded_duration() {
+    let (ok, stdout, stderr) = pddl(&[
+        "serve",
+        "--disks",
+        "7",
+        "--width",
+        "3",
+        "--unit",
+        "64",
+        "--addr",
+        "127.0.0.1:0",
+        "--duration-ms",
+        "200",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("serving on 127.0.0.1:"), "{stdout}");
+    assert!(stdout.contains("served 0 requests"), "{stdout}");
+}
+
+#[test]
+fn remote_bench_self_serve_reports_throughput_and_quantiles() {
+    let dir = std::env::temp_dir();
+    let metrics = dir.join(format!("pddl-cli-bench-{}.tsv", std::process::id()));
+    let (ok, stdout, stderr) = pddl(&[
+        "remote-bench",
+        "--self-serve",
+        "--disks",
+        "7",
+        "--width",
+        "3",
+        "--unit",
+        "64",
+        "--threads",
+        "4",
+        "--ops",
+        "40",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("4 threads × 40 ops"), "{stdout}");
+    assert!(stdout.contains("errors     0"), "{stdout}");
+    assert!(stdout.contains("ops/s"), "{stdout}");
+    assert!(stdout.contains("p95") && stdout.contains("p99"), "{stdout}");
+    // The metrics TSV round-trips through `pddl report`.
+    let (ok, report, stderr) = pddl(&["report", metrics.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(report.contains("latency.client_ns"), "{report}");
+    assert!(report.contains("driver=remote-bench"), "{report}");
+    std::fs::remove_file(&metrics).unwrap();
+    // Without --self-serve an address is mandatory.
+    let (ok, _, stderr) = pddl(&["remote-bench"]);
+    assert!(!ok && stderr.contains("--addr"), "{stderr}");
 }
 
 #[test]

@@ -52,9 +52,13 @@ pub use event::{Actor, Event, Nanos, OpClass};
 pub use hist::LogHistogram;
 pub use json::{escape_json, validate_json};
 pub use observer::{ObsConfig, Observer};
-pub use registry::{HistSummary, Metric, MetricsRegistry, MetricsSnapshot};
-pub use sink::{NullSink, ObsSink};
+pub use registry::{
+    HistSummary, Metric, MetricKind, MetricKindError, MetricsRegistry, MetricsSnapshot,
+};
+pub use sink::{NullSink, ObsSink, SyncAdapter, SyncSharedSink};
 pub use tracer::{DiskSample, EventTracer};
 
-/// Convenience alias for the handle instrumented components hold.
+/// Convenience alias for the handle single-threaded instrumented
+/// components hold; thread-crossing components hold a
+/// [`SyncSharedSink`] instead.
 pub type SharedSink = std::rc::Rc<std::cell::RefCell<dyn ObsSink>>;

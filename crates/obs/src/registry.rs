@@ -3,6 +3,7 @@
 //! [`MetricsSnapshot`] (what `pddl report` consumes).
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 
 use crate::hist::LogHistogram;
@@ -21,6 +22,68 @@ pub enum Metric {
     Histogram(Box<LogHistogram>),
 }
 
+impl Metric {
+    /// The kind discriminant of this metric.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// The kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic event count.
+    Counter,
+    /// Last-write-wins scalar.
+    Gauge,
+    /// Log-bucketed distribution.
+    Histogram,
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricKind::Counter => write!(f, "counter"),
+            MetricKind::Gauge => write!(f, "gauge"),
+            MetricKind::Histogram => write!(f, "histogram"),
+        }
+    }
+}
+
+/// A metric was updated through the wrong-kind accessor (e.g. `add` on
+/// a name already registered as a histogram).
+///
+/// The infallible update methods ([`MetricsRegistry::add`],
+/// [`MetricsRegistry::record`], [`MetricsRegistry::set_gauge`]) *degrade*
+/// on this condition — the update is dropped and counted — so a
+/// long-running server with one misregistered metric keeps serving
+/// instead of aborting. Use the `try_*` variants to observe the error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricKindError {
+    /// The metric name in conflict.
+    pub name: String,
+    /// The kind the caller's accessor implies.
+    pub expected: MetricKind,
+    /// The kind the name is actually registered as.
+    pub found: MetricKind,
+}
+
+impl fmt::Display for MetricKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "metric {:?} is a {}, not a {}",
+            self.name, self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for MetricKindError {}
+
 /// Named metrics plus free-form `info` annotations (run parameters such
 /// as layout, mode, client count) carried into the TSV export.
 ///
@@ -29,6 +92,9 @@ pub enum Metric {
 pub struct MetricsRegistry {
     metrics: BTreeMap<String, Metric>,
     info: BTreeMap<String, String>,
+    /// Updates dropped because the name was registered as another kind.
+    kind_errors: u64,
+    last_kind_error: Option<MetricKindError>,
 }
 
 impl MetricsRegistry {
@@ -38,32 +104,115 @@ impl MetricsRegistry {
     }
 
     /// Add `delta` to a counter, creating it at zero first.
-    pub fn add(&mut self, name: &str, delta: u64) {
+    ///
+    /// # Errors
+    ///
+    /// [`MetricKindError`] when `name` exists as a non-counter; the
+    /// update is dropped.
+    pub fn try_add(&mut self, name: &str, delta: u64) -> Result<(), MetricKindError> {
         match self
             .metrics
             .entry(name.to_string())
             .or_insert(Metric::Counter(0))
         {
-            Metric::Counter(c) => *c += delta,
-            other => panic!("metric {name} is not a counter: {other:?}"),
+            Metric::Counter(c) => {
+                *c += delta;
+                Ok(())
+            }
+            other => Err(MetricKindError {
+                name: name.to_string(),
+                expected: MetricKind::Counter,
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Add `delta` to a counter, creating it at zero first. On a kind
+    /// mismatch the update is dropped and counted (see
+    /// [`MetricsRegistry::kind_errors`]) rather than panicking.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Err(e) = self.try_add(name, delta) {
+            self.note_kind_error(e);
         }
     }
 
     /// Set a gauge.
+    ///
+    /// # Errors
+    ///
+    /// [`MetricKindError`] when `name` exists as a non-gauge; the update
+    /// is dropped.
+    pub fn try_set_gauge(&mut self, name: &str, value: f64) -> Result<(), MetricKindError> {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(0.0))
+        {
+            Metric::Gauge(g) => {
+                *g = value;
+                Ok(())
+            }
+            other => Err(MetricKindError {
+                name: name.to_string(),
+                expected: MetricKind::Gauge,
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Set a gauge; kind mismatches degrade as in
+    /// [`MetricsRegistry::add`].
     pub fn set_gauge(&mut self, name: &str, value: f64) {
-        self.metrics.insert(name.to_string(), Metric::Gauge(value));
+        if let Err(e) = self.try_set_gauge(name, value) {
+            self.note_kind_error(e);
+        }
     }
 
     /// Record a sample into a histogram, creating it first if needed.
-    pub fn record(&mut self, name: &str, value: u64) {
+    ///
+    /// # Errors
+    ///
+    /// [`MetricKindError`] when `name` exists as a non-histogram; the
+    /// sample is dropped.
+    pub fn try_record(&mut self, name: &str, value: u64) -> Result<(), MetricKindError> {
         match self
             .metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Box::default()))
         {
-            Metric::Histogram(h) => h.record(value),
-            other => panic!("metric {name} is not a histogram: {other:?}"),
+            Metric::Histogram(h) => {
+                h.record(value);
+                Ok(())
+            }
+            other => Err(MetricKindError {
+                name: name.to_string(),
+                expected: MetricKind::Histogram,
+                found: other.kind(),
+            }),
         }
+    }
+
+    /// Record a histogram sample; kind mismatches degrade as in
+    /// [`MetricsRegistry::add`].
+    pub fn record(&mut self, name: &str, value: u64) {
+        if let Err(e) = self.try_record(name, value) {
+            self.note_kind_error(e);
+        }
+    }
+
+    fn note_kind_error(&mut self, e: MetricKindError) {
+        self.kind_errors += 1;
+        self.last_kind_error = Some(e);
+    }
+
+    /// Updates dropped so far because of metric-kind mismatches.
+    pub fn kind_errors(&self) -> u64 {
+        self.kind_errors
+    }
+
+    /// The most recent kind mismatch, if any.
+    pub fn last_kind_error(&self) -> Option<&MetricKindError> {
+        self.last_kind_error.as_ref()
     }
 
     /// Attach a free-form run annotation (layout name, mode, …).
@@ -107,6 +256,9 @@ impl MetricsRegistry {
         let mut out = String::from("# pddl metrics v1\nkind\tname\tfield\tvalue\n");
         for (k, v) in &self.info {
             let _ = writeln!(out, "info\t{k}\tvalue\t{v}");
+        }
+        if self.kind_errors > 0 {
+            let _ = writeln!(out, "counter\tobs.kind_errors\tvalue\t{}", self.kind_errors);
         }
         for (name, metric) in &self.metrics {
             match metric {
@@ -278,10 +430,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a counter")]
-    fn kind_confusion_panics() {
+    fn kind_confusion_degrades_instead_of_panicking() {
         let mut r = MetricsRegistry::new();
-        r.record("x", 1);
+        r.record("x", 7);
+        // Wrong-kind updates are dropped and counted, not fatal.
         r.add("x", 1);
+        r.set_gauge("x", 2.0);
+        assert_eq!(r.kind_errors(), 2);
+        let e = r.last_kind_error().expect("recorded");
+        assert_eq!(e.name, "x");
+        assert_eq!(e.expected, MetricKind::Gauge);
+        assert_eq!(e.found, MetricKind::Histogram);
+        assert!(e.to_string().contains("histogram"));
+        // The original histogram is untouched…
+        assert_eq!(r.histogram("x").unwrap().count(), 1);
+        // …and the degradation is visible in the export.
+        let snap = MetricsSnapshot::parse(&r.to_tsv()).unwrap();
+        assert_eq!(snap.counters["obs.kind_errors"], 2);
+    }
+
+    #[test]
+    fn try_variants_report_the_typed_error() {
+        let mut r = MetricsRegistry::new();
+        r.add("ops", 1);
+        let err = r.try_record("ops", 9).unwrap_err();
+        assert_eq!(
+            err,
+            MetricKindError {
+                name: "ops".into(),
+                expected: MetricKind::Histogram,
+                found: MetricKind::Counter,
+            }
+        );
+        assert!(r.try_add("ops", 1).is_ok());
+        let err = r.try_set_gauge("ops", 1.0).unwrap_err();
+        assert_eq!(err.found, MetricKind::Counter);
+        // try_* does not bump the degrade counter — the caller handled it.
+        assert_eq!(r.kind_errors(), 0);
     }
 }

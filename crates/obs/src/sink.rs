@@ -36,6 +36,45 @@ pub struct NullSink;
 
 impl ObsSink for NullSink {}
 
+/// Thread-safe sink handle for instrumented components whose hot path
+/// crosses threads (the functional array under `pddl-server`). The
+/// single-threaded simulator keeps using
+/// [`SharedSink`](crate::SharedSink).
+pub type SyncSharedSink = std::sync::Arc<std::sync::Mutex<dyn ObsSink + Send>>;
+
+/// Bridges a [`SyncSharedSink`] into the single-threaded
+/// `Rc<RefCell<dyn ObsSink>>` world, so one `Arc<Mutex<Observer>>` can
+/// feed both a simulator and a concurrent array in the same process.
+///
+/// A poisoned lock (a panic on another thread mid-event) silently drops
+/// the event: observability must never take the host down with it.
+#[derive(Clone)]
+pub struct SyncAdapter(pub SyncSharedSink);
+
+impl std::fmt::Debug for SyncAdapter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncAdapter").finish_non_exhaustive()
+    }
+}
+
+impl ObsSink for SyncAdapter {
+    fn event(&mut self, now: Nanos, event: Event) {
+        if let Ok(mut sink) = self.0.lock() {
+            sink.event(now, event);
+        }
+    }
+
+    fn sample_interval_ns(&self) -> Option<Nanos> {
+        self.0.lock().ok().and_then(|s| s.sample_interval_ns())
+    }
+
+    fn sample_disk(&mut self, now: Nanos, disk: u32, queue_depth: u32, busy_ns: Nanos) {
+        if let Ok(mut sink) = self.0.lock() {
+            sink.sample_disk(now, disk, queue_depth, busy_ns);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,194 @@
+//! A closed-loop load generator for a served volume — drives the
+//! `pddl remote-bench` CLI subcommand and doubles as a stress harness
+//! in tests.
+//!
+//! Each worker thread runs its own [`Client`] connection and an
+//! independent xoshiro256++ stream, issues a read/write mix over random
+//! offsets, and records per-op latency into a [`LogHistogram`]. Thread
+//! histograms merge into one [`MetricsRegistry`] at the end, so the
+//! report's quantiles come from the same powers-of-√2 buckets the rest
+//! of the observability stack uses.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use pddl_core::rng::Xoshiro256pp;
+use pddl_obs::{LogHistogram, MetricsRegistry};
+
+use crate::client::{Client, ClientError};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Concurrent connections (each on its own thread).
+    pub threads: usize,
+    /// Operations issued per thread.
+    pub ops_per_thread: u64,
+    /// Fraction of ops that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Maximum stripe units per op (uniform in `1..=max`).
+    pub max_units: u32,
+    /// RNG seed; thread `t` uses `seed + t`.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            ops_per_thread: 500,
+            read_fraction: 0.7,
+            max_units: 4,
+            seed: 0x9e37_79b9,
+        }
+    }
+}
+
+/// Aggregated results of one bench run.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Ops completed OK.
+    pub ops: u64,
+    /// Ops that returned an error (excluded from latency stats).
+    pub errors: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed_ns: u64,
+    /// Registry holding the merged `latency.client_ns` histogram plus
+    /// `bench.ops` / `bench.errors` counters — ready for TSV export.
+    pub registry: MetricsRegistry,
+}
+
+impl BenchReport {
+    /// Completed ops per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.ops as f64 * 1e9 / self.elapsed_ns as f64
+    }
+
+    /// A latency quantile in nanoseconds (0 with no samples).
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        self.registry
+            .histogram("latency.client_ns")
+            .map_or(0, |h| h.quantile(q))
+    }
+
+    /// Human-readable summary, one stat per line.
+    pub fn render(&self) -> String {
+        let h = self.registry.histogram("latency.client_ns");
+        let (mean, p50, p95, p99) = h.map_or((0.0, 0, 0, 0), |h| {
+            (
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            )
+        });
+        format!(
+            "ops        {}\nerrors     {}\nelapsed    {:.3} s\nthroughput {:.1} ops/s\nlatency    mean {:.1} us  p50 {:.1} us  p95 {:.1} us  p99 {:.1} us\n",
+            self.ops,
+            self.errors,
+            self.elapsed_ns as f64 / 1e9,
+            self.ops_per_sec(),
+            mean / 1e3,
+            p50 as f64 / 1e3,
+            p95 as f64 / 1e3,
+            p99 as f64 / 1e3,
+        )
+    }
+}
+
+struct ThreadOutcome {
+    ok: u64,
+    errors: u64,
+    hist: LogHistogram,
+}
+
+fn bench_thread(
+    addr: SocketAddr,
+    cfg: &BenchConfig,
+    thread_index: u64,
+) -> Result<ThreadOutcome, ClientError> {
+    let mut client = Client::connect(addr)?;
+    let info = client.info()?;
+    let cap = info.capacity_units.max(1);
+    let unit = info.unit_bytes as usize;
+    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed.wrapping_add(thread_index));
+    let mut hist = LogHistogram::new();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+
+    for _ in 0..cfg.ops_per_thread {
+        let units = 1 + (rng.below_u64(cfg.max_units.max(1) as u64)) as u32;
+        let span = units as u64;
+        let offset = if cap > span {
+            rng.below_u64(cap - span + 1)
+        } else {
+            0
+        };
+        let is_read = rng.next_f64() < cfg.read_fraction;
+        let t = Instant::now();
+        let result = if is_read {
+            client.read_units(offset, units).map(|_| ())
+        } else {
+            let fill = (rng.next_u64() & 0xff) as u8;
+            client.write_units(offset, &vec![fill; units as usize * unit])
+        };
+        let latency = t.elapsed().as_nanos() as u64;
+        match result {
+            Ok(()) => {
+                ok += 1;
+                hist.record(latency);
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    Ok(ThreadOutcome { ok, errors, hist })
+}
+
+/// Run the closed-loop benchmark against a serving address.
+///
+/// # Errors
+///
+/// Fails if any worker cannot connect or complete its INFO handshake;
+/// per-op server errors are *counted*, not fatal.
+pub fn run(addr: SocketAddr, cfg: &BenchConfig) -> Result<BenchReport, ClientError> {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..cfg.threads.max(1) as u64)
+        .map(|t| {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || bench_thread(addr, &cfg, t))
+        })
+        .collect();
+
+    let mut merged = LogHistogram::new();
+    let mut ops = 0u64;
+    let mut errors = 0u64;
+    for h in handles {
+        let outcome = h
+            .join()
+            .map_err(|_| ClientError::Protocol("bench thread panicked".into()))??;
+        ops += outcome.ok;
+        errors += outcome.errors;
+        merged.merge(&outcome.hist);
+    }
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+
+    let mut registry = MetricsRegistry::new();
+    registry.add("bench.ops", ops);
+    registry.add("bench.errors", errors);
+    for (lo, _hi, count) in merged.nonzero_buckets() {
+        // Re-record bucket floors: same buckets, so quantiles of the
+        // registry's histogram equal quantiles of the merged one.
+        for _ in 0..count {
+            registry.record("latency.client_ns", lo);
+        }
+    }
+    Ok(BenchReport {
+        ops,
+        errors,
+        elapsed_ns,
+        registry,
+    })
+}

@@ -1,0 +1,211 @@
+//! A blocking client for the `pddl-server` wire protocol — one request
+//! in flight per connection, used by the loopback tests, the load
+//! generator, and the `pddl remote-bench` CLI.
+
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{self, Op, Request, Status, VolumeInfo, WireError};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server answered with a non-OK status.
+    Server(Status),
+    /// The server's reply violated the protocol (wrong id, bad payload).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server(s) => write!(f, "server error: {s}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// A synchronous connection to a `pddl-server` volume.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    /// Unit size from the first INFO, so writes need not refetch it.
+    cached_unit: Option<usize>,
+}
+
+impl Client {
+    /// Connect to a serving address.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures as [`ClientError::Wire`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            stream,
+            next_id: 0,
+            cached_unit: None,
+        })
+    }
+
+    /// Bound how long any single call may block on the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the setsockopt failure.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn call(
+        &mut self,
+        op: Op,
+        offset: u64,
+        length: u32,
+        payload: Vec<u8>,
+    ) -> Result<Vec<u8>, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        wire::write_request(
+            &mut self.stream,
+            &Request {
+                id,
+                op,
+                offset,
+                length,
+                payload,
+            },
+        )?;
+        let resp = wire::read_response(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+        if resp.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                resp.id
+            )));
+        }
+        if resp.status != Status::Ok {
+            return Err(ClientError::Server(resp.status));
+        }
+        Ok(resp.payload)
+    }
+
+    /// Read `units` stripe units starting at logical unit `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] mirrors the array's error taxonomy.
+    pub fn read_units(&mut self, offset: u64, units: u32) -> Result<Vec<u8>, ClientError> {
+        self.call(Op::Read, offset, units, Vec::new())
+    }
+
+    /// Write whole stripe units starting at logical unit `offset`;
+    /// `data` must be a multiple of the volume's unit size.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`].
+    pub fn write_units(&mut self, offset: u64, data: &[u8]) -> Result<(), ClientError> {
+        // The protocol carries an explicit unit count, so the unit size
+        // is needed client-side; fetched via INFO once and cached.
+        let unit = self.unit_bytes()?;
+        if unit == 0 || !data.len().is_multiple_of(unit) {
+            return Err(ClientError::Protocol(format!(
+                "payload {} bytes is not a multiple of the {unit}-byte unit",
+                data.len()
+            )));
+        }
+        let units = (data.len() / unit) as u32;
+        self.call(Op::Write, offset, units, data.to_vec())?;
+        Ok(())
+    }
+
+    /// Discard `units` stripe units at `offset` (server zero-fills).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`].
+    pub fn trim(&mut self, offset: u64, units: u32) -> Result<(), ClientError> {
+        self.call(Op::Trim, offset, units, Vec::new())?;
+        Ok(())
+    }
+
+    /// Ordering barrier: returns once all prior ops on this connection
+    /// have executed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`].
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.call(Op::Flush, 0, 0, Vec::new())?;
+        Ok(())
+    }
+
+    /// Volume geometry and failure state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`], plus a protocol error on an
+    /// undecodable INFO payload.
+    pub fn info(&mut self) -> Result<VolumeInfo, ClientError> {
+        let payload = self.call(Op::Info, 0, 0, Vec::new())?;
+        VolumeInfo::decode(&payload)
+            .ok_or_else(|| ClientError::Protocol("undecodable INFO payload".into()))
+    }
+
+    /// Management: inject a failure of `disk`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`].
+    pub fn fail_disk(&mut self, disk: u32) -> Result<(), ClientError> {
+        self.call(Op::FailDisk, disk as u64, 0, Vec::new())?;
+        Ok(())
+    }
+
+    /// Management: rebuild failed `disk` into distributed spare space;
+    /// returns the number of units rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`].
+    pub fn rebuild(&mut self, disk: u32) -> Result<u64, ClientError> {
+        let payload = self.call(Op::Rebuild, disk as u64, 0, Vec::new())?;
+        let bytes: [u8; 8] = payload
+            .try_into()
+            .map_err(|_| ClientError::Protocol("REBUILD payload is not 8 bytes".into()))?;
+        Ok(u64::from_be_bytes(bytes))
+    }
+
+    fn unit_bytes(&mut self) -> Result<usize, ClientError> {
+        match self.cached_unit {
+            Some(u) => Ok(u),
+            None => {
+                let u = self.info()?.unit_bytes as usize;
+                self.cached_unit = Some(u);
+                Ok(u)
+            }
+        }
+    }
+}

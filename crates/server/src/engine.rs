@@ -1,0 +1,402 @@
+//! The concurrency engine: executes decoded requests against a shared
+//! [`DeclusteredArray`] with stripe-granular locking.
+//!
+//! # Locking model
+//!
+//! The array itself is `Send + Sync`, but it documents one caller
+//! invariant: two writes touching the *same stripe* must not overlap
+//! (the parity read-modify-write would race). The engine enforces that
+//! with two layers:
+//!
+//! * an `RwLock<DeclusteredArray>` — client I/O holds the **read**
+//!   lock (so any number of ops run concurrently), management ops
+//!   (`FAIL_DISK`, `REBUILD`) take the **write** lock and therefore see
+//!   a quiesced array;
+//! * a fixed table of stripe shard locks — each I/O computes the set of
+//!   `stripe % shards` indices its range touches and acquires them in
+//!   ascending order (total order ⇒ no deadlock). Writes to distinct
+//!   stripes proceed in parallel; writes that collide on a stripe (or a
+//!   shard) serialize. Reads take the same locks so a degraded-mode
+//!   reconstruction never observes a half-written stripe.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, RwLock};
+use std::time::Instant;
+
+use pddl_array::{ArrayError, ArrayMode, DeclusteredArray};
+use pddl_obs::{Actor, Event, SyncSharedSink};
+
+use crate::wire::{Op, Request, Response, Status, VolumeInfo};
+
+/// Default number of stripe shard locks.
+pub const DEFAULT_SHARDS: usize = 64;
+
+fn status_of(e: &ArrayError) -> Status {
+    match e {
+        ArrayError::BadAddress => Status::BadAddress,
+        ArrayError::Unrecoverable { .. } => Status::Unrecoverable,
+        ArrayError::NoSpareSpace => Status::NoSpareSpace,
+        ArrayError::SpareUnavailable => Status::SpareUnavailable,
+        ArrayError::WrongDiskState => Status::WrongDiskState,
+        ArrayError::Disk(_) => Status::DiskError,
+        ArrayError::Codec(_) => Status::CodecError,
+        // The crash hook is a test-only fault injection; a server hitting
+        // it is an internal failure, not a client error.
+        ArrayError::InjectedCrash => Status::Internal,
+    }
+}
+
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Shared request executor; one per served volume, shared by all worker
+/// threads via `Arc`.
+pub struct Engine {
+    array: RwLock<DeclusteredArray>,
+    stripe_locks: Vec<Mutex<()>>,
+    obs: Option<SyncSharedSink>,
+    access_seq: AtomicU64,
+    epoch: Instant,
+}
+
+impl Engine {
+    /// Wrap an array with [`DEFAULT_SHARDS`] stripe shard locks.
+    pub fn new(array: DeclusteredArray) -> Self {
+        Self::with_shards(array, DEFAULT_SHARDS)
+    }
+
+    /// Wrap an array with an explicit shard count (minimum 1). More
+    /// shards → fewer false write collisions; the table is fixed at
+    /// construction so the memory cost is `shards` mutexes total.
+    pub fn with_shards(array: DeclusteredArray, shards: usize) -> Self {
+        Self {
+            array: RwLock::new(array),
+            stripe_locks: (0..shards.max(1)).map(|_| Mutex::new(())).collect(),
+            obs: None,
+            access_seq: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Attach an observer sink; `AccessStart`/`AccessEnd` spans are
+    /// emitted per request with wall-clock timestamps, so the observer's
+    /// `latency.access_ns` histogram captures server-side service time.
+    pub fn attach_observer(&mut self, sink: SyncSharedSink) {
+        self.obs = Some(sink);
+    }
+
+    /// Shard count (for tests and metrics).
+    pub fn shards(&self) -> usize {
+        self.stripe_locks.len()
+    }
+
+    /// Current volume geometry and failure state.
+    pub fn volume_info(&self) -> VolumeInfo {
+        let a = self
+            .array
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        VolumeInfo {
+            unit_bytes: a.unit_bytes() as u32,
+            capacity_units: a.capacity_units(),
+            disks: a.layout().disks() as u32,
+            mode: match a.mode() {
+                ArrayMode::FaultFree => 0,
+                ArrayMode::Degraded => 1,
+                ArrayMode::PostReconstruction => 2,
+            },
+            failed: a.failed_disks().iter().map(|&d| d as u32).collect(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(sink) = &self.obs {
+            if let Ok(mut s) = sink.lock() {
+                let now = self.now_ns();
+                s.event(now, event);
+            }
+        }
+    }
+
+    /// Sorted, deduplicated shard-lock indices for a unit range.
+    fn shard_set(&self, a: &DeclusteredArray, start: u64, units: u64) -> Vec<usize> {
+        let shards = self.stripe_locks.len() as u64;
+        let mut set: Vec<usize> = (start..start.saturating_add(units))
+            .map(|logical| {
+                let (stripe, _) = a.layout().locate(logical);
+                (stripe % shards) as usize
+            })
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// Execute one request on behalf of `client`, producing the response
+    /// frame to send back. Never panics; every failure maps to a status.
+    pub fn execute(&self, client: u32, req: &Request) -> Response {
+        let access = self.access_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let start = Instant::now();
+        self.emit(Event::AccessStart {
+            access,
+            actor: Actor::Client(client),
+            units: req.length,
+            write: matches!(req.op, Op::Write | Op::Trim),
+        });
+        let (status, payload) = self.dispatch(req);
+        self.emit(Event::AccessEnd {
+            access,
+            latency_ns: start.elapsed().as_nanos() as u64,
+        });
+        Response {
+            id: req.id,
+            status,
+            payload,
+        }
+    }
+
+    fn dispatch(&self, req: &Request) -> (Status, Vec<u8>) {
+        match req.op {
+            Op::Read => self.do_read(req),
+            Op::Write => self.do_write(req),
+            Op::Trim => self.do_trim(req),
+            // Writes are synchronous and the in-memory devices have no
+            // volatile cache, so FLUSH is an ordering barrier that is
+            // trivially satisfied once dequeued.
+            Op::Flush => (Status::Ok, Vec::new()),
+            Op::Info => (Status::Ok, self.volume_info().encode()),
+            Op::FailDisk => self.do_fail_disk(req),
+            Op::Rebuild => self.do_rebuild(req),
+        }
+    }
+
+    fn do_read(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length == 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        let a = self
+            .array
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let guards: Vec<_> = self
+            .shard_set(&a, req.offset, req.length as u64)
+            .into_iter()
+            .map(|i| lock(&self.stripe_locks[i]))
+            .collect();
+        let result = a.read(req.offset, req.length as u64);
+        drop(guards);
+        match result {
+            Ok(data) => (Status::Ok, data),
+            Err(e) => (status_of(&e), Vec::new()),
+        }
+    }
+
+    fn do_write(&self, req: &Request) -> (Status, Vec<u8>) {
+        let a = self
+            .array
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let expect = req.length as u64 * a.unit_bytes() as u64;
+        if req.length == 0 || req.payload.len() as u64 != expect {
+            return (Status::BadRequest, Vec::new());
+        }
+        let guards: Vec<_> = self
+            .shard_set(&a, req.offset, req.length as u64)
+            .into_iter()
+            .map(|i| lock(&self.stripe_locks[i]))
+            .collect();
+        let result = a.write(req.offset, &req.payload);
+        drop(guards);
+        match result {
+            Ok(()) => (Status::Ok, Vec::new()),
+            Err(e) => (status_of(&e), Vec::new()),
+        }
+    }
+
+    /// TRIM is served as a zero-fill write: parity stays consistent and
+    /// subsequent reads of the range return zeros, which is the
+    /// strongest discard semantic the array can offer.
+    fn do_trim(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length == 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        let a = self
+            .array
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let zeros = vec![0u8; req.length as usize * a.unit_bytes()];
+        let guards: Vec<_> = self
+            .shard_set(&a, req.offset, req.length as u64)
+            .into_iter()
+            .map(|i| lock(&self.stripe_locks[i]))
+            .collect();
+        let result = a.write(req.offset, &zeros);
+        drop(guards);
+        match result {
+            Ok(()) => (Status::Ok, Vec::new()),
+            Err(e) => (status_of(&e), Vec::new()),
+        }
+    }
+
+    fn do_fail_disk(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length != 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        let mut a = self
+            .array
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match a.fail_disk(req.offset as usize) {
+            Ok(()) => (Status::Ok, Vec::new()),
+            Err(e) => (status_of(&e), Vec::new()),
+        }
+    }
+
+    fn do_rebuild(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length != 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        let mut a = self
+            .array
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match a.rebuild_to_spare(req.offset as usize) {
+            Ok(repaired) => (Status::Ok, repaired.to_be_bytes().to_vec()),
+            Err(e) => (status_of(&e), Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pddl_core::Pddl;
+    use std::sync::Arc;
+
+    fn engine() -> Engine {
+        let layout = Pddl::new(7, 3).unwrap();
+        let array = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
+        Engine::with_shards(array, 8)
+    }
+
+    fn req(op: Op, offset: u64, length: u32, payload: Vec<u8>) -> Request {
+        Request {
+            id: 1,
+            op,
+            offset,
+            length,
+            payload,
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip_and_info() {
+        let e = engine();
+        let data = vec![0xabu8; 32];
+        let r = e.execute(0, &req(Op::Write, 3, 2, data.clone()));
+        assert_eq!(r.status, Status::Ok);
+        let r = e.execute(0, &req(Op::Read, 3, 2, vec![]));
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(r.payload, data);
+
+        let info = VolumeInfo::decode(&e.execute(0, &req(Op::Info, 0, 0, vec![])).payload).unwrap();
+        assert_eq!(info.unit_bytes, 16);
+        assert_eq!(info.disks, 7);
+        assert_eq!(info.mode, 0);
+        assert!(info.failed.is_empty());
+    }
+
+    #[test]
+    fn trim_zeroes_and_flush_is_ok() {
+        let e = engine();
+        e.execute(0, &req(Op::Write, 0, 1, vec![9u8; 16]));
+        assert_eq!(
+            e.execute(0, &req(Op::Trim, 0, 1, vec![])).status,
+            Status::Ok
+        );
+        assert_eq!(
+            e.execute(0, &req(Op::Read, 0, 1, vec![])).payload,
+            vec![0u8; 16]
+        );
+        assert_eq!(
+            e.execute(0, &req(Op::Flush, 0, 0, vec![])).status,
+            Status::Ok
+        );
+    }
+
+    #[test]
+    fn bad_requests_and_array_errors_map_to_statuses() {
+        let e = engine();
+        // Payload length mismatch.
+        assert_eq!(
+            e.execute(0, &req(Op::Write, 0, 2, vec![1u8; 5])).status,
+            Status::BadRequest
+        );
+        // Zero-length I/O.
+        assert_eq!(
+            e.execute(0, &req(Op::Read, 0, 0, vec![])).status,
+            Status::BadRequest
+        );
+        // Out-of-range read.
+        assert_eq!(
+            e.execute(0, &req(Op::Read, u64::MAX - 5, 1, vec![])).status,
+            Status::BadAddress
+        );
+        // Failing a nonexistent disk.
+        assert_eq!(
+            e.execute(0, &req(Op::FailDisk, 999, 0, vec![])).status,
+            Status::WrongDiskState
+        );
+        // Rebuilding a healthy disk.
+        assert_eq!(
+            e.execute(0, &req(Op::Rebuild, 2, 0, vec![])).status,
+            Status::WrongDiskState
+        );
+    }
+
+    #[test]
+    fn fail_and_rebuild_round_trip_under_load() {
+        let e = Arc::new(engine());
+        let info = e.volume_info();
+        let cap = info.capacity_units;
+        for u in 0..cap {
+            let r = e.execute(0, &req(Op::Write, u, 1, vec![(u % 251) as u8; 16]));
+            assert_eq!(r.status, Status::Ok);
+        }
+        assert_eq!(
+            e.execute(0, &req(Op::FailDisk, 2, 0, vec![])).status,
+            Status::Ok
+        );
+        assert_eq!(e.volume_info().mode, 1);
+        assert_eq!(e.volume_info().failed, vec![2]);
+
+        let r = e.execute(0, &req(Op::Rebuild, 2, 0, vec![]));
+        assert_eq!(r.status, Status::Ok);
+        let repaired = u64::from_be_bytes(r.payload.try_into().unwrap());
+        assert!(repaired > 0);
+        assert_eq!(e.volume_info().mode, 2);
+
+        for u in 0..cap {
+            let r = e.execute(0, &req(Op::Read, u, 1, vec![]));
+            assert_eq!(r.status, Status::Ok);
+            assert_eq!(r.payload, vec![(u % 251) as u8; 16]);
+        }
+    }
+
+    #[test]
+    fn shard_set_is_sorted_and_deduplicated() {
+        let e = engine();
+        let a = e.array.read().unwrap();
+        let set = e.shard_set(&a, 0, 64);
+        let mut sorted = set.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(set, sorted);
+        assert!(set.iter().all(|&i| i < e.shards()));
+    }
+}

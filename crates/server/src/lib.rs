@@ -1,0 +1,56 @@
+//! `pddl-server`: a zero-dependency TCP block service exporting a
+//! [`pddl_array::DeclusteredArray`] volume over a compact NBD-flavoured
+//! wire protocol.
+//!
+//! The crate is four layers, bottom-up:
+//!
+//! | module     | role |
+//! |------------|------|
+//! | [`wire`]   | frame codec: request/response encode + decode, [`wire::VolumeInfo`] |
+//! | [`queue`]  | bounded blocking MPMC queue — the backpressure point |
+//! | [`engine`] | request execution over `RwLock<DeclusteredArray>` + stripe shard locks |
+//! | [`server`] | accept loop, per-connection readers, worker pool, graceful shutdown |
+//!
+//! plus an in-crate blocking [`client`] and a closed-loop [`bench`]
+//! load generator, so the protocol's two ends live (and are tested)
+//! together.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pddl_array::DeclusteredArray;
+//! use pddl_core::Pddl;
+//! use pddl_server::{engine::Engine, server::{serve, ServerConfig}, client::Client};
+//!
+//! let layout = Pddl::new(7, 3).unwrap();
+//! let array = DeclusteredArray::new(Box::new(layout), 16, 2).unwrap();
+//! let handle = serve(Arc::new(Engine::new(array)), "127.0.0.1:0", ServerConfig::default())?;
+//!
+//! let mut client = Client::connect(handle.local_addr())?;
+//! let payload = vec![7u8; 32];
+//! client.write_units(4, &payload)?;
+//! assert_eq!(client.read_units(4, 2)?, payload);
+//!
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Concurrency: reads to distinct stripes run in parallel across the
+//! worker pool; writes serialize per stripe shard; `FAIL_DISK` and
+//! `REBUILD` quiesce the volume behind a write lock, so a rebuild is
+//! *online* — clients stall briefly instead of erroring.
+
+pub mod bench;
+pub mod client;
+pub mod engine;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use bench::{run as run_bench, BenchConfig, BenchReport};
+pub use client::{Client, ClientError};
+pub use engine::Engine;
+pub use queue::BoundedQueue;
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use wire::{Op, Request, Response, Status, VolumeInfo, WireError};

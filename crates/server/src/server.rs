@@ -1,0 +1,335 @@
+//! The TCP server: accept loop, per-connection reader threads, a
+//! bounded request queue, and a worker pool executing against the
+//! shared [`Engine`].
+//!
+//! # Thread topology
+//!
+//! ```text
+//! accept loop ──spawns──▶ reader (1 per conn) ──push──▶ BoundedQueue
+//!                                                           │ pop
+//!                              worker pool (N threads) ◀────┘
+//!                                   │ engine.execute
+//!                                   ▼
+//!                         conn's Arc<Mutex<TcpStream>> ──▶ client
+//! ```
+//!
+//! Readers decode frames and block on the queue when it is full, which
+//! stops them draining their sockets — backpressure reaches remote
+//! clients through TCP flow control rather than unbounded buffering.
+//! Responses are written under a per-connection stream mutex, so
+//! replies from different workers interleave at frame granularity only.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] flips the stop flag, closes the queue
+//! (queued work still completes — close is graceful), pokes the
+//! listener with a wake-up connection to unblock `accept`, and joins
+//! every thread. Readers poll the flag between read-timeout ticks, so
+//! they exit within one tick.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::Engine;
+use crate::queue::BoundedQueue;
+use crate::wire::{self, Request, Response, Status, WireError};
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests (minimum 1).
+    pub workers: usize,
+    /// Bounded request-queue depth (minimum 1); the backpressure point.
+    pub queue_depth: usize,
+    /// Drop a connection after this long without a complete frame.
+    pub idle_timeout: Duration,
+    /// Granularity at which readers notice the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            idle_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One queued unit of work: a decoded request plus the connection to
+/// answer on.
+struct Job {
+    client: u32,
+    request: Request,
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    queue: BoundedQueue<Job>,
+    stop: AtomicBool,
+    conn_seq: AtomicU32,
+    /// Reader threads park their handles here for the final join.
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Served request count (successful or not), for INFO-style stats.
+    requests: AtomicU64,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests executed so far.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// The shared engine (e.g. to snapshot volume info while serving).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Stop accepting, let queued requests finish, join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Close the queue: blocked readers fail their push and exit;
+        // workers drain what is left, then see None.
+        self.shared.queue.close();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let readers = std::mem::take(
+            &mut *self
+                .shared
+                .readers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for t in readers {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` (use port 0 for an ephemeral port) and start serving the
+/// engine. Returns once the listener is bound; serving continues on
+/// background threads until [`ServerHandle::shutdown`].
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(engine: Arc<Engine>, addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine,
+        queue: BoundedQueue::new(config.queue_depth),
+        stop: AtomicBool::new(false),
+        conn_seq: AtomicU32::new(0),
+        readers: Mutex::new(Vec::new()),
+        requests: AtomicU64::new(0),
+    });
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("pddl-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        let config = config.clone();
+        std::thread::Builder::new()
+            .name("pddl-accept".into())
+            .spawn(move || accept_loop(&listener, &shared, &config))
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        accept_thread: Some(accept_thread),
+        workers: workers.into_iter().collect(),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServerConfig) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return; // the wake-up connection, or a raced late client
+        }
+        let client = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        let shared2 = Arc::clone(shared);
+        let config2 = config.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("pddl-conn-{client}"))
+            .spawn(move || reader_loop(stream, client, &shared2, &config2))
+            .expect("spawn connection thread");
+        shared
+            .readers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(handle);
+    }
+}
+
+/// Answer directly on the reader thread — used for failures that must
+/// not go through the queue (shutdown refusal, decode errors).
+fn answer_inline(stream: &Arc<Mutex<TcpStream>>, id: u64, status: Status) {
+    let resp = Response {
+        id,
+        status,
+        payload: Vec::new(),
+    };
+    if let Ok(mut s) = stream.lock() {
+        let _ = wire::write_response(&mut *s, &resp);
+        let _ = s.flush();
+    }
+}
+
+fn reader_loop(stream: TcpStream, client: u32, shared: &Arc<Shared>, config: &ServerConfig) {
+    // Short kernel read timeout = the poll tick; idle tracking on top.
+    let _ = stream.set_read_timeout(Some(config.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let mut read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let write_half = Arc::new(Mutex::new(stream));
+    let mut last_frame = Instant::now();
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match wire::read_request(&mut read_half) {
+            Ok(Some(request)) => {
+                last_frame = Instant::now();
+                let id = request.id;
+                let job = Job {
+                    client,
+                    request,
+                    stream: Arc::clone(&write_half),
+                };
+                if shared.queue.push(job).is_err() {
+                    // Queue closed: the server is shutting down.
+                    answer_inline(&write_half, id, Status::Shutdown);
+                    return;
+                }
+            }
+            Ok(None) => return, // clean EOF
+            Err(WireError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Poll tick with no data; enforce the idle budget.
+                // (A frame truncated *across* ticks also lands here and
+                // is treated as idleness — acceptable for this protocol,
+                // where clients write whole frames at once.)
+                if last_frame.elapsed() >= config.idle_timeout {
+                    return;
+                }
+            }
+            Err(_) => {
+                // Malformed frame: the stream is desynced; tell the
+                // client what happened and drop the connection.
+                answer_inline(&write_half, 0, Status::BadRequest);
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let response = shared.engine.execute(job.client, &job.request);
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut s) = job.stream.lock() {
+            // A dead connection is the client's problem; the worker
+            // moves on to the next job either way.
+            let _ = wire::write_response(&mut *s, &response);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use pddl_array::DeclusteredArray;
+    use pddl_core::Pddl;
+
+    fn start() -> ServerHandle {
+        let layout = Pddl::new(7, 3).unwrap();
+        let array = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
+        let engine = Arc::new(Engine::new(array));
+        serve(engine, "127.0.0.1:0", ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn serves_a_round_trip_and_shuts_down() {
+        let handle = start();
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+        let data = vec![0x5au8; 16];
+        c.write_units(0, &data).unwrap();
+        assert_eq!(c.read_units(0, 1).unwrap(), data);
+        assert!(handle.requests_served() >= 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_gets_bad_request_and_a_disconnect() {
+        let handle = start();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        // Exactly the 4 magic bytes, and wrong: the server rejects at
+        // the earliest point and no unread input is left behind (which
+        // would RST the socket and could discard the error response).
+        s.write_all(&0xdead_beefu32.to_be_bytes()).unwrap();
+        let resp = wire::read_response(&mut s).unwrap().unwrap();
+        assert_eq!(resp.status, Status::BadRequest);
+        // The server closes the connection after a desync.
+        assert!(wire::read_response(&mut s).unwrap().is_none());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_no_clients_is_prompt() {
+        let t = Instant::now();
+        start().shutdown();
+        assert!(t.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,592 @@
+//! The `pddl-server` wire protocol: compact NBD-flavoured binary
+//! frames over TCP.
+//!
+//! All integers are big-endian. A request frame is a fixed 30-byte
+//! header followed by an optional payload (writes only):
+//!
+//! ```text
+//! magic      u32   0x7064_6c51  ("pdlQ")
+//! id         u64   caller-chosen request id, echoed in the response
+//! op         u8    1=READ 2=WRITE 3=FLUSH 4=TRIM 5=INFO 6=FAIL_DISK 7=REBUILD
+//! flags      u8    reserved, must be zero
+//! offset     u64   first logical stripe unit (disk index for FAIL_DISK/REBUILD)
+//! length     u32   stripe units touched (0 for FLUSH/INFO/FAIL_DISK/REBUILD)
+//! payload    u32   payload bytes that follow (length × unit size for WRITE)
+//! ```
+//!
+//! A response frame is a fixed 17-byte header plus payload:
+//!
+//! ```text
+//! magic      u32   0x7064_6c52  ("pdlR")
+//! id         u64   echoed request id
+//! status     u8    0=OK, otherwise an error code (see [`Status`])
+//! payload    u32   payload bytes that follow (READ data, INFO block, REBUILD count)
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Request-frame magic, `"pdlQ"` as a big-endian u32.
+pub const REQUEST_MAGIC: u32 = 0x7064_6c51;
+/// Response-frame magic, `"pdlR"` as a big-endian u32.
+pub const RESPONSE_MAGIC: u32 = 0x7064_6c52;
+
+/// Hard cap on any frame payload; a hostile length field must not make
+/// the peer allocate unbounded memory.
+pub const MAX_PAYLOAD: u32 = 32 << 20;
+
+/// Request operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Read `length` units from `offset`.
+    Read,
+    /// Write the payload (`length` units) at `offset`.
+    Write,
+    /// Commit point; writes are synchronous, so this is an ordering
+    /// barrier that succeeds once every prior op on the connection has
+    /// been executed.
+    Flush,
+    /// Discard `length` units at `offset` (served as a zero-fill write,
+    /// keeping parity consistent).
+    Trim,
+    /// Query volume geometry and failure state.
+    Info,
+    /// Management: inject a failure of disk `offset`.
+    FailDisk,
+    /// Management: rebuild failed disk `offset` into distributed spare
+    /// space; responds with the rebuilt unit count.
+    Rebuild,
+}
+
+impl Op {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Op::Read => 1,
+            Op::Write => 2,
+            Op::Flush => 3,
+            Op::Trim => 4,
+            Op::Info => 5,
+            Op::FailDisk => 6,
+            Op::Rebuild => 7,
+        }
+    }
+
+    /// Decode a wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => Op::Read,
+            2 => Op::Write,
+            3 => Op::Flush,
+            4 => Op::Trim,
+            5 => Op::Info,
+            6 => Op::FailDisk,
+            7 => Op::Rebuild,
+            _ => return None,
+        })
+    }
+}
+
+/// Response status codes. `Ok` carries the op's payload; every other
+/// status maps an [`pddl_array::ArrayError`] or protocol failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Success.
+    Ok,
+    /// Address or length outside the volume.
+    BadAddress,
+    /// Too many failed disks for the stripe's check units.
+    Unrecoverable,
+    /// The layout has no spare space.
+    NoSpareSpace,
+    /// The needed spare cell is on a failed disk.
+    SpareUnavailable,
+    /// Disk not in the state the op requires.
+    WrongDiskState,
+    /// A device-level error leaked through.
+    DiskError,
+    /// An erasure-coding error.
+    CodecError,
+    /// Malformed request (bad op, non-zero flags, payload mismatch).
+    BadRequest,
+    /// The server is shutting down.
+    Shutdown,
+    /// Unexpected internal failure.
+    Internal,
+}
+
+impl Status {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::BadAddress => 1,
+            Status::Unrecoverable => 2,
+            Status::NoSpareSpace => 3,
+            Status::SpareUnavailable => 4,
+            Status::WrongDiskState => 5,
+            Status::DiskError => 6,
+            Status::CodecError => 7,
+            Status::BadRequest => 8,
+            Status::Shutdown => 9,
+            Status::Internal => 10,
+        }
+    }
+
+    /// Decode a wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Status::Ok,
+            1 => Status::BadAddress,
+            2 => Status::Unrecoverable,
+            3 => Status::NoSpareSpace,
+            4 => Status::SpareUnavailable,
+            5 => Status::WrongDiskState,
+            6 => Status::DiskError,
+            7 => Status::CodecError,
+            8 => Status::BadRequest,
+            9 => Status::Shutdown,
+            10 => Status::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Ok => "ok",
+            Status::BadAddress => "address outside volume",
+            Status::Unrecoverable => "stripe unrecoverable",
+            Status::NoSpareSpace => "no spare space",
+            Status::SpareUnavailable => "spare cell unavailable",
+            Status::WrongDiskState => "wrong disk state",
+            Status::DiskError => "disk error",
+            Status::CodecError => "codec error",
+            Status::BadRequest => "malformed request",
+            Status::Shutdown => "server shutting down",
+            Status::Internal => "internal server error",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-chosen id echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+    /// First logical unit (disk index for management ops).
+    pub offset: u64,
+    /// Units touched.
+    pub length: u32,
+    /// Write payload (empty for other ops).
+    pub payload: Vec<u8>,
+}
+
+/// One decoded response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echoed request id.
+    pub id: u64,
+    /// Outcome.
+    pub status: Status,
+    /// Read data / INFO block / rebuild count.
+    pub payload: Vec<u8>,
+}
+
+/// Frame-level failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream did not start with the expected magic — protocol
+    /// desync; the connection must be dropped.
+    BadMagic(u32),
+    /// Unknown op code.
+    UnknownOp(u8),
+    /// Unknown status code.
+    UnknownStatus(u8),
+    /// Reserved flags byte was non-zero.
+    NonZeroFlags(u8),
+    /// Declared payload exceeds [`MAX_PAYLOAD`].
+    PayloadTooLarge(u32),
+    /// Underlying transport error (including mid-frame EOF).
+    Io(io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::UnknownOp(c) => write!(f, "unknown op code {c}"),
+            WireError::UnknownStatus(c) => write!(f, "unknown status code {c}"),
+            WireError::NonZeroFlags(b) => write!(f, "reserved flags byte is {b:#04x}"),
+            WireError::PayloadTooLarge(n) => {
+                write!(f, "payload {n} bytes exceeds cap {MAX_PAYLOAD}")
+            }
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<()> {
+    r.read_exact(buf)
+}
+
+/// Read the 4-byte magic. Distinguishes a clean EOF *before* the frame
+/// (returns `Ok(None)`) from a truncated frame (an error).
+fn read_magic<R: Read>(r: &mut R) -> Result<Option<u32>, WireError> {
+    let mut buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame magic",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Some(u32::from_be_bytes(buf)))
+}
+
+fn read_payload<R: Read>(r: &mut R, len: u32) -> Result<Vec<u8>, WireError> {
+    if len > MAX_PAYLOAD {
+        return Err(WireError::PayloadTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload)?;
+    Ok(payload)
+}
+
+/// Encode and send one request frame.
+///
+/// # Errors
+///
+/// [`WireError::PayloadTooLarge`] before writing anything; transport
+/// errors as [`WireError::Io`].
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), WireError> {
+    if req.payload.len() as u64 > MAX_PAYLOAD as u64 {
+        return Err(WireError::PayloadTooLarge(req.payload.len() as u32));
+    }
+    let mut frame = Vec::with_capacity(30 + req.payload.len());
+    frame.extend_from_slice(&REQUEST_MAGIC.to_be_bytes());
+    frame.extend_from_slice(&req.id.to_be_bytes());
+    frame.push(req.op.code());
+    frame.push(0); // flags, reserved
+    frame.extend_from_slice(&req.offset.to_be_bytes());
+    frame.extend_from_slice(&req.length.to_be_bytes());
+    frame.extend_from_slice(&(req.payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&req.payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one request frame; `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed frames or transport failures.
+pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, WireError> {
+    let Some(magic) = read_magic(r)? else {
+        return Ok(None);
+    };
+    if magic != REQUEST_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let mut head = [0u8; 26];
+    read_exact_or(r, &mut head)?;
+    let id = u64::from_be_bytes(head[0..8].try_into().expect("8 bytes"));
+    let op = Op::from_code(head[8]).ok_or(WireError::UnknownOp(head[8]))?;
+    if head[9] != 0 {
+        return Err(WireError::NonZeroFlags(head[9]));
+    }
+    let offset = u64::from_be_bytes(head[10..18].try_into().expect("8 bytes"));
+    let length = u32::from_be_bytes(head[18..22].try_into().expect("4 bytes"));
+    let payload_len = u32::from_be_bytes(head[22..26].try_into().expect("4 bytes"));
+    let payload = read_payload(r, payload_len)?;
+    Ok(Some(Request {
+        id,
+        op,
+        offset,
+        length,
+        payload,
+    }))
+}
+
+/// Encode and send one response frame.
+///
+/// # Errors
+///
+/// As [`write_request`].
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<(), WireError> {
+    if resp.payload.len() as u64 > MAX_PAYLOAD as u64 {
+        return Err(WireError::PayloadTooLarge(resp.payload.len() as u32));
+    }
+    let mut frame = Vec::with_capacity(17 + resp.payload.len());
+    frame.extend_from_slice(&RESPONSE_MAGIC.to_be_bytes());
+    frame.extend_from_slice(&resp.id.to_be_bytes());
+    frame.push(resp.status.code());
+    frame.extend_from_slice(&(resp.payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&resp.payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one response frame; `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed frames or transport failures.
+pub fn read_response<R: Read>(r: &mut R) -> Result<Option<Response>, WireError> {
+    let Some(magic) = read_magic(r)? else {
+        return Ok(None);
+    };
+    if magic != RESPONSE_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let mut head = [0u8; 13];
+    read_exact_or(r, &mut head)?;
+    let id = u64::from_be_bytes(head[0..8].try_into().expect("8 bytes"));
+    let status = Status::from_code(head[8]).ok_or(WireError::UnknownStatus(head[8]))?;
+    let payload_len = u32::from_be_bytes(head[9..13].try_into().expect("4 bytes"));
+    let payload = read_payload(r, payload_len)?;
+    Ok(Some(Response {
+        id,
+        status,
+        payload,
+    }))
+}
+
+/// Volume geometry and failure state, the INFO response payload.
+///
+/// Encoding: `unit_bytes u32 · capacity_units u64 · disks u32 · mode u8
+/// · failed_count u32 · failed disk indices (u32 each)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolumeInfo {
+    /// Bytes per stripe unit.
+    pub unit_bytes: u32,
+    /// Client capacity in stripe units.
+    pub capacity_units: u64,
+    /// Disks in the array.
+    pub disks: u32,
+    /// 0 = fault-free, 1 = degraded, 2 = post-reconstruction.
+    pub mode: u8,
+    /// Currently failed disks.
+    pub failed: Vec<u32>,
+}
+
+impl VolumeInfo {
+    /// Serialize as the INFO payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(21 + 4 * self.failed.len());
+        out.extend_from_slice(&self.unit_bytes.to_be_bytes());
+        out.extend_from_slice(&self.capacity_units.to_be_bytes());
+        out.extend_from_slice(&self.disks.to_be_bytes());
+        out.push(self.mode);
+        out.extend_from_slice(&(self.failed.len() as u32).to_be_bytes());
+        for d in &self.failed {
+            out.extend_from_slice(&d.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parse an INFO payload.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < 21 {
+            return None;
+        }
+        let unit_bytes = u32::from_be_bytes(buf[0..4].try_into().ok()?);
+        let capacity_units = u64::from_be_bytes(buf[4..12].try_into().ok()?);
+        let disks = u32::from_be_bytes(buf[12..16].try_into().ok()?);
+        let mode = buf[16];
+        let n = u32::from_be_bytes(buf[17..21].try_into().ok()?) as usize;
+        if buf.len() != 21 + 4 * n {
+            return None;
+        }
+        let failed = (0..n)
+            .map(|i| u32::from_be_bytes(buf[21 + 4 * i..25 + 4 * i].try_into().unwrap()))
+            .collect();
+        Some(Self {
+            unit_bytes,
+            capacity_units,
+            disks,
+            mode,
+            failed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let cases = vec![
+            Request {
+                id: 1,
+                op: Op::Read,
+                offset: 42,
+                length: 3,
+                payload: vec![],
+            },
+            Request {
+                id: u64::MAX,
+                op: Op::Write,
+                offset: 0,
+                length: 2,
+                payload: vec![7u8; 64],
+            },
+            Request {
+                id: 9,
+                op: Op::FailDisk,
+                offset: 5,
+                length: 0,
+                payload: vec![],
+            },
+        ];
+        for req in cases {
+            let mut buf = Vec::new();
+            write_request(&mut buf, &req).unwrap();
+            let got = read_request(&mut buf.as_slice()).unwrap().unwrap();
+            assert_eq!(got, req);
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        for status in [Status::Ok, Status::BadAddress, Status::Shutdown] {
+            let resp = Response {
+                id: 77,
+                status,
+                payload: vec![1, 2, 3],
+            };
+            let mut buf = Vec::new();
+            write_response(&mut buf, &resp).unwrap();
+            let got = read_response(&mut buf.as_slice()).unwrap().unwrap();
+            assert_eq!(got, resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_truncation_is_an_error() {
+        assert!(read_request(&mut [].as_slice()).unwrap().is_none());
+        assert!(read_response(&mut [].as_slice()).unwrap().is_none());
+        // A frame cut mid-header is a hard error, not a quiet None.
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request {
+                id: 1,
+                op: Op::Read,
+                offset: 0,
+                length: 1,
+                payload: vec![],
+            },
+        )
+        .unwrap();
+        let truncated = &buf[..10];
+        assert!(matches!(
+            read_request(&mut &truncated[..]),
+            Err(WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        // Wrong magic.
+        let mut buf = RESPONSE_MAGIC.to_be_bytes().to_vec();
+        buf.resize(30, 0);
+        assert!(matches!(
+            read_request(&mut buf.as_slice()),
+            Err(WireError::BadMagic(m)) if m == RESPONSE_MAGIC
+        ));
+        // Unknown op.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&REQUEST_MAGIC.to_be_bytes());
+        buf.extend_from_slice(&1u64.to_be_bytes());
+        buf.push(99); // op
+        buf.push(0); // flags
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            read_request(&mut buf.as_slice()),
+            Err(WireError::UnknownOp(99))
+        ));
+        // Non-zero reserved flags.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&REQUEST_MAGIC.to_be_bytes());
+        buf.extend_from_slice(&1u64.to_be_bytes());
+        buf.push(1); // op = read
+        buf.push(0xff); // flags
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            read_request(&mut buf.as_slice()),
+            Err(WireError::NonZeroFlags(0xff))
+        ));
+        // Oversized declared payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&REQUEST_MAGIC.to_be_bytes());
+        buf.extend_from_slice(&1u64.to_be_bytes());
+        buf.push(2); // op = write
+        buf.push(0);
+        buf.extend_from_slice(&0u64.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            read_request(&mut buf.as_slice()),
+            Err(WireError::PayloadTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn op_and_status_codes_round_trip() {
+        for op in [
+            Op::Read,
+            Op::Write,
+            Op::Flush,
+            Op::Trim,
+            Op::Info,
+            Op::FailDisk,
+            Op::Rebuild,
+        ] {
+            assert_eq!(Op::from_code(op.code()), Some(op));
+        }
+        assert_eq!(Op::from_code(0), None);
+        for code in 0..=10u8 {
+            let s = Status::from_code(code).unwrap();
+            assert_eq!(s.code(), code);
+            assert!(!s.to_string().is_empty());
+        }
+        assert_eq!(Status::from_code(11), None);
+    }
+
+    #[test]
+    fn volume_info_round_trips() {
+        let info = VolumeInfo {
+            unit_bytes: 512,
+            capacity_units: 4096,
+            disks: 13,
+            mode: 1,
+            failed: vec![3, 9],
+        };
+        assert_eq!(VolumeInfo::decode(&info.encode()), Some(info));
+        assert_eq!(VolumeInfo::decode(&[1, 2, 3]), None);
+    }
+}

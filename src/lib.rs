@@ -13,7 +13,8 @@
 //! * [`layout`] — data layouts and analysis ([`pddl_core`]),
 //! * [`disk`] — the disk model ([`pddl_disk`]),
 //! * [`sim`] — the timing simulator ([`pddl_sim`]),
-//! * [`mod@array`] — the functional byte-level array ([`pddl_array`]).
+//! * [`mod@array`] — the functional byte-level array ([`pddl_array`]),
+//! * [`server`] — the concurrent TCP block service ([`pddl_server`]).
 //!
 //! # Quickstart
 //!
@@ -34,4 +35,5 @@ pub use pddl_array as array;
 pub use pddl_core as layout;
 pub use pddl_disk as disk;
 pub use pddl_gf as gf;
+pub use pddl_server as server;
 pub use pddl_sim as sim;
