@@ -357,7 +357,11 @@ impl DeclusteredArray {
     /// [`ArrayError::BadAddress`] outside capacity;
     /// [`ArrayError::Unrecoverable`] when too many disks are gone.
     pub fn read(&self, start: u64, units: u64) -> Result<Vec<u8>, ArrayError> {
-        if units == 0 || start + units > self.capacity_units() {
+        if units == 0
+            || start
+                .checked_add(units)
+                .is_none_or(|end| end > self.capacity_units())
+        {
             return Err(ArrayError::BadAddress);
         }
         let mut out = Vec::with_capacity((units as usize) * self.unit_bytes);
@@ -390,7 +394,10 @@ impl DeclusteredArray {
             return Err(ArrayError::BadAddress);
         }
         let units = (data.len() / self.unit_bytes) as u64;
-        if start + units > self.capacity_units() {
+        if start
+            .checked_add(units)
+            .is_none_or(|end| end > self.capacity_units())
+        {
             return Err(ArrayError::BadAddress);
         }
         // Group the update by stripe.
@@ -886,6 +893,12 @@ mod tests {
         assert_eq!(a.read(0, 0), Err(ArrayError::BadAddress));
         assert_eq!(a.write(0, &[1, 2, 3]), Err(ArrayError::BadAddress));
         assert_eq!(a.write(cap, &pattern(16, 0)), Err(ArrayError::BadAddress));
+        // Overflowing start + units must be a BadAddress, not a wrap
+        // (a wrapped sum would pass validation and read nothing) or a
+        // debug-mode panic.
+        assert_eq!(a.read(u64::MAX, 1), Err(ArrayError::BadAddress));
+        assert_eq!(a.read(u64::MAX - 1, 2), Err(ArrayError::BadAddress));
+        assert_eq!(a.write(u64::MAX, &pattern(16, 0)), Err(ArrayError::BadAddress));
         assert_eq!(a.fail_disk(99), Err(ArrayError::WrongDiskState));
         assert_eq!(a.replace_and_rebuild(0), Err(ArrayError::WrongDiskState));
         a.fail_disk(0).unwrap();

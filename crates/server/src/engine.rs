@@ -26,7 +26,7 @@ use std::time::Instant;
 use pddl_array::{ArrayError, ArrayMode, DeclusteredArray};
 use pddl_obs::{Actor, Event, SyncSharedSink};
 
-use crate::wire::{Op, Request, Response, Status, VolumeInfo};
+use crate::wire::{Op, Request, Response, Status, VolumeInfo, MAX_PAYLOAD};
 
 /// Default number of stripe shard locks.
 pub const DEFAULT_SHARDS: usize = 64;
@@ -48,6 +48,17 @@ fn status_of(e: &ArrayError) -> Status {
 
 fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Validate a `[offset, offset + length)` unit range against the
+/// volume, with overflow-safe arithmetic. Runs before any per-unit
+/// work — a hostile length field must never make the server iterate or
+/// allocate in proportion to it.
+fn check_range(a: &DeclusteredArray, offset: u64, length: u32) -> Result<(), Status> {
+    match offset.checked_add(u64::from(length)) {
+        Some(end) if end <= a.capacity_units() => Ok(()),
+        _ => Err(Status::BadAddress),
+    }
 }
 
 /// Shared request executor; one per served volume, shared by all worker
@@ -124,8 +135,15 @@ impl Engine {
     }
 
     /// Sorted, deduplicated shard-lock indices for a unit range.
+    ///
+    /// Work is bounded by the shard count, not the range length: a
+    /// range of at least `shards` units can collide with every shard,
+    /// so it locks the whole table instead of walking the units.
     fn shard_set(&self, a: &DeclusteredArray, start: u64, units: u64) -> Vec<usize> {
         let shards = self.stripe_locks.len() as u64;
+        if units >= shards {
+            return (0..self.stripe_locks.len()).collect();
+        }
         let mut set: Vec<usize> = (start..start.saturating_add(units))
             .map(|logical| {
                 let (stripe, _) = a.layout().locate(logical);
@@ -183,6 +201,15 @@ impl Engine {
             .array
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // The response must fit in one frame; refuse up front rather
+        // than reading the data and failing to encode it (the client
+        // would otherwise never get an answer for this id).
+        if u64::from(req.length) * a.unit_bytes() as u64 > u64::from(MAX_PAYLOAD) {
+            return (Status::BadRequest, Vec::new());
+        }
+        if let Err(status) = check_range(&a, req.offset, req.length) {
+            return (status, Vec::new());
+        }
         let guards: Vec<_> = self
             .shard_set(&a, req.offset, req.length as u64)
             .into_iter()
@@ -204,6 +231,9 @@ impl Engine {
         let expect = req.length as u64 * a.unit_bytes() as u64;
         if req.length == 0 || req.payload.len() as u64 != expect {
             return (Status::BadRequest, Vec::new());
+        }
+        if let Err(status) = check_range(&a, req.offset, req.length) {
+            return (status, Vec::new());
         }
         let guards: Vec<_> = self
             .shard_set(&a, req.offset, req.length as u64)
@@ -229,13 +259,31 @@ impl Engine {
             .array
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let zeros = vec![0u8; req.length as usize * a.unit_bytes()];
+        if let Err(status) = check_range(&a, req.offset, req.length) {
+            return (status, Vec::new());
+        }
         let guards: Vec<_> = self
             .shard_set(&a, req.offset, req.length as u64)
             .into_iter()
             .map(|i| lock(&self.stripe_locks[i]))
             .collect();
-        let result = a.write(req.offset, &zeros);
+        // Zero-fill in bounded chunks: a volume-sized trim must not
+        // allocate a volume-sized buffer. The shard guards span the
+        // whole loop, so the range still clears atomically with respect
+        // to colliding writes.
+        const TRIM_CHUNK_UNITS: u64 = 1024;
+        let chunk = TRIM_CHUNK_UNITS.min(u64::from(req.length));
+        let zeros = vec![0u8; chunk as usize * a.unit_bytes()];
+        let mut done = 0u64;
+        let mut result = Ok(());
+        while done < u64::from(req.length) {
+            let n = TRIM_CHUNK_UNITS.min(u64::from(req.length) - done);
+            result = a.write(req.offset + done, &zeros[..n as usize * a.unit_bytes()]);
+            if result.is_err() {
+                break;
+            }
+            done += n;
+        }
         drop(guards);
         match result {
             Ok(()) => (Status::Ok, Vec::new()),
@@ -357,6 +405,57 @@ mod tests {
             e.execute(0, &req(Op::Rebuild, 2, 0, vec![])).status,
             Status::WrongDiskState
         );
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected_before_any_work() {
+        let e = engine();
+        // A maximal length would decode to >64 GiB of response; it must
+        // come back immediately (no multi-GB allocation, no 4e9-unit
+        // shard walk) as BadRequest since it cannot fit a frame.
+        let r = e.execute(0, &req(Op::Read, 0, u32::MAX, vec![]));
+        assert_eq!(r.status, Status::BadRequest);
+        // Offset + length overflowing u64 is a bad address, not a wrap.
+        assert_eq!(
+            e.execute(0, &req(Op::Read, u64::MAX, 1, vec![])).status,
+            Status::BadAddress
+        );
+        assert_eq!(
+            e.execute(0, &req(Op::Trim, u64::MAX, 7, vec![])).status,
+            Status::BadAddress
+        );
+        // A trim far past capacity is rejected before the zero buffer
+        // is built.
+        assert_eq!(
+            e.execute(0, &req(Op::Trim, 0, u32::MAX, vec![])).status,
+            Status::BadAddress
+        );
+        // Writes validate the range before touching shard locks.
+        let unit = 16;
+        assert_eq!(
+            e.execute(0, &req(Op::Write, u64::MAX, 1, vec![0u8; unit]))
+                .status,
+            Status::BadAddress
+        );
+    }
+
+    #[test]
+    fn volume_sized_trim_clears_everything() {
+        let e = engine();
+        let cap = e.volume_info().capacity_units;
+        for u in 0..cap {
+            assert_eq!(
+                e.execute(0, &req(Op::Write, u, 1, vec![0xffu8; 16])).status,
+                Status::Ok
+            );
+        }
+        assert_eq!(
+            e.execute(0, &req(Op::Trim, 0, cap as u32, vec![])).status,
+            Status::Ok
+        );
+        for u in 0..cap {
+            assert_eq!(e.execute(0, &req(Op::Read, u, 1, vec![])).payload, vec![0u8; 16]);
+        }
     }
 
     #[test]

@@ -200,11 +200,15 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServerConf
             .name(format!("pddl-conn-{client}"))
             .spawn(move || reader_loop(stream, client, &shared2, &config2))
             .expect("spawn connection thread");
-        shared
+        let mut readers = shared
             .readers
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(handle);
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Reap readers whose connections already ended, so a
+        // long-running server holds handles only for live connections
+        // rather than one per connection ever accepted.
+        readers.retain(|h| !h.is_finished());
+        readers.push(handle);
     }
 }
 
@@ -231,15 +235,21 @@ fn reader_loop(stream: TcpStream, client: u32, shared: &Arc<Shared>, config: &Se
         Err(_) => return,
     };
     let write_half = Arc::new(Mutex::new(stream));
-    let mut last_frame = Instant::now();
+    // The incremental reader keeps partial frames across poll ticks, so
+    // a network stall in the middle of a large WRITE only delays the
+    // request instead of desyncing the stream.
+    let mut reader = wire::RequestReader::new();
+    let mut last_activity = Instant::now();
+    let mut buffered = 0usize;
 
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        match wire::read_request(&mut read_half) {
+        match reader.poll(&mut read_half) {
             Ok(Some(request)) => {
-                last_frame = Instant::now();
+                last_activity = Instant::now();
+                buffered = 0;
                 let id = request.id;
                 let job = Job {
                     client,
@@ -256,11 +266,14 @@ fn reader_loop(stream: TcpStream, client: u32, shared: &Arc<Shared>, config: &Se
             Err(WireError::Io(e))
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                // Poll tick with no data; enforce the idle budget.
-                // (A frame truncated *across* ticks also lands here and
-                // is treated as idleness — acceptable for this protocol,
-                // where clients write whole frames at once.)
-                if last_frame.elapsed() >= config.idle_timeout {
+                // Poll tick; any mid-frame progress counts as activity,
+                // so the idle budget only expires a connection that is
+                // genuinely sending nothing.
+                if reader.buffered() > buffered {
+                    last_activity = Instant::now();
+                }
+                buffered = reader.buffered();
+                if last_activity.elapsed() >= config.idle_timeout {
                     return;
                 }
             }
@@ -279,9 +292,24 @@ fn worker_loop(shared: &Arc<Shared>) {
         let response = shared.engine.execute(job.client, &job.request);
         shared.requests.fetch_add(1, Ordering::Relaxed);
         if let Ok(mut s) = job.stream.lock() {
-            // A dead connection is the client's problem; the worker
-            // moves on to the next job either way.
-            let _ = wire::write_response(&mut *s, &response);
+            match wire::write_response(&mut *s, &response) {
+                // An encode-level refusal (e.g. a payload over the
+                // frame cap that slipped past request validation) never
+                // starts the frame, so the stream is still in sync —
+                // answer with Internal rather than leaving the request
+                // id unanswered forever.
+                Err(e) if !matches!(e, WireError::Io(_)) => {
+                    let fallback = Response {
+                        id: response.id,
+                        status: Status::Internal,
+                        payload: Vec::new(),
+                    };
+                    let _ = wire::write_response(&mut *s, &fallback);
+                }
+                // A transport failure means the connection is dead;
+                // nothing can reach this client, so the worker moves on.
+                _ => {}
+            }
         }
     }
 }
@@ -323,6 +351,38 @@ mod tests {
         assert_eq!(resp.status, Status::BadRequest);
         // The server closes the connection after a desync.
         assert!(wire::read_response(&mut s).unwrap().is_none());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn frame_stalled_across_poll_ticks_still_completes() {
+        let handle = start();
+        let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut frame = Vec::new();
+        wire::write_request(
+            &mut frame,
+            &wire::Request {
+                id: 7,
+                op: wire::Op::Write,
+                offset: 0,
+                length: 1,
+                payload: vec![0xc3u8; 16],
+            },
+        )
+        .unwrap();
+        // Stall longer than the 50 ms poll tick in the header and again
+        // in the payload; the server must resume the frame, not desync.
+        s.write_all(&frame[..9]).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        s.write_all(&frame[9..34]).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        s.write_all(&frame[34..]).unwrap();
+        s.flush().unwrap();
+        let resp = wire::read_response(&mut s).unwrap().unwrap();
+        assert_eq!(resp.id, 7);
+        assert_eq!(resp.status, Status::Ok);
         handle.shutdown();
     }
 

@@ -329,6 +329,139 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, WireError> {
     }))
 }
 
+/// Fixed request-frame header size (magic through payload length).
+const REQUEST_HEADER: usize = 30;
+
+/// Incremental request-frame reader for non-blocking / timeout-driven
+/// sockets.
+///
+/// [`read_request`] discards its partial buffer when a read times out,
+/// so a stall in the middle of a frame desyncs the stream. This reader
+/// instead keeps partially received bytes across calls: when the
+/// underlying read fails with `WouldBlock`/`TimedOut`, [`poll`] returns
+/// that error and the next call resumes exactly where the stream
+/// blocked, no matter where inside the frame the stall happened.
+///
+/// [`poll`]: RequestReader::poll
+pub struct RequestReader {
+    /// Frame bytes received so far; sized to the bytes currently
+    /// expected (header first, then header + payload).
+    buf: Vec<u8>,
+    filled: usize,
+    /// Whether the leading magic has been validated.
+    magic_ok: bool,
+    /// Whether the header has been parsed and `buf` resized for the
+    /// payload.
+    payload_known: bool,
+}
+
+impl Default for RequestReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> Self {
+        Self {
+            buf: vec![0u8; REQUEST_HEADER],
+            filled: 0,
+            magic_ok: false,
+            payload_known: false,
+        }
+    }
+
+    /// Bytes of the in-progress frame buffered so far (0 at a frame
+    /// boundary). Callers can watch this to distinguish a genuinely
+    /// idle connection from one slowly trickling a frame in.
+    pub fn buffered(&self) -> usize {
+        self.filled
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.buf.resize(REQUEST_HEADER, 0);
+        self.filled = 0;
+        self.magic_ok = false;
+        self.payload_known = false;
+    }
+
+    /// Pull bytes from `r` until a complete frame is buffered.
+    ///
+    /// Returns `Ok(Some(req))` for a complete frame, `Ok(None)` on a
+    /// clean EOF at a frame boundary. A `WouldBlock`/`TimedOut`
+    /// transport error surfaces as [`WireError::Io`] with the partial
+    /// frame retained — call again to resume.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed frames or transport failures.
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> Result<Option<Request>, WireError> {
+        loop {
+            while self.filled < self.buf.len() {
+                match r.read(&mut self.buf[self.filled..]) {
+                    Ok(0) if self.filled == 0 => return Ok(None),
+                    Ok(0) => {
+                        return Err(WireError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "EOF inside request frame",
+                        )))
+                    }
+                    Ok(n) => {
+                        self.filled += n;
+                        // Check the magic the moment its 4 bytes are in:
+                        // a desynced stream is rejected immediately, not
+                        // after a full header's worth of garbage.
+                        if !self.magic_ok && self.filled >= 4 {
+                            let magic =
+                                u32::from_be_bytes(self.buf[0..4].try_into().expect("4 bytes"));
+                            if magic != REQUEST_MAGIC {
+                                return Err(WireError::BadMagic(magic));
+                            }
+                            self.magic_ok = true;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(WireError::Io(e)),
+                }
+            }
+            if !self.payload_known {
+                // Header complete: validate it, then grow the buffer to
+                // cover the payload (if any) and keep reading.
+                if Op::from_code(self.buf[12]).is_none() {
+                    return Err(WireError::UnknownOp(self.buf[12]));
+                }
+                if self.buf[13] != 0 {
+                    return Err(WireError::NonZeroFlags(self.buf[13]));
+                }
+                let payload_len = u32::from_be_bytes(self.buf[26..30].try_into().expect("4 bytes"));
+                if payload_len > MAX_PAYLOAD {
+                    return Err(WireError::PayloadTooLarge(payload_len));
+                }
+                self.payload_known = true;
+                if payload_len > 0 {
+                    self.buf.resize(REQUEST_HEADER + payload_len as usize, 0);
+                    continue;
+                }
+            }
+            let id = u64::from_be_bytes(self.buf[4..12].try_into().expect("8 bytes"));
+            let op = Op::from_code(self.buf[12]).expect("validated with the header");
+            let offset = u64::from_be_bytes(self.buf[14..22].try_into().expect("8 bytes"));
+            let length = u32::from_be_bytes(self.buf[22..26].try_into().expect("4 bytes"));
+            let payload = self.buf[REQUEST_HEADER..].to_vec();
+            self.reset();
+            return Ok(Some(Request {
+                id,
+                op,
+                offset,
+                length,
+                payload,
+            }));
+        }
+    }
+}
+
 /// Encode and send one response frame.
 ///
 /// # Errors
@@ -551,6 +684,101 @@ mod tests {
         buf.extend_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(
             read_request(&mut buf.as_slice()),
+            Err(WireError::PayloadTooLarge(_))
+        ));
+    }
+
+    /// Yields the scripted chunks one at a time, interleaving a
+    /// `WouldBlock` error after each — the shape of a socket with a
+    /// short `SO_RCVTIMEO` receiving a frame in dribbles.
+    struct Dribble {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        ready: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.ready = false;
+            let Some(chunk) = self.chunks.get(self.next) else {
+                return Ok(0);
+            };
+            let n = chunk.len().min(buf.len());
+            buf[..n].copy_from_slice(&chunk[..n]);
+            if n == chunk.len() {
+                self.next += 1;
+            } else {
+                self.chunks[self.next].drain(..n);
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn request_reader_resumes_across_would_block_ticks() {
+        let req = Request {
+            id: 42,
+            op: Op::Write,
+            offset: 7,
+            length: 2,
+            payload: vec![0xa5u8; 64],
+        };
+        let mut frame = Vec::new();
+        write_request(&mut frame, &req).unwrap();
+        // Split mid-header and mid-payload: both stalls must survive.
+        let chunks = vec![
+            frame[..9].to_vec(),
+            frame[9..40].to_vec(),
+            frame[40..].to_vec(),
+        ];
+        let mut src = Dribble {
+            chunks,
+            next: 0,
+            ready: false,
+        };
+        let mut reader = RequestReader::new();
+        let mut ticks = 0;
+        let got = loop {
+            match reader.poll(&mut src) {
+                Ok(Some(r)) => break r,
+                Ok(None) => panic!("EOF before the frame completed"),
+                Err(WireError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => ticks += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        };
+        assert_eq!(got, req);
+        assert!(ticks >= 3, "expected repeated WouldBlock ticks, saw {ticks}");
+        assert_eq!(reader.buffered(), 0, "reader should reset at the boundary");
+        // Clean EOF at the boundary is still None.
+        src.ready = true;
+        assert!(reader.poll(&mut src).unwrap().is_none());
+    }
+
+    #[test]
+    fn request_reader_rejects_malformed_headers() {
+        let mut reader = RequestReader::new();
+        let mut bad_magic = 0xdead_beefu32.to_be_bytes().to_vec();
+        bad_magic.resize(REQUEST_HEADER, 0);
+        assert!(matches!(
+            reader.poll(&mut bad_magic.as_slice()),
+            Err(WireError::BadMagic(0xdead_beef))
+        ));
+
+        let mut reader = RequestReader::new();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&REQUEST_MAGIC.to_be_bytes());
+        frame.extend_from_slice(&1u64.to_be_bytes());
+        frame.push(2); // op = write
+        frame.push(0);
+        frame.extend_from_slice(&0u64.to_be_bytes());
+        frame.extend_from_slice(&1u32.to_be_bytes());
+        frame.extend_from_slice(&u32::MAX.to_be_bytes()); // oversized payload
+        assert!(matches!(
+            reader.poll(&mut frame.as_slice()),
             Err(WireError::PayloadTooLarge(_))
         ));
     }
