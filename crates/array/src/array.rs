@@ -15,14 +15,23 @@
 //! serializes in firmware. `pddl-server` enforces this with a
 //! stripe-striped lock table; embedders driving the array directly from
 //! multiple threads must do the same. Writes to distinct stripes need
-//! no external coordination. Management operations (failure injection,
-//! rebuild, replacement, journal recovery) take `&mut self` and thus
-//! exclude all concurrent I/O by construction.
+//! no external coordination. Lifecycle operations (failure injection,
+//! replacement, journal recovery) take `&mut self` and thus exclude all
+//! concurrent I/O by construction.
+//!
+//! Rebuild is *online*: [`DeclusteredArray::begin_rebuild`] and
+//! [`DeclusteredArray::rebuild_step`] take `&self`, so client I/O keeps
+//! flowing while a ticket is stepped in bounded batches. The same
+//! same-stripe rule extends to rebuild: a step that repairs stripe `s`
+//! must not race a client *write* to `s` (it reconstructs from a
+//! snapshot of the stripe), so callers serialize rebuild batches against
+//! writes to the stripes in the batch — `pddl-server` does this with the
+//! same stripe-lock table it uses for writes.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use pddl_core::addr::{PhysAddr, Role};
 use pddl_core::layout::Layout;
@@ -35,6 +44,17 @@ use crate::blockdev::{BlockDevice, DiskError, RamDisk};
 /// peer thread must not cascade into aborting every other request.
 fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Read-lock an `RwLock`, recovering from poisoning (same rationale as
+/// [`lock`]).
+fn rlock<T: ?Sized>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write-lock an `RwLock`, recovering from poisoning.
+fn wlock<T: ?Sized>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Errors from array operations.
@@ -52,6 +72,12 @@ pub enum ArrayError {
     NoSpareSpace,
     /// The spare cell needed lives on a disk that is itself failed.
     SpareUnavailable,
+    /// The layout advertises sparing but produced no spare cell for an
+    /// affected stripe — a layout bug or unsupported configuration.
+    SpareMissing {
+        /// The stripe with no spare cell.
+        stripe: u64,
+    },
     /// The disk is not in the state the operation needs.
     WrongDiskState,
     /// An injected crash fired (fault-injection hook); the interrupted
@@ -73,6 +99,9 @@ impl fmt::Display for ArrayError {
             }
             ArrayError::NoSpareSpace => write!(f, "layout has no spare space"),
             ArrayError::SpareUnavailable => write!(f, "spare cell is on a failed disk"),
+            ArrayError::SpareMissing { stripe } => {
+                write!(f, "layout provided no spare cell for stripe {stripe}")
+            }
             ArrayError::WrongDiskState => write!(f, "disk not in required state"),
             ArrayError::InjectedCrash => write!(f, "injected crash fired"),
             ArrayError::Disk(e) => write!(f, "disk error: {e}"),
@@ -106,6 +135,83 @@ pub enum ArrayMode {
     PostReconstruction,
 }
 
+/// What a [`RebuildTicket`] restores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildKind {
+    /// Reconstruct a failed disk's units into the layout's distributed
+    /// spare space (degraded → post-reconstruction).
+    Spare,
+    /// Restore an installed replacement disk's contents, by copy-back
+    /// from spare space or by reconstruction (→ fault-free).
+    CopyBack,
+}
+
+/// Progress snapshot returned by [`DeclusteredArray::rebuild_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildProgress {
+    /// Stripe units repaired so far (including units found already safe).
+    pub repaired: u64,
+    /// Total stripe units this rebuild set out to repair.
+    pub total: u64,
+    /// Whether the rebuild has completed and the disk state transitioned.
+    pub done: bool,
+}
+
+/// A resumable, incremental rebuild: created by
+/// [`DeclusteredArray::begin_rebuild`] /
+/// [`DeclusteredArray::begin_copy_back`] with the full affected-stripe
+/// set computed up front, then advanced in bounded batches by
+/// [`DeclusteredArray::rebuild_step`]. Client I/O proceeds between (and
+/// during) steps.
+///
+/// Dropping a ticket mid-way is safe: completed units stay repaired
+/// (redirects inserted / copy-backs applied), and a fresh `begin_*`
+/// call skips them.
+#[derive(Debug)]
+pub struct RebuildTicket {
+    disk: usize,
+    kind: RebuildKind,
+    /// Affected stripes still needing repair when the ticket was made.
+    stripes: Vec<u64>,
+    /// Index of the next stripe to repair; everything before it is done.
+    cursor: usize,
+    /// Completion already applied (disk state transitioned).
+    finalized: bool,
+}
+
+impl RebuildTicket {
+    /// The disk slot being rebuilt.
+    pub fn disk(&self) -> usize {
+        self.disk
+    }
+
+    /// Spare rebuild or copy-back.
+    pub fn kind(&self) -> RebuildKind {
+        self.kind
+    }
+
+    /// Total stripe units this ticket set out to repair.
+    pub fn total(&self) -> u64 {
+        self.stripes.len() as u64
+    }
+
+    /// Stripe units repaired so far.
+    pub fn repaired(&self) -> u64 {
+        self.cursor as u64
+    }
+
+    /// Whether every unit has been repaired.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.stripes.len()
+    }
+
+    /// The stripes not yet repaired, in rebuild order (callers use this
+    /// to pre-lock the stripes of the next batch).
+    pub fn pending_stripes(&self) -> &[u64] {
+        &self.stripes[self.cursor..]
+    }
+}
+
 /// A functional declustered RAID array over RAM-backed disks.
 ///
 /// See the crate docs for the failure lifecycle. All client I/O is in
@@ -120,11 +226,17 @@ pub struct DeclusteredArray {
     unit_bytes: usize,
     periods: u64,
     /// Units of rebuilt (failed) disks → their spare-space location.
-    redirects: HashMap<PhysAddr, PhysAddr>,
+    /// Behind a lock so an online rebuild can insert/remove redirects
+    /// while client I/O resolves through them.
+    redirects: RwLock<HashMap<PhysAddr, PhysAddr>>,
     /// Failed disks (some may already be rebuilt into spare space).
-    failed: BTreeSet<usize>,
+    failed: RwLock<BTreeSet<usize>>,
     /// Failed disks fully rebuilt into spare space.
-    spared: BTreeSet<usize>,
+    spared: RwLock<BTreeSet<usize>>,
+    /// Units of an installed-but-not-yet-restored replacement disk:
+    /// treated as failed for reads (reconstruct via parity) until the
+    /// copy-back — or a client write-through — validates them.
+    restoring: RwLock<HashSet<PhysAddr>>,
     /// Client-path stripe-unit reads performed (observability).
     unit_reads: AtomicU64,
     /// Client-path stripe-unit writes performed.
@@ -148,8 +260,8 @@ impl fmt::Debug for DeclusteredArray {
             .field("disks", &self.disks.len())
             .field("unit_bytes", &self.unit_bytes)
             .field("periods", &self.periods)
-            .field("failed", &self.failed)
-            .field("spared", &self.spared)
+            .field("failed", &*rlock(&self.failed))
+            .field("spared", &*rlock(&self.spared))
             .finish()
     }
 }
@@ -210,9 +322,10 @@ impl DeclusteredArray {
             rs,
             unit_bytes,
             periods,
-            redirects: HashMap::new(),
-            failed: BTreeSet::new(),
-            spared: BTreeSet::new(),
+            redirects: RwLock::new(HashMap::new()),
+            failed: RwLock::new(BTreeSet::new()),
+            spared: RwLock::new(BTreeSet::new()),
+            restoring: RwLock::new(HashSet::new()),
             unit_reads: AtomicU64::new(0),
             unit_writes: AtomicU64::new(0),
             intents: Mutex::new(Vec::new()),
@@ -270,9 +383,10 @@ impl DeclusteredArray {
 
     /// Current operating mode.
     pub fn mode(&self) -> ArrayMode {
-        if self.failed.is_empty() {
+        let failed = rlock(&self.failed);
+        if failed.is_empty() {
             ArrayMode::FaultFree
-        } else if self.failed.iter().all(|d| self.spared.contains(d)) {
+        } else if failed.iter().all(|d| rlock(&self.spared).contains(d)) {
             ArrayMode::PostReconstruction
         } else {
             ArrayMode::Degraded
@@ -281,19 +395,23 @@ impl DeclusteredArray {
 
     /// The currently failed disks.
     pub fn failed_disks(&self) -> Vec<usize> {
-        self.failed.iter().copied().collect()
+        rlock(&self.failed).iter().copied().collect()
     }
 
     /// Resolve a physical address through the spare redirects.
     fn resolve(&self, addr: PhysAddr) -> PhysAddr {
-        *self.redirects.get(&addr).unwrap_or(&addr)
+        *rlock(&self.redirects).get(&addr).unwrap_or(&addr)
     }
 
     /// Read one stripe unit, following redirects; `None` when the unit
-    /// is on a failed, un-rebuilt disk. The failed-check and the read
-    /// happen under one disk lock, so a concurrent reader never sees a
-    /// half-failed device.
+    /// is on a failed, un-rebuilt disk or awaiting copy-back onto a
+    /// replacement (its value is implied by parity). The failed-check
+    /// and the read happen under one disk lock, so a concurrent reader
+    /// never sees a half-failed device.
     fn read_phys(&self, addr: PhysAddr) -> Result<Option<Vec<u8>>, ArrayError> {
+        if rlock(&self.restoring).contains(&addr) {
+            return Ok(None);
+        }
         let addr = self.resolve(addr);
         let disk = lock(&self.disks[addr.disk]);
         if disk.is_failed() {
@@ -305,21 +423,32 @@ impl DeclusteredArray {
 
     /// Write one stripe unit, following redirects; silently skipped when
     /// the target is a failed, un-rebuilt disk (its value is implied by
-    /// parity, exactly as in degraded-mode RAID).
+    /// parity, exactly as in degraded-mode RAID). A write to a unit
+    /// awaiting copy-back validates it: the fresh data lands on the
+    /// replacement and the unit leaves the restoring set.
     fn write_phys(&self, addr: PhysAddr, data: &[u8]) -> Result<(), ArrayError> {
+        let home = addr;
         let addr = self.resolve(addr);
-        let mut disk = lock(&self.disks[addr.disk]);
-        if disk.is_failed() {
-            return Ok(());
-        }
-        if let Some(left) = lock(&self.crash_after_writes).as_mut() {
-            if *left == 0 {
-                return Err(ArrayError::InjectedCrash);
+        {
+            let mut disk = lock(&self.disks[addr.disk]);
+            if disk.is_failed() {
+                return Ok(());
             }
-            *left -= 1;
+            if let Some(left) = lock(&self.crash_after_writes).as_mut() {
+                if *left == 0 {
+                    return Err(ArrayError::InjectedCrash);
+                }
+                *left -= 1;
+            }
+            self.unit_writes.fetch_add(1, Ordering::Relaxed);
+            disk.write_unit(addr.offset, data)?;
         }
-        self.unit_writes.fetch_add(1, Ordering::Relaxed);
-        disk.write_unit(addr.offset, data)?;
+        // Validate after the bytes are durable, so a concurrent reader
+        // either still reconstructs through parity or sees the new data,
+        // never the replacement's blank cell.
+        if !rlock(&self.restoring).is_empty() {
+            wlock(&self.restoring).remove(&home);
+        }
         Ok(())
     }
 
@@ -420,7 +549,7 @@ impl DeclusteredArray {
             // old data + old checks, fold the XOR-delta into each check
             // (read-modify-write, like a real controller). Everything
             // else falls back to whole-stripe read/re-encode.
-            if self.failed.is_empty() && 2 * updates.len() <= d && updates.len() < d {
+            if rlock(&self.failed).is_empty() && 2 * updates.len() <= d && updates.len() < d {
                 self.small_write(stripe, &updates)?;
             } else {
                 self.rmw_stripe(stripe, &updates)?;
@@ -512,7 +641,7 @@ impl DeclusteredArray {
     /// needs every data unit readable — repair the array first).
     pub fn recover(&mut self) -> Result<u64, ArrayError> {
         *lock(&self.crash_after_writes) = None;
-        if !self.failed.is_empty() {
+        if !rlock(&self.failed).is_empty() {
             return Err(ArrayError::WrongDiskState);
         }
         let mut stripes = std::mem::take(&mut *lock(&self.intents));
@@ -545,17 +674,17 @@ impl DeclusteredArray {
     ///
     /// [`ArrayError::WrongDiskState`] if the disk is already failed.
     pub fn fail_disk(&mut self, disk: usize) -> Result<(), ArrayError> {
-        if disk >= self.disks.len() || self.failed.contains(&disk) {
+        if disk >= self.disks.len() || rlock(&self.failed).contains(&disk) {
             return Err(ArrayError::WrongDiskState);
         }
         lock(&self.disks[disk]).fail();
-        self.failed.insert(disk);
+        wlock(&self.failed).insert(disk);
         // Any redirects pointing INTO the newly failed disk are void —
         // those units are lost again and revert to on-the-fly repair.
         // Their home disks are no longer fully spared (and may be
         // rebuilt again if replacement spare cells exist).
         let mut lost_spares: BTreeSet<usize> = BTreeSet::new();
-        self.redirects.retain(|home, target| {
+        wlock(&self.redirects).retain(|home, target| {
             if target.disk == disk {
                 lost_spares.insert(home.disk);
                 false
@@ -563,78 +692,290 @@ impl DeclusteredArray {
                 true
             }
         });
-        self.spared.remove(&disk);
-        for d in lost_spares {
-            self.spared.remove(&d);
+        {
+            let mut spared = wlock(&self.spared);
+            spared.remove(&disk);
+            for d in lost_spares {
+                spared.remove(&d);
+            }
         }
+        // Units awaiting copy-back onto this disk are moot now that the
+        // whole device is failed again.
+        wlock(&self.restoring).retain(|a| a.disk != disk);
         self.emit(ObsEvent::DiskFailed { disk: disk as u32 });
         Ok(())
     }
 
-    /// Rebuild a failed disk's stripe units into the layout's distributed
-    /// spare space (the paper's reconstruction → post-reconstruction
-    /// transition). The disk slot stays empty; reads are redirected.
-    /// Returns the number of units rebuilt.
+    /// The stripe unit of `stripe` living on `disk`, if any.
+    fn lost_unit(&self, stripe: u64, disk: usize) -> Option<pddl_core::addr::StripeUnit> {
+        self.layout
+            .stripe_units(stripe)
+            .into_iter()
+            .find(|u| u.addr.disk == disk)
+    }
+
+    /// Start an incremental rebuild of failed `disk` into the layout's
+    /// distributed spare space (the paper's reconstruction →
+    /// post-reconstruction transition). Computes the full affected-stripe
+    /// set up front — units already safely redirected (from an earlier,
+    /// interrupted attempt) are excluded, which is what makes a halted
+    /// rebuild resumable. Advance the ticket with
+    /// [`DeclusteredArray::rebuild_step`].
     ///
     /// # Errors
     ///
     /// [`ArrayError::NoSpareSpace`] for layouts without sparing;
     /// [`ArrayError::WrongDiskState`] if the disk is not failed or is
-    /// already rebuilt; [`ArrayError::SpareUnavailable`] if a needed
-    /// spare cell is itself on a failed disk;
-    /// [`ArrayError::Unrecoverable`] if reconstruction is impossible.
-    pub fn rebuild_to_spare(&mut self, disk: usize) -> Result<u64, ArrayError> {
+    /// already rebuilt.
+    pub fn begin_rebuild(&self, disk: usize) -> Result<RebuildTicket, ArrayError> {
         if !self.layout.has_sparing() {
             return Err(ArrayError::NoSpareSpace);
         }
-        if !self.failed.contains(&disk) || self.spared.contains(&disk) {
+        if !rlock(&self.failed).contains(&disk) || rlock(&self.spared).contains(&disk) {
             return Err(ArrayError::WrongDiskState);
         }
-        let mut rebuilt = 0u64;
+        let mut stripes = Vec::new();
         for stripe in 0..self.periods * self.layout.stripes_per_period() {
-            let units = self.layout.stripe_units(stripe);
-            let Some(lost) = units.iter().find(|u| u.addr.disk == disk) else {
+            let Some(lost) = self.lost_unit(stripe, disk) else {
                 continue;
             };
-            if self
-                .redirects
+            if rlock(&self.redirects)
                 .get(&lost.addr)
                 .is_some_and(|t| !lock(&self.disks[t.disk]).is_failed())
             {
                 continue; // already safely in spare space
             }
-            let spare = self
-                .layout
-                .spare_unit(stripe, disk)
-                .expect("sparing layout provides spare cells for affected stripes");
-            if lock(&self.disks[spare.disk]).is_failed() {
-                return Err(ArrayError::SpareUnavailable);
+            stripes.push(stripe);
+        }
+        Ok(RebuildTicket {
+            disk,
+            kind: RebuildKind::Spare,
+            stripes,
+            cursor: 0,
+            finalized: false,
+        })
+    }
+
+    /// Install a blank replacement drive in failed `disk`'s slot and
+    /// start an incremental restore of its contents — by copy-back from
+    /// spare space where redirects exist, by reconstruction otherwise.
+    /// Until the ticket completes the replacement's unrestored units are
+    /// served through parity (or validated early by client writes), so
+    /// I/O stays correct throughout. Advance the ticket with
+    /// [`DeclusteredArray::rebuild_step`]; completion returns the slot to
+    /// fault-free operation.
+    ///
+    /// Takes `&mut self`: installing the replacement must not race
+    /// in-flight I/O. The stepping afterwards is `&self` and online.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::WrongDiskState`] if the disk is not failed.
+    pub fn begin_copy_back(&mut self, disk: usize) -> Result<RebuildTicket, ArrayError> {
+        if !rlock(&self.failed).contains(&disk) {
+            return Err(ArrayError::WrongDiskState);
+        }
+        lock(&self.disks[disk]).replace();
+        let mut stripes = Vec::new();
+        let mut pending = Vec::new();
+        for stripe in 0..self.periods * self.layout.stripes_per_period() {
+            let Some(lost) = self.lost_unit(stripe, disk) else {
+                continue;
+            };
+            stripes.push(stripe);
+            if !rlock(&self.redirects).contains_key(&lost.addr) {
+                pending.push(lost.addr);
             }
+        }
+        wlock(&self.restoring).extend(pending);
+        Ok(RebuildTicket {
+            disk,
+            kind: RebuildKind::CopyBack,
+            stripes,
+            cursor: 0,
+            finalized: false,
+        })
+    }
+
+    /// Repair up to `batch` stripe units (at least one) from `ticket`,
+    /// then — once every unit is repaired — apply the completion
+    /// transition: mark the disk `spared` (spare rebuild) or healthy
+    /// (copy-back). Emits a [`RebuildProgress`](ObsEvent::RebuildProgress)
+    /// event per unit with the true total, and a terminal
+    /// [`RebuildHalted`](ObsEvent::RebuildHalted) event on error.
+    ///
+    /// Concurrency: takes `&self`, so client I/O proceeds during and
+    /// between steps. The caller must serialize each step against client
+    /// *writes* to the stripes in the batch (see the module docs);
+    /// reads need no coordination.
+    ///
+    /// On error the cursor stays on the failing stripe: the ticket (or a
+    /// fresh `begin_*`) can retry after the cause is repaired.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::WrongDiskState`] if the disk's state changed under
+    /// the ticket (e.g. re-failed replacement);
+    /// [`ArrayError::SpareUnavailable`] if a needed spare cell is on a
+    /// failed disk; [`ArrayError::SpareMissing`] if the layout provides
+    /// no spare cell for an affected stripe;
+    /// [`ArrayError::Unrecoverable`] if reconstruction is impossible.
+    pub fn rebuild_step(
+        &self,
+        ticket: &mut RebuildTicket,
+        batch: u64,
+    ) -> Result<RebuildProgress, ArrayError> {
+        let result = self.rebuild_step_inner(ticket, batch.max(1));
+        if result.is_err() {
+            self.emit(ObsEvent::RebuildHalted {
+                repaired: ticket.repaired(),
+                total: ticket.total(),
+            });
+        }
+        result
+    }
+
+    fn rebuild_step_inner(
+        &self,
+        ticket: &mut RebuildTicket,
+        batch: u64,
+    ) -> Result<RebuildProgress, ArrayError> {
+        // Revalidate: the array may have changed since the ticket was
+        // issued (or since the last step).
+        {
+            let failed = rlock(&self.failed);
+            let valid = match ticket.kind {
+                RebuildKind::Spare => {
+                    failed.contains(&ticket.disk) && !rlock(&self.spared).contains(&ticket.disk)
+                }
+                RebuildKind::CopyBack => failed.contains(&ticket.disk),
+            };
+            // A finished ticket is always steppable (it's a no-op), so
+            // callers can drive to completion without racing lifecycle
+            // changes that happen after finalization.
+            let finished = ticket.is_done() && ticket.finalized;
+            if !valid && !finished {
+                return Err(ArrayError::WrongDiskState);
+            }
+        }
+        let mut stepped = 0u64;
+        while stepped < batch && !ticket.is_done() {
+            let stripe = ticket.stripes[ticket.cursor];
+            match ticket.kind {
+                RebuildKind::Spare => self.spare_step(stripe, ticket.disk)?,
+                RebuildKind::CopyBack => self.copy_back_step(stripe, ticket.disk)?,
+            }
+            ticket.cursor += 1;
+            stepped += 1;
+            self.emit(ObsEvent::RebuildProgress {
+                repaired: ticket.repaired(),
+                total: ticket.total(),
+            });
+        }
+        if ticket.is_done() && !ticket.finalized {
+            match ticket.kind {
+                RebuildKind::Spare => {
+                    wlock(&self.spared).insert(ticket.disk);
+                }
+                RebuildKind::CopyBack => {
+                    wlock(&self.failed).remove(&ticket.disk);
+                    wlock(&self.spared).remove(&ticket.disk);
+                    wlock(&self.restoring).retain(|a| a.disk != ticket.disk);
+                }
+            }
+            ticket.finalized = true;
+            if ticket.total() == 0 {
+                // No per-unit events fired; emit one terminal marker.
+                self.emit(ObsEvent::RebuildProgress {
+                    repaired: 0,
+                    total: 0,
+                });
+            }
+        }
+        Ok(RebuildProgress {
+            repaired: ticket.repaired(),
+            total: ticket.total(),
+            done: ticket.is_done(),
+        })
+    }
+
+    /// Reconstruct `stripe`'s unit on failed `disk` into its spare cell
+    /// and insert the redirect.
+    fn spare_step(&self, stripe: u64, disk: usize) -> Result<(), ArrayError> {
+        let Some(lost) = self.lost_unit(stripe, disk) else {
+            return Ok(());
+        };
+        if rlock(&self.redirects)
+            .get(&lost.addr)
+            .is_some_and(|t| !lock(&self.disks[t.disk]).is_failed())
+        {
+            return Ok(()); // already safely in spare space
+        }
+        let spare = self
+            .layout
+            .spare_unit(stripe, disk)
+            .ok_or(ArrayError::SpareMissing { stripe })?;
+        if lock(&self.disks[spare.disk]).is_failed() {
+            return Err(ArrayError::SpareUnavailable);
+        }
+        let shards = self.stripe_shards(stripe)?;
+        let content = match lost.role {
+            Role::Data => &shards[lost.index],
+            Role::Check => &shards[self.layout.data_per_stripe() + lost.index],
+            Role::Spare => unreachable!("stripe units are never spares"),
+        };
+        lock(&self.disks[spare.disk]).write_unit(spare.offset, content)?;
+        wlock(&self.redirects).insert(lost.addr, spare);
+        Ok(())
+    }
+
+    /// Restore `stripe`'s unit on replacement `disk`: copy back from
+    /// spare space when a redirect exists, reconstruct through parity
+    /// otherwise. A unit a client write already validated needs nothing.
+    fn copy_back_step(&self, stripe: u64, disk: usize) -> Result<(), ArrayError> {
+        let Some(lost) = self.lost_unit(stripe, disk) else {
+            return Ok(());
+        };
+        let redirect = rlock(&self.redirects).get(&lost.addr).copied();
+        if let Some(spare) = redirect {
+            let content = lock(&self.disks[spare.disk]).read_unit(spare.offset)?;
+            lock(&self.disks[disk]).write_unit(lost.addr.offset, &content)?;
+            wlock(&self.redirects).remove(&lost.addr);
+        } else if rlock(&self.restoring).contains(&lost.addr) {
+            // read_phys treats restoring units as failed, so the normal
+            // reconstruction path recovers the content from survivors.
             let shards = self.stripe_shards(stripe)?;
             let content = match lost.role {
                 Role::Data => &shards[lost.index],
                 Role::Check => &shards[self.layout.data_per_stripe() + lost.index],
                 Role::Spare => unreachable!("stripe units are never spares"),
             };
-            lock(&self.disks[spare.disk]).write_unit(spare.offset, content)?;
-            self.redirects.insert(lost.addr, spare);
-            rebuilt += 1;
-            self.emit(ObsEvent::RebuildProgress {
-                repaired: rebuilt,
-                total: 0,
-            });
+            lock(&self.disks[disk]).write_unit(lost.addr.offset, content)?;
+            wlock(&self.restoring).remove(&lost.addr);
         }
-        self.spared.insert(disk);
-        self.emit(ObsEvent::RebuildProgress {
-            repaired: rebuilt,
-            total: rebuilt,
-        });
-        Ok(rebuilt)
+        Ok(())
+    }
+
+    /// Rebuild a failed disk's stripe units into the layout's distributed
+    /// spare space, to completion (a [`DeclusteredArray::begin_rebuild`]
+    /// ticket stepped in one unbounded batch). The disk slot stays
+    /// empty; reads are redirected. Returns the number of units rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// As [`DeclusteredArray::begin_rebuild`] and
+    /// [`DeclusteredArray::rebuild_step`]. On a mid-rebuild error the
+    /// completed units stay redirected and a retry (after repairing the
+    /// cause) skips them.
+    pub fn rebuild_to_spare(&mut self, disk: usize) -> Result<u64, ArrayError> {
+        let mut ticket = self.begin_rebuild(disk)?;
+        let progress = self.rebuild_step(&mut ticket, u64::MAX)?;
+        Ok(progress.repaired)
     }
 
     /// Install a blank replacement drive in a failed slot and restore its
-    /// contents — by copy-back from spare space when the disk had been
-    /// rebuilt, by reconstruction otherwise. Clears the redirects and
+    /// contents to completion (a [`DeclusteredArray::begin_copy_back`]
+    /// ticket stepped in one unbounded batch). Clears the redirects and
     /// returns the array (slot) to fault-free operation.
     ///
     /// # Errors
@@ -642,78 +983,9 @@ impl DeclusteredArray {
     /// [`ArrayError::WrongDiskState`] if the disk is not failed;
     /// [`ArrayError::Unrecoverable`] if reconstruction is impossible.
     pub fn replace_and_rebuild(&mut self, disk: usize) -> Result<u64, ArrayError> {
-        if !self.failed.contains(&disk) {
-            return Err(ArrayError::WrongDiskState);
-        }
-        lock(&self.disks[disk]).replace();
-        let mut restored = 0u64;
-        for stripe in 0..self.periods * self.layout.stripes_per_period() {
-            let units = self.layout.stripe_units(stripe);
-            let Some(lost) = units.iter().find(|u| u.addr.disk == disk) else {
-                continue;
-            };
-            let content = if let Some(&spare) = self.redirects.get(&lost.addr) {
-                // Copy-back from spare space.
-                lock(&self.disks[spare.disk]).read_unit(spare.offset)?
-            } else {
-                let shards = self.stripe_shards_excluding(stripe, disk)?;
-                match lost.role {
-                    Role::Data => shards[lost.index].clone(),
-                    Role::Check => shards[self.layout.data_per_stripe() + lost.index].clone(),
-                    Role::Spare => unreachable!("stripe units are never spares"),
-                }
-            };
-            lock(&self.disks[disk]).write_unit(lost.addr.offset, &content)?;
-            self.redirects.remove(&lost.addr);
-            restored += 1;
-            self.emit(ObsEvent::RebuildProgress {
-                repaired: restored,
-                total: 0,
-            });
-        }
-        self.failed.remove(&disk);
-        self.spared.remove(&disk);
-        self.emit(ObsEvent::RebuildProgress {
-            repaired: restored,
-            total: restored,
-        });
-        Ok(restored)
-    }
-
-    /// Like [`Self::stripe_shards`] but treating `exclude` as failed even
-    /// though its (blank) replacement is already installed.
-    fn stripe_shards_excluding(
-        &self,
-        stripe: u64,
-        exclude: usize,
-    ) -> Result<Vec<Vec<u8>>, ArrayError> {
-        let d = self.layout.data_per_stripe();
-        let c = self.layout.check_per_stripe();
-        let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(d + c);
-        type MaybeShard = Result<Option<Vec<u8>>, ArrayError>;
-        let push = |addr: PhysAddr| -> MaybeShard {
-            if addr.disk == exclude && !self.redirects.contains_key(&addr) {
-                return Ok(None);
-            }
-            self.read_phys(addr)
-        };
-        for i in 0..d {
-            let v = push(self.layout.data_unit(stripe, i))?;
-            shards.push(v);
-        }
-        for i in 0..c {
-            let v = push(self.layout.check_unit(stripe, i))?;
-            shards.push(v);
-        }
-        if shards.iter().any(Option::is_none) {
-            self.rs
-                .reconstruct(&mut shards)
-                .map_err(|_| ArrayError::Unrecoverable { stripe })?;
-        }
-        Ok(shards
-            .into_iter()
-            .map(|s| s.expect("reconstructed"))
-            .collect())
+        let mut ticket = self.begin_copy_back(disk)?;
+        let progress = self.rebuild_step(&mut ticket, u64::MAX)?;
+        Ok(progress.repaired)
     }
 
     /// Verify parity consistency of every stripe on healthy disks;
@@ -898,7 +1170,10 @@ mod tests {
         // debug-mode panic.
         assert_eq!(a.read(u64::MAX, 1), Err(ArrayError::BadAddress));
         assert_eq!(a.read(u64::MAX - 1, 2), Err(ArrayError::BadAddress));
-        assert_eq!(a.write(u64::MAX, &pattern(16, 0)), Err(ArrayError::BadAddress));
+        assert_eq!(
+            a.write(u64::MAX, &pattern(16, 0)),
+            Err(ArrayError::BadAddress)
+        );
         assert_eq!(a.fail_disk(99), Err(ArrayError::WrongDiskState));
         assert_eq!(a.replace_and_rebuild(0), Err(ArrayError::WrongDiskState));
         a.fail_disk(0).unwrap();
@@ -955,6 +1230,214 @@ mod tests {
                 .counter("journal.replayed_stripes"),
             Some(1)
         );
+    }
+
+    #[test]
+    fn batched_rebuild_steps_report_progress_and_complete() {
+        let mut a = small_array();
+        let buf = pattern(16 * 24, 10);
+        a.write(0, &buf).unwrap();
+        a.fail_disk(5).unwrap();
+        let mut t = a.begin_rebuild(5).unwrap();
+        let total = t.total();
+        assert!(total > 0);
+        assert_eq!(t.kind(), RebuildKind::Spare);
+        assert_eq!(t.disk(), 5);
+        let mut last = 0;
+        while !t.is_done() {
+            let p = a.rebuild_step(&mut t, 2).unwrap();
+            assert_eq!(p.total, total, "total stays constant across steps");
+            assert!(p.repaired > last && p.repaired <= last + 2);
+            last = p.repaired;
+            // Client I/O between batches sees correct data throughout.
+            assert_eq!(a.read(0, 24).unwrap(), buf);
+        }
+        assert_eq!(a.mode(), ArrayMode::PostReconstruction);
+        // Stepping a completed ticket is a harmless no-op.
+        let p = a.rebuild_step(&mut t, 8).unwrap();
+        assert!(p.done);
+        assert_eq!(p.repaired, total);
+        a.replace_and_rebuild(5).unwrap();
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn incremental_copy_back_validates_client_writes_early() {
+        // Replace a degraded (never-spared) disk and restore it in small
+        // batches: mid-restore reads reconstruct through parity, and a
+        // client write validates its units ahead of the copy-back.
+        let mut a = small_array();
+        let buf = pattern(16 * 24, 13);
+        a.write(0, &buf).unwrap();
+        a.fail_disk(4).unwrap();
+        let mut t = a.begin_copy_back(4).unwrap();
+        assert_eq!(t.kind(), RebuildKind::CopyBack);
+        assert!(t.total() > 0);
+        a.rebuild_step(&mut t, 1).unwrap();
+        assert_eq!(a.read(0, 24).unwrap(), buf);
+        let newer = pattern(16 * 24, 14);
+        a.write(0, &newer).unwrap();
+        assert_eq!(a.read(0, 24).unwrap(), newer);
+        while !t.is_done() {
+            a.rebuild_step(&mut t, 2).unwrap();
+        }
+        assert_eq!(a.mode(), ArrayMode::FaultFree);
+        assert_eq!(a.read(0, 24).unwrap(), newer);
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn rebuild_progress_events_carry_true_totals() {
+        use pddl_obs::{ObsConfig, Observer};
+        use std::sync::{Arc, Mutex};
+        let obs = Arc::new(Mutex::new(Observer::new(ObsConfig::default())));
+        let mut a = small_array();
+        a.attach_observer(obs.clone());
+        a.write(0, &pattern(16 * 24, 7)).unwrap();
+        a.fail_disk(2).unwrap();
+        let rebuilt = a.rebuild_to_spare(2).unwrap();
+        assert!(rebuilt > 0);
+        let collect = || -> Vec<(u64, u64)> {
+            obs.lock()
+                .unwrap()
+                .tracer()
+                .iter()
+                .filter_map(|&(_, e)| match e {
+                    ObsEvent::RebuildProgress { repaired, total } => Some((repaired, total)),
+                    _ => None,
+                })
+                .collect()
+        };
+        // Every per-unit event — not just the last — carries the true,
+        // constant, nonzero total, and repaired counts up to it.
+        let progress = collect();
+        assert_eq!(progress.len() as u64, rebuilt);
+        for (i, &(repaired, total)) in progress.iter().enumerate() {
+            assert_eq!(total, rebuilt, "event {i} total");
+            assert_eq!(repaired, i as u64 + 1, "event {i} repaired");
+        }
+        // Copy-back restores the same unit set and behaves the same.
+        let restored = a.replace_and_rebuild(2).unwrap();
+        let after = &collect()[progress.len()..];
+        assert_eq!(after.len() as u64, restored);
+        for (i, &(repaired, total)) in after.iter().enumerate() {
+            assert_eq!(total, restored, "copy-back event {i} total");
+            assert_eq!(repaired, i as u64 + 1, "copy-back event {i} repaired");
+        }
+    }
+
+    /// A layout that claims sparing support but never produces a spare
+    /// cell — the shape of bug `rebuild_to_spare` used to panic on.
+    #[derive(Debug)]
+    struct SparelessSparing(Pddl);
+
+    impl Layout for SparelessSparing {
+        fn name(&self) -> &str {
+            "broken-sparing"
+        }
+        fn disks(&self) -> usize {
+            self.0.disks()
+        }
+        fn stripe_width(&self) -> usize {
+            self.0.stripe_width()
+        }
+        fn check_per_stripe(&self) -> usize {
+            self.0.check_per_stripe()
+        }
+        fn period_rows(&self) -> u64 {
+            self.0.period_rows()
+        }
+        fn stripes_per_period(&self) -> u64 {
+            self.0.stripes_per_period()
+        }
+        fn data_units_per_period(&self) -> u64 {
+            self.0.data_units_per_period()
+        }
+        fn locate(&self, logical: u64) -> (u64, usize) {
+            self.0.locate(logical)
+        }
+        fn data_unit(&self, stripe: u64, index: usize) -> PhysAddr {
+            self.0.data_unit(stripe, index)
+        }
+        fn check_unit(&self, stripe: u64, index: usize) -> PhysAddr {
+            self.0.check_unit(stripe, index)
+        }
+        fn has_sparing(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn missing_spare_cell_is_a_typed_error_not_a_panic() {
+        let layout = SparelessSparing(Pddl::new(7, 3).unwrap());
+        let mut a = DeclusteredArray::new(Box::new(layout), 16, 2).unwrap();
+        let buf = pattern(16 * 10, 9);
+        a.write(0, &buf).unwrap();
+        a.fail_disk(1).unwrap();
+        let err = a.rebuild_to_spare(1).unwrap_err();
+        assert!(matches!(err, ArrayError::SpareMissing { .. }), "{err:?}");
+        // The failure degrades to an error: the array keeps serving.
+        assert_eq!(a.mode(), ArrayMode::Degraded);
+        assert_eq!(a.read(0, 10).unwrap(), buf);
+    }
+
+    #[test]
+    fn spare_failure_mid_rebuild_halts_then_resumes_cleanly() {
+        use pddl_obs::{ObsConfig, Observer};
+        use std::sync::{Arc, Mutex};
+        // Two check units so the array survives the spare disk failing
+        // while the first disk is still partially rebuilt.
+        let layout = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
+        let obs = Arc::new(Mutex::new(Observer::new(ObsConfig::default())));
+        let mut a = DeclusteredArray::new(Box::new(layout), 8, 1).unwrap();
+        a.attach_observer(obs.clone());
+        let cap = a.capacity_units();
+        let buf = pattern(8 * cap as usize, 11);
+        a.write(0, &buf).unwrap();
+        a.fail_disk(3).unwrap();
+        let mut t = a.begin_rebuild(3).unwrap();
+        let total = t.total();
+        let pending: Vec<u64> = t.pending_stripes().to_vec();
+        let spare_of = |s: u64| a.layout().spare_unit(s, 3).unwrap().disk;
+        // Pick a spare disk that the first stripe does NOT use, so one
+        // redirect lands and survives before the spare disk dies.
+        let first = spare_of(pending[0]);
+        let b = pending
+            .iter()
+            .map(|&s| spare_of(s))
+            .find(|&d| d != first && d != 3)
+            .expect("distributed sparing uses more than one spare disk");
+        a.rebuild_step(&mut t, 1).unwrap();
+        a.fail_disk(b).unwrap();
+        // Stepping on must halt with a typed error once a needed spare
+        // cell sits on the failed disk — no spared marking, no panic.
+        let err = loop {
+            match a.rebuild_step(&mut t, 1) {
+                Ok(p) if p.done => break None,
+                Ok(_) => {}
+                Err(e) => break Some(e),
+            }
+        };
+        assert_eq!(err, Some(ArrayError::SpareUnavailable));
+        assert_eq!(a.mode(), ArrayMode::Degraded);
+        // The halt is observable as a terminal event.
+        assert!(
+            obs.lock().unwrap().registry().counter("rebuild.halts") >= Some(1),
+            "terminal halted event must be emitted"
+        );
+        // Repair the spare disk, retry: the retry skips the units that
+        // were already redirected, completes, and the data checks out.
+        a.replace_and_rebuild(b).unwrap();
+        let rebuilt = a.rebuild_to_spare(3).unwrap();
+        assert!(
+            rebuilt < total,
+            "retry must skip already-redirected units ({rebuilt} vs {total})"
+        );
+        assert_eq!(a.mode(), ArrayMode::PostReconstruction);
+        assert_eq!(a.read(0, cap).unwrap(), buf);
+        a.replace_and_rebuild(3).unwrap();
+        assert_eq!(a.mode(), ArrayMode::FaultFree);
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
     }
 
     #[test]

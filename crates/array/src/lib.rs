@@ -37,5 +37,7 @@
 mod array;
 mod blockdev;
 
-pub use array::{ArrayError, ArrayMode, DeclusteredArray};
+pub use array::{
+    ArrayError, ArrayMode, DeclusteredArray, RebuildKind, RebuildProgress, RebuildTicket,
+};
 pub use blockdev::{BlockDevice, DiskError, FileDisk, RamDisk};

@@ -126,6 +126,99 @@ fn journal_recovery_then_scrub_reports_zero_inconsistencies() -> Result<(), Arra
     Ok(())
 }
 
+/// The tentpole scenario at the array level: reader and writer threads
+/// drive client I/O through `&self` while a third thread steps a
+/// `RebuildTicket` in small batches. Writers stay off the stripes the
+/// rebuild touches (the caller-serialization rule `pddl-server` enforces
+/// with its stripe locks); readers roam everywhere, reconstructing
+/// degraded stripes mid-rebuild. Every read must match the model and the
+/// array must scrub clean afterwards.
+#[test]
+fn client_io_proceeds_during_batched_rebuild() {
+    const VICTIM: usize = 2;
+    const WRITERS: u64 = 3;
+    let layout = Pddl::new(7, 3).unwrap();
+    let mut a = DeclusteredArray::new(Box::new(layout), 32, 6).unwrap();
+    let cap = a.capacity_units();
+    // Model: unit `u` always holds pattern(32, u) — writers rewrite the
+    // same bytes, so reads have a single correct answer at all times.
+    for u in 0..cap {
+        a.write(u, &pattern(32, u)).unwrap();
+    }
+    a.fail_disk(VICTIM).unwrap();
+    let mut ticket = a.begin_rebuild(VICTIM).unwrap();
+    let total = ticket.total();
+    assert!(total > 0);
+
+    let a = Arc::new(a);
+    let errors = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..WRITERS {
+        let a = Arc::clone(&a);
+        handles.push(std::thread::spawn(move || {
+            for _round in 0..8u64 {
+                for u in 0..cap {
+                    let (stripe, _) = a.layout().locate(u);
+                    // Disjoint stripe ownership between writers, and no
+                    // writes to stripes the rebuild will repair.
+                    if stripe % WRITERS != t
+                        || a.layout()
+                            .stripe_units(stripe)
+                            .iter()
+                            .any(|su| su.addr.disk == VICTIM)
+                    {
+                        continue;
+                    }
+                    a.write(u, &pattern(32, u)).unwrap();
+                }
+            }
+        }));
+    }
+    for t in 0..3u64 {
+        let a = Arc::clone(&a);
+        let errors = Arc::clone(&errors);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..12u64 {
+                for u in 0..cap {
+                    if (u + t) % 3 != round % 3 {
+                        continue;
+                    }
+                    match a.read(u, 1) {
+                        Ok(got) if got == pattern(32, u) => {}
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    // Step the rebuild in small batches on this thread, yielding between
+    // batches so reader/writer threads interleave with it.
+    let mut last = 0;
+    loop {
+        let p = a.rebuild_step(&mut ticket, 2).unwrap();
+        assert_eq!(p.total, total);
+        assert!(p.repaired >= last);
+        last = p.repaired;
+        if p.done {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(errors.load(Ordering::Relaxed), 0, "reads matched the model");
+    assert_eq!(a.mode(), pddl_array::ArrayMode::PostReconstruction);
+    for u in 0..cap {
+        assert_eq!(a.read(u, 1).unwrap(), pattern(32, u));
+    }
+    assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+    assert!(a.outstanding_intents().is_empty());
+}
+
 /// Lifecycle events emitted from concurrent writers keep strictly
 /// increasing pseudo-timestamps in the tracer.
 #[test]

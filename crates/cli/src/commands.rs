@@ -12,7 +12,7 @@ use pddl_core::pddl::search::{find_base_permutations_with_spares, SearchBudget};
 use pddl_core::plan::{Mode, Op};
 use pddl_core::{Datum, ParityDeclustering, Pddl, PrimeLayout, PseudoRandom, Raid5, Role};
 use pddl_obs::{MetricsSnapshot, ObsConfig, ObsSink, Observer, SyncAdapter, SyncSharedSink};
-use pddl_server::engine::Engine;
+use pddl_server::engine::{Engine, RebuildConfig};
 use pddl_server::server::{serve, ServerConfig};
 use pddl_server::BenchConfig;
 use pddl_sim::trace::{format_trace, parse_trace, synthesize_poisson};
@@ -47,13 +47,17 @@ USAGE:
                    per-disk utilization skew
   pddl serve     --disks N --width K [--unit B] [--periods P]
                  [--addr HOST:PORT] [--workers W] [--queue-depth Q]
-                 [--shards S] [--duration-ms T]
-                   export the functional array as a TCP block service
+                 [--shards S] [--duration-ms T] [--rebuild-batch B]
+                 [--rebuild-rate R]
+                   export the functional array as a TCP block service;
+                   REBUILD runs online in batches of B stripes,
+                   throttled to R stripes/sec (0 = unthrottled)
   pddl remote-bench --addr HOST:PORT | --self-serve [--threads T]
                  [--ops N] [--read-frac F] [--max-units U] [--seed S]
-                 [--metrics FILE]
+                 [--metrics FILE] [--fail-disk D]
                    closed-loop load generator: throughput and latency
-                   percentiles against a served volume
+                   percentiles against a served volume; --fail-disk
+                   fails disk D mid-run and rebuilds it under load
 
 OBSERVABILITY (simulate, rebuild, replay, drill, serve):
   --trace FILE     write a Chrome trace-event JSON (open in Perfetto)
@@ -597,10 +601,20 @@ fn build_engine(cli: &Cli, obs: Option<&ObsOutput>) -> Result<Engine, String> {
     let unit: usize = cli.num("unit", 512)?;
     let periods: u64 = cli.num("periods", 4)?;
     let shards: usize = cli.num("shards", pddl_server::engine::DEFAULT_SHARDS)?;
+    let rebuild = RebuildConfig {
+        batch: cli.num("rebuild-batch", RebuildConfig::default().batch)?,
+        rate: cli.num("rebuild-rate", 0.0)?,
+    };
     let layout = Pddl::new(n, k).map_err(|e| e.to_string())?;
-    let array =
+    let mut array =
         DeclusteredArray::new(Box::new(layout), unit, periods).map_err(|e| e.to_string())?;
-    let mut engine = Engine::with_shards(array, shards);
+    if let Some(o) = obs {
+        // The array emits the rebuild lifecycle (progress, halts) and
+        // journal events; the engine adds per-request spans and rebuild
+        // batch timings on top. Both feed the same observer.
+        array.attach_observer(o.sync_sink());
+    }
+    let mut engine = Engine::with_config(array, shards, rebuild);
     if let Some(o) = obs {
         engine.attach_observer(o.sync_sink());
     }
@@ -655,12 +669,20 @@ pub fn serve_cmd(cli: &Cli) -> Result<(), String> {
 /// volume; reports throughput and latency percentiles from the obs
 /// log-histogram.
 pub fn remote_bench(cli: &Cli) -> Result<(), String> {
+    let fail_disk = match cli.get("fail-disk") {
+        Some(v) => Some(
+            v.parse::<u32>()
+                .map_err(|_| format!("--fail-disk: not a disk index: {v}"))?,
+        ),
+        None => None,
+    };
     let cfg = BenchConfig {
         threads: cli.num("threads", 4)?,
         ops_per_thread: cli.num("ops", 500)?,
         read_fraction: cli.num("read-frac", 0.7)?,
         max_units: cli.num("max-units", 4)?,
         seed: cli.num("seed", 42)?,
+        fail_disk,
     };
     if !(0.0..=1.0).contains(&cfg.read_fraction) {
         return Err("--read-frac must be in [0, 1]".into());

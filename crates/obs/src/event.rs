@@ -111,7 +111,22 @@ pub enum Event {
     RebuildProgress {
         /// Units repaired so far.
         repaired: u64,
-        /// Total units to repair (0 when unknown).
+        /// Total units to repair.
+        total: u64,
+    },
+    /// One bounded rebuild batch finished (incremental rebuild).
+    RebuildBatch {
+        /// Stripe units repaired in this batch.
+        stripes: u64,
+        /// Wall-clock duration of the batch, including lock waits.
+        duration_ns: Nanos,
+    },
+    /// A rebuild stopped before completion. The partial state is
+    /// resumable: a retry skips units that were already repaired.
+    RebuildHalted {
+        /// Units repaired before the halt.
+        repaired: u64,
+        /// Total units the rebuild set out to repair.
         total: u64,
     },
     /// A write-intent journal entry was committed (cleanly retired).
@@ -149,6 +164,8 @@ impl Event {
             Event::AccessEnd { .. } => "access_end",
             Event::OpServiced { .. } => "op_serviced",
             Event::RebuildProgress { .. } => "rebuild_progress",
+            Event::RebuildBatch { .. } => "rebuild_batch",
+            Event::RebuildHalted { .. } => "rebuild_halted",
             Event::JournalCommit { .. } => "journal_commit",
             Event::JournalReplay { .. } => "journal_replay",
             Event::ScrubPass { .. } => "scrub_pass",

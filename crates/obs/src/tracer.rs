@@ -269,6 +269,15 @@ impl EventTracer {
                 Event::RebuildProgress { repaired, total } => {
                     let _ = write!(out, "\trepaired={repaired}\ttotal={total}");
                 }
+                Event::RebuildBatch {
+                    stripes,
+                    duration_ns,
+                } => {
+                    let _ = write!(out, "\tstripes={stripes}\tduration_ns={duration_ns}");
+                }
+                Event::RebuildHalted { repaired, total } => {
+                    let _ = write!(out, "\trepaired={repaired}\ttotal={total}");
+                }
                 Event::JournalCommit { stripe } => {
                     let _ = write!(out, "\tstripe={stripe}");
                 }
@@ -299,6 +308,15 @@ impl EventTracer {
 fn instant_args(event: &Event) -> String {
     match *event {
         Event::RebuildProgress { repaired, total } => {
+            format!("\"repaired\":{repaired},\"total\":{total}")
+        }
+        Event::RebuildBatch {
+            stripes,
+            duration_ns,
+        } => {
+            format!("\"stripes\":{stripes},\"duration_ns\":{duration_ns}")
+        }
+        Event::RebuildHalted { repaired, total } => {
             format!("\"repaired\":{repaired},\"total\":{total}")
         }
         Event::JournalCommit { stripe } => format!("\"stripe\":{stripe}"),
@@ -416,6 +434,20 @@ mod tests {
                 total: 10,
             },
         );
+        t.push(
+            5,
+            Event::RebuildBatch {
+                stripes: 4,
+                duration_ns: 123,
+            },
+        );
+        t.push(
+            5,
+            Event::RebuildHalted {
+                repaired: 4,
+                total: 10,
+            },
+        );
         t.push(5, Event::JournalCommit { stripe: 3 });
         t.push(6, Event::JournalReplay { stripes: 2 });
         t.push(
@@ -439,6 +471,8 @@ mod tests {
             "op_serviced",
             "access_end",
             "rebuild_progress",
+            "rebuild_batch",
+            "rebuild_halted",
             "journal_commit",
             "journal_replay",
             "scrub_pass",

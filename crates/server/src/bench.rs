@@ -10,12 +10,13 @@
 //! of the observability stack uses.
 
 use std::net::SocketAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pddl_core::rng::Xoshiro256pp;
 use pddl_obs::{LogHistogram, MetricsRegistry};
 
 use crate::client::{Client, ClientError};
+use crate::wire::RebuildStatus;
 
 /// Load-generator knobs.
 #[derive(Debug, Clone)]
@@ -30,6 +31,10 @@ pub struct BenchConfig {
     pub max_units: u32,
     /// RNG seed; thread `t` uses `seed + t`.
     pub seed: u64,
+    /// Fail this disk mid-run and rebuild it while load continues — the
+    /// paper's degraded/rebuild-mode measurement scenario. `None` keeps
+    /// the whole run fault-free.
+    pub fail_disk: Option<u32>,
 }
 
 impl Default for BenchConfig {
@@ -40,6 +45,7 @@ impl Default for BenchConfig {
             read_fraction: 0.7,
             max_units: 4,
             seed: 0x9e37_79b9,
+            fail_disk: None,
         }
     }
 }
@@ -56,6 +62,9 @@ pub struct BenchReport {
     /// Registry holding the merged `latency.client_ns` histogram plus
     /// `bench.ops` / `bench.errors` counters — ready for TSV export.
     pub registry: MetricsRegistry,
+    /// Terminal rebuild status when [`BenchConfig::fail_disk`] ran the
+    /// fail-and-rebuild scenario.
+    pub rebuild: Option<RebuildStatus>,
 }
 
 impl BenchReport {
@@ -85,7 +94,7 @@ impl BenchReport {
                 h.quantile(0.99),
             )
         });
-        format!(
+        let mut out = format!(
             "ops        {}\nerrors     {}\nelapsed    {:.3} s\nthroughput {:.1} ops/s\nlatency    mean {:.1} us  p50 {:.1} us  p95 {:.1} us  p99 {:.1} us\n",
             self.ops,
             self.errors,
@@ -95,7 +104,14 @@ impl BenchReport {
             p50 as f64 / 1e3,
             p95 as f64 / 1e3,
             p99 as f64 / 1e3,
-        )
+        );
+        if let Some(r) = &self.rebuild {
+            out.push_str(&format!(
+                "rebuild    disk {} {:?} {}/{} stripes\n",
+                r.disk, r.state, r.repaired, r.total
+            ));
+        }
+        out
     }
 }
 
@@ -162,6 +178,21 @@ pub fn run(addr: SocketAddr, cfg: &BenchConfig) -> Result<BenchReport, ClientErr
         })
         .collect();
 
+    // The fault-injection scenario runs on its own management
+    // connection while the load threads hammer the volume: fail the
+    // disk, kick off the background rebuild, poll it to a terminal
+    // state. Ops that race the failure may error; they are counted,
+    // which is the point of the measurement.
+    let mgmt = cfg.fail_disk.map(|disk| {
+        std::thread::spawn(move || -> Result<RebuildStatus, ClientError> {
+            let mut c = Client::connect(addr)?;
+            std::thread::sleep(Duration::from_millis(30));
+            c.fail_disk(disk)?;
+            c.rebuild(disk)?;
+            c.wait_rebuild(Duration::from_millis(10), Duration::from_secs(120))
+        })
+    });
+
     let mut merged = LogHistogram::new();
     let mut ops = 0u64;
     let mut errors = 0u64;
@@ -174,6 +205,13 @@ pub fn run(addr: SocketAddr, cfg: &BenchConfig) -> Result<BenchReport, ClientErr
         merged.merge(&outcome.hist);
     }
     let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let rebuild = match mgmt {
+        Some(h) => Some(
+            h.join()
+                .map_err(|_| ClientError::Protocol("management thread panicked".into()))??,
+        ),
+        None => None,
+    };
 
     let mut registry = MetricsRegistry::new();
     registry.add("bench.ops", ops);
@@ -190,5 +228,6 @@ pub fn run(addr: SocketAddr, cfg: &BenchConfig) -> Result<BenchReport, ClientErr
         errors,
         elapsed_ns,
         registry,
+        rebuild,
     })
 }

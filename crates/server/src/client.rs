@@ -6,7 +6,7 @@ use std::fmt;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::wire::{self, Op, Request, Status, VolumeInfo, WireError};
+use crate::wire::{self, Op, RebuildState, RebuildStatus, Request, Status, VolumeInfo, WireError};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -85,6 +85,22 @@ impl Client {
         length: u32,
         payload: Vec<u8>,
     ) -> Result<Vec<u8>, ClientError> {
+        let (status, payload) = self.call_raw(op, offset, length, payload)?;
+        if status != Status::Ok {
+            return Err(ClientError::Server(status));
+        }
+        Ok(payload)
+    }
+
+    /// One round trip, returning the status verbatim — for ops like
+    /// REBUILD where more than one status means success.
+    fn call_raw(
+        &mut self,
+        op: Op,
+        offset: u64,
+        length: u32,
+        payload: Vec<u8>,
+    ) -> Result<(Status, Vec<u8>), ClientError> {
         self.next_id += 1;
         let id = self.next_id;
         wire::write_request(
@@ -105,10 +121,7 @@ impl Client {
                 resp.id
             )));
         }
-        if resp.status != Status::Ok {
-            return Err(ClientError::Server(resp.status));
-        }
-        Ok(resp.payload)
+        Ok((resp.status, resp.payload))
     }
 
     /// Read `units` stripe units starting at logical unit `offset`.
@@ -184,18 +197,63 @@ impl Client {
         Ok(())
     }
 
-    /// Management: rebuild failed `disk` into distributed spare space;
-    /// returns the number of units rebuilt.
+    /// Management: start rebuilding failed `disk` into distributed
+    /// spare space. The server validates synchronously but reconstructs
+    /// in the background — this returns as soon as the rebuild is
+    /// accepted; poll [`Client::rebuild_status`] (or use
+    /// [`Client::wait_rebuild`]) for progress and completion.
     ///
     /// # Errors
     ///
-    /// As [`Client::read_units`].
-    pub fn rebuild(&mut self, disk: u32) -> Result<u64, ClientError> {
-        let payload = self.call(Op::Rebuild, disk as u64, 0, Vec::new())?;
-        let bytes: [u8; 8] = payload
-            .try_into()
-            .map_err(|_| ClientError::Protocol("REBUILD payload is not 8 bytes".into()))?;
-        Ok(u64::from_be_bytes(bytes))
+    /// As [`Client::read_units`]; validation errors (wrong disk state,
+    /// no sparing) come back immediately.
+    pub fn rebuild(&mut self, disk: u32) -> Result<(), ClientError> {
+        let (status, _) = self.call_raw(Op::Rebuild, disk as u64, 0, Vec::new())?;
+        match status {
+            Status::Accepted | Status::Ok => Ok(()),
+            other => Err(ClientError::Server(other)),
+        }
+    }
+
+    /// Progress of the current (or most recent) rebuild.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`], plus a protocol error on an
+    /// undecodable payload.
+    pub fn rebuild_status(&mut self) -> Result<RebuildStatus, ClientError> {
+        let payload = self.call(Op::RebuildStatus, 0, 0, Vec::new())?;
+        RebuildStatus::decode(&payload)
+            .ok_or_else(|| ClientError::Protocol("undecodable REBUILD_STATUS payload".into()))
+    }
+
+    /// Poll [`Client::rebuild_status`] every `poll` until the rebuild
+    /// leaves [`RebuildState::Running`], returning the terminal status
+    /// (the caller inspects `state` for `Done` vs `Failed`/`Paused`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::rebuild_status`], plus a protocol error once
+    /// `timeout` elapses with the rebuild still running.
+    pub fn wait_rebuild(
+        &mut self,
+        poll: Duration,
+        timeout: Duration,
+    ) -> Result<RebuildStatus, ClientError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let status = self.rebuild_status()?;
+            if status.state != RebuildState::Running {
+                return Ok(status);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(ClientError::Protocol(format!(
+                    "rebuild still running after {timeout:?} ({}/{} stripes)",
+                    status.repaired, status.total
+                )));
+            }
+            std::thread::sleep(poll);
+        }
     }
 
     fn unit_bytes(&mut self) -> Result<usize, ClientError> {

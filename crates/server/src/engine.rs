@@ -9,24 +9,42 @@
 //! with two layers:
 //!
 //! * an `RwLock<DeclusteredArray>` — client I/O holds the **read**
-//!   lock (so any number of ops run concurrently), management ops
-//!   (`FAIL_DISK`, `REBUILD`) take the **write** lock and therefore see
-//!   a quiesced array;
+//!   lock (so any number of ops run concurrently), lifecycle ops
+//!   (`FAIL_DISK`) take the **write** lock and therefore see a quiesced
+//!   array;
 //! * a fixed table of stripe shard locks — each I/O computes the set of
 //!   `stripe % shards` indices its range touches and acquires them in
 //!   ascending order (total order ⇒ no deadlock). Writes to distinct
 //!   stripes proceed in parallel; writes that collide on a stripe (or a
 //!   shard) serialize. Reads take the same locks so a degraded-mode
 //!   reconstruction never observes a half-written stripe.
+//!
+//! # Online rebuild
+//!
+//! `REBUILD` no longer quiesces the array for the whole reconstruction.
+//! The request validates and creates a resumable
+//! [`RebuildTicket`](pddl_array::RebuildTicket) synchronously (typed
+//! errors still come back immediately), then a dedicated background
+//! thread steps it in bounded batches. Each batch holds only the array
+//! **read** lock plus the shard locks covering that batch's stripes —
+//! exactly the locks a client write to those stripes would take — so
+//! client I/O keeps flowing between (and alongside) batches, stalling
+//! only on a genuine stripe collision for one batch at most. Batch size
+//! and an optional stripes/sec rate limit come from [`RebuildConfig`];
+//! progress is published through atomics and served lock-free by
+//! `REBUILD_STATUS`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, RwLock};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use pddl_array::{ArrayError, ArrayMode, DeclusteredArray};
+use pddl_array::{ArrayError, ArrayMode, DeclusteredArray, RebuildTicket};
 use pddl_obs::{Actor, Event, SyncSharedSink};
 
-use crate::wire::{Op, Request, Response, Status, VolumeInfo, MAX_PAYLOAD};
+use crate::wire::{
+    Op, RebuildState, RebuildStatus, Request, Response, Status, VolumeInfo, MAX_PAYLOAD,
+};
 
 /// Default number of stripe shard locks.
 pub const DEFAULT_SHARDS: usize = 64;
@@ -40,6 +58,9 @@ fn status_of(e: &ArrayError) -> Status {
         ArrayError::WrongDiskState => Status::WrongDiskState,
         ArrayError::Disk(_) => Status::DiskError,
         ArrayError::Codec(_) => Status::CodecError,
+        // A layout that lies about sparing is a server-side defect, not
+        // a client error.
+        ArrayError::SpareMissing { .. } => Status::Internal,
         // The crash hook is a test-only fault injection; a server hitting
         // it is an internal failure, not a client error.
         ArrayError::InjectedCrash => Status::Internal,
@@ -48,6 +69,10 @@ fn status_of(e: &ArrayError) -> Status {
 
 fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn rdlock<T: ?Sized>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Validate a `[offset, offset + length)` unit range against the
@@ -61,14 +86,158 @@ fn check_range(a: &DeclusteredArray, offset: u64, length: u32) -> Result<(), Sta
     }
 }
 
+/// Knobs for the background incremental rebuild.
+#[derive(Debug, Clone, Copy)]
+pub struct RebuildConfig {
+    /// Stripes repaired per exclusive batch (minimum 1). Smaller batches
+    /// mean shorter client stalls on colliding stripes; larger batches
+    /// amortize lock traffic.
+    pub batch: u64,
+    /// Rate limit in stripes per second; `0.0` means unthrottled.
+    pub rate: f64,
+}
+
+impl Default for RebuildConfig {
+    fn default() -> Self {
+        Self {
+            batch: 32,
+            rate: 0.0,
+        }
+    }
+}
+
+const REBUILD_NONE: u8 = 0;
+const REBUILD_RUNNING: u8 = 1;
+const REBUILD_DONE: u8 = 2;
+const REBUILD_FAILED: u8 = 3;
+const REBUILD_PAUSED: u8 = 4;
+
+/// Background-rebuild control block: lock-free progress for the status
+/// op, plus the worker handle behind a mutex that also serializes
+/// start/stop decisions.
+struct RebuildCtl {
+    /// Worker thread handle; the guard also makes REBUILD-vs-REBUILD
+    /// races impossible (check state + spawn under one lock).
+    slot: Mutex<Option<JoinHandle<()>>>,
+    state: AtomicU8,
+    disk: AtomicU32,
+    repaired: AtomicU64,
+    total: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl RebuildCtl {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            state: AtomicU8::new(REBUILD_NONE),
+            disk: AtomicU32::new(0),
+            repaired: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        }
+    }
+}
+
+/// State shared between request workers and the rebuild thread.
+struct Inner {
+    array: RwLock<DeclusteredArray>,
+    stripe_locks: Vec<Mutex<()>>,
+    obs: Mutex<Option<SyncSharedSink>>,
+    access_seq: AtomicU64,
+    epoch: Instant,
+    rebuild_cfg: RebuildConfig,
+    rebuild: RebuildCtl,
+}
+
+impl Inner {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn emit(&self, event: Event) {
+        let sink = lock(&self.obs).clone();
+        if let Some(sink) = sink {
+            if let Ok(mut s) = sink.lock() {
+                let now = self.now_ns();
+                s.event(now, event);
+            }
+        }
+    }
+
+    /// Sorted, deduplicated shard-lock indices covering the next `batch`
+    /// pending stripes of a rebuild.
+    fn rebuild_shard_set(&self, pending: &[u64], batch: u64) -> Vec<usize> {
+        let shards = self.stripe_locks.len() as u64;
+        let take = usize::try_from(batch.min(pending.len() as u64)).unwrap_or(pending.len());
+        if take as u64 >= shards {
+            return (0..self.stripe_locks.len()).collect();
+        }
+        let mut set: Vec<usize> = pending[..take]
+            .iter()
+            .map(|&stripe| (stripe % shards) as usize)
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+}
+
+/// The background rebuild loop: one bounded, shard-locked batch per
+/// iteration, with progress published after every batch.
+fn rebuild_worker(inner: Arc<Inner>, mut ticket: RebuildTicket) {
+    let cfg = inner.rebuild_cfg;
+    let batch = cfg.batch.max(1);
+    let mut prev = ticket.repaired();
+    let final_state = loop {
+        if inner.rebuild.stop.load(Ordering::Acquire) {
+            break REBUILD_PAUSED;
+        }
+        let started = Instant::now();
+        let outcome = {
+            let a = rdlock(&inner.array);
+            // Hold only the shard locks this batch's stripes hash to:
+            // a client op collides for at most one batch, everything
+            // else proceeds untouched.
+            let _guards: Vec<_> = inner
+                .rebuild_shard_set(ticket.pending_stripes(), batch)
+                .into_iter()
+                .map(|i| lock(&inner.stripe_locks[i]))
+                .collect();
+            a.rebuild_step(&mut ticket, batch)
+        };
+        inner
+            .rebuild
+            .repaired
+            .store(ticket.repaired(), Ordering::Release);
+        inner.emit(Event::RebuildBatch {
+            stripes: ticket.repaired() - prev,
+            duration_ns: started.elapsed().as_nanos() as u64,
+        });
+        prev = ticket.repaired();
+        match outcome {
+            Ok(p) if p.done => break REBUILD_DONE,
+            Ok(_) => {}
+            Err(_) => break REBUILD_FAILED,
+        }
+        if cfg.rate > 0.0 {
+            // Sleep off the batch's rate budget in short slices so a
+            // shutdown request is honored promptly.
+            let mut left = Duration::from_secs_f64(batch as f64 / cfg.rate);
+            while !left.is_zero() && !inner.rebuild.stop.load(Ordering::Acquire) {
+                let slice = left.min(Duration::from_millis(25));
+                std::thread::sleep(slice);
+                left = left.saturating_sub(slice);
+            }
+        }
+    };
+    inner.rebuild.state.store(final_state, Ordering::Release);
+}
+
 /// Shared request executor; one per served volume, shared by all worker
 /// threads via `Arc`.
 pub struct Engine {
-    array: RwLock<DeclusteredArray>,
-    stripe_locks: Vec<Mutex<()>>,
-    obs: Option<SyncSharedSink>,
-    access_seq: AtomicU64,
-    epoch: Instant,
+    inner: Arc<Inner>,
 }
 
 impl Engine {
@@ -81,12 +250,21 @@ impl Engine {
     /// shards → fewer false write collisions; the table is fixed at
     /// construction so the memory cost is `shards` mutexes total.
     pub fn with_shards(array: DeclusteredArray, shards: usize) -> Self {
+        Self::with_config(array, shards, RebuildConfig::default())
+    }
+
+    /// Wrap an array with explicit shard count and rebuild knobs.
+    pub fn with_config(array: DeclusteredArray, shards: usize, rebuild: RebuildConfig) -> Self {
         Self {
-            array: RwLock::new(array),
-            stripe_locks: (0..shards.max(1)).map(|_| Mutex::new(())).collect(),
-            obs: None,
-            access_seq: AtomicU64::new(0),
-            epoch: Instant::now(),
+            inner: Arc::new(Inner {
+                array: RwLock::new(array),
+                stripe_locks: (0..shards.max(1)).map(|_| Mutex::new(())).collect(),
+                obs: Mutex::new(None),
+                access_seq: AtomicU64::new(0),
+                epoch: Instant::now(),
+                rebuild_cfg: rebuild,
+                rebuild: RebuildCtl::new(),
+            }),
         }
     }
 
@@ -94,20 +272,22 @@ impl Engine {
     /// emitted per request with wall-clock timestamps, so the observer's
     /// `latency.access_ns` histogram captures server-side service time.
     pub fn attach_observer(&mut self, sink: SyncSharedSink) {
-        self.obs = Some(sink);
+        *lock(&self.inner.obs) = Some(sink);
     }
 
     /// Shard count (for tests and metrics).
     pub fn shards(&self) -> usize {
-        self.stripe_locks.len()
+        self.inner.stripe_locks.len()
+    }
+
+    /// The rebuild knobs this engine was built with.
+    pub fn rebuild_config(&self) -> RebuildConfig {
+        self.inner.rebuild_cfg
     }
 
     /// Current volume geometry and failure state.
     pub fn volume_info(&self) -> VolumeInfo {
-        let a = self
-            .array
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let a = rdlock(&self.inner.array);
         VolumeInfo {
             unit_bytes: a.unit_bytes() as u32,
             capacity_units: a.capacity_units(),
@@ -121,17 +301,36 @@ impl Engine {
         }
     }
 
-    fn now_ns(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+    /// Current rebuild progress, served from atomics (no array lock).
+    pub fn rebuild_status(&self) -> RebuildStatus {
+        let r = &self.inner.rebuild;
+        let state = match r.state.load(Ordering::Acquire) {
+            REBUILD_RUNNING => RebuildState::Running,
+            REBUILD_DONE => RebuildState::Done,
+            REBUILD_FAILED => RebuildState::Failed,
+            REBUILD_PAUSED => RebuildState::Paused,
+            _ => RebuildState::None,
+        };
+        RebuildStatus {
+            disk: r.disk.load(Ordering::Acquire),
+            state,
+            repaired: r.repaired.load(Ordering::Acquire),
+            total: r.total.load(Ordering::Acquire),
+        }
+    }
+
+    /// Ask the rebuild thread (if any) to stop after its current batch
+    /// and join it. Partial progress is kept; a later REBUILD resumes.
+    pub fn stop_rebuild(&self) {
+        self.inner.rebuild.stop.store(true, Ordering::Release);
+        let handle = lock(&self.inner.rebuild.slot).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
     }
 
     fn emit(&self, event: Event) {
-        if let Some(sink) = &self.obs {
-            if let Ok(mut s) = sink.lock() {
-                let now = self.now_ns();
-                s.event(now, event);
-            }
-        }
+        self.inner.emit(event);
     }
 
     /// Sorted, deduplicated shard-lock indices for a unit range.
@@ -140,9 +339,9 @@ impl Engine {
     /// range of at least `shards` units can collide with every shard,
     /// so it locks the whole table instead of walking the units.
     fn shard_set(&self, a: &DeclusteredArray, start: u64, units: u64) -> Vec<usize> {
-        let shards = self.stripe_locks.len() as u64;
+        let shards = self.inner.stripe_locks.len() as u64;
         if units >= shards {
-            return (0..self.stripe_locks.len()).collect();
+            return (0..self.inner.stripe_locks.len()).collect();
         }
         let mut set: Vec<usize> = (start..start.saturating_add(units))
             .map(|logical| {
@@ -158,7 +357,7 @@ impl Engine {
     /// Execute one request on behalf of `client`, producing the response
     /// frame to send back. Never panics; every failure maps to a status.
     pub fn execute(&self, client: u32, req: &Request) -> Response {
-        let access = self.access_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let access = self.inner.access_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let start = Instant::now();
         self.emit(Event::AccessStart {
             access,
@@ -190,6 +389,7 @@ impl Engine {
             Op::Info => (Status::Ok, self.volume_info().encode()),
             Op::FailDisk => self.do_fail_disk(req),
             Op::Rebuild => self.do_rebuild(req),
+            Op::RebuildStatus => self.do_rebuild_status(req),
         }
     }
 
@@ -197,10 +397,7 @@ impl Engine {
         if !req.payload.is_empty() || req.length == 0 {
             return (Status::BadRequest, Vec::new());
         }
-        let a = self
-            .array
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let a = rdlock(&self.inner.array);
         // The response must fit in one frame; refuse up front rather
         // than reading the data and failing to encode it (the client
         // would otherwise never get an answer for this id).
@@ -213,7 +410,7 @@ impl Engine {
         let guards: Vec<_> = self
             .shard_set(&a, req.offset, req.length as u64)
             .into_iter()
-            .map(|i| lock(&self.stripe_locks[i]))
+            .map(|i| lock(&self.inner.stripe_locks[i]))
             .collect();
         let result = a.read(req.offset, req.length as u64);
         drop(guards);
@@ -224,10 +421,7 @@ impl Engine {
     }
 
     fn do_write(&self, req: &Request) -> (Status, Vec<u8>) {
-        let a = self
-            .array
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let a = rdlock(&self.inner.array);
         let expect = req.length as u64 * a.unit_bytes() as u64;
         if req.length == 0 || req.payload.len() as u64 != expect {
             return (Status::BadRequest, Vec::new());
@@ -238,7 +432,7 @@ impl Engine {
         let guards: Vec<_> = self
             .shard_set(&a, req.offset, req.length as u64)
             .into_iter()
-            .map(|i| lock(&self.stripe_locks[i]))
+            .map(|i| lock(&self.inner.stripe_locks[i]))
             .collect();
         let result = a.write(req.offset, &req.payload);
         drop(guards);
@@ -255,17 +449,14 @@ impl Engine {
         if !req.payload.is_empty() || req.length == 0 {
             return (Status::BadRequest, Vec::new());
         }
-        let a = self
-            .array
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let a = rdlock(&self.inner.array);
         if let Err(status) = check_range(&a, req.offset, req.length) {
             return (status, Vec::new());
         }
         let guards: Vec<_> = self
             .shard_set(&a, req.offset, req.length as u64)
             .into_iter()
-            .map(|i| lock(&self.stripe_locks[i]))
+            .map(|i| lock(&self.inner.stripe_locks[i]))
             .collect();
         // Zero-fill in bounded chunks: a volume-sized trim must not
         // allocate a volume-sized buffer. The shard guards span the
@@ -296,6 +487,7 @@ impl Engine {
             return (Status::BadRequest, Vec::new());
         }
         let mut a = self
+            .inner
             .array
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -305,18 +497,73 @@ impl Engine {
         }
     }
 
+    /// Start a background incremental rebuild and answer `Accepted`
+    /// immediately. Validation (sparing support, disk state) is
+    /// synchronous, so typed errors still come back on the spot; only
+    /// the stripe work is deferred to the rebuild thread.
     fn do_rebuild(&self, req: &Request) -> (Status, Vec<u8>) {
         if !req.payload.is_empty() || req.length != 0 {
             return (Status::BadRequest, Vec::new());
         }
-        let mut a = self
-            .array
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        match a.rebuild_to_spare(req.offset as usize) {
-            Ok(repaired) => (Status::Ok, repaired.to_be_bytes().to_vec()),
-            Err(e) => (status_of(&e), Vec::new()),
+        let inner = &self.inner;
+        let mut slot = lock(&inner.rebuild.slot);
+        if inner.rebuild.state.load(Ordering::Acquire) == REBUILD_RUNNING {
+            // One rebuild at a time. Re-requesting the in-flight disk is
+            // an idempotent accept; a different disk must wait.
+            let same = u64::from(inner.rebuild.disk.load(Ordering::Acquire)) == req.offset;
+            let status = if same {
+                Status::Accepted
+            } else {
+                Status::WrongDiskState
+            };
+            return (status, Vec::new());
         }
+        if let Some(done) = slot.take() {
+            let _ = done.join();
+        }
+        let disk = usize::try_from(req.offset).unwrap_or(usize::MAX);
+        let ticket = {
+            let a = rdlock(&inner.array);
+            match a.begin_rebuild(disk) {
+                Ok(t) => t,
+                Err(e) => return (status_of(&e), Vec::new()),
+            }
+        };
+        inner.rebuild.disk.store(
+            u32::try_from(req.offset).unwrap_or(u32::MAX),
+            Ordering::Release,
+        );
+        inner.rebuild.total.store(ticket.total(), Ordering::Release);
+        inner
+            .rebuild
+            .repaired
+            .store(ticket.repaired(), Ordering::Release);
+        inner.rebuild.stop.store(false, Ordering::Release);
+        inner
+            .rebuild
+            .state
+            .store(REBUILD_RUNNING, Ordering::Release);
+        let worker_inner = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name("pddl-rebuild".into())
+            .spawn(move || rebuild_worker(worker_inner, ticket))
+            .expect("spawn rebuild thread");
+        *slot = Some(handle);
+        (Status::Accepted, Vec::new())
+    }
+
+    fn do_rebuild_status(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length != 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        (Status::Ok, self.rebuild_status().encode())
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Don't leak a rebuild thread past the engine that spawned it.
+        self.stop_rebuild();
     }
 }
 
@@ -339,6 +586,19 @@ mod tests {
             offset,
             length,
             payload,
+        }
+    }
+
+    /// Poll REBUILD_STATUS until the rebuild leaves `Running` (bounded).
+    fn wait_rebuild(e: &Engine) -> RebuildStatus {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let s = e.rebuild_status();
+            if s.state != RebuildState::Running {
+                return s;
+            }
+            assert!(Instant::now() < deadline, "rebuild did not settle");
+            std::thread::sleep(Duration::from_millis(2));
         }
     }
 
@@ -400,10 +660,19 @@ mod tests {
             e.execute(0, &req(Op::FailDisk, 999, 0, vec![])).status,
             Status::WrongDiskState
         );
-        // Rebuilding a healthy disk.
+        // Rebuilding a healthy disk fails synchronously, not Accepted.
         assert_eq!(
             e.execute(0, &req(Op::Rebuild, 2, 0, vec![])).status,
             Status::WrongDiskState
+        );
+        // REBUILD/REBUILD_STATUS with stray length or payload.
+        assert_eq!(
+            e.execute(0, &req(Op::Rebuild, 2, 1, vec![])).status,
+            Status::BadRequest
+        );
+        assert_eq!(
+            e.execute(0, &req(Op::RebuildStatus, 0, 0, vec![1])).status,
+            Status::BadRequest
         );
     }
 
@@ -454,7 +723,10 @@ mod tests {
             Status::Ok
         );
         for u in 0..cap {
-            assert_eq!(e.execute(0, &req(Op::Read, u, 1, vec![])).payload, vec![0u8; 16]);
+            assert_eq!(
+                e.execute(0, &req(Op::Read, u, 1, vec![])).payload,
+                vec![0u8; 16]
+            );
         }
     }
 
@@ -474,10 +746,14 @@ mod tests {
         assert_eq!(e.volume_info().mode, 1);
         assert_eq!(e.volume_info().failed, vec![2]);
 
+        // REBUILD is asynchronous: Accepted now, Done via status polls.
         let r = e.execute(0, &req(Op::Rebuild, 2, 0, vec![]));
-        assert_eq!(r.status, Status::Ok);
-        let repaired = u64::from_be_bytes(r.payload.try_into().unwrap());
-        assert!(repaired > 0);
+        assert_eq!(r.status, Status::Accepted);
+        let s = wait_rebuild(&e);
+        assert_eq!(s.state, RebuildState::Done);
+        assert_eq!(s.disk, 2);
+        assert!(s.total > 0);
+        assert_eq!(s.repaired, s.total);
         assert_eq!(e.volume_info().mode, 2);
 
         for u in 0..cap {
@@ -488,9 +764,67 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_status_starts_none_and_duplicate_rebuilds_are_handled() {
+        let e = engine();
+        let s = e.rebuild_status();
+        assert_eq!(s.state, RebuildState::None);
+        assert_eq!((s.repaired, s.total), (0, 0));
+        let r = e.execute(0, &req(Op::RebuildStatus, 0, 0, vec![]));
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(
+            RebuildStatus::decode(&r.payload).unwrap().state,
+            RebuildState::None
+        );
+
+        // Throttle hard so the rebuild is observably in flight.
+        let layout = Pddl::new(7, 3).unwrap();
+        let array = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
+        let e = Engine::with_config(
+            array,
+            8,
+            RebuildConfig {
+                batch: 1,
+                rate: 4.0,
+            },
+        );
+        let cap = e.volume_info().capacity_units;
+        for u in 0..cap {
+            e.execute(0, &req(Op::Write, u, 1, vec![7u8; 16]));
+        }
+        e.execute(0, &req(Op::FailDisk, 2, 0, vec![]));
+        e.execute(0, &req(Op::FailDisk, 3, 0, vec![]));
+        assert_eq!(
+            e.execute(0, &req(Op::Rebuild, 2, 0, vec![])).status,
+            Status::Accepted
+        );
+        // Same disk: idempotent accept. Other disk: refused while busy.
+        assert_eq!(
+            e.execute(0, &req(Op::Rebuild, 2, 0, vec![])).status,
+            Status::Accepted
+        );
+        assert_eq!(
+            e.execute(0, &req(Op::Rebuild, 3, 0, vec![])).status,
+            Status::WrongDiskState
+        );
+        // Client I/O proceeds while the rebuild is running.
+        assert_eq!(
+            e.execute(0, &req(Op::Read, 0, 1, vec![])).status,
+            Status::Ok
+        );
+        // Shutdown pauses the worker promptly instead of waiting out the
+        // rate limiter.
+        e.stop_rebuild();
+        let s = e.rebuild_status();
+        assert!(
+            matches!(s.state, RebuildState::Paused | RebuildState::Done),
+            "{s:?}"
+        );
+    }
+
+    #[test]
     fn shard_set_is_sorted_and_deduplicated() {
         let e = engine();
-        let a = e.array.read().unwrap();
+        let a = e.inner.array.read().unwrap();
         let set = e.shard_set(&a, 0, 64);
         let mut sorted = set.clone();
         sorted.sort_unstable();

@@ -37,9 +37,13 @@
 //! ```
 //!
 //! Concurrency: reads to distinct stripes run in parallel across the
-//! worker pool; writes serialize per stripe shard; `FAIL_DISK` and
-//! `REBUILD` quiesce the volume behind a write lock, so a rebuild is
-//! *online* — clients stall briefly instead of erroring.
+//! worker pool; writes serialize per stripe shard; `FAIL_DISK` quiesces
+//! the volume behind a write lock. `REBUILD` is *online and
+//! incremental*: it validates synchronously, answers `Accepted`, and a
+//! background thread reconstructs in bounded batches holding only the
+//! shard locks for each batch's stripes — client I/O keeps flowing
+//! throughout, and `REBUILD_STATUS` reports `repaired / total`
+//! progress without touching the array lock.
 
 pub mod bench;
 pub mod client;
@@ -50,7 +54,7 @@ pub mod wire;
 
 pub use bench::{run as run_bench, BenchConfig, BenchReport};
 pub use client::{Client, ClientError};
-pub use engine::Engine;
+pub use engine::{Engine, RebuildConfig};
 pub use queue::BoundedQueue;
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use wire::{Op, Request, Response, Status, VolumeInfo, WireError};
+pub use wire::{Op, RebuildState, RebuildStatus, Request, Response, Status, VolumeInfo, WireError};

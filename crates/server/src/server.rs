@@ -130,6 +130,11 @@ impl ServerHandle {
         for t in self.workers.drain(..) {
             let _ = t.join();
         }
+        // Workers are done, so no new rebuild can start; pause and join
+        // any in-flight background rebuild rather than leaking it (its
+        // ticket stays resumable — a later REBUILD picks up where it
+        // stopped).
+        self.shared.engine.stop_rebuild();
     }
 }
 

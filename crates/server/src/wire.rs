@@ -8,9 +8,11 @@
 //! magic      u32   0x7064_6c51  ("pdlQ")
 //! id         u64   caller-chosen request id, echoed in the response
 //! op         u8    1=READ 2=WRITE 3=FLUSH 4=TRIM 5=INFO 6=FAIL_DISK 7=REBUILD
+//!                  8=REBUILD_STATUS
 //! flags      u8    reserved, must be zero
 //! offset     u64   first logical stripe unit (disk index for FAIL_DISK/REBUILD)
-//! length     u32   stripe units touched (0 for FLUSH/INFO/FAIL_DISK/REBUILD)
+//! length     u32   stripe units touched (0 for FLUSH/INFO/FAIL_DISK/REBUILD/
+//!                  REBUILD_STATUS)
 //! payload    u32   payload bytes that follow (length × unit size for WRITE)
 //! ```
 //!
@@ -19,9 +21,16 @@
 //! ```text
 //! magic      u32   0x7064_6c52  ("pdlR")
 //! id         u64   echoed request id
-//! status     u8    0=OK, otherwise an error code (see [`Status`])
-//! payload    u32   payload bytes that follow (READ data, INFO block, REBUILD count)
+//! status     u8    0=OK, 11=ACCEPTED, otherwise an error code (see [`Status`])
+//! payload    u32   payload bytes that follow (READ data, INFO block,
+//!                  REBUILD_STATUS block)
 //! ```
+//!
+//! `REBUILD` is asynchronous: the server validates the request, starts a
+//! background incremental rebuild, and answers `ACCEPTED` immediately.
+//! Clients poll `REBUILD_STATUS` (a [`RebuildStatus`] payload) for
+//! progress instead of blocking the connection for the whole
+//! reconstruction.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -53,9 +62,13 @@ pub enum Op {
     Info,
     /// Management: inject a failure of disk `offset`.
     FailDisk,
-    /// Management: rebuild failed disk `offset` into distributed spare
-    /// space; responds with the rebuilt unit count.
+    /// Management: start an incremental background rebuild of failed
+    /// disk `offset` into distributed spare space; responds with
+    /// [`Status::Accepted`] immediately.
     Rebuild,
+    /// Management: query rebuild progress; responds with a
+    /// [`RebuildStatus`] payload.
+    RebuildStatus,
 }
 
 impl Op {
@@ -69,6 +82,7 @@ impl Op {
             Op::Info => 5,
             Op::FailDisk => 6,
             Op::Rebuild => 7,
+            Op::RebuildStatus => 8,
         }
     }
 
@@ -82,6 +96,7 @@ impl Op {
             5 => Op::Info,
             6 => Op::FailDisk,
             7 => Op::Rebuild,
+            8 => Op::RebuildStatus,
             _ => return None,
         })
     }
@@ -113,6 +128,9 @@ pub enum Status {
     Shutdown,
     /// Unexpected internal failure.
     Internal,
+    /// The request was validated and queued; completion is asynchronous
+    /// (REBUILD — poll [`Op::RebuildStatus`] for progress).
+    Accepted,
 }
 
 impl Status {
@@ -130,6 +148,7 @@ impl Status {
             Status::BadRequest => 8,
             Status::Shutdown => 9,
             Status::Internal => 10,
+            Status::Accepted => 11,
         }
     }
 
@@ -147,6 +166,7 @@ impl Status {
             8 => Status::BadRequest,
             9 => Status::Shutdown,
             10 => Status::Internal,
+            11 => Status::Accepted,
             _ => return None,
         })
     }
@@ -166,6 +186,7 @@ impl fmt::Display for Status {
             Status::BadRequest => "malformed request",
             Status::Shutdown => "server shutting down",
             Status::Internal => "internal server error",
+            Status::Accepted => "accepted",
         };
         write!(f, "{s}")
     }
@@ -550,7 +571,10 @@ impl VolumeInfo {
         let disks = u32::from_be_bytes(buf[12..16].try_into().ok()?);
         let mode = buf[16];
         let n = u32::from_be_bytes(buf[17..21].try_into().ok()?) as usize;
-        if buf.len() != 21 + 4 * n {
+        // Checked: `21 + 4 * n` with an attacker-controlled u32 count
+        // wraps usize on 32-bit targets, defeating the length check.
+        let expected = n.checked_mul(4).and_then(|b| b.checked_add(21))?;
+        if buf.len() != expected {
             return None;
         }
         let failed = (0..n)
@@ -562,6 +586,88 @@ impl VolumeInfo {
             disks,
             mode,
             failed,
+        })
+    }
+}
+
+/// Rebuild lifecycle state reported by `REBUILD_STATUS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildState {
+    /// No rebuild has been started since the server came up.
+    None,
+    /// A background rebuild is in progress.
+    Running,
+    /// The last rebuild completed; the disk is spared.
+    Done,
+    /// The last rebuild halted on an error; partial progress is kept
+    /// and a new REBUILD resumes where it left off.
+    Failed,
+    /// The last rebuild was stopped (server shutdown) before finishing.
+    Paused,
+}
+
+impl RebuildState {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            RebuildState::None => 0,
+            RebuildState::Running => 1,
+            RebuildState::Done => 2,
+            RebuildState::Failed => 3,
+            RebuildState::Paused => 4,
+        }
+    }
+
+    /// Decode a wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => RebuildState::None,
+            1 => RebuildState::Running,
+            2 => RebuildState::Done,
+            3 => RebuildState::Failed,
+            4 => RebuildState::Paused,
+            _ => return None,
+        })
+    }
+}
+
+/// Rebuild progress, the REBUILD_STATUS response payload.
+///
+/// Encoding: `disk u32 · state u8 · repaired u64 · total u64`
+/// (21 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildStatus {
+    /// Disk the rebuild targets (0 when state is `None`).
+    pub disk: u32,
+    /// Lifecycle state.
+    pub state: RebuildState,
+    /// Stripe units repaired so far.
+    pub repaired: u64,
+    /// Total stripe units the rebuild set out to repair.
+    pub total: u64,
+}
+
+impl RebuildStatus {
+    /// Serialize as the REBUILD_STATUS payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(21);
+        out.extend_from_slice(&self.disk.to_be_bytes());
+        out.push(self.state.code());
+        out.extend_from_slice(&self.repaired.to_be_bytes());
+        out.extend_from_slice(&self.total.to_be_bytes());
+        out
+    }
+
+    /// Parse a REBUILD_STATUS payload.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() != 21 {
+            return None;
+        }
+        Some(Self {
+            disk: u32::from_be_bytes(buf[0..4].try_into().ok()?),
+            state: RebuildState::from_code(buf[4])?,
+            repaired: u64::from_be_bytes(buf[5..13].try_into().ok()?),
+            total: u64::from_be_bytes(buf[13..21].try_into().ok()?),
         })
     }
 }
@@ -751,7 +857,10 @@ mod tests {
             }
         };
         assert_eq!(got, req);
-        assert!(ticks >= 3, "expected repeated WouldBlock ticks, saw {ticks}");
+        assert!(
+            ticks >= 3,
+            "expected repeated WouldBlock ticks, saw {ticks}"
+        );
         assert_eq!(reader.buffered(), 0, "reader should reset at the boundary");
         // Clean EOF at the boundary is still None.
         src.ready = true;
@@ -793,16 +902,17 @@ mod tests {
             Op::Info,
             Op::FailDisk,
             Op::Rebuild,
+            Op::RebuildStatus,
         ] {
             assert_eq!(Op::from_code(op.code()), Some(op));
         }
         assert_eq!(Op::from_code(0), None);
-        for code in 0..=10u8 {
+        for code in 0..=11u8 {
             let s = Status::from_code(code).unwrap();
             assert_eq!(s.code(), code);
             assert!(!s.to_string().is_empty());
         }
-        assert_eq!(Status::from_code(11), None);
+        assert_eq!(Status::from_code(12), None);
     }
 
     #[test]
@@ -816,5 +926,73 @@ mod tests {
         };
         assert_eq!(VolumeInfo::decode(&info.encode()), Some(info));
         assert_eq!(VolumeInfo::decode(&[1, 2, 3]), None);
+        // No failed disks round-trips too.
+        let clean = VolumeInfo {
+            unit_bytes: 64,
+            capacity_units: 10,
+            disks: 7,
+            mode: 0,
+            failed: vec![],
+        };
+        assert_eq!(VolumeInfo::decode(&clean.encode()), Some(clean));
+    }
+
+    #[test]
+    fn volume_info_rejects_truncation_and_hostile_counts() {
+        let info = VolumeInfo {
+            unit_bytes: 512,
+            capacity_units: 4096,
+            disks: 13,
+            mode: 1,
+            failed: vec![3, 9, 11],
+        };
+        let frame = info.encode();
+        // Any truncation or padding must fail, never read out of bounds.
+        for cut in 0..frame.len() {
+            assert_eq!(VolumeInfo::decode(&frame[..cut]), None, "cut={cut}");
+        }
+        let mut padded = frame.clone();
+        padded.push(0);
+        assert_eq!(VolumeInfo::decode(&padded), None);
+        // Hostile count: `n = u32::MAX` makes the unchecked `21 + 4 * n`
+        // wrap to a small value on 32-bit targets and pass the length
+        // check; the checked arithmetic must reject it on every target.
+        let mut hostile = frame[..17].to_vec();
+        hostile.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(VolumeInfo::decode(&hostile), None);
+        // The exact wrap shape: 21 + 4*n ≡ buf.len() (mod 2^32).
+        let n = (u32::MAX / 4) - 4; // 4*n wraps to -37 mod 2^32
+        let mut wrap = frame[..17].to_vec();
+        wrap.extend_from_slice(&n.to_be_bytes());
+        assert_eq!(VolumeInfo::decode(&wrap), None);
+    }
+
+    #[test]
+    fn rebuild_status_round_trips() {
+        for state in [
+            RebuildState::None,
+            RebuildState::Running,
+            RebuildState::Done,
+            RebuildState::Failed,
+            RebuildState::Paused,
+        ] {
+            assert_eq!(RebuildState::from_code(state.code()), Some(state));
+            let status = RebuildStatus {
+                disk: 3,
+                state,
+                repaired: 17,
+                total: 42,
+            };
+            let buf = status.encode();
+            assert_eq!(buf.len(), 21);
+            assert_eq!(RebuildStatus::decode(&buf), Some(status));
+        }
+        assert_eq!(RebuildState::from_code(5), None);
+        // Wrong size or unknown state byte is rejected.
+        assert_eq!(RebuildStatus::decode(&[0u8; 20]), None);
+        assert_eq!(RebuildStatus::decode(&[0u8; 22]), None);
+        let mut bad = [0u8; 21];
+        bad[4] = 9;
+        assert_eq!(RebuildStatus::decode(&bad), None);
     }
 }

@@ -9,15 +9,15 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pddl_array::DeclusteredArray;
 use pddl_core::rng::Xoshiro256pp;
 use pddl_core::Pddl;
 use pddl_server::{
-    engine::Engine,
+    engine::{Engine, RebuildConfig},
     server::{serve, ServerConfig, ServerHandle},
-    BenchConfig, Client, ClientError, Status,
+    BenchConfig, Client, ClientError, RebuildState, Status,
 };
 
 const UNIT: usize = 16;
@@ -104,8 +104,13 @@ fn concurrent_clients_survive_online_failure_and_rebuild() {
             while completed_ops.load(Ordering::Relaxed) < CLIENTS * OPS_PER_CLIENT / 2 {
                 std::thread::sleep(Duration::from_millis(1));
             }
-            let repaired = c.rebuild(2).unwrap();
-            assert!(repaired > 0, "rebuild moved units into spare space");
+            c.rebuild(2).unwrap();
+            let done = c
+                .wait_rebuild(Duration::from_millis(2), Duration::from_secs(60))
+                .unwrap();
+            assert_eq!(done.state, RebuildState::Done);
+            assert!(done.total > 0, "rebuild moved stripes into spare space");
+            assert_eq!(done.repaired, done.total);
             assert_eq!(c.info().unwrap().mode, 2, "post-reconstruction");
         })
     };
@@ -125,6 +130,103 @@ fn concurrent_clients_survive_online_failure_and_rebuild() {
         assert_eq!(probe.read_units(unit, 1).unwrap(), want, "unit {unit}");
     }
     assert!(handle.requests_served() >= CLIENTS * OPS_PER_CLIENT);
+    handle.shutdown();
+}
+
+/// The acceptance scenario for the *incremental* rebuild: a server
+/// whose rebuild is throttled hard (1 stripe per batch, rate-limited)
+/// keeps serving reads and writes with bounded latency for the whole
+/// reconstruction, while REBUILD itself answers immediately and
+/// REBUILD_STATUS reports monotonically increasing `repaired` under a
+/// nonzero, constant `total`.
+#[test]
+fn rebuild_under_load_keeps_client_io_flowing() {
+    let layout = Pddl::new(7, 3).unwrap();
+    let array = DeclusteredArray::new(Box::new(layout), UNIT, 4).unwrap();
+    // ~16 stripes/sec: slow enough that the rebuild is observably in
+    // flight for hundreds of client ops, fast enough to finish in a few
+    // seconds.
+    let engine = Engine::with_config(
+        array,
+        64,
+        RebuildConfig {
+            batch: 1,
+            rate: 16.0,
+        },
+    );
+    let handle = serve(Arc::new(engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    let mut mgmt = Client::connect(addr).unwrap();
+    mgmt.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let cap = mgmt.info().unwrap().capacity_units;
+    let fill = |u: u64| unit_fill((u % 200) as u8 + 1);
+    for u in 0..cap {
+        mgmt.write_units(u, &fill(u)).unwrap();
+    }
+    mgmt.fail_disk(2).unwrap();
+
+    // REBUILD must come back in accept-time, not reconstruction-time:
+    // the throttled rebuild takes seconds, the answer milliseconds.
+    let started = Instant::now();
+    mgmt.rebuild(2).unwrap();
+    let accept_latency = started.elapsed();
+    assert!(
+        accept_latency < Duration::from_millis(500),
+        "REBUILD stalled for {accept_latency:?} — not asynchronous"
+    );
+
+    let first = mgmt.rebuild_status().unwrap();
+    assert_eq!(first.disk, 2);
+    assert!(first.total > 0, "true affected-stripe total known up front");
+    assert_eq!(first.state, RebuildState::Running);
+
+    // Hammer the volume from a second connection for as long as the
+    // rebuild runs. Every op must complete promptly — bounded by one
+    // batch collision at worst, never by the whole reconstruction.
+    let mut io = Client::connect(addr).unwrap();
+    io.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut last_repaired = first.repaired;
+    let mut ops_during = 0u64;
+    let mut max_op = Duration::ZERO;
+    let terminal = loop {
+        let s = mgmt.rebuild_status().unwrap();
+        assert_eq!(s.disk, 2);
+        assert_eq!(s.total, first.total, "total stays constant");
+        assert!(s.repaired >= last_repaired, "repaired is monotonic");
+        assert!(s.repaired <= s.total);
+        last_repaired = s.repaired;
+        if s.state != RebuildState::Running {
+            break s;
+        }
+        let u = ops_during % cap;
+        let t = Instant::now();
+        io.write_units(u, &fill(u)).unwrap();
+        let got = io.read_units(u, 1).unwrap();
+        let op_latency = t.elapsed();
+        assert_eq!(got, fill(u));
+        max_op = max_op.max(op_latency);
+        ops_during += 1;
+        assert!(
+            started.elapsed() < Duration::from_secs(90),
+            "rebuild never finished"
+        );
+    };
+
+    assert_eq!(terminal.state, RebuildState::Done);
+    assert_eq!(terminal.repaired, terminal.total);
+    assert!(
+        ops_during >= 10,
+        "client I/O proceeded during the rebuild (completed {ops_during} ops)"
+    );
+    assert!(
+        max_op < Duration::from_secs(2),
+        "op latency bounded during rebuild (worst {max_op:?})"
+    );
+    assert_eq!(mgmt.info().unwrap().mode, 2, "post-reconstruction");
+    for u in 0..cap {
+        assert_eq!(mgmt.read_units(u, 1).unwrap(), fill(u), "unit {u}");
+    }
     handle.shutdown();
 }
 
@@ -182,6 +284,7 @@ fn bench_runs_and_reports_quantiles() {
         read_fraction: 0.6,
         max_units: 3,
         seed: 7,
+        fail_disk: None,
     };
     let report = pddl_server::run_bench(handle.local_addr(), &cfg).unwrap();
     assert_eq!(report.ops + report.errors, 4 * 50);
@@ -195,5 +298,30 @@ fn bench_runs_and_reports_quantiles() {
     assert!(rendered.contains("p99"));
     // The registry snapshot carries the histogram for TSV export.
     assert!(report.registry.to_tsv().contains("latency.client_ns"));
+    handle.shutdown();
+}
+
+/// The load generator's fault-injection scenario: fail a disk and
+/// rebuild it mid-run, with load continuing throughout.
+#[test]
+fn bench_fail_disk_scenario_rebuilds_under_load() {
+    let handle = start_server(7, 3, 4);
+    let cfg = BenchConfig {
+        threads: 2,
+        ops_per_thread: 2000,
+        read_fraction: 0.5,
+        max_units: 2,
+        seed: 11,
+        fail_disk: Some(1),
+    };
+    let report = pddl_server::run_bench(handle.local_addr(), &cfg).unwrap();
+    assert_eq!(report.ops + report.errors, 2 * 2000);
+    let rebuild = report.rebuild.expect("fail-disk scenario ran");
+    assert_eq!(rebuild.disk, 1);
+    assert_eq!(rebuild.state, RebuildState::Done);
+    assert!(rebuild.total > 0);
+    assert_eq!(rebuild.repaired, rebuild.total);
+    assert!(report.render().contains("rebuild"));
+    assert_eq!(handle.engine().volume_info().mode, 2);
     handle.shutdown();
 }
