@@ -8,6 +8,11 @@
 //! behind its own mutex (a disk serves one op at a time, as in
 //! hardware), and the shared bookkeeping (I/O counters, write-intent
 //! journal, observer sequence) is atomic or mutex-guarded.
+//! [`DeclusteredArray::fail_disk`] also takes `&self`: all of its
+//! bookkeeping lives behind the same locks, so a failure can be
+//! injected while client I/O and a rebuild are in flight — a reader
+//! either sees the disk before the failure (reads it) or after
+//! (reconstructs through parity), never a half-failed device.
 //!
 //! One invariant is the *caller's* job: two concurrent writes to the
 //! **same stripe** race on the parity read-modify-write and can leave
@@ -15,9 +20,9 @@
 //! serializes in firmware. `pddl-server` enforces this with a
 //! stripe-striped lock table; embedders driving the array directly from
 //! multiple threads must do the same. Writes to distinct stripes need
-//! no external coordination. Lifecycle operations (failure injection,
-//! replacement, journal recovery) take `&mut self` and thus exclude all
-//! concurrent I/O by construction.
+//! no external coordination. The remaining lifecycle operations
+//! (replacement installation, journal recovery) take `&mut self` and
+//! thus exclude all concurrent I/O by construction.
 //!
 //! Rebuild is *online*: [`DeclusteredArray::begin_rebuild`] and
 //! [`DeclusteredArray::rebuild_step`] take `&self`, so client I/O keeps
@@ -35,8 +40,10 @@ use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use pddl_core::addr::{PhysAddr, Role};
 use pddl_core::layout::Layout;
+use pddl_disk::fault::{AccessKind, FaultHook};
 use pddl_gf::rs::{CodecError, ReedSolomon};
 use pddl_obs::{Event as ObsEvent, SyncSharedSink};
+use std::sync::Arc;
 
 use crate::blockdev::{BlockDevice, DiskError, RamDisk};
 
@@ -84,6 +91,17 @@ pub enum ArrayError {
     /// stripes stay recorded in the intent journal until
     /// [`DeclusteredArray::recover`] runs.
     InjectedCrash,
+    /// A single-unit media error (from the attached
+    /// [`FaultHook`](pddl_disk::fault::FaultHook)) failed a write. Read
+    /// media errors are absorbed by parity reconstruction and only
+    /// surface when the stripe has no redundancy left
+    /// ([`ArrayError::Unrecoverable`]).
+    MediaError {
+        /// Disk whose unit suffered the media error.
+        disk: usize,
+        /// Unit offset on that disk.
+        offset: u64,
+    },
     /// A device-level error leaked through (bug or double failure).
     Disk(DiskError),
     /// An erasure-coding error.
@@ -104,6 +122,9 @@ impl fmt::Display for ArrayError {
             }
             ArrayError::WrongDiskState => write!(f, "disk not in required state"),
             ArrayError::InjectedCrash => write!(f, "injected crash fired"),
+            ArrayError::MediaError { disk, offset } => {
+                write!(f, "media error on disk {disk} unit {offset}")
+            }
             ArrayError::Disk(e) => write!(f, "disk error: {e}"),
             ArrayError::Codec(e) => write!(f, "codec error: {e}"),
         }
@@ -251,6 +272,10 @@ pub struct DeclusteredArray {
     /// so events carry a monotonic sequence number as their timestamp.
     obs: Option<SyncSharedSink>,
     obs_seq: AtomicU64,
+    /// Media-fault injection hook, consulted on every client-path unit
+    /// access (rebuild's direct spare/copy-back device I/O bypasses it,
+    /// modeling controller-internal transfers).
+    faults: Option<Arc<dyn FaultHook>>,
 }
 
 impl fmt::Debug for DeclusteredArray {
@@ -332,6 +357,7 @@ impl DeclusteredArray {
             crash_after_writes: Mutex::new(None),
             obs: None,
             obs_seq: AtomicU64::new(0),
+            faults: None,
         })
     }
 
@@ -343,6 +369,42 @@ impl DeclusteredArray {
     /// threads at once.
     pub fn attach_observer(&mut self, sink: SyncSharedSink) {
         self.obs = Some(sink);
+    }
+
+    /// Attach a media-fault injection hook (see
+    /// [`pddl_disk::fault`]). The hook is consulted before every
+    /// client-path unit access with the *resolved* physical address:
+    ///
+    /// * an injected **read** error makes the unit momentarily
+    ///   unreadable — the array falls back to parity reconstruction,
+    ///   exactly as for a failed disk, and the error only surfaces (as
+    ///   [`ArrayError::Unrecoverable`]) when the stripe has no
+    ///   redundancy left;
+    /// * an injected **write** error fails the write with
+    ///   [`ArrayError::MediaError`]. The interrupted stripe's intent
+    ///   stays journaled, so the torn parity is found by
+    ///   [`DeclusteredArray::recover`] like any other write hole.
+    ///
+    /// Rebuild's direct spare-space and copy-back transfers bypass the
+    /// hook (they model controller-internal I/O, not client accesses).
+    pub fn attach_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.faults = Some(hook);
+    }
+
+    /// Consult the fault hook for `addr`; emits a
+    /// [`MediaFault`](ObsEvent::MediaFault) event when it fires.
+    fn injected_fault(&self, addr: PhysAddr, kind: AccessKind) -> bool {
+        let Some(hook) = &self.faults else {
+            return false;
+        };
+        let hit = hook.media_error(addr.disk, addr.offset, kind);
+        if hit {
+            self.emit(ObsEvent::MediaFault {
+                disk: addr.disk as u32,
+                write: kind == AccessKind::Write,
+            });
+        }
+        hit
     }
 
     fn emit(&self, event: ObsEvent) {
@@ -413,6 +475,12 @@ impl DeclusteredArray {
             return Ok(None);
         }
         let addr = self.resolve(addr);
+        // An injected read media error makes the unit unreadable for
+        // this access; the caller reconstructs through parity exactly
+        // as for a failed disk.
+        if self.injected_fault(addr, AccessKind::Read) {
+            return Ok(None);
+        }
         let disk = lock(&self.disks[addr.disk]);
         if disk.is_failed() {
             return Ok(None);
@@ -429,6 +497,12 @@ impl DeclusteredArray {
     fn write_phys(&self, addr: PhysAddr, data: &[u8]) -> Result<(), ArrayError> {
         let home = addr;
         let addr = self.resolve(addr);
+        if self.injected_fault(addr, AccessKind::Write) {
+            return Err(ArrayError::MediaError {
+                disk: addr.disk,
+                offset: addr.offset,
+            });
+        }
         {
             let mut disk = lock(&self.disks[addr.disk]);
             if disk.is_failed() {
@@ -550,7 +624,12 @@ impl DeclusteredArray {
             // (read-modify-write, like a real controller). Everything
             // else falls back to whole-stripe read/re-encode.
             if rlock(&self.failed).is_empty() && 2 * updates.len() <= d && updates.len() < d {
-                self.small_write(stripe, &updates)?;
+                // The delta path declines (without erroring) when a unit
+                // it must read is unreadable — e.g. an injected media
+                // error — and we fall back to the reconstructing path.
+                if !self.small_write(stripe, &updates)? {
+                    self.rmw_stripe(stripe, &updates)?;
+                }
             } else {
                 self.rmw_stripe(stripe, &updates)?;
             }
@@ -578,8 +657,10 @@ impl DeclusteredArray {
         }
         let d = self.layout.data_per_stripe();
         let checks = self.rs.encode(&shards[..d])?;
-        for (i, shard) in shards[..d].iter().enumerate() {
-            self.write_phys(self.layout.data_unit(stripe, i), shard)?;
+        // Only the updated data units changed on disk; rewriting the
+        // others would burn `d - w` redundant I/Os per stripe.
+        for &(index, _) in updates {
+            self.write_phys(self.layout.data_unit(stripe, index), &shards[index])?;
         }
         for (i, check) in checks.iter().enumerate() {
             self.write_phys(self.layout.check_unit(stripe, i), check)?;
@@ -589,18 +670,28 @@ impl DeclusteredArray {
 
     /// Delta small write: touch only the updated data units and the
     /// check units (`2(w + c)` I/Os instead of `d + c + w`).
-    fn small_write(&self, stripe: u64, updates: &[(usize, &[u8])]) -> Result<(), ArrayError> {
+    ///
+    /// Returns `Ok(false)` when a unit it must *read* turns out to be
+    /// unreadable (an injected media error on an otherwise healthy
+    /// stripe); the caller falls back to [`Self::rmw_stripe`], which
+    /// reconstructs the unreadable unit through parity. A partial
+    /// delta write before declining is safe: the fallback recomputes
+    /// every check unit from the stripe's current contents, and any
+    /// unreadable unit is one this update overwrites anyway.
+    fn small_write(&self, stripe: u64, updates: &[(usize, &[u8])]) -> Result<bool, ArrayError> {
         let c = self.layout.check_per_stripe();
         let mut checks: Vec<Vec<u8>> = Vec::with_capacity(c);
         for i in 0..c {
-            checks.push(
-                self.read_phys(self.layout.check_unit(stripe, i))?
-                    .expect("fault-free stripe"),
-            );
+            match self.read_phys(self.layout.check_unit(stripe, i))? {
+                Some(check) => checks.push(check),
+                None => return Ok(false),
+            }
         }
         for &(index, chunk) in updates {
             let addr = self.layout.data_unit(stripe, index);
-            let old = self.read_phys(addr)?.expect("fault-free stripe");
+            let Some(old) = self.read_phys(addr)? else {
+                return Ok(false);
+            };
             let delta: Vec<u8> = old.iter().zip(chunk).map(|(a, b)| a ^ b).collect();
             for (i, check) in checks.iter_mut().enumerate() {
                 self.rs.apply_delta(i, index, &delta, check);
@@ -610,7 +701,7 @@ impl DeclusteredArray {
         for (i, check) in checks.iter().enumerate() {
             self.write_phys(self.layout.check_unit(stripe, i), check)?;
         }
-        Ok(())
+        Ok(true)
     }
 
     /// Fault injection: make the array "crash" (error with
@@ -644,7 +735,7 @@ impl DeclusteredArray {
         if !rlock(&self.failed).is_empty() {
             return Err(ArrayError::WrongDiskState);
         }
-        let mut stripes = std::mem::take(&mut *lock(&self.intents));
+        let mut stripes = lock(&self.intents).clone();
         stripes.sort_unstable();
         stripes.dedup();
         let repaired = stripes.len() as u64;
@@ -652,16 +743,25 @@ impl DeclusteredArray {
             let d = self.layout.data_per_stripe();
             let mut data = Vec::with_capacity(d);
             for i in 0..d {
-                data.push(
-                    self.read_phys(self.layout.data_unit(stripe, i))?
-                        .expect("no failed disks during recovery"),
-                );
+                let addr = self.layout.data_unit(stripe, i);
+                // No disks are failed (checked above), so an unreadable
+                // unit here is an injected media error. Surface it typed
+                // — the journal is left intact so a later retry can
+                // finish the replay.
+                let Some(unit) = self.read_phys(addr)? else {
+                    return Err(ArrayError::MediaError {
+                        disk: addr.disk,
+                        offset: addr.offset,
+                    });
+                };
+                data.push(unit);
             }
             let checks = self.rs.encode(&data)?;
             for (i, check) in checks.iter().enumerate() {
                 self.write_phys(self.layout.check_unit(stripe, i), check)?;
             }
         }
+        lock(&self.intents).clear();
         self.emit(ObsEvent::JournalReplay { stripes: repaired });
         Ok(repaired)
     }
@@ -670,10 +770,15 @@ impl DeclusteredArray {
     /// as every stripe retains enough units (at most
     /// [`Layout::check_per_stripe`] concurrent un-rebuilt failures).
     ///
+    /// Takes `&self`: all failure state lives behind its own locks, so a
+    /// nemesis thread can fail a disk while readers and writers are in
+    /// flight (they see the disk either before or after the failure —
+    /// both valid, per the module docs' threading model).
+    ///
     /// # Errors
     ///
     /// [`ArrayError::WrongDiskState`] if the disk is already failed.
-    pub fn fail_disk(&mut self, disk: usize) -> Result<(), ArrayError> {
+    pub fn fail_disk(&self, disk: usize) -> Result<(), ArrayError> {
         if disk >= self.disks.len() || rlock(&self.failed).contains(&disk) {
             return Err(ArrayError::WrongDiskState);
         }
@@ -1027,6 +1132,7 @@ impl DeclusteredArray {
 mod tests {
     use super::*;
     use pddl_core::{Pddl, Raid5};
+    use pddl_disk::fault::CellFaults;
 
     fn pattern(len: usize, seed: u8) -> Vec<u8> {
         (0..len)
@@ -1057,12 +1163,96 @@ mod tests {
     }
 
     #[test]
+    fn read_media_fault_is_absorbed_by_reconstruction() {
+        let mut a = small_array();
+        let faults = Arc::new(CellFaults::new());
+        a.attach_fault_hook(faults.clone());
+        let buf = pattern(16 * 12, 9);
+        a.write(0, &buf).unwrap();
+        let (stripe, index) = a.layout().locate(3);
+        let addr = a.layout().data_unit(stripe, index);
+        faults.arm(addr.disk, addr.offset, AccessKind::Read);
+        // The unreadable unit comes back through parity, every time the
+        // armed cell is hit — persistent, not fire-once.
+        assert_eq!(a.read(3, 1).unwrap(), &buf[3 * 16..4 * 16]);
+        assert_eq!(a.read(3, 1).unwrap(), &buf[3 * 16..4 * 16]);
+        assert!(faults.fired(AccessKind::Read) >= 2);
+        faults.disarm_all();
+        assert_eq!(a.read(3, 1).unwrap(), &buf[3 * 16..4 * 16]);
+    }
+
+    #[test]
+    fn write_media_fault_is_typed_and_journal_replay_heals_it() {
+        let mut a = small_array();
+        let faults = Arc::new(CellFaults::new());
+        a.attach_fault_hook(faults.clone());
+        a.write(0, &pattern(16 * 12, 4)).unwrap();
+        let (stripe, index) = a.layout().locate(0);
+        let addr = a.layout().data_unit(stripe, index);
+        faults.arm(addr.disk, addr.offset, AccessKind::Write);
+        let err = a.write(0, &pattern(16, 5)).unwrap_err();
+        assert!(
+            matches!(err, ArrayError::MediaError { disk, offset }
+                if disk == addr.disk && offset == addr.offset),
+            "{err:?}"
+        );
+        assert_eq!(faults.fired(AccessKind::Write), 1);
+        // The interrupted update's intent stays journaled for repair.
+        assert_eq!(a.outstanding_intents(), vec![stripe]);
+        faults.disarm_all();
+        assert_eq!(a.recover().unwrap(), 1);
+        assert!(a.outstanding_intents().is_empty());
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn small_write_declines_to_rmw_under_read_faults() {
+        let mut a = small_array();
+        let faults = Arc::new(CellFaults::new());
+        a.attach_fault_hook(faults.clone());
+        a.write(0, &pattern(16 * 12, 6)).unwrap();
+        // An unreadable check unit makes the delta path impossible; the
+        // write must still succeed via whole-stripe reconstruction.
+        let (stripe, _) = a.layout().locate(0);
+        let check = a.layout().check_unit(stripe, 0);
+        faults.arm(check.disk, check.offset, AccessKind::Read);
+        let fresh = pattern(16, 7);
+        a.write(0, &fresh).unwrap();
+        assert_eq!(a.read(0, 1).unwrap(), fresh);
+        faults.disarm_all();
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn recover_surfaces_media_fault_and_keeps_the_journal() {
+        let mut a = small_array();
+        let faults = Arc::new(CellFaults::new());
+        a.attach_fault_hook(faults.clone());
+        a.write(0, &pattern(16 * 12, 8)).unwrap();
+        let (stripe, index) = a.layout().locate(1);
+        let data = a.layout().data_unit(stripe, index);
+        // Tear the stripe with a write fault...
+        faults.arm(data.disk, data.offset, AccessKind::Write);
+        assert!(a.write(1, &pattern(16, 9)).is_err());
+        assert_eq!(a.outstanding_intents(), vec![stripe]);
+        // ...then make replay itself hit a read fault: typed error and
+        // the journal entry survives for a later retry.
+        faults.disarm_all();
+        faults.arm(data.disk, data.offset, AccessKind::Read);
+        assert!(matches!(a.recover(), Err(ArrayError::MediaError { .. })));
+        assert_eq!(a.outstanding_intents(), vec![stripe]);
+        faults.disarm_all();
+        assert_eq!(a.recover().unwrap(), 1);
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
     fn degraded_reads_reconstruct() {
         let a = small_array();
         let buf = pattern(16 * 24, 3);
         a.write(0, &buf).unwrap();
         for victim in 0..7 {
-            let mut b = small_array();
+            let b = small_array();
             b.write(0, &buf).unwrap();
             b.fail_disk(victim).unwrap();
             assert_eq!(b.mode(), ArrayMode::Degraded);
@@ -1122,7 +1312,7 @@ mod tests {
 
     #[test]
     fn double_failure_with_single_check_is_unrecoverable() {
-        let mut a = small_array();
+        let a = small_array();
         a.write(0, &pattern(16 * 8, 8)).unwrap();
         a.fail_disk(0).unwrap();
         a.fail_disk(1).unwrap();
@@ -1500,7 +1690,7 @@ mod small_write_tests {
     #[test]
     fn multi_check_small_writes_maintain_rs_parity() {
         let layout = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
-        let mut a = DeclusteredArray::new(Box::new(layout), 8, 1).unwrap();
+        let a = DeclusteredArray::new(Box::new(layout), 8, 1).unwrap();
         a.write(0, &pattern(8 * 20, 5)).unwrap();
         a.write(3, &pattern(8, 6)).unwrap(); // d=2, w=1 → small write
         assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());

@@ -62,7 +62,7 @@ fn parallel_writers_on_disjoint_stripes_keep_parity() {
 #[test]
 fn concurrent_degraded_readers_reconstruct_correctly() {
     let layout = Pddl::new(7, 3).unwrap();
-    let mut a = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
+    let a = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
     let cap = a.capacity_units();
     let payload = pattern(cap as usize * 16, 42);
     a.write(0, &payload).unwrap();
@@ -138,7 +138,7 @@ fn client_io_proceeds_during_batched_rebuild() {
     const VICTIM: usize = 2;
     const WRITERS: u64 = 3;
     let layout = Pddl::new(7, 3).unwrap();
-    let mut a = DeclusteredArray::new(Box::new(layout), 32, 6).unwrap();
+    let a = DeclusteredArray::new(Box::new(layout), 32, 6).unwrap();
     let cap = a.capacity_units();
     // Model: unit `u` always holds pattern(32, u) — writers rewrite the
     // same bytes, so reads have a single correct answer at all times.

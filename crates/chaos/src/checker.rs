@@ -1,0 +1,546 @@
+//! History checker: replays the fault plan against a sequential
+//! block-store model and validates every recorded response plus the
+//! end-state invariants. Pure function of `(config, plan, histories)` —
+//! it never observes the live array, which is what makes a mismatch
+//! meaningful.
+//!
+//! Per-op oracle:
+//!
+//! - **Read-your-writes per block.** Client regions are disjoint and
+//!   the engine serializes per stripe, so every read must return
+//!   exactly the bytes of the client's own last completed write (or
+//!   zeroes). There is no staleness window to tolerate — including
+//!   during rebuild.
+//! - **Typed faults.** A write touching a write-armed cell must fail
+//!   `MediaError` with the exact partial application the array's
+//!   update order implies; a read or write needing ≥ 2 unavailable
+//!   units after a post-sparing second failure must fail
+//!   `Unrecoverable`.
+//!
+//! End-state invariants: the first scrub's bad set is contained in the
+//! modeled torn-stripe set (an over-approximation: the model never
+//! un-tears on racy intra-round heals); outstanding journal intents
+//! match the modeled failed-write stripes; after disarm + journal
+//! replay a fault-free volume scrubs clean; the final readback matches
+//! the model block-for-block; and the deterministic metric counters
+//! reconcile with the injected fault counts.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pddl_core::layout::Layout;
+use pddl_server::wire::Status;
+
+use crate::nemesis::RunResult;
+use crate::plan::{
+    block_token, client_round_ops, fnv64, token_bytes, ArmedCell, ChaosConfig, ClientOp,
+    FaultEvent, FaultPlan, Phase, RoundCtx,
+};
+
+/// One checker finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Round the violation surfaced in; `None` for end-state findings.
+    pub round: Option<usize>,
+    /// Client involved, when attributable.
+    pub client: Option<usize>,
+    /// Human-readable statement of the broken invariant.
+    pub what: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.round, self.client) {
+            (Some(r), Some(c)) => write!(f, "[round {r}, client {c}] {}", self.what),
+            (Some(r), None) => write!(f, "[round {r}] {}", self.what),
+            (None, Some(c)) => write!(f, "[end, client {c}] {}", self.what),
+            (None, None) => write!(f, "[end] {}", self.what),
+        }
+    }
+}
+
+/// The sequential block-store model.
+struct Model {
+    /// Last committed token per block; `None` reads as zeroes.
+    blocks: Vec<Option<u64>>,
+    /// Stripes whose parity may be stale from an injected write error.
+    torn: BTreeSet<u64>,
+    /// Stripes with an outstanding journal intent (failed writes).
+    intents: BTreeSet<u64>,
+    /// Expected `faults.media_write` (one per failed client write).
+    media_write: u64,
+    /// Whether any read-armed cell was provably exercised.
+    read_fault_touched: bool,
+}
+
+/// One stripe-group of a write op: `(index_in_stripe, op_unit, block)`.
+type Group = (u64, Vec<(usize, u32, u64)>);
+
+/// Mirror of `DeclusteredArray::write`'s consecutive-run grouping.
+fn group_by_stripe(op: &ClientOp, layout: &dyn Layout) -> Vec<Group> {
+    let mut groups: Vec<Group> = Vec::new();
+    for k in 0..op.units {
+        let block = op.offset + u64::from(k);
+        let (stripe, index) = layout.locate(block);
+        match groups.last_mut() {
+            Some((s, items)) if *s == stripe => items.push((index, k, block)),
+            _ => groups.push((stripe, vec![(index, k, block)])),
+        }
+    }
+    groups
+}
+
+/// Units of `stripe` lost for good after `d1` was spared and `d2`
+/// failed: everything homed on `d2`, plus everything homed on `d1`
+/// whose spare cell sat on `d2`.
+fn unavailable_units(layout: &dyn Layout, stripe: u64, d1: usize, d2: usize) -> usize {
+    layout
+        .stripe_units(stripe)
+        .iter()
+        .filter(|u| {
+            u.addr.disk == d2
+                || (u.addr.disk == d1 && layout.spare_unit(stripe, d1).is_none_or(|s| s.disk == d2))
+        })
+        .count()
+}
+
+/// A block is dead when its own unit is unavailable and its stripe has
+/// lost more units than the code can reconstruct.
+fn block_dead(layout: &dyn Layout, block: u64, d1: usize, d2: usize) -> bool {
+    let (stripe, index) = layout.locate(block);
+    let home = layout.data_unit(stripe, index);
+    let gone = home.disk == d2
+        || (home.disk == d1 && layout.spare_unit(stripe, d1).is_none_or(|s| s.disk == d2));
+    gone && unavailable_units(layout, stripe, d1, d2) > layout.check_per_stripe()
+}
+
+impl Model {
+    fn block_bytes(&self, block: u64, unit_bytes: usize) -> Vec<u8> {
+        match self.blocks[block as usize] {
+            Some(token) => token_bytes(token, unit_bytes),
+            None => vec![0u8; unit_bytes],
+        }
+    }
+
+    /// Expected `(status, payload digest)` of a read, with model
+    /// bookkeeping for read-fault touches.
+    fn apply_read(
+        &mut self,
+        op: &ClientOp,
+        ctx: &RoundCtx,
+        layout: &dyn Layout,
+        unit_bytes: usize,
+    ) -> (Status, u64) {
+        let mut bytes = Vec::with_capacity(op.units as usize * unit_bytes);
+        for k in 0..op.units {
+            let block = op.offset + u64::from(k);
+            if let Phase::Terminal { d1, d2 } = ctx.phase {
+                if block_dead(layout, block, d1, d2) {
+                    return (Status::Unrecoverable, fnv64(&[]));
+                }
+            }
+            if ctx.armed.iter().any(|c| !c.write && c.block == Some(block)) {
+                // The read reconstructs this block through parity.
+                self.read_fault_touched = true;
+            }
+            bytes.extend_from_slice(&self.block_bytes(block, unit_bytes));
+        }
+        (Status::Ok, fnv64(&bytes))
+    }
+
+    /// Expected `(status, payload digest)` of a write, applying the
+    /// exact partial-update semantics of the array's write path.
+    fn apply_write(&mut self, op: &ClientOp, ctx: &RoundCtx, layout: &dyn Layout) -> (Status, u64) {
+        let d = layout.data_per_stripe();
+        for (stripe, updates) in group_by_stripe(op, layout) {
+            if let Phase::Terminal { d1, d2 } = ctx.phase {
+                if unavailable_units(layout, stripe, d1, d2) > layout.check_per_stripe() {
+                    // Reconstruction is impossible; the intent was
+                    // journaled before the attempt and is never retired.
+                    self.intents.insert(stripe);
+                    return (Status::Unrecoverable, fnv64(&[]));
+                }
+            }
+            let write_cell: Option<&ArmedCell> =
+                ctx.armed.iter().find(|c| c.write && c.stripe == stripe);
+            if let Some(cell) = write_cell {
+                if let Some(pos) = updates.iter().position(|&(_, _, b)| Some(b) == cell.block) {
+                    // Media error mid-update: units before the armed
+                    // cell landed (in update order), the check units
+                    // did not — the stripe is torn if anything landed.
+                    for &(_, k, block) in &updates[..pos] {
+                        self.blocks[block as usize] = Some(block_token(op.tag, k));
+                    }
+                    if pos > 0 {
+                        self.torn.insert(stripe);
+                    }
+                    self.intents.insert(stripe);
+                    self.media_write += 1;
+                    return (Status::MediaError, fnv64(&[]));
+                }
+            }
+            // Success path. Read-fault touch bookkeeping: the delta
+            // path reads the check units and the updated units' old
+            // contents; the reconstructing path reads the whole stripe.
+            let w = updates.len();
+            let small = matches!(ctx.phase, Phase::Healthy) && 2 * w <= d && w < d;
+            if let Some(cell) = ctx.armed.iter().find(|c| !c.write && c.stripe == stripe) {
+                let touches = match cell.block {
+                    // Check cells are read by both write paths.
+                    None => true,
+                    // A data cell is read when updated (old value for
+                    // the delta), or by the whole-stripe fetch.
+                    Some(b) => !small || updates.iter().any(|&(_, _, ub)| ub == b),
+                };
+                if touches {
+                    self.read_fault_touched = true;
+                }
+            }
+            // Torn parity is left torn even when a whole-stripe
+            // re-encode would heal it: intra-round heal/tear order is
+            // racy across clients, so the model keeps the superset
+            // (scrub is checked as ⊆ torn).
+            for &(_, k, block) in &updates {
+                self.blocks[block as usize] = Some(block_token(op.tag, k));
+            }
+        }
+        (Status::Ok, fnv64(&[]))
+    }
+}
+
+/// Validate one run against the plan. Empty result = run is clean.
+pub fn check(cfg: &ChaosConfig, plan: &FaultPlan, run: &RunResult) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let layout = match cfg.layout() {
+        Ok(l) => l,
+        Err(e) => {
+            violations.push(Violation {
+                round: None,
+                client: None,
+                what: format!("config rejected: {e}"),
+            });
+            return violations;
+        }
+    };
+    let capacity = cfg.capacity(&layout);
+    let ctxs = plan.round_ctxs();
+    let mut model = Model {
+        blocks: vec![None; capacity as usize],
+        torn: BTreeSet::new(),
+        intents: BTreeSet::new(),
+        media_write: 0,
+        read_fault_touched: false,
+    };
+
+    for e in &run.infra {
+        violations.push(Violation {
+            round: None,
+            client: None,
+            what: format!("infrastructure: {e}"),
+        });
+    }
+
+    // Per-op history replay.
+    let mut cursors = vec![0usize; cfg.clients];
+    let mut dead = vec![false; cfg.clients];
+    for (round, ctx) in ctxs.iter().enumerate() {
+        if matches!(plan.events[round], FaultEvent::DisarmFaults) {
+            // Disarm replays the journal: every failed-write stripe is
+            // re-encoded from its current data and the intents retire.
+            model.torn.clear();
+            model.intents.clear();
+        }
+        for client in 0..cfg.clients {
+            for op in client_round_ops(plan.seed, client, round, cfg, capacity) {
+                let (status, digest) = if op.write {
+                    model.apply_write(&op, ctx, &layout)
+                } else {
+                    model.apply_read(&op, ctx, &layout, cfg.unit_bytes)
+                };
+                if dead[client] {
+                    continue;
+                }
+                let Some(rec) = run
+                    .histories
+                    .get(client)
+                    .and_then(|h| h.get(cursors[client]))
+                else {
+                    violations.push(Violation {
+                        round: Some(round),
+                        client: Some(client),
+                        what: "history truncated (ops missing)".into(),
+                    });
+                    dead[client] = true;
+                    continue;
+                };
+                cursors[client] += 1;
+                if rec.round as usize != round
+                    || rec.write != op.write
+                    || rec.offset != op.offset
+                    || rec.units != op.units
+                {
+                    violations.push(Violation {
+                        round: Some(round),
+                        client: Some(client),
+                        what: format!(
+                            "history desync: expected {} {}+{} in round {round}, \
+                             recorded {} {}+{} in round {}",
+                            if op.write { "write" } else { "read" },
+                            op.offset,
+                            op.units,
+                            if rec.write { "write" } else { "read" },
+                            rec.offset,
+                            rec.units,
+                            rec.round,
+                        ),
+                    });
+                    dead[client] = true;
+                    continue;
+                }
+                if rec.status != status.code() {
+                    violations.push(Violation {
+                        round: Some(round),
+                        client: Some(client),
+                        what: format!(
+                            "{} {}+{}: expected status {status:?}, got code {}",
+                            if op.write { "write" } else { "read" },
+                            op.offset,
+                            op.units,
+                            rec.status,
+                        ),
+                    });
+                } else if rec.digest != digest {
+                    violations.push(Violation {
+                        round: Some(round),
+                        client: Some(client),
+                        what: format!(
+                            "read {}+{} returned stale or corrupt data \
+                             (digest {:#x}, expected {:#x})",
+                            op.offset, op.units, rec.digest, digest,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for (client, h) in run.histories.iter().enumerate() {
+        if !dead[client] && cursors[client] != h.len() {
+            violations.push(Violation {
+                round: None,
+                client: Some(client),
+                what: format!(
+                    "history has {} extra records (responses to unissued requests?)",
+                    h.len() - cursors[client]
+                ),
+            });
+        }
+    }
+
+    // Hostile frames: every one must have elicited the mandated reaction.
+    let hostile_events = plan
+        .events
+        .iter()
+        .filter(|e| matches!(e, FaultEvent::Hostile { .. }))
+        .count();
+    if run.hostile.len() != hostile_events {
+        violations.push(Violation {
+            round: None,
+            client: None,
+            what: format!(
+                "{} hostile frames recorded, plan has {hostile_events}",
+                run.hostile.len()
+            ),
+        });
+    }
+    for h in &run.hostile {
+        if !h.ok {
+            violations.push(Violation {
+                round: Some(h.round as usize),
+                client: None,
+                what: format!("hostile {} mishandled: {}", h.kind, h.detail),
+            });
+        }
+    }
+
+    end_state_checks(
+        cfg,
+        plan,
+        run,
+        &ctxs,
+        &model,
+        &layout,
+        capacity,
+        &mut violations,
+    );
+    violations
+}
+
+#[allow(clippy::too_many_arguments)]
+fn end_state_checks(
+    cfg: &ChaosConfig,
+    plan: &FaultPlan,
+    run: &RunResult,
+    ctxs: &[RoundCtx],
+    model: &Model,
+    layout: &dyn Layout,
+    capacity: u64,
+    violations: &mut Vec<Violation>,
+) {
+    let mut push = |what: String| {
+        violations.push(Violation {
+            round: None,
+            client: None,
+            what,
+        })
+    };
+    let end_phase = ctxs.last().map_or(Phase::Healthy, |c| c.phase);
+    let end_armed: &[ArmedCell] = ctxs.last().map_or(&[], |c| c.armed.as_slice());
+
+    // Rebuild must have terminated in a typed state: Done whenever the
+    // plan rebuilt, untouched otherwise.
+    let expect_rebuild = if plan
+        .events
+        .iter()
+        .any(|e| matches!(e, FaultEvent::RebuildSpare { .. }))
+    {
+        2 // Done
+    } else {
+        0 // None
+    };
+    if run.end.rebuild.0 != expect_rebuild {
+        push(format!(
+            "rebuild ended in state code {} (disk {}), expected {expect_rebuild}",
+            run.end.rebuild.0, run.end.rebuild.1
+        ));
+    }
+
+    // First scrub: only stripes the model knows as torn may mismatch.
+    for s in &run.end.scrub1 {
+        if !model.torn.contains(s) {
+            push(format!(
+                "scrub flagged stripe {s} which no injected fault tore"
+            ));
+        }
+    }
+
+    // Journal: outstanding intents are exactly the failed-write stripes.
+    let recorded: BTreeSet<u64> = run.end.intents.iter().copied().collect();
+    if recorded != model.intents {
+        push(format!(
+            "outstanding intents {:?} do not match failed writes {:?}",
+            run.end.intents,
+            model.intents.iter().collect::<Vec<_>>()
+        ));
+    }
+
+    // After disarm + replay, a fault-free volume must scrub clean.
+    if matches!(end_phase, Phase::Healthy) {
+        match run.end.recovered {
+            Some(n) if n == model.intents.len() as u64 => {}
+            other => push(format!(
+                "journal replay repaired {other:?} stripes, expected {}",
+                model.intents.len()
+            )),
+        }
+        match &run.end.scrub2 {
+            Some(bad) if bad.is_empty() => {}
+            Some(bad) => push(format!(
+                "volume failed to scrub clean after repair: {bad:?}"
+            )),
+            None => push("second scrub missing on a fault-free volume".into()),
+        }
+    } else {
+        if run.end.recovered.is_some() {
+            push("journal replay ran on a degraded volume".into());
+        }
+        // With failures present the plan grammar guarantees no torn
+        // parity, so even the first scrub must be clean.
+        if !run.end.scrub1.is_empty() {
+            push(format!(
+                "degraded volume scrub flagged stripes {:?}",
+                run.end.scrub1
+            ));
+        }
+    }
+
+    // Final readback: model value per block; unrecoverable blocks must
+    // say so.
+    if run.end.final_reads.len() != capacity as usize {
+        push(format!(
+            "final readback covered {} of {capacity} blocks",
+            run.end.final_reads.len()
+        ));
+    }
+    for (block, &(status, digest)) in run.end.final_reads.iter().enumerate() {
+        let block = block as u64;
+        let dead = match end_phase {
+            Phase::Terminal { d1, d2 } => block_dead(layout, block, d1, d2),
+            _ => false,
+        };
+        if dead {
+            if status != Status::Unrecoverable.code() {
+                push(format!(
+                    "block {block} is unrecoverable but read back status code {status}"
+                ));
+            }
+        } else if status != Status::Ok.code() {
+            push(format!("block {block} read back status code {status}"));
+        } else {
+            let expect = fnv64(&model.block_bytes(block, cfg.unit_bytes));
+            if digest != expect {
+                push(format!(
+                    "block {block} read back wrong bytes (digest {digest:#x}, expected {expect:#x})"
+                ));
+            }
+        }
+    }
+
+    // Counters reconcile with the injected fault counts.
+    let c = &run.end.counters;
+    let expect_failures = plan
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                FaultEvent::FailDisk { .. } | FaultEvent::SpareFail { .. }
+            )
+        })
+        .count() as u64;
+    if c.disk_failures != expect_failures {
+        push(format!(
+            "disk.failures = {}, plan injected {expect_failures}",
+            c.disk_failures
+        ));
+    }
+    if c.media_write != model.media_write {
+        push(format!(
+            "faults.media_write = {}, model counted {} failed writes",
+            c.media_write, model.media_write
+        ));
+    }
+    let read_armed_ever = plan
+        .events
+        .iter()
+        .any(|e| matches!(e, FaultEvent::ArmMedia { cell } if !cell.write));
+    let read_armed_at_end = end_armed.iter().any(|c| !c.write);
+    if !read_armed_ever {
+        if c.media_read != 0 {
+            push(format!(
+                "faults.media_read = {} with no read fault ever armed",
+                c.media_read
+            ));
+        }
+    } else if (read_armed_at_end || model.read_fault_touched) && c.media_read == 0 {
+        // The end-state scrub consults every still-armed cell, and a
+        // touched cell fired at least once during the run.
+        push("faults.media_read = 0 although a read fault was exercised".into());
+    }
+    let expect_scrubs = 1 + u64::from(matches!(end_phase, Phase::Healthy));
+    if c.scrub_passes != expect_scrubs {
+        push(format!(
+            "scrub.passes = {}, harness ran {expect_scrubs}",
+            c.scrub_passes
+        ));
+    }
+}

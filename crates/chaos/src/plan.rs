@@ -1,0 +1,748 @@
+//! Fault plans: seeded, replayable schedules of injectable events.
+//!
+//! A [`FaultPlan`] is one event per *round*. The nemesis applies the
+//! round's event while every client is parked at a barrier, then
+//! releases the clients for a burst of concurrent I/O. Determinism
+//! rests on three rules the generator enforces:
+//!
+//! 1. **Media faults are armed cells, not one-shots.** An armed cell
+//!    fires on *every* access until disarmed, so the outcome of a round
+//!    does not depend on which client thread reaches the cell first.
+//! 2. **Clients own disjoint block regions**, and write-armed cells sit
+//!    only on data cells of the owning client's blocks, at most one
+//!    armed cell per stripe. Cross-client races on a stripe then
+//!    commute: every interleaving leaves the same per-block state.
+//! 3. **Faults follow the array lifecycle grammar** (below), so every
+//!    round has a statically known phase and the checker can replay the
+//!    plan without observing the run.
+//!
+//! Lifecycle grammar:
+//!
+//! ```text
+//! Healthy --FailDisk d1--> Degraded --RebuildSpare d1--> Spared
+//! Spared  --Replace d1-->  Healthy
+//! Spared  --SpareFail d2-> Terminal          (no further failures)
+//! ```
+//!
+//! `ArmMedia*` is Healthy-only and every armed cell is disarmed (and
+//! torn parity repaired) by a `DisarmFaults` before the plan may leave
+//! Healthy; media errors therefore never combine with disk failures,
+//! which keeps every fault's effect independently checkable.
+
+use std::fmt;
+
+use pddl_core::layout::Layout;
+use pddl_core::rng::{SplitMix64, Xoshiro256pp};
+use pddl_core::Pddl;
+
+/// Harness shape: array geometry, client topology, and per-round load.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Disks in the array (PDDL needs `disks = g·width + 1`).
+    pub disks: usize,
+    /// Stripe width `k` (data + check units per stripe).
+    pub width: usize,
+    /// Bytes per stripe unit.
+    pub unit_bytes: usize,
+    /// Full permutation periods of capacity.
+    pub periods: u64,
+    /// Concurrent client connections, each owning a disjoint region.
+    pub clients: usize,
+    /// Rounds (= fault-plan events) per run.
+    pub rounds: usize,
+    /// Ops each client issues per round.
+    pub ops_per_round: usize,
+    /// Testing the tester: make the nemesis issue one unmodeled write
+    /// mid-run, which the checker must flag and shrinking must localize.
+    pub sabotage: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            disks: 7,
+            width: 3,
+            unit_bytes: 32,
+            periods: 3,
+            clients: 3,
+            rounds: 12,
+            ops_per_round: 8,
+            sabotage: false,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The layout under test.
+    ///
+    /// # Errors
+    ///
+    /// Invalid geometry, as a printable string.
+    pub fn layout(&self) -> Result<Pddl, String> {
+        Pddl::new(self.disks, self.width).map_err(|e| format!("bad geometry: {e}"))
+    }
+
+    /// Client-visible capacity in stripe units.
+    pub fn capacity(&self, layout: &Pddl) -> u64 {
+        self.periods * layout.data_units_per_period()
+    }
+
+    /// The contiguous block region `[start, start + len)` owned by
+    /// `client`. Regions are disjoint; the remainder past the last
+    /// region is never written and must read back as zeroes.
+    pub fn region(&self, client: usize, capacity: u64) -> (u64, u64) {
+        let len = capacity / self.clients as u64;
+        (client as u64 * len, len)
+    }
+}
+
+/// A hostile wire-level action with a deterministic server response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostileKind {
+    /// A frame whose 4 magic bytes have one bit flipped. Restricted to
+    /// the magic so a flipped frame can never decode as a valid request
+    /// — full random bit-flip decoding lives in the wire fuzz test,
+    /// where frames are never executed.
+    BadMagic {
+        /// Which of the 32 magic bits is flipped.
+        bit: u8,
+    },
+    /// Valid header with an undefined op code.
+    UnknownOp,
+    /// Valid header with reserved flags set.
+    NonZeroFlags,
+    /// Declared payload length above the protocol cap.
+    OversizedPayload,
+    /// Connection closed cleanly in the middle of the fixed header.
+    TruncatedHeader,
+    /// Connection dropped (no shutdown handshake) mid-payload.
+    AbortMidFrame,
+}
+
+impl fmt::Display for HostileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostileKind::BadMagic { bit } => write!(f, "bad-magic(bit {bit})"),
+            HostileKind::UnknownOp => write!(f, "unknown-op"),
+            HostileKind::NonZeroFlags => write!(f, "nonzero-flags"),
+            HostileKind::OversizedPayload => write!(f, "oversized-payload"),
+            HostileKind::TruncatedHeader => write!(f, "truncated-header"),
+            HostileKind::AbortMidFrame => write!(f, "abort-mid-frame"),
+        }
+    }
+}
+
+/// A media-fault target, fully resolved at plan time so the checker
+/// needs no run-side information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmedCell {
+    /// Physical disk of the cell.
+    pub disk: usize,
+    /// Unit offset on that disk.
+    pub offset: u64,
+    /// Stripe the cell belongs to (for the one-cell-per-stripe rule).
+    pub stripe: u64,
+    /// Owning logical block for data cells; `None` for check cells.
+    pub block: Option<u64>,
+    /// `true`: fail writes (typed `MediaError`); `false`: fail reads
+    /// (absorbed by parity reconstruction).
+    pub write: bool,
+}
+
+/// One injectable event; each plan round carries exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Quiet round: client load only.
+    Noop,
+    /// Fail a healthy disk (enters Degraded).
+    FailDisk {
+        /// The disk to fail.
+        disk: usize,
+    },
+    /// Start the background rebuild of the failed disk into distributed
+    /// spare space; settles to `Done` before any dependent event.
+    RebuildSpare {
+        /// The failed disk being rebuilt.
+        disk: usize,
+    },
+    /// Install a replacement in the spared disk's slot (back to Healthy).
+    Replace {
+        /// The spared disk being replaced.
+        disk: usize,
+    },
+    /// Fail a second disk after sparing; with `c = 1` some units become
+    /// unrecoverable and the plan is terminal.
+    SpareFail {
+        /// The second disk to fail.
+        disk: usize,
+    },
+    /// Arm a persistent media fault on one cell (Healthy-only).
+    ArmMedia {
+        /// The resolved target cell.
+        cell: ArmedCell,
+    },
+    /// Disarm every media fault and replay the intent journal, healing
+    /// any parity torn by injected write errors.
+    DisarmFaults,
+    /// Change the background rebuild throttle mid-flight.
+    Throttle {
+        /// New rate in milli-stripes/second (0 = unthrottled).
+        milli_rate: u64,
+    },
+    /// One client drops its connection mid-frame and reconnects.
+    Reconnect {
+        /// The client that reconnects.
+        client: usize,
+    },
+    /// A hostile frame on a throwaway connection.
+    Hostile {
+        /// What kind of hostility.
+        kind: HostileKind,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::Noop => write!(f, "noop"),
+            FaultEvent::FailDisk { disk } => write!(f, "fail-disk {disk}"),
+            FaultEvent::RebuildSpare { disk } => write!(f, "rebuild-spare {disk}"),
+            FaultEvent::Replace { disk } => write!(f, "replace {disk}"),
+            FaultEvent::SpareFail { disk } => write!(f, "spare-fail {disk}"),
+            FaultEvent::ArmMedia { cell } => write!(
+                f,
+                "arm-media-{} d{}@{} (stripe {}{})",
+                if cell.write { "write" } else { "read" },
+                cell.disk,
+                cell.offset,
+                cell.stripe,
+                match cell.block {
+                    Some(b) => format!(", block {b}"),
+                    None => ", check".to_string(),
+                }
+            ),
+            FaultEvent::DisarmFaults => write!(f, "disarm-faults"),
+            FaultEvent::Throttle { milli_rate } => {
+                write!(
+                    f,
+                    "throttle {}.{:03} stripes/s",
+                    milli_rate / 1000,
+                    milli_rate % 1000
+                )
+            }
+            FaultEvent::Reconnect { client } => write!(f, "reconnect client {client}"),
+            FaultEvent::Hostile { kind } => write!(f, "hostile {kind}"),
+        }
+    }
+}
+
+/// Array lifecycle phase a round executes in (after its event applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// All disks healthy; media faults may be armed.
+    Healthy,
+    /// One disk failed, not yet rebuilt.
+    Degraded {
+        /// The failed disk.
+        d1: usize,
+    },
+    /// The failed disk's units live in distributed spare space.
+    Spared {
+        /// The spared disk.
+        d1: usize,
+    },
+    /// Second failure after sparing: some units are gone for good.
+    Terminal {
+        /// First failed (and spared) disk.
+        d1: usize,
+        /// Second failed disk.
+        d2: usize,
+    },
+}
+
+/// Per-round context the checker replays from the plan alone.
+#[derive(Debug, Clone)]
+pub struct RoundCtx {
+    /// Phase in force while the round's clients run.
+    pub phase: Phase,
+    /// Cells armed while the round's clients run.
+    pub armed: Vec<ArmedCell>,
+}
+
+/// A seeded schedule: `pddl-chaos --seed N` regenerates it bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The generator seed.
+    pub seed: u64,
+    /// One event per round.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The plan truncated to its first `rounds` events — the shrinking
+    /// step. Prefix runs are self-consistent because client workloads
+    /// are derived per-round, independent of the total round count.
+    pub fn prefix(&self, rounds: usize) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            events: self.events[..rounds.min(self.events.len())].to_vec(),
+        }
+    }
+
+    /// Replay the lifecycle grammar, yielding each round's phase and
+    /// armed-cell set. Pure function of the events: this is what makes
+    /// the checker independent of the live run.
+    pub fn round_ctxs(&self) -> Vec<RoundCtx> {
+        let mut phase = Phase::Healthy;
+        let mut armed: Vec<ArmedCell> = Vec::new();
+        let mut out = Vec::with_capacity(self.events.len());
+        for event in &self.events {
+            match *event {
+                FaultEvent::FailDisk { disk } => phase = Phase::Degraded { d1: disk },
+                FaultEvent::RebuildSpare { disk } => phase = Phase::Spared { d1: disk },
+                FaultEvent::Replace { .. } => phase = Phase::Healthy,
+                FaultEvent::SpareFail { disk } => {
+                    if let Phase::Spared { d1 } = phase {
+                        phase = Phase::Terminal { d1, d2: disk };
+                    }
+                }
+                FaultEvent::ArmMedia { cell } => armed.push(cell),
+                FaultEvent::DisarmFaults => armed.clear(),
+                FaultEvent::Noop
+                | FaultEvent::Throttle { .. }
+                | FaultEvent::Reconnect { .. }
+                | FaultEvent::Hostile { .. } => {}
+            }
+            out.push(RoundCtx {
+                phase,
+                armed: armed.clone(),
+            });
+        }
+        out
+    }
+
+    /// Render the schedule one event per line, for failure reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (r, e) in self.events.iter().enumerate() {
+            out.push_str(&format!("  round {r:>3}: {e}\n"));
+        }
+        out
+    }
+}
+
+/// Generate the seeded fault plan for `seed` under `cfg`.
+///
+/// # Errors
+///
+/// Invalid geometry, as a printable string.
+pub fn generate(seed: u64, cfg: &ChaosConfig) -> Result<FaultPlan, String> {
+    let layout = cfg.layout()?;
+    let capacity = cfg.capacity(&layout);
+    if capacity / cfg.clients as u64 == 0 {
+        return Err(format!(
+            "capacity {capacity} too small for {} clients",
+            cfg.clients
+        ));
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5044_444c_4348_414f);
+    let mut phase = Phase::Healthy;
+    let mut armed: Vec<ArmedCell> = Vec::new();
+    let mut events = Vec::with_capacity(cfg.rounds);
+    for _ in 0..cfg.rounds {
+        // Weighted candidate menu for the current phase; the grammar
+        // lives in which candidates are present.
+        let menu: Vec<(&str, usize)> = match phase {
+            Phase::Healthy => {
+                let mut m = vec![
+                    ("noop", 2),
+                    ("hostile", 2),
+                    ("reconnect", 1),
+                    ("throttle", 1),
+                ];
+                if armed.len() < 3 {
+                    m.push(("arm", 3));
+                }
+                if armed.is_empty() {
+                    // FailDisk only once every armed fault is disarmed
+                    // and its damage repaired (the DisarmFaults event
+                    // also replays the journal).
+                    m.push(("fail", 2));
+                } else {
+                    m.push(("disarm", 2));
+                }
+                m
+            }
+            Phase::Degraded { .. } => vec![
+                ("noop", 1),
+                ("hostile", 1),
+                ("reconnect", 1),
+                ("throttle", 1),
+                ("rebuild", 4),
+            ],
+            Phase::Spared { .. } => vec![
+                ("noop", 1),
+                ("hostile", 1),
+                ("reconnect", 1),
+                ("replace", 3),
+                ("sparefail", 1),
+            ],
+            Phase::Terminal { .. } => vec![("noop", 2), ("hostile", 2), ("reconnect", 1)],
+        };
+        let total: usize = menu.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.below(total);
+        let mut choice = menu[0].0;
+        for (name, w) in &menu {
+            if pick < *w {
+                choice = name;
+                break;
+            }
+            pick -= w;
+        }
+        let event = match choice {
+            "noop" => FaultEvent::Noop,
+            "hostile" => FaultEvent::Hostile {
+                kind: match rng.below(6) {
+                    0 => HostileKind::BadMagic {
+                        bit: rng.below(32) as u8,
+                    },
+                    1 => HostileKind::UnknownOp,
+                    2 => HostileKind::NonZeroFlags,
+                    3 => HostileKind::OversizedPayload,
+                    4 => HostileKind::TruncatedHeader,
+                    _ => HostileKind::AbortMidFrame,
+                },
+            },
+            "reconnect" => FaultEvent::Reconnect {
+                client: rng.below(cfg.clients),
+            },
+            "throttle" => FaultEvent::Throttle {
+                // Generous band (300..3000 stripes/s) so a throttled
+                // rebuild still settles within the harness timeouts.
+                milli_rate: rng.range_u64(300_000, 3_000_000),
+            },
+            "arm" => {
+                let client = rng.below(cfg.clients);
+                let (start, len) = cfg.region(client, capacity);
+                let block = start + rng.below_u64(len);
+                let (stripe, index) = layout.locate(block);
+                if armed.iter().any(|c| c.stripe == stripe) {
+                    // One armed cell per stripe keeps every race
+                    // commutative; re-rolling would bias the schedule,
+                    // so an occupied stripe just becomes a quiet round.
+                    FaultEvent::Noop
+                } else {
+                    let write = rng.chance(0.5);
+                    // Write faults only on data cells of owned blocks
+                    // (so exactly one client can trip them); read
+                    // faults may also land on a check cell to exercise
+                    // the small-write decline path.
+                    let cell = if !write && rng.chance(0.34) {
+                        let addr = layout.check_unit(stripe, 0);
+                        ArmedCell {
+                            disk: addr.disk,
+                            offset: addr.offset,
+                            stripe,
+                            block: None,
+                            write: false,
+                        }
+                    } else {
+                        let addr = layout.data_unit(stripe, index);
+                        ArmedCell {
+                            disk: addr.disk,
+                            offset: addr.offset,
+                            stripe,
+                            block: Some(block),
+                            write,
+                        }
+                    };
+                    armed.push(cell);
+                    FaultEvent::ArmMedia { cell }
+                }
+            }
+            "disarm" => {
+                armed.clear();
+                FaultEvent::DisarmFaults
+            }
+            "fail" => {
+                let disk = rng.below(cfg.disks);
+                phase = Phase::Degraded { d1: disk };
+                FaultEvent::FailDisk { disk }
+            }
+            "rebuild" => {
+                let Phase::Degraded { d1 } = phase else {
+                    unreachable!("rebuild candidate outside Degraded")
+                };
+                phase = Phase::Spared { d1 };
+                FaultEvent::RebuildSpare { disk: d1 }
+            }
+            "replace" => {
+                let Phase::Spared { d1 } = phase else {
+                    unreachable!("replace candidate outside Spared")
+                };
+                phase = Phase::Healthy;
+                FaultEvent::Replace { disk: d1 }
+            }
+            "sparefail" => {
+                let Phase::Spared { d1 } = phase else {
+                    unreachable!("sparefail candidate outside Spared")
+                };
+                let mut d2 = rng.below(cfg.disks);
+                while d2 == d1 {
+                    d2 = rng.below(cfg.disks);
+                }
+                phase = Phase::Terminal { d1, d2 };
+                FaultEvent::SpareFail { disk: d2 }
+            }
+            _ => unreachable!("unknown candidate"),
+        };
+        events.push(event);
+    }
+    Ok(FaultPlan { seed, events })
+}
+
+/// One client operation in a round's workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOp {
+    /// `false` = read, `true` = write.
+    pub write: bool,
+    /// Starting logical unit (inside the client's region).
+    pub offset: u64,
+    /// Units covered (1..=3, clipped to the region).
+    pub units: u32,
+    /// Write identity: each written block stores a token derived from
+    /// this tag, so the checker can recompute exact expected bytes.
+    pub tag: u64,
+}
+
+/// The workload client `client` runs in round `round` — a pure function
+/// of the seed, shared verbatim by the live worker and the checker.
+pub fn client_round_ops(
+    seed: u64,
+    client: usize,
+    round: usize,
+    cfg: &ChaosConfig,
+    capacity: u64,
+) -> Vec<ClientOp> {
+    let mut mix = SplitMix64::new(
+        seed ^ (client as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (round as u64 + 1).wrapping_mul(0xd1b5_4a32_d192_ed03),
+    );
+    let mut rng = Xoshiro256pp::seed_from_u64(mix.next_u64());
+    let (start, len) = cfg.region(client, capacity);
+    let mut ops = Vec::with_capacity(cfg.ops_per_round);
+    for i in 0..cfg.ops_per_round {
+        let offset = start + rng.below_u64(len);
+        let span = (start + len - offset).min(3);
+        let units = (1 + rng.below_u64(span)) as u32;
+        ops.push(ClientOp {
+            write: rng.chance(0.5),
+            offset,
+            units,
+            tag: ((client as u64) << 48) | ((round as u64) << 32) | i as u64,
+        });
+    }
+    ops
+}
+
+/// The value token block `k` of a write op carries (what the model
+/// stores per block).
+pub fn block_token(tag: u64, k: u32) -> u64 {
+    tag.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ u64::from(k)
+}
+
+/// Expand a block token into the unit's byte pattern.
+pub fn token_bytes(token: u64, unit_bytes: usize) -> Vec<u8> {
+    let mut mix = SplitMix64::new(token);
+    let mut out = Vec::with_capacity(unit_bytes);
+    while out.len() < unit_bytes {
+        out.extend_from_slice(&mix.next_u64().to_le_bytes());
+    }
+    out.truncate(unit_bytes);
+    out
+}
+
+/// FNV-1a over a byte slice — the history digest primitive.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Order-sensitive digest accumulator for whole-run fingerprints.
+#[derive(Debug, Clone, Copy)]
+pub struct Digest(u64);
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest {
+    /// Fresh accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold in one word.
+    pub fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The accumulated value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_reproducible() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..20 {
+            let a = generate(seed, &cfg).unwrap();
+            let b = generate(seed, &cfg).unwrap();
+            assert_eq!(a.events, b.events, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn grammar_invariants_hold_across_seeds() {
+        let cfg = ChaosConfig {
+            rounds: 40,
+            ..ChaosConfig::default()
+        };
+        for seed in 0..60 {
+            let plan = generate(seed, &cfg).unwrap();
+            let mut phase = Phase::Healthy;
+            let mut armed: Vec<ArmedCell> = Vec::new();
+            for (r, e) in plan.events.iter().enumerate() {
+                match *e {
+                    FaultEvent::ArmMedia { cell } => {
+                        assert_eq!(phase, Phase::Healthy, "seed {seed} round {r}");
+                        assert!(
+                            !armed.iter().any(|c| c.stripe == cell.stripe),
+                            "seed {seed} round {r}: two cells on stripe {}",
+                            cell.stripe
+                        );
+                        if cell.write {
+                            assert!(cell.block.is_some(), "write arm must target a data cell");
+                        }
+                        armed.push(cell);
+                    }
+                    FaultEvent::DisarmFaults => armed.clear(),
+                    FaultEvent::FailDisk { .. } => {
+                        assert_eq!(phase, Phase::Healthy, "seed {seed} round {r}");
+                        assert!(
+                            armed.is_empty(),
+                            "seed {seed} round {r}: failure while armed"
+                        );
+                    }
+                    FaultEvent::RebuildSpare { disk } => {
+                        assert_eq!(phase, Phase::Degraded { d1: disk });
+                    }
+                    FaultEvent::Replace { disk } => {
+                        assert_eq!(phase, Phase::Spared { d1: disk });
+                    }
+                    FaultEvent::SpareFail { disk } => {
+                        let Phase::Spared { d1 } = phase else {
+                            panic!("seed {seed} round {r}: spare-fail outside Spared");
+                        };
+                        assert_ne!(disk, d1);
+                    }
+                    _ => {}
+                }
+                // Keep the shadow phase in sync via the same replay the
+                // checker uses.
+                phase = plan.prefix(r + 1).round_ctxs()[r].phase;
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_reproducible_and_stay_in_region() {
+        let cfg = ChaosConfig::default();
+        let layout = cfg.layout().unwrap();
+        let capacity = cfg.capacity(&layout);
+        for client in 0..cfg.clients {
+            let (start, len) = cfg.region(client, capacity);
+            for round in 0..4 {
+                let a = client_round_ops(9, client, round, &cfg, capacity);
+                let b = client_round_ops(9, client, round, &cfg, capacity);
+                assert_eq!(a, b);
+                for op in a {
+                    assert!(op.offset >= start);
+                    assert!(op.offset + u64::from(op.units) <= start + len);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_truncates_without_reseeding() {
+        let cfg = ChaosConfig::default();
+        let plan = generate(3, &cfg).unwrap();
+        let p = plan.prefix(5);
+        assert_eq!(p.events[..], plan.events[..5]);
+        assert_eq!(p.round_ctxs().len(), 5);
+    }
+
+    /// The CI sweep (seeds 0..40 at the default config) must actually
+    /// reach every corner of the fault space, or the harness is
+    /// quietly testing much less than it claims.
+    #[test]
+    fn default_sweep_covers_the_fault_space() {
+        let cfg = ChaosConfig::default();
+        let mut fail = 0;
+        let mut rebuild = 0;
+        let mut replace = 0;
+        let mut spare_fail = 0;
+        let mut arm_write = 0;
+        let mut arm_read = 0;
+        let mut disarm = 0;
+        let mut throttle = 0;
+        let mut reconnect = 0;
+        let mut hostile = 0;
+        for seed in 0..40 {
+            for e in generate(seed, &cfg).unwrap().events {
+                match e {
+                    FaultEvent::FailDisk { .. } => fail += 1,
+                    FaultEvent::RebuildSpare { .. } => rebuild += 1,
+                    FaultEvent::Replace { .. } => replace += 1,
+                    FaultEvent::SpareFail { .. } => spare_fail += 1,
+                    FaultEvent::ArmMedia { cell } if cell.write => arm_write += 1,
+                    FaultEvent::ArmMedia { .. } => arm_read += 1,
+                    FaultEvent::DisarmFaults => disarm += 1,
+                    FaultEvent::Throttle { .. } => throttle += 1,
+                    FaultEvent::Reconnect { .. } => reconnect += 1,
+                    FaultEvent::Hostile { .. } => hostile += 1,
+                    FaultEvent::Noop => {}
+                }
+            }
+        }
+        for (name, n) in [
+            ("fail-disk", fail),
+            ("rebuild", rebuild),
+            ("replace", replace),
+            ("spare-fail", spare_fail),
+            ("arm-media-write", arm_write),
+            ("arm-media-read", arm_read),
+            ("disarm", disarm),
+            ("throttle", throttle),
+            ("reconnect", reconnect),
+            ("hostile", hostile),
+        ] {
+            assert!(n > 0, "40-seed sweep never generated a {name} event");
+        }
+    }
+}

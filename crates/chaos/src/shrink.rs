@@ -1,0 +1,45 @@
+//! Schedule shrinking: once a seed fails, re-run the harness with
+//! successively longer prefixes of its fault plan and report the first
+//! one that still reproduces a violation. Because every run is a pure
+//! function of `(config, plan)`, the minimal prefix plus the seed is a
+//! complete, copy-pasteable reproduction.
+
+use crate::checker::{check, Violation};
+use crate::nemesis::run;
+use crate::plan::{ChaosConfig, FaultPlan};
+
+/// Outcome of a shrinking pass.
+pub struct Shrunk {
+    /// Number of plan events in the minimal failing schedule.
+    pub rounds: usize,
+    /// The minimal failing plan (a prefix of the original).
+    pub plan: FaultPlan,
+    /// Violations observed under the minimal plan.
+    pub violations: Vec<Violation>,
+}
+
+/// Find the shortest failing prefix of `plan`, scanning from the empty
+/// schedule up. Linear rather than binary: failures need not be
+/// monotone in prefix length (an event can mask an earlier bug), and
+/// the shortest prefix is what prints best.
+pub fn shrink(cfg: &ChaosConfig, plan: &FaultPlan) -> Option<Shrunk> {
+    for rounds in 0..=plan.events.len() {
+        let prefix = plan.prefix(rounds);
+        let violations = match run(cfg, &prefix) {
+            Ok(result) => check(cfg, &prefix, &result),
+            Err(e) => vec![Violation {
+                round: None,
+                client: None,
+                what: format!("harness error: {e}"),
+            }],
+        };
+        if !violations.is_empty() {
+            return Some(Shrunk {
+                rounds,
+                plan: prefix,
+                violations,
+            });
+        }
+    }
+    None
+}

@@ -1,0 +1,55 @@
+//! End-to-end exercises of the chaos harness itself: clean seeds must
+//! pass and reproduce bit-identically, and a deliberately unmodeled
+//! corruption must be caught and shrunk.
+
+use pddl_chaos::{run_seed, ChaosConfig};
+
+#[test]
+fn clean_seeds_pass_and_reproduce() {
+    let cfg = ChaosConfig::default();
+    for seed in 0..3 {
+        let a = run_seed(&cfg, seed, false).unwrap();
+        assert!(
+            a.violations.is_empty(),
+            "seed {seed} failed: {}",
+            a.violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        let b = run_seed(&cfg, seed, false).unwrap();
+        assert_eq!(a.digest, b.digest, "seed {seed} is nondeterministic");
+    }
+}
+
+/// Testing the tester: with `sabotage` set the nemesis corrupts one
+/// block behind the checker's back mid-run. The checker must flag the
+/// run and the shrinker must reduce the schedule.
+#[test]
+fn sabotage_is_caught_and_shrunk() {
+    let cfg = ChaosConfig {
+        sabotage: true,
+        ..ChaosConfig::default()
+    };
+    let report = run_seed(&cfg, 4, true).unwrap();
+    assert!(
+        !report.violations.is_empty(),
+        "sabotaged run passed the checker"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.what.contains("stale or corrupt") || v.what.contains("wrong bytes")),
+        "sabotage surfaced as the wrong kind of violation: {}",
+        report.violations[0]
+    );
+    let shrunk = report.shrunk.expect("shrinking did not reproduce");
+    assert!(
+        shrunk.rounds <= 10,
+        "minimal schedule has {} events, expected <= 10",
+        shrunk.rounds
+    );
+    assert!(!shrunk.violations.is_empty());
+}

@@ -58,6 +58,12 @@ USAGE:
                    closed-loop load generator: throughput and latency
                    percentiles against a served volume; --fail-disk
                    fails disk D mid-run and rebuilds it under load
+  pddl chaos     [--seed N | --seeds N] [--ops N] [--clients C]
+                 [--rounds R] [--disks N --width K] [--sabotage]
+                   deterministic fault-injection harness: seeded fault
+                   schedules against a loopback server, histories
+                   checked against a sequential model; failing seeds
+                   shrink to a minimal schedule (see `pddl chaos -h`)
 
 OBSERVABILITY (simulate, rebuild, replay, drill, serve):
   --trace FILE     write a Chrome trace-event JSON (open in Perfetto)

@@ -9,6 +9,7 @@
 //! pddl drill     --disks 13 --width 4 [--fail 5]
 //! pddl serve     --disks 13 --width 4 --addr 127.0.0.1:7490
 //! pddl remote-bench --addr 127.0.0.1:7490 --threads 4 --ops 500
+//! pddl chaos     --seeds 20 --ops 2000
 //! ```
 
 mod args;
@@ -30,6 +31,12 @@ fn main() {
         Some("report") => commands::report(&cli),
         Some("serve") => commands::serve_cmd(&cli),
         Some("remote-bench") => commands::remote_bench(&cli),
+        // The chaos harness owns its flag set (it doubles as the
+        // standalone `pddl-chaos` binary), so forward the raw args.
+        Some("chaos") => {
+            let raw: Vec<String> = std::env::args().skip(2).collect();
+            std::process::exit(pddl_chaos::run_cli(&raw));
+        }
         Some("help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

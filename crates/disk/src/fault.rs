@@ -1,0 +1,175 @@
+//! Media-fault injection: a hook consulted on every per-disk unit
+//! access, plus a deterministic armed-cell implementation.
+//!
+//! A real drive occasionally fails a single sector while the rest of
+//! the device stays healthy — a *media error*, distinct from a whole
+//! device failure. The array layer consults a [`FaultHook`] before each
+//! unit read/write so a test harness can inject exactly that: the hook
+//! decides, per `(disk, offset, read/write)`, whether the access
+//! suffers a media error.
+//!
+//! [`CellFaults`] is the batteries-included hook used by the chaos
+//! harness: a set of *armed* cells, persistent until disarmed, so the
+//! outcome of every access is a pure function of the armed set — which
+//! is what keeps seeded chaos runs byte-for-byte reproducible.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Direction of a unit access presented to a [`FaultHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A unit read.
+    Read,
+    /// A unit write.
+    Write,
+}
+
+/// Decides whether a single unit access suffers an injected media
+/// error. Implementations must be deterministic in their own state:
+/// given the same armed faults and the same access, the same answer —
+/// randomness belongs in whoever arms the faults, not in the hook.
+pub trait FaultHook: Send + Sync + fmt::Debug {
+    /// Consulted before the access touches the device. Returning `true`
+    /// injects a media error: the access fails without reaching the
+    /// device, leaving its current contents intact.
+    fn media_error(&self, disk: usize, offset: u64, kind: AccessKind) -> bool;
+}
+
+/// A [`FaultHook`] that never fires (the default behavior when no hook
+/// is attached; useful as an explicit placeholder in tests).
+#[derive(Debug, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    fn media_error(&self, _disk: usize, _offset: u64, _kind: AccessKind) -> bool {
+        false
+    }
+}
+
+/// Deterministic armed-cell fault set: a cell `(disk, offset)` armed
+/// for reads (or writes) fails **every** read (or write) of that unit
+/// until disarmed. Persistence — rather than fire-once — is what makes
+/// concurrent histories reproducible: whichever thread reaches the cell
+/// first, every access during the armed window sees the same outcome.
+///
+/// Fired counts are tracked per direction so a checker can reconcile
+/// observed failures against the injection schedule.
+#[derive(Debug, Default)]
+pub struct CellFaults {
+    read: Mutex<HashSet<(usize, u64)>>,
+    write: Mutex<HashSet<(usize, u64)>>,
+    read_fired: AtomicU64,
+    write_fired: AtomicU64,
+}
+
+impl CellFaults {
+    /// An empty (quiet) fault set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn set(&self, kind: AccessKind) -> &Mutex<HashSet<(usize, u64)>> {
+        match kind {
+            AccessKind::Read => &self.read,
+            AccessKind::Write => &self.write,
+        }
+    }
+
+    /// Arm a media error on every future access of `kind` to the unit
+    /// at `(disk, offset)`. Returns `false` if it was already armed.
+    pub fn arm(&self, disk: usize, offset: u64, kind: AccessKind) -> bool {
+        lock(self.set(kind)).insert((disk, offset))
+    }
+
+    /// Disarm one cell; `true` if it was armed.
+    pub fn disarm(&self, disk: usize, offset: u64, kind: AccessKind) -> bool {
+        lock(self.set(kind)).remove(&(disk, offset))
+    }
+
+    /// Disarm everything (reads and writes).
+    pub fn disarm_all(&self) {
+        lock(&self.read).clear();
+        lock(&self.write).clear();
+    }
+
+    /// Cells currently armed for `kind`.
+    pub fn armed(&self, kind: AccessKind) -> usize {
+        lock(self.set(kind)).len()
+    }
+
+    /// Injected media errors delivered so far for `kind`.
+    pub fn fired(&self, kind: AccessKind) -> u64 {
+        match kind {
+            AccessKind::Read => self.read_fired.load(Ordering::Relaxed),
+            AccessKind::Write => self.write_fired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl FaultHook for CellFaults {
+    fn media_error(&self, disk: usize, offset: u64, kind: AccessKind) -> bool {
+        let hit = lock(self.set(kind)).contains(&(disk, offset));
+        if hit {
+            match kind {
+                AccessKind::Read => self.read_fired.fetch_add(1, Ordering::Relaxed),
+                AccessKind::Write => self.write_fired.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_cells_fire_persistently_until_disarmed() {
+        let f = CellFaults::new();
+        assert!(!f.media_error(0, 5, AccessKind::Read));
+        assert!(f.arm(0, 5, AccessKind::Read));
+        assert!(!f.arm(0, 5, AccessKind::Read), "double-arm is idempotent");
+        // Persistent: fires on every consult, not just the first.
+        assert!(f.media_error(0, 5, AccessKind::Read));
+        assert!(f.media_error(0, 5, AccessKind::Read));
+        // Direction-specific: the write path is unaffected.
+        assert!(!f.media_error(0, 5, AccessKind::Write));
+        assert_eq!(f.fired(AccessKind::Read), 2);
+        assert_eq!(f.fired(AccessKind::Write), 0);
+        assert!(f.disarm(0, 5, AccessKind::Read));
+        assert!(!f.media_error(0, 5, AccessKind::Read));
+        assert_eq!(f.fired(AccessKind::Read), 2, "disarmed cells stop firing");
+    }
+
+    #[test]
+    fn disarm_all_clears_both_directions() {
+        let f = CellFaults::new();
+        f.arm(1, 2, AccessKind::Read);
+        f.arm(3, 4, AccessKind::Write);
+        assert_eq!(
+            (f.armed(AccessKind::Read), f.armed(AccessKind::Write)),
+            (1, 1)
+        );
+        f.disarm_all();
+        assert_eq!(
+            (f.armed(AccessKind::Read), f.armed(AccessKind::Write)),
+            (0, 0)
+        );
+        assert!(!f.media_error(1, 2, AccessKind::Read));
+        assert!(!f.media_error(3, 4, AccessKind::Write));
+    }
+
+    #[test]
+    fn no_faults_is_always_quiet() {
+        let f = NoFaults;
+        assert!(!f.media_error(0, 0, AccessKind::Read));
+        assert!(!f.media_error(9, 9, AccessKind::Write));
+    }
+}

@@ -20,6 +20,11 @@
 //! Time is integer nanoseconds ([`Nanos`]) throughout, keeping the
 //! simulator above this crate deterministic.
 //!
+//! The crate also hosts the disk-level *fault model* ([`fault`]): a
+//! [`FaultHook`] consulted per unit access, letting the functional
+//! array and the chaos harness inject single-unit media errors
+//! deterministically.
+//!
 //! ```
 //! use pddl_disk::{Disk, DiskRequest};
 //!
@@ -31,12 +36,14 @@
 
 mod disk;
 mod elevator;
+pub mod fault;
 mod geometry;
 mod seek;
 mod sstf;
 
 pub use disk::{Disk, DiskRequest, MovementKind, ServiceBreakdown};
 pub use elevator::{ElevatorQueue, RequestQueue};
+pub use fault::{AccessKind, CellFaults, FaultHook, NoFaults};
 pub use geometry::{Chs, Geometry, Zone};
 pub use seek::SeekModel;
 pub use sstf::SstfQueue;

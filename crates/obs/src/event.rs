@@ -151,6 +151,14 @@ pub enum Event {
         /// Disk index.
         disk: u32,
     },
+    /// An injected media error fired on a single unit access (the whole
+    /// device stays healthy).
+    MediaFault {
+        /// Disk index.
+        disk: u32,
+        /// Write access (true) or read access (false).
+        write: bool,
+    },
     /// The run finished; `now` at emission is the final clock value
     /// used to turn per-disk busy time into utilization.
     RunEnd,
@@ -170,6 +178,7 @@ impl Event {
             Event::JournalReplay { .. } => "journal_replay",
             Event::ScrubPass { .. } => "scrub_pass",
             Event::DiskFailed { .. } => "disk_failed",
+            Event::MediaFault { .. } => "media_fault",
             Event::RunEnd => "run_end",
         }
     }

@@ -208,6 +208,16 @@ impl ObsSink for Observer {
             Event::DiskFailed { .. } => {
                 self.registry.add("disk.failures", 1);
             }
+            Event::MediaFault { write, .. } => {
+                self.registry.add(
+                    if write {
+                        "faults.media_write"
+                    } else {
+                        "faults.media_read"
+                    },
+                    1,
+                );
+            }
             Event::RunEnd => {
                 self.finish(now);
             }

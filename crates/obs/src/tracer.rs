@@ -102,7 +102,9 @@ impl EventTracer {
             .buf
             .iter()
             .filter_map(|(_, e)| match e {
-                Event::OpServiced { disk, .. } | Event::DiskFailed { disk } => Some(*disk),
+                Event::OpServiced { disk, .. }
+                | Event::DiskFailed { disk }
+                | Event::MediaFault { disk, .. } => Some(*disk),
                 _ => None,
             })
             .chain(samples.iter().map(|s| s.disk))
@@ -290,6 +292,9 @@ impl EventTracer {
                 Event::DiskFailed { disk } => {
                     let _ = write!(out, "\tdisk={disk}");
                 }
+                Event::MediaFault { disk, write } => {
+                    let _ = write!(out, "\tdisk={disk}\twrite={}", u8::from(write));
+                }
                 Event::RunEnd => {}
             }
             out.push('\n');
@@ -325,6 +330,7 @@ fn instant_args(event: &Event) -> String {
             format!("\"stripes\":{stripes},\"repaired\":{repaired}")
         }
         Event::DiskFailed { disk } => format!("\"disk\":{disk}"),
+        Event::MediaFault { disk, write } => format!("\"disk\":{disk},\"write\":{write}"),
         _ => String::new(),
     }
 }

@@ -124,6 +124,27 @@ impl Client {
         Ok((resp.status, resp.payload))
     }
 
+    /// One raw round trip: send the op, return `(status, payload)`
+    /// verbatim instead of mapping non-OK statuses to errors. This is
+    /// the harness-facing API — a chaos checker needs the exact status
+    /// a fault produced (e.g. [`Status::MediaError`]), not a lossy
+    /// "it failed". The response id is still validated against the
+    /// request id (a mismatch is a protocol violation).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and protocol violations only; server-side
+    /// statuses come back in the `Ok` tuple.
+    pub fn request(
+        &mut self,
+        op: Op,
+        offset: u64,
+        length: u32,
+        payload: Vec<u8>,
+    ) -> Result<(Status, Vec<u8>), ClientError> {
+        self.call_raw(op, offset, length, payload)
+    }
+
     /// Read `units` stripe units starting at logical unit `offset`.
     ///
     /// # Errors

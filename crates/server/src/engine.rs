@@ -64,6 +64,7 @@ fn status_of(e: &ArrayError) -> Status {
         // The crash hook is a test-only fault injection; a server hitting
         // it is an internal failure, not a client error.
         ArrayError::InjectedCrash => Status::Internal,
+        ArrayError::MediaError { .. } => Status::MediaError,
     }
 }
 
@@ -146,7 +147,11 @@ struct Inner {
     obs: Mutex<Option<SyncSharedSink>>,
     access_seq: AtomicU64,
     epoch: Instant,
-    rebuild_cfg: RebuildConfig,
+    rebuild_batch: u64,
+    /// Stripes/sec rate limit as `f64` bits, so a throttle change (from
+    /// an admin or a chaos nemesis) lands mid-rebuild without restarting
+    /// the worker. `0.0` means unthrottled.
+    rebuild_rate_bits: AtomicU64,
     rebuild: RebuildCtl,
 }
 
@@ -155,13 +160,21 @@ impl Inner {
         self.epoch.elapsed().as_nanos() as u64
     }
 
+    fn rebuild_rate(&self) -> f64 {
+        f64::from_bits(self.rebuild_rate_bits.load(Ordering::Acquire))
+    }
+
     fn emit(&self, event: Event) {
         let sink = lock(&self.obs).clone();
         if let Some(sink) = sink {
-            if let Ok(mut s) = sink.lock() {
-                let now = self.now_ns();
-                s.event(now, event);
-            }
+            // Recover a poisoned sink instead of silently dropping the
+            // event — a panicked observer must not blind the metrics the
+            // chaos checker reconciles against.
+            let mut s = sink
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let now = self.now_ns();
+            s.event(now, event);
         }
     }
 
@@ -186,8 +199,7 @@ impl Inner {
 /// The background rebuild loop: one bounded, shard-locked batch per
 /// iteration, with progress published after every batch.
 fn rebuild_worker(inner: Arc<Inner>, mut ticket: RebuildTicket) {
-    let cfg = inner.rebuild_cfg;
-    let batch = cfg.batch.max(1);
+    let batch = inner.rebuild_batch.max(1);
     let mut prev = ticket.repaired();
     let final_state = loop {
         if inner.rebuild.stop.load(Ordering::Acquire) {
@@ -220,10 +232,12 @@ fn rebuild_worker(inner: Arc<Inner>, mut ticket: RebuildTicket) {
             Ok(_) => {}
             Err(_) => break REBUILD_FAILED,
         }
-        if cfg.rate > 0.0 {
+        // Re-read the rate each batch: throttle changes apply live.
+        let rate = inner.rebuild_rate();
+        if rate > 0.0 {
             // Sleep off the batch's rate budget in short slices so a
             // shutdown request is honored promptly.
-            let mut left = Duration::from_secs_f64(batch as f64 / cfg.rate);
+            let mut left = Duration::from_secs_f64(batch as f64 / rate);
             while !left.is_zero() && !inner.rebuild.stop.load(Ordering::Acquire) {
                 let slice = left.min(Duration::from_millis(25));
                 std::thread::sleep(slice);
@@ -262,7 +276,8 @@ impl Engine {
                 obs: Mutex::new(None),
                 access_seq: AtomicU64::new(0),
                 epoch: Instant::now(),
-                rebuild_cfg: rebuild,
+                rebuild_batch: rebuild.batch,
+                rebuild_rate_bits: AtomicU64::new(rebuild.rate.to_bits()),
                 rebuild: RebuildCtl::new(),
             }),
         }
@@ -280,9 +295,21 @@ impl Engine {
         self.inner.stripe_locks.len()
     }
 
-    /// The rebuild knobs this engine was built with.
+    /// The current rebuild knobs (batch fixed at construction, rate
+    /// possibly retuned since).
     pub fn rebuild_config(&self) -> RebuildConfig {
-        self.inner.rebuild_cfg
+        RebuildConfig {
+            batch: self.inner.rebuild_batch,
+            rate: self.inner.rebuild_rate(),
+        }
+    }
+
+    /// Retune the rebuild rate limit (stripes/sec; `0.0` unthrottles).
+    /// Takes effect from the worker's next batch — no restart needed.
+    pub fn set_rebuild_rate(&self, rate: f64) {
+        self.inner
+            .rebuild_rate_bits
+            .store(rate.max(0.0).to_bits(), Ordering::Release);
     }
 
     /// Current volume geometry and failure state.
@@ -331,6 +358,41 @@ impl Engine {
 
     fn emit(&self, event: Event) {
         self.inner.emit(event);
+    }
+
+    /// Run a full parity scrub on a quiesced array (write lock: no
+    /// client op or rebuild batch is mid-stripe while it runs). Returns
+    /// the stripes whose stored checks disagree with their data.
+    pub fn scrub(&self) -> Result<Vec<u64>, ArrayError> {
+        let a = self.wrlock();
+        a.scrub()
+    }
+
+    /// Replay outstanding write-intent journal entries on a quiesced
+    /// array; returns the number of stripes repaired.
+    pub fn recover(&self) -> Result<u64, ArrayError> {
+        let mut a = self.wrlock();
+        a.recover()
+    }
+
+    /// Install a blank replacement in failed `disk`'s slot and restore
+    /// its contents to completion, quiesced. Returns units restored.
+    pub fn replace_disk(&self, disk: usize) -> Result<u64, ArrayError> {
+        let mut a = self.wrlock();
+        a.replace_and_rebuild(disk)
+    }
+
+    /// Stripes with outstanding write intents (torn by an injected
+    /// fault mid-update; candidates for [`Engine::recover`]).
+    pub fn outstanding_intents(&self) -> Vec<u64> {
+        rdlock(&self.inner.array).outstanding_intents()
+    }
+
+    fn wrlock(&self) -> std::sync::RwLockWriteGuard<'_, DeclusteredArray> {
+        self.inner
+            .array
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Sorted, deduplicated shard-lock indices for a unit range.
@@ -486,11 +548,10 @@ impl Engine {
         if !req.payload.is_empty() || req.length != 0 {
             return (Status::BadRequest, Vec::new());
         }
-        let mut a = self
-            .inner
-            .array
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // `fail_disk` is interior-mutable: the read lock suffices, so a
+        // failure can land while client I/O is in flight — exactly the
+        // timing a chaos nemesis wants to exercise.
+        let a = rdlock(&self.inner.array);
         match a.fail_disk(req.offset as usize) {
             Ok(()) => (Status::Ok, Vec::new()),
             Err(e) => (status_of(&e), Vec::new()),
@@ -544,12 +605,22 @@ impl Engine {
             .state
             .store(REBUILD_RUNNING, Ordering::Release);
         let worker_inner = Arc::clone(inner);
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("pddl-rebuild".into())
-            .spawn(move || rebuild_worker(worker_inner, ticket))
-            .expect("spawn rebuild thread");
-        *slot = Some(handle);
-        (Status::Accepted, Vec::new())
+            .spawn(move || rebuild_worker(worker_inner, ticket));
+        match spawned {
+            Ok(handle) => {
+                *slot = Some(handle);
+                (Status::Accepted, Vec::new())
+            }
+            Err(_) => {
+                // Thread exhaustion is an environment failure, not a
+                // client error; roll the control block back so a retry
+                // can start cleanly.
+                inner.rebuild.state.store(REBUILD_NONE, Ordering::Release);
+                (Status::Internal, Vec::new())
+            }
+        }
     }
 
     fn do_rebuild_status(&self, req: &Request) -> (Status, Vec<u8>) {

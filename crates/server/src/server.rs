@@ -157,23 +157,43 @@ pub fn serve(engine: Arc<Engine>, addr: &str, config: ServerConfig) -> io::Resul
         requests: AtomicU64::new(0),
     });
 
-    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-        .map(|i| {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("pddl-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn worker thread")
-        })
-        .collect();
+    // Spawn failures (thread exhaustion) surface as the bind error
+    // would: an io::Error from `serve`, after unwinding what already
+    // started — not a panic with half a server running.
+    let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let worker_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("pddl-worker-{i}"))
+            .spawn(move || worker_loop(&worker_shared));
+        match spawned {
+            Ok(handle) => workers.push(handle),
+            Err(e) => {
+                shared.queue.close();
+                for t in workers {
+                    let _ = t.join();
+                }
+                return Err(e);
+            }
+        }
+    }
 
     let accept_thread = {
-        let shared = Arc::clone(&shared);
+        let accept_shared = Arc::clone(&shared);
         let config = config.clone();
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("pddl-accept".into())
-            .spawn(move || accept_loop(&listener, &shared, &config))
-            .expect("spawn accept thread")
+            .spawn(move || accept_loop(&listener, &accept_shared, &config));
+        match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                shared.queue.close();
+                for t in workers {
+                    let _ = t.join();
+                }
+                return Err(e);
+            }
+        }
     };
 
     Ok(ServerHandle {
@@ -201,10 +221,15 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServerConf
         let client = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
         let shared2 = Arc::clone(shared);
         let config2 = config.clone();
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("pddl-conn-{client}"))
-            .spawn(move || reader_loop(stream, client, &shared2, &config2))
-            .expect("spawn connection thread");
+            .spawn(move || reader_loop(stream, client, &shared2, &config2));
+        let Ok(handle) = spawned else {
+            // Thread exhaustion is reachable from the network (enough
+            // concurrent connections); shed this connection and keep
+            // serving the ones that exist instead of crashing them all.
+            continue;
+        };
         let mut readers = shared
             .readers
             .lock()
@@ -225,10 +250,11 @@ fn answer_inline(stream: &Arc<Mutex<TcpStream>>, id: u64, status: Status) {
         status,
         payload: Vec::new(),
     };
-    if let Ok(mut s) = stream.lock() {
-        let _ = wire::write_response(&mut *s, &resp);
-        let _ = s.flush();
-    }
+    let mut s = stream
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = wire::write_response(&mut *s, &resp);
+    let _ = s.flush();
 }
 
 fn reader_loop(stream: TcpStream, client: u32, shared: &Arc<Shared>, config: &ServerConfig) {
@@ -296,25 +322,31 @@ fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let response = shared.engine.execute(job.client, &job.request);
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        if let Ok(mut s) = job.stream.lock() {
-            match wire::write_response(&mut *s, &response) {
-                // An encode-level refusal (e.g. a payload over the
-                // frame cap that slipped past request validation) never
-                // starts the frame, so the stream is still in sync —
-                // answer with Internal rather than leaving the request
-                // id unanswered forever.
-                Err(e) if !matches!(e, WireError::Io(_)) => {
-                    let fallback = Response {
-                        id: response.id,
-                        status: Status::Internal,
-                        payload: Vec::new(),
-                    };
-                    let _ = wire::write_response(&mut *s, &fallback);
-                }
-                // A transport failure means the connection is dead;
-                // nothing can reach this client, so the worker moves on.
-                _ => {}
+        // A poisoned stream mutex (a peer worker panicked mid-write)
+        // must not orphan this request id — recover the guard and
+        // answer anyway; at worst the desynced client drops the
+        // connection, which is its recovery path regardless.
+        let mut s = job
+            .stream
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match wire::write_response(&mut *s, &response) {
+            // An encode-level refusal (e.g. a payload over the
+            // frame cap that slipped past request validation) never
+            // starts the frame, so the stream is still in sync —
+            // answer with Internal rather than leaving the request
+            // id unanswered forever.
+            Err(e) if !matches!(e, WireError::Io(_)) => {
+                let fallback = Response {
+                    id: response.id,
+                    status: Status::Internal,
+                    payload: Vec::new(),
+                };
+                let _ = wire::write_response(&mut *s, &fallback);
             }
+            // A transport failure means the connection is dead;
+            // nothing can reach this client, so the worker moves on.
+            _ => {}
         }
     }
 }

@@ -131,6 +131,9 @@ pub enum Status {
     /// The request was validated and queued; completion is asynchronous
     /// (REBUILD — poll [`Op::RebuildStatus`] for progress).
     Accepted,
+    /// A single-unit media error; the rest of the device (and volume)
+    /// stays serviceable, so the client may retry or repair.
+    MediaError,
 }
 
 impl Status {
@@ -149,6 +152,7 @@ impl Status {
             Status::Shutdown => 9,
             Status::Internal => 10,
             Status::Accepted => 11,
+            Status::MediaError => 12,
         }
     }
 
@@ -167,6 +171,7 @@ impl Status {
             9 => Status::Shutdown,
             10 => Status::Internal,
             11 => Status::Accepted,
+            12 => Status::MediaError,
             _ => return None,
         })
     }
@@ -187,6 +192,7 @@ impl fmt::Display for Status {
             Status::Shutdown => "server shutting down",
             Status::Internal => "internal server error",
             Status::Accepted => "accepted",
+            Status::MediaError => "media error",
         };
         write!(f, "{s}")
     }
@@ -907,12 +913,12 @@ mod tests {
             assert_eq!(Op::from_code(op.code()), Some(op));
         }
         assert_eq!(Op::from_code(0), None);
-        for code in 0..=11u8 {
+        for code in 0..=12u8 {
             let s = Status::from_code(code).unwrap();
             assert_eq!(s.code(), code);
             assert!(!s.to_string().is_empty());
         }
-        assert_eq!(Status::from_code(12), None);
+        assert_eq!(Status::from_code(13), None);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Structured fuzz loop for the wire codec: seeded random frames,
+//! bit-flipped valid frames, truncations, and concatenations are fed
+//! to every decode entry point. The codec must never panic and never
+//! buffer more than one frame's worth of bytes (header + payload cap),
+//! no matter what the peer sends.
+//!
+//! `fuzz_wire_decoders` runs a fixed budget suitable for CI;
+//! `fuzz_wire_decoders_soak` is the same loop with a much larger
+//! budget, ignored by default:
+//!
+//! ```text
+//! cargo test -p pddl-server --test fuzz_wire -- --ignored
+//! ```
+
+use std::io::Read;
+
+use pddl_core::rng::Xoshiro256pp;
+use pddl_server::wire::{
+    self, Op, RebuildStatus, Request, RequestReader, Response, Status, VolumeInfo, MAX_PAYLOAD,
+};
+
+/// Header bytes of a request frame (magic + id + op + flags + offset +
+/// length + payload_len). Kept in sync with `wire.rs` by the
+/// round-trip checks below.
+const HEADER: usize = 30;
+
+/// Largest number of bytes the streaming reader may ever hold.
+const BUFFER_CAP: usize = HEADER + MAX_PAYLOAD as usize;
+
+/// Wraps a byte slice and serves it in small random chunks, so the
+/// incremental reader's resume paths get exercised.
+struct Trickle<'a> {
+    data: &'a [u8],
+    pos: usize,
+    rng: Xoshiro256pp,
+}
+
+impl Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let left = self.data.len() - self.pos;
+        if left == 0 || buf.is_empty() {
+            return Ok(0);
+        }
+        let n = (1 + self.rng.below(7)).min(left).min(buf.len());
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn random_request(rng: &mut Xoshiro256pp) -> Request {
+    let op = match rng.below(6) {
+        0 => Op::Read,
+        1 => Op::Write,
+        2 => Op::Trim,
+        3 => Op::Info,
+        4 => Op::FailDisk,
+        _ => Op::Rebuild,
+    };
+    let payload_len = rng.below(64);
+    Request {
+        id: rng.next_u64(),
+        op,
+        offset: rng.next_u64() >> rng.below_u64(64) as u32,
+        length: rng.next_u64() as u32,
+        payload: (0..payload_len).map(|_| rng.next_u64() as u8).collect(),
+    }
+}
+
+fn random_response(rng: &mut Xoshiro256pp) -> Response {
+    let status = match rng.below(7) {
+        0 => Status::Ok,
+        1 => Status::BadRequest,
+        2 => Status::BadAddress,
+        3 => Status::Unrecoverable,
+        4 => Status::WrongDiskState,
+        5 => Status::Internal,
+        _ => Status::MediaError,
+    };
+    Response {
+        id: rng.next_u64(),
+        status,
+        payload: (0..rng.below(64)).map(|_| rng.next_u64() as u8).collect(),
+    }
+}
+
+/// One adversarial byte stream: a valid frame mangled somehow, or pure
+/// noise.
+fn mangle(rng: &mut Xoshiro256pp, frame: Vec<u8>) -> Vec<u8> {
+    let mut bytes = frame;
+    match rng.below(4) {
+        // Flip 1..=8 bits anywhere (header or payload).
+        0 => {
+            for _ in 0..=rng.below(8) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let i = rng.below(bytes.len());
+                bytes[i] ^= 1 << rng.below(8);
+            }
+        }
+        // Truncate mid-frame.
+        1 => {
+            let keep = rng.below(bytes.len().max(1));
+            bytes.truncate(keep);
+        }
+        // Prepend or append garbage.
+        2 => {
+            let garbage: Vec<u8> = (0..rng.below(40)).map(|_| rng.next_u64() as u8).collect();
+            if rng.chance(0.5) {
+                let mut g = garbage;
+                g.extend_from_slice(&bytes);
+                bytes = g;
+            } else {
+                bytes.extend_from_slice(&garbage);
+            }
+        }
+        // Replace entirely with noise.
+        _ => {
+            bytes = (0..rng.below(96)).map(|_| rng.next_u64() as u8).collect();
+        }
+    }
+    bytes
+}
+
+/// The invariant under fuzz: every decoder either produces a value or
+/// a typed error — no panic — and the streaming reader never buffers
+/// beyond one maximal frame.
+fn fuzz_one(rng: &mut Xoshiro256pp) {
+    // A valid request round-trips through both decode paths.
+    let req = random_request(rng);
+    let mut frame = Vec::new();
+    wire::write_request(&mut frame, &req).unwrap();
+    let decoded = wire::read_request(&mut frame.as_slice()).unwrap().unwrap();
+    assert_eq!(decoded, req);
+    let mut reader = RequestReader::new();
+    let mut trickle = Trickle {
+        data: &frame,
+        pos: 0,
+        rng: Xoshiro256pp::seed_from_u64(rng.next_u64()),
+    };
+    // Trickle never returns `WouldBlock`, so a single poll must
+    // deliver the complete frame despite the tiny reads.
+    match reader.poll(&mut trickle) {
+        Ok(Some(got)) => assert_eq!(got, req),
+        Ok(None) => panic!("EOF before the complete valid frame"),
+        Err(e) => panic!("valid frame rejected: {e}"),
+    }
+
+    // The same frame, mangled: decoders may error but not panic, and
+    // the incremental reader must respect the buffer cap throughout.
+    let bytes = mangle(rng, frame);
+    let _ = wire::read_request(&mut bytes.as_slice());
+    let mut reader = RequestReader::new();
+    let mut trickle = Trickle {
+        data: &bytes,
+        pos: 0,
+        rng: Xoshiro256pp::seed_from_u64(rng.next_u64()),
+    };
+    loop {
+        let polled = reader.poll(&mut trickle);
+        assert!(
+            reader.buffered() <= BUFFER_CAP,
+            "reader buffered {} bytes, cap is {BUFFER_CAP}",
+            reader.buffered()
+        );
+        match polled {
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => break,
+        }
+    }
+
+    // Response decode: valid round-trip, then mangled.
+    let resp = random_response(rng);
+    let mut frame = Vec::new();
+    wire::write_response(&mut frame, &resp).unwrap();
+    let decoded = wire::read_response(&mut frame.as_slice()).unwrap().unwrap();
+    assert_eq!(decoded, resp);
+    let bytes = mangle(rng, frame);
+    let _ = wire::read_response(&mut bytes.as_slice());
+
+    // Fixed-size management payloads decode from arbitrary slices.
+    let noise: Vec<u8> = (0..rng.below(80)).map(|_| rng.next_u64() as u8).collect();
+    let _ = VolumeInfo::decode(&noise);
+    let _ = RebuildStatus::decode(&noise);
+}
+
+fn fuzz_budget(seed: u64, iterations: u64) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    for _ in 0..iterations {
+        fuzz_one(&mut rng);
+    }
+}
+
+#[test]
+fn fuzz_wire_decoders() {
+    fuzz_budget(0x5749_5245, 2_000);
+}
+
+#[test]
+#[ignore = "large-budget soak; run explicitly"]
+fn fuzz_wire_decoders_soak() {
+    for seed in 0..16 {
+        fuzz_budget(seed, 50_000);
+    }
+}

@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Bonus: a double-fault-tolerant PDDL (two check units per stripe,
     // Reed-Solomon) surviving two concurrent failures.
     let layout2 = Pddl::new(13, 4)?.with_check_units(2)?;
-    let mut array2 = DeclusteredArray::new(Box::new(layout2), 4096, 2)?;
+    let array2 = DeclusteredArray::new(Box::new(layout2), 4096, 2)?;
     let cap2 = array2.capacity_units();
     let data2: Vec<u8> = (0..cap2 as usize * 4096).map(|i| i as u8).collect();
     array2.write(0, &data2)?;
