@@ -41,6 +41,7 @@ use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use pddl_core::addr::{PhysAddr, Role};
 use pddl_core::layout::Layout;
 use pddl_disk::fault::{AccessKind, FaultHook};
+use pddl_gf::kernels;
 use pddl_gf::rs::{CodecError, ReedSolomon};
 use pddl_obs::{Event as ObsEvent, SyncSharedSink};
 use std::sync::Arc;
@@ -462,7 +463,14 @@ impl DeclusteredArray {
 
     /// Resolve a physical address through the spare redirects.
     fn resolve(&self, addr: PhysAddr) -> PhysAddr {
-        *rlock(&self.redirects).get(&addr).unwrap_or(&addr)
+        let redirects = rlock(&self.redirects);
+        // The common case is an array that has never spared: skip the
+        // address hash entirely instead of probing an empty map.
+        if redirects.is_empty() {
+            addr
+        } else {
+            *redirects.get(&addr).unwrap_or(&addr)
+        }
     }
 
     /// Read one stripe unit, following redirects; `None` when the unit
@@ -471,22 +479,38 @@ impl DeclusteredArray {
     /// and the read happen under one disk lock, so a concurrent reader
     /// never sees a half-failed device.
     fn read_phys(&self, addr: PhysAddr) -> Result<Option<Vec<u8>>, ArrayError> {
-        if rlock(&self.restoring).contains(&addr) {
-            return Ok(None);
+        let mut buf = vec![0u8; self.unit_bytes];
+        Ok(self.read_phys_into(addr, &mut buf)?.then_some(buf))
+    }
+
+    /// Zero-copy variant of [`Self::read_phys`]: read the unit into a
+    /// caller-supplied buffer. Returns `Ok(false)` (buffer contents
+    /// unspecified) when the unit is unreadable and must be
+    /// reconstructed through parity; allocates nothing on the healthy
+    /// path.
+    fn read_phys_into(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<bool, ArrayError> {
+        {
+            // Empty-set fast path for the same reason as in `resolve`:
+            // no copy-back in progress means no hash per unit read.
+            let restoring = rlock(&self.restoring);
+            if !restoring.is_empty() && restoring.contains(&addr) {
+                return Ok(false);
+            }
         }
         let addr = self.resolve(addr);
         // An injected read media error makes the unit unreadable for
         // this access; the caller reconstructs through parity exactly
         // as for a failed disk.
         if self.injected_fault(addr, AccessKind::Read) {
-            return Ok(None);
+            return Ok(false);
         }
         let disk = lock(&self.disks[addr.disk]);
         if disk.is_failed() {
-            return Ok(None);
+            return Ok(false);
         }
         self.unit_reads.fetch_add(1, Ordering::Relaxed);
-        Ok(Some(disk.read_unit(addr.offset)?))
+        disk.read_unit_into(addr.offset, buf)?;
+        Ok(true)
     }
 
     /// Write one stripe unit, following redirects; silently skipped when
@@ -567,18 +591,59 @@ impl DeclusteredArray {
         {
             return Err(ArrayError::BadAddress);
         }
-        let mut out = Vec::with_capacity((units as usize) * self.unit_bytes);
-        for logical in start..start + units {
-            let (stripe, index) = self.layout.locate(logical);
-            match self.read_phys(self.layout.data_unit(stripe, index))? {
-                Some(data) => out.extend_from_slice(&data),
-                None => {
-                    let shards = self.stripe_shards(stripe)?;
-                    out.extend_from_slice(&shards[index]);
+        let mut out = vec![0u8; (units as usize) * self.unit_bytes];
+        self.read_into(start, &mut out)?;
+        Ok(out)
+    }
+
+    /// Read data units starting at logical unit `start` directly into
+    /// `buf` (whose length selects the unit count and must be a
+    /// non-zero multiple of the unit size). Semantically identical to
+    /// [`DeclusteredArray::read`], but allocation-free on the healthy
+    /// path: each unit is read from its disk straight into the caller's
+    /// buffer — this is how the server fills response frames without an
+    /// intermediate payload copy.
+    ///
+    /// Degraded stripes reconstruct once and serve every consecutive
+    /// unit of that stripe from the reconstruction, so a degraded
+    /// sequential scan costs `O(d + c)` disk reads per stripe instead
+    /// of `O(d·(d + c))`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::BadAddress`] on an empty or ragged buffer or a
+    /// range outside capacity; [`ArrayError::Unrecoverable`] when too
+    /// many disks are gone.
+    pub fn read_into(&self, start: u64, buf: &mut [u8]) -> Result<(), ArrayError> {
+        if buf.is_empty() || !buf.len().is_multiple_of(self.unit_bytes) {
+            return Err(ArrayError::BadAddress);
+        }
+        let units = (buf.len() / self.unit_bytes) as u64;
+        if start
+            .checked_add(units)
+            .is_none_or(|end| end > self.capacity_units())
+        {
+            return Err(ArrayError::BadAddress);
+        }
+        // One reconstructed stripe is kept across loop iterations so a
+        // degraded sequential scan does not re-read the surviving
+        // shards for every unit of the same stripe.
+        let mut cached: Option<(u64, Vec<Vec<u8>>)> = None;
+        for (i, chunk) in buf.chunks_exact_mut(self.unit_bytes).enumerate() {
+            let (stripe, index) = self.layout.locate(start + i as u64);
+            if let Some((s, shards)) = &cached {
+                if *s == stripe {
+                    chunk.copy_from_slice(&shards[index]);
+                    continue;
                 }
             }
+            if !self.read_phys_into(self.layout.data_unit(stripe, index), chunk)? {
+                let shards = self.stripe_shards(stripe)?;
+                chunk.copy_from_slice(&shards[index]);
+                cached = Some((stripe, shards));
+            }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Write `data` (a whole number of stripe units) starting at logical
@@ -639,12 +704,13 @@ impl DeclusteredArray {
         Ok(())
     }
 
-    /// Retire one journal entry for `stripe` (the newest, though any
-    /// occurrence is equivalent — entries are just stripe numbers).
+    /// Retire one journal entry for `stripe` (any occurrence is
+    /// equivalent — entries are just stripe numbers, so order need not
+    /// be preserved and `swap_remove` keeps retirement O(1)).
     fn retire_intent(&self, stripe: u64) {
         let mut intents = lock(&self.intents);
         if let Some(pos) = intents.iter().rposition(|&s| s == stripe) {
-            intents.remove(pos);
+            intents.swap_remove(pos);
         }
     }
 
@@ -687,12 +753,16 @@ impl DeclusteredArray {
                 None => return Ok(false),
             }
         }
+        // One scratch buffer serves every update: it receives the old
+        // unit, then is XORed with the new bytes in place to become the
+        // delta fed to the parity update.
+        let mut delta = vec![0u8; self.unit_bytes];
         for &(index, chunk) in updates {
             let addr = self.layout.data_unit(stripe, index);
-            let Some(old) = self.read_phys(addr)? else {
+            if !self.read_phys_into(addr, &mut delta)? {
                 return Ok(false);
-            };
-            let delta: Vec<u8> = old.iter().zip(chunk).map(|(a, b)| a ^ b).collect();
+            }
+            kernels::xor_into(&mut delta, chunk);
             for (i, check) in checks.iter_mut().enumerate() {
                 self.rs.apply_delta(i, index, &delta, check);
             }
@@ -735,19 +805,43 @@ impl DeclusteredArray {
         if !rlock(&self.failed).is_empty() {
             return Err(ArrayError::WrongDiskState);
         }
-        let mut stripes = lock(&self.intents).clone();
+        // Take the journal instead of cloning it (`&mut self` excludes
+        // concurrent writers); on a replay error the taken entries are
+        // put back so a later retry can finish the repair.
+        let mut stripes = std::mem::take(&mut *lock(&self.intents));
         stripes.sort_unstable();
-        stripes.dedup();
-        let repaired = stripes.len() as u64;
-        for stripe in stripes {
+        match self.replay_stripes(&stripes) {
+            Ok(repaired) => {
+                self.emit(ObsEvent::JournalReplay { stripes: repaired });
+                Ok(repaired)
+            }
+            Err(e) => {
+                let mut intents = lock(&self.intents);
+                debug_assert!(intents.is_empty(), "no writers during recover");
+                *intents = stripes;
+                Err(e)
+            }
+        }
+    }
+
+    /// Re-encode the check units of every journaled stripe (duplicates
+    /// in the sorted slice are skipped). Returns the number of distinct
+    /// stripes repaired.
+    fn replay_stripes(&self, stripes: &[u64]) -> Result<u64, ArrayError> {
+        let mut repaired = 0u64;
+        for (n, &stripe) in stripes.iter().enumerate() {
+            if n > 0 && stripes[n - 1] == stripe {
+                continue;
+            }
+            repaired += 1;
             let d = self.layout.data_per_stripe();
             let mut data = Vec::with_capacity(d);
             for i in 0..d {
                 let addr = self.layout.data_unit(stripe, i);
-                // No disks are failed (checked above), so an unreadable
-                // unit here is an injected media error. Surface it typed
-                // — the journal is left intact so a later retry can
-                // finish the replay.
+                // No disks are failed (checked by the caller), so an
+                // unreadable unit here is an injected media error.
+                // Surface it typed — the journal entries are restored so
+                // a later retry can finish the replay.
                 let Some(unit) = self.read_phys(addr)? else {
                     return Err(ArrayError::MediaError {
                         disk: addr.disk,
@@ -761,8 +855,6 @@ impl DeclusteredArray {
                 self.write_phys(self.layout.check_unit(stripe, i), check)?;
             }
         }
-        lock(&self.intents).clear();
-        self.emit(ObsEvent::JournalReplay { stripes: repaired });
         Ok(repaired)
     }
 
@@ -1258,6 +1350,39 @@ mod tests {
             assert_eq!(b.mode(), ArrayMode::Degraded);
             assert_eq!(b.read(0, 24).unwrap(), buf, "victim {victim}");
         }
+    }
+
+    #[test]
+    fn degraded_scan_reconstructs_each_stripe_once() {
+        // d = 3, c = 1: a stripe whose *first* data unit is lost makes
+        // the saving visible — without the stripe cache the scan pays
+        // (d + c − 1) shard reads for the missing unit plus (d − 1)
+        // direct reads; with it, the whole stripe costs (d + c − 1).
+        let a = DeclusteredArray::new(Box::new(Pddl::new(13, 4).unwrap()), 16, 1).unwrap();
+        let d = a.layout().data_per_stripe() as u64;
+        let c = a.layout().check_per_stripe() as u64;
+        let buf = pattern(16 * a.capacity_units() as usize, 11);
+        a.write(0, &buf).unwrap();
+        // Find a stripe whose index-0 data unit sits on some disk, and
+        // fail that disk.
+        let stripe = 5u64;
+        let victim = a.layout().data_unit(stripe, 0).disk;
+        a.fail_disk(victim).unwrap();
+        // First logical unit of the stripe (locate is row-major).
+        let start = (0..a.capacity_units())
+            .find(|&l| a.layout().locate(l) == (stripe, 0))
+            .unwrap();
+        let (reads_before, _) = a.io_counts();
+        let got = a.read(start, d).unwrap();
+        assert_eq!(
+            got,
+            &buf[start as usize * 16..(start + d) as usize * 16],
+            "degraded stripe reads back wrong bytes"
+        );
+        let (reads_after, _) = a.io_counts();
+        // One reconstruction serves every unit of the stripe: d + c − 1
+        // surviving shards are read once, nothing per additional unit.
+        assert_eq!(reads_after - reads_before, d + c - 1);
     }
 
     #[test]

@@ -37,13 +37,28 @@ pub trait BlockDevice: std::fmt::Debug + Send {
     fn unit_bytes(&self) -> usize;
     /// Has the disk been failed?
     fn is_failed(&self) -> bool;
-    /// Read one stripe unit (zeroes if never written).
+    /// Read one stripe unit into a caller-supplied buffer (zeroes if
+    /// never written). This is the primitive the array's zero-copy read
+    /// path uses; implementations must not allocate.
     ///
     /// # Errors
     ///
     /// [`DiskError::Failed`] / [`DiskError::OutOfRange`] /
+    /// [`DiskError::WrongLength`] (buffer ≠ unit size) /
     /// [`DiskError::Io`].
-    fn read_unit(&self, offset: u64) -> Result<Vec<u8>, DiskError>;
+    fn read_unit_into(&self, offset: u64, buf: &mut [u8]) -> Result<(), DiskError>;
+    /// Read one stripe unit into a fresh allocation. Thin wrapper over
+    /// [`BlockDevice::read_unit_into`], kept for call sites that want an
+    /// owned buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::read_unit_into`].
+    fn read_unit(&self, offset: u64) -> Result<Vec<u8>, DiskError> {
+        let mut buf = vec![0u8; self.unit_bytes()];
+        self.read_unit_into(offset, &mut buf)?;
+        Ok(buf)
+    }
     /// Write one stripe unit.
     ///
     /// # Errors
@@ -102,12 +117,33 @@ impl RamDisk {
     ///
     /// [`DiskError::Failed`] / [`DiskError::OutOfRange`].
     pub fn read_unit(&self, offset: u64) -> Result<Vec<u8>, DiskError> {
+        let mut buf = vec![0u8; self.unit_bytes];
+        self.read_unit_into(offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Read one stripe unit into `buf` without allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Failed`] / [`DiskError::OutOfRange`] /
+    /// [`DiskError::WrongLength`].
+    pub fn read_unit_into(&self, offset: u64, buf: &mut [u8]) -> Result<(), DiskError> {
         if self.failed {
             return Err(DiskError::Failed);
         }
+        if buf.len() != self.unit_bytes {
+            return Err(DiskError::WrongLength);
+        }
         match self.units.get(offset as usize) {
-            Some(Some(data)) => Ok(data.clone()),
-            Some(None) => Ok(vec![0u8; self.unit_bytes]),
+            Some(Some(data)) => {
+                buf.copy_from_slice(data);
+                Ok(())
+            }
+            Some(None) => {
+                buf.fill(0);
+                Ok(())
+            }
             None => Err(DiskError::OutOfRange),
         }
     }
@@ -181,6 +217,19 @@ mod tests {
         assert_eq!(d.read_unit(2), Err(DiskError::OutOfRange));
         assert_eq!(d.write_unit(2, &[0; 4]), Err(DiskError::OutOfRange));
         assert_eq!(d.write_unit(0, &[0; 3]), Err(DiskError::WrongLength));
+        let mut short = [0u8; 3];
+        assert_eq!(d.read_unit_into(0, &mut short), Err(DiskError::WrongLength));
+    }
+
+    #[test]
+    fn read_into_matches_read() {
+        let mut d = RamDisk::new(3, 8);
+        d.write_unit(1, &[5u8; 8]).unwrap();
+        for off in 0..3 {
+            let mut buf = [0xffu8; 8];
+            d.read_unit_into(off, &mut buf).unwrap();
+            assert_eq!(buf.to_vec(), d.read_unit(off).unwrap(), "offset {off}");
+        }
     }
 
     #[test]
@@ -200,8 +249,8 @@ impl BlockDevice for RamDisk {
     fn is_failed(&self) -> bool {
         RamDisk::is_failed(self)
     }
-    fn read_unit(&self, offset: u64) -> Result<Vec<u8>, DiskError> {
-        RamDisk::read_unit(self, offset)
+    fn read_unit_into(&self, offset: u64, buf: &mut [u8]) -> Result<(), DiskError> {
+        RamDisk::read_unit_into(self, offset, buf)
     }
     fn write_unit(&mut self, offset: u64, data: &[u8]) -> Result<(), DiskError> {
         RamDisk::write_unit(self, offset, data)
@@ -276,7 +325,7 @@ impl BlockDevice for FileDisk {
     fn is_failed(&self) -> bool {
         self.failed
     }
-    fn read_unit(&self, offset: u64) -> Result<Vec<u8>, DiskError> {
+    fn read_unit_into(&self, offset: u64, buf: &mut [u8]) -> Result<(), DiskError> {
         use std::os::unix::fs::FileExt;
         if self.failed {
             return Err(DiskError::Failed);
@@ -284,11 +333,13 @@ impl BlockDevice for FileDisk {
         if offset >= self.units {
             return Err(DiskError::OutOfRange);
         }
-        let mut buf = vec![0u8; self.unit_bytes];
+        if buf.len() != self.unit_bytes {
+            return Err(DiskError::WrongLength);
+        }
         self.file
-            .read_exact_at(&mut buf, offset * self.unit_bytes as u64)
+            .read_exact_at(buf, offset * self.unit_bytes as u64)
             .map_err(|_| DiskError::Io)?;
-        Ok(buf)
+        Ok(())
     }
     fn write_unit(&mut self, offset: u64, data: &[u8]) -> Result<(), DiskError> {
         use std::os::unix::fs::FileExt;

@@ -1,0 +1,90 @@
+//! `read_into` must be byte-identical to `read` in every array mode —
+//! healthy, degraded, and after a rebuild to spare — across whole
+//! layout periods, window sizes, and alignments. The zero-copy path is
+//! an optimization, never a semantic change.
+
+use pddl_array::DeclusteredArray;
+use pddl_core::Pddl;
+
+const UNIT: usize = 32;
+
+fn pattern(len: usize, tag: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(13).wrapping_add(tag))
+        .collect()
+}
+
+fn filled_array() -> DeclusteredArray {
+    let a = DeclusteredArray::new(Box::new(Pddl::new(7, 3).unwrap()), UNIT, 2).unwrap();
+    let data = pattern(UNIT * a.capacity_units() as usize, 33);
+    a.write(0, &data).unwrap();
+    a
+}
+
+/// Compare `read` and `read_into` over a sweep of windows covering the
+/// whole capacity: every single unit, shifted multi-unit windows, and
+/// the full volume in one call.
+fn assert_paths_agree(a: &DeclusteredArray, mode: &str) {
+    let cap = a.capacity_units();
+    let mut windows = vec![(0, cap)];
+    for start in 0..cap {
+        windows.push((start, 1));
+    }
+    for start in (0..cap.saturating_sub(5)).step_by(3) {
+        windows.push((start, 5));
+    }
+    for (start, units) in windows {
+        let via_read = a.read(start, units).unwrap();
+        let mut via_into = vec![0xaau8; units as usize * UNIT];
+        a.read_into(start, &mut via_into).unwrap();
+        assert_eq!(via_read, via_into, "{mode}: window ({start}, {units})");
+    }
+}
+
+#[test]
+fn read_into_matches_read_healthy() {
+    let a = filled_array();
+    assert_paths_agree(&a, "healthy");
+}
+
+#[test]
+fn read_into_matches_read_degraded() {
+    for victim in 0..7 {
+        let a = filled_array();
+        a.fail_disk(victim).unwrap();
+        assert_paths_agree(&a, &format!("degraded(victim={victim})"));
+    }
+}
+
+#[test]
+fn read_into_matches_read_after_rebuild() {
+    let mut a = filled_array();
+    a.fail_disk(3).unwrap();
+    a.rebuild_to_spare(3).unwrap();
+    assert_paths_agree(&a, "post-rebuild");
+}
+
+#[test]
+fn read_into_rejects_bad_shapes() {
+    let a = filled_array();
+    assert!(a.read_into(0, &mut []).is_err());
+    let mut ragged = vec![0u8; UNIT + 1];
+    assert!(a.read_into(0, &mut ragged).is_err());
+    let mut unit = vec![0u8; UNIT];
+    assert!(a.read_into(a.capacity_units(), &mut unit).is_err());
+    assert!(a.read_into(0, &mut unit).is_ok());
+}
+
+/// Writes interleaved with zero-copy reads: the degraded-stripe cache
+/// must never serve bytes from before a write issued by the same
+/// (single) thread.
+#[test]
+fn read_into_sees_writes_between_calls() {
+    let a = filled_array();
+    a.fail_disk(1).unwrap();
+    let fresh = pattern(UNIT * 4, 77);
+    a.write(2, &fresh).unwrap();
+    let mut buf = vec![0u8; UNIT * 4];
+    a.read_into(2, &mut buf).unwrap();
+    assert_eq!(buf, fresh);
+}

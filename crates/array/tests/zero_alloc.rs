@@ -1,0 +1,72 @@
+//! Proof that the healthy `read_into` path is allocation-free: a
+//! counting global allocator wraps the system allocator, and a full
+//! sequential scan of a healthy array must not allocate at all —
+//! zero heap allocations per unit, as the zero-copy contract promises.
+//!
+//! This file is its own test binary (one `#[global_allocator]` per
+//! binary) and deliberately contains a single test so no concurrent
+//! test can perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pddl_array::DeclusteredArray;
+use pddl_core::Pddl;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn healthy_read_into_makes_zero_allocations() {
+    const UNIT: usize = 64;
+    let a = DeclusteredArray::new(Box::new(Pddl::new(7, 3).unwrap()), UNIT, 2).unwrap();
+    let cap = a.capacity_units();
+    let data: Vec<u8> = (0..UNIT * cap as usize).map(|i| i as u8).collect();
+    a.write(0, &data).unwrap();
+
+    let mut whole = vec![0u8; UNIT * cap as usize];
+    let mut unit = vec![0u8; UNIT];
+    // Warm-up: fault in any lazily-allocated state (lock poisons,
+    // hash-map internals) before counting.
+    a.read_into(0, &mut whole).unwrap();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    a.read_into(0, &mut whole).unwrap();
+    for logical in 0..cap {
+        a.read_into(logical, &mut unit).unwrap();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "healthy read_into allocated on a {cap}-unit scan"
+    );
+    assert_eq!(whole, data);
+}

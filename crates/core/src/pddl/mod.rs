@@ -94,6 +94,12 @@ pub struct Pddl {
     s: usize,
     perms: Vec<Vec<usize>>,
     dev: Development,
+    /// Precomputed development for one period, row-major:
+    /// `dev_table[row * n + col]` is the physical disk of virtual column
+    /// `col` in row `row` (rows repeat with period `p·n`). Costs
+    /// `p·n² · 4` bytes and makes every `locate`/`data_unit`/
+    /// `check_unit` a table lookup instead of a group addition.
+    dev_table: Vec<u32>,
 }
 
 impl fmt::Debug for Pddl {
@@ -263,6 +269,15 @@ impl Pddl {
         }
         debug_assert_eq!(dev.order(), n);
         let g = (n - s) / k;
+        let p = perms.len();
+        let mut dev_table = Vec::with_capacity(p * n * n);
+        for row in 0..p * n {
+            let perm = &perms[row % p];
+            let offset = (row / p) % n;
+            for &col_disk in perm.iter() {
+                dev_table.push(dev.add(col_disk, offset) as u32);
+            }
+        }
         Ok(Self {
             n,
             k,
@@ -271,6 +286,7 @@ impl Pddl {
             s,
             perms,
             dev,
+            dev_table,
         })
     }
 
@@ -335,9 +351,18 @@ impl Pddl {
     /// The paper's `virtual2physical`: which physical disk holds the
     /// stripe unit of virtual column `col` in row `row`.
     ///
-    /// With `p` base permutations, row `l` uses permutation `l mod p`
-    /// developed by offset `⌊l/p⌋ mod n`, giving the period `p·n`.
+    /// Served from the precomputed one-period table; see
+    /// [`Pddl::develop_uncached`] for the arithmetic definition.
     pub fn develop(&self, col: usize, row: u64) -> usize {
+        let period = (self.perms.len() * self.n) as u64;
+        self.dev_table[(row % period) as usize * self.n + col] as usize
+    }
+
+    /// The arithmetic mapping the table is built from: with `p` base
+    /// permutations, row `l` uses permutation `l mod p` developed by
+    /// offset `⌊l/p⌋ mod n`, giving the period `p·n`. Kept as the
+    /// reference the equivalence tests check [`Pddl::develop`] against.
+    pub fn develop_uncached(&self, col: usize, row: u64) -> usize {
         let p = self.perms.len() as u64;
         let perm = &self.perms[(row % p) as usize];
         let offset = ((row / p) % self.n as u64) as usize;
@@ -527,8 +552,11 @@ impl Layout for Pddl {
     }
 
     fn mapping_table_bytes(&self) -> usize {
-        // Table 3: p·√n? The paper states table size p·n entries ("pn").
-        self.perms.len() * self.n * std::mem::size_of::<u32>()
+        // The paper's Table 3 counts the `p·n` permutation entries the
+        // arithmetic mapping needs; this implementation trades memory
+        // for speed and materializes the whole developed period
+        // (`p·n` rows × `n` columns of u32), so report what it holds.
+        self.dev_table.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -563,6 +591,60 @@ mod tests {
         assert_eq!(l.develop(4, 1), 4); // D0
         assert_eq!(l.develop(5, 1), 0); // D1
         assert_eq!(l.develop(6, 1), 6); // PD
+    }
+
+    /// The precomputed development table must agree with the arithmetic
+    /// mapping for every `(col, row)` across several whole periods (the
+    /// modular rollover at `p·n` is where an off-by-one would hide).
+    #[test]
+    fn dev_table_matches_uncached_mapping_across_periods() {
+        let layouts = vec![
+            paper_seven(),
+            Pddl::new(13, 4).unwrap(),
+            Pddl::from_base_permutations_gf(
+                16,
+                5,
+                vec![bose::bose_permutation_gf(
+                    &GfExt::with_modulus(2, 4, &[1, 1, 1, 1, 1]).unwrap(),
+                    3,
+                    5,
+                )],
+                GfExt::with_modulus(2, 4, &[1, 1, 1, 1, 1]).unwrap(),
+            )
+            .unwrap(),
+            Pddl::from_base_permutations(
+                55,
+                6,
+                PAPER_FIGURE17_PAIR.iter().map(|p| p.to_vec()).collect(),
+            )
+            .unwrap(),
+        ];
+        for l in layouts {
+            let period = l.period_rows();
+            for row in 0..3 * period {
+                for col in 0..l.disks() {
+                    assert_eq!(
+                        l.develop(col, row),
+                        l.develop_uncached(col, row),
+                        "n={} col={col} row={row}",
+                        l.disks()
+                    );
+                }
+            }
+            // The Layout accessors go through the same table.
+            for stripe in 0..l.stripes_per_period() {
+                for i in 0..l.data_per_stripe() {
+                    let a = l.data_unit(stripe, i);
+                    let (row, j) = l.split_stripe(stripe);
+                    assert_eq!(a.disk, l.develop_uncached(l.data_col(j, i), row));
+                }
+                for i in 0..l.check_per_stripe() {
+                    let a = l.check_unit(stripe, i);
+                    let (row, j) = l.split_stripe(stripe);
+                    assert_eq!(a.disk, l.develop_uncached(l.check_col(j, i), row));
+                }
+            }
+        }
     }
 
     /// The mapping function given as C code in §2:

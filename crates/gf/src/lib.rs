@@ -38,6 +38,7 @@
 
 pub mod gfext;
 pub mod gfp;
+pub mod kernels;
 pub mod prime;
 pub mod rs;
 

@@ -8,6 +8,7 @@
 //! recovers from any combination of up to `c` erased units.
 
 use crate::gfext::GfExt;
+use crate::kernels;
 
 /// Errors from Reed–Solomon coding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +65,11 @@ pub struct ReedSolomon {
     field: GfExt,
     /// `c × d` encoding matrix: `check_i = Σ_j enc[i][j] · data_j`.
     enc: Vec<Vec<usize>>,
+    /// Product tables indexed by coefficient value, populated for every
+    /// encoding-matrix coefficient ≥ 2 (at most 64 KiB total).
+    /// Coefficients 0 and 1 never consult a table — they dispatch to a
+    /// skip and to the word-wide XOR kernel respectively.
+    tables: Vec<Option<Box<[u8; 256]>>>,
 }
 
 impl ReedSolomon {
@@ -83,12 +89,37 @@ impl ReedSolomon {
         let enc: Vec<Vec<usize>> = (0..checks)
             .map(|i| (0..data).map(|j| field.pow(j + 1, i as u64)).collect())
             .collect();
+        let mut tables: Vec<Option<Box<[u8; 256]>>> = vec![None; 256];
+        for &coeff in enc.iter().flatten() {
+            if coeff >= 2 && tables[coeff].is_none() {
+                tables[coeff] = Some(kernels::mul_table(&field, coeff));
+            }
+        }
         Ok(Self {
             data,
             checks,
             field,
             enc,
+            tables,
         })
+    }
+
+    /// Fold `coeff · src` into `dst`, dispatching on the coefficient:
+    /// 0 is a no-op, 1 is the word-wide XOR kernel (the `c = 1` /
+    /// RAID-5 parity case — row 0 of the Vandermonde matrix is
+    /// all-ones), anything else is a table-driven multiply-accumulate.
+    fn mul_acc_coeff(&self, coeff: usize, src: &[u8], dst: &mut [u8]) {
+        match coeff {
+            0 => {}
+            1 => kernels::xor_into(dst, src),
+            _ => match self.tables[coeff].as_deref() {
+                Some(table) => kernels::mul_acc(dst, src, table),
+                // Coefficients produced mid-elimination (not in `enc`):
+                // build the table once per call — still word-wide, and
+                // only ever reached on the reconstruct path.
+                None => kernels::mul_acc(dst, src, &kernels::mul_table(&self.field, coeff)),
+            },
+        }
     }
 
     /// Number of data shards `d`.
@@ -119,13 +150,7 @@ impl ReedSolomon {
         let mut checks = vec![vec![0u8; len]; self.checks];
         for (i, check) in checks.iter_mut().enumerate() {
             for (j, shard) in data.iter().enumerate() {
-                let coeff = self.enc[i][j];
-                if coeff == 0 {
-                    continue;
-                }
-                for (out, &byte) in check.iter_mut().zip(shard) {
-                    *out ^= self.field.mul(coeff, byte as usize) as u8;
-                }
+                self.mul_acc_coeff(self.enc[i][j], shard, check);
             }
         }
         Ok(checks)
@@ -152,13 +177,7 @@ impl ReedSolomon {
             "shard index out of range"
         );
         assert_eq!(delta.len(), check.len(), "length mismatch");
-        let coeff = self.enc[check_index][data_index];
-        if coeff == 0 {
-            return;
-        }
-        for (c, &d) in check.iter_mut().zip(delta) {
-            *c ^= self.field.mul(coeff, d as usize) as u8;
-        }
+        self.mul_acc_coeff(self.enc[check_index][data_index], delta, check);
     }
 
     /// Reconstruct missing shards in place. `shards` holds the `d` data
@@ -242,10 +261,7 @@ impl ReedSolomon {
                     continue;
                 }
                 let shard = slot.as_ref().expect("present data shard");
-                let coeff = self.enc[i][j];
-                for (out, &byte) in rhs.iter_mut().zip(shard) {
-                    *out ^= f.mul(coeff, byte as usize) as u8;
-                }
+                self.mul_acc_coeff(self.enc[i][j], shard, &mut rhs);
             }
             rows.push((coeffs, rhs));
         }
@@ -266,8 +282,8 @@ impl ReedSolomon {
             for c in 0..unknowns {
                 rows[col].0[c] = f.mul(rows[col].0[c], inv);
             }
-            for b in rows[col].1.iter_mut() {
-                *b = f.mul(inv, *b as usize) as u8;
+            if inv != 1 {
+                kernels::scale(&mut rows[col].1, &kernels::mul_table(f, inv));
             }
             for r in 0..rows.len() {
                 if r == col || rows[r].0[col] == 0 {
@@ -283,9 +299,7 @@ impl ReedSolomon {
                 for c in 0..unknowns {
                     dst.0[c] ^= f.mul(factor, src.0[c]);
                 }
-                for (d, &s) in dst.1.iter_mut().zip(&src.1) {
-                    *d ^= f.mul(factor, s as usize) as u8;
-                }
+                self.mul_acc_coeff(factor, &src.1, &mut dst.1);
             }
         }
         debug_assert!(rows.iter().all(|(_, rhs)| rhs.len() == len));

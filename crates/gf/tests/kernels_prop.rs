@@ -1,0 +1,134 @@
+//! Property tests: the word-wide kernels must be bit-identical to the
+//! scalar byte loops across every length 0..=257 and every misalignment
+//! of the slice start — the `chunks_exact(8)` lane split may never
+//! change a result, only its speed.
+
+use pddl_gf::kernels;
+use pddl_gf::GfExt;
+
+/// Minimal deterministic generator (SplitMix64) so the test needs no
+/// external crates and fails reproducibly.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) {
+        for b in buf.iter_mut() {
+            *b = self.next_u64() as u8;
+        }
+    }
+}
+
+#[test]
+fn xor_into_matches_scalar_for_all_small_lengths() {
+    let mut rng = SplitMix64(0x5eed);
+    for len in 0..=257usize {
+        let mut src = vec![0u8; len];
+        let mut fast = vec![0u8; len];
+        rng.fill(&mut src);
+        rng.fill(&mut fast);
+        let mut slow = fast.clone();
+        kernels::xor_into(&mut fast, &src);
+        kernels::xor_into_scalar(&mut slow, &src);
+        assert_eq!(fast, slow, "len={len}");
+    }
+}
+
+#[test]
+fn mul_acc_matches_scalar_for_all_small_lengths() {
+    let field = GfExt::new(2, 8).unwrap();
+    let mut rng = SplitMix64(0xfeed);
+    for coeff in [2usize, 3, 29, 142, 255] {
+        let table = kernels::mul_table(&field, coeff);
+        for len in 0..=257usize {
+            let mut src = vec![0u8; len];
+            let mut fast = vec![0u8; len];
+            rng.fill(&mut src);
+            rng.fill(&mut fast);
+            let mut slow = fast.clone();
+            kernels::mul_acc(&mut fast, &src, &table);
+            kernels::mul_acc_scalar(&mut slow, &src, &table);
+            assert_eq!(fast, slow, "coeff={coeff} len={len}");
+        }
+    }
+}
+
+#[test]
+fn kernels_match_scalar_on_misaligned_slices() {
+    let field = GfExt::new(2, 8).unwrap();
+    let table = kernels::mul_table(&field, 97);
+    let mut rng = SplitMix64(0xa11a);
+    // Slide a 64-byte window through every start offset mod 8, on both
+    // operands independently, so no lane ever starts word-aligned by
+    // accident.
+    let mut src_back = vec![0u8; 96];
+    let mut dst_back = vec![0u8; 96];
+    rng.fill(&mut src_back);
+    for src_off in 0..8usize {
+        for dst_off in 0..8usize {
+            for len in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+                rng.fill(&mut dst_back);
+                let mut slow = dst_back.clone();
+                kernels::xor_into(
+                    &mut dst_back[dst_off..dst_off + len],
+                    &src_back[src_off..src_off + len],
+                );
+                kernels::xor_into_scalar(
+                    &mut slow[dst_off..dst_off + len],
+                    &src_back[src_off..src_off + len],
+                );
+                assert_eq!(dst_back, slow, "xor src_off={src_off} dst_off={dst_off}");
+
+                rng.fill(&mut dst_back);
+                let mut slow = dst_back.clone();
+                kernels::mul_acc(
+                    &mut dst_back[dst_off..dst_off + len],
+                    &src_back[src_off..src_off + len],
+                    &table,
+                );
+                kernels::mul_acc_scalar(
+                    &mut slow[dst_off..dst_off + len],
+                    &src_back[src_off..src_off + len],
+                    &table,
+                );
+                assert_eq!(dst_back, slow, "mul src_off={src_off} dst_off={dst_off}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mul_table_agrees_with_field_multiplication() {
+    let field = GfExt::new(2, 8).unwrap();
+    let mut rng = SplitMix64(0x7ab1e);
+    for _ in 0..32 {
+        let coeff = (rng.next_u64() % 256) as usize;
+        let table = kernels::mul_table(&field, coeff);
+        for x in 0..256usize {
+            assert_eq!(
+                table[x] as usize,
+                field.mul(coeff, x),
+                "coeff={coeff} x={x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scale_is_table_application() {
+    let field = GfExt::new(2, 8).unwrap();
+    let table = kernels::mul_table(&field, 57);
+    let mut rng = SplitMix64(0x5ca1e);
+    let mut buf = vec![0u8; 131];
+    rng.fill(&mut buf);
+    let expect: Vec<u8> = buf.iter().map(|&b| table[b as usize]).collect();
+    kernels::scale(&mut buf, &table);
+    assert_eq!(buf, expect);
+}

@@ -43,11 +43,19 @@ use pddl_array::{ArrayError, ArrayMode, DeclusteredArray, RebuildTicket};
 use pddl_obs::{Actor, Event, SyncSharedSink};
 
 use crate::wire::{
-    Op, RebuildState, RebuildStatus, Request, Response, Status, VolumeInfo, MAX_PAYLOAD,
+    self, Op, RebuildState, RebuildStatus, Request, Response, Status, VolumeInfo, MAX_PAYLOAD,
+    RESPONSE_HEADER_LEN,
 };
 
 /// Default number of stripe shard locks.
 pub const DEFAULT_SHARDS: usize = 64;
+
+/// Shape `frame` into a payload-less response (header only) for `id`
+/// with `status`.
+fn set_header_frame(frame: &mut Vec<u8>, id: u64, status: Status) {
+    wire::response_frame_into(frame, id, status, 0)
+        .expect("header-only frame is under the payload cap");
+}
 
 fn status_of(e: &ArrayError) -> Status {
     match e {
@@ -439,6 +447,83 @@ impl Engine {
         }
     }
 
+    /// Execute one request, producing the fully encoded response
+    /// *frame* to send back. Reads are zero-copy: the frame is sized up
+    /// front and the array writes the payload bytes directly into its
+    /// payload region, eliminating the payload-`Vec` → frame copy of
+    /// [`Engine::execute`] + `write_response`. Never panics; every
+    /// failure maps to a status.
+    pub fn execute_frame(&self, client: u32, req: &Request) -> Vec<u8> {
+        let mut frame = Vec::new();
+        self.execute_frame_into(client, req, &mut frame);
+        frame
+    }
+
+    /// [`Engine::execute_frame`] into a caller-owned buffer, which is
+    /// resized and overwritten in place. A worker that keeps one buffer
+    /// per connection stops paying a response-sized allocation + zeroing
+    /// pass per request: once the buffer has grown to the largest
+    /// response seen, the frame costs nothing to produce and a healthy
+    /// READ is a single array-to-frame copy.
+    pub fn execute_frame_into(&self, client: u32, req: &Request, frame: &mut Vec<u8>) {
+        let access = self.inner.access_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let start = Instant::now();
+        self.emit(Event::AccessStart {
+            access,
+            actor: Actor::Client(client),
+            units: req.length,
+            write: matches!(req.op, Op::Write | Op::Trim),
+        });
+        match req.op {
+            Op::Read => self.do_read_frame_into(req, frame),
+            _ => {
+                let (status, payload) = self.dispatch(req);
+                match wire::response_frame_into(frame, req.id, status, payload.len()) {
+                    Ok(()) => frame[RESPONSE_HEADER_LEN..].copy_from_slice(&payload),
+                    // An oversized non-read payload cannot happen (INFO
+                    // and rebuild-status blocks are tiny), but answer
+                    // Internal rather than panic if it ever does.
+                    Err(_) => set_header_frame(frame, req.id, Status::Internal),
+                }
+            }
+        }
+        self.emit(Event::AccessEnd {
+            access,
+            latency_ns: start.elapsed().as_nanos() as u64,
+        });
+    }
+
+    /// Serve a READ straight into the response frame's payload region.
+    fn do_read_frame_into(&self, req: &Request, frame: &mut Vec<u8>) {
+        if !req.payload.is_empty() || req.length == 0 {
+            return set_header_frame(frame, req.id, Status::BadRequest);
+        }
+        let a = rdlock(&self.inner.array);
+        // The response must fit in one frame; refuse up front rather
+        // than reading the data and failing to encode it (the client
+        // would otherwise never get an answer for this id).
+        let bytes = u64::from(req.length) * a.unit_bytes() as u64;
+        if bytes > u64::from(MAX_PAYLOAD) {
+            return set_header_frame(frame, req.id, Status::BadRequest);
+        }
+        if let Err(status) = check_range(&a, req.offset, req.length) {
+            return set_header_frame(frame, req.id, status);
+        }
+        if wire::response_frame_into(frame, req.id, Status::Ok, bytes as usize).is_err() {
+            return set_header_frame(frame, req.id, Status::Internal);
+        }
+        let guards: Vec<_> = self
+            .shard_set(&a, req.offset, req.length as u64)
+            .into_iter()
+            .map(|i| lock(&self.inner.stripe_locks[i]))
+            .collect();
+        let result = a.read_into(req.offset, &mut frame[RESPONSE_HEADER_LEN..]);
+        drop(guards);
+        if let Err(e) = result {
+            wire::demote_frame(frame, status_of(&e));
+        }
+    }
+
     fn dispatch(&self, req: &Request) -> (Status, Vec<u8>) {
         match req.op {
             Op::Read => self.do_read(req),
@@ -455,31 +540,14 @@ impl Engine {
         }
     }
 
+    /// READ for the `Response`-shaped path: delegates to
+    /// [`Engine::do_read_frame_into`] and splits the frame, so both
+    /// paths share one implementation (and one set of validations).
     fn do_read(&self, req: &Request) -> (Status, Vec<u8>) {
-        if !req.payload.is_empty() || req.length == 0 {
-            return (Status::BadRequest, Vec::new());
-        }
-        let a = rdlock(&self.inner.array);
-        // The response must fit in one frame; refuse up front rather
-        // than reading the data and failing to encode it (the client
-        // would otherwise never get an answer for this id).
-        if u64::from(req.length) * a.unit_bytes() as u64 > u64::from(MAX_PAYLOAD) {
-            return (Status::BadRequest, Vec::new());
-        }
-        if let Err(status) = check_range(&a, req.offset, req.length) {
-            return (status, Vec::new());
-        }
-        let guards: Vec<_> = self
-            .shard_set(&a, req.offset, req.length as u64)
-            .into_iter()
-            .map(|i| lock(&self.inner.stripe_locks[i]))
-            .collect();
-        let result = a.read(req.offset, req.length as u64);
-        drop(guards);
-        match result {
-            Ok(data) => (Status::Ok, data),
-            Err(e) => (status_of(&e), Vec::new()),
-        }
+        let mut frame = Vec::new();
+        self.do_read_frame_into(req, &mut frame);
+        let status = Status::from_code(frame[12]).unwrap_or(Status::Internal);
+        (status, frame.split_off(RESPONSE_HEADER_LEN))
     }
 
     fn do_write(&self, req: &Request) -> (Status, Vec<u8>) {
@@ -670,6 +738,73 @@ mod tests {
             }
             assert!(Instant::now() < deadline, "rebuild did not settle");
             std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// The zero-copy frame path must emit byte-identical frames to
+    /// encoding the `Response` the legacy path produces — across
+    /// success, every validation failure, and mode changes.
+    #[test]
+    fn execute_frame_matches_encoded_execute() {
+        let e = engine();
+        e.execute(0, &req(Op::Write, 0, 4, vec![7u8; 64]));
+        let cases = vec![
+            req(Op::Read, 0, 4, vec![]),
+            req(Op::Read, 2, 1, vec![]),
+            req(Op::Read, 0, 0, vec![]),            // BadRequest
+            req(Op::Read, u64::MAX - 5, 1, vec![]), // BadAddress
+            req(Op::Read, 0, u32::MAX, vec![]),     // over MAX_PAYLOAD
+            req(Op::Read, 0, 1, vec![1]),           // payload on a read
+            req(Op::Flush, 0, 0, vec![]),
+            req(Op::Info, 0, 0, vec![]),
+            req(Op::Write, 1, 1, vec![3u8; 16]),
+            req(Op::Write, 0, 2, vec![1u8; 5]), // ragged write
+        ];
+        for r in &cases {
+            let response = e.execute(0, r);
+            let mut expect = Vec::new();
+            wire::write_response(&mut expect, &response).unwrap();
+            let frame = e.execute_frame(0, r);
+            assert_eq!(frame, expect, "op {:?} len {}", r.op, r.length);
+        }
+        // Degraded reads go through reconstruction — still identical.
+        assert_eq!(
+            e.execute(0, &req(Op::FailDisk, 2, 0, vec![])).status,
+            Status::Ok
+        );
+        let r = req(Op::Read, 0, 4, vec![]);
+        let response = e.execute(0, &r);
+        assert_eq!(response.status, Status::Ok);
+        let mut expect = Vec::new();
+        wire::write_response(&mut expect, &response).unwrap();
+        assert_eq!(e.execute_frame(0, &r), expect);
+    }
+
+    /// A reused frame buffer must produce exactly the frames a fresh
+    /// buffer would — shrinking, growing, and error-demoting in place
+    /// without leaking stale bytes from the previous response.
+    #[test]
+    fn execute_frame_into_reuses_buffer_cleanly() {
+        let e = engine();
+        e.execute(0, &req(Op::Write, 0, 4, vec![0xee; 64]));
+        let sequence = vec![
+            req(Op::Read, 0, 4, vec![]),            // large
+            req(Op::Read, 2, 1, vec![]),            // shrink
+            req(Op::Read, u64::MAX - 5, 1, vec![]), // demote to header
+            req(Op::Read, 0, 3, vec![]),            // regrow
+            req(Op::Info, 0, 0, vec![]),            // non-read reuse
+        ];
+        let mut frame = Vec::new();
+        for r in &sequence {
+            e.execute_frame_into(0, r, &mut frame);
+            assert_eq!(
+                frame,
+                e.execute_frame(0, r),
+                "op {:?} offset {} len {}",
+                r.op,
+                r.offset,
+                r.length
+            );
         }
     }
 

@@ -319,8 +319,20 @@ fn reader_loop(stream: TcpStream, client: u32, shared: &Arc<Shared>, config: &Se
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
+    // One response frame per worker, reused across requests: once it
+    // has grown to the largest response this worker has served (capped
+    // by MAX_PAYLOAD), responses stop paying an allocation + zeroing
+    // pass per request.
+    let mut frame = Vec::new();
     while let Some(job) = shared.queue.pop() {
-        let response = shared.engine.execute(job.client, &job.request);
+        // The engine shapes the frame in place; for reads the array
+        // wrote the payload bytes straight into it, so the bytes hit
+        // the socket without an intermediate copy. Frame construction
+        // cannot fail (oversized payloads were refused at request
+        // validation), so the only write error left is I/O.
+        shared
+            .engine
+            .execute_frame_into(job.client, &job.request, &mut frame);
         shared.requests.fetch_add(1, Ordering::Relaxed);
         // A poisoned stream mutex (a peer worker panicked mid-write)
         // must not orphan this request id — recover the guard and
@@ -330,24 +342,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             .stream
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        match wire::write_response(&mut *s, &response) {
-            // An encode-level refusal (e.g. a payload over the
-            // frame cap that slipped past request validation) never
-            // starts the frame, so the stream is still in sync —
-            // answer with Internal rather than leaving the request
-            // id unanswered forever.
-            Err(e) if !matches!(e, WireError::Io(_)) => {
-                let fallback = Response {
-                    id: response.id,
-                    status: Status::Internal,
-                    payload: Vec::new(),
-                };
-                let _ = wire::write_response(&mut *s, &fallback);
-            }
-            // A transport failure means the connection is dead;
-            // nothing can reach this client, so the worker moves on.
-            _ => {}
-        }
+        // A transport failure means the connection is dead; nothing can
+        // reach this client, so the worker moves on.
+        let _ = wire::write_frame(&mut *s, &frame);
     }
 }
 

@@ -495,16 +495,79 @@ impl RequestReader {
 ///
 /// As [`write_request`].
 pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<(), WireError> {
-    if resp.payload.len() as u64 > MAX_PAYLOAD as u64 {
-        return Err(WireError::PayloadTooLarge(resp.payload.len() as u32));
+    let mut frame = response_frame(resp.id, resp.status, resp.payload.len())?;
+    frame[RESPONSE_HEADER_LEN..].copy_from_slice(&resp.payload);
+    write_frame(w, &frame)
+}
+
+/// Byte length of a response frame header
+/// (magic u32 + id u64 + status u8 + payload length u32).
+pub const RESPONSE_HEADER_LEN: usize = 17;
+
+/// Allocate a response frame with a zeroed payload region of
+/// `payload_len` bytes; the header is fully written. The caller fills
+/// `frame[RESPONSE_HEADER_LEN..]` in place — this is how the engine's
+/// zero-copy read path writes array data directly into the outgoing
+/// frame instead of through an intermediate payload `Vec`.
+///
+/// # Errors
+///
+/// [`WireError::PayloadTooLarge`] when `payload_len` exceeds
+/// [`MAX_PAYLOAD`].
+pub fn response_frame(id: u64, status: Status, payload_len: usize) -> Result<Vec<u8>, WireError> {
+    let mut frame = Vec::new();
+    response_frame_into(&mut frame, id, status, payload_len)?;
+    Ok(frame)
+}
+
+/// Shape a caller-owned buffer into a response frame: resize to
+/// `RESPONSE_HEADER_LEN + payload_len` and write the header. Reusing
+/// one buffer across responses keeps a long-lived connection's read
+/// path allocation-free once the buffer has grown to its steady-state
+/// size. The payload region's contents are **unspecified** (stale bytes
+/// from a previous response survive a reuse); the caller must overwrite
+/// all of `frame[RESPONSE_HEADER_LEN..]` before sending.
+///
+/// # Errors
+///
+/// [`WireError::PayloadTooLarge`] when `payload_len` exceeds
+/// [`MAX_PAYLOAD`]; the buffer is left untouched.
+pub fn response_frame_into(
+    frame: &mut Vec<u8>,
+    id: u64,
+    status: Status,
+    payload_len: usize,
+) -> Result<(), WireError> {
+    if payload_len as u64 > MAX_PAYLOAD as u64 {
+        return Err(WireError::PayloadTooLarge(
+            u32::try_from(payload_len).unwrap_or(u32::MAX),
+        ));
     }
-    let mut frame = Vec::with_capacity(17 + resp.payload.len());
-    frame.extend_from_slice(&RESPONSE_MAGIC.to_be_bytes());
-    frame.extend_from_slice(&resp.id.to_be_bytes());
-    frame.push(resp.status.code());
-    frame.extend_from_slice(&(resp.payload.len() as u32).to_be_bytes());
-    frame.extend_from_slice(&resp.payload);
-    w.write_all(&frame)?;
+    frame.resize(RESPONSE_HEADER_LEN + payload_len, 0);
+    frame[0..4].copy_from_slice(&RESPONSE_MAGIC.to_be_bytes());
+    frame[4..12].copy_from_slice(&id.to_be_bytes());
+    frame[12] = status.code();
+    frame[13..17].copy_from_slice(&(payload_len as u32).to_be_bytes());
+    Ok(())
+}
+
+/// Rewrite a frame built by [`response_frame`] into a payload-less
+/// answer with `status` for the same request id: truncate to the header
+/// and patch the status and length fields. Used when a zero-copy read
+/// fails after the frame was already sized for the data.
+pub fn demote_frame(frame: &mut Vec<u8>, status: Status) {
+    frame.truncate(RESPONSE_HEADER_LEN);
+    frame[12] = status.code();
+    frame[13..17].copy_from_slice(&0u32.to_be_bytes());
+}
+
+/// Send a prebuilt response frame (see [`response_frame`]).
+///
+/// # Errors
+///
+/// [`WireError::Io`] on transport failure.
+pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> Result<(), WireError> {
+    w.write_all(frame)?;
     w.flush()?;
     Ok(())
 }
