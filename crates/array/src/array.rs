@@ -263,6 +263,9 @@ pub struct DeclusteredArray {
     unit_reads: AtomicU64,
     /// Client-path stripe-unit writes performed.
     unit_writes: AtomicU64,
+    /// Client reads that had to reconstruct a unit through parity
+    /// instead of reading it directly (degraded-mode service).
+    degraded_reads: AtomicU64,
     /// Write-intent journal (models the NVRAM log real controllers use
     /// to close the RAID "write hole"): stripes with updates in flight.
     intents: Mutex<Vec<u64>>,
@@ -354,6 +357,7 @@ impl DeclusteredArray {
             restoring: RwLock::new(HashSet::new()),
             unit_reads: AtomicU64::new(0),
             unit_writes: AtomicU64::new(0),
+            degraded_reads: AtomicU64::new(0),
             intents: Mutex::new(Vec::new()),
             crash_after_writes: Mutex::new(None),
             obs: None,
@@ -442,6 +446,12 @@ impl DeclusteredArray {
             self.unit_reads.load(Ordering::Relaxed),
             self.unit_writes.load(Ordering::Relaxed),
         )
+    }
+
+    /// Client reads served by parity reconstruction rather than a
+    /// direct unit read — nonzero only while the array runs degraded.
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads.load(Ordering::Relaxed)
     }
 
     /// Current operating mode.
@@ -638,6 +648,7 @@ impl DeclusteredArray {
                 }
             }
             if !self.read_phys_into(self.layout.data_unit(stripe, index), chunk)? {
+                self.degraded_reads.fetch_add(1, Ordering::Relaxed);
                 let shards = self.stripe_shards(stripe)?;
                 chunk.copy_from_slice(&shards[index]);
                 cached = Some((stripe, shards));

@@ -23,13 +23,19 @@
 //! headline throughput/speedup use the median (p50) sample so a single
 //! preempted iteration cannot skew the ledger.
 //!
-//! Emits a machine-readable JSON report (default `BENCH_PR5.json` in
+//! Two additional scenarios gate the live telemetry plane: the same
+//! engine-served single-unit READ/WRITE with telemetry disabled
+//! ("baseline") vs enabled ("optimized" — the shipping default), so
+//! the report shows what always-on observability costs. The
+//! acceptance bar is ≤3% (speedup ≥ 0.97).
+//!
+//! Emits a machine-readable JSON report (default `BENCH_PR6.json` in
 //! the current directory) holding both runs from the same process on
 //! the same machine, seeding the repo's perf trajectory.
 //!
 //! Usage: `datapath [--tiny] [--out PATH]`
 //!   --tiny   CI smoke configuration: small array, few iterations.
-//!   --out    Report path (default: BENCH_PR5.json).
+//!   --out    Report path (default: BENCH_PR6.json).
 
 use std::time::Instant;
 
@@ -257,6 +263,90 @@ fn write_scenarios(cfg: &Config) -> Vec<Scenario> {
     ]
 }
 
+/// Telemetry overhead: the same engine-served single-unit op with the
+/// live telemetry plane disabled ("baseline") vs enabled ("optimized",
+/// the shipping default). Both sides run the full frame path; the only
+/// difference is whether [`Engine`] records counters, histograms, and
+/// flight-recorder spans for each op.
+fn telemetry_scenarios(cfg: &Config) -> Vec<Scenario> {
+    let engine = Engine::new(build_array(cfg));
+    let cap = engine.volume_info().capacity_units;
+    let unit = cfg.unit_bytes;
+
+    let mut read_off = Request {
+        id: 1,
+        op: Op::Read,
+        offset: 0,
+        length: 1,
+        payload: Vec::new(),
+    };
+    let mut read_on = read_off.clone();
+    read_on.offset = 3;
+    let mut frame_off = Vec::new();
+    let mut frame_on = Vec::new();
+    let (read_base, read_opt) = {
+        let engine = &engine;
+        measure_pair(
+            cfg.write_iters,
+            unit,
+            || {
+                engine.telemetry().set_enabled(false);
+                engine.execute_frame_into(0, &read_off, &mut frame_off);
+                read_off.offset = (read_off.offset + 7) % cap;
+            },
+            || {
+                engine.telemetry().set_enabled(true);
+                engine.execute_frame_into(0, &read_on, &mut frame_on);
+                read_on.offset = (read_on.offset + 7) % cap;
+            },
+        )
+    };
+    assert_eq!(frame_off[12], Status::Ok.code(), "telemetry_read failed");
+    assert_eq!(frame_on[12], Status::Ok.code(), "telemetry_read failed");
+
+    let mut write_off = Request {
+        id: 2,
+        op: Op::Write,
+        offset: 0,
+        length: 1,
+        payload: pattern(unit, 11),
+    };
+    let mut write_on = write_off.clone();
+    write_on.offset = 3;
+    let (write_base, write_opt) = {
+        let engine = &engine;
+        measure_pair(
+            cfg.write_iters,
+            unit,
+            || {
+                engine.telemetry().set_enabled(false);
+                engine.execute_frame_into(0, &write_off, &mut frame_off);
+                write_off.offset = (write_off.offset + 7) % cap;
+            },
+            || {
+                engine.telemetry().set_enabled(true);
+                engine.execute_frame_into(0, &write_on, &mut frame_on);
+                write_on.offset = (write_on.offset + 7) % cap;
+            },
+        )
+    };
+    assert_eq!(frame_off[12], Status::Ok.code(), "telemetry_write failed");
+    assert_eq!(frame_on[12], Status::Ok.code(), "telemetry_write failed");
+
+    vec![
+        Scenario {
+            name: "telemetry_read",
+            baseline: read_base,
+            optimized: read_opt,
+        },
+        Scenario {
+            name: "telemetry_write",
+            baseline: write_base,
+            optimized: write_opt,
+        },
+    ]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tiny = args.iter().any(|a| a == "--tiny");
@@ -265,7 +355,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let cfg = if tiny {
         Config {
             n: 7,
@@ -294,9 +384,10 @@ fn main() {
     scenarios.push(read_scenario("healthy_seq_read", &cfg, &[]));
     scenarios.push(read_scenario("degraded_seq_read", &cfg, &[1]));
     scenarios.extend(write_scenarios(&cfg));
+    scenarios.extend(telemetry_scenarios(&cfg));
 
     let mut body = String::new();
-    body.push_str("{\n  \"bench\": \"datapath\",\n  \"pr\": 5,\n");
+    body.push_str("{\n  \"bench\": \"datapath\",\n  \"pr\": 6,\n");
     body.push_str(&format!(
         "  \"config\": {{\"disks\": {}, \"stripe_width\": {}, \"unit_bytes\": {}, \"periods\": {}, \"tiny\": {}}},\n",
         cfg.n, cfg.k, cfg.unit_bytes, cfg.periods, tiny

@@ -13,6 +13,7 @@ use pddl_core::plan::{Mode, Op};
 use pddl_core::{Datum, ParityDeclustering, Pddl, PrimeLayout, PseudoRandom, Raid5, Role};
 use pddl_obs::{MetricsSnapshot, ObsConfig, ObsSink, Observer, SyncAdapter, SyncSharedSink};
 use pddl_server::engine::{Engine, RebuildConfig};
+use pddl_server::metrics_http::serve_metrics;
 use pddl_server::server::{serve, ServerConfig};
 use pddl_server::BenchConfig;
 use pddl_sim::trace::{format_trace, parse_trace, synthesize_poisson};
@@ -48,10 +49,20 @@ USAGE:
   pddl serve     --disks N --width K [--unit B] [--periods P]
                  [--addr HOST:PORT] [--workers W] [--queue-depth Q]
                  [--shards S] [--duration-ms T] [--rebuild-batch B]
-                 [--rebuild-rate R]
+                 [--rebuild-rate R] [--metrics-addr HOST:PORT]
                    export the functional array as a TCP block service;
                    REBUILD runs online in batches of B stripes,
-                   throttled to R stripes/sec (0 = unthrottled)
+                   throttled to R stripes/sec (0 = unthrottled);
+                   --metrics-addr adds a Prometheus /metrics endpoint
+  pddl stats     --addr HOST:PORT
+                   one telemetry snapshot from a served volume
+                   (counters, gauges, latency histograms)
+  pddl top       --addr HOST:PORT [--interval-ms M] [--iters N]
+                   live per-op rates and latency percentiles, polled
+                   from STATS every M ms (N = 0 runs until killed)
+  pddl trace-dump --addr HOST:PORT [--out FILE]
+                   dump the server's flight recorder (recent + slow op
+                   spans) as chrome://tracing JSON to FILE or stdout
   pddl remote-bench --addr HOST:PORT | --self-serve [--threads T]
                  [--ops N] [--read-frac F] [--max-units U] [--seed S]
                  [--metrics FILE] [--fail-disk D]
@@ -643,9 +654,14 @@ pub fn serve_cmd(cli: &Cli) -> Result<(), String> {
     if let Some(o) = &obs {
         o.set_info("driver", "serve");
     }
-    let engine = build_engine(cli, obs.as_ref())?;
+    let engine = Arc::new(build_engine(cli, obs.as_ref())?);
     let info = engine.volume_info();
-    let handle = serve(Arc::new(engine), addr, server_config(cli)?).map_err(|e| e.to_string())?;
+    let handle =
+        serve(Arc::clone(&engine), addr, server_config(cli)?).map_err(|e| e.to_string())?;
+    let metrics = match cli.get("metrics-addr") {
+        Some(maddr) => Some(serve_metrics(Arc::clone(&engine), maddr).map_err(|e| e.to_string())?),
+        None => None,
+    };
     println!(
         "serving on {}: {} disks, {} units × {} B ({} KiB client capacity), {} stripe shards",
         handle.local_addr(),
@@ -655,6 +671,9 @@ pub fn serve_cmd(cli: &Cli) -> Result<(), String> {
         info.capacity_units * info.unit_bytes as u64 / 1024,
         handle.engine().shards(),
     );
+    if let Some(m) = &metrics {
+        println!("metrics on http://{}/metrics", m.local_addr());
+    }
     if duration_ms == 0 {
         // Run until killed; the handle's threads do all the work.
         loop {
@@ -663,12 +682,121 @@ pub fn serve_cmd(cli: &Cli) -> Result<(), String> {
     }
     std::thread::sleep(std::time::Duration::from_millis(duration_ms));
     let served = handle.requests_served();
+    if let Some(m) = metrics {
+        m.shutdown();
+    }
     handle.shutdown();
     println!("served {served} requests");
     if let Some(o) = &obs {
         o.write_outputs()?;
     }
     Ok(())
+}
+
+/// Connect to `--addr` for the telemetry commands.
+fn telemetry_client(cli: &Cli) -> Result<pddl_server::Client, String> {
+    let addr = cli
+        .get("addr")
+        .ok_or("--addr is required")?
+        .to_socket_addrs()
+        .map_err(|e| e.to_string())?
+        .next()
+        .ok_or("--addr resolved to no address")?;
+    pddl_server::Client::connect(addr).map_err(|e| e.to_string())
+}
+
+/// `pddl stats` — one STATS snapshot, rendered as a table.
+pub fn stats(cli: &Cli) -> Result<(), String> {
+    let mut c = telemetry_client(cli)?;
+    let snap = c.stats().map_err(|e| e.to_string())?;
+    print!("{}", snap.render());
+    Ok(())
+}
+
+/// `pddl trace-dump` — the server's flight recorder as a chrome trace.
+pub fn trace_dump(cli: &Cli) -> Result<(), String> {
+    let mut c = telemetry_client(cli)?;
+    let spans = c.trace_dump().map_err(|e| e.to_string())?;
+    let json = pddl_obs::spans_chrome_json(&spans);
+    match cli.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "wrote {} spans to {path} (load in Perfetto / chrome://tracing)",
+                spans.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+const REBUILD_STATE_NAMES: [&str; 5] = ["none", "running", "done", "failed", "paused"];
+
+/// `pddl top` — live per-op rates and latency percentiles polled from
+/// STATS. `--iters 0` (the default) runs until killed; a positive
+/// count makes the command bounded, which is what tests and scripted
+/// probes want.
+pub fn top(cli: &Cli) -> Result<(), String> {
+    let iters: u64 = cli.num("iters", 0)?;
+    let interval = std::time::Duration::from_millis(cli.num("interval-ms", 1_000)?);
+    let mut c = telemetry_client(cli)?;
+    let mut prev = c.stats().map_err(|e| e.to_string())?;
+    let mut prev_t = std::time::Instant::now();
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        if iters != 0 && tick > iters {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+        let snap = c.stats().map_err(|e| e.to_string())?;
+        let dt = prev_t.elapsed().as_secs_f64().max(1e-9);
+        prev_t = std::time::Instant::now();
+
+        println!(
+            "-- tick {tick}  queue {:.0}  degraded reads {}",
+            snap.gauge("queue.depth").unwrap_or(0.0),
+            snap.counter("array.degraded_reads").unwrap_or(0),
+        );
+        println!(
+            "{:<14} {:>9} {:>10} {:>7} {:>9} {:>9}",
+            "op", "ops/s", "total", "errors", "p50(µs)", "p99(µs)"
+        );
+        for (name, total) in &snap.counters {
+            let Some(op) = name
+                .strip_prefix("op.")
+                .and_then(|n| n.strip_suffix(".count"))
+            else {
+                continue;
+            };
+            let before = prev.counter(name).unwrap_or(0);
+            let rate = (total.saturating_sub(before)) as f64 / dt;
+            if *total == 0 {
+                continue; // an op never issued earns no row
+            }
+            let errors = snap.counter(&format!("op.{op}.errors")).unwrap_or(0);
+            let (p50, p99) = snap
+                .hist(&format!("latency.{op}_ns"))
+                .map_or((0, 0), |h| (h.quantile(0.5), h.quantile(0.99)));
+            println!(
+                "{op:<14} {rate:>9.1} {total:>10} {errors:>7} {:>9.1} {:>9.1}",
+                p50 as f64 / 1e3,
+                p99 as f64 / 1e3,
+            );
+        }
+        let state = snap.gauge("rebuild.state").unwrap_or(0.0) as usize;
+        if state != 0 {
+            println!(
+                "rebuild: {} disk {:.0}  {:.0}/{:.0} stripes",
+                REBUILD_STATE_NAMES.get(state).unwrap_or(&"?"),
+                snap.gauge("rebuild.disk").unwrap_or(0.0),
+                snap.gauge("rebuild.repaired").unwrap_or(0.0),
+                snap.gauge("rebuild.total").unwrap_or(0.0),
+            );
+        }
+        prev = snap;
+    }
 }
 
 /// `pddl remote-bench` — closed-loop load generator against a served

@@ -7,7 +7,10 @@
 //! pddl simulate  --disks 13 --width 4 --clients 8 --size 6 [--op write] [--mode f1]
 //! pddl rebuild   --disks 13 --width 4 --clients 8 [--jobs 16]
 //! pddl drill     --disks 13 --width 4 [--fail 5]
-//! pddl serve     --disks 13 --width 4 --addr 127.0.0.1:7490
+//! pddl serve     --disks 13 --width 4 --addr 127.0.0.1:7490 [--metrics-addr 127.0.0.1:9490]
+//! pddl stats     --addr 127.0.0.1:7490
+//! pddl top       --addr 127.0.0.1:7490 [--interval-ms 1000] [--iters 0]
+//! pddl trace-dump --addr 127.0.0.1:7490 [--out trace.json]
 //! pddl remote-bench --addr 127.0.0.1:7490 --threads 4 --ops 500
 //! pddl chaos     --seeds 20 --ops 2000
 //! ```
@@ -30,6 +33,9 @@ fn main() {
         Some("replay") => commands::replay(&cli),
         Some("report") => commands::report(&cli),
         Some("serve") => commands::serve_cmd(&cli),
+        Some("stats") => commands::stats(&cli),
+        Some("top") => commands::top(&cli),
+        Some("trace-dump") => commands::trace_dump(&cli),
         Some("remote-bench") => commands::remote_bench(&cli),
         // The chaos harness owns its flag set (it doubles as the
         // standalone `pddl-chaos` binary), so forward the raw args.

@@ -8,8 +8,9 @@
 
 /// Number of buckets: slot 0 holds the value 0; slots `1 + 2b` and
 /// `2 + 2b` split octave `[2^b, 2^(b+1))` at `≈ 2^b·√2` for `b` in
-/// `0..64`.
-const BUCKETS: usize = 129;
+/// `0..64`. Shared with the lock-free [`crate::live::AtomicHistogram`]
+/// mirror so snapshots are bucket-for-bucket identical.
+pub(crate) const BUCKETS: usize = 129;
 
 /// The sub-octave split point `≈ 2^b · √2`, computed as `2^b · 181/128`
 /// (1.4140625, within 0.01% of √2) in integer arithmetic so bucket edges
@@ -19,7 +20,7 @@ fn mid_boundary(octave: usize) -> u64 {
 }
 
 /// Bucket index for a value.
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v == 0 {
         return 0;
     }
@@ -28,7 +29,7 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// Smallest value mapping to bucket `i`.
-fn bucket_lower(i: usize) -> u64 {
+pub(crate) fn bucket_lower(i: usize) -> u64 {
     if i == 0 {
         return 0;
     }
@@ -41,7 +42,7 @@ fn bucket_lower(i: usize) -> u64 {
 }
 
 /// Largest value mapping to bucket `i`.
-fn bucket_upper(i: usize) -> u64 {
+pub(crate) fn bucket_upper(i: usize) -> u64 {
     if i + 1 >= BUCKETS {
         return u64::MAX;
     }
@@ -76,6 +77,30 @@ impl LogHistogram {
             min: u64::MAX,
             max: 0,
         }
+    }
+
+    /// Rebuild a histogram from raw parts — the bridge from a
+    /// concurrently-recorded [`crate::live::AtomicHistogram`] snapshot
+    /// (and from the wire decoder of a `STATS` payload). `total` is
+    /// derived from `counts`; an empty `counts` yields [`Self::new`]
+    /// regardless of the other arguments.
+    pub fn from_parts(counts: [u64; 129], sum: u128, min: u64, max: u64) -> Self {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Self::new();
+        }
+        Self {
+            counts,
+            total,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// The raw per-bucket counts (all 129 buckets, zeros included).
+    pub fn bucket_counts(&self) -> &[u64; 129] {
+        &self.counts
     }
 
     /// Record one sample.

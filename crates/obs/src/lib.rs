@@ -43,6 +43,7 @@
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod live;
 pub mod observer;
 pub mod registry;
 pub mod sink;
@@ -51,6 +52,9 @@ pub mod tracer;
 pub use event::{Actor, Event, Nanos, OpClass};
 pub use hist::LogHistogram;
 pub use json::{escape_json, validate_json};
+pub use live::{
+    spans_chrome_json, AtomicHistogram, OpKind, OpRecord, OpSpan, Telemetry, TelemetrySnapshot,
+};
 pub use observer::{ObsConfig, Observer};
 pub use registry::{
     HistSummary, Metric, MetricKind, MetricKindError, MetricsRegistry, MetricsSnapshot,

@@ -450,6 +450,34 @@ mod tests {
     }
 
     #[test]
+    fn tsv_output_is_sorted_and_insertion_order_independent() {
+        // Same metrics registered in two different orders must export
+        // byte-identically — CI assertions and report diffs depend on it.
+        let names = ["z.last", "a.first", "m.middle", "b.second"];
+        let mut forward = MetricsRegistry::new();
+        let mut reverse = MetricsRegistry::new();
+        for (i, n) in names.iter().enumerate() {
+            forward.add(n, i as u64 + 1);
+        }
+        for (i, n) in names.iter().enumerate().rev() {
+            reverse.add(n, i as u64 + 1);
+        }
+        forward.set_info("run", "x");
+        reverse.set_info("run", "x");
+        assert_eq!(forward.to_tsv(), reverse.to_tsv());
+        // Data rows come out in sorted name order.
+        let got: Vec<String> = forward
+            .to_tsv()
+            .lines()
+            .filter(|l| l.starts_with("counter\t"))
+            .map(|l| l.split('\t').nth(1).unwrap().to_string())
+            .collect();
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(got, sorted);
+    }
+
+    #[test]
     fn try_variants_report_the_typed_error() {
         let mut r = MetricsRegistry::new();
         r.add("ops", 1);

@@ -1,0 +1,173 @@
+//! Concurrency properties of the live telemetry plane: merged shard
+//! counts are exact, quantile estimates stay within one bucket of a
+//! sorted-sample oracle, and scraping while recording never tears.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pddl_obs::hist::LogHistogram;
+use pddl_obs::{AtomicHistogram, OpKind, OpRecord, Telemetry};
+
+/// Deterministic splitmix-style generator so the property is replayable.
+fn next(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 16
+}
+
+fn record(id: u64, op: OpKind, total_ns: u64, queue_ns: u64) -> OpRecord {
+    OpRecord {
+        id,
+        op,
+        status: 0,
+        ok: true,
+        offset: id,
+        len: 1,
+        bytes_read: 0,
+        bytes_written: 0,
+        start_ns: id,
+        queue_ns,
+        array_ns: total_ns.saturating_sub(queue_ns),
+        total_ns,
+    }
+}
+
+#[test]
+fn concurrent_record_then_merge_matches_oracle() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+    let telemetry = Arc::new(Telemetry::new(4));
+    let shared_hist = Arc::new(AtomicHistogram::new());
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let telemetry = Arc::clone(&telemetry);
+            let shared_hist = Arc::clone(&shared_hist);
+            std::thread::spawn(move || {
+                let mut x = 0x9e37_79b9_7f4a_7c15u64.wrapping_add(t);
+                let mut samples = Vec::with_capacity(PER_THREAD as usize);
+                for i in 0..PER_THREAD {
+                    // Log-uniform-ish latencies spanning ~6 decades.
+                    let v = next(&mut x) % (1 << (10 + (next(&mut x) % 21))) + 1;
+                    shared_hist.record(v);
+                    telemetry.record(&record(t * PER_THREAD + i, OpKind::Read, v, v / 3));
+                    samples.push(v);
+                }
+                samples
+            })
+        })
+        .collect();
+
+    let mut all: Vec<u64> = Vec::new();
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+
+    // Merged counts equal the per-thread sums — nothing lost or doubled.
+    let merged = shared_hist.snapshot();
+    assert_eq!(merged.count(), THREADS * PER_THREAD);
+    assert_eq!(merged.sum(), all.iter().map(|&v| v as u128).sum::<u128>());
+    assert_eq!(merged.min(), *all.iter().min().unwrap());
+    assert_eq!(merged.max(), *all.iter().max().unwrap());
+
+    // The concurrent histogram is bucket-for-bucket what sequential
+    // recording of the union produces.
+    let mut oracle_hist = LogHistogram::new();
+    for &v in &all {
+        oracle_hist.record(v);
+    }
+    assert_eq!(merged, oracle_hist);
+
+    // Quantile estimates stay within one bucket of the sorted oracle.
+    all.sort_unstable();
+    for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999] {
+        let rank = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+        let exact = all[rank - 1];
+        let est = merged.quantile(q);
+        let width = LogHistogram::bucket_width(exact);
+        assert!(
+            est.abs_diff(exact) <= width,
+            "q={q}: estimate {est} more than one bucket ({width}) from exact {exact}"
+        );
+    }
+
+    // The sharded plane agrees: per-op counts and histogram totals.
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("op.read.count"), Some(THREADS * PER_THREAD));
+    assert_eq!(
+        snap.hist("latency.read_ns").unwrap().count(),
+        THREADS * PER_THREAD
+    );
+    assert_eq!(snap.hist("latency.read_ns").unwrap(), &oracle_hist);
+}
+
+#[test]
+fn scrape_during_recording_sees_consistent_prefixes() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 20_000;
+    let telemetry = Arc::new(Telemetry::new(4));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let telemetry = Arc::clone(&telemetry);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    telemetry.record(&record(i, OpKind::Write, i % 4_096 + 1, i % 64));
+                }
+                let _ = t;
+            })
+        })
+        .collect();
+
+    // Scrape concurrently with the writers: every intermediate snapshot
+    // must be internally coherent (bucket totals equal the histogram
+    // count; counters never exceed the final tally; spans never torn).
+    let scraper = {
+        let telemetry = Arc::clone(&telemetry);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u32;
+            let mut prev_count = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let snap = telemetry.snapshot();
+                let writes = snap.counter("op.write.count").unwrap();
+                assert!(writes <= THREADS * PER_THREAD);
+                assert!(
+                    writes >= prev_count,
+                    "op counter went backwards: {writes} < {prev_count}"
+                );
+                prev_count = writes;
+                if let Some(h) = snap.hist("latency.write_ns") {
+                    assert_eq!(
+                        h.bucket_counts().iter().sum::<u64>(),
+                        h.count(),
+                        "snapshot histogram internally inconsistent"
+                    );
+                }
+                for span in telemetry.spans() {
+                    assert_eq!(span.op, OpKind::Write);
+                    assert!(span.total_ns <= 4_096);
+                }
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let scrapes = scraper.join().unwrap();
+    assert!(scrapes > 0, "scraper never ran");
+
+    // After the dust settles the merge is exact.
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("op.write.count"), Some(THREADS * PER_THREAD));
+    assert_eq!(
+        snap.hist("latency.write_ns").unwrap().count(),
+        THREADS * PER_THREAD
+    );
+}

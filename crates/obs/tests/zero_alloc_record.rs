@@ -1,0 +1,69 @@
+//! Proof that recording into the live telemetry plane allocates
+//! nothing: a counting global allocator wraps the system allocator and
+//! the delta across a burst of records must be zero. This is its own
+//! test binary (one `#[global_allocator]` per process) with a single
+//! test, so no other test's allocations can pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pddl_obs::{OpKind, OpRecord, Telemetry};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn recording_makes_zero_allocations() {
+    let telemetry = Telemetry::new(4);
+    let rec = OpRecord {
+        id: 7,
+        op: OpKind::Read,
+        status: 0,
+        ok: true,
+        offset: 128,
+        len: 8,
+        bytes_read: 4_096,
+        bytes_written: 0,
+        start_ns: 1_000,
+        queue_ns: 250,
+        array_ns: 750,
+        total_ns: 1_000,
+    };
+    // Warm up: first record on a thread assigns its shard index.
+    telemetry.record(&rec);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let mut r = rec;
+        r.id = i;
+        r.total_ns = i % 50_000 + 1;
+        telemetry.record(&r);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "telemetry recording allocated {} times",
+        after - before
+    );
+}

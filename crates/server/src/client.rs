@@ -277,6 +277,33 @@ impl Client {
         }
     }
 
+    /// Telemetry: a merged, sorted snapshot of the server's live
+    /// counters, gauges, and latency histograms (the STATS op).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`], plus a protocol error on an
+    /// undecodable STATS payload.
+    pub fn stats(&mut self) -> Result<pddl_obs::TelemetrySnapshot, ClientError> {
+        let payload = self.call(Op::Stats, 0, 0, Vec::new())?;
+        wire::decode_stats(&payload)
+            .ok_or_else(|| ClientError::Protocol("undecodable STATS payload".into()))
+    }
+
+    /// Telemetry: the server's flight recorder — recent and slow op
+    /// spans (the TRACE_DUMP op), oldest first. Feed the result to
+    /// [`pddl_obs::spans_chrome_json`] for a chrome://tracing view.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`], plus a protocol error on an
+    /// undecodable TRACE_DUMP payload.
+    pub fn trace_dump(&mut self) -> Result<Vec<pddl_obs::OpSpan>, ClientError> {
+        let payload = self.call(Op::TraceDump, 0, 0, Vec::new())?;
+        wire::decode_spans(&payload)
+            .ok_or_else(|| ClientError::Protocol("undecodable TRACE_DUMP payload".into()))
+    }
+
     fn unit_bytes(&mut self) -> Result<usize, ClientError> {
         match self.cached_unit {
             Some(u) => Ok(u),

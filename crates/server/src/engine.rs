@@ -40,7 +40,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pddl_array::{ArrayError, ArrayMode, DeclusteredArray, RebuildTicket};
-use pddl_obs::{Actor, Event, SyncSharedSink};
+use pddl_obs::{Actor, Event, OpKind, OpRecord, SyncSharedSink, Telemetry, TelemetrySnapshot};
 
 use crate::wire::{
     self, Op, RebuildState, RebuildStatus, Request, Response, Status, VolumeInfo, MAX_PAYLOAD,
@@ -49,6 +49,27 @@ use crate::wire::{
 
 /// Default number of stripe shard locks.
 pub const DEFAULT_SHARDS: usize = 64;
+
+/// Telemetry shards per engine. Worker threads map onto shards
+/// round-robin; more workers than shards just share (still lock-free),
+/// so this only needs to cover the common pool sizes.
+const TELEMETRY_SHARDS: usize = 8;
+
+/// The telemetry [`OpKind`] for a wire op.
+fn op_kind(op: Op) -> OpKind {
+    match op {
+        Op::Read => OpKind::Read,
+        Op::Write => OpKind::Write,
+        Op::Flush => OpKind::Flush,
+        Op::Trim => OpKind::Trim,
+        Op::Info => OpKind::Info,
+        Op::FailDisk => OpKind::FailDisk,
+        Op::Rebuild => OpKind::Rebuild,
+        Op::RebuildStatus => OpKind::RebuildStatus,
+        Op::Stats => OpKind::Stats,
+        Op::TraceDump => OpKind::TraceDump,
+    }
+}
 
 /// Shape `frame` into a payload-less response (header only) for `id`
 /// with `status`.
@@ -124,14 +145,44 @@ const REBUILD_PAUSED: u8 = 4;
 /// Background-rebuild control block: lock-free progress for the status
 /// op, plus the worker handle behind a mutex that also serializes
 /// start/stop decisions.
+///
+/// # Memory ordering
+///
+/// `repaired ≤ total` must never be observed violated, even while one
+/// rebuild generation replaces another. Two rules guarantee it:
+///
+/// * **Within a generation** the worker only moves `repaired` forward
+///   (`Release` stores) and never past the generation's fixed `total`,
+///   so any interleaving of `Acquire` loads is consistent.
+/// * **Across generations** `do_rebuild` brackets its re-initialization
+///   of `disk`/`repaired`/`total`/`state` with a seqlock-style `gen`
+///   counter: odd while the fields are mid-rewrite, bumped to the next
+///   even value (`Release`) once they are coherent again. A reader that
+///   observes an odd `gen`, or a `gen` change across its field loads,
+///   retries instead of returning a value pair that straddles the
+///   transition (e.g. the old generation's `repaired` with a new,
+///   smaller `total`).
 struct RebuildCtl {
     /// Worker thread handle; the guard also makes REBUILD-vs-REBUILD
     /// races impossible (check state + spawn under one lock).
     slot: Mutex<Option<JoinHandle<()>>>,
+    /// Generation seqlock: odd ⇒ `do_rebuild` is re-initializing the
+    /// fields below; bumped with `Release` so an even value read with
+    /// `Acquire` makes the whole re-initialization visible.
+    gen: AtomicU64,
+    /// Lifecycle (`REBUILD_*`). The worker's terminal store is
+    /// `Release`, after its last `repaired` store, so a reader that
+    /// `Acquire`-loads `Done` also sees the final progress.
     state: AtomicU8,
+    /// Target disk; written only inside the `gen` bracket.
     disk: AtomicU32,
+    /// Stripes repaired. `Release`-stored by the worker after each
+    /// batch; monotone within a generation and never exceeds `total`.
     repaired: AtomicU64,
+    /// Stripes this generation set out to repair; constant between
+    /// `gen` brackets.
     total: AtomicU64,
+    /// Stop request for the worker (`Release` store, `Acquire` load).
     stop: AtomicBool,
 }
 
@@ -139,6 +190,7 @@ impl RebuildCtl {
     fn new() -> Self {
         Self {
             slot: Mutex::new(None),
+            gen: AtomicU64::new(0),
             state: AtomicU8::new(REBUILD_NONE),
             disk: AtomicU32::new(0),
             repaired: AtomicU64::new(0),
@@ -153,6 +205,13 @@ struct Inner {
     array: RwLock<DeclusteredArray>,
     stripe_locks: Vec<Mutex<()>>,
     obs: Mutex<Option<SyncSharedSink>>,
+    /// Fast-path flag mirroring `obs.is_some()`: the per-request check
+    /// is one `Relaxed` load instead of a shared mutex acquisition, so
+    /// a server without an attached observer pays nothing per op.
+    obs_attached: AtomicBool,
+    /// The live telemetry plane — sharded atomics, recorded lock-free
+    /// on every request, merged only when STATS / `/metrics` scrape.
+    telemetry: Arc<Telemetry>,
     access_seq: AtomicU64,
     epoch: Instant,
     rebuild_batch: u64,
@@ -173,6 +232,11 @@ impl Inner {
     }
 
     fn emit(&self, event: Event) {
+        // One relaxed load on the hot path; the mutex below is touched
+        // only when an observer is actually attached.
+        if !self.obs_attached.load(Ordering::Relaxed) {
+            return;
+        }
         let sink = lock(&self.obs).clone();
         if let Some(sink) = sink {
             // Recover a poisoned sink instead of silently dropping the
@@ -282,6 +346,8 @@ impl Engine {
                 array: RwLock::new(array),
                 stripe_locks: (0..shards.max(1)).map(|_| Mutex::new(())).collect(),
                 obs: Mutex::new(None),
+                obs_attached: AtomicBool::new(false),
+                telemetry: Arc::new(Telemetry::new(TELEMETRY_SHARDS)),
                 access_seq: AtomicU64::new(0),
                 epoch: Instant::now(),
                 rebuild_batch: rebuild.batch,
@@ -296,6 +362,15 @@ impl Engine {
     /// `latency.access_ns` histogram captures server-side service time.
     pub fn attach_observer(&mut self, sink: SyncSharedSink) {
         *lock(&self.inner.obs) = Some(sink);
+        // Release pairs with the hot path's load: once a worker sees
+        // the flag, the sink behind the mutex is in place.
+        self.inner.obs_attached.store(true, Ordering::Release);
+    }
+
+    /// The live telemetry plane — for the server to register scrape-time
+    /// gauges, benchmarks to toggle recording, and exporters to merge.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.inner.telemetry
     }
 
     /// Shard count (for tests and metrics).
@@ -337,20 +412,41 @@ impl Engine {
     }
 
     /// Current rebuild progress, served from atomics (no array lock).
+    ///
+    /// The `gen` seqlock (see [`RebuildCtl`]) makes the returned
+    /// snapshot generation-coherent: `repaired ≤ total` always holds,
+    /// and a `Done` state is only reported with its final counts.
     pub fn rebuild_status(&self) -> RebuildStatus {
         let r = &self.inner.rebuild;
-        let state = match r.state.load(Ordering::Acquire) {
-            REBUILD_RUNNING => RebuildState::Running,
-            REBUILD_DONE => RebuildState::Done,
-            REBUILD_FAILED => RebuildState::Failed,
-            REBUILD_PAUSED => RebuildState::Paused,
-            _ => RebuildState::None,
-        };
-        RebuildStatus {
-            disk: r.disk.load(Ordering::Acquire),
-            state,
-            repaired: r.repaired.load(Ordering::Acquire),
-            total: r.total.load(Ordering::Acquire),
+        loop {
+            // Acquire pairs with do_rebuild's closing Release bump: an
+            // even generation implies its re-initialization is visible.
+            let g1 = r.gen.load(Ordering::Acquire);
+            if g1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            // State first (Acquire pairs with the worker's terminal
+            // Release store), so `Done` implies the final `repaired`.
+            let state = match r.state.load(Ordering::Acquire) {
+                REBUILD_RUNNING => RebuildState::Running,
+                REBUILD_DONE => RebuildState::Done,
+                REBUILD_FAILED => RebuildState::Failed,
+                REBUILD_PAUSED => RebuildState::Paused,
+                _ => RebuildState::None,
+            };
+            let status = RebuildStatus {
+                disk: r.disk.load(Ordering::Acquire),
+                state,
+                repaired: r.repaired.load(Ordering::Acquire),
+                total: r.total.load(Ordering::Acquire),
+            };
+            // Unchanged generation ⇒ every load above came from one
+            // generation; within one the worker keeps repaired ≤ total.
+            if r.gen.load(Ordering::Acquire) == g1 {
+                debug_assert!(status.repaired <= status.total);
+                return status;
+            }
         }
     }
 
@@ -424,10 +520,46 @@ impl Engine {
         set
     }
 
+    /// Record one completed request into the telemetry plane: per-op
+    /// counters and latency, byte accounting, and a flight-recorder
+    /// span. Lock-free and allocation-free (atomics only), so it is
+    /// safe on the zero-alloc healthy-READ path.
+    fn record_op(
+        &self,
+        req: &Request,
+        status: Status,
+        response_payload: usize,
+        start_ns: u64,
+        queue_ns: u64,
+        service_ns: u64,
+    ) {
+        let ok = matches!(status, Status::Ok | Status::Accepted);
+        let (bytes_read, bytes_written) = match req.op {
+            Op::Read if ok => (response_payload as u64, 0),
+            Op::Write => (0, req.payload.len() as u64),
+            _ => (0, 0),
+        };
+        self.inner.telemetry.record(&OpRecord {
+            id: req.id,
+            op: op_kind(req.op),
+            status: status.code(),
+            ok,
+            offset: req.offset,
+            len: req.length,
+            bytes_read,
+            bytes_written,
+            start_ns,
+            queue_ns,
+            array_ns: service_ns,
+            total_ns: queue_ns.saturating_add(service_ns),
+        });
+    }
+
     /// Execute one request on behalf of `client`, producing the response
     /// frame to send back. Never panics; every failure maps to a status.
     pub fn execute(&self, client: u32, req: &Request) -> Response {
         let access = self.inner.access_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let start_ns = self.inner.now_ns();
         let start = Instant::now();
         self.emit(Event::AccessStart {
             access,
@@ -436,10 +568,12 @@ impl Engine {
             write: matches!(req.op, Op::Write | Op::Trim),
         });
         let (status, payload) = self.dispatch(req);
+        let service_ns = start.elapsed().as_nanos() as u64;
         self.emit(Event::AccessEnd {
             access,
-            latency_ns: start.elapsed().as_nanos() as u64,
+            latency_ns: service_ns,
         });
+        self.record_op(req, status, payload.len(), start_ns, 0, service_ns);
         Response {
             id: req.id,
             status,
@@ -466,7 +600,22 @@ impl Engine {
     /// response seen, the frame costs nothing to produce and a healthy
     /// READ is a single array-to-frame copy.
     pub fn execute_frame_into(&self, client: u32, req: &Request, frame: &mut Vec<u8>) {
+        self.execute_queued_frame_into(client, req, frame, 0);
+    }
+
+    /// [`Engine::execute_frame_into`] for queued execution: the caller
+    /// (the server worker pool) passes how long the request waited in
+    /// the admission queue, which lands in the queue-wait histogram and
+    /// the flight-recorder span alongside the service time.
+    pub fn execute_queued_frame_into(
+        &self,
+        client: u32,
+        req: &Request,
+        frame: &mut Vec<u8>,
+        queue_ns: u64,
+    ) {
         let access = self.inner.access_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let start_ns = self.inner.now_ns();
         let start = Instant::now();
         self.emit(Event::AccessStart {
             access,
@@ -487,10 +636,18 @@ impl Engine {
                 }
             }
         }
+        let service_ns = start.elapsed().as_nanos() as u64;
         self.emit(Event::AccessEnd {
             access,
-            latency_ns: start.elapsed().as_nanos() as u64,
+            latency_ns: service_ns,
         });
+        let status = frame
+            .get(12)
+            .copied()
+            .and_then(Status::from_code)
+            .unwrap_or(Status::Internal);
+        let payload_len = frame.len().saturating_sub(RESPONSE_HEADER_LEN);
+        self.record_op(req, status, payload_len, start_ns, queue_ns, service_ns);
     }
 
     /// Serve a READ straight into the response frame's payload region.
@@ -537,7 +694,53 @@ impl Engine {
             Op::FailDisk => self.do_fail_disk(req),
             Op::Rebuild => self.do_rebuild(req),
             Op::RebuildStatus => self.do_rebuild_status(req),
+            Op::Stats => self.do_stats(req),
+            Op::TraceDump => self.do_trace_dump(req),
         }
+    }
+
+    /// A merged telemetry snapshot: the lock-free per-op plane plus the
+    /// array's physical-I/O counters and the rebuild position, all under
+    /// one sorted, versioned roof. This is what STATS and `/metrics`
+    /// serve.
+    pub fn stats_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.inner.telemetry.snapshot();
+        {
+            let a = rdlock(&self.inner.array);
+            let (unit_reads, unit_writes) = a.io_counts();
+            snap.counters.push(("array.unit_reads".into(), unit_reads));
+            snap.counters
+                .push(("array.unit_writes".into(), unit_writes));
+            snap.counters
+                .push(("array.degraded_reads".into(), a.degraded_reads()));
+        }
+        let rb = self.rebuild_status();
+        snap.gauges
+            .push(("rebuild.state".into(), f64::from(rb.state.code())));
+        snap.gauges
+            .push(("rebuild.disk".into(), f64::from(rb.disk)));
+        snap.gauges
+            .push(("rebuild.repaired".into(), rb.repaired as f64));
+        snap.gauges.push(("rebuild.total".into(), rb.total as f64));
+        snap.sort();
+        snap
+    }
+
+    fn do_stats(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length != 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        (Status::Ok, wire::encode_stats(&self.stats_snapshot()))
+    }
+
+    fn do_trace_dump(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length != 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        (
+            Status::Ok,
+            wire::encode_spans(&self.inner.telemetry.spans()),
+        )
     }
 
     /// READ for the `Response`-shaped path: delegates to
@@ -658,20 +861,29 @@ impl Engine {
                 Err(e) => return (status_of(&e), Vec::new()),
             }
         };
+        // Open the generation bracket (odd): status readers retry
+        // rather than mixing the old generation's progress with the new
+        // one's target. The slot mutex serializes writers, so a plain
+        // increment is safe.
+        inner.rebuild.gen.fetch_add(1, Ordering::Release);
         inner.rebuild.disk.store(
             u32::try_from(req.offset).unwrap_or(u32::MAX),
             Ordering::Release,
         );
-        inner.rebuild.total.store(ticket.total(), Ordering::Release);
+        // Reset progress before publishing the new target, so even a
+        // torn read that slips past the seqlock stays conservative.
         inner
             .rebuild
             .repaired
             .store(ticket.repaired(), Ordering::Release);
+        inner.rebuild.total.store(ticket.total(), Ordering::Release);
         inner.rebuild.stop.store(false, Ordering::Release);
         inner
             .rebuild
             .state
             .store(REBUILD_RUNNING, Ordering::Release);
+        // Close the bracket (even): the fields above are coherent again.
+        inner.rebuild.gen.fetch_add(1, Ordering::Release);
         let worker_inner = Arc::clone(inner);
         let spawned = std::thread::Builder::new()
             .name("pddl-rebuild".into())
@@ -823,6 +1035,83 @@ mod tests {
         assert_eq!(info.disks, 7);
         assert_eq!(info.mode, 0);
         assert!(info.failed.is_empty());
+    }
+
+    #[test]
+    fn stats_op_reports_traffic_and_round_trips() {
+        let e = engine();
+        e.execute(0, &req(Op::Write, 0, 2, vec![7u8; 32]));
+        e.execute(0, &req(Op::Read, 0, 2, vec![]));
+        e.execute(0, &req(Op::Read, 0, 1, vec![]));
+
+        let r = e.execute(0, &req(Op::Stats, 0, 0, vec![]));
+        assert_eq!(r.status, Status::Ok);
+        let snap = wire::decode_stats(&r.payload).expect("stats payload decodes");
+        assert_eq!(snap.counter("op.read.count"), Some(2));
+        assert_eq!(snap.counter("op.write.count"), Some(1));
+        assert_eq!(snap.counter("op.read.errors"), Some(0));
+        assert_eq!(snap.counter("bytes.read"), Some(48));
+        assert_eq!(snap.counter("bytes.written"), Some(32));
+        assert_eq!(snap.counter("array.degraded_reads"), Some(0));
+        assert!(snap.counter("array.unit_reads").unwrap() > 0);
+        assert_eq!(snap.gauge("rebuild.state"), Some(0.0));
+        assert_eq!(snap.hist("latency.read_ns").unwrap().count(), 2);
+
+        // Validation: STATS carries no payload and no length.
+        assert_eq!(
+            e.execute(0, &req(Op::Stats, 0, 0, vec![1])).status,
+            Status::BadRequest
+        );
+        assert_eq!(
+            e.execute(0, &req(Op::Stats, 0, 1, vec![])).status,
+            Status::BadRequest
+        );
+    }
+
+    #[test]
+    fn trace_dump_returns_recent_spans() {
+        let e = engine();
+        e.execute(0, &req(Op::Write, 0, 1, vec![3u8; 16]));
+        e.execute(0, &req(Op::Read, 0, 1, vec![]));
+
+        let r = e.execute(0, &req(Op::TraceDump, 0, 0, vec![]));
+        assert_eq!(r.status, Status::Ok);
+        let spans = wire::decode_spans(&r.payload).expect("trace payload decodes");
+        assert!(spans.len() >= 2, "expected spans for the ops just issued");
+        assert!(spans.iter().any(|s| s.op == pddl_obs::OpKind::Read));
+        assert!(spans.iter().any(|s| s.op == pddl_obs::OpKind::Write));
+
+        assert_eq!(
+            e.execute(0, &req(Op::TraceDump, 0, 0, vec![9])).status,
+            Status::BadRequest
+        );
+        assert_eq!(
+            e.execute(0, &req(Op::TraceDump, 0, 9, vec![])).status,
+            Status::BadRequest
+        );
+    }
+
+    #[test]
+    fn degraded_reads_counter_surfaces_in_stats() {
+        let e = engine();
+        let cap = e.volume_info().capacity_units as u32;
+        e.execute(0, &req(Op::Write, 0, cap, vec![5u8; cap as usize * 16]));
+        assert_eq!(
+            e.execute(0, &req(Op::FailDisk, 2, 0, vec![])).status,
+            Status::Ok
+        );
+        // A sweep of the whole volume is guaranteed to touch units
+        // homed on the failed disk, forcing parity reconstruction.
+        assert_eq!(
+            e.execute(0, &req(Op::Read, 0, cap, vec![])).status,
+            Status::Ok
+        );
+        let snap =
+            wire::decode_stats(&e.execute(0, &req(Op::Stats, 0, 0, vec![])).payload).unwrap();
+        assert!(
+            snap.counter("array.degraded_reads").unwrap() > 0,
+            "reads after a disk failure must count as degraded"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | [`queue`]  | bounded blocking MPMC queue — the backpressure point |
 //! | [`engine`] | request execution over `RwLock<DeclusteredArray>` + stripe shard locks |
 //! | [`server`] | accept loop, per-connection readers, worker pool, graceful shutdown |
+//! | [`metrics_http`] | `/metrics` Prometheus exposition over minimal HTTP/1.0 |
 //!
 //! plus an in-crate blocking [`client`] and a closed-loop [`bench`]
 //! load generator, so the protocol's two ends live (and are tested)
@@ -48,6 +49,7 @@
 pub mod bench;
 pub mod client;
 pub mod engine;
+pub mod metrics_http;
 pub mod queue;
 pub mod server;
 pub mod wire;
@@ -55,6 +57,7 @@ pub mod wire;
 pub use bench::{run as run_bench, BenchConfig, BenchReport};
 pub use client::{Client, ClientError};
 pub use engine::{Engine, RebuildConfig};
+pub use metrics_http::{serve_metrics, MetricsServer};
 pub use queue::BoundedQueue;
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use wire::{Op, RebuildState, RebuildStatus, Request, Response, Status, VolumeInfo, WireError};

@@ -68,6 +68,9 @@ struct Job {
     client: u32,
     request: Request,
     stream: Arc<Mutex<TcpStream>>,
+    /// When the reader pushed the job, so the worker can attribute
+    /// queue wait separately from array service time in telemetry.
+    enqueued: Instant,
 }
 
 struct Shared {
@@ -135,6 +138,9 @@ impl ServerHandle {
         // ticket stays resumable — a later REBUILD picks up where it
         // stopped).
         self.shared.engine.stop_rebuild();
+        // Drop the queue-depth gauge so the engine (often longer-lived
+        // than any one server) stops reporting a dead queue.
+        self.shared.engine.telemetry().clear_gauge_sources();
     }
 }
 
@@ -156,6 +162,16 @@ pub fn serve(engine: Arc<Engine>, addr: &str, config: ServerConfig) -> io::Resul
         readers: Mutex::new(Vec::new()),
         requests: AtomicU64::new(0),
     });
+
+    // Export the admission-queue depth as a gauge. The closure holds a
+    // Weak: Shared owns the Engine which owns the Telemetry which owns
+    // the gauge closures, so a strong Arc here would be a cycle and the
+    // whole server would leak.
+    let weak = Arc::downgrade(&shared);
+    shared.engine.telemetry().set_gauge_source(
+        "queue.depth",
+        Box::new(move || weak.upgrade().map_or(0.0, |s| s.queue.len() as f64)),
+    );
 
     // Spawn failures (thread exhaustion) surface as the bind error
     // would: an io::Error from `serve`, after unwinding what already
@@ -286,6 +302,7 @@ fn reader_loop(stream: TcpStream, client: u32, shared: &Arc<Shared>, config: &Se
                     client,
                     request,
                     stream: Arc::clone(&write_half),
+                    enqueued: Instant::now(),
                 };
                 if shared.queue.push(job).is_err() {
                     // Queue closed: the server is shutting down.
@@ -330,9 +347,10 @@ fn worker_loop(shared: &Arc<Shared>) {
         // the socket without an intermediate copy. Frame construction
         // cannot fail (oversized payloads were refused at request
         // validation), so the only write error left is I/O.
+        let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
         shared
             .engine
-            .execute_frame_into(job.client, &job.request, &mut frame);
+            .execute_queued_frame_into(job.client, &job.request, &mut frame, queue_ns);
         shared.requests.fetch_add(1, Ordering::Relaxed);
         // A poisoned stream mutex (a peer worker panicked mid-write)
         // must not orphan this request id — recover the guard and

@@ -8,7 +8,7 @@
 //! magic      u32   0x7064_6c51  ("pdlQ")
 //! id         u64   caller-chosen request id, echoed in the response
 //! op         u8    1=READ 2=WRITE 3=FLUSH 4=TRIM 5=INFO 6=FAIL_DISK 7=REBUILD
-//!                  8=REBUILD_STATUS
+//!                  8=REBUILD_STATUS 9=STATS 10=TRACE_DUMP
 //! flags      u8    reserved, must be zero
 //! offset     u64   first logical stripe unit (disk index for FAIL_DISK/REBUILD)
 //! length     u32   stripe units touched (0 for FLUSH/INFO/FAIL_DISK/REBUILD/
@@ -69,6 +69,13 @@ pub enum Op {
     /// Management: query rebuild progress; responds with a
     /// [`RebuildStatus`] payload.
     RebuildStatus,
+    /// Telemetry: scrape a versioned metrics snapshot; responds with an
+    /// [`encode_stats`] payload decodable via [`decode_stats`].
+    Stats,
+    /// Telemetry: dump the flight recorder's recent/slow op spans;
+    /// responds with an [`encode_spans`] payload decodable via
+    /// [`decode_spans`].
+    TraceDump,
 }
 
 impl Op {
@@ -83,6 +90,8 @@ impl Op {
             Op::FailDisk => 6,
             Op::Rebuild => 7,
             Op::RebuildStatus => 8,
+            Op::Stats => 9,
+            Op::TraceDump => 10,
         }
     }
 
@@ -97,6 +106,8 @@ impl Op {
             6 => Op::FailDisk,
             7 => Op::Rebuild,
             8 => Op::RebuildStatus,
+            9 => Op::Stats,
+            10 => Op::TraceDump,
             _ => return None,
         })
     }
@@ -741,6 +752,238 @@ impl RebuildStatus {
     }
 }
 
+/// Version tag leading every STATS payload.
+pub const STATS_VERSION: u16 = pddl_obs::TelemetrySnapshot::VERSION;
+/// Version tag leading every TRACE_DUMP payload.
+pub const TRACE_VERSION: u16 = 1;
+
+/// Fixed size of one encoded [`OpSpan`] record in a TRACE_DUMP payload.
+const SPAN_RECORD_LEN: usize = 57;
+
+/// Serialize a [`pddl_obs::TelemetrySnapshot`] as the STATS payload.
+///
+/// Encoding (big-endian): `version u16 · counter_count u32 · gauge_count
+/// u32 · hist_count u32`, then counters as `name_len u16 · name · value
+/// u64`, gauges as `name_len u16 · name · f64 bits u64`, histograms as
+/// `name_len u16 · name · sum u128 · min u64 · max u64 · nonzero u16 ·
+/// (bucket u8 · count u64)*` — histograms are sparse (only non-empty
+/// buckets travel), and all three sections are sorted by name.
+pub fn encode_stats(snap: &pddl_obs::TelemetrySnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(&STATS_VERSION.to_be_bytes());
+    out.extend_from_slice(&(snap.counters.len() as u32).to_be_bytes());
+    out.extend_from_slice(&(snap.gauges.len() as u32).to_be_bytes());
+    out.extend_from_slice(&(snap.hists.len() as u32).to_be_bytes());
+    let push_name = |out: &mut Vec<u8>, name: &str| {
+        let bytes = name.as_bytes();
+        let len = bytes.len().min(u16::MAX as usize);
+        out.extend_from_slice(&(len as u16).to_be_bytes());
+        out.extend_from_slice(&bytes[..len]);
+    };
+    for (name, v) in &snap.counters {
+        push_name(&mut out, name);
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    for (name, v) in &snap.gauges {
+        push_name(&mut out, name);
+        out.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+    for (name, h) in &snap.hists {
+        push_name(&mut out, name);
+        out.extend_from_slice(&h.sum().to_be_bytes());
+        out.extend_from_slice(&h.min().to_be_bytes());
+        out.extend_from_slice(&h.max().to_be_bytes());
+        let nonzero: Vec<(usize, u64)> = h
+            .bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        out.extend_from_slice(&(nonzero.len() as u16).to_be_bytes());
+        for (i, c) in nonzero {
+            out.push(i as u8);
+            out.extend_from_slice(&c.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Bounds-checked sequential reader over an untrusted payload. Every
+/// accessor advances the cursor and fails (never panics, never reads
+/// out of bounds) on truncation — the decoder analogue of the checked
+/// arithmetic in [`VolumeInfo::decode`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_be_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_be_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_be_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        Some(u128::from_be_bytes(self.take(16)?.try_into().ok()?))
+    }
+
+    fn name(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Parse a STATS payload. Returns `None` on any malformed input: bad
+/// version, truncation, non-UTF-8 names, out-of-range bucket indices,
+/// or trailing bytes. Hostile section counts cannot over-allocate —
+/// every element is length-checked against the remaining buffer before
+/// anything is reserved.
+pub fn decode_stats(buf: &[u8]) -> Option<pddl_obs::TelemetrySnapshot> {
+    let mut c = Cursor { buf, pos: 0 };
+    if c.u16()? != STATS_VERSION {
+        return None;
+    }
+    let counters = c.u32()? as usize;
+    let gauges = c.u32()? as usize;
+    let hists = c.u32()? as usize;
+    // Cheapest possible lower bound (2 bytes per element) — rejects
+    // hostile counts before any per-element work or allocation.
+    let floor = counters
+        .checked_add(gauges)?
+        .checked_add(hists)?
+        .checked_mul(2)?;
+    if floor > buf.len().saturating_sub(c.pos) {
+        return None;
+    }
+    let mut snap = pddl_obs::TelemetrySnapshot::default();
+    for _ in 0..counters {
+        let name = c.name()?;
+        snap.counters.push((name, c.u64()?));
+    }
+    for _ in 0..gauges {
+        let name = c.name()?;
+        snap.gauges.push((name, f64::from_bits(c.u64()?)));
+    }
+    for _ in 0..hists {
+        let name = c.name()?;
+        let sum = c.u128()?;
+        let min = c.u64()?;
+        let max = c.u64()?;
+        let nonzero = c.u16()? as usize;
+        let mut counts = [0u64; 129];
+        for _ in 0..nonzero {
+            let i = c.u8()? as usize;
+            let count = c.u64()?;
+            if i >= counts.len() || counts[i] != 0 {
+                return None;
+            }
+            counts[i] = count;
+        }
+        snap.hists.push((
+            name,
+            pddl_obs::LogHistogram::from_parts(counts, sum, min, max),
+        ));
+    }
+    if !c.done() {
+        return None;
+    }
+    Some(snap)
+}
+
+/// Serialize flight-recorder spans as the TRACE_DUMP payload.
+///
+/// Encoding (big-endian): `version u16 · count u32`, then one fixed
+/// 57-byte record per span: `worker u16 · flags u8 (bit 0 = slow) · op
+/// u8 · status u8 · len u32 · id u64 · offset u64 · start_ns u64 ·
+/// queue_ns u64 · array_ns u64 · total_ns u64`.
+pub fn encode_spans(spans: &[pddl_obs::OpSpan]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(6 + spans.len() * SPAN_RECORD_LEN);
+    out.extend_from_slice(&TRACE_VERSION.to_be_bytes());
+    out.extend_from_slice(&(spans.len() as u32).to_be_bytes());
+    for s in spans {
+        out.extend_from_slice(&s.worker.to_be_bytes());
+        out.push(u8::from(s.slow));
+        out.push(s.op.index() as u8);
+        out.push(s.status);
+        out.extend_from_slice(&s.len.to_be_bytes());
+        out.extend_from_slice(&s.id.to_be_bytes());
+        out.extend_from_slice(&s.offset.to_be_bytes());
+        out.extend_from_slice(&s.start_ns.to_be_bytes());
+        out.extend_from_slice(&s.queue_ns.to_be_bytes());
+        out.extend_from_slice(&s.array_ns.to_be_bytes());
+        out.extend_from_slice(&s.total_ns.to_be_bytes());
+    }
+    out
+}
+
+/// Parse a TRACE_DUMP payload. Returns `None` on bad version, unknown
+/// op/flag bits, a count that disagrees with the payload size (checked
+/// arithmetic — a hostile u32 count cannot wrap the expected length),
+/// or trailing bytes.
+pub fn decode_spans(buf: &[u8]) -> Option<Vec<pddl_obs::OpSpan>> {
+    let mut c = Cursor { buf, pos: 0 };
+    if c.u16()? != TRACE_VERSION {
+        return None;
+    }
+    let count = c.u32()? as usize;
+    let expected = count.checked_mul(SPAN_RECORD_LEN)?.checked_add(6)?;
+    if buf.len() != expected {
+        return None;
+    }
+    let mut spans = Vec::with_capacity(count);
+    for _ in 0..count {
+        let worker = c.u16()?;
+        let flags = c.u8()?;
+        if flags & !1 != 0 {
+            return None;
+        }
+        let op = pddl_obs::OpKind::from_index(c.u8()? as usize)?;
+        let status = c.u8()?;
+        let len = c.u32()?;
+        spans.push(pddl_obs::OpSpan {
+            worker,
+            slow: flags & 1 == 1,
+            id: c.u64()?,
+            op,
+            status,
+            offset: c.u64()?,
+            len,
+            start_ns: c.u64()?,
+            queue_ns: c.u64()?,
+            array_ns: c.u64()?,
+            total_ns: c.u64()?,
+        });
+    }
+    if !c.done() {
+        return None;
+    }
+    Some(spans)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -972,10 +1215,13 @@ mod tests {
             Op::FailDisk,
             Op::Rebuild,
             Op::RebuildStatus,
+            Op::Stats,
+            Op::TraceDump,
         ] {
             assert_eq!(Op::from_code(op.code()), Some(op));
         }
         assert_eq!(Op::from_code(0), None);
+        assert_eq!(Op::from_code(11), None);
         for code in 0..=12u8 {
             let s = Status::from_code(code).unwrap();
             assert_eq!(s.code(), code);
@@ -1034,6 +1280,144 @@ mod tests {
         let mut wrap = frame[..17].to_vec();
         wrap.extend_from_slice(&n.to_be_bytes());
         assert_eq!(VolumeInfo::decode(&wrap), None);
+    }
+
+    fn sample_snapshot() -> pddl_obs::TelemetrySnapshot {
+        let t = pddl_obs::Telemetry::new(2);
+        for total in [1_000u64, 4_096, 1_000_000, 30_000_000] {
+            t.record(&pddl_obs::OpRecord {
+                id: total,
+                op: pddl_obs::OpKind::Read,
+                status: 0,
+                ok: total != 4_096,
+                offset: 7,
+                len: 2,
+                bytes_read: 1_024,
+                bytes_written: 0,
+                start_ns: total,
+                queue_ns: total / 10,
+                array_ns: total - total / 10,
+                total_ns: total,
+            });
+        }
+        t.set_gauge_source("queue.depth", Box::new(|| 2.5));
+        t.snapshot()
+    }
+
+    #[test]
+    fn stats_payload_round_trips() {
+        let snap = sample_snapshot();
+        let buf = encode_stats(&snap);
+        assert_eq!(decode_stats(&buf), Some(snap.clone()));
+        // An empty snapshot round-trips too.
+        let empty = pddl_obs::TelemetrySnapshot::default();
+        assert_eq!(decode_stats(&encode_stats(&empty)), Some(empty));
+        // Spot-check the decoded content survived sparsely.
+        let got = decode_stats(&buf).unwrap();
+        assert_eq!(got.counter("op.read.count"), Some(4));
+        assert_eq!(got.counter("op.read.errors"), Some(1));
+        assert_eq!(got.gauge("queue.depth"), Some(2.5));
+        let h = got.hist("latency.read_ns").unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 1_000);
+        assert_eq!(h.max(), 30_000_000);
+    }
+
+    #[test]
+    fn stats_decoder_rejects_hostile_payloads() {
+        let buf = encode_stats(&sample_snapshot());
+        // Any truncation or padding fails, never panics.
+        for cut in 0..buf.len() {
+            assert_eq!(decode_stats(&buf[..cut]), None, "cut={cut}");
+        }
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert_eq!(decode_stats(&padded), None);
+        // Wrong version.
+        let mut wrong = buf.clone();
+        wrong[0] = 0xff;
+        assert_eq!(decode_stats(&wrong), None);
+        // Hostile section counts cannot cause huge allocation: claim
+        // u32::MAX counters in a tiny buffer.
+        let mut hostile = STATS_VERSION.to_be_bytes().to_vec();
+        hostile.extend_from_slice(&u32::MAX.to_be_bytes());
+        hostile.extend_from_slice(&0u32.to_be_bytes());
+        hostile.extend_from_slice(&0u32.to_be_bytes());
+        assert_eq!(decode_stats(&hostile), None);
+        // Out-of-range bucket index.
+        let t = pddl_obs::Telemetry::new(1);
+        t.record(&pddl_obs::OpRecord {
+            id: 1,
+            op: pddl_obs::OpKind::Write,
+            status: 0,
+            ok: true,
+            offset: 0,
+            len: 1,
+            bytes_read: 0,
+            bytes_written: 512,
+            start_ns: 0,
+            queue_ns: 0,
+            array_ns: 9,
+            total_ns: 9,
+        });
+        let mut enc = encode_stats(&t.snapshot());
+        // The last sparse bucket entry is (idx u8, count u64): poison it.
+        let idx_pos = enc.len() - 9;
+        enc[idx_pos] = 200;
+        assert_eq!(decode_stats(&enc), None);
+    }
+
+    #[test]
+    fn trace_payload_round_trips_and_rejects_hostile_input() {
+        let spans = vec![
+            pddl_obs::OpSpan {
+                worker: 0,
+                slow: false,
+                id: 1,
+                op: pddl_obs::OpKind::Read,
+                status: 0,
+                offset: 64,
+                len: 8,
+                start_ns: 1_000,
+                queue_ns: 100,
+                array_ns: 900,
+                total_ns: 1_000,
+            },
+            pddl_obs::OpSpan {
+                worker: 3,
+                slow: true,
+                id: 2,
+                op: pddl_obs::OpKind::Write,
+                status: 12,
+                offset: 0,
+                len: 1,
+                start_ns: 2_000,
+                queue_ns: 0,
+                array_ns: 15_000_000,
+                total_ns: 15_000_000,
+            },
+        ];
+        let buf = encode_spans(&spans);
+        assert_eq!(decode_spans(&buf), Some(spans.clone()));
+        assert_eq!(decode_spans(&encode_spans(&[])), Some(vec![]));
+        for cut in 0..buf.len() {
+            assert_eq!(decode_spans(&buf[..cut]), None, "cut={cut}");
+        }
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert_eq!(decode_spans(&padded), None);
+        // Hostile count: u32::MAX records in a short buffer — the
+        // checked size math must reject it without allocating.
+        let mut hostile = TRACE_VERSION.to_be_bytes().to_vec();
+        hostile.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(decode_spans(&hostile), None);
+        // Unknown op index and reserved flag bits are rejected.
+        let mut bad_op = buf.clone();
+        bad_op[6 + 3] = 99;
+        assert_eq!(decode_spans(&bad_op), None);
+        let mut bad_flags = buf.clone();
+        bad_flags[6 + 2] = 0x80;
+        assert_eq!(decode_spans(&bad_flags), None);
     }
 
     #[test]
