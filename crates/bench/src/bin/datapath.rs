@@ -29,20 +29,31 @@
 //! the report shows what always-on observability costs. The
 //! acceptance bar is ≤3% (speedup ≥ 0.97).
 //!
-//! Emits a machine-readable JSON report (default `BENCH_PR6.json` in
+//! The `multi_tenant_skew` scenario gates the QoS scheduler: a victim
+//! tenant's closed-loop read latency while a hot tenant saturates the
+//! admission queue, background traffic streams volume 0, and a
+//! throttled rebuild runs. Baseline is the same stack with enforcement
+//! off (admission degrades to a global FIFO); optimized is the
+//! shipping deficit-round-robin + token-bucket path. The acceptance
+//! bar is speedup ≥ 1.1 — fair queueing must visibly shield the
+//! victim.
+//!
+//! Emits a machine-readable JSON report (default `BENCH_PR7.json` in
 //! the current directory) holding both runs from the same process on
 //! the same machine, seeding the repo's perf trajectory.
 //!
 //! Usage: `datapath [--tiny] [--out PATH]`
 //!   --tiny   CI smoke configuration: small array, few iterations.
-//!   --out    Report path (default: BENCH_PR6.json).
+//!   --out    Report path (default: BENCH_PR7.json).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use pddl_array::DeclusteredArray;
 use pddl_core::Pddl;
 use pddl_server::wire::{self, Status, RESPONSE_HEADER_LEN};
-use pddl_server::{Engine, Op, Request};
+use pddl_server::{Engine, Op, QosQueue, RebuildConfig, Request, VolumeSpec};
 
 /// One measured scenario variant.
 struct Stats {
@@ -136,6 +147,7 @@ struct Config {
     periods: u64,
     read_iters: usize,
     write_iters: usize,
+    skew_iters: usize,
 }
 
 fn build_array(cfg: &Config) -> DeclusteredArray {
@@ -173,6 +185,7 @@ fn read_scenario(name: &'static str, cfg: &Config, failed: &[usize]) -> Scenario
     let req = Request {
         id: 7,
         op: Op::Read,
+        volume: 0,
         offset: 0,
         length: u32::try_from(cap).expect("volume fits one request"),
         payload: Vec::new(),
@@ -276,6 +289,7 @@ fn telemetry_scenarios(cfg: &Config) -> Vec<Scenario> {
     let mut read_off = Request {
         id: 1,
         op: Op::Read,
+        volume: 0,
         offset: 0,
         length: 1,
         payload: Vec::new(),
@@ -307,6 +321,7 @@ fn telemetry_scenarios(cfg: &Config) -> Vec<Scenario> {
     let mut write_off = Request {
         id: 2,
         op: Op::Write,
+        volume: 0,
         offset: 0,
         length: 1,
         payload: pattern(unit, 11),
@@ -347,6 +362,228 @@ fn telemetry_scenarios(cfg: &Config) -> Vec<Scenario> {
     ]
 }
 
+/// One admitted unit of work: a request plus an optional completion
+/// channel carrying the response status byte (victim ops only).
+struct SkewJob {
+    req: Request,
+    done: Option<mpsc::Sender<u8>>,
+}
+
+/// One complete server stack, in-process: an engine with three carved
+/// volumes (background tenant 0 on volume 0, hot tenant 1, victim
+/// tenant 2), a throttled rebuild in flight, a [`QosQueue`] in front of
+/// a worker pool, and producer threads keeping the hot and background
+/// lanes saturated — the server's admission pipeline without the TCP
+/// noise.
+struct SkewStack {
+    engine: Arc<Engine>,
+    queue: Arc<QosQueue<SkewJob>>,
+    victim_vol: u8,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SkewStack {
+    fn build(cfg: &Config, enforced: bool) -> Self {
+        const WORKERS: usize = 2;
+        const HOT_PRODUCERS: usize = 2;
+        const QUEUE_DEPTH: usize = 16;
+
+        let engine = Arc::new(Engine::with_config(
+            build_array(cfg),
+            8,
+            // Slow enough that reconstruction contends all window.
+            RebuildConfig {
+                batch: 1,
+                rate: 40.0,
+            },
+        ));
+        let mkreq = |volume: u8, op: Op, offset: u64, payload: Vec<u8>| Request {
+            id: 0,
+            op,
+            volume,
+            offset,
+            length: 0,
+            payload,
+        };
+        // Carve hot and victim volumes out of volume 0's tail.
+        let cap = engine.volume_info().capacity_units;
+        let slice = (cap / 4).max(1);
+        let r = engine.execute(0, &mkreq(0, Op::VolumeResize, cap - 2 * slice, Vec::new()));
+        assert_eq!(r.status, Status::Ok, "shrink volume 0");
+        let mut hot_spec = VolumeSpec::new("hot", slice);
+        hot_spec.tenant = 1;
+        let r = engine.execute(
+            0,
+            &mkreq(0, Op::VolumeCreate, 0, wire::encode_volume_spec(&hot_spec)),
+        );
+        assert_eq!(r.status, Status::Ok, "create hot volume");
+        let hot_vol = r.payload[0];
+        let mut victim_spec = VolumeSpec::new("victim", slice);
+        victim_spec.tenant = 2;
+        let r = engine.execute(
+            0,
+            &mkreq(
+                0,
+                Op::VolumeCreate,
+                0,
+                wire::encode_volume_spec(&victim_spec),
+            ),
+        );
+        assert_eq!(r.status, Status::Ok, "create victim volume");
+        let victim_vol = r.payload[0];
+
+        // Degrade the array and start the background rebuild; the
+        // rebuild worker charges the low-priority rebuild tenant.
+        let r = engine.execute(0, &mkreq(0, Op::FailDisk, 2, Vec::new()));
+        assert_eq!(r.status, Status::Ok, "fail disk");
+        let r = engine.execute(0, &mkreq(0, Op::Rebuild, 2, Vec::new()));
+        assert!(
+            matches!(r.status, Status::Ok | Status::Accepted),
+            "start rebuild: {:?}",
+            r.status
+        );
+
+        let queue = Arc::new(QosQueue::<SkewJob>::new(
+            Arc::clone(engine.tenants()),
+            QUEUE_DEPTH,
+        ));
+        engine.tenants().set_enforced(enforced);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        for w in 0..WORKERS {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            threads.push(std::thread::spawn(move || {
+                let mut frame = Vec::new();
+                while let Some(job) = queue.pop() {
+                    engine.execute_frame_into(w as u32, &job.req, &mut frame);
+                    if let Some(done) = job.done {
+                        let _ = done.send(frame[12]);
+                    }
+                }
+            }));
+        }
+        // Hot producers: deep half-volume reads, back to back — the
+        // per-tenant depth bound is the only thing slowing them down.
+        for _ in 0..HOT_PRODUCERS {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let req = Request {
+                id: 0,
+                op: Op::Read,
+                volume: hot_vol,
+                offset: 0,
+                length: (slice / 2).max(1) as u32,
+                payload: Vec::new(),
+            };
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let (tenant, bytes) = engine.admission(&req);
+                    let job = SkewJob {
+                        req: req.clone(),
+                        done: None,
+                    };
+                    if queue.push(tenant, bytes, job).is_err() {
+                        return;
+                    }
+                }
+            }));
+        }
+        // Background tenant: single-unit reads walking volume 0.
+        {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let bg_cap = cap - 2 * slice;
+            threads.push(std::thread::spawn(move || {
+                let mut off = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let req = Request {
+                        id: 0,
+                        op: Op::Read,
+                        volume: 0,
+                        offset: off % bg_cap.max(1),
+                        length: 1,
+                        payload: Vec::new(),
+                    };
+                    off = off.wrapping_add(7);
+                    let (tenant, bytes) = engine.admission(&req);
+                    let job = SkewJob { req, done: None };
+                    if queue.push(tenant, bytes, job).is_err() {
+                        return;
+                    }
+                }
+            }));
+        }
+        Self {
+            engine,
+            queue,
+            victim_vol,
+            stop,
+            threads,
+        }
+    }
+
+    /// One closed-loop victim op: enqueue a single-unit read for
+    /// tenant 2 and block until a worker has served it.
+    fn victim_op(&self) {
+        let req = Request {
+            id: 0,
+            op: Op::Read,
+            volume: self.victim_vol,
+            offset: 0,
+            length: 1,
+            payload: Vec::new(),
+        };
+        let (tenant, bytes) = self.engine.admission(&req);
+        let (tx, rx) = mpsc::channel();
+        let job = SkewJob {
+            req,
+            done: Some(tx),
+        };
+        self.queue
+            .push(tenant, bytes, job)
+            .unwrap_or_else(|_| panic!("queue closed mid-measurement"));
+        let status = rx.recv().expect("worker replied");
+        assert_eq!(status, Status::Ok.code(), "victim read failed");
+    }
+
+    fn teardown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.queue.close();
+        for t in self.threads.drain(..) {
+            t.join().unwrap();
+        }
+    }
+}
+
+/// Multi-tenant skew: what the QoS scheduler buys the victim. Two
+/// identical stacks run side by side; the only difference is whether
+/// the tenant registry enforces (deficit round-robin between tenant
+/// lanes + token buckets) or admission degrades to a global FIFO.
+/// Victim ops are sampled interleaved across the stacks so ambient
+/// noise lands on both sides equally; the ledger reads the victim's
+/// closed-loop latency, FIFO as baseline.
+fn multi_tenant_skew_scenario(cfg: &Config) -> Scenario {
+    let fifo = SkewStack::build(cfg, false);
+    let qos = SkewStack::build(cfg, true);
+    let (baseline, optimized) = measure_pair(
+        cfg.skew_iters,
+        cfg.unit_bytes,
+        || fifo.victim_op(),
+        || qos.victim_op(),
+    );
+    fifo.teardown();
+    qos.teardown();
+    Scenario {
+        name: "multi_tenant_skew",
+        baseline,
+        optimized,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tiny = args.iter().any(|a| a == "--tiny");
@@ -355,7 +592,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let cfg = if tiny {
         Config {
             n: 7,
@@ -364,6 +601,7 @@ fn main() {
             periods: 2,
             read_iters: 10,
             write_iters: 20,
+            skew_iters: 12,
         }
     } else {
         // One period of a 13-disk layout at 64 KiB units ≈ 7.3 MiB of
@@ -377,6 +615,7 @@ fn main() {
             periods: 1,
             read_iters: 200,
             write_iters: 2000,
+            skew_iters: 300,
         }
     };
 
@@ -385,9 +624,10 @@ fn main() {
     scenarios.push(read_scenario("degraded_seq_read", &cfg, &[1]));
     scenarios.extend(write_scenarios(&cfg));
     scenarios.extend(telemetry_scenarios(&cfg));
+    scenarios.push(multi_tenant_skew_scenario(&cfg));
 
     let mut body = String::new();
-    body.push_str("{\n  \"bench\": \"datapath\",\n  \"pr\": 6,\n");
+    body.push_str("{\n  \"bench\": \"datapath\",\n  \"pr\": 7,\n");
     body.push_str(&format!(
         "  \"config\": {{\"disks\": {}, \"stripe_width\": {}, \"unit_bytes\": {}, \"periods\": {}, \"tiny\": {}}},\n",
         cfg.n, cfg.k, cfg.unit_bytes, cfg.periods, tiny

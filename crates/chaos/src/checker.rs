@@ -6,11 +6,14 @@
 //!
 //! Per-op oracle:
 //!
-//! - **Read-your-writes per block.** Client regions are disjoint and
-//!   the engine serializes per stripe, so every read must return
-//!   exactly the bytes of the client's own last completed write (or
-//!   zeroes). There is no staleness window to tolerate — including
-//!   during rebuild.
+//! - **Read-your-writes per block, per volume.** Client regions are
+//!   disjoint and the engine serializes per stripe, so every read must
+//!   return exactly the bytes of the client's own last completed write
+//!   (or zeroes). There is no staleness window to tolerate — including
+//!   during rebuild. With `volumes > 1` the model stays *physically*
+//!   indexed: volume extents are deterministic (`[v·vcap, (v+1)·vcap)`),
+//!   so a write leaking across a volume boundary lands on another
+//!   tenant's physical blocks and surfaces as a digest mismatch there.
 //! - **Typed faults.** A write touching a write-armed cell must fail
 //!   `MediaError` with the exact partial application the array's
 //!   update order implies; a read or write needing ≥ 2 unavailable
@@ -464,10 +467,12 @@ fn end_state_checks(
     }
 
     // Final readback: model value per block; unrecoverable blocks must
-    // say so.
-    if run.end.final_reads.len() != capacity as usize {
+    // say so. The readback covers every client-volume block (physical
+    // order); free / scratch space past `used` is unaddressable.
+    let used = cfg.used_capacity(capacity);
+    if run.end.final_reads.len() != used as usize {
         push(format!(
-            "final readback covered {} of {capacity} blocks",
+            "final readback covered {} of {used} blocks",
             run.end.final_reads.len()
         ));
     }

@@ -6,13 +6,16 @@
 //! 1. [`plan::generate`] expands the seed into a [`plan::FaultPlan`] —
 //!    one injectable event per round (disk/spare failures, armed media
 //!    faults, rebuild throttling, client reconnects, hostile wire
-//!    frames), constrained by a lifecycle grammar so every schedule is
-//!    legal by construction.
+//!    frames, scratch-volume churn, cross-tenant QoS retunes),
+//!    constrained by a lifecycle grammar so every schedule is legal by
+//!    construction.
 //! 2. [`nemesis::run`] replays the plan against a real loopback server
 //!    while N client threads issue seeded workloads over disjoint
-//!    block regions, recording per-client histories. Rounds are
-//!    barrier-synchronized: faults toggle only while clients are
-//!    parked, which is what makes concurrent execution reproducible.
+//!    block regions — with `--volumes V` the pool is carved into V
+//!    tenant volumes and client `c` addresses volume `c % V` — and
+//!    records per-client histories. Rounds are barrier-synchronized:
+//!    faults toggle only while clients are parked, which is what makes
+//!    concurrent execution reproducible.
 //! 3. [`checker::check`] validates the histories against a sequential
 //!    block-store model plus end-state invariants (scrub, journal,
 //!    readback, metric counters).
@@ -74,6 +77,8 @@ OPTIONS:
     --seeds N       run seeds 0..N (default 10)
     --ops N         total client ops per seed (default 288)
     --clients N     concurrent client connections (default 3)
+    --volumes N     carve the pool into N tenant volumes, 1..=8
+                    (default 1; the sweep mixes in 3-volume seeds)
     --rounds N      fault-plan rounds per seed (default 12)
     --disks N       array size (default 7)
     --width N       stripe width, data+check (default 3)
@@ -112,6 +117,7 @@ pub fn run_cli(args: &[String]) -> i32 {
             "--seeds" => seeds = val!("--seeds"),
             "--ops" => total_ops = val!("--ops"),
             "--clients" => cfg.clients = val!("--clients"),
+            "--volumes" => cfg.volumes = val!("--volumes"),
             "--rounds" => cfg.rounds = val!("--rounds"),
             "--disks" => cfg.disks = val!("--disks"),
             "--width" => cfg.width = val!("--width"),
@@ -130,6 +136,10 @@ pub fn run_cli(args: &[String]) -> i32 {
     }
     if cfg.clients == 0 || cfg.rounds == 0 {
         eprintln!("pddl-chaos: --clients and --rounds must be nonzero");
+        return 2;
+    }
+    if cfg.volumes == 0 || cfg.volumes > 8 {
+        eprintln!("pddl-chaos: --volumes must be 1..=8");
         return 2;
     }
     cfg.ops_per_round = (total_ops / (cfg.rounds * cfg.clients)).max(1);
@@ -180,25 +190,33 @@ fn run_one(cfg: &ChaosConfig, seed: u64) -> i32 {
     1
 }
 
-/// Sweep mode: seeds `0..n`, stopping at the first failure.
+/// Sweep mode: seeds `0..n`, stopping at the first failure. When the
+/// caller left `--volumes` at its default, every fourth seed runs
+/// multi-volume (3 tenants) so the CI sweep always exercises the
+/// volume manager under faults.
 fn run_many(cfg: &ChaosConfig, n: u64) -> i32 {
     println!("pddl-chaos: seeds 0..{n} ({})", describe(cfg));
     for seed in 0..n {
-        match run_seed(cfg, seed, true) {
+        let mut scfg = cfg.clone();
+        if scfg.volumes == 1 && seed % 4 == 3 {
+            scfg.volumes = 3;
+        }
+        match run_seed(&scfg, seed, true) {
             Ok(r) if r.violations.is_empty() => {
                 println!(
-                    "seed {seed:>4}: ok  {:>2} events  digest {:016x}",
+                    "seed {seed:>4}: ok  {:>2} events  {} volume(s)  digest {:016x}",
                     r.plan.events.len(),
+                    scfg.volumes,
                     r.digest
                 );
             }
             Ok(r) => {
-                report_failure(cfg, &r);
+                report_failure(&scfg, &r);
                 return 1;
             }
             Err(e) => {
                 eprintln!("seed {seed}: harness error: {e}");
-                eprintln!("reproduce with: {}", repro(cfg, seed));
+                eprintln!("reproduce with: {}", repro(&scfg, seed));
                 return 1;
             }
         }
@@ -239,12 +257,13 @@ fn report_failure(cfg: &ChaosConfig, r: &SeedReport) {
 
 fn describe(cfg: &ChaosConfig) -> String {
     format!(
-        "{} disks, width {}, {} clients x {} rounds x {} ops{}",
+        "{} disks, width {}, {} clients x {} rounds x {} ops, {} volume(s){}",
         cfg.disks,
         cfg.width,
         cfg.clients,
         cfg.rounds,
         cfg.ops_per_round,
+        cfg.volumes,
         if cfg.sabotage { ", SABOTAGE" } else { "" }
     )
 }
@@ -253,7 +272,7 @@ fn describe(cfg: &ChaosConfig) -> String {
 fn repro(cfg: &ChaosConfig, seed: u64) -> String {
     format!(
         "pddl-chaos --seed {seed} --ops {} --clients {} --rounds {} \
-         --disks {} --width {} --unit {} --periods {}{}",
+         --disks {} --width {} --unit {} --periods {} --volumes {}{}",
         cfg.rounds * cfg.clients * cfg.ops_per_round,
         cfg.clients,
         cfg.rounds,
@@ -261,6 +280,7 @@ fn repro(cfg: &ChaosConfig, seed: u64) -> String {
         cfg.width,
         cfg.unit_bytes,
         cfg.periods,
+        cfg.volumes,
         if cfg.sabotage { " --sabotage" } else { "" }
     )
 }

@@ -20,7 +20,7 @@ use pddl_obs::{ObsConfig, Observer};
 use pddl_server::engine::{Engine, RebuildConfig};
 use pddl_server::server::{serve, ServerConfig};
 use pddl_server::wire::{self, Op, RebuildState, Status, REQUEST_MAGIC};
-use pddl_server::Client;
+use pddl_server::{Client, TenantLimits, VolumeSpec};
 
 use crate::plan::{
     block_token, client_round_ops, fnv64, token_bytes, ChaosConfig, Digest, FaultEvent, FaultPlan,
@@ -216,6 +216,7 @@ pub fn run(cfg: &ChaosConfig, plan: &FaultPlan) -> Result<RunResult, String> {
 
     let mut infra = Vec::new();
     let mut hostile = Vec::new();
+    let vcap = cfg.volume_capacity(capacity);
     let mut mgmt = match Client::connect(addr) {
         Ok(c) => Some(c),
         Err(e) => {
@@ -224,6 +225,16 @@ pub fn run(cfg: &ChaosConfig, plan: &FaultPlan) -> Result<RunResult, String> {
             None
         }
     };
+    // Carve the pool before any client I/O (workers are parked at the
+    // start barrier): shrink volume 0 to its share, then create one
+    // volume per additional tenant. Volume v owns [v·vcap, (v+1)·vcap)
+    // by first-fit; the final share stays free for the scratch volume.
+    if let Some(m) = mgmt.as_mut() {
+        if let Err(e) = carve_volumes(m, cfg, vcap) {
+            infra.push(e);
+            abort.store(true, Ordering::Release);
+        }
+    }
 
     for (round, event) in plan.events.iter().enumerate() {
         // Clients are parked at the start barrier: fault application is
@@ -236,18 +247,19 @@ pub fn run(cfg: &ChaosConfig, plan: &FaultPlan) -> Result<RunResult, String> {
                 &engine,
                 &faults,
                 addr,
+                cfg.volumes as u8,
                 &mut hostile,
                 &mut infra,
             );
             if cfg.sabotage && round == rounds / 2 {
                 // Testing the tester: an unmodeled mutation of the last
-                // block. When capacity doesn't divide evenly by client
-                // count that block belongs to no client region, so no
-                // legitimate write can mask the corruption — the
-                // checker must flag the final readback.
-                let block = capacity - 1;
+                // client-volume block. Region carving always leaves that
+                // block outside every client region, so no legitimate
+                // write can mask the corruption — the checker must flag
+                // the final readback.
+                let last_vol = (cfg.volumes - 1) as u8;
                 let garbage = token_bytes(0xbad0_5eed, cfg.unit_bytes);
-                if let Err(e) = m.request(Op::Write, block, 1, garbage) {
+                if let Err(e) = m.request_on(last_vol, Op::Write, vcap - 1, 1, garbage) {
                     infra.push(format!("sabotage write failed: {e}"));
                 }
             }
@@ -274,7 +286,7 @@ pub fn run(cfg: &ChaosConfig, plan: &FaultPlan) -> Result<RunResult, String> {
     }
 
     let end = end_state(
-        &plan, &engine, &faults, addr, capacity, &observer, &mut infra,
+        &plan, cfg, &engine, &faults, addr, capacity, &observer, &mut infra,
     );
     handle.shutdown();
 
@@ -286,6 +298,24 @@ pub fn run(cfg: &ChaosConfig, plan: &FaultPlan) -> Result<RunResult, String> {
     })
 }
 
+/// Pre-run pool carving: volume 0 shrinks to `vcap`, volumes
+/// `1..volumes` are created at `vcap` each with tenant id = volume id.
+fn carve_volumes(mgmt: &mut Client, cfg: &ChaosConfig, vcap: u64) -> Result<(), String> {
+    mgmt.volume_resize(0, vcap)
+        .map_err(|e| format!("setup: resize of volume 0 failed: {e}"))?;
+    for v in 1..cfg.volumes {
+        let mut spec = VolumeSpec::new(&format!("vol{v}"), vcap);
+        spec.tenant = v as u32;
+        let id = mgmt
+            .volume_create(&spec)
+            .map_err(|e| format!("setup: create of volume {v} failed: {e}"))?;
+        if id != v as u8 {
+            return Err(format!("setup: volume {v} carved as id {id}"));
+        }
+    }
+    Ok(())
+}
+
 #[allow(clippy::too_many_arguments)]
 fn apply_event(
     event: FaultEvent,
@@ -294,6 +324,7 @@ fn apply_event(
     engine: &Arc<Engine>,
     faults: &Arc<CellFaults>,
     addr: SocketAddr,
+    scratch_id: u8,
     hostile: &mut Vec<HostileOutcome>,
     infra: &mut Vec<String>,
 ) {
@@ -350,6 +381,47 @@ fn apply_event(
                 detail: outcome.err().unwrap_or_default(),
             });
         }
+        FaultEvent::VolumeCreate { units } => {
+            // The scratch volume always re-materializes under the first
+            // free id (client volumes never churn), a distinct tenant.
+            let mut spec = VolumeSpec::new("scratch", units);
+            spec.tenant = 1000;
+            match mgmt.volume_create(&spec) {
+                Ok(id) if id == scratch_id => {}
+                Ok(id) => infra.push(format!(
+                    "round {round}: scratch volume carved as id {id}, expected {scratch_id}"
+                )),
+                Err(e) => infra.push(format!("round {round}: volume-create rejected: {e}")),
+            }
+        }
+        FaultEvent::VolumeDelete => {
+            if let Err(e) = mgmt.volume_delete(scratch_id) {
+                infra.push(format!("round {round}: volume-delete rejected: {e}"));
+            }
+        }
+        FaultEvent::VolumeResize { units } => {
+            if let Err(e) = mgmt.volume_resize(scratch_id, units) {
+                infra.push(format!("round {round}: volume-resize rejected: {e}"));
+            }
+        }
+        FaultEvent::QosRetune {
+            tenant,
+            ops_per_sec,
+        } => {
+            // Cross-tenant interference knob; timing-only, so it needs
+            // no wire op and no checker model.
+            if !engine.tenants().set_limits(
+                tenant,
+                TenantLimits {
+                    ops_per_sec,
+                    ..TenantLimits::default()
+                },
+            ) {
+                infra.push(format!(
+                    "round {round}: qos-retune of unknown tenant {tenant}"
+                ));
+            }
+        }
     }
 }
 
@@ -387,8 +459,11 @@ fn hostile_frame(addr: SocketAddr, kind: HostileKind) -> Result<(), String> {
             expect_bad_request_then_eof(&mut s)
         }
         HostileKind::NonZeroFlags => {
+            // STATS is volume-agnostic, so its flags byte is reserved
+            // and must be zero. (On volume-scoped ops the flags byte
+            // *is* the volume id — that path is `BadVolume` below.)
             let mut s = raw_conn(addr)?;
-            s.write_all(&raw_header(8, Op::Read.code(), 0x5a, 0, 1, 0))
+            s.write_all(&raw_header(8, Op::Stats.code(), 0x5a, 0, 0, 0))
                 .map_err(|e| e.to_string())?;
             expect_bad_request_then_eof(&mut s)
         }
@@ -426,6 +501,37 @@ fn hostile_frame(addr: SocketAddr, kind: HostileKind) -> Result<(), String> {
             match probe.info() {
                 Ok(_) => Ok(()),
                 Err(e) => fail(format!("server unhealthy after abort: {e}")),
+            }
+        }
+        HostileKind::BadVolume => {
+            // A semantic error, not a framing error: the server must
+            // answer VolumeNotFound with the request's own id and keep
+            // the connection usable.
+            let mut s = raw_conn(addr)?;
+            s.write_all(&raw_header(12, Op::Read.code(), 0xee, 0, 1, 0))
+                .map_err(|e| e.to_string())?;
+            match wire::read_response(&mut s) {
+                Ok(Some(resp)) => {
+                    if resp.id != 12 || resp.status != Status::VolumeNotFound {
+                        return fail(format!(
+                            "expected VolumeNotFound id 12, got {:?} id {}",
+                            resp.status, resp.id
+                        ));
+                    }
+                }
+                Ok(None) => return fail("connection closed instead of VolumeNotFound".into()),
+                Err(e) => return fail(format!("no readable response: {e}")),
+            }
+            s.write_all(&raw_header(13, Op::Info.code(), 0, 0, 0, 0))
+                .map_err(|e| e.to_string())?;
+            match wire::read_response(&mut s) {
+                Ok(Some(resp)) if resp.id == 13 && resp.status == Status::Ok => Ok(()),
+                Ok(Some(resp)) => fail(format!(
+                    "probe after bad-volume got {:?} id {}",
+                    resp.status, resp.id
+                )),
+                Ok(None) => fail("connection closed after bad-volume".into()),
+                Err(e) => fail(format!("probe after bad-volume failed: {e}")),
             }
         }
     }
@@ -490,6 +596,10 @@ fn client_worker(
 ) -> (Vec<OpRecord>, Vec<String>) {
     let mut records = Vec::new();
     let mut errors = Vec::new();
+    // This client's volume and the physical base of its extent: plan
+    // offsets are physical, the wire wants volume-local addresses.
+    let vol = cfg.client_volume(client_id) as u8;
+    let base = u64::from(vol) * cfg.volume_capacity(capacity);
     let mut conn = match Client::connect(addr) {
         Ok(c) => Some(c),
         Err(e) => {
@@ -497,6 +607,9 @@ fn client_worker(
             None
         }
     };
+    if let Some(c) = conn.as_mut() {
+        c.set_volume(vol);
+    }
     for (round, event) in plan.events.iter().enumerate() {
         start_barrier.wait();
         if abort.load(Ordering::Acquire) {
@@ -512,7 +625,10 @@ fn client_worker(
                 let _ = s.write_all(&partial[..17]);
             }
             conn = match Client::connect(addr) {
-                Ok(c) => Some(c),
+                Ok(mut c) => {
+                    c.set_volume(vol);
+                    Some(c)
+                }
                 Err(e) => {
                     errors.push(format!("round {round}: reconnect failed: {e}"));
                     None
@@ -531,7 +647,7 @@ fn client_worker(
                 } else {
                     (Op::Read, Vec::new())
                 };
-                match c.request(op_code, op.offset, op.units, payload) {
+                match c.request(op_code, op.offset - base, op.units, payload) {
                     Ok((status, resp)) => records.push(OpRecord {
                         round: round as u32,
                         write: op.write,
@@ -557,8 +673,10 @@ fn client_worker(
 }
 
 /// Collect end-state evidence after the last round.
+#[allow(clippy::too_many_arguments)]
 fn end_state(
     plan: &FaultPlan,
+    cfg: &ChaosConfig,
     engine: &Arc<Engine>,
     faults: &Arc<CellFaults>,
     addr: SocketAddr,
@@ -608,12 +726,17 @@ fn end_state(
     };
 
     // Final readback over the wire, one block at a time, so unreadable
-    // blocks surface individually.
-    let mut final_reads = Vec::with_capacity(capacity as usize);
+    // blocks surface individually. Physical block b lives in volume
+    // b / vcap at local offset b % vcap; blocks past the client volumes
+    // (free space / scratch) are not addressable and not read.
+    let vcap = cfg.volume_capacity(capacity);
+    let used = cfg.used_capacity(capacity);
+    let mut final_reads = Vec::with_capacity(used as usize);
     match Client::connect(addr) {
         Ok(mut c) => {
-            for block in 0..capacity {
-                match c.request(Op::Read, block, 1, Vec::new()) {
+            for block in 0..used {
+                let v = (block / vcap) as u8;
+                match c.request_on(v, Op::Read, block % vcap, 1, Vec::new()) {
                     Ok((status, payload)) => final_reads.push((status.code(), fnv64(&payload))),
                     Err(e) => {
                         infra.push(format!("end: readback of block {block} failed: {e}"));

@@ -28,6 +28,14 @@
 //! torn parity repaired) by a `DisarmFaults` before the plan may leave
 //! Healthy; media errors therefore never combine with disk failures,
 //! which keeps every fault's effect independently checkable.
+//!
+//! With `volumes > 1` the pool is carved into per-tenant volumes:
+//! volume `v` owns physical units `[v·vcap, (v+1)·vcap)` (deterministic
+//! first-fit on the fresh pool), client `c` addresses volume
+//! `c % volumes`, and one extra vcap of free tail hosts a *scratch*
+//! volume that `VolumeCreate`/`VolumeDelete`/`VolumeResize` events
+//! churn mid-run. Regions, the model, and the checker all stay
+//! physically indexed — only the wire addressing is volume-local.
 
 use std::fmt;
 
@@ -48,6 +56,9 @@ pub struct ChaosConfig {
     pub periods: u64,
     /// Concurrent client connections, each owning a disjoint region.
     pub clients: usize,
+    /// Logical volumes the pool is carved into (client `c` addresses
+    /// volume `c % volumes`); 1 = the pre-volume single-tenant shape.
+    pub volumes: usize,
     /// Rounds (= fault-plan events) per run.
     pub rounds: usize,
     /// Ops each client issues per round.
@@ -65,6 +76,7 @@ impl Default for ChaosConfig {
             unit_bytes: 32,
             periods: 3,
             clients: 3,
+            volumes: 1,
             rounds: 12,
             ops_per_round: 8,
             sabotage: false,
@@ -87,12 +99,40 @@ impl ChaosConfig {
         self.periods * layout.data_units_per_period()
     }
 
-    /// The contiguous block region `[start, start + len)` owned by
-    /// `client`. Regions are disjoint; the remainder past the last
-    /// region is never written and must read back as zeroes.
+    /// Per-volume capacity. One extra share of the pool stays free so
+    /// the scratch volume (created and destroyed by fault events) always
+    /// has room without disturbing the client volumes' extents.
+    pub fn volume_capacity(&self, capacity: u64) -> u64 {
+        capacity / (self.volumes as u64 + 1)
+    }
+
+    /// Physical units covered by the client volumes: volume `v` owns
+    /// `[v·vcap, (v+1)·vcap)` by deterministic first-fit carving on the
+    /// fresh pool. Blocks past this are free space (or scratch).
+    pub fn used_capacity(&self, capacity: u64) -> u64 {
+        self.volumes as u64 * self.volume_capacity(capacity)
+    }
+
+    /// The volume client `client` addresses.
+    pub fn client_volume(&self, client: usize) -> usize {
+        client % self.volumes.max(1)
+    }
+
+    /// The contiguous *physical* block region `[start, start + len)`
+    /// owned by `client`, entirely inside its volume's extent. Clients
+    /// sharing a volume split the volume evenly; regions are disjoint
+    /// across all clients, and the remainder of each volume — always at
+    /// least its last block, which is the sabotage target — is never
+    /// written so it must read back as zeroes.
     pub fn region(&self, client: usize, capacity: u64) -> (u64, u64) {
-        let len = capacity / self.clients as u64;
-        (client as u64 * len, len)
+        let volumes = self.volumes.max(1);
+        let vcap = self.volume_capacity(capacity);
+        let v = client % volumes;
+        // Round-robin assignment: peers of volume v are v, v+volumes, …
+        let peers = (self.clients / volumes + usize::from(v < self.clients % volumes)).max(1);
+        let rank = (client / volumes) as u64;
+        let len = vcap.saturating_sub(1) / peers as u64;
+        (v as u64 * vcap + rank * len, len)
     }
 }
 
@@ -117,6 +157,11 @@ pub enum HostileKind {
     TruncatedHeader,
     /// Connection dropped (no shutdown handshake) mid-payload.
     AbortMidFrame,
+    /// A well-formed READ addressing a volume id that does not exist.
+    /// Unlike the frame-level hostilities this is a *semantic* error:
+    /// the server answers `VolumeNotFound` and keeps the connection
+    /// open.
+    BadVolume,
 }
 
 impl fmt::Display for HostileKind {
@@ -128,6 +173,7 @@ impl fmt::Display for HostileKind {
             HostileKind::OversizedPayload => write!(f, "oversized-payload"),
             HostileKind::TruncatedHeader => write!(f, "truncated-header"),
             HostileKind::AbortMidFrame => write!(f, "abort-mid-frame"),
+            HostileKind::BadVolume => write!(f, "bad-volume"),
         }
     }
 }
@@ -199,6 +245,30 @@ pub enum FaultEvent {
         /// What kind of hostility.
         kind: HostileKind,
     },
+    /// Carve the scratch volume out of the pool's free tail. The
+    /// scratch volume churns the extent allocator and capacity
+    /// accounting mid-run without touching any client volume's extents.
+    VolumeCreate {
+        /// Capacity of the scratch volume in stripe units.
+        units: u64,
+    },
+    /// Delete the scratch volume, returning its extents to the pool.
+    VolumeDelete,
+    /// Resize the scratch volume in place.
+    VolumeResize {
+        /// New capacity in stripe units.
+        units: u64,
+    },
+    /// Cross-tenant interference: retune a live client tenant's QoS
+    /// ops budget mid-run. Affects admission *timing* only, never
+    /// results, so the recorded histories stay deterministic.
+    QosRetune {
+        /// The tenant whose limits change (a client volume's tenant).
+        tenant: u32,
+        /// New ops/s budget (0 = unlimited). Kept generous so the
+        /// harness never stalls into its timeouts.
+        ops_per_sec: u64,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -232,6 +302,19 @@ impl fmt::Display for FaultEvent {
             }
             FaultEvent::Reconnect { client } => write!(f, "reconnect client {client}"),
             FaultEvent::Hostile { kind } => write!(f, "hostile {kind}"),
+            FaultEvent::VolumeCreate { units } => write!(f, "volume-create scratch ({units}u)"),
+            FaultEvent::VolumeDelete => write!(f, "volume-delete scratch"),
+            FaultEvent::VolumeResize { units } => write!(f, "volume-resize scratch -> {units}u"),
+            FaultEvent::QosRetune {
+                tenant,
+                ops_per_sec,
+            } => {
+                if *ops_per_sec == 0 {
+                    write!(f, "qos-retune tenant {tenant} -> unlimited")
+                } else {
+                    write!(f, "qos-retune tenant {tenant} -> {ops_per_sec} ops/s")
+                }
+            }
         }
     }
 }
@@ -311,7 +394,11 @@ impl FaultPlan {
                 FaultEvent::Noop
                 | FaultEvent::Throttle { .. }
                 | FaultEvent::Reconnect { .. }
-                | FaultEvent::Hostile { .. } => {}
+                | FaultEvent::Hostile { .. }
+                | FaultEvent::VolumeCreate { .. }
+                | FaultEvent::VolumeDelete
+                | FaultEvent::VolumeResize { .. }
+                | FaultEvent::QosRetune { .. } => {}
             }
             out.push(RoundCtx {
                 phase,
@@ -339,20 +426,31 @@ impl FaultPlan {
 pub fn generate(seed: u64, cfg: &ChaosConfig) -> Result<FaultPlan, String> {
     let layout = cfg.layout()?;
     let capacity = cfg.capacity(&layout);
-    if capacity / cfg.clients as u64 == 0 {
-        return Err(format!(
-            "capacity {capacity} too small for {} clients",
-            cfg.clients
-        ));
+    if cfg.volumes == 0 || cfg.volumes > 8 {
+        return Err(format!("volumes must be 1..=8, got {}", cfg.volumes));
     }
+    for client in 0..cfg.clients {
+        if cfg.region(client, capacity).1 == 0 {
+            return Err(format!(
+                "capacity {capacity} too small for {} clients over {} volumes",
+                cfg.clients, cfg.volumes
+            ));
+        }
+    }
+    let vcap = cfg.volume_capacity(capacity);
     let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5044_444c_4348_414f);
     let mut phase = Phase::Healthy;
     let mut armed: Vec<ArmedCell> = Vec::new();
+    // Does the scratch volume currently exist? (Its own little grammar:
+    // create only when absent, delete/resize only when present.)
+    let mut scratch = false;
     let mut events = Vec::with_capacity(cfg.rounds);
     for _ in 0..cfg.rounds {
         // Weighted candidate menu for the current phase; the grammar
-        // lives in which candidates are present.
-        let menu: Vec<(&str, usize)> = match phase {
+        // lives in which candidates are present. Volume and QoS churn
+        // is phase-independent: the volume manager must stay correct
+        // while the array underneath degrades and rebuilds.
+        let mut menu: Vec<(&str, usize)> = match phase {
             Phase::Healthy => {
                 let mut m = vec![
                     ("noop", 2),
@@ -389,6 +487,13 @@ pub fn generate(seed: u64, cfg: &ChaosConfig) -> Result<FaultPlan, String> {
             ],
             Phase::Terminal { .. } => vec![("noop", 2), ("hostile", 2), ("reconnect", 1)],
         };
+        if scratch {
+            menu.push(("voldelete", 1));
+            menu.push(("volresize", 1));
+        } else {
+            menu.push(("volcreate", 1));
+        }
+        menu.push(("qos", 1));
         let total: usize = menu.iter().map(|(_, w)| w).sum();
         let mut pick = rng.below(total);
         let mut choice = menu[0].0;
@@ -402,7 +507,7 @@ pub fn generate(seed: u64, cfg: &ChaosConfig) -> Result<FaultPlan, String> {
         let event = match choice {
             "noop" => FaultEvent::Noop,
             "hostile" => FaultEvent::Hostile {
-                kind: match rng.below(6) {
+                kind: match rng.below(7) {
                     0 => HostileKind::BadMagic {
                         bit: rng.below(32) as u8,
                     },
@@ -410,7 +515,8 @@ pub fn generate(seed: u64, cfg: &ChaosConfig) -> Result<FaultPlan, String> {
                     2 => HostileKind::NonZeroFlags,
                     3 => HostileKind::OversizedPayload,
                     4 => HostileKind::TruncatedHeader,
-                    _ => HostileKind::AbortMidFrame,
+                    5 => HostileKind::AbortMidFrame,
+                    _ => HostileKind::BadVolume,
                 },
             },
             "reconnect" => FaultEvent::Reconnect {
@@ -494,6 +600,32 @@ pub fn generate(seed: u64, cfg: &ChaosConfig) -> Result<FaultPlan, String> {
                 phase = Phase::Terminal { d1, d2 };
                 FaultEvent::SpareFail { disk: d2 }
             }
+            "volcreate" => {
+                scratch = true;
+                // The free tail of the pool is at least vcap units, so
+                // any size up to vcap always fits.
+                FaultEvent::VolumeCreate {
+                    units: 1 + rng.below_u64(vcap.max(1)),
+                }
+            }
+            "voldelete" => {
+                scratch = false;
+                FaultEvent::VolumeDelete
+            }
+            "volresize" => FaultEvent::VolumeResize {
+                units: 1 + rng.below_u64(vcap.max(1)),
+            },
+            "qos" => FaultEvent::QosRetune {
+                tenant: rng.below(cfg.volumes) as u32,
+                // Either back to unlimited or a band generous enough
+                // (≥ 1000 ops/s) that rounds and readback never stall
+                // into the harness timeouts.
+                ops_per_sec: if rng.chance(0.25) {
+                    0
+                } else {
+                    rng.range_u64(1_000, 5_000)
+                },
+            },
             _ => unreachable!("unknown candidate"),
         };
         events.push(event);
@@ -713,6 +845,11 @@ mod tests {
         let mut throttle = 0;
         let mut reconnect = 0;
         let mut hostile = 0;
+        let mut bad_volume = 0;
+        let mut vol_create = 0;
+        let mut vol_delete = 0;
+        let mut vol_resize = 0;
+        let mut qos = 0;
         for seed in 0..40 {
             for e in generate(seed, &cfg).unwrap().events {
                 match e {
@@ -725,7 +862,14 @@ mod tests {
                     FaultEvent::DisarmFaults => disarm += 1,
                     FaultEvent::Throttle { .. } => throttle += 1,
                     FaultEvent::Reconnect { .. } => reconnect += 1,
+                    FaultEvent::Hostile {
+                        kind: HostileKind::BadVolume,
+                    } => bad_volume += 1,
                     FaultEvent::Hostile { .. } => hostile += 1,
+                    FaultEvent::VolumeCreate { .. } => vol_create += 1,
+                    FaultEvent::VolumeDelete => vol_delete += 1,
+                    FaultEvent::VolumeResize { .. } => vol_resize += 1,
+                    FaultEvent::QosRetune { .. } => qos += 1,
                     FaultEvent::Noop => {}
                 }
             }
@@ -741,8 +885,53 @@ mod tests {
             ("throttle", throttle),
             ("reconnect", reconnect),
             ("hostile", hostile),
+            ("hostile bad-volume", bad_volume),
+            ("volume-create", vol_create),
+            ("volume-delete", vol_delete),
+            ("volume-resize", vol_resize),
+            ("qos-retune", qos),
         ] {
             assert!(n > 0, "40-seed sweep never generated a {name} event");
+        }
+    }
+
+    /// Multi-volume carving: every client region sits inside its
+    /// volume's physical extent, regions are pairwise disjoint, and
+    /// the scratch share past `used_capacity` stays untouched.
+    #[test]
+    fn multi_volume_regions_are_disjoint_and_inside_their_volume() {
+        for (clients, volumes) in [(3, 3), (4, 2), (5, 3), (6, 3), (3, 1)] {
+            let cfg = ChaosConfig {
+                clients,
+                volumes,
+                ..ChaosConfig::default()
+            };
+            let layout = cfg.layout().unwrap();
+            let capacity = cfg.capacity(&layout);
+            let vcap = cfg.volume_capacity(capacity);
+            let regions: Vec<(u64, u64)> = (0..clients).map(|c| cfg.region(c, capacity)).collect();
+            for (c, &(start, len)) in regions.iter().enumerate() {
+                assert!(len >= 1, "clients={clients} volumes={volumes} client {c}");
+                let v = cfg.client_volume(c) as u64;
+                assert!(start >= v * vcap, "region below its volume");
+                assert!(
+                    start + len <= (v + 1) * vcap,
+                    "region spills out of volume {v}"
+                );
+                assert!(start + len <= cfg.used_capacity(capacity));
+                for (o, &(ostart, olen)) in regions.iter().enumerate() {
+                    if o != c {
+                        assert!(
+                            start + len <= ostart || ostart + olen <= start,
+                            "clients {c} and {o} overlap"
+                        );
+                    }
+                }
+            }
+            // Plans and workloads stay reproducible in this shape too.
+            let a = generate(7, &cfg).unwrap();
+            let b = generate(7, &cfg).unwrap();
+            assert_eq!(a.events, b.events);
         }
     }
 }

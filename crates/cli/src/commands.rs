@@ -15,7 +15,7 @@ use pddl_obs::{MetricsSnapshot, ObsConfig, ObsSink, Observer, SyncAdapter, SyncS
 use pddl_server::engine::{Engine, RebuildConfig};
 use pddl_server::metrics_http::serve_metrics;
 use pddl_server::server::{serve, ServerConfig};
-use pddl_server::BenchConfig;
+use pddl_server::{BenchConfig, VolumeSpec};
 use pddl_sim::trace::{format_trace, parse_trace, synthesize_poisson};
 use pddl_sim::{ArraySim, SimConfig};
 
@@ -57,20 +57,31 @@ USAGE:
   pddl stats     --addr HOST:PORT
                    one telemetry snapshot from a served volume
                    (counters, gauges, latency histograms)
+  pddl volume    ACTION --addr HOST:PORT
+                   volume management against a served pool:
+                     list                       pool state + volume table
+                     create --name N --units U [--tenant T] [--weight W]
+                            [--ops-per-sec X] [--bytes-per-sec Y]
+                     delete --id I
+                     resize --id I --units U
   pddl top       --addr HOST:PORT [--interval-ms M] [--iters N]
+                 [--volume V]
                    live per-op rates and latency percentiles, polled
-                   from STATS every M ms (N = 0 runs until killed)
+                   from STATS every M ms (N = 0 runs until killed);
+                   --volume V narrows the per-volume rows to volume V
   pddl trace-dump --addr HOST:PORT [--out FILE]
                    dump the server's flight recorder (recent + slow op
                    spans) as chrome://tracing JSON to FILE or stdout
   pddl remote-bench --addr HOST:PORT | --self-serve [--threads T]
                  [--ops N] [--read-frac F] [--max-units U] [--seed S]
-                 [--metrics FILE] [--fail-disk D]
+                 [--metrics FILE] [--fail-disk D] [--volume V]
                    closed-loop load generator: throughput and latency
                    percentiles against a served volume; --fail-disk
-                   fails disk D mid-run and rebuilds it under load
+                   fails disk D mid-run and rebuilds it under load;
+                   --volume V drives the generator at volume V
   pddl chaos     [--seed N | --seeds N] [--ops N] [--clients C]
-                 [--rounds R] [--disks N --width K] [--sabotage]
+                 [--volumes V] [--rounds R] [--disks N --width K]
+                 [--sabotage]
                    deterministic fault-injection harness: seeded fault
                    schedules against a loopback server, histories
                    checked against a sequential model; failing seeds
@@ -731,6 +742,117 @@ pub fn trace_dump(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Render a QoS budget: 0 means unlimited on the wire.
+fn fmt_limit(v: u64) -> String {
+    if v == 0 {
+        "-".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+const ARRAY_MODE_NAMES: [&str; 3] = ["fault-free", "degraded", "post-recon"];
+
+/// `pddl volume` — volume lifecycle management against a served pool.
+pub fn volume(cli: &Cli) -> Result<(), String> {
+    let action = cli
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("usage: pddl volume <list|create|delete|resize> --addr HOST:PORT …")?;
+    let mut c = telemetry_client(cli)?;
+    match action {
+        "list" => {
+            let pool = c.pool_info().map_err(|e| e.to_string())?;
+            println!(
+                "pool: {} volume(s), unit {} B, {} array(s)",
+                pool.volumes,
+                pool.unit_bytes,
+                pool.arrays.len()
+            );
+            for (i, a) in pool.arrays.iter().enumerate() {
+                println!(
+                    "  array {i}: {} disks, {}/{} units free, {}{}",
+                    a.disks,
+                    a.free_units,
+                    a.capacity_units,
+                    ARRAY_MODE_NAMES
+                        .get(a.mode as usize)
+                        .copied()
+                        .unwrap_or("?"),
+                    if a.failed.is_empty() {
+                        String::new()
+                    } else {
+                        format!(", failed disks {:?}", a.failed)
+                    }
+                );
+            }
+            println!(
+                "{:<4} {:<16} {:>12} {:>8} {:>7} {:>10} {:>12}",
+                "id", "name", "units", "tenant", "weight", "ops/s", "bytes/s"
+            );
+            for v in c.volume_list().map_err(|e| e.to_string())? {
+                println!(
+                    "{:<4} {:<16} {:>12} {:>8} {:>7} {:>10} {:>12}",
+                    v.id,
+                    v.name,
+                    v.capacity_units,
+                    v.tenant,
+                    v.weight,
+                    fmt_limit(v.ops_per_sec),
+                    fmt_limit(v.bytes_per_sec),
+                );
+            }
+            Ok(())
+        }
+        "create" => {
+            let name = cli.get("name").ok_or("--name is required")?;
+            let units: u64 = cli.num("units", 0)?;
+            if units == 0 {
+                return Err("--units must be a positive unit count".into());
+            }
+            let mut spec = VolumeSpec::new(name, units);
+            spec.tenant = cli.num("tenant", 0)?;
+            spec.weight = cli.num("weight", 1)?;
+            spec.ops_per_sec = cli.num("ops-per-sec", 0)?;
+            spec.bytes_per_sec = cli.num("bytes-per-sec", 0)?;
+            let id = c.volume_create(&spec).map_err(|e| e.to_string())?;
+            println!(
+                "created volume {id}: {name}, {units} units, tenant {}",
+                spec.tenant
+            );
+            Ok(())
+        }
+        "delete" => {
+            let id: u8 = cli
+                .get("id")
+                .ok_or("--id is required")?
+                .parse()
+                .map_err(|_| "--id: not a volume id".to_string())?;
+            c.volume_delete(id).map_err(|e| e.to_string())?;
+            println!("deleted volume {id}");
+            Ok(())
+        }
+        "resize" => {
+            let id: u8 = cli
+                .get("id")
+                .ok_or("--id is required")?
+                .parse()
+                .map_err(|_| "--id: not a volume id".to_string())?;
+            let units: u64 = cli.num("units", 0)?;
+            if units == 0 {
+                return Err("--units must be a positive unit count".into());
+            }
+            c.volume_resize(id, units).map_err(|e| e.to_string())?;
+            println!("resized volume {id} to {units} units");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown volume action {other:?} (expected list, create, delete, or resize)"
+        )),
+    }
+}
+
 const REBUILD_STATE_NAMES: [&str; 5] = ["none", "running", "done", "failed", "paused"];
 
 /// `pddl top` — live per-op rates and latency percentiles polled from
@@ -740,6 +862,14 @@ const REBUILD_STATE_NAMES: [&str; 5] = ["none", "running", "done", "failed", "pa
 pub fn top(cli: &Cli) -> Result<(), String> {
     let iters: u64 = cli.num("iters", 0)?;
     let interval = std::time::Duration::from_millis(cli.num("interval-ms", 1_000)?);
+    // --volume V narrows the per-volume section to one volume's series.
+    let vol_filter: Option<u64> = match cli.get("volume") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--volume: not a volume id: {v}"))?,
+        ),
+        None => None,
+    };
     let mut c = telemetry_client(cli)?;
     let mut prev = c.stats().map_err(|e| e.to_string())?;
     let mut prev_t = std::time::Instant::now();
@@ -785,6 +915,26 @@ pub fn top(cli: &Cli) -> Result<(), String> {
                 p99 as f64 / 1e3,
             );
         }
+        // Per-volume series (volume.* counters carry {tenant,volume}
+        // labels); hidden entirely when the pool has no labeled rows.
+        let mut vol_any = false;
+        for (name, total) in &snap.counters {
+            if !name.starts_with("volume.") || *total == 0 {
+                continue;
+            }
+            if let Some(v) = vol_filter {
+                if !name.contains(&format!("volume=\"{v}\"")) {
+                    continue;
+                }
+            }
+            if !vol_any {
+                println!("{:<44} {:>9} {:>10}", "volume series", "/s", "total");
+                vol_any = true;
+            }
+            let before = prev.counter(name).unwrap_or(0);
+            let rate = (total.saturating_sub(before)) as f64 / dt;
+            println!("{name:<44} {rate:>9.1} {total:>10}");
+        }
         let state = snap.gauge("rebuild.state").unwrap_or(0.0) as usize;
         if state != 0 {
             println!(
@@ -817,6 +967,7 @@ pub fn remote_bench(cli: &Cli) -> Result<(), String> {
         max_units: cli.num("max-units", 4)?,
         seed: cli.num("seed", 42)?,
         fail_disk,
+        volume: cli.num("volume", 0u64)? as u8,
     };
     if !(0.0..=1.0).contains(&cfg.read_fraction) {
         return Err("--read-frac must be in [0, 1]".into());

@@ -9,7 +9,8 @@
 //! pddl drill     --disks 13 --width 4 [--fail 5]
 //! pddl serve     --disks 13 --width 4 --addr 127.0.0.1:7490 [--metrics-addr 127.0.0.1:9490]
 //! pddl stats     --addr 127.0.0.1:7490
-//! pddl top       --addr 127.0.0.1:7490 [--interval-ms 1000] [--iters 0]
+//! pddl volume    list|create|delete|resize --addr 127.0.0.1:7490
+//! pddl top       --addr 127.0.0.1:7490 [--interval-ms 1000] [--iters 0] [--volume 1]
 //! pddl trace-dump --addr 127.0.0.1:7490 [--out trace.json]
 //! pddl remote-bench --addr 127.0.0.1:7490 --threads 4 --ops 500
 //! pddl chaos     --seeds 20 --ops 2000
@@ -34,6 +35,7 @@ fn main() {
         Some("report") => commands::report(&cli),
         Some("serve") => commands::serve_cmd(&cli),
         Some("stats") => commands::stats(&cli),
+        Some("volume") => commands::volume(&cli),
         Some("top") => commands::top(&cli),
         Some("trace-dump") => commands::trace_dump(&cli),
         Some("remote-bench") => commands::remote_bench(&cli),

@@ -57,11 +57,21 @@ pub enum OpKind {
     Stats,
     /// TRACE_DUMP — flight-recorder dump.
     TraceDump,
+    /// VOLUME_CREATE — carve a new volume from the pool.
+    VolumeCreate,
+    /// VOLUME_DELETE — return a volume's capacity to the pool.
+    VolumeDelete,
+    /// VOLUME_RESIZE — grow or shrink a volume.
+    VolumeResize,
+    /// VOLUME_LIST — the volume table.
+    VolumeList,
+    /// POOL_INFO — pool-level geometry and free space.
+    PoolInfo,
 }
 
 impl OpKind {
     /// Every kind, in index order.
-    pub const ALL: [OpKind; 10] = [
+    pub const ALL: [OpKind; 15] = [
         OpKind::Read,
         OpKind::Write,
         OpKind::Trim,
@@ -72,6 +82,11 @@ impl OpKind {
         OpKind::RebuildStatus,
         OpKind::Stats,
         OpKind::TraceDump,
+        OpKind::VolumeCreate,
+        OpKind::VolumeDelete,
+        OpKind::VolumeResize,
+        OpKind::VolumeList,
+        OpKind::PoolInfo,
     ];
 
     /// Dense index into per-shard arrays.
@@ -97,6 +112,11 @@ impl OpKind {
             OpKind::RebuildStatus => "rebuild_status",
             OpKind::Stats => "stats",
             OpKind::TraceDump => "trace_dump",
+            OpKind::VolumeCreate => "volume_create",
+            OpKind::VolumeDelete => "volume_delete",
+            OpKind::VolumeResize => "volume_resize",
+            OpKind::VolumeList => "volume_list",
+            OpKind::PoolInfo => "pool_info",
         }
     }
 }
@@ -598,17 +618,31 @@ impl TelemetrySnapshot {
 
     /// Prometheus text exposition (format 0.0.4). Metric names are
     /// prefixed `pddl_` with non-`[a-zA-Z0-9_]` bytes mapped to `_`;
-    /// histograms emit cumulative `_bucket{le="…"}` rows over non-empty
+    /// a `{label="…",…}` suffix in a counter/gauge name is passed
+    /// through verbatim (only the family prefix is mangled), and the
+    /// `# TYPE` header is emitted once per family — labelled series of
+    /// one family are adjacent because snapshots are name-sorted.
+    /// Histograms emit cumulative `_bucket{le="…"}` rows over non-empty
     /// buckets plus `+Inf`, `_sum`, and `_count`.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut last_family = String::new();
         for (name, v) in &self.counters {
-            let n = prom_name(name);
-            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+            let (n, labels) = prom_series(name);
+            if n != last_family {
+                out.push_str(&format!("# TYPE {n} counter\n"));
+                last_family.clone_from(&n);
+            }
+            out.push_str(&format!("{n}{labels} {v}\n"));
         }
+        last_family.clear();
         for (name, v) in &self.gauges {
-            let n = prom_name(name);
-            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+            let (n, labels) = prom_series(name);
+            if n != last_family {
+                out.push_str(&format!("# TYPE {n} gauge\n"));
+                last_family.clone_from(&n);
+            }
+            out.push_str(&format!("{n}{labels} {v}\n"));
         }
         for (name, h) in &self.hists {
             let n = prom_name(name);
@@ -659,6 +693,16 @@ fn prom_name(name: &str) -> String {
         });
     }
     out
+}
+
+/// Split a snapshot row name into a mangled family name and a verbatim
+/// label block: `volume.reads{volume="1"}` →
+/// (`pddl_volume_reads`, `{volume="1"}`).
+fn prom_series(name: &str) -> (String, &str) {
+    match name.split_once('{') {
+        Some((family, _)) => (prom_name(family), &name[family.len()..]),
+        None => (prom_name(name), ""),
+    }
 }
 
 /// Export flight-recorder spans as Chrome trace-event JSON (the same
@@ -879,6 +923,24 @@ mod tests {
             assert!(v >= prev);
             prev = v;
         }
+    }
+
+    #[test]
+    fn prometheus_labelled_series_share_one_type_header() {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters
+            .push(("volume.reads{tenant=\"7\",volume=\"1\"}".into(), 4));
+        snap.counters
+            .push(("volume.reads{tenant=\"0\",volume=\"0\"}".into(), 9));
+        snap.counters.push(("bytes.read".into(), 100));
+        snap.sort();
+        let text = snap.to_prometheus();
+        // One TYPE header for the family, label blocks verbatim.
+        assert_eq!(text.matches("# TYPE pddl_volume_reads counter").count(), 1);
+        assert!(text.contains("pddl_volume_reads{tenant=\"0\",volume=\"0\"} 9"));
+        assert!(text.contains("pddl_volume_reads{tenant=\"7\",volume=\"1\"} 4"));
+        assert!(text.contains("# TYPE pddl_bytes_read counter"));
+        assert!(text.contains("pddl_bytes_read 100"));
     }
 
     #[test]

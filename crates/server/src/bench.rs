@@ -35,6 +35,9 @@ pub struct BenchConfig {
     /// paper's degraded/rebuild-mode measurement scenario. `None` keeps
     /// the whole run fault-free.
     pub fail_disk: Option<u32>,
+    /// Volume every worker addresses (0 = the default volume), so one
+    /// generator can play a single tenant in a multi-tenant run.
+    pub volume: u8,
 }
 
 impl Default for BenchConfig {
@@ -46,6 +49,7 @@ impl Default for BenchConfig {
             max_units: 4,
             seed: 0x9e37_79b9,
             fail_disk: None,
+            volume: 0,
         }
     }
 }
@@ -127,6 +131,7 @@ fn bench_thread(
     thread_index: u64,
 ) -> Result<ThreadOutcome, ClientError> {
     let mut client = Client::connect(addr)?;
+    client.set_volume(cfg.volume);
     let info = client.info()?;
     let cap = info.capacity_units.max(1);
     let unit = info.unit_bytes as usize;

@@ -6,7 +6,11 @@ use std::fmt;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::wire::{self, Op, RebuildState, RebuildStatus, Request, Status, VolumeInfo, WireError};
+use pddl_volume::{VolumeMeta, VolumeSpec};
+
+use crate::wire::{
+    self, Op, PoolInfo, RebuildState, RebuildStatus, Request, Status, VolumeInfo, WireError,
+};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -47,6 +51,9 @@ impl From<std::io::Error> for ClientError {
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    /// Volume addressed by data ops (the wire flags byte); 0 (the
+    /// default volume) until [`Client::set_volume`].
+    volume: u8,
     /// Unit size from the first INFO, so writes need not refetch it.
     cached_unit: Option<usize>,
 }
@@ -63,8 +70,20 @@ impl Client {
         Ok(Self {
             stream,
             next_id: 0,
+            volume: 0,
             cached_unit: None,
         })
+    }
+
+    /// Address subsequent data ops (READ/WRITE/TRIM/INFO) at `volume`.
+    /// The unit size is pool-wide, so the cached value survives.
+    pub fn set_volume(&mut self, volume: u8) {
+        self.volume = volume;
+    }
+
+    /// The volume data ops currently address.
+    pub fn volume(&self) -> u8 {
+        self.volume
     }
 
     /// Bound how long any single call may block on the socket.
@@ -93,9 +112,22 @@ impl Client {
     }
 
     /// One round trip, returning the status verbatim — for ops like
-    /// REBUILD where more than one status means success.
+    /// REBUILD where more than one status means success. Volume-scoped
+    /// ops carry the client's current volume; others send zero flags.
     fn call_raw(
         &mut self,
+        op: Op,
+        offset: u64,
+        length: u32,
+        payload: Vec<u8>,
+    ) -> Result<(Status, Vec<u8>), ClientError> {
+        let volume = if op.takes_volume() { self.volume } else { 0 };
+        self.call_raw_on(volume, op, offset, length, payload)
+    }
+
+    fn call_raw_on(
+        &mut self,
+        volume: u8,
         op: Op,
         offset: u64,
         length: u32,
@@ -108,6 +140,7 @@ impl Client {
             &Request {
                 id,
                 op,
+                volume,
                 offset,
                 length,
                 payload,
@@ -143,6 +176,24 @@ impl Client {
         payload: Vec<u8>,
     ) -> Result<(Status, Vec<u8>), ClientError> {
         self.call_raw(op, offset, length, payload)
+    }
+
+    /// [`Client::request`] with an explicit volume id in the flags
+    /// byte, regardless of [`Client::set_volume`] — the harness uses
+    /// this to probe dead volumes without disturbing client state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn request_on(
+        &mut self,
+        volume: u8,
+        op: Op,
+        offset: u64,
+        length: u32,
+        payload: Vec<u8>,
+    ) -> Result<(Status, Vec<u8>), ClientError> {
+        self.call_raw_on(volume, op, offset, length, payload)
     }
 
     /// Read `units` stripe units starting at logical unit `offset`.
@@ -302,6 +353,73 @@ impl Client {
         let payload = self.call(Op::TraceDump, 0, 0, Vec::new())?;
         wire::decode_spans(&payload)
             .ok_or_else(|| ClientError::Protocol("undecodable TRACE_DUMP payload".into()))
+    }
+
+    /// Management: create a volume per `spec`; returns the assigned id.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`] (`NoCapacity`, `BadRequest`, …), plus
+    /// a protocol error on a malformed id payload.
+    pub fn volume_create(&mut self, spec: &VolumeSpec) -> Result<u8, ClientError> {
+        let payload = self.call(Op::VolumeCreate, 0, 0, wire::encode_volume_spec(spec))?;
+        match payload.as_slice() {
+            [id] => Ok(*id),
+            _ => Err(ClientError::Protocol(
+                "VOLUME_CREATE reply is not a one-byte id".into(),
+            )),
+        }
+    }
+
+    /// Management: delete `volume`, returning its space to the pool.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`] (`VolumeNotFound`, `BadRequest` for
+    /// volume 0).
+    pub fn volume_delete(&mut self, volume: u8) -> Result<(), ClientError> {
+        self.call_raw_on(volume, Op::VolumeDelete, 0, 0, Vec::new())
+            .and_then(|(status, _)| match status {
+                Status::Ok => Ok(()),
+                other => Err(ClientError::Server(other)),
+            })
+    }
+
+    /// Management: grow or shrink `volume` to `capacity_units`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`] (`VolumeNotFound`, `NoCapacity`).
+    pub fn volume_resize(&mut self, volume: u8, capacity_units: u64) -> Result<(), ClientError> {
+        self.call_raw_on(volume, Op::VolumeResize, capacity_units, 0, Vec::new())
+            .and_then(|(status, _)| match status {
+                Status::Ok => Ok(()),
+                other => Err(ClientError::Server(other)),
+            })
+    }
+
+    /// Management: the volume table, sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`], plus a protocol error on an
+    /// undecodable payload.
+    pub fn volume_list(&mut self) -> Result<Vec<VolumeMeta>, ClientError> {
+        let payload = self.call(Op::VolumeList, 0, 0, Vec::new())?;
+        wire::decode_volume_list(&payload)
+            .ok_or_else(|| ClientError::Protocol("undecodable VOLUME_LIST payload".into()))
+    }
+
+    /// Pool-level geometry: per-array capacity, free space, health.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read_units`], plus a protocol error on an
+    /// undecodable payload.
+    pub fn pool_info(&mut self) -> Result<PoolInfo, ClientError> {
+        let payload = self.call(Op::PoolInfo, 0, 0, Vec::new())?;
+        PoolInfo::decode(&payload)
+            .ok_or_else(|| ClientError::Protocol("undecodable POOL_INFO payload".into()))
     }
 
     fn unit_bytes(&mut self) -> Result<usize, ClientError> {

@@ -1,11 +1,22 @@
-//! The concurrency engine: executes decoded requests against a shared
-//! [`DeclusteredArray`] with stripe-granular locking.
+//! The concurrency engine: executes decoded requests against a pool of
+//! [`DeclusteredArray`]s carved into logical volumes, with
+//! stripe-granular locking and per-tenant QoS accounting.
+//!
+//! # Volumes and the pool
+//!
+//! The engine owns one or more arrays (all sharing a unit size) and a
+//! [`VolumeManager`] that maps `(volume, offset, units)` onto physical
+//! unit runs. Every data op resolves through the manager first; volume
+//! 0 spans array 0 at construction, so a pre-volume client that always
+//! sends zero flags behaves exactly as before. Disk-addressed ops
+//! (`FAIL_DISK`, `REBUILD`, `replace_disk`) take a *global* disk index:
+//! disks number across the pool in array order.
 //!
 //! # Locking model
 //!
-//! The array itself is `Send + Sync`, but it documents one caller
-//! invariant: two writes touching the *same stripe* must not overlap
-//! (the parity read-modify-write would race). The engine enforces that
+//! Each array is `Send + Sync`, but it documents one caller invariant:
+//! two writes touching the *same stripe* must not overlap (the parity
+//! read-modify-write would race). The engine enforces that per array
 //! with two layers:
 //!
 //! * an `RwLock<DeclusteredArray>` — client I/O holds the **read**
@@ -18,6 +29,13 @@
 //!   stripes proceed in parallel; writes that collide on a stripe (or a
 //!   shard) serialize. Reads take the same locks so a degraded-mode
 //!   reconstruction never observes a half-written stripe.
+//!
+//! A request resolving to several physical segments locks and serves
+//! them one segment at a time (lock, I/O, release, next), so no op ever
+//! holds locks on two arrays at once — there is no cross-array deadlock
+//! to order around. The cost is that a multi-segment op is atomic per
+//! segment, not end to end; single-extent volumes (the common case on a
+//! fresh pool) keep whole-op atomicity.
 //!
 //! # Online rebuild
 //!
@@ -41,10 +59,13 @@ use std::time::{Duration, Instant};
 
 use pddl_array::{ArrayError, ArrayMode, DeclusteredArray, RebuildTicket};
 use pddl_obs::{Actor, Event, OpKind, OpRecord, SyncSharedSink, Telemetry, TelemetrySnapshot};
+use pddl_volume::{
+    Segment, TenantLimits, TenantRegistry, VolumeError, VolumeManager, VolumeSpec, REBUILD_TENANT,
+};
 
 use crate::wire::{
-    self, Op, RebuildState, RebuildStatus, Request, Response, Status, VolumeInfo, MAX_PAYLOAD,
-    RESPONSE_HEADER_LEN,
+    self, Op, PoolArrayInfo, PoolInfo, RebuildState, RebuildStatus, Request, Response, Status,
+    VolumeInfo, MAX_PAYLOAD, RESPONSE_HEADER_LEN,
 };
 
 /// Default number of stripe shard locks.
@@ -68,6 +89,11 @@ fn op_kind(op: Op) -> OpKind {
         Op::RebuildStatus => OpKind::RebuildStatus,
         Op::Stats => OpKind::Stats,
         Op::TraceDump => OpKind::TraceDump,
+        Op::VolumeCreate => OpKind::VolumeCreate,
+        Op::VolumeDelete => OpKind::VolumeDelete,
+        Op::VolumeResize => OpKind::VolumeResize,
+        Op::VolumeList => OpKind::VolumeList,
+        Op::PoolInfo => OpKind::PoolInfo,
     }
 }
 
@@ -105,14 +131,26 @@ fn rdlock<T: ?Sized>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Validate a `[offset, offset + length)` unit range against the
-/// volume, with overflow-safe arithmetic. Runs before any per-unit
-/// work — a hostile length field must never make the server iterate or
-/// allocate in proportion to it.
-fn check_range(a: &DeclusteredArray, offset: u64, length: u32) -> Result<(), Status> {
-    match offset.checked_add(u64::from(length)) {
-        Some(end) if end <= a.capacity_units() => Ok(()),
-        _ => Err(Status::BadAddress),
+fn wrlock<T: ?Sized>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Map a volume-layer failure onto a wire status.
+fn status_of_volume(e: VolumeError) -> Status {
+    match e {
+        VolumeError::NotFound => Status::VolumeNotFound,
+        VolumeError::OutOfRange => Status::BadAddress,
+        VolumeError::NoCapacity | VolumeError::TooManyVolumes => Status::NoCapacity,
+        VolumeError::BadSpec | VolumeError::DefaultVolume => Status::BadRequest,
+    }
+}
+
+/// The tenant limits a volume spec asks for.
+fn limits_of(spec: &VolumeSpec) -> TenantLimits {
+    TenantLimits {
+        ops_per_sec: spec.ops_per_sec,
+        bytes_per_sec: spec.bytes_per_sec,
+        weight: spec.weight.max(1),
     }
 }
 
@@ -200,10 +238,30 @@ impl RebuildCtl {
     }
 }
 
-/// State shared between request workers and the rebuild thread.
-struct Inner {
+/// One pool member: the array plus its private stripe-shard lock
+/// table. Lock tables are per array — stripe indices are array-local,
+/// so sharing a table across arrays would only manufacture false
+/// collisions.
+struct ArrayShard {
     array: RwLock<DeclusteredArray>,
     stripe_locks: Vec<Mutex<()>>,
+}
+
+/// State shared between request workers and the rebuild thread.
+struct Inner {
+    /// The array pool, fixed at construction. All arrays share one unit
+    /// size; disks index globally across the pool in array order.
+    pool: Vec<ArrayShard>,
+    /// Volume table and free-space accounting over the pool.
+    volumes: VolumeManager,
+    /// Tenant limits and token buckets, shared with the server's
+    /// admission queue (and charged directly by the rebuild worker).
+    tenants: Arc<TenantRegistry>,
+    /// Unit size shared by every array in the pool.
+    unit_bytes: usize,
+    /// Per-array disk counts, for global-disk-index translation without
+    /// taking an array lock.
+    disk_counts: Vec<u64>,
     obs: Mutex<Option<SyncSharedSink>>,
     /// Fast-path flag mirroring `obs.is_some()`: the per-request check
     /// is one `Relaxed` load instead of a shared mutex acquisition, so
@@ -250,44 +308,89 @@ impl Inner {
         }
     }
 
-    /// Sorted, deduplicated shard-lock indices covering the next `batch`
-    /// pending stripes of a rebuild.
-    fn rebuild_shard_set(&self, pending: &[u64], batch: u64) -> Vec<usize> {
-        let shards = self.stripe_locks.len() as u64;
-        let take = usize::try_from(batch.min(pending.len() as u64)).unwrap_or(pending.len());
-        if take as u64 >= shards {
-            return (0..self.stripe_locks.len()).collect();
+    /// Translate a global disk index into `(array, local disk)`.
+    fn locate_disk(&self, global: u64) -> Option<(usize, usize)> {
+        let mut base = 0u64;
+        for (ai, &n) in self.disk_counts.iter().enumerate() {
+            if global < base + n {
+                return Some((ai, (global - base) as usize));
+            }
+            base += n;
         }
-        let mut set: Vec<usize> = pending[..take]
-            .iter()
-            .map(|&stripe| (stripe % shards) as usize)
-            .collect();
-        set.sort_unstable();
-        set.dedup();
-        set
+        None
     }
 }
 
+/// Sorted, deduplicated shard-lock indices covering the next `batch`
+/// pending stripes of a rebuild.
+fn rebuild_shard_set(locks: &[Mutex<()>], pending: &[u64], batch: u64) -> Vec<usize> {
+    let shards = locks.len() as u64;
+    let take = usize::try_from(batch.min(pending.len() as u64)).unwrap_or(pending.len());
+    if take as u64 >= shards {
+        return (0..locks.len()).collect();
+    }
+    let mut set: Vec<usize> = pending[..take]
+        .iter()
+        .map(|&stripe| (stripe % shards) as usize)
+        .collect();
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+/// Sorted, deduplicated shard-lock indices for a unit range on one
+/// array.
+///
+/// Work is bounded by the shard count, not the range length: a range of
+/// at least `shards` units can collide with every shard, so it locks
+/// the whole table instead of walking the units.
+fn shard_set(a: &DeclusteredArray, locks: &[Mutex<()>], start: u64, units: u64) -> Vec<usize> {
+    let shards = locks.len() as u64;
+    if units >= shards {
+        return (0..locks.len()).collect();
+    }
+    let mut set: Vec<usize> = (start..start.saturating_add(units))
+        .map(|logical| {
+            let (stripe, _) = a.layout().locate(logical);
+            (stripe % shards) as usize
+        })
+        .collect();
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
 /// The background rebuild loop: one bounded, shard-locked batch per
-/// iteration, with progress published after every batch.
-fn rebuild_worker(inner: Arc<Inner>, mut ticket: RebuildTicket) {
+/// iteration, with progress published after every batch. Rebuild I/O
+/// is a first-class low-priority tenant: each batch is admitted
+/// through the shared registry as [`REBUILD_TENANT`] before touching
+/// the array, so an operator cap on rebuild bytes/s (or ops/s) slows
+/// reconstruction exactly like any rate-limited client.
+fn rebuild_worker(inner: Arc<Inner>, array_idx: usize, mut ticket: RebuildTicket) {
+    let shard = &inner.pool[array_idx];
     let batch = inner.rebuild_batch.max(1);
+    let batch_bytes = batch.saturating_mul(inner.unit_bytes as u64);
     let mut prev = ticket.repaired();
     let final_state = loop {
         if inner.rebuild.stop.load(Ordering::Acquire) {
             break REBUILD_PAUSED;
         }
+        if !inner.tenants.admit(REBUILD_TENANT, batch_bytes, || {
+            inner.rebuild.stop.load(Ordering::Acquire)
+        }) {
+            break REBUILD_PAUSED;
+        }
         let started = Instant::now();
         let outcome = {
-            let a = rdlock(&inner.array);
+            let a = rdlock(&shard.array);
             // Hold only the shard locks this batch's stripes hash to:
             // a client op collides for at most one batch, everything
             // else proceeds untouched.
-            let _guards: Vec<_> = inner
-                .rebuild_shard_set(ticket.pending_stripes(), batch)
-                .into_iter()
-                .map(|i| lock(&inner.stripe_locks[i]))
-                .collect();
+            let _guards: Vec<_> =
+                rebuild_shard_set(&shard.stripe_locks, ticket.pending_stripes(), batch)
+                    .into_iter()
+                    .map(|i| lock(&shard.stripe_locks[i]))
+                    .collect();
             a.rebuild_step(&mut ticket, batch)
         };
         inner
@@ -341,10 +444,46 @@ impl Engine {
 
     /// Wrap an array with explicit shard count and rebuild knobs.
     pub fn with_config(array: DeclusteredArray, shards: usize, rebuild: RebuildConfig) -> Self {
-        Self {
-            inner: Arc::new(Inner {
+        Self::with_pool(vec![array], shards, rebuild)
+    }
+
+    /// Wrap a pool of arrays. Every array gets its own `shards`-entry
+    /// stripe-lock table; volume 0 is created spanning all of array 0.
+    ///
+    /// # Panics
+    ///
+    /// If the pool is empty or the arrays disagree on unit size.
+    pub fn with_pool(arrays: Vec<DeclusteredArray>, shards: usize, rebuild: RebuildConfig) -> Self {
+        assert!(!arrays.is_empty(), "empty array pool");
+        let unit_bytes = arrays[0].unit_bytes();
+        assert!(
+            arrays.iter().all(|a| a.unit_bytes() == unit_bytes),
+            "pool arrays must share one unit size"
+        );
+        let capacities: Vec<u64> = arrays
+            .iter()
+            .map(DeclusteredArray::capacity_units)
+            .collect();
+        let disk_counts: Vec<u64> = arrays.iter().map(|a| a.layout().disks() as u64).collect();
+        let tenants = Arc::new(TenantRegistry::new());
+        // Volume 0's tenant and the rebuild tenant exist for the life of
+        // the engine, both unlimited until an operator retunes them.
+        tenants.register(0, TenantLimits::default());
+        tenants.register(REBUILD_TENANT, TenantLimits::default());
+        let pool = arrays
+            .into_iter()
+            .map(|array| ArrayShard {
                 array: RwLock::new(array),
                 stripe_locks: (0..shards.max(1)).map(|_| Mutex::new(())).collect(),
+            })
+            .collect();
+        Self {
+            inner: Arc::new(Inner {
+                pool,
+                volumes: VolumeManager::new(&capacities),
+                tenants,
+                unit_bytes,
+                disk_counts,
                 obs: Mutex::new(None),
                 obs_attached: AtomicBool::new(false),
                 telemetry: Arc::new(Telemetry::new(TELEMETRY_SHARDS)),
@@ -373,9 +512,46 @@ impl Engine {
         &self.inner.telemetry
     }
 
-    /// Shard count (for tests and metrics).
+    /// Shard count per array (for tests and metrics).
     pub fn shards(&self) -> usize {
-        self.inner.stripe_locks.len()
+        self.inner.pool[0].stripe_locks.len()
+    }
+
+    /// Bytes per stripe unit — the I/O granularity of every array in
+    /// the pool (constructors enforce a uniform unit size).
+    pub fn unit_bytes(&self) -> usize {
+        self.inner.unit_bytes
+    }
+
+    /// The volume table and free-space accounting.
+    pub fn volumes(&self) -> &VolumeManager {
+        &self.inner.volumes
+    }
+
+    /// The shared tenant registry: the server's admission queue
+    /// schedules against it, operators retune limits through it.
+    pub fn tenants(&self) -> &Arc<TenantRegistry> {
+        &self.inner.tenants
+    }
+
+    /// Classify a request for the admission queue: `(tenant, payload
+    /// bytes)` — the scheduling key and token-bucket cost. Ops that
+    /// don't address a volume (and ops on dead volumes, which will fail
+    /// fast in dispatch) charge tenant 0 at zero cost.
+    pub fn admission(&self, req: &Request) -> (u32, u64) {
+        let tenant = if req.op.takes_volume() {
+            self.inner.volumes.tenant_of(req.volume).unwrap_or(0)
+        } else {
+            0
+        };
+        let bytes = match req.op {
+            Op::Write => req.payload.len() as u64,
+            Op::Read | Op::Trim => {
+                u64::from(req.length).saturating_mul(self.inner.unit_bytes as u64)
+            }
+            _ => 0,
+        };
+        (tenant, bytes)
     }
 
     /// The current rebuild knobs (batch fixed at construction, rate
@@ -395,19 +571,86 @@ impl Engine {
             .store(rate.max(0.0).to_bits(), Ordering::Release);
     }
 
-    /// Current volume geometry and failure state.
+    /// Geometry and failure state of the default volume 0 — the
+    /// pre-volume `INFO` view, kept for single-volume callers.
     pub fn volume_info(&self) -> VolumeInfo {
-        let a = rdlock(&self.inner.array);
-        VolumeInfo {
-            unit_bytes: a.unit_bytes() as u32,
-            capacity_units: a.capacity_units(),
-            disks: a.layout().disks() as u32,
-            mode: match a.mode() {
-                ArrayMode::FaultFree => 0,
-                ArrayMode::Degraded => 1,
-                ArrayMode::PostReconstruction => 2,
-            },
-            failed: a.failed_disks().iter().map(|&d| d as u32).collect(),
+        self.volume_info_for(0).expect("volume 0 always exists")
+    }
+
+    /// Geometry and failure state as seen by one volume: its own
+    /// capacity, the pool's disks and health.
+    ///
+    /// # Errors
+    ///
+    /// [`VolumeError::NotFound`] for a dead id.
+    pub fn volume_info_for(&self, volume: u8) -> Result<VolumeInfo, VolumeError> {
+        let meta = self.inner.volumes.meta(volume)?;
+        let (mode, failed) = self.pool_health();
+        Ok(VolumeInfo {
+            unit_bytes: self.inner.unit_bytes as u32,
+            capacity_units: meta.capacity_units,
+            disks: self.inner.disk_counts.iter().sum::<u64>() as u32,
+            mode,
+            failed,
+        })
+    }
+
+    /// Pool-wide health: the worst per-array mode (degraded beats
+    /// post-reconstruction beats fault-free) and failed disks as global
+    /// indices.
+    fn pool_health(&self) -> (u8, Vec<u32>) {
+        let mut degraded = false;
+        let mut post = false;
+        let mut failed = Vec::new();
+        let mut base = 0u64;
+        for (ai, shard) in self.inner.pool.iter().enumerate() {
+            let a = rdlock(&shard.array);
+            match a.mode() {
+                ArrayMode::Degraded => degraded = true,
+                ArrayMode::PostReconstruction => post = true,
+                ArrayMode::FaultFree => {}
+            }
+            failed.extend(a.failed_disks().iter().map(|&d| (base + d as u64) as u32));
+            base += self.inner.disk_counts[ai];
+        }
+        let mode = if degraded {
+            1
+        } else if post {
+            2
+        } else {
+            0
+        };
+        (mode, failed)
+    }
+
+    /// Pool-level geometry: per-array capacity, free space, and health
+    /// (failed disks here are *array-local* indices, per the wire doc).
+    pub fn pool_info(&self) -> PoolInfo {
+        let free = self.inner.volumes.free_units();
+        let arrays = self
+            .inner
+            .pool
+            .iter()
+            .zip(free)
+            .map(|(shard, free_units)| {
+                let a = rdlock(&shard.array);
+                PoolArrayInfo {
+                    disks: a.layout().disks() as u32,
+                    capacity_units: a.capacity_units(),
+                    free_units,
+                    mode: match a.mode() {
+                        ArrayMode::FaultFree => 0,
+                        ArrayMode::Degraded => 1,
+                        ArrayMode::PostReconstruction => 2,
+                    },
+                    failed: a.failed_disks().iter().map(|&d| d as u32).collect(),
+                }
+            })
+            .collect();
+        PoolInfo {
+            unit_bytes: self.inner.unit_bytes as u32,
+            volumes: self.inner.volumes.volume_count() as u16,
+            arrays,
         }
     }
 
@@ -464,60 +707,48 @@ impl Engine {
         self.inner.emit(event);
     }
 
-    /// Run a full parity scrub on a quiesced array (write lock: no
+    /// Run a full parity scrub on every quiesced array (write lock: no
     /// client op or rebuild batch is mid-stripe while it runs). Returns
-    /// the stripes whose stored checks disagree with their data.
+    /// the suspect stripes of all arrays concatenated in pool order
+    /// (stripe ids are array-local).
     pub fn scrub(&self) -> Result<Vec<u64>, ArrayError> {
-        let a = self.wrlock();
-        a.scrub()
+        let mut out = Vec::new();
+        for shard in &self.inner.pool {
+            out.extend(wrlock(&shard.array).scrub()?);
+        }
+        Ok(out)
     }
 
-    /// Replay outstanding write-intent journal entries on a quiesced
-    /// array; returns the number of stripes repaired.
+    /// Replay outstanding write-intent journal entries on every
+    /// quiesced array; returns the total stripes repaired.
     pub fn recover(&self) -> Result<u64, ArrayError> {
-        let mut a = self.wrlock();
-        a.recover()
+        let mut total = 0;
+        for shard in &self.inner.pool {
+            total += wrlock(&shard.array).recover()?;
+        }
+        Ok(total)
     }
 
-    /// Install a blank replacement in failed `disk`'s slot and restore
-    /// its contents to completion, quiesced. Returns units restored.
+    /// Install a blank replacement in failed global `disk`'s slot and
+    /// restore its contents to completion, quiesced. Returns units
+    /// restored.
     pub fn replace_disk(&self, disk: usize) -> Result<u64, ArrayError> {
-        let mut a = self.wrlock();
-        a.replace_and_rebuild(disk)
+        let (ai, local) = self
+            .inner
+            .locate_disk(disk as u64)
+            .ok_or(ArrayError::WrongDiskState)?;
+        wrlock(&self.inner.pool[ai].array).replace_and_rebuild(local)
     }
 
     /// Stripes with outstanding write intents (torn by an injected
-    /// fault mid-update; candidates for [`Engine::recover`]).
+    /// fault mid-update; candidates for [`Engine::recover`]),
+    /// concatenated across the pool.
     pub fn outstanding_intents(&self) -> Vec<u64> {
-        rdlock(&self.inner.array).outstanding_intents()
-    }
-
-    fn wrlock(&self) -> std::sync::RwLockWriteGuard<'_, DeclusteredArray> {
-        self.inner
-            .array
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    /// Sorted, deduplicated shard-lock indices for a unit range.
-    ///
-    /// Work is bounded by the shard count, not the range length: a
-    /// range of at least `shards` units can collide with every shard,
-    /// so it locks the whole table instead of walking the units.
-    fn shard_set(&self, a: &DeclusteredArray, start: u64, units: u64) -> Vec<usize> {
-        let shards = self.inner.stripe_locks.len() as u64;
-        if units >= shards {
-            return (0..self.inner.stripe_locks.len()).collect();
+        let mut out = Vec::new();
+        for shard in &self.inner.pool {
+            out.extend(rdlock(&shard.array).outstanding_intents());
         }
-        let mut set: Vec<usize> = (start..start.saturating_add(units))
-            .map(|logical| {
-                let (stripe, _) = a.layout().locate(logical);
-                (stripe % shards) as usize
-            })
-            .collect();
-        set.sort_unstable();
-        set.dedup();
-        set
+        out
     }
 
     /// Record one completed request into the telemetry plane: per-op
@@ -650,35 +881,57 @@ impl Engine {
         self.record_op(req, status, payload_len, start_ns, queue_ns, service_ns);
     }
 
+    /// Serve one resolved segment of a READ into `out` (lock, read,
+    /// release — never holds two arrays' locks at once).
+    fn read_segment(&self, seg: &Segment, out: &mut [u8]) -> Result<(), ArrayError> {
+        let shard = &self.inner.pool[seg.array as usize];
+        let a = rdlock(&shard.array);
+        let _guards: Vec<_> = shard_set(&a, &shard.stripe_locks, seg.phys, seg.units)
+            .into_iter()
+            .map(|i| lock(&shard.stripe_locks[i]))
+            .collect();
+        a.read_into(seg.phys, out)
+    }
+
     /// Serve a READ straight into the response frame's payload region.
     fn do_read_frame_into(&self, req: &Request, frame: &mut Vec<u8>) {
         if !req.payload.is_empty() || req.length == 0 {
             return set_header_frame(frame, req.id, Status::BadRequest);
         }
-        let a = rdlock(&self.inner.array);
+        let unit = self.inner.unit_bytes as u64;
         // The response must fit in one frame; refuse up front rather
         // than reading the data and failing to encode it (the client
         // would otherwise never get an answer for this id).
-        let bytes = u64::from(req.length) * a.unit_bytes() as u64;
+        let bytes = u64::from(req.length) * unit;
         if bytes > u64::from(MAX_PAYLOAD) {
             return set_header_frame(frame, req.id, Status::BadRequest);
         }
-        if let Err(status) = check_range(&a, req.offset, req.length) {
-            return set_header_frame(frame, req.id, status);
-        }
+        let resolved =
+            match self
+                .inner
+                .volumes
+                .resolve(req.volume, req.offset, u64::from(req.length))
+            {
+                Ok(r) => r,
+                Err(e) => return set_header_frame(frame, req.id, status_of_volume(e)),
+            };
         if wire::response_frame_into(frame, req.id, Status::Ok, bytes as usize).is_err() {
             return set_header_frame(frame, req.id, Status::Internal);
         }
-        let guards: Vec<_> = self
-            .shard_set(&a, req.offset, req.length as u64)
-            .into_iter()
-            .map(|i| lock(&self.inner.stripe_locks[i]))
-            .collect();
-        let result = a.read_into(req.offset, &mut frame[RESPONSE_HEADER_LEN..]);
-        drop(guards);
-        if let Err(e) = result {
-            wire::demote_frame(frame, status_of(&e));
+        let mut at = RESPONSE_HEADER_LEN;
+        for seg in &resolved.segments {
+            let len = (seg.units * unit) as usize;
+            if let Err(e) = self.read_segment(seg, &mut frame[at..at + len]) {
+                resolved.stats.errors.fetch_add(1, Ordering::Relaxed);
+                return wire::demote_frame(frame, status_of(&e));
+            }
+            at += len;
         }
+        resolved.stats.reads.fetch_add(1, Ordering::Relaxed);
+        resolved
+            .stats
+            .bytes_read
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     fn dispatch(&self, req: &Request) -> (Status, Vec<u8>) {
@@ -690,13 +943,94 @@ impl Engine {
             // volatile cache, so FLUSH is an ordering barrier that is
             // trivially satisfied once dequeued.
             Op::Flush => (Status::Ok, Vec::new()),
-            Op::Info => (Status::Ok, self.volume_info().encode()),
+            Op::Info => self.do_info(req),
             Op::FailDisk => self.do_fail_disk(req),
             Op::Rebuild => self.do_rebuild(req),
             Op::RebuildStatus => self.do_rebuild_status(req),
             Op::Stats => self.do_stats(req),
             Op::TraceDump => self.do_trace_dump(req),
+            Op::VolumeCreate => self.do_volume_create(req),
+            Op::VolumeDelete => self.do_volume_delete(req),
+            Op::VolumeResize => self.do_volume_resize(req),
+            Op::VolumeList => self.do_volume_list(req),
+            Op::PoolInfo => self.do_pool_info(req),
         }
+    }
+
+    /// INFO is volume-scoped: the flags byte picks the volume, the
+    /// reply reports that volume's capacity against pool-wide health.
+    fn do_info(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length != 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        match self.volume_info_for(req.volume) {
+            Ok(info) => (Status::Ok, info.encode()),
+            Err(e) => (status_of_volume(e), Vec::new()),
+        }
+    }
+
+    /// VOLUME_CREATE: payload carries the encoded spec; the reply
+    /// payload is the assigned one-byte volume id.
+    fn do_volume_create(&self, req: &Request) -> (Status, Vec<u8>) {
+        if req.length != 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        let Some(spec) = wire::decode_volume_spec(&req.payload) else {
+            return (Status::BadRequest, Vec::new());
+        };
+        match self.inner.volumes.create(&spec) {
+            Ok(id) => {
+                // Register after the create so a failed create leaves
+                // no tenant reference behind.
+                self.inner.tenants.register(spec.tenant, limits_of(&spec));
+                (Status::Ok, vec![id])
+            }
+            Err(e) => (status_of_volume(e), Vec::new()),
+        }
+    }
+
+    /// VOLUME_DELETE: the flags byte picks the victim; its capacity
+    /// returns to the pool and its tenant reference is released.
+    fn do_volume_delete(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length != 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        match self.inner.volumes.delete(req.volume) {
+            Ok(meta) => {
+                self.inner.tenants.release(meta.tenant);
+                (Status::Ok, Vec::new())
+            }
+            Err(e) => (status_of_volume(e), Vec::new()),
+        }
+    }
+
+    /// VOLUME_RESIZE: the flags byte picks the volume, `offset` carries
+    /// the new capacity in units.
+    fn do_volume_resize(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length != 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        match self.inner.volumes.resize(req.volume, req.offset) {
+            Ok(()) => (Status::Ok, Vec::new()),
+            Err(e) => (status_of_volume(e), Vec::new()),
+        }
+    }
+
+    fn do_volume_list(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length != 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        (
+            Status::Ok,
+            wire::encode_volume_list(&self.inner.volumes.list()),
+        )
+    }
+
+    fn do_pool_info(&self, req: &Request) -> (Status, Vec<u8>) {
+        if !req.payload.is_empty() || req.length != 0 {
+            return (Status::BadRequest, Vec::new());
+        }
+        (Status::Ok, self.pool_info().encode())
     }
 
     /// A merged telemetry snapshot: the lock-free per-op plane plus the
@@ -706,14 +1040,42 @@ impl Engine {
     pub fn stats_snapshot(&self) -> TelemetrySnapshot {
         let mut snap = self.inner.telemetry.snapshot();
         {
-            let a = rdlock(&self.inner.array);
-            let (unit_reads, unit_writes) = a.io_counts();
+            let mut unit_reads = 0u64;
+            let mut unit_writes = 0u64;
+            let mut degraded = 0u64;
+            for shard in &self.inner.pool {
+                let a = rdlock(&shard.array);
+                let (r, w) = a.io_counts();
+                unit_reads += r;
+                unit_writes += w;
+                degraded += a.degraded_reads();
+            }
             snap.counters.push(("array.unit_reads".into(), unit_reads));
             snap.counters
                 .push(("array.unit_writes".into(), unit_writes));
             snap.counters
-                .push(("array.degraded_reads".into(), a.degraded_reads()));
+                .push(("array.degraded_reads".into(), degraded));
         }
+        // Per-volume labelled rows: the Prometheus renderer passes the
+        // `{…}` block through verbatim, so each volume/tenant pair is
+        // its own series under one metric family.
+        for (meta, stats) in self.inner.volumes.stats() {
+            let (reads, writes, bytes_read, bytes_written, errors) = stats.load();
+            let l = format!("{{tenant=\"{}\",volume=\"{}\"}}", meta.tenant, meta.id);
+            snap.counters.push((format!("volume.reads{l}"), reads));
+            snap.counters.push((format!("volume.writes{l}"), writes));
+            snap.counters
+                .push((format!("volume.bytes_read{l}"), bytes_read));
+            snap.counters
+                .push((format!("volume.bytes_written{l}"), bytes_written));
+            snap.counters.push((format!("volume.errors{l}"), errors));
+        }
+        snap.counters
+            .push(("qos.throttled".into(), self.inner.tenants.throttled_total()));
+        snap.gauges.push((
+            "volumes.count".into(),
+            self.inner.volumes.volume_count() as f64,
+        ));
         let rb = self.rebuild_status();
         snap.gauges
             .push(("rebuild.state".into(), f64::from(rb.state.code())));
@@ -753,26 +1115,47 @@ impl Engine {
         (status, frame.split_off(RESPONSE_HEADER_LEN))
     }
 
+    /// Serve one resolved segment of a WRITE from `data`.
+    fn write_segment(&self, seg: &Segment, data: &[u8]) -> Result<(), ArrayError> {
+        let shard = &self.inner.pool[seg.array as usize];
+        let a = rdlock(&shard.array);
+        let _guards: Vec<_> = shard_set(&a, &shard.stripe_locks, seg.phys, seg.units)
+            .into_iter()
+            .map(|i| lock(&shard.stripe_locks[i]))
+            .collect();
+        a.write(seg.phys, data)
+    }
+
     fn do_write(&self, req: &Request) -> (Status, Vec<u8>) {
-        let a = rdlock(&self.inner.array);
-        let expect = req.length as u64 * a.unit_bytes() as u64;
+        let unit = self.inner.unit_bytes as u64;
+        let expect = u64::from(req.length) * unit;
         if req.length == 0 || req.payload.len() as u64 != expect {
             return (Status::BadRequest, Vec::new());
         }
-        if let Err(status) = check_range(&a, req.offset, req.length) {
-            return (status, Vec::new());
+        let resolved =
+            match self
+                .inner
+                .volumes
+                .resolve(req.volume, req.offset, u64::from(req.length))
+            {
+                Ok(r) => r,
+                Err(e) => return (status_of_volume(e), Vec::new()),
+            };
+        let mut at = 0usize;
+        for seg in &resolved.segments {
+            let len = (seg.units * unit) as usize;
+            if let Err(e) = self.write_segment(seg, &req.payload[at..at + len]) {
+                resolved.stats.errors.fetch_add(1, Ordering::Relaxed);
+                return (status_of(&e), Vec::new());
+            }
+            at += len;
         }
-        let guards: Vec<_> = self
-            .shard_set(&a, req.offset, req.length as u64)
-            .into_iter()
-            .map(|i| lock(&self.inner.stripe_locks[i]))
-            .collect();
-        let result = a.write(req.offset, &req.payload);
-        drop(guards);
-        match result {
-            Ok(()) => (Status::Ok, Vec::new()),
-            Err(e) => (status_of(&e), Vec::new()),
-        }
+        resolved.stats.writes.fetch_add(1, Ordering::Relaxed);
+        resolved
+            .stats
+            .bytes_written
+            .fetch_add(expect, Ordering::Relaxed);
+        (Status::Ok, Vec::new())
     }
 
     /// TRIM is served as a zero-fill write: parity stays consistent and
@@ -782,48 +1165,58 @@ impl Engine {
         if !req.payload.is_empty() || req.length == 0 {
             return (Status::BadRequest, Vec::new());
         }
-        let a = rdlock(&self.inner.array);
-        if let Err(status) = check_range(&a, req.offset, req.length) {
-            return (status, Vec::new());
-        }
-        let guards: Vec<_> = self
-            .shard_set(&a, req.offset, req.length as u64)
-            .into_iter()
-            .map(|i| lock(&self.inner.stripe_locks[i]))
-            .collect();
+        let resolved =
+            match self
+                .inner
+                .volumes
+                .resolve(req.volume, req.offset, u64::from(req.length))
+            {
+                Ok(r) => r,
+                Err(e) => return (status_of_volume(e), Vec::new()),
+            };
         // Zero-fill in bounded chunks: a volume-sized trim must not
-        // allocate a volume-sized buffer. The shard guards span the
-        // whole loop, so the range still clears atomically with respect
-        // to colliding writes.
+        // allocate a volume-sized buffer.
         const TRIM_CHUNK_UNITS: u64 = 1024;
+        let unit = self.inner.unit_bytes;
         let chunk = TRIM_CHUNK_UNITS.min(u64::from(req.length));
-        let zeros = vec![0u8; chunk as usize * a.unit_bytes()];
-        let mut done = 0u64;
-        let mut result = Ok(());
-        while done < u64::from(req.length) {
-            let n = TRIM_CHUNK_UNITS.min(u64::from(req.length) - done);
-            result = a.write(req.offset + done, &zeros[..n as usize * a.unit_bytes()]);
-            if result.is_err() {
-                break;
+        let zeros = vec![0u8; chunk as usize * unit];
+        for seg in &resolved.segments {
+            let shard = &self.inner.pool[seg.array as usize];
+            let a = rdlock(&shard.array);
+            // The shard guards span this segment's whole loop, so the
+            // segment still clears atomically with respect to colliding
+            // writes.
+            let _guards: Vec<_> = shard_set(&a, &shard.stripe_locks, seg.phys, seg.units)
+                .into_iter()
+                .map(|i| lock(&shard.stripe_locks[i]))
+                .collect();
+            let mut done = 0u64;
+            while done < seg.units {
+                let n = TRIM_CHUNK_UNITS.min(seg.units - done);
+                if let Err(e) = a.write(seg.phys + done, &zeros[..n as usize * unit]) {
+                    resolved.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return (status_of(&e), Vec::new());
+                }
+                done += n;
             }
-            done += n;
         }
-        drop(guards);
-        match result {
-            Ok(()) => (Status::Ok, Vec::new()),
-            Err(e) => (status_of(&e), Vec::new()),
-        }
+        (Status::Ok, Vec::new())
     }
 
     fn do_fail_disk(&self, req: &Request) -> (Status, Vec<u8>) {
         if !req.payload.is_empty() || req.length != 0 {
             return (Status::BadRequest, Vec::new());
         }
+        // A global disk index that maps to no array is the same client
+        // error as failing a nonexistent disk on a single array.
+        let Some((ai, local)) = self.inner.locate_disk(req.offset) else {
+            return (Status::WrongDiskState, Vec::new());
+        };
         // `fail_disk` is interior-mutable: the read lock suffices, so a
         // failure can land while client I/O is in flight — exactly the
         // timing a chaos nemesis wants to exercise.
-        let a = rdlock(&self.inner.array);
-        match a.fail_disk(req.offset as usize) {
+        let a = rdlock(&self.inner.pool[ai].array);
+        match a.fail_disk(local) {
             Ok(()) => (Status::Ok, Vec::new()),
             Err(e) => (status_of(&e), Vec::new()),
         }
@@ -853,9 +1246,11 @@ impl Engine {
         if let Some(done) = slot.take() {
             let _ = done.join();
         }
-        let disk = usize::try_from(req.offset).unwrap_or(usize::MAX);
+        let Some((array_idx, disk)) = inner.locate_disk(req.offset) else {
+            return (Status::WrongDiskState, Vec::new());
+        };
         let ticket = {
-            let a = rdlock(&inner.array);
+            let a = rdlock(&inner.pool[array_idx].array);
             match a.begin_rebuild(disk) {
                 Ok(t) => t,
                 Err(e) => return (status_of(&e), Vec::new()),
@@ -887,7 +1282,7 @@ impl Engine {
         let worker_inner = Arc::clone(inner);
         let spawned = std::thread::Builder::new()
             .name("pddl-rebuild".into())
-            .spawn(move || rebuild_worker(worker_inner, ticket));
+            .spawn(move || rebuild_worker(worker_inner, array_idx, ticket));
         match spawned {
             Ok(handle) => {
                 *slot = Some(handle);
@@ -931,9 +1326,14 @@ mod tests {
     }
 
     fn req(op: Op, offset: u64, length: u32, payload: Vec<u8>) -> Request {
+        vreq(0, op, offset, length, payload)
+    }
+
+    fn vreq(volume: u8, op: Op, offset: u64, length: u32, payload: Vec<u8>) -> Request {
         Request {
             id: 1,
             op,
+            volume,
             offset,
             length,
             payload,
@@ -1316,11 +1716,236 @@ mod tests {
         );
     }
 
+    /// Carve a volume out of the default pool: shrink volume 0 to free
+    /// space, create, and verify routing + isolation + lifecycle ops.
+    #[test]
+    fn volume_lifecycle_routes_and_isolates() {
+        let e = engine();
+        let cap = e.volume_info().capacity_units;
+        assert!(cap > 8, "array too small for the test");
+        // All capacity starts owned by volume 0 — creation must fail.
+        let mut spec = VolumeSpec::new("tenant-a", 4);
+        spec.tenant = 7;
+        let r = e.execute(
+            0,
+            &vreq(0, Op::VolumeCreate, 0, 0, wire::encode_volume_spec(&spec)),
+        );
+        assert_eq!(r.status, Status::NoCapacity);
+        // Shrink volume 0, then create succeeds and returns the new id.
+        let r = e.execute(0, &vreq(0, Op::VolumeResize, cap - 4, 0, vec![]));
+        assert_eq!(r.status, Status::Ok);
+        let r = e.execute(
+            0,
+            &vreq(0, Op::VolumeCreate, 0, 0, wire::encode_volume_spec(&spec)),
+        );
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(r.payload, vec![1u8]);
+
+        // Writes land in the addressed volume only.
+        let ub = e.unit_bytes();
+        assert_eq!(
+            e.execute(0, &vreq(1, Op::Write, 0, 1, vec![0x11; ub]))
+                .status,
+            Status::Ok
+        );
+        assert_eq!(
+            e.execute(0, &vreq(0, Op::Write, 0, 1, vec![0x22; ub]))
+                .status,
+            Status::Ok
+        );
+        let r = e.execute(0, &vreq(1, Op::Read, 0, 1, vec![]));
+        assert_eq!((r.status, r.payload[0]), (Status::Ok, 0x11));
+        let r = e.execute(0, &vreq(0, Op::Read, 0, 1, vec![]));
+        assert_eq!((r.status, r.payload[0]), (Status::Ok, 0x22));
+
+        // Per-volume INFO reports per-volume capacity.
+        let r = e.execute(0, &vreq(1, Op::Info, 0, 0, vec![]));
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(VolumeInfo::decode(&r.payload).unwrap().capacity_units, 4);
+
+        // Out-of-range I/O inside a small volume is BadAddress.
+        assert_eq!(
+            e.execute(0, &vreq(1, Op::Read, 4, 1, vec![])).status,
+            Status::BadAddress
+        );
+        // Unknown volume is VolumeNotFound.
+        assert_eq!(
+            e.execute(0, &vreq(9, Op::Read, 0, 1, vec![])).status,
+            Status::VolumeNotFound
+        );
+
+        // List shows both volumes; tenant registered for the new one.
+        let r = e.execute(0, &vreq(0, Op::VolumeList, 0, 0, vec![]));
+        let list = wire::decode_volume_list(&r.payload).unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!((list[1].id, list[1].tenant), (1, 7));
+        assert!(e.tenants().tenants().contains(&7));
+
+        // Grow the new volume back into the freed space, then delete it.
+        assert_eq!(
+            e.execute(0, &vreq(1, Op::VolumeResize, 6, 0, vec![]))
+                .status,
+            Status::NoCapacity
+        );
+        assert_eq!(
+            e.execute(0, &vreq(1, Op::VolumeResize, 2, 0, vec![]))
+                .status,
+            Status::Ok
+        );
+        assert_eq!(
+            e.execute(0, &vreq(1, Op::VolumeDelete, 0, 0, vec![]))
+                .status,
+            Status::Ok
+        );
+        assert!(!e.tenants().tenants().contains(&7));
+        assert_eq!(
+            e.execute(0, &vreq(1, Op::Read, 0, 1, vec![])).status,
+            Status::VolumeNotFound
+        );
+        // Volume 0 is indestructible.
+        assert_eq!(
+            e.execute(0, &vreq(0, Op::VolumeDelete, 0, 0, vec![]))
+                .status,
+            Status::BadRequest
+        );
+    }
+
+    /// Admission classification: volume-scoped ops bill their tenant,
+    /// control ops ride free, and byte costs follow the data moved.
+    #[test]
+    fn admission_classifies_tenant_and_bytes() {
+        let e = engine();
+        let cap = e.volume_info().capacity_units;
+        let ub = e.unit_bytes() as u64;
+        e.execute(0, &vreq(0, Op::VolumeResize, cap - 4, 0, vec![]));
+        let mut spec = VolumeSpec::new("qos", 4);
+        spec.tenant = 42;
+        let r = e.execute(
+            0,
+            &vreq(0, Op::VolumeCreate, 0, 0, wire::encode_volume_spec(&spec)),
+        );
+        assert_eq!(r.status, Status::Ok);
+
+        let (t, b) = e.admission(&vreq(1, Op::Read, 0, 3, vec![]));
+        assert_eq!((t, b), (42, 3 * ub));
+        let (t, b) = e.admission(&vreq(1, Op::Write, 0, 1, vec![9u8; 16]));
+        assert_eq!((t, b), (42, 16));
+        let (t, b) = e.admission(&vreq(0, Op::Read, 0, 1, vec![]));
+        assert_eq!((t, b), (0, ub));
+        // Unknown volume falls back to tenant 0 (the op will fail with
+        // VolumeNotFound anyway — admission must not panic).
+        let (t, _) = e.admission(&vreq(200, Op::Read, 0, 1, vec![]));
+        assert_eq!(t, 0);
+        // Non-volume ops are unbilled control traffic.
+        let (t, b) = e.admission(&req(Op::Stats, 0, 0, vec![]));
+        assert_eq!((t, b), (0, 0));
+    }
+
+    /// Per-volume stats surface as labeled series in the snapshot.
+    #[test]
+    fn stats_snapshot_has_per_volume_labels() {
+        let e = engine();
+        let ub = e.unit_bytes();
+        e.execute(0, &req(Op::Write, 0, 1, vec![5u8; ub]));
+        e.execute(0, &req(Op::Read, 0, 1, vec![]));
+        let snap = e.stats_snapshot();
+        let find = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        assert_eq!(find("volume.reads{tenant=\"0\",volume=\"0\"}"), Some(1));
+        assert_eq!(find("volume.writes{tenant=\"0\",volume=\"0\"}"), Some(1));
+        assert_eq!(
+            find("volume.bytes_written{tenant=\"0\",volume=\"0\"}"),
+            Some(ub as u64)
+        );
+        assert!(find("qos.throttled").is_some());
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "volumes.count" && *v == 1.0));
+    }
+
+    /// A two-array pool: volumes land on either array, global disk
+    /// indices map across arrays, and rebuild targets the right shard.
+    #[test]
+    fn multi_array_pool_routes_and_rebuilds_globally() {
+        let mk = || {
+            let layout = Pddl::new(7, 3).unwrap();
+            DeclusteredArray::new(Box::new(layout), 16, 4).unwrap()
+        };
+        let e = Engine::with_pool(
+            vec![mk(), mk()],
+            8,
+            RebuildConfig {
+                batch: 8,
+                rate: 0.0,
+            },
+        );
+        let cap0 = e.volumes().array_capacity(0);
+        // Volume 0 owns array 0; a volume sized past array 0's free
+        // space must be carved from array 1.
+        let r = e.execute(
+            0,
+            &vreq(
+                0,
+                Op::VolumeCreate,
+                0,
+                0,
+                wire::encode_volume_spec(&VolumeSpec::new("second", cap0 / 2)),
+            ),
+        );
+        assert_eq!(r.status, Status::Ok);
+        let ub = e.unit_bytes();
+        assert_eq!(
+            e.execute(0, &vreq(1, Op::Write, 0, 2, vec![0x77; 2 * ub]))
+                .status,
+            Status::Ok
+        );
+        let r = e.execute(0, &vreq(1, Op::Read, 0, 2, vec![]));
+        assert_eq!(r.status, Status::Ok);
+        assert!(r.payload.iter().all(|&b| b == 0x77));
+
+        // Pool info sees both arrays.
+        let info = e.pool_info();
+        assert_eq!(info.arrays.len(), 2);
+        assert_eq!(info.volumes, 2);
+
+        // Fail a disk in the second array via its global index, then
+        // rebuild it — the worker must target array 1.
+        let disks0 = info.arrays[0].disks as u64;
+        assert_eq!(
+            e.execute(0, &req(Op::FailDisk, disks0 + 2, 0, vec![]))
+                .status,
+            Status::Ok
+        );
+        let r = e.execute(0, &vreq(1, Op::Read, 0, 2, vec![]));
+        assert_eq!(r.status, Status::Ok, "degraded read through volume 1");
+        assert_eq!(
+            e.execute(0, &req(Op::Rebuild, disks0 + 2, 0, vec![]))
+                .status,
+            Status::Accepted
+        );
+        let s = wait_rebuild(&e);
+        assert_eq!(s.state, RebuildState::Done);
+        let r = e.execute(0, &vreq(1, Op::Read, 0, 2, vec![]));
+        assert_eq!(r.status, Status::Ok);
+        assert!(r.payload.iter().all(|&b| b == 0x77));
+        // A global index past the pool is WrongDiskState, not a panic.
+        assert_eq!(
+            e.execute(0, &req(Op::FailDisk, 999, 0, vec![])).status,
+            Status::WrongDiskState
+        );
+    }
+
     #[test]
     fn shard_set_is_sorted_and_deduplicated() {
         let e = engine();
-        let a = e.inner.array.read().unwrap();
-        let set = e.shard_set(&a, 0, 64);
+        let shard = &e.inner.pool[0];
+        let a = shard.array.read().unwrap();
+        let set = shard_set(&a, &shard.stripe_locks, 0, 64);
         let mut sorted = set.clone();
         sorted.sort_unstable();
         sorted.dedup();

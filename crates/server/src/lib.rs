@@ -1,15 +1,15 @@
-//! `pddl-server`: a zero-dependency TCP block service exporting a
-//! [`pddl_array::DeclusteredArray`] volume over a compact NBD-flavoured
-//! wire protocol.
+//! `pddl-server`: a zero-dependency TCP block service exporting a pool
+//! of [`pddl_array::DeclusteredArray`]s — carved into logical volumes
+//! with per-tenant QoS — over a compact NBD-flavoured wire protocol.
 //!
-//! The crate is four layers, bottom-up:
+//! The crate is five layers, bottom-up:
 //!
 //! | module     | role |
 //! |------------|------|
-//! | [`wire`]   | frame codec: request/response encode + decode, [`wire::VolumeInfo`] |
-//! | [`queue`]  | bounded blocking MPMC queue — the backpressure point |
-//! | [`engine`] | request execution over `RwLock<DeclusteredArray>` + stripe shard locks |
-//! | [`server`] | accept loop, per-connection readers, worker pool, graceful shutdown |
+//! | [`wire`]   | frame codec: request/response encode + decode, volume + pool payloads |
+//! | [`queue`]  | bounded blocking MPMC queue (legacy FIFO; admission now uses [`pddl_volume::QosQueue`]) |
+//! | [`engine`] | volume resolution + request execution over per-array stripe shard locks |
+//! | [`server`] | accept loop, per-connection readers, QoS admission, worker pool, graceful shutdown |
 //! | [`metrics_http`] | `/metrics` Prometheus exposition over minimal HTTP/1.0 |
 //!
 //! plus an in-crate blocking [`client`] and a closed-loop [`bench`]
@@ -58,6 +58,12 @@ pub use bench::{run as run_bench, BenchConfig, BenchReport};
 pub use client::{Client, ClientError};
 pub use engine::{Engine, RebuildConfig};
 pub use metrics_http::{serve_metrics, MetricsServer};
+pub use pddl_volume::{
+    QosQueue, TenantLimits, TenantRegistry, VolumeMeta, VolumeSpec, REBUILD_TENANT,
+};
 pub use queue::BoundedQueue;
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use wire::{Op, RebuildState, RebuildStatus, Request, Response, Status, VolumeInfo, WireError};
+pub use wire::{
+    Op, PoolArrayInfo, PoolInfo, RebuildState, RebuildStatus, Request, Response, Status,
+    VolumeInfo, WireError,
+};

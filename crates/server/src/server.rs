@@ -1,11 +1,11 @@
 //! The TCP server: accept loop, per-connection reader threads, a
-//! bounded request queue, and a worker pool executing against the
-//! shared [`Engine`].
+//! QoS-scheduled admission queue, and a worker pool executing against
+//! the shared [`Engine`].
 //!
 //! # Thread topology
 //!
 //! ```text
-//! accept loop ──spawns──▶ reader (1 per conn) ──push──▶ BoundedQueue
+//! accept loop ──spawns──▶ reader (1 per conn) ──push──▶ QosQueue
 //!                                                           │ pop
 //!                              worker pool (N threads) ◀────┘
 //!                                   │ engine.execute
@@ -13,11 +13,18 @@
 //!                         conn's Arc<Mutex<TcpStream>> ──▶ client
 //! ```
 //!
-//! Readers decode frames and block on the queue when it is full, which
-//! stops them draining their sockets — backpressure reaches remote
-//! clients through TCP flow control rather than unbounded buffering.
-//! Responses are written under a per-connection stream mutex, so
-//! replies from different workers interleave at frame granularity only.
+//! Readers classify each decoded frame through [`Engine::admission`]
+//! (which tenant, how many payload bytes) and push it into a
+//! [`pddl_volume::QosQueue`] — token buckets gate admission per tenant
+//! and deficit-weighted round-robin picks which tenant's request a
+//! worker serves next, so one tenant saturating its volume cannot
+//! starve the rest (rebuild I/O schedules as a low-priority tenant on
+//! the same ledger). A tenant at its queue depth blocks its readers,
+//! which stop draining their sockets — backpressure reaches *that
+//! tenant's* remote clients through TCP flow control rather than
+//! unbounded buffering, while other tenants keep flowing. Responses are
+//! written under a per-connection stream mutex, so replies from
+//! different workers interleave at frame granularity only.
 //!
 //! # Shutdown
 //!
@@ -35,15 +42,16 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::engine::Engine;
-use crate::queue::BoundedQueue;
 use crate::wire::{self, Request, Response, Status, WireError};
+use pddl_volume::QosQueue;
 
 /// Tuning knobs for [`serve`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads executing requests (minimum 1).
     pub workers: usize,
-    /// Bounded request-queue depth (minimum 1); the backpressure point.
+    /// Bounded *per-tenant* request-queue depth (minimum 1); the
+    /// backpressure point. Each tenant gets its own lane this deep.
     pub queue_depth: usize,
     /// Drop a connection after this long without a complete frame.
     pub idle_timeout: Duration,
@@ -75,7 +83,7 @@ struct Job {
 
 struct Shared {
     engine: Arc<Engine>,
-    queue: BoundedQueue<Job>,
+    queue: QosQueue<Job>,
     stop: AtomicBool,
     conn_seq: AtomicU32,
     /// Reader threads park their handles here for the final join.
@@ -154,9 +162,12 @@ impl ServerHandle {
 pub fn serve(engine: Arc<Engine>, addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    // The queue schedules against the engine's tenant registry, so
+    // volume creation/retuning changes admission without a restart.
+    let queue = QosQueue::new(Arc::clone(engine.tenants()), config.queue_depth);
     let shared = Arc::new(Shared {
         engine,
-        queue: BoundedQueue::new(config.queue_depth),
+        queue,
         stop: AtomicBool::new(false),
         conn_seq: AtomicU32::new(0),
         readers: Mutex::new(Vec::new()),
@@ -298,13 +309,16 @@ fn reader_loop(stream: TcpStream, client: u32, shared: &Arc<Shared>, config: &Se
                 last_activity = Instant::now();
                 buffered = 0;
                 let id = request.id;
+                // Classify before queueing: which tenant pays, and how
+                // many bytes the token bucket should charge.
+                let (tenant, bytes) = shared.engine.admission(&request);
                 let job = Job {
                     client,
                     request,
                     stream: Arc::clone(&write_half),
                     enqueued: Instant::now(),
                 };
-                if shared.queue.push(job).is_err() {
+                if shared.queue.push(tenant, bytes, job).is_err() {
                     // Queue closed: the server is shutting down.
                     answer_inline(&write_half, id, Status::Shutdown);
                     return;
@@ -416,6 +430,7 @@ mod tests {
             &wire::Request {
                 id: 7,
                 op: wire::Op::Write,
+                volume: 0,
                 offset: 0,
                 length: 1,
                 payload: vec![0xc3u8; 16],

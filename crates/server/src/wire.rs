@@ -8,13 +8,23 @@
 //! magic      u32   0x7064_6c51  ("pdlQ")
 //! id         u64   caller-chosen request id, echoed in the response
 //! op         u8    1=READ 2=WRITE 3=FLUSH 4=TRIM 5=INFO 6=FAIL_DISK 7=REBUILD
-//!                  8=REBUILD_STATUS 9=STATS 10=TRACE_DUMP
-//! flags      u8    reserved, must be zero
-//! offset     u64   first logical stripe unit (disk index for FAIL_DISK/REBUILD)
-//! length     u32   stripe units touched (0 for FLUSH/INFO/FAIL_DISK/REBUILD/
-//!                  REBUILD_STATUS)
-//! payload    u32   payload bytes that follow (length × unit size for WRITE)
+//!                  8=REBUILD_STATUS 9=STATS 10=TRACE_DUMP 11=VOLUME_CREATE
+//!                  12=VOLUME_DELETE 13=VOLUME_RESIZE 14=VOLUME_LIST
+//!                  15=POOL_INFO
+//! flags      u8    volume id for volume-scoped ops (READ/WRITE/TRIM/INFO/
+//!                  VOLUME_DELETE/VOLUME_RESIZE); reserved, must be zero,
+//!                  for every other op
+//! offset     u64   first logical stripe unit (disk index for FAIL_DISK/
+//!                  REBUILD, new capacity for VOLUME_RESIZE)
+//! length     u32   stripe units touched (0 for non-I/O ops)
+//! payload    u32   payload bytes that follow (length × unit size for WRITE,
+//!                  an encoded [`VolumeSpec`] for VOLUME_CREATE)
 //! ```
+//!
+//! Volume addressing reuses the former reserved flags byte, so a
+//! pre-volume client that always sent zero flags transparently
+//! addresses the default volume 0 — full backward compatibility with
+//! no frame-format change.
 //!
 //! A response frame is a fixed 17-byte header plus payload:
 //!
@@ -76,6 +86,21 @@ pub enum Op {
     /// responds with an [`encode_spans`] payload decodable via
     /// [`decode_spans`].
     TraceDump,
+    /// Management: create a volume from the [`encode_volume_spec`]
+    /// payload; responds with the assigned volume id (one byte).
+    VolumeCreate,
+    /// Management: delete the volume named by the flags byte, returning
+    /// its capacity to the pool.
+    VolumeDelete,
+    /// Management: resize the volume named by the flags byte to
+    /// `offset` capacity units.
+    VolumeResize,
+    /// Management: list the volume table; responds with an
+    /// [`encode_volume_list`] payload.
+    VolumeList,
+    /// Query pool-level geometry (arrays, free space, failure state);
+    /// responds with a [`PoolInfo`] payload. INFO stays volume-scoped.
+    PoolInfo,
 }
 
 impl Op {
@@ -92,6 +117,11 @@ impl Op {
             Op::RebuildStatus => 8,
             Op::Stats => 9,
             Op::TraceDump => 10,
+            Op::VolumeCreate => 11,
+            Op::VolumeDelete => 12,
+            Op::VolumeResize => 13,
+            Op::VolumeList => 14,
+            Op::PoolInfo => 15,
         }
     }
 
@@ -108,8 +138,23 @@ impl Op {
             8 => Op::RebuildStatus,
             9 => Op::Stats,
             10 => Op::TraceDump,
+            11 => Op::VolumeCreate,
+            12 => Op::VolumeDelete,
+            13 => Op::VolumeResize,
+            14 => Op::VolumeList,
+            15 => Op::PoolInfo,
             _ => return None,
         })
+    }
+
+    /// Whether the frame's flags byte carries a volume id for this op.
+    /// For every other op the byte stays reserved-must-be-zero, so
+    /// pre-volume peers interoperate unchanged.
+    pub fn takes_volume(self) -> bool {
+        matches!(
+            self,
+            Op::Read | Op::Write | Op::Trim | Op::Info | Op::VolumeDelete | Op::VolumeResize
+        )
     }
 }
 
@@ -145,6 +190,11 @@ pub enum Status {
     /// A single-unit media error; the rest of the device (and volume)
     /// stays serviceable, so the client may retry or repair.
     MediaError,
+    /// The addressed volume does not exist.
+    VolumeNotFound,
+    /// The pool cannot satisfy the requested capacity (create/resize),
+    /// or the volume id space is exhausted.
+    NoCapacity,
 }
 
 impl Status {
@@ -164,6 +214,8 @@ impl Status {
             Status::Internal => 10,
             Status::Accepted => 11,
             Status::MediaError => 12,
+            Status::VolumeNotFound => 13,
+            Status::NoCapacity => 14,
         }
     }
 
@@ -183,6 +235,8 @@ impl Status {
             10 => Status::Internal,
             11 => Status::Accepted,
             12 => Status::MediaError,
+            13 => Status::VolumeNotFound,
+            14 => Status::NoCapacity,
             _ => return None,
         })
     }
@@ -204,6 +258,8 @@ impl fmt::Display for Status {
             Status::Internal => "internal server error",
             Status::Accepted => "accepted",
             Status::MediaError => "media error",
+            Status::VolumeNotFound => "volume not found",
+            Status::NoCapacity => "insufficient pool capacity",
         };
         write!(f, "{s}")
     }
@@ -216,11 +272,15 @@ pub struct Request {
     pub id: u64,
     /// The operation.
     pub op: Op,
-    /// First logical unit (disk index for management ops).
+    /// Target volume for ops where [`Op::takes_volume`]; must be zero
+    /// otherwise. Travels in the frame's flags byte.
+    pub volume: u8,
+    /// First logical unit (disk index for management ops, new capacity
+    /// for VOLUME_RESIZE).
     pub offset: u64,
     /// Units touched.
     pub length: u32,
-    /// Write payload (empty for other ops).
+    /// Write payload / VOLUME_CREATE spec (empty for other ops).
     pub payload: Vec<u8>,
 }
 
@@ -315,17 +375,21 @@ fn read_payload<R: Read>(r: &mut R, len: u32) -> Result<Vec<u8>, WireError> {
 ///
 /// # Errors
 ///
-/// [`WireError::PayloadTooLarge`] before writing anything; transport
-/// errors as [`WireError::Io`].
+/// [`WireError::PayloadTooLarge`] or [`WireError::NonZeroFlags`] (a
+/// volume set on an op that takes none) before writing anything;
+/// transport errors as [`WireError::Io`].
 pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), WireError> {
     if req.payload.len() as u64 > MAX_PAYLOAD as u64 {
         return Err(WireError::PayloadTooLarge(req.payload.len() as u32));
+    }
+    if req.volume != 0 && !req.op.takes_volume() {
+        return Err(WireError::NonZeroFlags(req.volume));
     }
     let mut frame = Vec::with_capacity(30 + req.payload.len());
     frame.extend_from_slice(&REQUEST_MAGIC.to_be_bytes());
     frame.extend_from_slice(&req.id.to_be_bytes());
     frame.push(req.op.code());
-    frame.push(0); // flags, reserved
+    frame.push(req.volume); // flags byte doubles as the volume id
     frame.extend_from_slice(&req.offset.to_be_bytes());
     frame.extend_from_slice(&req.length.to_be_bytes());
     frame.extend_from_slice(&(req.payload.len() as u32).to_be_bytes());
@@ -351,7 +415,7 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, WireError> {
     read_exact_or(r, &mut head)?;
     let id = u64::from_be_bytes(head[0..8].try_into().expect("8 bytes"));
     let op = Op::from_code(head[8]).ok_or(WireError::UnknownOp(head[8]))?;
-    if head[9] != 0 {
+    if head[9] != 0 && !op.takes_volume() {
         return Err(WireError::NonZeroFlags(head[9]));
     }
     let offset = u64::from_be_bytes(head[10..18].try_into().expect("8 bytes"));
@@ -361,6 +425,7 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, WireError> {
     Ok(Some(Request {
         id,
         op,
+        volume: head[9],
         offset,
         length,
         payload,
@@ -467,10 +532,10 @@ impl RequestReader {
             if !self.payload_known {
                 // Header complete: validate it, then grow the buffer to
                 // cover the payload (if any) and keep reading.
-                if Op::from_code(self.buf[12]).is_none() {
+                let Some(op) = Op::from_code(self.buf[12]) else {
                     return Err(WireError::UnknownOp(self.buf[12]));
-                }
-                if self.buf[13] != 0 {
+                };
+                if self.buf[13] != 0 && !op.takes_volume() {
                     return Err(WireError::NonZeroFlags(self.buf[13]));
                 }
                 let payload_len = u32::from_be_bytes(self.buf[26..30].try_into().expect("4 bytes"));
@@ -485,6 +550,7 @@ impl RequestReader {
             }
             let id = u64::from_be_bytes(self.buf[4..12].try_into().expect("8 bytes"));
             let op = Op::from_code(self.buf[12]).expect("validated with the header");
+            let volume = self.buf[13];
             let offset = u64::from_be_bytes(self.buf[14..22].try_into().expect("8 bytes"));
             let length = u32::from_be_bytes(self.buf[22..26].try_into().expect("4 bytes"));
             let payload = self.buf[REQUEST_HEADER..].to_vec();
@@ -492,6 +558,7 @@ impl RequestReader {
             return Ok(Some(Request {
                 id,
                 op,
+                volume,
                 offset,
                 length,
                 payload,
@@ -752,6 +819,204 @@ impl RebuildStatus {
     }
 }
 
+/// Serialize a [`pddl_volume::VolumeSpec`] as the VOLUME_CREATE
+/// request payload.
+///
+/// Encoding: `name_len u16 · name (UTF-8) · capacity_units u64 ·
+/// tenant u32 · weight u16 · ops_per_sec u64 · bytes_per_sec u64`.
+pub fn encode_volume_spec(spec: &pddl_volume::VolumeSpec) -> Vec<u8> {
+    let name = spec.name.as_bytes();
+    let len = name.len().min(u16::MAX as usize);
+    let mut out = Vec::with_capacity(32 + len);
+    out.extend_from_slice(&(len as u16).to_be_bytes());
+    out.extend_from_slice(&name[..len]);
+    out.extend_from_slice(&spec.capacity_units.to_be_bytes());
+    out.extend_from_slice(&spec.tenant.to_be_bytes());
+    out.extend_from_slice(&spec.weight.to_be_bytes());
+    out.extend_from_slice(&spec.ops_per_sec.to_be_bytes());
+    out.extend_from_slice(&spec.bytes_per_sec.to_be_bytes());
+    out
+}
+
+/// Parse a VOLUME_CREATE payload. Returns `None` on truncation,
+/// trailing bytes, non-UTF-8 names, or a name longer than the volume
+/// layer accepts ([`pddl_volume::manager::MAX_NAME`]) — a hostile
+/// length is bounds-checked before any allocation.
+pub fn decode_volume_spec(buf: &[u8]) -> Option<pddl_volume::VolumeSpec> {
+    let mut c = Cursor { buf, pos: 0 };
+    let len = c.u16()? as usize;
+    if len > pddl_volume::manager::MAX_NAME {
+        return None;
+    }
+    let name = String::from_utf8(c.take(len)?.to_vec()).ok()?;
+    let spec = pddl_volume::VolumeSpec {
+        name,
+        capacity_units: c.u64()?,
+        tenant: c.u32()?,
+        weight: c.u16()?,
+        ops_per_sec: c.u64()?,
+        bytes_per_sec: c.u64()?,
+    };
+    if !c.done() {
+        return None;
+    }
+    Some(spec)
+}
+
+/// Minimum encoded size of one VOLUME_LIST row (empty name).
+const VOLUME_ROW_FLOOR: usize = 33;
+
+/// Serialize the volume table as the VOLUME_LIST response payload.
+///
+/// Encoding: `count u16`, then per row `id u8 · name_len u16 · name ·
+/// capacity_units u64 · tenant u32 · weight u16 · ops_per_sec u64 ·
+/// bytes_per_sec u64`.
+pub fn encode_volume_list(rows: &[pddl_volume::VolumeMeta]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + rows.len() * 48);
+    out.extend_from_slice(&(rows.len().min(u16::MAX as usize) as u16).to_be_bytes());
+    for row in rows.iter().take(u16::MAX as usize) {
+        out.push(row.id);
+        let name = row.name.as_bytes();
+        let len = name.len().min(u16::MAX as usize);
+        out.extend_from_slice(&(len as u16).to_be_bytes());
+        out.extend_from_slice(&name[..len]);
+        out.extend_from_slice(&row.capacity_units.to_be_bytes());
+        out.extend_from_slice(&row.tenant.to_be_bytes());
+        out.extend_from_slice(&row.weight.to_be_bytes());
+        out.extend_from_slice(&row.ops_per_sec.to_be_bytes());
+        out.extend_from_slice(&row.bytes_per_sec.to_be_bytes());
+    }
+    out
+}
+
+/// Parse a VOLUME_LIST payload. Returns `None` on truncation, trailing
+/// bytes, non-UTF-8 or oversized names, or a row count that cannot fit
+/// the remaining buffer — checked before any per-row allocation.
+pub fn decode_volume_list(buf: &[u8]) -> Option<Vec<pddl_volume::VolumeMeta>> {
+    let mut c = Cursor { buf, pos: 0 };
+    let count = c.u16()? as usize;
+    // Cheapest lower bound per row rejects hostile counts up front.
+    if count.checked_mul(VOLUME_ROW_FLOOR)? > buf.len().saturating_sub(c.pos) {
+        return None;
+    }
+    let mut rows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = c.u8()?;
+        let len = c.u16()? as usize;
+        if len > pddl_volume::manager::MAX_NAME {
+            return None;
+        }
+        let name = String::from_utf8(c.take(len)?.to_vec()).ok()?;
+        rows.push(pddl_volume::VolumeMeta {
+            id,
+            name,
+            capacity_units: c.u64()?,
+            tenant: c.u32()?,
+            weight: c.u16()?,
+            ops_per_sec: c.u64()?,
+            bytes_per_sec: c.u64()?,
+        });
+    }
+    if !c.done() {
+        return None;
+    }
+    Some(rows)
+}
+
+/// One array's slice of a [`PoolInfo`] report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolArrayInfo {
+    /// Disks in this array.
+    pub disks: u32,
+    /// Total capacity in stripe units.
+    pub capacity_units: u64,
+    /// Units not allocated to any volume.
+    pub free_units: u64,
+    /// 0 = fault-free, 1 = degraded, 2 = post-reconstruction.
+    pub mode: u8,
+    /// Currently failed disks (array-local indices).
+    pub failed: Vec<u32>,
+}
+
+/// Pool-level geometry and failure state, the POOL_INFO response
+/// payload. INFO answers for one volume; this answers for the pool.
+///
+/// Encoding: `unit_bytes u32 · volumes u16 · array_count u8`, then per
+/// array `disks u32 · capacity_units u64 · free_units u64 · mode u8 ·
+/// failed_count u32 · failed indices (u32 each)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolInfo {
+    /// Bytes per stripe unit (uniform across the pool).
+    pub unit_bytes: u32,
+    /// Live volume count.
+    pub volumes: u16,
+    /// Per-array geometry, in pool order.
+    pub arrays: Vec<PoolArrayInfo>,
+}
+
+impl PoolInfo {
+    /// Serialize as the POOL_INFO payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(7 + self.arrays.len() * 25);
+        out.extend_from_slice(&self.unit_bytes.to_be_bytes());
+        out.extend_from_slice(&self.volumes.to_be_bytes());
+        out.push(self.arrays.len().min(u8::MAX as usize) as u8);
+        for a in self.arrays.iter().take(u8::MAX as usize) {
+            out.extend_from_slice(&a.disks.to_be_bytes());
+            out.extend_from_slice(&a.capacity_units.to_be_bytes());
+            out.extend_from_slice(&a.free_units.to_be_bytes());
+            out.push(a.mode);
+            out.extend_from_slice(&(a.failed.len() as u32).to_be_bytes());
+            for d in &a.failed {
+                out.extend_from_slice(&d.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse a POOL_INFO payload. Returns `None` on truncation,
+    /// trailing bytes, or hostile counts — all length math is checked
+    /// against the remaining buffer before anything is allocated.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut c = Cursor { buf, pos: 0 };
+        let unit_bytes = c.u32()?;
+        let volumes = c.u16()?;
+        let array_count = c.u8()? as usize;
+        let mut arrays = Vec::with_capacity(array_count);
+        for _ in 0..array_count {
+            let disks = c.u32()?;
+            let capacity_units = c.u64()?;
+            let free_units = c.u64()?;
+            let mode = c.u8()?;
+            let failed_count = c.u32()? as usize;
+            // 4 bytes per failed index; reject counts the buffer
+            // cannot hold before reserving anything.
+            if failed_count.checked_mul(4)? > buf.len().saturating_sub(c.pos) {
+                return None;
+            }
+            let mut failed = Vec::with_capacity(failed_count);
+            for _ in 0..failed_count {
+                failed.push(c.u32()?);
+            }
+            arrays.push(PoolArrayInfo {
+                disks,
+                capacity_units,
+                free_units,
+                mode,
+                failed,
+            });
+        }
+        if !c.done() {
+            return None;
+        }
+        Some(Self {
+            unit_bytes,
+            volumes,
+            arrays,
+        })
+    }
+}
+
 /// Version tag leading every STATS payload.
 pub const STATS_VERSION: u16 = pddl_obs::TelemetrySnapshot::VERSION;
 /// Version tag leading every TRACE_DUMP payload.
@@ -994,6 +1259,7 @@ mod tests {
             Request {
                 id: 1,
                 op: Op::Read,
+                volume: 0,
                 offset: 42,
                 length: 3,
                 payload: vec![],
@@ -1001,6 +1267,7 @@ mod tests {
             Request {
                 id: u64::MAX,
                 op: Op::Write,
+                volume: 7,
                 offset: 0,
                 length: 2,
                 payload: vec![7u8; 64],
@@ -1008,7 +1275,16 @@ mod tests {
             Request {
                 id: 9,
                 op: Op::FailDisk,
+                volume: 0,
                 offset: 5,
+                length: 0,
+                payload: vec![],
+            },
+            Request {
+                id: 10,
+                op: Op::VolumeResize,
+                volume: 255,
+                offset: 4096,
                 length: 0,
                 payload: vec![],
             },
@@ -1047,6 +1323,7 @@ mod tests {
             &Request {
                 id: 1,
                 op: Op::Read,
+                volume: 0,
                 offset: 0,
                 length: 1,
                 payload: vec![],
@@ -1080,16 +1357,42 @@ mod tests {
             read_request(&mut buf.as_slice()),
             Err(WireError::UnknownOp(99))
         ));
-        // Non-zero reserved flags.
+        // Non-zero reserved flags on an op that takes no volume.
         let mut buf = Vec::new();
         buf.extend_from_slice(&REQUEST_MAGIC.to_be_bytes());
         buf.extend_from_slice(&1u64.to_be_bytes());
-        buf.push(1); // op = read
+        buf.push(9); // op = stats, flags stay reserved
         buf.push(0xff); // flags
         buf.extend_from_slice(&[0u8; 16]);
         assert!(matches!(
             read_request(&mut buf.as_slice()),
             Err(WireError::NonZeroFlags(0xff))
+        ));
+        // The same byte on a volume-scoped op is a volume id, not an
+        // error — backward-compatible reuse of the reserved byte.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&REQUEST_MAGIC.to_be_bytes());
+        buf.extend_from_slice(&1u64.to_be_bytes());
+        buf.push(1); // op = read
+        buf.push(0xff); // volume 255
+        buf.extend_from_slice(&[0u8; 16]);
+        let req = read_request(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!((req.op, req.volume), (Op::Read, 0xff));
+        // The writer refuses a volume on a non-volume op before any
+        // bytes hit the wire.
+        assert!(matches!(
+            write_request(
+                &mut Vec::new(),
+                &Request {
+                    id: 1,
+                    op: Op::Flush,
+                    volume: 3,
+                    offset: 0,
+                    length: 0,
+                    payload: vec![],
+                }
+            ),
+            Err(WireError::NonZeroFlags(3))
         ));
         // Oversized declared payload.
         let mut buf = Vec::new();
@@ -1141,6 +1444,7 @@ mod tests {
         let req = Request {
             id: 42,
             op: Op::Write,
+            volume: 5,
             offset: 7,
             length: 2,
             payload: vec![0xa5u8; 64],
@@ -1202,6 +1506,20 @@ mod tests {
             reader.poll(&mut frame.as_slice()),
             Err(WireError::PayloadTooLarge(_))
         ));
+
+        // Non-zero flags on a reserved-flags op is rejected at the
+        // header, same as the blocking reader.
+        let mut reader = RequestReader::new();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&REQUEST_MAGIC.to_be_bytes());
+        frame.extend_from_slice(&1u64.to_be_bytes());
+        frame.push(9); // op = stats
+        frame.push(0x5a);
+        frame.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            reader.poll(&mut frame.as_slice()),
+            Err(WireError::NonZeroFlags(0x5a))
+        ));
     }
 
     #[test]
@@ -1217,17 +1535,47 @@ mod tests {
             Op::RebuildStatus,
             Op::Stats,
             Op::TraceDump,
+            Op::VolumeCreate,
+            Op::VolumeDelete,
+            Op::VolumeResize,
+            Op::VolumeList,
+            Op::PoolInfo,
         ] {
             assert_eq!(Op::from_code(op.code()), Some(op));
         }
         assert_eq!(Op::from_code(0), None);
-        assert_eq!(Op::from_code(11), None);
-        for code in 0..=12u8 {
+        assert_eq!(Op::from_code(16), None);
+        for code in 0..=14u8 {
             let s = Status::from_code(code).unwrap();
             assert_eq!(s.code(), code);
             assert!(!s.to_string().is_empty());
         }
-        assert_eq!(Status::from_code(13), None);
+        assert_eq!(Status::from_code(15), None);
+        // The volume-scoped set is exactly the ops whose flags byte is
+        // repurposed; everything else keeps reserved-zero semantics.
+        for op in [
+            Op::Read,
+            Op::Write,
+            Op::Trim,
+            Op::Info,
+            Op::VolumeDelete,
+            Op::VolumeResize,
+        ] {
+            assert!(op.takes_volume(), "{op:?}");
+        }
+        for op in [
+            Op::Flush,
+            Op::FailDisk,
+            Op::Rebuild,
+            Op::RebuildStatus,
+            Op::Stats,
+            Op::TraceDump,
+            Op::VolumeCreate,
+            Op::VolumeList,
+            Op::PoolInfo,
+        ] {
+            assert!(!op.takes_volume(), "{op:?}");
+        }
     }
 
     #[test]
@@ -1447,5 +1795,117 @@ mod tests {
         let mut bad = [0u8; 21];
         bad[4] = 9;
         assert_eq!(RebuildStatus::decode(&bad), None);
+    }
+
+    #[test]
+    fn volume_spec_round_trips_and_rejects_hostile_input() {
+        let spec = pddl_volume::VolumeSpec {
+            name: "tenant-a".to_string(),
+            capacity_units: 4096,
+            tenant: 17,
+            weight: 4,
+            ops_per_sec: 1_000,
+            bytes_per_sec: 8 << 20,
+        };
+        let buf = encode_volume_spec(&spec);
+        assert_eq!(decode_volume_spec(&buf), Some(spec.clone()));
+        // Empty name round-trips too.
+        let bare = pddl_volume::VolumeSpec::new("", 1);
+        assert_eq!(decode_volume_spec(&encode_volume_spec(&bare)), Some(bare));
+        // Any truncation or padding fails, never panics.
+        for cut in 0..buf.len() {
+            assert_eq!(decode_volume_spec(&buf[..cut]), None, "cut={cut}");
+        }
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert_eq!(decode_volume_spec(&padded), None);
+        // A hostile name length cannot force a large allocation or
+        // out-of-bounds read: anything past MAX_NAME is rejected.
+        let mut hostile = (u16::MAX).to_be_bytes().to_vec();
+        hostile.extend_from_slice(&[0u8; 8]);
+        assert_eq!(decode_volume_spec(&hostile), None);
+        // Non-UTF-8 names are rejected.
+        let mut bad = encode_volume_spec(&spec);
+        bad[2] = 0xff;
+        assert_eq!(decode_volume_spec(&bad), None);
+    }
+
+    #[test]
+    fn volume_list_round_trips_and_rejects_hostile_input() {
+        let rows = vec![
+            pddl_volume::VolumeMeta {
+                id: 0,
+                name: "default".to_string(),
+                capacity_units: 1 << 20,
+                tenant: 0,
+                weight: 1,
+                ops_per_sec: 0,
+                bytes_per_sec: 0,
+            },
+            pddl_volume::VolumeMeta {
+                id: 9,
+                name: "scratch".to_string(),
+                capacity_units: 64,
+                tenant: 3,
+                weight: 8,
+                ops_per_sec: 500,
+                bytes_per_sec: 1 << 20,
+            },
+        ];
+        let buf = encode_volume_list(&rows);
+        assert_eq!(decode_volume_list(&buf), Some(rows.clone()));
+        assert_eq!(decode_volume_list(&encode_volume_list(&[])), Some(vec![]));
+        for cut in 0..buf.len() {
+            assert_eq!(decode_volume_list(&buf[..cut]), None, "cut={cut}");
+        }
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert_eq!(decode_volume_list(&padded), None);
+        // Hostile row count in a tiny buffer cannot over-allocate.
+        let hostile = (u16::MAX).to_be_bytes().to_vec();
+        assert_eq!(decode_volume_list(&hostile), None);
+    }
+
+    #[test]
+    fn pool_info_round_trips_and_rejects_hostile_input() {
+        let info = PoolInfo {
+            unit_bytes: 512,
+            volumes: 3,
+            arrays: vec![
+                PoolArrayInfo {
+                    disks: 7,
+                    capacity_units: 4096,
+                    free_units: 100,
+                    mode: 1,
+                    failed: vec![2],
+                },
+                PoolArrayInfo {
+                    disks: 13,
+                    capacity_units: 8192,
+                    free_units: 8192,
+                    mode: 0,
+                    failed: vec![],
+                },
+            ],
+        };
+        let buf = info.encode();
+        assert_eq!(PoolInfo::decode(&buf), Some(info.clone()));
+        let empty = PoolInfo {
+            unit_bytes: 64,
+            volumes: 1,
+            arrays: vec![],
+        };
+        assert_eq!(PoolInfo::decode(&empty.encode()), Some(empty));
+        for cut in 0..buf.len() {
+            assert_eq!(PoolInfo::decode(&buf[..cut]), None, "cut={cut}");
+        }
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert_eq!(PoolInfo::decode(&padded), None);
+        // Hostile failed-disk count cannot over-allocate: claim
+        // u32::MAX failed disks in a short buffer.
+        let mut hostile = buf[..7 + 21].to_vec();
+        hostile.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(PoolInfo::decode(&hostile), None);
     }
 }

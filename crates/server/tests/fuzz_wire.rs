@@ -16,8 +16,10 @@ use std::io::Read;
 
 use pddl_core::rng::Xoshiro256pp;
 use pddl_server::wire::{
-    self, Op, RebuildStatus, Request, RequestReader, Response, Status, VolumeInfo, MAX_PAYLOAD,
+    self, Op, PoolInfo, RebuildStatus, Request, RequestReader, Response, Status, VolumeInfo,
+    MAX_PAYLOAD,
 };
+use pddl_server::VolumeSpec;
 
 /// Header bytes of a request frame (magic + id + op + flags + offset +
 /// length + payload_len). Kept in sync with `wire.rs` by the
@@ -49,22 +51,47 @@ impl Read for Trickle<'_> {
 }
 
 fn random_request(rng: &mut Xoshiro256pp) -> Request {
-    let op = match rng.below(6) {
+    let op = match rng.below(11) {
         0 => Op::Read,
         1 => Op::Write,
         2 => Op::Trim,
         3 => Op::Info,
         4 => Op::FailDisk,
-        _ => Op::Rebuild,
+        5 => Op::Rebuild,
+        6 => Op::VolumeCreate,
+        7 => Op::VolumeDelete,
+        8 => Op::VolumeResize,
+        9 => Op::VolumeList,
+        _ => Op::PoolInfo,
     };
     let payload_len = rng.below(64);
     Request {
         id: rng.next_u64(),
         op,
+        // The flags byte is the volume id, and only volume-scoped ops
+        // may set it — the writer enforces that, so stay encodable.
+        volume: if op.takes_volume() {
+            rng.next_u64() as u8
+        } else {
+            0
+        },
         offset: rng.next_u64() >> rng.below_u64(64) as u32,
         length: rng.next_u64() as u32,
         payload: (0..payload_len).map(|_| rng.next_u64() as u8).collect(),
     }
+}
+
+fn random_spec(rng: &mut Xoshiro256pp) -> VolumeSpec {
+    let name_len = rng.below(12);
+    let name: String = (0..name_len)
+        .map(|_| char::from(b'a' + (rng.below(26) as u8)))
+        .collect();
+    let mut spec = VolumeSpec::new(&name, rng.next_u64() >> 8);
+    spec.tenant = rng.next_u64() as u32;
+    spec.weight = rng.next_u64() as u16;
+    spec.ops_per_sec = rng.next_u64() >> rng.below_u64(64) as u32;
+    spec.bytes_per_sec = rng.next_u64() >> rng.below_u64(64) as u32;
+    spec
 }
 
 fn random_response(rng: &mut Xoshiro256pp) -> Response {
@@ -179,10 +206,91 @@ fn fuzz_one(rng: &mut Xoshiro256pp) {
     let bytes = mangle(rng, frame);
     let _ = wire::read_response(&mut bytes.as_slice());
 
-    // Fixed-size management payloads decode from arbitrary slices.
+    // Management payloads decode from arbitrary slices.
     let noise: Vec<u8> = (0..rng.below(80)).map(|_| rng.next_u64() as u8).collect();
     let _ = VolumeInfo::decode(&noise);
     let _ = RebuildStatus::decode(&noise);
+    let _ = wire::decode_volume_spec(&noise);
+    let _ = wire::decode_volume_list(&noise);
+    let _ = PoolInfo::decode(&noise);
+
+    // Volume payload codecs: valid round-trip, then mangled bytes must
+    // yield None, never a panic or an over-allocation.
+    let spec = random_spec(rng);
+    let bytes = wire::encode_volume_spec(&spec);
+    if spec.name.len() <= 64 {
+        assert_eq!(wire::decode_volume_spec(&bytes).as_ref(), Some(&spec));
+    }
+    let mangled = mangle(rng, bytes);
+    let _ = wire::decode_volume_spec(&mangled);
+    let metas: Vec<_> = (0..rng.below(5))
+        .map(|i| {
+            let s = random_spec(rng);
+            pddl_server::VolumeMeta {
+                id: i as u8,
+                name: s.name,
+                capacity_units: s.capacity_units,
+                tenant: s.tenant,
+                weight: s.weight,
+                ops_per_sec: s.ops_per_sec,
+                bytes_per_sec: s.bytes_per_sec,
+            }
+        })
+        .collect();
+    let bytes = wire::encode_volume_list(&metas);
+    assert_eq!(wire::decode_volume_list(&bytes).as_ref(), Some(&metas));
+    let mangled = mangle(rng, bytes);
+    let _ = wire::decode_volume_list(&mangled);
+}
+
+/// Deterministic hostile inputs for the volume codecs: lying length
+/// prefixes, row counts promising more data than exists, and values at
+/// the integer edges. Every case must decode to `None` (or a valid
+/// value) without panicking or allocating per the attacker's numbers.
+#[test]
+fn hostile_volume_payloads_are_rejected() {
+    // Name length pointing past the buffer.
+    let mut b = vec![0u8, 200];
+    b.extend_from_slice(b"shortname");
+    assert_eq!(wire::decode_volume_spec(&b), None);
+    // Name length claiming u16::MAX on a tiny buffer.
+    assert_eq!(wire::decode_volume_spec(&[0xff, 0xff, b'x']), None);
+    // Valid name but truncated fixed tail.
+    let mut b = vec![0u8, 4];
+    b.extend_from_slice(b"vol0");
+    b.extend_from_slice(&[0u8; 10]); // tail needs 8+4+2+8+8 = 30 bytes
+    assert_eq!(wire::decode_volume_spec(&b), None);
+    // Over-long name (> MAX_NAME) must be refused even if the buffer
+    // really contains it.
+    let long = "n".repeat(65);
+    let mut b = vec![0u8, 65];
+    b.extend_from_slice(long.as_bytes());
+    b.extend_from_slice(&[0u8; 30]);
+    assert_eq!(wire::decode_volume_spec(&b), None);
+    // Trailing garbage after a well-formed spec is a framing error.
+    let mut b = wire::encode_volume_spec(&VolumeSpec::new("ok", 8));
+    b.push(0);
+    assert_eq!(wire::decode_volume_spec(&b), None);
+
+    // List row count promising 65535 rows backed by 2 bytes.
+    assert_eq!(wire::decode_volume_list(&[0xff, 0xff]), None);
+    // Row count of 1 with a row whose name length overflows the rest.
+    let b = [0u8, 1, /* id */ 9, /* name_len */ 0xff, 0xff];
+    assert_eq!(wire::decode_volume_list(&b), None);
+
+    // Pool info: array count lying about the payload size.
+    assert_eq!(PoolInfo::decode(&[0xff; 8]), None);
+    // Failed-disk count larger than the remaining bytes.
+    let mut b = Vec::new();
+    b.extend_from_slice(&64u32.to_be_bytes()); // unit_bytes
+    b.extend_from_slice(&1u16.to_be_bytes()); // volumes
+    b.push(1); // array count
+    b.extend_from_slice(&7u32.to_be_bytes()); // disks
+    b.extend_from_slice(&100u64.to_be_bytes()); // capacity
+    b.extend_from_slice(&50u64.to_be_bytes()); // free
+    b.push(0); // mode
+    b.extend_from_slice(&0xffff_ffffu32.to_be_bytes()); // failed count: lie
+    assert_eq!(PoolInfo::decode(&b), None);
 }
 
 fn fuzz_budget(seed: u64, iterations: u64) {

@@ -13,7 +13,7 @@ use pddl_obs::{spans_chrome_json, OpKind};
 use pddl_server::engine::Engine;
 use pddl_server::metrics_http::serve_metrics;
 use pddl_server::server::{serve, ServerConfig};
-use pddl_server::Client;
+use pddl_server::{Client, VolumeSpec};
 
 #[test]
 fn stats_metrics_and_trace_round_trip_over_loopback() {
@@ -91,6 +91,76 @@ fn stats_metrics_and_trace_round_trip_over_loopback() {
     let again = c.stats().unwrap();
     assert!(again.counter("op.stats.count").unwrap() >= 1);
     assert!(again.counter("op.trace_dump.count") == Some(1));
+
+    metrics.shutdown();
+    handle.shutdown();
+}
+
+/// Per-volume traffic surfaces as labeled Prometheus series: one
+/// `# TYPE` header per family, one `{tenant,volume}` row per volume,
+/// and the labels pass through name mangling untouched.
+#[test]
+fn per_volume_series_appear_labeled_in_metrics() {
+    let layout = Pddl::new(7, 3).unwrap();
+    let array = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
+    let engine = Arc::new(Engine::new(array));
+    let handle = serve(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let metrics = serve_metrics(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let unit = c.info().unwrap().unit_bytes as usize;
+    let cap = c.info().unwrap().capacity_units;
+    c.volume_resize(0, cap - 8).unwrap();
+    let mut spec = VolumeSpec::new("tenant-nine", 8);
+    spec.tenant = 9;
+    let vol = c.volume_create(&spec).unwrap();
+
+    // Traffic on both volumes, distinguishable counts.
+    c.write_units(0, &vec![1; unit]).unwrap();
+    c.set_volume(vol);
+    c.write_units(0, &vec![2; unit]).unwrap();
+    c.read_units(0, 1).unwrap();
+    c.read_units(0, 1).unwrap();
+
+    // STATS sees the labeled rows.
+    let snap = c.stats().unwrap();
+    assert_eq!(
+        snap.counter(&format!("volume.reads{{tenant=\"9\",volume=\"{vol}\"}}")),
+        Some(2)
+    );
+    assert_eq!(
+        snap.counter(&format!("volume.writes{{tenant=\"9\",volume=\"{vol}\"}}")),
+        Some(1)
+    );
+    assert_eq!(
+        snap.counter("volume.writes{tenant=\"0\",volume=\"0\"}"),
+        Some(1)
+    );
+
+    // The Prometheus exposition carries the labels verbatim and emits
+    // exactly one TYPE header for the shared family.
+    let mut s = TcpStream::connect(metrics.local_addr()).unwrap();
+    s.write_all(b"GET /metrics HTTP/1.0\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut body = String::new();
+    s.read_to_string(&mut body).unwrap();
+    assert!(
+        body.contains(&format!(
+            "pddl_volume_reads{{tenant=\"9\",volume=\"{vol}\"}} 2"
+        )),
+        "{body}"
+    );
+    assert!(
+        body.contains("pddl_volume_writes{tenant=\"0\",volume=\"0\"} 1"),
+        "{body}"
+    );
+    assert_eq!(
+        body.matches("# TYPE pddl_volume_writes counter").count(),
+        1,
+        "{body}"
+    );
+    assert!(body.contains("pddl_volumes_count 2"), "{body}");
+    assert!(body.contains("pddl_qos_throttled"), "{body}");
 
     metrics.shutdown();
     handle.shutdown();

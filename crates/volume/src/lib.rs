@@ -1,0 +1,32 @@
+//! `pddl-volume`: the multi-tenant volume layer over a pool of PDDL
+//! declustered arrays.
+//!
+//! One array ≠ a service. This crate turns a pool of
+//! `DeclusteredArray`s (represented here purely by their capacities —
+//! the crate holds metadata and policy, never device handles) into many
+//! logical **volumes**, each with:
+//!
+//! - an **extent map** translating volume-logical unit ranges to
+//!   `(array, physical unit)` segments ([`extent`]),
+//! - **capacity accounting** over a per-array first-fit free list
+//!   ([`manager`]),
+//! - a **tenant identity** feeding per-tenant QoS: token-bucket rate
+//!   limits (ops/s and bytes/s) and deficit-weighted fair queueing
+//!   between tenants ([`qos`]), with rebuild I/O registered as a
+//!   first-class low-priority tenant so reconstruction can never
+//!   starve foreground reads.
+//!
+//! The server engine resolves every READ/WRITE/TRIM through
+//! [`VolumeManager::resolve`] before touching an array, and its worker
+//! pool admits work through a [`QosQueue`] backed by the same
+//! [`TenantRegistry`] the rebuild thread charges per batch.
+
+pub mod extent;
+pub mod manager;
+pub mod qos;
+
+pub use extent::{Extent, ExtentMap, Segment};
+pub use manager::{
+    Resolved, VolumeError, VolumeManager, VolumeMeta, VolumeSpec, VolumeStats, MAX_VOLUMES,
+};
+pub use qos::{QosQueue, TenantLimits, TenantRegistry, REBUILD_TENANT};
