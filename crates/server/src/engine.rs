@@ -538,6 +538,19 @@ impl Engine {
     /// bytes)` — the scheduling key and token-bucket cost. Ops that
     /// don't address a volume (and ops on dead volumes, which will fail
     /// fast in dispatch) charge tenant 0 at zero cost.
+    ///
+    /// The tenant is resolved at enqueue time and is deliberately not
+    /// re-resolved at dispatch: if the volume is deleted and its id
+    /// reused while the op is queued, the op is scheduled and charged
+    /// against the tenant that owned the volume when the request
+    /// arrived, then fails (or executes) against the volume table as it
+    /// stands at dispatch. Mis-charging one queue residency is bounded
+    /// and harmless; the alternative (re-resolve + requeue) reorders a
+    /// connection's pipeline.
+    ///
+    /// The charge is capped at [`MAX_PAYLOAD`]: a READ declaring more
+    /// is rejected with `BadRequest` at dispatch, and a legitimately
+    /// larger TRIM must not carry a cost the scheduler can never cover.
     pub fn admission(&self, req: &Request) -> (u32, u64) {
         let tenant = if req.op.takes_volume() {
             self.inner.volumes.tenant_of(req.volume).unwrap_or(0)
@@ -546,9 +559,9 @@ impl Engine {
         };
         let bytes = match req.op {
             Op::Write => req.payload.len() as u64,
-            Op::Read | Op::Trim => {
-                u64::from(req.length).saturating_mul(self.inner.unit_bytes as u64)
-            }
+            Op::Read | Op::Trim => u64::from(req.length)
+                .saturating_mul(self.inner.unit_bytes as u64)
+                .min(u64::from(MAX_PAYLOAD)),
             _ => 0,
         };
         (tenant, bytes)
@@ -1839,6 +1852,30 @@ mod tests {
         // Non-volume ops are unbilled control traffic.
         let (t, b) = e.admission(&req(Op::Stats, 0, 0, vec![]));
         assert_eq!((t, b), (0, 0));
+        // A hostile READ length is billed at the payload cap, not the
+        // raw length×unit product: dispatch rejects it with BadRequest,
+        // and an uncapped cost would exceed what the DRR deficit can
+        // ever cover, wedging the tenant's queue.
+        let (_, b) = e.admission(&vreq(0, Op::Read, 0, u32::MAX, vec![]));
+        assert_eq!(b, u64::from(MAX_PAYLOAD));
+    }
+
+    /// The reserved rebuild tenant is not assignable through a client
+    /// spec — a VOLUME_CREATE naming it must not be able to replace the
+    /// rebuild worker's limits or piggyback on its lane.
+    #[test]
+    fn volume_create_rejects_rebuild_tenant() {
+        let e = engine();
+        let cap = e.volume_info().capacity_units;
+        e.execute(0, &vreq(0, Op::VolumeResize, cap - 4, 0, vec![]));
+        let mut spec = VolumeSpec::new("sneaky", 4);
+        spec.tenant = REBUILD_TENANT;
+        let r = e.execute(
+            0,
+            &vreq(0, Op::VolumeCreate, 0, 0, wire::encode_volume_spec(&spec)),
+        );
+        assert_eq!(r.status, Status::BadRequest);
+        assert_eq!(e.volumes().volume_count(), 1);
     }
 
     /// Per-volume stats surface as labeled series in the snapshot.

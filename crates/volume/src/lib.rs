@@ -27,6 +27,7 @@ pub mod qos;
 
 pub use extent::{Extent, ExtentMap, Segment};
 pub use manager::{
-    Resolved, VolumeError, VolumeManager, VolumeMeta, VolumeSpec, VolumeStats, MAX_VOLUMES,
+    IoPermit, Resolved, VolumeError, VolumeManager, VolumeMeta, VolumeSpec, VolumeStats,
+    MAX_VOLUMES,
 };
 pub use qos::{QosQueue, TenantLimits, TenantRegistry, REBUILD_TENANT};

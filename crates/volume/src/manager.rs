@@ -19,9 +19,10 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::extent::{ExtentMap, Segment};
+use crate::qos::REBUILD_TENANT;
 
 /// Hard cap on live volumes: volume ids travel in one wire byte.
 pub const MAX_VOLUMES: usize = 256;
@@ -144,8 +145,69 @@ impl VolumeStats {
     }
 }
 
+/// Counts in-flight I/O against one volume's extent mapping. `resolve`
+/// takes a permit; `delete`/shrink swap in a fresh gate for the (new)
+/// mapping and wait for the old gate to drain before returning the old
+/// extents to the free list — so a physical unit is never reallocated
+/// while an op resolved against its previous owner is still touching
+/// it.
+#[derive(Debug, Default)]
+struct IoGate {
+    inflight: Mutex<u64>,
+    drained: Condvar,
+}
+
+impl IoGate {
+    fn begin(self: &Arc<Self>) -> IoPermit {
+        *self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+        IoPermit(Arc::clone(self))
+    }
+
+    /// Block until every permit issued against this gate is dropped.
+    /// Only ever called on a gate that can no longer issue permits (the
+    /// volume row is gone, or the gate was swapped out under the write
+    /// lock), so this cannot be starved by new arrivals.
+    fn quiesce(&self) {
+        let mut n = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *n > 0 {
+            n = self
+                .drained
+                .wait(n)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// An in-flight I/O token; dropping it (with the rest of [`Resolved`],
+/// once the engine finishes the physical I/O) releases the gate.
+#[derive(Debug)]
+pub struct IoPermit(Arc<IoGate>);
+
+impl Drop for IoPermit {
+    fn drop(&mut self) {
+        let mut n = self
+            .0
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *n -= 1;
+        if *n == 0 {
+            self.0.drained.notify_all();
+        }
+    }
+}
+
 /// A resolved I/O: physical segments in logical order plus the routing
-/// metadata the engine needs to account the op.
+/// metadata the engine needs to account the op. Holds an in-flight
+/// permit — keep it alive across the physical I/O; a concurrent
+/// delete/shrink of the volume will not recycle these segments' units
+/// until it is dropped.
 #[derive(Debug)]
 pub struct Resolved {
     /// Physical runs covering the request, in logical order.
@@ -154,12 +216,15 @@ pub struct Resolved {
     pub tenant: u32,
     /// The volume's counters (bump after the I/O completes).
     pub stats: Arc<VolumeStats>,
+    /// Pins the mapping: segments stay owned by this volume until drop.
+    pub permit: IoPermit,
 }
 
 struct Volume {
     meta: VolumeMeta,
     map: ExtentMap,
     stats: Arc<VolumeStats>,
+    gate: Arc<IoGate>,
 }
 
 /// Sorted, coalesced `(start, len)` free runs for one array.
@@ -264,6 +329,7 @@ impl VolumeManager {
                 },
                 map,
                 stats: Arc::new(VolumeStats::default()),
+                gate: Arc::new(IoGate::default()),
             },
         );
         Self {
@@ -310,11 +376,13 @@ impl VolumeManager {
     ///
     /// # Errors
     ///
-    /// [`VolumeError::BadSpec`] for zero capacity or an oversized name,
+    /// [`VolumeError::BadSpec`] for zero capacity, an oversized name,
+    /// or the reserved [`REBUILD_TENANT`] (a client spec must not be
+    /// able to re-register the rebuild tenant and replace its limits),
     /// [`VolumeError::TooManyVolumes`] when all 256 ids are live, and
     /// [`VolumeError::NoCapacity`] when the pool lacks free units.
     pub fn create(&self, spec: &VolumeSpec) -> Result<u8, VolumeError> {
-        if spec.capacity_units == 0 || spec.name.len() > MAX_NAME {
+        if spec.capacity_units == 0 || spec.name.len() > MAX_NAME || spec.tenant == REBUILD_TENANT {
             return Err(VolumeError::BadSpec);
         }
         let mut inner = self.write();
@@ -339,6 +407,7 @@ impl VolumeManager {
                 },
                 map,
                 stats: Arc::new(VolumeStats::default()),
+                gate: Arc::new(IoGate::default()),
             },
         );
         Ok(id)
@@ -370,6 +439,13 @@ impl VolumeManager {
     /// Delete a volume, returning its capacity to the pool. Returns the
     /// deleted row so the caller can release its tenant registration.
     ///
+    /// Blocks until I/O already resolved against the volume drains
+    /// before its extents become allocatable again — an in-flight read
+    /// or write must never land on units a concurrent create has handed
+    /// to another tenant. The table row disappears immediately, so new
+    /// resolutions fail with [`VolumeError::NotFound`] while the drain
+    /// runs, and the write lock is *not* held while waiting.
+    ///
     /// # Errors
     ///
     /// [`VolumeError::DefaultVolume`] for id 0,
@@ -378,18 +454,29 @@ impl VolumeManager {
         if id == 0 {
             return Err(VolumeError::DefaultVolume);
         }
+        let (meta, freed, gate) = {
+            let mut inner = self.write();
+            let mut vol = inner.volumes.remove(&id).ok_or(VolumeError::NotFound)?;
+            (vol.meta, vol.map.truncate(0), vol.gate)
+        };
+        gate.quiesce();
         let mut inner = self.write();
-        let mut vol = inner.volumes.remove(&id).ok_or(VolumeError::NotFound)?;
-        let freed = vol.map.truncate(0);
         for seg in freed {
             inner.free[seg.array as usize].give(seg.phys, seg.units);
         }
-        Ok(vol.meta)
+        Ok(meta)
     }
 
     /// Grow or shrink a volume to `new_capacity` units. Growth appends
     /// freshly allocated extents (existing data keeps its mapping);
     /// shrinking frees the logical tail.
+    ///
+    /// A shrink blocks (without holding the write lock) until I/O
+    /// resolved against the pre-shrink mapping drains before the tail
+    /// extents return to the pool: the volume's gate is swapped for a
+    /// fresh one under the write lock, so ops resolved against the
+    /// shrunk mapping — which cannot touch the freed tail — proceed
+    /// unimpeded while the old generation quiesces.
     ///
     /// # Errors
     ///
@@ -399,21 +486,31 @@ impl VolumeManager {
         if new_capacity == 0 {
             return Err(VolumeError::BadSpec);
         }
+        let (freed, gate) = {
+            let mut inner = self.write();
+            let inner = &mut *inner;
+            let vol = inner.volumes.get_mut(&id).ok_or(VolumeError::NotFound)?;
+            let current = vol.meta.capacity_units;
+            if new_capacity >= current {
+                if new_capacity > current {
+                    let grown = Self::alloc(&mut inner.free, new_capacity - current)?;
+                    for e in grown.extents() {
+                        vol.map.append(e.array, e.phys, e.units);
+                    }
+                    vol.meta.capacity_units = new_capacity;
+                }
+                return Ok(());
+            }
+            let freed = vol.map.truncate(new_capacity);
+            vol.meta.capacity_units = new_capacity;
+            let gate = std::mem::take(&mut vol.gate);
+            (freed, gate)
+        };
+        gate.quiesce();
         let mut inner = self.write();
-        let inner = &mut *inner;
-        let vol = inner.volumes.get_mut(&id).ok_or(VolumeError::NotFound)?;
-        let current = vol.meta.capacity_units;
-        if new_capacity > current {
-            let grown = Self::alloc(&mut inner.free, new_capacity - current)?;
-            for e in grown.extents() {
-                vol.map.append(e.array, e.phys, e.units);
-            }
-        } else {
-            for seg in vol.map.truncate(new_capacity) {
-                inner.free[seg.array as usize].give(seg.phys, seg.units);
-            }
+        for seg in freed {
+            inner.free[seg.array as usize].give(seg.phys, seg.units);
         }
-        vol.meta.capacity_units = new_capacity;
         Ok(())
     }
 
@@ -454,7 +551,10 @@ impl VolumeManager {
             .collect()
     }
 
-    /// Translate `(volume, offset, units)` into physical segments.
+    /// Translate `(volume, offset, units)` into physical segments. The
+    /// returned [`Resolved`] pins the mapping via its [`IoPermit`]:
+    /// keep it alive until the physical I/O completes, or a concurrent
+    /// delete/shrink could recycle the segments' units mid-flight.
     ///
     /// # Errors
     ///
@@ -471,6 +571,7 @@ impl VolumeManager {
             segments,
             tenant: vol.meta.tenant,
             stats: Arc::clone(&vol.stats),
+            permit: vol.gate.begin(),
         })
     }
 }
@@ -598,6 +699,62 @@ mod tests {
         assert_eq!(m.resize(0, 21).unwrap_err(), VolumeError::NoCapacity);
         assert_eq!(m.resolve(3, 0, 1).unwrap_err(), VolumeError::NotFound);
         assert_eq!(m.resolve(0, 19, 2).unwrap_err(), VolumeError::OutOfRange);
+    }
+
+    #[test]
+    fn rebuild_tenant_is_not_assignable_through_a_spec() {
+        let m = VolumeManager::new(&[100]);
+        m.resize(0, 10).unwrap();
+        let mut spec = VolumeSpec::new("sneaky", 5);
+        spec.tenant = REBUILD_TENANT;
+        assert_eq!(m.create(&spec).unwrap_err(), VolumeError::BadSpec);
+    }
+
+    #[test]
+    fn delete_waits_for_inflight_io_before_freeing_extents() {
+        let m = Arc::new(VolumeManager::new(&[100]));
+        m.resize(0, 10).unwrap();
+        let v = m.create(&VolumeSpec::new("victim", 40)).unwrap();
+        let resolved = m.resolve(v, 0, 40).unwrap();
+        let mc = Arc::clone(&m);
+        let deleter = std::thread::spawn(move || mc.delete(v).unwrap());
+        // The row vanishes promptly (new resolves fail) but the space
+        // must not return to the pool while `resolved` pins it.
+        let start = std::time::Instant::now();
+        while m.resolve(v, 0, 1).is_ok() {
+            assert!(start.elapsed() < std::time::Duration::from_secs(5));
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(m.free_units(), vec![50], "freed while I/O in flight");
+        drop(resolved);
+        deleter.join().unwrap();
+        assert_eq!(m.free_units(), vec![90]);
+    }
+
+    #[test]
+    fn shrink_waits_for_old_generation_but_not_new_io() {
+        let m = Arc::new(VolumeManager::new(&[100]));
+        m.resize(0, 10).unwrap();
+        let v = m.create(&VolumeSpec::new("v", 60)).unwrap();
+        let old = m.resolve(v, 0, 60).unwrap();
+        let mc = Arc::clone(&m);
+        let shrinker = std::thread::spawn(move || mc.resize(v, 20).unwrap());
+        // Wait until the shrink has taken effect in the table…
+        let start = std::time::Instant::now();
+        while m.meta(v).unwrap().capacity_units != 20 {
+            assert!(start.elapsed() < std::time::Duration::from_secs(5));
+            std::thread::yield_now();
+        }
+        // …then I/O against the shrunk mapping resolves and completes
+        // without waiting on the drain, and the tail stays unfree.
+        let fresh = m.resolve(v, 0, 20).unwrap();
+        drop(fresh);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(m.free_units(), vec![30], "tail freed under old I/O");
+        drop(old);
+        shrinker.join().unwrap();
+        assert_eq!(m.free_units(), vec![70]);
     }
 
     #[test]

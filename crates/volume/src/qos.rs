@@ -484,7 +484,12 @@ impl<T> QosQueue<T> {
                     q.deficit = q.deficit.saturating_add(QUANTUM * w).min(DEFICIT_CAP);
                     q.credited = true;
                 }
-                let cost = q.items[0].bytes.max(COST_FLOOR);
+                // Clamp at DEFICIT_CAP: the deficit itself is capped
+                // there, so a larger cost could never be covered and
+                // would wedge this tenant's FIFO head forever. An op
+                // this big still drains the full cap, so it pays the
+                // maximum share DRR can express.
+                let cost = q.items[0].bytes.clamp(COST_FLOOR, DEFICIT_CAP);
                 if q.deficit < cost {
                     q.credited = false; // leave; re-credit on next visit
                     continue;
@@ -721,6 +726,21 @@ mod tests {
             pos as u64 <= QUANTUM / COST_FLOOR,
             "victim served at position {pos}"
         );
+    }
+
+    #[test]
+    fn oversized_op_dispatches_and_does_not_wedge_its_tenant() {
+        let r = Arc::new(TenantRegistry::new());
+        r.register(1, TenantLimits::default());
+        let q = QosQueue::new(Arc::clone(&r), 8);
+        // Costs above DEFICIT_CAP used to be unreachable by a capped
+        // deficit, permanently wedging the tenant's FIFO head.
+        q.push(1, DEFICIT_CAP * 4, "huge").unwrap();
+        q.push(1, 1024, "after").unwrap();
+        let start = Instant::now();
+        assert_eq!(q.pop(), Some("huge"));
+        assert_eq!(q.pop(), Some("after"));
+        assert!(start.elapsed() < Duration::from_secs(2));
     }
 
     #[test]
