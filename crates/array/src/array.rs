@@ -33,7 +33,7 @@
 //! writes to the stripes in the batch — `pddl-server` does this with the
 //! same stripe-lock table it uses for writes.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -669,60 +669,188 @@ impl DeclusteredArray {
     ///
     /// As [`DeclusteredArray::read`].
     pub fn write(&self, start: u64, data: &[u8]) -> Result<(), ArrayError> {
-        if data.is_empty() || !data.len().is_multiple_of(self.unit_bytes) {
-            return Err(ArrayError::BadAddress);
-        }
-        let units = (data.len() / self.unit_bytes) as u64;
-        if start
-            .checked_add(units)
-            .is_none_or(|end| end > self.capacity_units())
-        {
-            return Err(ArrayError::BadAddress);
-        }
-        // Group the update by stripe.
-        type StripeUpdate<'a> = (u64, Vec<(usize, &'a [u8])>);
-        let mut by_stripe: Vec<StripeUpdate> = Vec::new();
-        for (i, chunk) in data.chunks(self.unit_bytes).enumerate() {
-            let (stripe, index) = self.layout.locate(start + i as u64);
-            match by_stripe.last_mut() {
-                Some((s, items)) if *s == stripe => items.push((index, chunk)),
-                _ => by_stripe.push((stripe, vec![(index, chunk)])),
-            }
-        }
-        for (stripe, updates) in by_stripe {
-            let d = self.layout.data_per_stripe();
-            // Log the intent first (write-hole protection), perform the
-            // update, then retire the intent. A crash between the two
-            // leaves the stripe marked for parity repair at recovery.
-            lock(&self.intents).push(stripe);
-            // Small updates on healthy stripes use the delta path: read
-            // old data + old checks, fold the XOR-delta into each check
-            // (read-modify-write, like a real controller). Everything
-            // else falls back to whole-stripe read/re-encode.
-            if rlock(&self.failed).is_empty() && 2 * updates.len() <= d && updates.len() < d {
-                // The delta path declines (without erroring) when a unit
-                // it must read is unreadable — e.g. an injected media
-                // error — and we fall back to the reconstructing path.
-                if !self.small_write(stripe, &updates)? {
-                    self.rmw_stripe(stripe, &updates)?;
-                }
-            } else {
-                self.rmw_stripe(stripe, &updates)?;
-            }
-            self.retire_intent(stripe);
-            self.emit(ObsEvent::JournalCommit { stripe });
-        }
-        Ok(())
+        self.write_batch(&[(start, data)])
+            .pop()
+            .expect("one op in, one result out")
     }
 
-    /// Retire one journal entry for `stripe` (any occurrence is
-    /// equivalent — entries are just stripe numbers, so order need not
-    /// be preserved and `swap_remove` keeps retirement O(1)).
-    fn retire_intent(&self, stripe: u64) {
-        let mut intents = lock(&self.intents);
-        if let Some(pos) = intents.iter().rposition(|&s| s == stripe) {
-            intents.swap_remove(pos);
+    /// Write a batch of independent `(start, data)` ops as one
+    /// group-committed journal transaction, returning a result per op.
+    ///
+    /// All ops' units are grouped by stripe through one keyed map — not
+    /// by run adjacency, because PDDL's permuted layout makes
+    /// consecutive logical units revisit a stripe non-adjacently — so N
+    /// small writes landing on one stripe merge into a single parity
+    /// read-modify-write. When a batch covers every data unit of a
+    /// healthy stripe it promotes to a full-stripe re-encode: the check
+    /// units are computed from the new data and nothing is read at all.
+    /// The whole batch costs one journal append and one retire (the
+    /// group commit) instead of one of each per stripe per op.
+    ///
+    /// Within a batch, later ops overwrite earlier ones where they
+    /// touch the same unit (deposit order), matching what sequential
+    /// execution would leave on disk. Callers must serialize batches
+    /// against concurrent writes (or rebuild steps) to the same
+    /// stripes, as for [`DeclusteredArray::write`].
+    ///
+    /// # Errors
+    ///
+    /// Reported per op. A stripe that fails with
+    /// [`ArrayError::MediaError`] or [`ArrayError::Unrecoverable`]
+    /// fails every op that touched it (its intent stays journaled) but
+    /// the rest of the batch proceeds; an [`ArrayError::InjectedCrash`]
+    /// (or device/codec bug) aborts the batch — no later stripe is
+    /// touched, and every unfinished stripe keeps its intent for
+    /// [`DeclusteredArray::recover`].
+    pub fn write_batch(&self, ops: &[(u64, &[u8])]) -> Vec<Result<(), ArrayError>> {
+        let mut results: Vec<Result<(), ArrayError>> = vec![Ok(()); ops.len()];
+        struct StripeBatch<'a> {
+            /// Newest chunk per data-unit index (deposit order wins).
+            updates: BTreeMap<usize, &'a [u8]>,
+            /// Ops contributing to this stripe, for error attribution.
+            ops: Vec<usize>,
         }
+        let mut by_stripe: BTreeMap<u64, StripeBatch> = BTreeMap::new();
+        for (op_idx, &(start, data)) in ops.iter().enumerate() {
+            if data.is_empty() || !data.len().is_multiple_of(self.unit_bytes) {
+                results[op_idx] = Err(ArrayError::BadAddress);
+                continue;
+            }
+            let units = (data.len() / self.unit_bytes) as u64;
+            if start
+                .checked_add(units)
+                .is_none_or(|end| end > self.capacity_units())
+            {
+                results[op_idx] = Err(ArrayError::BadAddress);
+                continue;
+            }
+            for (i, chunk) in data.chunks(self.unit_bytes).enumerate() {
+                let (stripe, index) = self.layout.locate(start + i as u64);
+                let batch = by_stripe.entry(stripe).or_insert_with(|| StripeBatch {
+                    updates: BTreeMap::new(),
+                    ops: Vec::new(),
+                });
+                batch.updates.insert(index, chunk);
+                if batch.ops.last() != Some(&op_idx) {
+                    batch.ops.push(op_idx);
+                }
+            }
+        }
+        if by_stripe.is_empty() {
+            return results;
+        }
+        // Log every intent first in one append (write-hole protection
+        // for the whole batch), perform the updates stripe by stripe,
+        // then retire the successful intents in one pass. A crash
+        // anywhere in between leaves each unfinished stripe marked for
+        // parity repair at recovery.
+        lock(&self.intents).extend(by_stripe.keys().copied());
+        let d = self.layout.data_per_stripe();
+        let mut retired: Vec<u64> = Vec::with_capacity(by_stripe.len());
+        let mut abort: Option<ArrayError> = None;
+        for (&stripe, batch) in &by_stripe {
+            if let Some(e) = &abort {
+                for &op in &batch.ops {
+                    if results[op].is_ok() {
+                        results[op] = Err(e.clone());
+                    }
+                }
+                continue;
+            }
+            let updates: Vec<(usize, &[u8])> = batch
+                .updates
+                .iter()
+                .map(|(&i, &chunk)| (i, chunk))
+                .collect();
+            // Full-stripe batches on a healthy array re-encode from the
+            // new data alone. Small updates on healthy stripes use the
+            // delta path: read old data + old checks, fold the
+            // XOR-delta into each check (read-modify-write, like a real
+            // controller). Everything else falls back to whole-stripe
+            // read/re-encode. Promotion and the delta path require a
+            // fault-free array: a degraded stripe must go through the
+            // reconstructing path so no acknowledged unit is silently
+            // dropped on a failed disk.
+            let healthy = rlock(&self.failed).is_empty();
+            let outcome = if healthy && updates.len() == d {
+                self.full_stripe_write(stripe, &updates)
+            } else if healthy && 2 * updates.len() <= d && updates.len() < d {
+                // The delta path declines (without erroring) when a
+                // unit it must read is unreadable — e.g. an injected
+                // media error — and we fall back to the reconstructing
+                // path.
+                match self.small_write(stripe, &updates) {
+                    Ok(true) => Ok(()),
+                    Ok(false) => self.rmw_stripe(stripe, &updates),
+                    Err(e) => Err(e),
+                }
+            } else {
+                self.rmw_stripe(stripe, &updates)
+            };
+            match outcome {
+                Ok(()) => {
+                    retired.push(stripe);
+                    self.emit(ObsEvent::JournalCommit { stripe });
+                }
+                Err(e @ (ArrayError::MediaError { .. } | ArrayError::Unrecoverable { .. })) => {
+                    // Contained to this stripe: its intent stays
+                    // journaled, the rest of the batch proceeds.
+                    for &op in &batch.ops {
+                        if results[op].is_ok() {
+                            results[op] = Err(e.clone());
+                        }
+                    }
+                }
+                Err(e) => {
+                    // A crash (or device/codec bug) stops the
+                    // controller: nothing after this stripe reaches
+                    // disk, and every unfinished intent stays for
+                    // recovery.
+                    for &op in &batch.ops {
+                        if results[op].is_ok() {
+                            results[op] = Err(e.clone());
+                        }
+                    }
+                    abort = Some(e);
+                }
+            }
+        }
+        self.retire_intents(&retired);
+        self.emit(ObsEvent::JournalBatch {
+            stripes: by_stripe.len() as u64,
+            ops: ops.len() as u64,
+        });
+        results
+    }
+
+    /// Retire the journal entries for `stripes` in one append-side lock
+    /// acquisition (any occurrence of each stripe is equivalent —
+    /// entries are just stripe numbers, so order need not be preserved
+    /// and `swap_remove` keeps each retirement O(1)).
+    fn retire_intents(&self, stripes: &[u64]) {
+        let mut intents = lock(&self.intents);
+        for &stripe in stripes {
+            if let Some(pos) = intents.iter().rposition(|&s| s == stripe) {
+                intents.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Full-stripe write on a healthy array: every data unit is being
+    /// replaced, so the check units are encoded from the new data and
+    /// no old contents are read at all (the paper's large-write
+    /// optimization, applied when a batch happens to cover a row).
+    fn full_stripe_write(&self, stripe: u64, updates: &[(usize, &[u8])]) -> Result<(), ArrayError> {
+        debug_assert_eq!(updates.len(), self.layout.data_per_stripe());
+        let data: Vec<Vec<u8>> = updates.iter().map(|&(_, chunk)| chunk.to_vec()).collect();
+        let checks = self.rs.encode(&data)?;
+        for &(index, chunk) in updates {
+            self.write_phys(self.layout.data_unit(stripe, index), chunk)?;
+        }
+        for (i, check) in checks.iter().enumerate() {
+            self.write_phys(self.layout.check_unit(stripe, i), check)?;
+        }
+        Ok(())
     }
 
     /// Read-modify-write a whole stripe: fetch current data
@@ -751,10 +879,12 @@ impl DeclusteredArray {
     /// Returns `Ok(false)` when a unit it must *read* turns out to be
     /// unreadable (an injected media error on an otherwise healthy
     /// stripe); the caller falls back to [`Self::rmw_stripe`], which
-    /// reconstructs the unreadable unit through parity. A partial
-    /// delta write before declining is safe: the fallback recomputes
-    /// every check unit from the stripe's current contents, and any
-    /// unreadable unit is one this update overwrites anyway.
+    /// reconstructs the unreadable unit through parity. All reads
+    /// happen before any write, so a decline leaves the stripe
+    /// untouched — the fallback's reconstruction never runs against a
+    /// half-applied delta (with `c ≥ 2` it could otherwise reconstruct
+    /// an unrelated unreadable unit through check units that no longer
+    /// match the data, silently corrupting it).
     fn small_write(&self, stripe: u64, updates: &[(usize, &[u8])]) -> Result<bool, ArrayError> {
         let c = self.layout.check_per_stripe();
         let mut checks: Vec<Vec<u8>> = Vec::with_capacity(c);
@@ -764,20 +894,24 @@ impl DeclusteredArray {
                 None => return Ok(false),
             }
         }
-        // One scratch buffer serves every update: it receives the old
-        // unit, then is XORed with the new bytes in place to become the
-        // delta fed to the parity update.
+        // Read phase: fold each unit's XOR-delta (old contents vs new
+        // bytes) into every check. One scratch buffer serves all
+        // updates.
         let mut delta = vec![0u8; self.unit_bytes];
         for &(index, chunk) in updates {
-            let addr = self.layout.data_unit(stripe, index);
-            if !self.read_phys_into(addr, &mut delta)? {
+            if !self.read_phys_into(self.layout.data_unit(stripe, index), &mut delta)? {
                 return Ok(false);
             }
             kernels::xor_into(&mut delta, chunk);
             for (i, check) in checks.iter_mut().enumerate() {
                 self.rs.apply_delta(i, index, &delta, check);
             }
-            self.write_phys(addr, chunk)?;
+        }
+        // Write phase: data units in index order, then checks — the
+        // same device order as every other write path, which is what
+        // crash recovery's old-or-new reasoning is calibrated against.
+        for &(index, chunk) in updates {
+            self.write_phys(self.layout.data_unit(stripe, index), chunk)?;
         }
         for (i, check) in checks.iter().enumerate() {
             self.write_phys(self.layout.check_unit(stripe, i), check)?;
@@ -807,18 +941,26 @@ impl DeclusteredArray {
     /// consistency and closes the write hole. Returns the number of
     /// stripes repaired.
     ///
+    /// Takes `&self` so replay is reachable through a shared handle (a
+    /// restarted server replays through its `Arc`'d engine), under the
+    /// same quiesce discipline as rebuild: callers must exclude
+    /// concurrent *writes* to the journaled stripes for the duration —
+    /// `pddl-server` holds the array-wide write lock it already uses
+    /// for lifecycle operations.
+    ///
     /// # Errors
     ///
     /// [`ArrayError::WrongDiskState`] while disks are failed (replay
     /// needs every data unit readable — repair the array first).
-    pub fn recover(&mut self) -> Result<u64, ArrayError> {
+    pub fn recover(&self) -> Result<u64, ArrayError> {
         *lock(&self.crash_after_writes) = None;
         if !rlock(&self.failed).is_empty() {
             return Err(ArrayError::WrongDiskState);
         }
-        // Take the journal instead of cloning it (`&mut self` excludes
-        // concurrent writers); on a replay error the taken entries are
-        // put back so a later retry can finish the repair.
+        // Take the journal instead of cloning it; on a replay error the
+        // taken entries are put back — appended, not assigned, in case
+        // a caller outside the quiesce discipline journaled a new
+        // intent meanwhile — so a later retry can finish the repair.
         let mut stripes = std::mem::take(&mut *lock(&self.intents));
         stripes.sort_unstable();
         match self.replay_stripes(&stripes) {
@@ -827,9 +969,7 @@ impl DeclusteredArray {
                 Ok(repaired)
             }
             Err(e) => {
-                let mut intents = lock(&self.intents);
-                debug_assert!(intents.is_empty(), "no writers during recover");
-                *intents = stripes;
+                lock(&self.intents).extend(stripes);
                 Err(e)
             }
         }
@@ -1520,8 +1660,12 @@ mod tests {
         a.scrub().unwrap();
         let o = obs.lock().unwrap();
         let r = o.registry();
-        // One journal commit per touched stripe on the write path.
+        // One journal commit per touched stripe on the write path, one
+        // group commit per batch, batch sizes in the histogram.
         assert!(r.counter("journal.commits").unwrap() > 0);
+        assert!(r.counter("journal.group_commits").unwrap() > 0);
+        let batch_sizes = r.histogram("journal.batch_size").unwrap();
+        assert!(batch_sizes.count() > 0);
         assert_eq!(r.counter("disk.failures"), Some(1));
         assert_eq!(r.counter("scrub.passes"), Some(1));
         assert_eq!(r.counter("scrub.repaired"), Some(0));
@@ -1780,6 +1924,7 @@ mod tests {
 mod small_write_tests {
     use super::*;
     use pddl_core::Pddl;
+    use pddl_disk::fault::CellFaults;
 
     fn pattern(len: usize, seed: u8) -> Vec<u8> {
         (0..len)
@@ -1834,6 +1979,227 @@ mod small_write_tests {
         a.fail_disk(0).unwrap();
         a.fail_disk(6).unwrap();
         assert_eq!(a.read(3, 1).unwrap(), pattern(8, 6));
+    }
+
+    #[test]
+    fn permuted_region_batch_updates_each_stripe_once() {
+        // Over PDDL's permuted region, a batch's deposit order revisits
+        // stripes non-adjacently (ops land wherever clients issued
+        // them); run-adjacency grouping would journal and parity-update
+        // the same stripe once per visit. Build a deposit order whose
+        // stripe sequence is s0, s1, s0, ... and assert the batch costs
+        // exactly one parity update per distinct stripe: physical
+        // writes == units + distinct_stripes × c.
+        let a = DeclusteredArray::new(Box::new(Pddl::new(7, 3).unwrap()), 16, 2).unwrap();
+        a.write(0, &pattern(16 * a.capacity_units() as usize, 1))
+            .unwrap();
+        let c = a.layout().check_per_stripe() as u64;
+        let d = a.layout().data_per_stripe() as u64;
+        // Units 0 and 1 share stripe s0; unit d is the first unit of
+        // the next stripe. Deposit order s0, s1, s0.
+        let (s0, _) = a.layout().locate(0);
+        let (s1, _) = a.layout().locate(d);
+        assert_ne!(s0, s1);
+        let chunks: Vec<Vec<u8>> = (0..3).map(|i| pattern(16, 2 + i)).collect();
+        let ops: Vec<(u64, &[u8])> = vec![
+            (0, chunks[0].as_slice()),
+            (d, chunks[1].as_slice()),
+            (1, chunks[2].as_slice()),
+        ];
+        let (_, w0) = a.io_counts();
+        let results = a.write_batch(&ops);
+        assert!(results.iter().all(Result::is_ok), "{results:?}");
+        let (_, w1) = a.io_counts();
+        assert_eq!(
+            w1 - w0,
+            3 + 2 * c,
+            "each distinct stripe's checks written exactly once"
+        );
+        assert!(a.outstanding_intents().is_empty());
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+        for (i, &(start, _)) in ops.iter().enumerate() {
+            assert_eq!(a.read(start, 1).unwrap(), chunks[i]);
+        }
+    }
+
+    #[test]
+    fn batched_same_stripe_writes_coalesce_into_one_rmw() {
+        // RAID-5, 12 data units per stripe: units 0 and 5 share stripe
+        // 0. Two separate ops cost 2 × (2r + 2w); one batch folds them
+        // into a single delta RMW: (1 + 2) reads, (2 + 1) writes.
+        let a = DeclusteredArray::new(Box::new(pddl_core::Raid5::new(13).unwrap()), 16, 2).unwrap();
+        a.write(0, &pattern(16 * 24, 1)).unwrap();
+        let (r0, w0) = a.io_counts();
+        let (u0, u5) = (pattern(16, 2), pattern(16, 3));
+        let results = a.write_batch(&[(0, &u0), (5, &u5)]);
+        assert!(results.iter().all(Result::is_ok), "{results:?}");
+        let (r1, w1) = a.io_counts();
+        assert_eq!(r1 - r0, 3, "old parity + both old data units, once");
+        assert_eq!(w1 - w0, 3, "both new data units + new parity, once");
+        assert!(a.outstanding_intents().is_empty());
+        assert_eq!(a.read(0, 1).unwrap(), u0);
+        assert_eq!(a.read(5, 1).unwrap(), u5);
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn batch_covering_a_full_row_promotes_to_re_encode() {
+        // Twelve single-unit ops covering stripe 0 entirely: the batch
+        // promotes to a full-stripe re-encode — no reads at all, and
+        // exactly d + c writes.
+        let a = DeclusteredArray::new(Box::new(pddl_core::Raid5::new(13).unwrap()), 16, 2).unwrap();
+        a.write(0, &pattern(16 * 24, 1)).unwrap();
+        let chunks: Vec<Vec<u8>> = (0..12).map(|u| pattern(16, 4 + u as u8)).collect();
+        let ops: Vec<(u64, &[u8])> = chunks
+            .iter()
+            .enumerate()
+            .map(|(u, chunk)| (u as u64, chunk.as_slice()))
+            .collect();
+        let (r0, w0) = a.io_counts();
+        let results = a.write_batch(&ops);
+        assert!(results.iter().all(Result::is_ok), "{results:?}");
+        let (r1, w1) = a.io_counts();
+        assert_eq!(r1 - r0, 0, "full-stripe promotion reads nothing");
+        assert_eq!(w1 - w0, 13, "d data units + 1 check unit");
+        for (u, chunk) in chunks.iter().enumerate() {
+            assert_eq!(a.read(u as u64, 1).unwrap(), *chunk);
+        }
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn batch_last_writer_wins_on_the_same_unit() {
+        let a = DeclusteredArray::new(Box::new(Pddl::new(7, 3).unwrap()), 16, 2).unwrap();
+        a.write(0, &pattern(16 * 20, 1)).unwrap();
+        let (first, second) = (pattern(16, 2), pattern(16, 3));
+        let results = a.write_batch(&[(4, &first), (4, &second)]);
+        assert!(results.iter().all(Result::is_ok), "{results:?}");
+        assert_eq!(a.read(4, 1).unwrap(), second, "deposit order wins");
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn batch_media_error_fails_only_the_faulted_stripe() {
+        let mut a = DeclusteredArray::new(Box::new(Pddl::new(7, 3).unwrap()), 16, 2).unwrap();
+        let faults = Arc::new(CellFaults::new());
+        a.attach_fault_hook(faults.clone());
+        a.write(0, &pattern(16 * 20, 1)).unwrap();
+        // Two ops on different stripes; arm a write fault under the
+        // second one's data unit.
+        let (s0, _) = a.layout().locate(0);
+        let target = (1..20u64)
+            .find(|&u| a.layout().locate(u).0 != s0)
+            .expect("a unit on another stripe");
+        let (s1, i1) = a.layout().locate(target);
+        let addr = a.layout().data_unit(s1, i1);
+        faults.arm(addr.disk, addr.offset, AccessKind::Write);
+        let (ok_chunk, bad_chunk) = (pattern(16, 2), pattern(16, 3));
+        let results = a.write_batch(&[(0, &ok_chunk), (target, &bad_chunk)]);
+        assert!(results[0].is_ok(), "{results:?}");
+        assert!(
+            matches!(results[1], Err(ArrayError::MediaError { disk, offset })
+                if disk == addr.disk && offset == addr.offset),
+            "{results:?}"
+        );
+        // Only the faulted stripe's intent survives the group retire.
+        assert_eq!(a.outstanding_intents(), vec![s1]);
+        assert_eq!(a.read(0, 1).unwrap(), ok_chunk);
+        faults.disarm_all();
+        assert_eq!(a.recover().unwrap(), 1);
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn batch_rejects_bad_ops_without_touching_good_ones() {
+        let a = DeclusteredArray::new(Box::new(Pddl::new(7, 3).unwrap()), 16, 2).unwrap();
+        a.write(0, &pattern(16 * 20, 1)).unwrap();
+        let good = pattern(16, 2);
+        let ragged = pattern(9, 3);
+        let cap = a.capacity_units();
+        let results = a.write_batch(&[(0, &good), (0, &ragged), (cap, &good), (0, &[])]);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(ArrayError::BadAddress));
+        assert_eq!(results[2], Err(ArrayError::BadAddress));
+        assert_eq!(results[3], Err(ArrayError::BadAddress));
+        assert_eq!(a.read(0, 1).unwrap(), good);
+        assert!(a.outstanding_intents().is_empty());
+        assert_eq!(a.scrub().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn declined_delta_leaves_no_partial_write_behind() {
+        // c = 2 and *two* unreadable data units in one stripe: the
+        // delta path must decline before writing anything, so the
+        // fallback's reconstruction runs against checks that still
+        // match the data. (A half-applied delta here would reconstruct
+        // the sibling unit through stale parity — silent corruption.)
+        let layout = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
+        let d = 2; // data units per stripe for this shape
+        for target in 0..20u64 {
+            let mut a = DeclusteredArray::new(Box::new(layout.clone()), 8, 1).unwrap();
+            let faults = Arc::new(CellFaults::new());
+            a.attach_fault_hook(faults.clone());
+            let old = pattern(8 * 20, 5);
+            a.write(0, &old).unwrap();
+            let (stripe, index) = a.layout().locate(target);
+            let sibling_index = (index + 1) % d;
+            faults.arm(
+                a.layout().data_unit(stripe, index).disk,
+                a.layout().data_unit(stripe, index).offset,
+                AccessKind::Read,
+            );
+            faults.arm(
+                a.layout().data_unit(stripe, sibling_index).disk,
+                a.layout().data_unit(stripe, sibling_index).offset,
+                AccessKind::Read,
+            );
+            let fresh = pattern(8, 6);
+            a.write(target, &fresh).unwrap();
+            faults.disarm_all();
+            assert_eq!(a.read(target, 1).unwrap(), fresh, "target {target}");
+            assert_eq!(a.scrub().unwrap(), Vec::<u64>::new(), "target {target}");
+            // The sibling unit kept its old bytes: reconstruct its
+            // logical address and compare.
+            let sibling_logical = (0..a.capacity_units())
+                .find(|&u| a.layout().locate(u) == (stripe, sibling_index))
+                .expect("sibling unit is addressable");
+            if sibling_logical < 20 {
+                let want = &old[sibling_logical as usize * 8..(sibling_logical as usize + 1) * 8];
+                assert_eq!(a.read(sibling_logical, 1).unwrap(), want, "target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_fault_mid_delta_keeps_parity_recoverable() {
+        // A write fault between the delta path's check-unit writes
+        // tears the stripe (data new, checks mixed old/new). The intent
+        // stays journaled; replay must restore consistency with the new
+        // data visible. Swept over every unit of the first few stripes.
+        let layout = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
+        for target in 0..20u64 {
+            for faulted_check in 0..2usize {
+                let mut a = DeclusteredArray::new(Box::new(layout.clone()), 8, 1).unwrap();
+                let faults = Arc::new(CellFaults::new());
+                a.attach_fault_hook(faults.clone());
+                a.write(0, &pattern(8 * 20, 5)).unwrap();
+                let (stripe, _) = a.layout().locate(target);
+                let check = a.layout().check_unit(stripe, faulted_check);
+                faults.arm(check.disk, check.offset, AccessKind::Write);
+                let fresh = pattern(8, 7);
+                let err = a.write(target, &fresh).unwrap_err();
+                assert!(matches!(err, ArrayError::MediaError { .. }), "{err:?}");
+                assert_eq!(a.outstanding_intents(), vec![stripe]);
+                faults.disarm_all();
+                assert_eq!(a.recover().unwrap(), 1);
+                assert_eq!(
+                    a.scrub().unwrap(),
+                    Vec::<u64>::new(),
+                    "target {target} check {faulted_check}"
+                );
+                assert_eq!(a.read(target, 1).unwrap(), fresh);
+            }
+        }
     }
 }
 
@@ -1923,6 +2289,16 @@ mod write_hole_tests {
         // original pattern written at logical 0.
         let old_block = pattern(8 * 20, 1)[4 * 8..10 * 8].to_vec();
         let new_block = pattern(8 * 6, 2);
+        // How many distinct stripes the 6-unit write touches: the
+        // whole batch is journaled up front, so a crash can leave up to
+        // this many intents outstanding.
+        let batch_stripes = {
+            let a = fresh();
+            (4..10u64)
+                .map(|u| a.layout.locate(u).0)
+                .collect::<BTreeSet<_>>()
+                .len() as u64
+        };
         // The 6-unit write over old data costs at most ~16 physical
         // writes; crash after every possible prefix.
         for crash_at in 0..18u64 {
@@ -1936,7 +2312,10 @@ mod write_hole_tests {
             }
             let repaired = a.recover().unwrap();
             if crashed {
-                assert!(repaired <= 1, "one stripe in flight at a time");
+                assert!(
+                    repaired <= batch_stripes,
+                    "at most the whole batch in flight at a time"
+                );
             }
             // Parity is consistent again…
             assert_eq!(a.scrub().unwrap(), Vec::<u64>::new(), "crash_at={crash_at}");
@@ -1959,7 +2338,7 @@ mod write_hole_tests {
 
     #[test]
     fn recovery_without_crash_is_a_noop() {
-        let mut a = fresh();
+        let a = fresh();
         assert_eq!(a.recover().unwrap(), 0);
         assert!(a.outstanding_intents().is_empty());
     }

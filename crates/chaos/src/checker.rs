@@ -36,8 +36,8 @@ use pddl_server::wire::Status;
 
 use crate::nemesis::RunResult;
 use crate::plan::{
-    block_token, client_round_ops, fnv64, token_bytes, ArmedCell, ChaosConfig, ClientOp,
-    FaultEvent, FaultPlan, Phase, RoundCtx,
+    block_token, client_round_ops, crash_commit_tag, fnv64, token_bytes, ArmedCell, ChaosConfig,
+    ClientOp, FaultEvent, FaultPlan, Phase, RoundCtx,
 };
 
 /// One checker finding.
@@ -79,7 +79,10 @@ struct Model {
 /// One stripe-group of a write op: `(index_in_stripe, op_unit, block)`.
 type Group = (u64, Vec<(usize, u32, u64)>);
 
-/// Mirror of `DeclusteredArray::write`'s consecutive-run grouping.
+/// Mirror of `DeclusteredArray::write_batch`'s keyed grouping. The
+/// batch groups by stripe into an ascending map; for one contiguous op
+/// the layout's `locate` is monotonic, so the consecutive-run grouping
+/// below yields the same groups in the same order.
 fn group_by_stripe(op: &ClientOp, layout: &dyn Layout) -> Vec<Group> {
     let mut groups: Vec<Group> = Vec::new();
     for k in 0..op.units {
@@ -152,16 +155,24 @@ impl Model {
     }
 
     /// Expected `(status, payload digest)` of a write, applying the
-    /// exact partial-update semantics of the array's write path.
+    /// exact partial-update semantics of the array's batched write
+    /// path: stripes are processed in ascending order, a stripe that
+    /// fails with `MediaError` or `Unrecoverable` is contained (its
+    /// intent stays journaled, later stripes still commit), and the
+    /// op's status is the first error among its stripes.
     fn apply_write(&mut self, op: &ClientOp, ctx: &RoundCtx, layout: &dyn Layout) -> (Status, u64) {
         let d = layout.data_per_stripe();
+        let mut first_err: Option<Status> = None;
         for (stripe, updates) in group_by_stripe(op, layout) {
             if let Phase::Terminal { d1, d2 } = ctx.phase {
                 if unavailable_units(layout, stripe, d1, d2) > layout.check_per_stripe() {
                     // Reconstruction is impossible; the intent was
-                    // journaled before the attempt and is never retired.
+                    // journaled before the attempt and is never
+                    // retired. Nothing lands on the dead stripe, but
+                    // the batch moves on to the op's later stripes.
                     self.intents.insert(stripe);
-                    return (Status::Unrecoverable, fnv64(&[]));
+                    first_err.get_or_insert(Status::Unrecoverable);
+                    continue;
                 }
             }
             let write_cell: Option<&ArmedCell> =
@@ -178,22 +189,32 @@ impl Model {
                         self.torn.insert(stripe);
                     }
                     self.intents.insert(stripe);
+                    // One MediaFault per faulted stripe: each stripe's
+                    // write phase hits its own armed cell once.
                     self.media_write += 1;
-                    return (Status::MediaError, fnv64(&[]));
+                    first_err.get_or_insert(Status::MediaError);
+                    continue;
                 }
             }
-            // Success path. Read-fault touch bookkeeping: the delta
-            // path reads the check units and the updated units' old
-            // contents; the reconstructing path reads the whole stripe.
+            // Success path. Read-fault touch bookkeeping: the promoted
+            // full-stripe re-encode reads nothing; the delta path reads
+            // the check units and the updated units' old contents; the
+            // reconstructing path reads the whole stripe.
             let w = updates.len();
+            let promoted = matches!(ctx.phase, Phase::Healthy) && w == d;
             let small = matches!(ctx.phase, Phase::Healthy) && 2 * w <= d && w < d;
             if let Some(cell) = ctx.armed.iter().find(|c| !c.write && c.stripe == stripe) {
-                let touches = match cell.block {
-                    // Check cells are read by both write paths.
-                    None => true,
-                    // A data cell is read when updated (old value for
-                    // the delta), or by the whole-stripe fetch.
-                    Some(b) => !small || updates.iter().any(|&(_, _, ub)| ub == b),
+                let touches = if promoted {
+                    false
+                } else {
+                    match cell.block {
+                        // Check cells are read by both non-promoted
+                        // write paths.
+                        None => true,
+                        // A data cell is read when updated (old value
+                        // for the delta), or by the whole-stripe fetch.
+                        Some(b) => !small || updates.iter().any(|&(_, _, ub)| ub == b),
+                    }
                 };
                 if touches {
                     self.read_fault_touched = true;
@@ -207,7 +228,7 @@ impl Model {
                 self.blocks[block as usize] = Some(block_token(op.tag, k));
             }
         }
-        (Status::Ok, fnv64(&[]))
+        (first_err.unwrap_or(Status::Ok), fnv64(&[]))
     }
 }
 
@@ -252,6 +273,17 @@ pub fn check(cfg: &ChaosConfig, plan: &FaultPlan, run: &RunResult) -> Vec<Violat
             // re-encoded from its current data and the intents retire.
             model.torn.clear();
             model.intents.clear();
+        }
+        if let FaultEvent::CrashMidCommit { units, .. } = plan.events[round] {
+            // The event tears a batched write, replays the journal, and
+            // rewrites the region cleanly before the round's clients
+            // run — so the model sees only the final rewrite. The
+            // torn/intent evidence is validated separately against
+            // `run.crash_commits`.
+            let tag = crash_commit_tag(round as u32);
+            for k in 0..units {
+                model.blocks[k as usize] = Some(block_token(tag, k));
+            }
         }
         for client in 0..cfg.clients {
             for op in client_round_ops(plan.seed, client, round, cfg, capacity) {
@@ -362,6 +394,66 @@ pub fn check(cfg: &ChaosConfig, plan: &FaultPlan, run: &RunResult) -> Vec<Violat
                 client: None,
                 what: format!("hostile {} mishandled: {}", h.kind, h.detail),
             });
+        }
+    }
+
+    // Crash-mid-commit evidence: every such event must have torn the
+    // batch (journal intents outstanding), the replay must have
+    // repaired exactly the torn stripes, and the post-replay scrub must
+    // prove no acknowledged write was lost to the write hole.
+    let crash_rounds: Vec<usize> = plan
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, FaultEvent::CrashMidCommit { .. }))
+        .map(|(r, _)| r)
+        .collect();
+    if run.crash_commits.len() != crash_rounds.len() {
+        violations.push(Violation {
+            round: None,
+            client: None,
+            what: format!(
+                "{} crash-mid-commit events recorded, plan has {}",
+                run.crash_commits.len(),
+                crash_rounds.len()
+            ),
+        });
+    }
+    for (&round, ev) in crash_rounds.iter().zip(&run.crash_commits) {
+        let mut push = |what: String| {
+            violations.push(Violation {
+                round: Some(round),
+                client: None,
+                what,
+            })
+        };
+        if ev.round as usize != round {
+            push(format!(
+                "crash evidence desync: recorded round {}",
+                ev.round
+            ));
+            continue;
+        }
+        if ev.status != Status::Internal.code() {
+            push(format!(
+                "torn batched write returned status code {}, expected Internal",
+                ev.status
+            ));
+        }
+        if ev.torn.is_empty() {
+            push("crash left no journal intents although the batch tore".into());
+        }
+        if ev.repaired != ev.torn.len() as u64 {
+            push(format!(
+                "journal replay repaired {} stripes, batch tore {:?}",
+                ev.repaired, ev.torn
+            ));
+        }
+        if !ev.scrub.is_empty() {
+            push(format!(
+                "stripes {:?} still inconsistent after torn-batch replay",
+                ev.scrub
+            ));
         }
     }
 
@@ -541,7 +633,15 @@ fn end_state_checks(
         // touched cell fired at least once during the run.
         push("faults.media_read = 0 although a read fault was exercised".into());
     }
-    let expect_scrubs = 1 + u64::from(matches!(end_phase, Phase::Healthy));
+    // One scrub always runs at end of plan, a second on a fault-free
+    // volume after replay, plus one per crash-mid-commit event (its
+    // repair proof).
+    let crash_events = plan
+        .events
+        .iter()
+        .filter(|e| matches!(e, FaultEvent::CrashMidCommit { .. }))
+        .count() as u64;
+    let expect_scrubs = 1 + u64::from(matches!(end_phase, Phase::Healthy)) + crash_events;
     if c.scrub_passes != expect_scrubs {
         push(format!(
             "scrub.passes = {}, harness ran {expect_scrubs}",

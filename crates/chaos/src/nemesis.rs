@@ -23,8 +23,8 @@ use pddl_server::wire::{self, Op, RebuildState, Status, REQUEST_MAGIC};
 use pddl_server::{Client, TenantLimits, VolumeSpec};
 
 use crate::plan::{
-    block_token, client_round_ops, fnv64, token_bytes, ChaosConfig, Digest, FaultEvent, FaultPlan,
-    HostileKind,
+    block_token, client_round_ops, crash_commit_tag, fnv64, token_bytes, ChaosConfig, Digest,
+    FaultEvent, FaultPlan, HostileKind,
 };
 
 /// One executed client operation, as observed on the wire.
@@ -55,6 +55,25 @@ pub struct HostileOutcome {
     pub ok: bool,
     /// Failure detail when `ok` is false.
     pub detail: String,
+}
+
+/// Evidence from one [`FaultEvent::CrashMidCommit`] round: the torn
+/// batch, the journal replay that repaired it, and the scrub that
+/// proves the repair. Collected entirely inside the barrier window.
+#[derive(Debug, Clone)]
+pub struct CrashCommitEvidence {
+    /// Round the crash ran in.
+    pub round: u32,
+    /// Wire status of the torn batched write (must be `Internal`).
+    pub status: u8,
+    /// Journal intents outstanding right after the crash (sorted,
+    /// deduped) — the stripes the batch left torn.
+    pub torn: Vec<u64>,
+    /// Stripes the immediate journal replay repaired.
+    pub repaired: u64,
+    /// Stripes the post-replay scrub still flagged (must be empty:
+    /// replay repairs every torn-batch stripe).
+    pub scrub: Vec<u64>,
 }
 
 /// Deterministic counters sampled from the observer after the run.
@@ -97,6 +116,9 @@ pub struct RunResult {
     pub histories: Vec<Vec<OpRecord>>,
     /// Hostile-frame outcomes.
     pub hostile: Vec<HostileOutcome>,
+    /// Crash-mid-commit evidence, one entry per such event, in round
+    /// order.
+    pub crash_commits: Vec<CrashCommitEvidence>,
     /// End-state evidence.
     pub end: EndState,
     /// Infrastructure failures (transport errors, protocol violations,
@@ -123,6 +145,15 @@ impl RunResult {
         for h in &self.hostile {
             d.word(u64::from(h.round));
             d.word(u64::from(h.ok));
+        }
+        for c in &self.crash_commits {
+            d.word(u64::from(c.round));
+            d.word(u64::from(c.status));
+            for &s in &c.torn {
+                d.word(s);
+            }
+            d.word(c.repaired);
+            d.word(c.scrub.len() as u64);
         }
         d.word(u64::from(self.end.rebuild.0));
         for &s in &self.end.scrub1 {
@@ -182,6 +213,13 @@ pub fn run(cfg: &ChaosConfig, plan: &FaultPlan) -> Result<RunResult, String> {
             queue_depth: 64,
             idle_timeout: Duration::from_secs(120),
             poll_interval: Duration::from_millis(5),
+            // Group commit stays off in chaos runs: coalescing ops
+            // from different clients into one array batch would
+            // fate-share injected faults nondeterministically, and the
+            // checker's oracle is exact per-op results. The batched
+            // array path is exercised nemesis-side by
+            // `FaultEvent::CrashMidCommit` instead.
+            ..ServerConfig::default()
         },
     )
     .map_err(|e| format!("serve failed: {e}"))?;
@@ -216,6 +254,7 @@ pub fn run(cfg: &ChaosConfig, plan: &FaultPlan) -> Result<RunResult, String> {
 
     let mut infra = Vec::new();
     let mut hostile = Vec::new();
+    let mut crash_commits = Vec::new();
     let vcap = cfg.volume_capacity(capacity);
     let mut mgmt = match Client::connect(addr) {
         Ok(c) => Some(c),
@@ -247,8 +286,9 @@ pub fn run(cfg: &ChaosConfig, plan: &FaultPlan) -> Result<RunResult, String> {
                 &engine,
                 &faults,
                 addr,
-                cfg.volumes as u8,
+                cfg,
                 &mut hostile,
+                &mut crash_commits,
                 &mut infra,
             );
             if cfg.sabotage && round == rounds / 2 {
@@ -293,6 +333,7 @@ pub fn run(cfg: &ChaosConfig, plan: &FaultPlan) -> Result<RunResult, String> {
     Ok(RunResult {
         histories,
         hostile,
+        crash_commits,
         end,
         infra,
     })
@@ -324,10 +365,14 @@ fn apply_event(
     engine: &Arc<Engine>,
     faults: &Arc<CellFaults>,
     addr: SocketAddr,
-    scratch_id: u8,
+    cfg: &ChaosConfig,
     hostile: &mut Vec<HostileOutcome>,
+    crashes: &mut Vec<CrashCommitEvidence>,
     infra: &mut Vec<String>,
 ) {
+    // The scratch volume always re-materializes under the first free id
+    // (client volumes never churn).
+    let scratch_id = cfg.volumes as u8;
     match event {
         FaultEvent::Noop | FaultEvent::Reconnect { .. } => {}
         FaultEvent::FailDisk { disk } => {
@@ -421,6 +466,68 @@ fn apply_event(
                     "round {round}: qos-retune of unknown tenant {tenant}"
                 ));
             }
+        }
+        FaultEvent::CrashMidCommit {
+            units,
+            after_writes,
+        } => {
+            // Tear a group commit and repair it, all inside the barrier
+            // window: arm the crash hook, let one multi-stripe batched
+            // write at the head of volume 0 die mid-flush, capture the
+            // journal trail, replay it, scrub, then rewrite the region
+            // cleanly. Self-healing — the only state the round's
+            // clients (and the final readback) observe is the rewrite's
+            // well-known tokens.
+            engine.arm_crash(after_writes);
+            let tag = crash_commit_tag(round);
+            let mut payload = Vec::with_capacity(units as usize * cfg.unit_bytes);
+            for k in 0..units {
+                payload.extend_from_slice(&token_bytes(block_token(tag, k), cfg.unit_bytes));
+            }
+            let status = match mgmt.request_on(0, Op::Write, 0, units, payload.clone()) {
+                Ok((status, _)) => status.code(),
+                Err(e) => {
+                    infra.push(format!(
+                        "round {round}: crash-mid-commit write transport failure: {e}"
+                    ));
+                    u8::MAX
+                }
+            };
+            let mut torn = engine.outstanding_intents();
+            torn.sort_unstable();
+            torn.dedup();
+            let repaired = match engine.recover() {
+                Ok(n) => n,
+                Err(e) => {
+                    infra.push(format!(
+                        "round {round}: crash-mid-commit replay failed: {e}"
+                    ));
+                    0
+                }
+            };
+            let scrub = match engine.scrub() {
+                Ok(bad) => bad,
+                Err(e) => {
+                    infra.push(format!("round {round}: crash-mid-commit scrub failed: {e}"));
+                    Vec::new()
+                }
+            };
+            match mgmt.request_on(0, Op::Write, 0, units, payload) {
+                Ok((Status::Ok, _)) => {}
+                Ok((s, _)) => {
+                    infra.push(format!("round {round}: crash-mid-commit rewrite got {s:?}"))
+                }
+                Err(e) => infra.push(format!(
+                    "round {round}: crash-mid-commit rewrite transport failure: {e}"
+                )),
+            }
+            crashes.push(CrashCommitEvidence {
+                round,
+                status,
+                torn,
+                repaired,
+                scrub,
+            });
         }
     }
 }

@@ -269,6 +269,28 @@ pub enum FaultEvent {
         /// harness never stalls into its timeouts.
         ops_per_sec: u64,
     },
+    /// Crash the array mid-group-commit (Healthy-only, no cells
+    /// armed): arm the crash hook, issue one multi-stripe write at
+    /// volume 0 offset 0 so the batched journal path tears partway
+    /// through its flush, then replay the journal and rewrite the
+    /// region cleanly — all inside the barrier window, so the event is
+    /// self-healing and the round's clients see a consistent array.
+    CrashMidCommit {
+        /// Units the torn batch covers (spans ≥ 2 stripes).
+        units: u32,
+        /// Physical unit writes the crash hook lets through before
+        /// failing; always less than `units`, so the batch is
+        /// guaranteed to tear mid-flush.
+        after_writes: u64,
+    },
+}
+
+/// The write identity of the clean rewrite that ends a
+/// [`FaultEvent::CrashMidCommit`] round — shared by the nemesis (which
+/// issues it) and the checker's model (which replays it). The high
+/// byte keeps it out of every client tag's `(client << 48)` space.
+pub fn crash_commit_tag(round: u32) -> u64 {
+    0xcc00_0000_0000_0000 | u64::from(round)
 }
 
 impl fmt::Display for FaultEvent {
@@ -315,6 +337,10 @@ impl fmt::Display for FaultEvent {
                     write!(f, "qos-retune tenant {tenant} -> {ops_per_sec} ops/s")
                 }
             }
+            FaultEvent::CrashMidCommit {
+                units,
+                after_writes,
+            } => write!(f, "crash-mid-commit {units}u after {after_writes} writes"),
         }
     }
 }
@@ -391,6 +417,9 @@ impl FaultPlan {
                 }
                 FaultEvent::ArmMedia { cell } => armed.push(cell),
                 FaultEvent::DisarmFaults => armed.clear(),
+                // CrashMidCommit is self-healing: the crash hook is
+                // consumed by the event's own journal replay before the
+                // round's clients run, so it leaves no armed state.
                 FaultEvent::Noop
                 | FaultEvent::Throttle { .. }
                 | FaultEvent::Reconnect { .. }
@@ -398,7 +427,8 @@ impl FaultPlan {
                 | FaultEvent::VolumeCreate { .. }
                 | FaultEvent::VolumeDelete
                 | FaultEvent::VolumeResize { .. }
-                | FaultEvent::QosRetune { .. } => {}
+                | FaultEvent::QosRetune { .. }
+                | FaultEvent::CrashMidCommit { .. } => {}
             }
             out.push(RoundCtx {
                 phase,
@@ -466,6 +496,10 @@ pub fn generate(seed: u64, cfg: &ChaosConfig) -> Result<FaultPlan, String> {
                     // and its damage repaired (the DisarmFaults event
                     // also replays the journal).
                     m.push(("fail", 2));
+                    // Crash-mid-commit needs the same quiet baseline:
+                    // the torn batch and its replay must be the only
+                    // damage in flight for the evidence to be exact.
+                    m.push(("crash", 2));
                 } else {
                     m.push(("disarm", 2));
                 }
@@ -615,6 +649,25 @@ pub fn generate(seed: u64, cfg: &ChaosConfig) -> Result<FaultPlan, String> {
             "volresize" => FaultEvent::VolumeResize {
                 units: 1 + rng.below_u64(vcap.max(1)),
             },
+            "crash" => {
+                let d = layout.data_per_stripe() as u64;
+                // Span strictly more than one stripe row so the torn
+                // batch always leaves a multi-stripe journal trail, but
+                // stay inside volume 0 (vcap units).
+                let hi = (3 * d).min(vcap);
+                if hi <= d {
+                    FaultEvent::Noop
+                } else {
+                    let units = (d + 1 + rng.below_u64(hi - d)).min(hi);
+                    FaultEvent::CrashMidCommit {
+                        units: units as u32,
+                        // Fewer let-through writes than data units means
+                        // the hook always fires before the batch's final
+                        // check write, so at least one stripe tears.
+                        after_writes: rng.below_u64(units),
+                    }
+                }
+            }
             "qos" => FaultEvent::QosRetune {
                 tenant: rng.below(cfg.volumes) as u32,
                 // Either back to unlimited or a band generous enough
@@ -792,6 +845,13 @@ mod tests {
                         };
                         assert_ne!(disk, d1);
                     }
+                    FaultEvent::CrashMidCommit { .. } => {
+                        assert_eq!(phase, Phase::Healthy, "seed {seed} round {r}");
+                        assert!(
+                            armed.is_empty(),
+                            "seed {seed} round {r}: crash-mid-commit while armed"
+                        );
+                    }
                     _ => {}
                 }
                 // Keep the shadow phase in sync via the same replay the
@@ -850,6 +910,7 @@ mod tests {
         let mut vol_delete = 0;
         let mut vol_resize = 0;
         let mut qos = 0;
+        let mut crash = 0;
         for seed in 0..40 {
             for e in generate(seed, &cfg).unwrap().events {
                 match e {
@@ -870,6 +931,15 @@ mod tests {
                     FaultEvent::VolumeDelete => vol_delete += 1,
                     FaultEvent::VolumeResize { .. } => vol_resize += 1,
                     FaultEvent::QosRetune { .. } => qos += 1,
+                    FaultEvent::CrashMidCommit {
+                        units,
+                        after_writes,
+                    } => {
+                        let d = cfg.layout().unwrap().data_per_stripe() as u64;
+                        assert!(u64::from(units) > d, "crash batch must span >1 stripe");
+                        assert!(after_writes < u64::from(units), "crash must tear the batch");
+                        crash += 1;
+                    }
                     FaultEvent::Noop => {}
                 }
             }
@@ -890,6 +960,7 @@ mod tests {
             ("volume-delete", vol_delete),
             ("volume-resize", vol_resize),
             ("qos-retune", qos),
+            ("crash-mid-commit", crash),
         ] {
             assert!(n > 0, "40-seed sweep never generated a {name} event");
         }

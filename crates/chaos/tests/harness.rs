@@ -2,7 +2,8 @@
 //! pass and reproduce bit-identically, and a deliberately unmodeled
 //! corruption must be caught and shrunk.
 
-use pddl_chaos::{run_seed, ChaosConfig};
+use pddl_chaos::plan::FaultEvent;
+use pddl_chaos::{generate, run, run_seed, ChaosConfig};
 
 #[test]
 fn clean_seeds_pass_and_reproduce() {
@@ -52,4 +53,55 @@ fn sabotage_is_caught_and_shrunk() {
         shrunk.rounds
     );
     assert!(!shrunk.violations.is_empty());
+}
+
+/// The crash-mid-group-commit plan must actually occur inside the CI
+/// sweep's seed range, and its evidence must show the full story: the
+/// batch tore (journal intents outstanding), replay repaired every torn
+/// stripe, and the post-replay scrub came back clean.
+#[test]
+fn crash_mid_commit_tears_and_replay_repairs() {
+    let cfg = ChaosConfig::default();
+    let mut exercised = 0;
+    for seed in 0..20 {
+        let plan = generate(seed, &cfg).unwrap();
+        let crashes = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::CrashMidCommit { .. }))
+            .count();
+        if crashes == 0 {
+            continue;
+        }
+        let result = run(&cfg, &plan).unwrap();
+        assert_eq!(result.crash_commits.len(), crashes, "seed {seed}");
+        for ev in &result.crash_commits {
+            assert!(
+                !ev.torn.is_empty(),
+                "seed {seed} round {}: crash left no torn stripes",
+                ev.round
+            );
+            assert_eq!(
+                ev.repaired,
+                ev.torn.len() as u64,
+                "seed {seed} round {}: replay missed torn stripes {:?}",
+                ev.round,
+                ev.torn
+            );
+            assert!(
+                ev.scrub.is_empty(),
+                "seed {seed} round {}: stripes {:?} inconsistent after replay",
+                ev.round,
+                ev.scrub
+            );
+        }
+        exercised += 1;
+        if exercised >= 3 {
+            break;
+        }
+    }
+    assert!(
+        exercised > 0,
+        "no seed in 0..20 generated a crash-mid-commit event"
+    );
 }

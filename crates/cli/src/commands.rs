@@ -50,10 +50,13 @@ USAGE:
                  [--addr HOST:PORT] [--workers W] [--queue-depth Q]
                  [--shards S] [--duration-ms T] [--rebuild-batch B]
                  [--rebuild-rate R] [--metrics-addr HOST:PORT]
+                 [--commit-batch N] [--commit-interval US]
                    export the functional array as a TCP block service;
                    REBUILD runs online in batches of B stripes,
                    throttled to R stripes/sec (0 = unthrottled);
-                   --metrics-addr adds a Prometheus /metrics endpoint
+                   --metrics-addr adds a Prometheus /metrics endpoint;
+                   --commit-batch N (≥2) group-commits WRITEs N at a
+                   time, flushing early after --commit-interval µs
   pddl stats     --addr HOST:PORT
                    one telemetry snapshot from a served volume
                    (counters, gauges, latency histograms)
@@ -650,10 +653,17 @@ fn build_engine(cli: &Cli, obs: Option<&ObsOutput>) -> Result<Engine, String> {
 }
 
 fn server_config(cli: &Cli) -> Result<ServerConfig, String> {
+    let defaults = ServerConfig::default();
+    let commit_interval_us: u64 = cli.num(
+        "commit-interval",
+        defaults.commit_interval.as_micros() as u64,
+    )?;
     Ok(ServerConfig {
         workers: cli.num("workers", 4)?,
         queue_depth: cli.num("queue-depth", 64)?,
-        ..ServerConfig::default()
+        commit_batch: cli.num("commit-batch", defaults.commit_batch)?,
+        commit_interval: std::time::Duration::from_micros(commit_interval_us),
+        ..defaults
     })
 }
 
@@ -684,6 +694,14 @@ pub fn serve_cmd(cli: &Cli) -> Result<(), String> {
     );
     if let Some(m) = &metrics {
         println!("metrics on http://{}/metrics", m.local_addr());
+    }
+    let commit = engine.commit_config();
+    if commit.batch >= 2 {
+        println!(
+            "group commit: flush at {} writes or {} µs",
+            commit.batch,
+            commit.interval.as_micros()
+        );
     }
     if duration_ms == 0 {
         // Run until killed; the handle's threads do all the work.

@@ -134,6 +134,15 @@ pub enum Event {
         /// Stripe whose intent record was retired.
         stripe: u64,
     },
+    /// A group-committed write batch finished: all of its intents were
+    /// appended in one journal write and the successful ones retired in
+    /// one pass.
+    JournalBatch {
+        /// Distinct stripes the batch touched (the group-commit size).
+        stripes: u64,
+        /// Client ops coalesced into the batch.
+        ops: u64,
+    },
     /// Crash recovery replayed outstanding journal intents.
     JournalReplay {
         /// Number of stripes re-verified/repaired from the journal.
@@ -175,6 +184,7 @@ impl Event {
             Event::RebuildBatch { .. } => "rebuild_batch",
             Event::RebuildHalted { .. } => "rebuild_halted",
             Event::JournalCommit { .. } => "journal_commit",
+            Event::JournalBatch { .. } => "journal_batch",
             Event::JournalReplay { .. } => "journal_replay",
             Event::ScrubPass { .. } => "scrub_pass",
             Event::DiskFailed { .. } => "disk_failed",

@@ -197,6 +197,10 @@ impl ObsSink for Observer {
             Event::JournalCommit { .. } => {
                 self.registry.add("journal.commits", 1);
             }
+            Event::JournalBatch { stripes, .. } => {
+                self.registry.add("journal.group_commits", 1);
+                self.registry.record("journal.batch_size", stripes);
+            }
             Event::JournalReplay { stripes } => {
                 self.registry.add("journal.replayed_stripes", stripes);
             }

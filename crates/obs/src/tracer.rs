@@ -283,6 +283,9 @@ impl EventTracer {
                 Event::JournalCommit { stripe } => {
                     let _ = write!(out, "\tstripe={stripe}");
                 }
+                Event::JournalBatch { stripes, ops } => {
+                    let _ = write!(out, "\tstripes={stripes}\tops={ops}");
+                }
                 Event::JournalReplay { stripes } => {
                     let _ = write!(out, "\tstripes={stripes}");
                 }
@@ -325,6 +328,7 @@ fn instant_args(event: &Event) -> String {
             format!("\"repaired\":{repaired},\"total\":{total}")
         }
         Event::JournalCommit { stripe } => format!("\"stripe\":{stripe}"),
+        Event::JournalBatch { stripes, ops } => format!("\"stripes\":{stripes},\"ops\":{ops}"),
         Event::JournalReplay { stripes } => format!("\"stripes\":{stripes}"),
         Event::ScrubPass { stripes, repaired } => {
             format!("\"stripes\":{stripes},\"repaired\":{repaired}")

@@ -51,9 +51,28 @@
 //! and an optional stripes/sec rate limit come from [`RebuildConfig`];
 //! progress is published through atomics and served lock-free by
 //! `REBUILD_STATUS`.
+//!
+//! # Group commit
+//!
+//! With [`CommitConfig::batch`] ≥ 2 the engine stops writing each WRITE
+//! segment through the array immediately. A worker instead *deposits*
+//! the segment into its shard's pending buffer and blocks until a flush
+//! commits it; the depositor that fills the batch (or the first whose
+//! age timer expires) becomes the **leader**, takes the whole buffer,
+//! and commits it with one `DeclusteredArray::write_batch` call — one
+//! journal append, coalesced same-stripe parity updates, one retire.
+//! Because deposits block until their batch commits, no WRITE is ever
+//! acknowledged before it is durable in the array: per-connection
+//! completion ordering and read-your-writes both fall out of the wire
+//! protocol (a client sees its WRITE response only after the flush).
+//! Cross-connection reads racing an *open* batch force-flush any batch
+//! whose pending entries overlap the read range before touching the
+//! array, so a read never returns data older than a write that was
+//! deposited before the read began. `FLUSH` drains every shard's open
+//! batch, making it a real ordering barrier again.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -174,6 +193,28 @@ impl Default for RebuildConfig {
     }
 }
 
+/// Knobs for the group-committed write path.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitConfig {
+    /// Deposits that trigger a flush (per array shard). `0` or `1`
+    /// disables group commit: every WRITE segment goes straight to the
+    /// array, exactly the pre-batching behavior.
+    pub batch: usize,
+    /// Maximum time a deposit waits for the batch to fill before the
+    /// waiter flushes it anyway — the latency bound a sparse write
+    /// stream pays for batching.
+    pub interval: Duration,
+}
+
+impl Default for CommitConfig {
+    fn default() -> Self {
+        Self {
+            batch: 1,
+            interval: Duration::from_millis(2),
+        }
+    }
+}
+
 const REBUILD_NONE: u8 = 0;
 const REBUILD_RUNNING: u8 = 1;
 const REBUILD_DONE: u8 = 2;
@@ -238,6 +279,33 @@ impl RebuildCtl {
     }
 }
 
+/// Where a depositor's WRITE segment result comes back. Each deposit
+/// allocates one slot; the flush leader moves the per-op result from
+/// `write_batch` into it and wakes the waiter.
+struct CommitSlot {
+    result: Mutex<Option<Result<(), ArrayError>>>,
+    cv: Condvar,
+}
+
+impl CommitSlot {
+    fn new() -> Self {
+        Self {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// One WRITE segment parked in a shard's pending buffer, waiting for a
+/// group commit. The payload is owned (copied out of the request) so
+/// the depositing worker's frame buffer stays free.
+struct PendingWrite {
+    phys: u64,
+    units: u64,
+    data: Vec<u8>,
+    slot: Arc<CommitSlot>,
+}
+
 /// One pool member: the array plus its private stripe-shard lock
 /// table. Lock tables are per array — stripe indices are array-local,
 /// so sharing a table across arrays would only manufacture false
@@ -245,6 +313,11 @@ impl RebuildCtl {
 struct ArrayShard {
     array: RwLock<DeclusteredArray>,
     stripe_locks: Vec<Mutex<()>>,
+    /// The open group-commit batch: deposits accumulate here until a
+    /// leader takes the whole vector and commits it in one
+    /// `write_batch`. Taking the vector closes the batch; the next
+    /// deposit opens a new one.
+    commit: Mutex<Vec<PendingWrite>>,
 }
 
 /// State shared between request workers and the rebuild thread.
@@ -278,6 +351,14 @@ struct Inner {
     /// the worker. `0.0` means unthrottled.
     rebuild_rate_bits: AtomicU64,
     rebuild: RebuildCtl,
+    /// Group-commit batch threshold; ≤ 1 means the feature is off and
+    /// WRITE segments take the immediate path. Atomic so an operator
+    /// (or a test) can retune it on the shared engine without a
+    /// restart.
+    commit_batch: AtomicUsize,
+    /// Group-commit age bound in nanoseconds (see
+    /// [`CommitConfig::interval`]).
+    commit_interval_ns: AtomicU64,
 }
 
 impl Inner {
@@ -470,11 +551,24 @@ impl Engine {
         // the engine, both unlimited until an operator retunes them.
         tenants.register(0, TenantLimits::default());
         tenants.register(REBUILD_TENANT, TenantLimits::default());
+        // Startup journal replay: a restarted server handed an array
+        // with outstanding write intents (a previous process died
+        // mid-update) must close the write hole *before* serving I/O.
+        // Replay needs every disk readable, so a degraded array keeps
+        // its intents for a later `recover` after repair; replay errors
+        // likewise leave the intents outstanding rather than aborting
+        // construction.
+        for array in &arrays {
+            if !array.outstanding_intents().is_empty() && array.mode() == ArrayMode::FaultFree {
+                let _ = array.recover();
+            }
+        }
         let pool = arrays
             .into_iter()
             .map(|array| ArrayShard {
                 array: RwLock::new(array),
                 stripe_locks: (0..shards.max(1)).map(|_| Mutex::new(())).collect(),
+                commit: Mutex::new(Vec::new()),
             })
             .collect();
         Self {
@@ -492,6 +586,10 @@ impl Engine {
                 rebuild_batch: rebuild.batch,
                 rebuild_rate_bits: AtomicU64::new(rebuild.rate.to_bits()),
                 rebuild: RebuildCtl::new(),
+                commit_batch: AtomicUsize::new(1),
+                commit_interval_ns: AtomicU64::new(
+                    CommitConfig::default().interval.as_nanos() as u64
+                ),
             }),
         }
     }
@@ -582,6 +680,48 @@ impl Engine {
         self.inner
             .rebuild_rate_bits
             .store(rate.max(0.0).to_bits(), Ordering::Release);
+    }
+
+    /// The current group-commit knobs.
+    pub fn commit_config(&self) -> CommitConfig {
+        CommitConfig {
+            batch: self.inner.commit_batch.load(Ordering::Acquire),
+            interval: Duration::from_nanos(self.inner.commit_interval_ns.load(Ordering::Acquire)),
+        }
+    }
+
+    /// Retune group commit on the shared engine. A batch of `0`/`1`
+    /// turns the feature off; deposits already parked ride out under
+    /// the old knobs (their waiters flush them within one old
+    /// interval).
+    pub fn set_commit_config(&self, cfg: CommitConfig) {
+        // A zero interval would make every deposit its own leader (a
+        // busy flush loop); clamp to something that still batches.
+        let interval_ns = cfg.interval.as_nanos().max(100_000) as u64;
+        self.inner
+            .commit_interval_ns
+            .store(interval_ns, Ordering::Release);
+        self.inner.commit_batch.store(cfg.batch, Ordering::Release);
+    }
+
+    /// Flush every shard's open group-commit batch (used by `FLUSH`,
+    /// shutdown, and tests). A no-op when group commit is off or the
+    /// buffers are empty.
+    pub fn flush_commits(&self) {
+        for shard in &self.inner.pool {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Arm the crash hook on every array in the pool: after
+    /// `after_writes` more physical unit writes, the next write fails
+    /// with `InjectedCrash` and leaves journal intents outstanding —
+    /// the chaos harness's torn-batch entry point. Quiesces each array
+    /// (write lock) to set the hook.
+    pub fn arm_crash(&self, after_writes: u64) {
+        for shard in &self.inner.pool {
+            wrlock(&shard.array).arm_crash(after_writes);
+        }
     }
 
     /// Geometry and failure state of the default volume 0 — the
@@ -898,6 +1038,9 @@ impl Engine {
     /// release — never holds two arrays' locks at once).
     fn read_segment(&self, seg: &Segment, out: &mut [u8]) -> Result<(), ArrayError> {
         let shard = &self.inner.pool[seg.array as usize];
+        if self.inner.commit_batch.load(Ordering::Acquire) >= 2 {
+            self.flush_overlapping(shard, seg.phys, seg.units);
+        }
         let a = rdlock(&shard.array);
         let _guards: Vec<_> = shard_set(&a, &shard.stripe_locks, seg.phys, seg.units)
             .into_iter()
@@ -952,10 +1095,15 @@ impl Engine {
             Op::Read => self.do_read(req),
             Op::Write => self.do_write(req),
             Op::Trim => self.do_trim(req),
-            // Writes are synchronous and the in-memory devices have no
-            // volatile cache, so FLUSH is an ordering barrier that is
-            // trivially satisfied once dequeued.
-            Op::Flush => (Status::Ok, Vec::new()),
+            // Writes are synchronous (a group-committed WRITE is not
+            // acknowledged until its batch lands) and the in-memory
+            // devices have no volatile cache, so FLUSH only needs to
+            // drain any open group-commit batches to be a real
+            // ordering barrier.
+            Op::Flush => {
+                self.flush_commits();
+                (Status::Ok, Vec::new())
+            }
             Op::Info => self.do_info(req),
             Op::FailDisk => self.do_fail_disk(req),
             Op::Rebuild => self.do_rebuild(req),
@@ -1128,8 +1276,13 @@ impl Engine {
         (status, frame.split_off(RESPONSE_HEADER_LEN))
     }
 
-    /// Serve one resolved segment of a WRITE from `data`.
+    /// Serve one resolved segment of a WRITE from `data`: immediately
+    /// when group commit is off, else by depositing into the shard's
+    /// pending buffer and blocking until a flush commits it.
     fn write_segment(&self, seg: &Segment, data: &[u8]) -> Result<(), ArrayError> {
+        if self.inner.commit_batch.load(Ordering::Acquire) >= 2 {
+            return self.deposit_write(seg, data);
+        }
         let shard = &self.inner.pool[seg.array as usize];
         let a = rdlock(&shard.array);
         let _guards: Vec<_> = shard_set(&a, &shard.stripe_locks, seg.phys, seg.units)
@@ -1137,6 +1290,98 @@ impl Engine {
             .map(|i| lock(&shard.stripe_locks[i]))
             .collect();
         a.write(seg.phys, data)
+    }
+
+    /// Park a WRITE segment in its shard's open batch and wait for the
+    /// result. The depositor that fills the batch flushes it on the
+    /// spot; otherwise the first waiter whose age bound expires while
+    /// its entry is still parked becomes the leader. Every path ends
+    /// with the per-op `write_batch` result for exactly this segment.
+    fn deposit_write(&self, seg: &Segment, data: &[u8]) -> Result<(), ArrayError> {
+        let shard = &self.inner.pool[seg.array as usize];
+        let slot = Arc::new(CommitSlot::new());
+        let batch = self.inner.commit_batch.load(Ordering::Acquire);
+        let interval = Duration::from_nanos(self.inner.commit_interval_ns.load(Ordering::Acquire));
+        let full = {
+            let mut q = lock(&shard.commit);
+            q.push(PendingWrite {
+                phys: seg.phys,
+                units: seg.units,
+                data: data.to_vec(),
+                slot: Arc::clone(&slot),
+            });
+            q.len() >= batch
+        };
+        if full {
+            self.flush_shard(shard);
+        }
+        let mut result = lock(&slot.result);
+        loop {
+            if let Some(r) = result.take() {
+                return r;
+            }
+            let (guard, timeout) = slot
+                .cv
+                .wait_timeout(result, interval)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            result = guard;
+            if timeout.timed_out() && result.is_none() {
+                // Age bound hit with the entry still parked (or a
+                // leader mid-flush; flushing an already-empty buffer
+                // is a harmless no-op). Lead the flush ourselves so a
+                // sparse write stream is delayed by at most one
+                // interval.
+                drop(result);
+                self.flush_shard(shard);
+                result = lock(&slot.result);
+            }
+        }
+    }
+
+    /// Commit a shard's open batch: take the whole pending buffer,
+    /// write it through the array's batched journal path under the
+    /// union of the entries' stripe shard locks, then hand each
+    /// depositor its per-op result.
+    fn flush_shard(&self, shard: &ArrayShard) {
+        let entries = std::mem::take(&mut *lock(&shard.commit));
+        if entries.is_empty() {
+            return;
+        }
+        let results = {
+            let a = rdlock(&shard.array);
+            let mut set: Vec<usize> = Vec::new();
+            for e in &entries {
+                set.extend(shard_set(&a, &shard.stripe_locks, e.phys, e.units));
+            }
+            set.sort_unstable();
+            set.dedup();
+            let _guards: Vec<_> = set
+                .into_iter()
+                .map(|i| lock(&shard.stripe_locks[i]))
+                .collect();
+            let ops: Vec<(u64, &[u8])> = entries
+                .iter()
+                .map(|e| (e.phys, e.data.as_slice()))
+                .collect();
+            a.write_batch(&ops)
+        };
+        for (e, r) in entries.iter().zip(results) {
+            *lock(&e.slot.result) = Some(r);
+            e.slot.cv.notify_all();
+        }
+    }
+
+    /// Force-flush the shard's open batch if any parked entry overlaps
+    /// `[phys, phys + units)` — the read-your-writes fence for reads
+    /// racing deposits from other connections.
+    fn flush_overlapping(&self, shard: &ArrayShard, phys: u64, units: u64) {
+        let end = phys.saturating_add(units);
+        let overlaps = lock(&shard.commit)
+            .iter()
+            .any(|e| e.phys < end && phys < e.phys.saturating_add(e.units));
+        if overlaps {
+            self.flush_shard(shard);
+        }
     }
 
     fn do_write(&self, req: &Request) -> (Status, Vec<u8>) {
@@ -1988,5 +2233,157 @@ mod tests {
         sorted.dedup();
         assert_eq!(set, sorted);
         assert!(set.iter().all(|&i| i < e.shards()));
+    }
+
+    /// With group commit on, concurrent writers coalesce into shared
+    /// flushes, every writer gets its ack, and every byte lands.
+    #[test]
+    fn group_commit_coalesces_and_acknowledges_every_writer() {
+        let e = Arc::new(engine());
+        e.set_commit_config(CommitConfig {
+            batch: 4,
+            interval: Duration::from_millis(1),
+        });
+        let threads: Vec<_> = (0..8u64)
+            .map(|i| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || {
+                    let r = e.execute(i as u32, &req(Op::Write, i * 2, 2, vec![i as u8; 32]));
+                    assert_eq!(r.status, Status::Ok, "writer {i}");
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(e.outstanding_intents().is_empty());
+        for i in 0..8u64 {
+            let r = e.execute(0, &req(Op::Read, i * 2, 2, vec![]));
+            assert_eq!(r.status, Status::Ok);
+            assert_eq!(r.payload, vec![i as u8; 32], "writer {i}'s data");
+        }
+        assert!(e.scrub().unwrap().is_empty());
+    }
+
+    /// A lone write must not wait for a batch that will never fill:
+    /// the age bound turns the waiter into the leader.
+    #[test]
+    fn lone_write_commits_within_the_age_bound() {
+        let e = engine();
+        e.set_commit_config(CommitConfig {
+            batch: 64,
+            interval: Duration::from_millis(1),
+        });
+        let t = Instant::now();
+        let r = e.execute(0, &req(Op::Write, 3, 1, vec![0xabu8; 16]));
+        assert_eq!(r.status, Status::Ok);
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "age-bound flush did not fire"
+        );
+        assert_eq!(
+            e.execute(0, &req(Op::Read, 3, 1, vec![])).payload,
+            vec![0xabu8; 16]
+        );
+    }
+
+    /// A read racing a parked deposit from another connection must
+    /// force-flush the overlapping batch and return the new data.
+    #[test]
+    fn read_force_flushes_an_overlapping_open_batch() {
+        let e = Arc::new(engine());
+        // A batch that never fills and an age bound far beyond the
+        // test's patience: only the read's force-flush can commit it.
+        e.set_commit_config(CommitConfig {
+            batch: 64,
+            interval: Duration::from_secs(60),
+        });
+        let writer = {
+            let e = Arc::clone(&e);
+            std::thread::spawn(move || {
+                let r = e.execute(1, &req(Op::Write, 5, 1, vec![0x77u8; 16]));
+                assert_eq!(r.status, Status::Ok);
+            })
+        };
+        // Wait until the deposit is parked (bounded poll).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while lock(&e.inner.pool[0].commit).is_empty() {
+            assert!(Instant::now() < deadline, "deposit never parked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let r = e.execute(0, &req(Op::Read, 5, 1, vec![]));
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(r.payload, vec![0x77u8; 16], "read must see the deposit");
+        writer.join().unwrap();
+    }
+
+    /// FLUSH drains open batches, releasing writers parked behind a
+    /// long age bound.
+    #[test]
+    fn flush_op_drains_open_batches() {
+        let e = Arc::new(engine());
+        e.set_commit_config(CommitConfig {
+            batch: 64,
+            interval: Duration::from_secs(60),
+        });
+        let writer = {
+            let e = Arc::clone(&e);
+            std::thread::spawn(move || {
+                let r = e.execute(1, &req(Op::Write, 0, 2, vec![0x11u8; 32]));
+                assert_eq!(r.status, Status::Ok);
+            })
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while lock(&e.inner.pool[0].commit).is_empty() {
+            assert!(Instant::now() < deadline, "deposit never parked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            e.execute(0, &req(Op::Flush, 0, 0, vec![])).status,
+            Status::Ok
+        );
+        writer.join().unwrap();
+        assert_eq!(
+            e.execute(0, &req(Op::Read, 0, 2, vec![])).payload,
+            vec![0x11u8; 32]
+        );
+    }
+
+    /// Per-op error isolation survives the batched path: a bad address
+    /// fails its own op without wedging batch-mates.
+    #[test]
+    fn group_commit_reports_per_op_errors() {
+        let e = engine();
+        e.set_commit_config(CommitConfig {
+            batch: 2,
+            interval: Duration::from_millis(1),
+        });
+        let r = e.execute(0, &req(Op::Write, u64::MAX - 3, 1, vec![0u8; 16]));
+        assert_eq!(r.status, Status::BadAddress);
+        let r = e.execute(0, &req(Op::Write, 2, 1, vec![0x5cu8; 16]));
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(
+            e.execute(0, &req(Op::Read, 2, 1, vec![])).payload,
+            vec![0x5cu8; 16]
+        );
+    }
+
+    /// An engine constructed around an array that died mid-write (torn
+    /// intents outstanding) replays the journal before serving: the
+    /// restarted-`serve` path that used to be unreachable.
+    #[test]
+    fn startup_replays_outstanding_journal_intents() {
+        let layout = Pddl::new(7, 3).unwrap();
+        let mut a = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
+        a.write(0, &[0x31u8; 16 * 8]).unwrap();
+        a.arm_crash(1);
+        assert!(a.write(0, &[0x32u8; 16]).is_err());
+        assert!(!a.outstanding_intents().is_empty(), "torn write journaled");
+        let e = Engine::with_shards(a, 8);
+        assert!(
+            e.outstanding_intents().is_empty(),
+            "startup replay must retire the intents"
+        );
+        assert!(e.scrub().unwrap().is_empty(), "parity repaired at startup");
     }
 }

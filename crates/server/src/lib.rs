@@ -56,7 +56,7 @@ pub mod wire;
 
 pub use bench::{run as run_bench, BenchConfig, BenchReport};
 pub use client::{Client, ClientError};
-pub use engine::{Engine, RebuildConfig};
+pub use engine::{CommitConfig, Engine, RebuildConfig};
 pub use metrics_http::{serve_metrics, MetricsServer};
 pub use pddl_volume::{
     QosQueue, TenantLimits, TenantRegistry, VolumeMeta, VolumeSpec, REBUILD_TENANT,

@@ -41,7 +41,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::engine::Engine;
+use crate::engine::{CommitConfig, Engine};
 use crate::wire::{self, Request, Response, Status, WireError};
 use pddl_volume::QosQueue;
 
@@ -57,15 +57,24 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Granularity at which readers notice the shutdown flag.
     pub poll_interval: Duration,
+    /// Group-commit batch threshold (`serve --commit-batch`); ≤ 1
+    /// keeps the immediate per-write path.
+    pub commit_batch: usize,
+    /// Group-commit age bound (`serve --commit-interval`): the longest
+    /// a deposited WRITE waits for batch-mates before a flush.
+    pub commit_interval: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let commit = CommitConfig::default();
         Self {
             workers: 4,
             queue_depth: 64,
             idle_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(50),
+            commit_batch: commit.batch,
+            commit_interval: commit.interval,
         }
     }
 }
@@ -123,6 +132,10 @@ impl ServerHandle {
         // Close the queue: blocked readers fail their push and exit;
         // workers drain what is left, then see None.
         self.shared.queue.close();
+        // Release any writers parked in an open group-commit batch so
+        // the worker join below is prompt. A deposit racing this flush
+        // still self-flushes within one commit interval.
+        self.shared.engine.flush_commits();
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
@@ -162,6 +175,10 @@ impl ServerHandle {
 pub fn serve(engine: Arc<Engine>, addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    engine.set_commit_config(CommitConfig {
+        batch: config.commit_batch,
+        interval: config.commit_interval,
+    });
     // The queue schedules against the engine's tenant registry, so
     // volume creation/retuning changes admission without a restart.
     let queue = QosQueue::new(Arc::clone(engine.tenants()), config.queue_depth);
@@ -457,6 +474,47 @@ mod tests {
     fn shutdown_with_no_clients_is_prompt() {
         let t = Instant::now();
         start().shutdown();
+        assert!(t.elapsed() < Duration::from_secs(5));
+    }
+
+    /// `serve` with commit batching on: concurrent clients coalesce
+    /// into group commits, every write is acknowledged and readable,
+    /// and shutdown is not held hostage by an open batch.
+    #[test]
+    fn serves_batched_commits_from_concurrent_clients() {
+        let layout = Pddl::new(7, 3).unwrap();
+        let array = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
+        let engine = Arc::new(Engine::new(array));
+        let handle = serve(
+            engine,
+            "127.0.0.1:0",
+            ServerConfig {
+                commit_batch: 4,
+                commit_interval: Duration::from_millis(2),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.local_addr();
+        let writers: Vec<_> = (0..4u64)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    for round in 0..8u64 {
+                        let fill = (i * 16 + round) as u8;
+                        c.write_units(i * 4, &[fill; 64]).unwrap();
+                        assert_eq!(c.read_units(i * 4, 4).unwrap(), vec![fill; 64]);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert!(handle.engine().outstanding_intents().is_empty());
+        assert!(handle.engine().scrub().unwrap().is_empty());
+        let t = Instant::now();
+        handle.shutdown();
         assert!(t.elapsed() < Duration::from_secs(5));
     }
 }
