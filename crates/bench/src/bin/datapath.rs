@@ -48,101 +48,35 @@
 //! bar is speedup ≥ 1.1 — fair queueing must visibly shield the
 //! victim.
 //!
-//! Emits a machine-readable JSON report (default `BENCH_PR8.json` in
+//! Four scenario-engine scenarios ride along from PR 9, driven through
+//! `pddl_bench::scenario` against an in-process server:
+//! `zipfian_read` (uniform vs zipfian-0.99 paired whole-runs),
+//! `open_loop_burst` (one bursty open-loop run's intended-start
+//! vs service latency — the coordinated-omission gap itself),
+//! `slow_client` (healthy clients' latency with vs without a
+//! stalled slow reader), and `rebuild_hotspot` (a shifting
+//! hotspot's p99 under concurrent rebuild vs healthy). Their entries
+//! carry `pairing` and `trace_digest` fields; see
+//! `pddl_bench::report` for the schema.
+//!
+//! Emits a machine-readable JSON report (default `BENCH_PR9.json` in
 //! the current directory) holding both runs from the same process on
 //! the same machine, seeding the repo's perf trajectory.
 //!
 //! Usage: `datapath [--tiny] [--out PATH]`
 //!   --tiny   CI smoke configuration: small array, few iterations.
-//!   --out    Report path (default: BENCH_PR8.json).
+//!   --out    Report path (default: BENCH_PR9.json).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Instant;
 
 use pddl_array::DeclusteredArray;
+use pddl_bench::report::{measure_pair, render_report, ReportConfig, Scenario};
+use pddl_bench::scenario::{run_spec, ScenarioSpec};
 use pddl_core::{Layout, Pddl};
 use pddl_server::wire::{self, Status, RESPONSE_HEADER_LEN};
+use pddl_server::workload::{AccessDist, Arrival};
 use pddl_server::{CommitConfig, Engine, Op, QosQueue, RebuildConfig, Request, VolumeSpec};
-
-/// One measured scenario variant.
-struct Stats {
-    mib_per_s: f64,
-    mean_ns: f64,
-    p50_ns: u64,
-    p95_ns: u64,
-    p99_ns: u64,
-    ops: usize,
-}
-
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
-fn stats(mut samples: Vec<u64>, bytes_per_op: usize) -> Stats {
-    samples.sort_unstable();
-    let mean_ns = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-    let p50_ns = percentile(&samples, 0.50);
-    Stats {
-        // Median-based: one descheduled iteration should not move the
-        // headline number.
-        mib_per_s: bytes_per_op as f64 / (1024.0 * 1024.0) / (p50_ns as f64 / 1e9),
-        mean_ns,
-        p50_ns,
-        p95_ns: percentile(&samples, 0.95),
-        p99_ns: percentile(&samples, 0.99),
-        ops: samples.len(),
-    }
-}
-
-/// Time `base` and `opt` (each moving `bytes_per_op` bytes) `iters`
-/// times each, interleaved so ambient noise is shared fairly.
-fn measure_pair(
-    iters: usize,
-    bytes_per_op: usize,
-    mut base: impl FnMut(),
-    mut opt: impl FnMut(),
-) -> (Stats, Stats) {
-    // Warm-up: fault in lazily-built state outside the timed region.
-    for _ in 0..iters.div_ceil(10).max(1) {
-        base();
-        opt();
-    }
-    let mut base_ns = Vec::with_capacity(iters);
-    let mut opt_ns = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let t = Instant::now();
-        base();
-        base_ns.push(t.elapsed().as_nanos() as u64);
-        let t = Instant::now();
-        opt();
-        opt_ns.push(t.elapsed().as_nanos() as u64);
-    }
-    (stats(base_ns, bytes_per_op), stats(opt_ns, bytes_per_op))
-}
-
-fn stats_json(s: &Stats) -> String {
-    format!(
-        "{{\"mib_per_s\": {:.1}, \"mean_ns\": {:.0}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"ops\": {}}}",
-        s.mib_per_s, s.mean_ns, s.p50_ns, s.p95_ns, s.p99_ns, s.ops
-    )
-}
-
-struct Scenario {
-    name: &'static str,
-    baseline: Stats,
-    optimized: Stats,
-}
-
-impl Scenario {
-    fn speedup(&self) -> f64 {
-        self.baseline.p50_ns as f64 / self.optimized.p50_ns as f64
-    }
-}
 
 fn pattern(len: usize, tag: u8) -> Vec<u8> {
     (0..len)
@@ -220,11 +154,7 @@ fn read_scenario(name: &'static str, cfg: &Config, failed: &[usize]) -> Scenario
     );
     assert_eq!(frame[12], Status::Ok.code(), "{name}: read failed");
     assert_eq!(out, frame[RESPONSE_HEADER_LEN..], "{name}: paths disagree");
-    Scenario {
-        name,
-        baseline,
-        optimized,
-    }
+    Scenario::new(name, baseline, optimized)
 }
 
 fn write_scenarios(cfg: &Config) -> Vec<Scenario> {
@@ -300,16 +230,8 @@ fn write_scenarios(cfg: &Config) -> Vec<Scenario> {
     );
 
     vec![
-        Scenario {
-            name: "small_write",
-            baseline: small_base,
-            optimized: small_opt,
-        },
-        Scenario {
-            name: "large_write",
-            baseline: large_base,
-            optimized: large_opt,
-        },
+        Scenario::new("small_write", small_base, small_opt),
+        Scenario::new("large_write", large_base, large_opt),
     ]
 }
 
@@ -448,11 +370,7 @@ fn group_commit_scenario(cfg: &Config) -> Scenario {
         immediate.outstanding_intents().is_empty() && batched.outstanding_intents().is_empty(),
         "group commit left journal intents outstanding"
     );
-    Scenario {
-        name: "small_write_batched",
-        baseline,
-        optimized,
-    }
+    Scenario::new("small_write_batched", baseline, optimized)
 }
 
 /// Telemetry overhead: the same engine-served single-unit op with the
@@ -528,16 +446,8 @@ fn telemetry_scenarios(cfg: &Config) -> Vec<Scenario> {
     assert_eq!(frame_on[12], Status::Ok.code(), "telemetry_write failed");
 
     vec![
-        Scenario {
-            name: "telemetry_read",
-            baseline: read_base,
-            optimized: read_opt,
-        },
-        Scenario {
-            name: "telemetry_write",
-            baseline: write_base,
-            optimized: write_opt,
-        },
+        Scenario::new("telemetry_read", read_base, read_opt),
+        Scenario::new("telemetry_write", write_base, write_opt),
     ]
 }
 
@@ -756,11 +666,169 @@ fn multi_tenant_skew_scenario(cfg: &Config) -> Scenario {
     );
     fifo.teardown();
     qos.teardown();
-    Scenario {
-        name: "multi_tenant_skew",
-        baseline,
-        optimized,
+    Scenario::new("multi_tenant_skew", baseline, optimized)
+}
+
+/// The four scenario-engine entries. Unlike the op-interleaved
+/// microbenchmarks above, each side here is a whole scenario run over
+/// a live loopback server, so the `pairing` field says what A/B mean
+/// and `trace_digest` pins the replayable schedule behind the samples.
+fn scenario_engine_scenarios(cfg: &Config, tiny: bool) -> Vec<Scenario> {
+    let base = ScenarioSpec {
+        disks: cfg.n,
+        width: cfg.k,
+        unit_bytes: cfg.unit_bytes,
+        periods: cfg.periods,
+        clients: 4,
+        ops_per_client: if tiny { 40 } else { 200 },
+        ..ScenarioSpec::default()
+    };
+    let run = |spec: &ScenarioSpec| run_spec(spec).expect("scenario run");
+    let mut out = Vec::new();
+
+    // Uniform vs zipfian access, same seed and schedule shape: does
+    // skew help (cache/locality) or hurt (stripe-shard contention)?
+    {
+        let uniform = run(&ScenarioSpec {
+            name: "zipf_base".into(),
+            seed: 901,
+            read_fraction: 1.0,
+            ..base.clone()
+        });
+        let zipf = run(&ScenarioSpec {
+            name: "zipf_opt".into(),
+            seed: 901,
+            read_fraction: 1.0,
+            access: AccessDist::Zipfian { theta: 0.99 },
+            ..base.clone()
+        });
+        let mut s = Scenario::from_samples(
+            "zipfian_read",
+            cfg.unit_bytes,
+            uniform.healthy_service_ns(),
+            zipf.healthy_service_ns(),
+        );
+        s.pairing =
+            Some("paired whole-runs: uniform access (baseline) vs zipfian theta=0.99 (optimized), same seed".into());
+        s.trace_digest = Some(zipf.trace.digest());
+        out.push(s);
     }
+
+    // One bursty open-loop run, two clocks: intended-start latency is
+    // the coordinated-omission-free series; service latency is what a
+    // closed-loop harness would have reported. The gap is the queueing
+    // delay CO hides, so speedup >= 1.0 by construction.
+    {
+        let burst = run(&ScenarioSpec {
+            name: "burst".into(),
+            seed: 902,
+            arrival: Arrival::Bursty {
+                rate: if tiny { 2000.0 } else { 4000.0 },
+                burst_factor: 8.0,
+                on_ms: 20,
+                period_ms: 100,
+            },
+            ..base.clone()
+        });
+        let mut s = Scenario::from_samples(
+            "open_loop_burst",
+            cfg.unit_bytes,
+            burst.healthy_intended_ns(),
+            burst.healthy_service_ns(),
+        );
+        s.pairing = Some(
+            "one run, two clocks: intended-start latency (baseline, coordinated-omission-free) vs service latency (optimized)"
+                .into(),
+        );
+        s.trace_digest = Some(burst.trace.digest());
+        out.push(s);
+    }
+
+    // Healthy clients' latency with one slow reader on the wire
+    // (baseline) vs without (optimized). The slow peer stalls between
+    // requests and trickles its response reads; PR 2's bounded queues
+    // plus the write-timeout shedding must keep the healthy clients'
+    // tail from inflating. CI gates baseline.p99 <= 10x optimized.p99.
+    {
+        let with_slow_spec = ScenarioSpec {
+            name: "slow_peer".into(),
+            seed: 903,
+            read_fraction: 0.9,
+            slow_clients: 1,
+            slow_stall_every: 2,
+            slow_stall_ms: if tiny { 30 } else { 60 },
+            slow_bandwidth: 128 * 1024,
+            ..base.clone()
+        };
+        let with_slow = run(&with_slow_spec);
+        // Control: the same healthy population without the slow peer —
+        // drop the slow client entirely so both sides have an equal
+        // number of healthy closed loops.
+        let without = run(&ScenarioSpec {
+            name: "no_slow_peer".into(),
+            clients: with_slow_spec.clients - with_slow_spec.slow_clients,
+            slow_clients: 0,
+            slow_stall_every: 0,
+            slow_stall_ms: 0,
+            slow_bandwidth: 0,
+            ..with_slow_spec
+        });
+        let mut s = Scenario::from_samples(
+            "slow_client",
+            cfg.unit_bytes,
+            with_slow.healthy_service_ns(),
+            without.healthy_service_ns(),
+        );
+        s.pairing = Some(
+            "healthy clients only: with one stalled slow reader (baseline) vs without (optimized)"
+                .into(),
+        );
+        s.trace_digest = Some(with_slow.trace.digest());
+        out.push(s);
+    }
+
+    // A shifting hotspot driven while a failed disk rebuilds under
+    // load (baseline) vs the same workload healthy (optimized) — the
+    // paper's degraded-mode story under a skewed, moving working set.
+    // baseline.p99_ns is the "p99 under rebuild + hotspot" number.
+    {
+        let hot = AccessDist::Hotspot {
+            fraction: 0.2,
+            weight: 0.9,
+            shift_every: 200,
+        };
+        let rebuild_spec = ScenarioSpec {
+            name: "rebuild_hotspot".into(),
+            seed: 904,
+            access: hot,
+            fail_disk: Some(1),
+            ops_per_client: if tiny { 40 } else { 300 },
+            ..base.clone()
+        };
+        let rebuild = run(&rebuild_spec);
+        assert!(
+            rebuild.rebuild.is_some(),
+            "rebuild_hotspot: rebuild did not run"
+        );
+        let healthy = run(&ScenarioSpec {
+            name: "healthy_hotspot".into(),
+            fail_disk: None,
+            ..rebuild_spec
+        });
+        let mut s = Scenario::from_samples(
+            "rebuild_hotspot",
+            cfg.unit_bytes,
+            rebuild.healthy_service_ns(),
+            healthy.healthy_service_ns(),
+        );
+        s.pairing = Some(
+            "shifting hotspot under concurrent disk rebuild (baseline) vs the same workload healthy (optimized)"
+                .into(),
+        );
+        s.trace_digest = Some(rebuild.trace.digest());
+        out.push(s);
+    }
+    out
 }
 
 fn main() {
@@ -771,7 +839,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
     let cfg = if tiny {
         Config {
             n: 7,
@@ -805,25 +873,19 @@ fn main() {
     scenarios.push(group_commit_scenario(&cfg));
     scenarios.extend(telemetry_scenarios(&cfg));
     scenarios.push(multi_tenant_skew_scenario(&cfg));
+    scenarios.extend(scenario_engine_scenarios(&cfg, tiny));
 
-    let mut body = String::new();
-    body.push_str("{\n  \"bench\": \"datapath\",\n  \"pr\": 8,\n");
-    body.push_str(&format!(
-        "  \"config\": {{\"disks\": {}, \"stripe_width\": {}, \"unit_bytes\": {}, \"periods\": {}, \"tiny\": {}}},\n",
-        cfg.n, cfg.k, cfg.unit_bytes, cfg.periods, tiny
-    ));
-    body.push_str("  \"scenarios\": {\n");
-    for (i, s) in scenarios.iter().enumerate() {
-        body.push_str(&format!(
-            "    \"{}\": {{\n      \"baseline\": {},\n      \"optimized\": {},\n      \"speedup\": {:.2}\n    }}{}\n",
-            s.name,
-            stats_json(&s.baseline),
-            stats_json(&s.optimized),
-            s.speedup(),
-            if i + 1 < scenarios.len() { "," } else { "" }
-        ));
-    }
-    body.push_str("  }\n}\n");
+    let body = render_report(
+        9,
+        &ReportConfig {
+            disks: cfg.n,
+            stripe_width: cfg.k,
+            unit_bytes: cfg.unit_bytes,
+            periods: cfg.periods,
+            tiny,
+        },
+        &scenarios,
+    );
 
     std::fs::write(&out_path, &body).expect("write report");
     println!("wrote {out_path}");

@@ -1,0 +1,248 @@
+//! Paired-sampling report plumbing shared by the `datapath` benchmark
+//! binary and the scenario engine: sample statistics, interleaved A/B
+//! measurement, and the `BENCH_PRn.json` rendering every report in the
+//! repo's perf trajectory uses.
+//!
+//! The schema is fixed so CI can chain ratios across PRs:
+//!
+//! ```json
+//! {"bench": "datapath", "pr": 9,
+//!  "config": {"disks": 13, "stripe_width": 4, "unit_bytes": 65536,
+//!             "periods": 1, "tiny": false},
+//!  "scenarios": {"name": {"baseline": {...}, "optimized": {...},
+//!                          "speedup": 1.23}}}
+//! ```
+//!
+//! Scenario-engine entries add two optional fields the original
+//! datapath entries lack: `"pairing"`, a sentence saying what the A/B
+//! sides mean for that scenario (op-interleaved microbenchmark vs
+//! paired whole-runs vs one run's two latency clocks), and
+//! `"trace_digest"`, the FNV-1a identity of the op schedule that
+//! produced the samples, so a report line can be traced back to the
+//! exact replayable workload.
+
+use std::time::Instant;
+
+/// One measured scenario variant's summary statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median-based throughput: `bytes_per_op / p50`.
+    pub mib_per_s: f64,
+    /// Arithmetic mean latency.
+    pub mean_ns: f64,
+    /// Median latency — the headline number.
+    pub p50_ns: u64,
+    /// 95th percentile latency.
+    pub p95_ns: u64,
+    /// 99th percentile latency.
+    pub p99_ns: u64,
+    /// Samples summarized.
+    pub ops: usize,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 if empty).
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Summarize latency samples for an op moving `bytes_per_op` bytes.
+pub fn stats(mut samples: Vec<u64>, bytes_per_op: usize) -> Stats {
+    samples.sort_unstable();
+    let mean_ns = if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<u64>() as f64 / samples.len() as f64
+    };
+    let p50_ns = percentile(&samples, 0.50);
+    Stats {
+        // Median-based: one descheduled iteration should not move the
+        // headline number.
+        mib_per_s: if p50_ns == 0 {
+            0.0
+        } else {
+            bytes_per_op as f64 / (1024.0 * 1024.0) / (p50_ns as f64 / 1e9)
+        },
+        mean_ns,
+        p50_ns,
+        p95_ns: percentile(&samples, 0.95),
+        p99_ns: percentile(&samples, 0.99),
+        ops: samples.len(),
+    }
+}
+
+/// Time `base` and `opt` (each moving `bytes_per_op` bytes) `iters`
+/// times each, interleaved (A, B, A, B, ...) so clock drift and
+/// scheduler interference land on both sides equally.
+pub fn measure_pair(
+    iters: usize,
+    bytes_per_op: usize,
+    mut base: impl FnMut(),
+    mut opt: impl FnMut(),
+) -> (Stats, Stats) {
+    // Warm-up: fault in lazily-built state outside the timed region.
+    for _ in 0..iters.div_ceil(10).max(1) {
+        base();
+        opt();
+    }
+    let mut base_ns = Vec::with_capacity(iters);
+    let mut opt_ns = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        base();
+        base_ns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        opt();
+        opt_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    (stats(base_ns, bytes_per_op), stats(opt_ns, bytes_per_op))
+}
+
+/// One report entry: a named baseline/optimized pair.
+#[derive(Debug)]
+pub struct Scenario {
+    /// Report key (unique within one report).
+    pub name: String,
+    /// The A side (the slower / unoptimized / pathological variant).
+    pub baseline: Stats,
+    /// The B side (the shipping path).
+    pub optimized: Stats,
+    /// What the two sides mean, for scenario-engine entries whose
+    /// pairing is not the op-interleaved microbenchmark default.
+    pub pairing: Option<String>,
+    /// FNV-1a digest of the op trace that drove the samples, when the
+    /// scenario came from a replayable schedule.
+    pub trace_digest: Option<u64>,
+}
+
+impl Scenario {
+    /// A plain microbenchmark entry (op-interleaved pairing, no trace).
+    pub fn new(name: &str, baseline: Stats, optimized: Stats) -> Self {
+        Self {
+            name: name.to_string(),
+            baseline,
+            optimized,
+            pairing: None,
+            trace_digest: None,
+        }
+    }
+
+    /// Build both sides from raw latency samples.
+    pub fn from_samples(
+        name: &str,
+        bytes_per_op: usize,
+        baseline_ns: Vec<u64>,
+        optimized_ns: Vec<u64>,
+    ) -> Self {
+        Self::new(
+            name,
+            stats(baseline_ns, bytes_per_op),
+            stats(optimized_ns, bytes_per_op),
+        )
+    }
+
+    /// Headline ratio: `baseline.p50 / optimized.p50`.
+    pub fn speedup(&self) -> f64 {
+        if self.optimized.p50_ns == 0 {
+            return 0.0;
+        }
+        self.baseline.p50_ns as f64 / self.optimized.p50_ns as f64
+    }
+}
+
+/// The `config` block of a report.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportConfig {
+    /// Array disk count.
+    pub disks: usize,
+    /// Stripe width (data + parity units per stripe).
+    pub stripe_width: usize,
+    /// Stripe-unit size in bytes.
+    pub unit_bytes: usize,
+    /// Layout periods mapped.
+    pub periods: u64,
+    /// CI smoke configuration?
+    pub tiny: bool,
+}
+
+fn stats_json(s: &Stats) -> String {
+    format!(
+        "{{\"mib_per_s\": {:.1}, \"mean_ns\": {:.0}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"ops\": {}}}",
+        s.mib_per_s, s.mean_ns, s.p50_ns, s.p95_ns, s.p99_ns, s.ops
+    )
+}
+
+/// Render the whole `BENCH_PRn.json` body.
+pub fn render_report(pr: u32, cfg: &ReportConfig, scenarios: &[Scenario]) -> String {
+    let mut body = String::new();
+    body.push_str(&format!(
+        "{{\n  \"bench\": \"datapath\",\n  \"pr\": {pr},\n"
+    ));
+    body.push_str(&format!(
+        "  \"config\": {{\"disks\": {}, \"stripe_width\": {}, \"unit_bytes\": {}, \"periods\": {}, \"tiny\": {}}},\n",
+        cfg.disks, cfg.stripe_width, cfg.unit_bytes, cfg.periods, cfg.tiny
+    ));
+    body.push_str("  \"scenarios\": {\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        body.push_str(&format!(
+            "    \"{}\": {{\n      \"baseline\": {},\n      \"optimized\": {},\n",
+            s.name,
+            stats_json(&s.baseline),
+            stats_json(&s.optimized),
+        ));
+        if let Some(p) = &s.pairing {
+            body.push_str(&format!("      \"pairing\": \"{p}\",\n"));
+        }
+        if let Some(d) = s.trace_digest {
+            body.push_str(&format!("      \"trace_digest\": \"{d:016x}\",\n"));
+        }
+        body.push_str(&format!(
+            "      \"speedup\": {:.2}\n    }}{}\n",
+            s.speedup(),
+            if i + 1 < scenarios.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  }\n}\n");
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_and_stats_basics() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        let s = stats(vec![10, 20, 30, 40, 100], 1024);
+        assert_eq!(s.p50_ns, 30);
+        assert_eq!(s.p99_ns, 100);
+        assert_eq!(s.ops, 5);
+        assert!(s.mib_per_s > 0.0);
+    }
+
+    #[test]
+    fn report_renders_optional_fields_only_when_present() {
+        let s0 = stats(vec![100, 200], 8);
+        let plain = Scenario::new("plain", s0, s0);
+        let mut traced = Scenario::from_samples("traced", 8, vec![300], vec![150]);
+        traced.pairing = Some("paired whole-runs".into());
+        traced.trace_digest = Some(0xdead_beef);
+        let cfg = ReportConfig {
+            disks: 7,
+            stripe_width: 3,
+            unit_bytes: 512,
+            periods: 2,
+            tiny: true,
+        };
+        let body = render_report(9, &cfg, &[plain, traced]);
+        assert!(body.contains("\"pr\": 9"));
+        assert!(body.contains("\"traced\""));
+        assert!(body.contains("\"trace_digest\": \"00000000deadbeef\""));
+        assert!(body.contains("\"pairing\": \"paired whole-runs\""));
+        assert_eq!(body.matches("\"pairing\"").count(), 1);
+        assert!(body.contains("\"speedup\": 2.00"));
+    }
+}

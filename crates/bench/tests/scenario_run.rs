@@ -1,0 +1,105 @@
+//! Scenario runner determinism and replay: the acceptance criterion
+//! is that the same seed + spec produce an identical op-trace digest
+//! across two full record runs, and that a recorded trace re-drives
+//! through `run_trace` against a fresh stack.
+
+use pddl_array::DeclusteredArray;
+use pddl_bench::scenario::{build_schedule, run_spec, run_trace, ScenarioSpec};
+use pddl_core::Pddl;
+use pddl_server::trace::OpTrace;
+use pddl_server::workload::Arrival;
+
+fn small_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "record_twice".into(),
+        seed: 424242,
+        clients: 3,
+        ops_per_client: 15,
+        arrival: Arrival::Poisson { rate: 3000.0 },
+        ..ScenarioSpec::default()
+    }
+}
+
+fn spec_capacity(spec: &ScenarioSpec) -> u64 {
+    let layout = Pddl::new(spec.disks, spec.width).unwrap();
+    DeclusteredArray::new(Box::new(layout), spec.unit_bytes, spec.periods)
+        .unwrap()
+        .capacity_units()
+}
+
+/// Same seed + spec -> identical op-trace digest across two runs, and
+/// both match the pure schedule builder.
+#[test]
+fn record_twice_yields_identical_digests() {
+    let spec = small_spec();
+    let a = run_spec(&spec).unwrap();
+    let b = run_spec(&spec).unwrap();
+    assert_eq!(a.trace.digest(), b.trace.digest());
+    let pure = build_schedule(&spec, spec_capacity(&spec));
+    assert_eq!(a.trace.digest(), pure.digest());
+    // And a different seed produces a different schedule.
+    let other = run_spec(&ScenarioSpec {
+        seed: 424243,
+        ..spec
+    })
+    .unwrap();
+    assert_ne!(a.trace.digest(), other.trace.digest());
+}
+
+/// A recorded trace survives render -> parse -> replay: the replay
+/// drives the identical schedule and completes every op.
+#[test]
+fn recorded_trace_replays_against_a_fresh_stack() {
+    let spec = small_spec();
+    let recorded = run_spec(&spec).unwrap();
+    let total = u64::from(spec.clients) * spec.ops_per_client;
+    assert_eq!(recorded.completed() as u64 + recorded.errors, total);
+    assert_eq!(recorded.errors, 0);
+
+    let text = recorded.trace.render();
+    let reloaded = OpTrace::parse(&text).unwrap();
+    assert_eq!(reloaded.digest(), recorded.trace.digest());
+
+    let replayed = run_trace(&spec, reloaded).unwrap();
+    assert_eq!(replayed.trace.digest(), recorded.trace.digest());
+    assert_eq!(replayed.completed() as u64 + replayed.errors, total);
+    assert_eq!(replayed.errors, 0);
+}
+
+/// Closed-loop schedules have no intended-start clock: each sample's
+/// intended latency equals its service latency.
+#[test]
+fn closed_loop_intended_equals_service() {
+    let spec = ScenarioSpec {
+        name: "closed".into(),
+        clients: 2,
+        ops_per_client: 10,
+        ..ScenarioSpec::default()
+    };
+    let out = run_spec(&spec).unwrap();
+    assert!(out.trace.ops.iter().all(|o| o.start_us == 0));
+    for client in &out.samples {
+        for &(service, intended) in client {
+            assert_eq!(service, intended);
+        }
+    }
+    // Open-loop runs, by contrast, charge waiting time: intended >=
+    // service for every op.
+    let open = run_spec(&small_spec()).unwrap();
+    assert!(open
+        .samples
+        .iter()
+        .flatten()
+        .all(|&(service, intended)| intended >= service));
+}
+
+/// A trace recorded against a larger volume is rejected by replay
+/// instead of issuing out-of-range I/O.
+#[test]
+fn replay_rejects_capacity_mismatch() {
+    let spec = small_spec();
+    let mut trace = build_schedule(&spec, spec_capacity(&spec));
+    trace.capacity_units = spec_capacity(&spec) * 100;
+    let err = run_trace(&spec, trace).unwrap_err();
+    assert!(err.contains("capacity") || err.contains("units"), "{err}");
+}

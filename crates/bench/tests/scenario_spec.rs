@@ -1,0 +1,214 @@
+//! Scenario DSL parser tests: every field round-trips through
+//! `render`/`parse`, hostile input comes back as a typed [`SpecError`]
+//! (never a panic), and a fuzz_wire-style seeded loop hammers the
+//! parser with mutated and random documents.
+
+use pddl_bench::scenario::{ScenarioSpec, SpecError};
+use pddl_core::rng::Xoshiro256pp;
+use pddl_server::workload::{AccessDist, Arrival};
+
+fn full_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "everything".into(),
+        seed: 12345,
+        disks: 13,
+        width: 4,
+        unit_bytes: 4096,
+        periods: 3,
+        clients: 9,
+        ops_per_client: 777,
+        read_fraction: 0.25,
+        max_units: 6,
+        access: AccessDist::Hotspot {
+            fraction: 0.125,
+            weight: 0.875,
+            shift_every: 512,
+        },
+        arrival: Arrival::Bursty {
+            rate: 1500.0,
+            burst_factor: 5.5,
+            on_ms: 15,
+            period_ms: 90,
+        },
+        slow_clients: 2,
+        slow_stall_every: 3,
+        slow_stall_ms: 45,
+        slow_bandwidth: 65536,
+        bandwidth: 1 << 20,
+        latency_us: 250,
+        fail_disk: Some(7),
+    }
+}
+
+/// `parse(render(s)) == s` with every field set away from its default,
+/// across all access and arrival variants.
+#[test]
+fn round_trip_every_field() {
+    let hot_bursty = full_spec();
+    assert_eq!(
+        ScenarioSpec::parse(&hot_bursty.render()).unwrap(),
+        hot_bursty
+    );
+
+    let zipf_poisson = ScenarioSpec {
+        access: AccessDist::Zipfian { theta: 1.25 },
+        arrival: Arrival::Poisson { rate: 333.5 },
+        fail_disk: None,
+        ..full_spec()
+    };
+    assert_eq!(
+        ScenarioSpec::parse(&zipf_poisson.render()).unwrap(),
+        zipf_poisson
+    );
+
+    let uniform_closed = ScenarioSpec {
+        access: AccessDist::Uniform,
+        arrival: Arrival::ClosedLoop,
+        slow_clients: 0,
+        ..full_spec()
+    };
+    assert_eq!(
+        ScenarioSpec::parse(&uniform_closed.render()).unwrap(),
+        uniform_closed
+    );
+}
+
+#[test]
+fn unknown_keys_are_rejected() {
+    assert_eq!(
+        ScenarioSpec::parse("frobnicate = 7\n"),
+        Err(SpecError::UnknownKey {
+            line: 1,
+            key: "frobnicate".into()
+        })
+    );
+}
+
+#[test]
+fn overflowing_counts_are_rejected_not_wrapped() {
+    let doc = "seed = 1\nops_per_client = 99999999999999999999999999\n";
+    assert_eq!(
+        ScenarioSpec::parse(doc),
+        Err(SpecError::Overflow {
+            line: 2,
+            key: "ops_per_client".into()
+        })
+    );
+    // u32-typed fields overflow via the u64 -> u32 narrowing too.
+    assert!(matches!(
+        ScenarioSpec::parse("clients = 5000000000\n"),
+        Err(SpecError::Overflow { .. })
+    ));
+}
+
+#[test]
+fn zero_size_windows_are_rejected() {
+    for (doc, key) in [
+        ("clients = 0\n", "clients"),
+        ("ops_per_client = 0\n", "ops_per_client"),
+        ("unit_bytes = 0\n", "unit_bytes"),
+        ("access = hotspot\nhot_shift_ops = 0\n", "hot_shift_ops"),
+        ("arrival = bursty\nburst_period_ms = 0\n", "burst_period_ms"),
+    ] {
+        match ScenarioSpec::parse(doc) {
+            Err(SpecError::ZeroWindow { key: k, .. }) => assert_eq!(k, key),
+            other => panic!("{doc:?} -> {other:?}, wanted ZeroWindow({key})"),
+        }
+    }
+}
+
+#[test]
+fn duplicate_and_malformed_lines_are_typed() {
+    assert_eq!(
+        ScenarioSpec::parse("seed = 1\nseed = 2\n"),
+        Err(SpecError::DuplicateKey {
+            line: 2,
+            key: "seed".into()
+        })
+    );
+    assert_eq!(
+        ScenarioSpec::parse("just some words\n"),
+        Err(SpecError::Syntax { line: 1 })
+    );
+    assert!(matches!(
+        ScenarioSpec::parse("seed = banana\n"),
+        Err(SpecError::BadValue { line: 1, .. })
+    ));
+    assert!(matches!(
+        ScenarioSpec::parse("access = gaussian\n"),
+        Err(SpecError::BadValue { .. })
+    ));
+}
+
+#[test]
+fn cross_field_validation_is_typed() {
+    assert!(matches!(
+        ScenarioSpec::parse("read_fraction = 1.5\n"),
+        Err(SpecError::Invalid {
+            key: "read_fraction",
+            ..
+        })
+    ));
+    assert!(matches!(
+        ScenarioSpec::parse("disks = 3\nwidth = 4\n"),
+        Err(SpecError::Invalid { key: "width", .. })
+    ));
+    assert!(matches!(
+        ScenarioSpec::parse("clients = 2\nslow_clients = 3\n"),
+        Err(SpecError::Invalid {
+            key: "slow_clients",
+            ..
+        })
+    ));
+    assert!(matches!(
+        ScenarioSpec::parse("access = zipfian\nzipf_theta = 9.0\n"),
+        Err(SpecError::Invalid { key: "access", .. })
+    ));
+    assert!(matches!(
+        ScenarioSpec::parse("arrival = poisson\nrate_ops_per_sec = -4\n"),
+        Err(SpecError::Invalid { key: "arrival", .. })
+    ));
+    assert!(matches!(
+        ScenarioSpec::parse("fail_disk = 99\n"),
+        Err(SpecError::Invalid {
+            key: "fail_disk",
+            ..
+        })
+    ));
+}
+
+/// fuzz_wire-style seeded loop: random mutations of a valid document
+/// and outright random bytes must parse to `Ok` or a typed error —
+/// never a panic — and whatever parses must re-render and re-parse.
+#[test]
+fn fuzz_parser_never_panics() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x0dd5_9ec5);
+    let canon = full_spec().render();
+    for round in 0..2000 {
+        let doc: String = if round % 3 == 0 {
+            // Random printable garbage.
+            let len = rng.below_u64(200) as usize;
+            (0..len)
+                .map(|_| (0x20 + rng.below_u64(0x5f) as u8) as char)
+                .collect()
+        } else {
+            // Mutate the canonical rendering: splice random bytes in.
+            let mut bytes: Vec<u8> = canon.clone().into_bytes();
+            for _ in 0..=rng.below_u64(8) {
+                let pos = rng.below_u64(bytes.len() as u64) as usize;
+                match rng.below_u64(3) {
+                    0 => bytes[pos] = (0x20 + rng.below_u64(0x5f) as u8).min(0x7e),
+                    1 => {
+                        bytes.remove(pos);
+                    }
+                    _ => bytes.insert(pos, b"0123456789=#\n xyz"[rng.below_u64(17) as usize]),
+                }
+            }
+            String::from_utf8_lossy(&bytes).into_owned()
+        };
+        if let Ok(spec) = ScenarioSpec::parse(&doc) {
+            // Anything accepted must be self-consistent.
+            assert_eq!(ScenarioSpec::parse(&spec.render()).unwrap(), spec);
+        }
+    }
+}

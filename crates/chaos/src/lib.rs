@@ -30,8 +30,10 @@ pub mod shrink;
 
 pub use checker::{check, Violation};
 pub use nemesis::{run, RunResult};
-pub use plan::{generate, ChaosConfig, FaultPlan};
+pub use plan::{generate, op_trace, ChaosConfig, FaultPlan};
 pub use shrink::{shrink, Shrunk};
+
+use pddl_server::workload::AccessDist;
 
 /// Everything learned from one seed.
 pub struct SeedReport {
@@ -84,6 +86,12 @@ OPTIONS:
     --width N       stripe width, data+check (default 3)
     --unit N        unit size in bytes (default 32)
     --periods N     layout periods of capacity (default 3)
+    --access D      client offset distribution inside each region:
+                    uniform (default), zipfian (θ = 0.99), or hotspot
+                    (20% window, 90% weight, shifting every 4 draws)
+    --trace-out F   also write the run's client op schedule (for
+                    --seed N, else seed 0) as a pddl-trace v1 file;
+                    re-drive it with `pddl scenario replay`
     --sabotage      corrupt one block behind the checker's back
                     (self-test: the run MUST fail)
     -h, --help      print this help
@@ -98,6 +106,7 @@ pub fn run_cli(args: &[String]) -> i32 {
     let mut seed: Option<u64> = None;
     let mut seeds: u64 = 10;
     let mut total_ops: usize = cfg.rounds * cfg.clients * cfg.ops_per_round;
+    let mut trace_out: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -123,6 +132,30 @@ pub fn run_cli(args: &[String]) -> i32 {
             "--width" => cfg.width = val!("--width"),
             "--unit" => cfg.unit_bytes = val!("--unit"),
             "--periods" => cfg.periods = val!("--periods"),
+            "--access" => {
+                cfg.access = match it.next().map(String::as_str) {
+                    Some("uniform") => AccessDist::Uniform,
+                    Some("zipfian") => AccessDist::Zipfian { theta: 0.99 },
+                    Some("hotspot") => AccessDist::Hotspot {
+                        fraction: 0.2,
+                        weight: 0.9,
+                        shift_every: 4,
+                    },
+                    other => {
+                        eprintln!(
+                            "pddl-chaos: --access needs uniform, zipfian, or hotspot, got {other:?}"
+                        );
+                        return 2;
+                    }
+                }
+            }
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(path.clone()),
+                None => {
+                    eprintln!("pddl-chaos: --trace-out needs a file path");
+                    return 2;
+                }
+            },
             "--sabotage" => cfg.sabotage = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -146,6 +179,26 @@ pub fn run_cli(args: &[String]) -> i32 {
     if let Err(e) = cfg.layout() {
         eprintln!("pddl-chaos: {e}");
         return 2;
+    }
+    if let Some(path) = &trace_out {
+        let trace_seed = seed.unwrap_or(0);
+        match op_trace(trace_seed, &cfg) {
+            Ok(trace) => {
+                if let Err(e) = std::fs::write(path, trace.render()) {
+                    eprintln!("pddl-chaos: --trace-out {path}: {e}");
+                    return 2;
+                }
+                println!(
+                    "wrote seed-{trace_seed} op trace to {path} ({} ops, digest {:016x})",
+                    trace.ops.len(),
+                    trace.digest()
+                );
+            }
+            Err(e) => {
+                eprintln!("pddl-chaos: --trace-out: {e}");
+                return 2;
+            }
+        }
     }
 
     match seed {
@@ -255,15 +308,26 @@ fn report_failure(cfg: &ChaosConfig, r: &SeedReport) {
     eprintln!("reproduce with: {}", repro(cfg, r.seed));
 }
 
+/// The `--access` spelling of a distribution (the CLI exposes fixed
+/// parameterizations, so the name alone identifies it).
+fn access_name(access: AccessDist) -> &'static str {
+    match access {
+        AccessDist::Uniform => "uniform",
+        AccessDist::Zipfian { .. } => "zipfian",
+        AccessDist::Hotspot { .. } => "hotspot",
+    }
+}
+
 fn describe(cfg: &ChaosConfig) -> String {
     format!(
-        "{} disks, width {}, {} clients x {} rounds x {} ops, {} volume(s){}",
+        "{} disks, width {}, {} clients x {} rounds x {} ops, {} volume(s), {} access{}",
         cfg.disks,
         cfg.width,
         cfg.clients,
         cfg.rounds,
         cfg.ops_per_round,
         cfg.volumes,
+        access_name(cfg.access),
         if cfg.sabotage { ", SABOTAGE" } else { "" }
     )
 }
@@ -272,7 +336,7 @@ fn describe(cfg: &ChaosConfig) -> String {
 fn repro(cfg: &ChaosConfig, seed: u64) -> String {
     format!(
         "pddl-chaos --seed {seed} --ops {} --clients {} --rounds {} \
-         --disks {} --width {} --unit {} --periods {} --volumes {}{}",
+         --disks {} --width {} --unit {} --periods {} --volumes {}{}{}",
         cfg.rounds * cfg.clients * cfg.ops_per_round,
         cfg.clients,
         cfg.rounds,
@@ -281,6 +345,10 @@ fn repro(cfg: &ChaosConfig, seed: u64) -> String {
         cfg.unit_bytes,
         cfg.periods,
         cfg.volumes,
+        match cfg.access {
+            AccessDist::Uniform => String::new(),
+            a => format!(" --access {}", access_name(a)),
+        },
         if cfg.sabotage { " --sabotage" } else { "" }
     )
 }

@@ -6,6 +6,7 @@ use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
 use pddl_array::DeclusteredArray;
+use pddl_bench::scenario::{run_spec, run_trace, RunOutcome, ScenarioSpec};
 use pddl_core::analysis::{check_goals, mean_working_set, reconstruction_reads};
 use pddl_core::layout::Layout;
 use pddl_core::pddl::search::{find_base_permutations_with_spares, SearchBudget};
@@ -82,9 +83,21 @@ USAGE:
                    percentiles against a served volume; --fail-disk
                    fails disk D mid-run and rebuilds it under load;
                    --volume V drives the generator at volume V
+  pddl scenario  ACTION --spec FILE
+                   scenario engine: seeded, network-shaped workloads
+                   from a plain-text spec (see DESIGN.md):
+                     run    --spec FILE            drive the scenario
+                            against a fresh loopback stack and print
+                            service + intended latency percentiles
+                     record --spec FILE --out T    run it and also
+                            write the op schedule as a pddl-trace v1
+                            file (same seed + spec -> same digest)
+                     replay --spec FILE --trace T  re-drive a recorded
+                            trace under the spec's shaping/pathology
+                            settings against a fresh stack
   pddl chaos     [--seed N | --seeds N] [--ops N] [--clients C]
                  [--volumes V] [--rounds R] [--disks N --width K]
-                 [--sabotage]
+                 [--access D] [--trace-out F] [--sabotage]
                    deterministic fault-injection harness: seeded fault
                    schedules against a loopback server, histories
                    checked against a sequential model; failing seeds
@@ -967,6 +980,93 @@ pub fn top(cli: &Cli) -> Result<(), String> {
     }
 }
 
+/// Print one latency series from a scenario outcome.
+fn scenario_series(label: &str, mut samples_ns: Vec<u64>) {
+    if samples_ns.is_empty() {
+        println!("  {label:<9}: no completed ops");
+        return;
+    }
+    samples_ns.sort_unstable();
+    let us = |v: u64| v as f64 / 1e3;
+    println!(
+        "  {label:<9}: p50 {:>9.1} µs  p95 {:>9.1} µs  p99 {:>9.1} µs  ({} ops)",
+        us(pddl_bench::report::percentile(&samples_ns, 0.50)),
+        us(pddl_bench::report::percentile(&samples_ns, 0.95)),
+        us(pddl_bench::report::percentile(&samples_ns, 0.99)),
+        samples_ns.len(),
+    );
+}
+
+/// Report one scenario run on stdout.
+fn scenario_report(spec: &ScenarioSpec, out: &RunOutcome) {
+    println!(
+        "scenario {}: {} clients × {} ops (seed {}), {} completed, {} errors, {:.1} ms wall",
+        spec.name,
+        spec.clients,
+        spec.ops_per_client,
+        spec.seed,
+        out.completed(),
+        out.errors,
+        out.elapsed_ns as f64 / 1e6,
+    );
+    println!("  trace digest {:016x}", out.trace.digest());
+    scenario_series("service", out.healthy_service_ns());
+    if out.trace.ops.iter().any(|o| o.start_us > 0) {
+        scenario_series("intended", out.healthy_intended_ns());
+    }
+    if out.slow_clients > 0 {
+        println!(
+            "  ({} slow client(s) excluded from the series above)",
+            out.slow_clients
+        );
+    }
+    if let Some(rb) = &out.rebuild {
+        println!("  rebuild under load: {rb:?}");
+    }
+}
+
+/// `pddl scenario` — run, record, or replay a scenario spec.
+pub fn scenario(cli: &Cli) -> Result<(), String> {
+    let action = cli
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("usage: pddl scenario <run|record|replay> --spec FILE …")?;
+    let spec_path = cli.get("spec").ok_or("--spec is required")?;
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = ScenarioSpec::parse(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+    match action {
+        "run" => {
+            let out = run_spec(&spec)?;
+            scenario_report(&spec, &out);
+            Ok(())
+        }
+        "record" => {
+            let path = cli.get("out").ok_or("--out is required for record")?;
+            let out = run_spec(&spec)?;
+            scenario_report(&spec, &out);
+            std::fs::write(path, out.trace.render()).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "  recorded {} ops to {path} (replay with `pddl scenario replay --spec {spec_path} --trace {path}`)",
+                out.trace.ops.len()
+            );
+            Ok(())
+        }
+        "replay" => {
+            let path = cli.get("trace").ok_or("--trace is required for replay")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let trace =
+                pddl_server::trace::OpTrace::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            let out = run_trace(&spec, trace)?;
+            scenario_report(&spec, &out);
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown scenario action {other:?} (expected run, record, or replay)"
+        )),
+    }
+}
+
 /// `pddl remote-bench` — closed-loop load generator against a served
 /// volume; reports throughput and latency percentiles from the obs
 /// log-histogram.
@@ -986,6 +1086,7 @@ pub fn remote_bench(cli: &Cli) -> Result<(), String> {
         seed: cli.num("seed", 42)?,
         fail_disk,
         volume: cli.num("volume", 0u64)? as u8,
+        pace_us: cli.num("pace-us", 0u64)?,
     };
     if !(0.0..=1.0).contains(&cfg.read_fraction) {
         return Err("--read-frac must be in [0, 1]".into());

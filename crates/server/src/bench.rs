@@ -8,6 +8,19 @@
 //! histograms merge into one [`MetricsRegistry`] at the end, so the
 //! report's quantiles come from the same powers-of-√2 buckets the rest
 //! of the observability stack uses.
+//!
+//! # Coordinated omission
+//!
+//! A pure closed loop understates tail latency: while one op stalls,
+//! the ops that *would* have been issued behind it are simply never
+//! measured, so the queueing delay they'd have seen vanishes from the
+//! histogram. With [`BenchConfig::pace_us`] set, each thread issues
+//! against a fixed intended-start schedule (`epoch + i·pace_us`) and
+//! records two latencies per op: `latency.client_ns` from the actual
+//! start (the service time the old report showed) and
+//! `latency.intended_ns` from the intended start, which charges every
+//! op the backlog it inherited. The report prints both; the gap is
+//! exactly the queueing delay coordinated omission used to hide.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -38,6 +51,12 @@ pub struct BenchConfig {
     /// Volume every worker addresses (0 = the default volume), so one
     /// generator can play a single tenant in a multi-tenant run.
     pub volume: u8,
+    /// Intended inter-op gap per thread in microseconds; 0 keeps the
+    /// pure closed loop (intended start = actual start). Nonzero turns
+    /// the generator into a paced loop whose `latency.intended_ns`
+    /// histogram is coordinated-omission-free: an op that starts late
+    /// because its predecessor stalled is charged the wait.
+    pub pace_us: u64,
 }
 
 impl Default for BenchConfig {
@@ -50,6 +69,7 @@ impl Default for BenchConfig {
             seed: 0x9e37_79b9,
             fail_disk: None,
             volume: 0,
+            pace_us: 0,
         }
     }
 }
@@ -80,10 +100,20 @@ impl BenchReport {
         self.ops as f64 * 1e9 / self.elapsed_ns as f64
     }
 
-    /// A latency quantile in nanoseconds (0 with no samples).
+    /// A service-latency quantile (measured from actual start, in
+    /// nanoseconds; 0 with no samples).
     pub fn latency_quantile_ns(&self, q: f64) -> u64 {
         self.registry
             .histogram("latency.client_ns")
+            .map_or(0, |h| h.quantile(q))
+    }
+
+    /// An intended-start latency quantile — the coordinated-omission-
+    /// free number. Present only for paced runs ([`BenchConfig::pace_us`]
+    /// nonzero); 0 otherwise.
+    pub fn intended_quantile_ns(&self, q: f64) -> u64 {
+        self.registry
+            .histogram("latency.intended_ns")
             .map_or(0, |h| h.quantile(q))
     }
 
@@ -99,7 +129,7 @@ impl BenchReport {
             )
         });
         let mut out = format!(
-            "ops        {}\nerrors     {}\nelapsed    {:.3} s\nthroughput {:.1} ops/s\nlatency    mean {:.1} us  p50 {:.1} us  p95 {:.1} us  p99 {:.1} us\n",
+            "ops        {}\nerrors     {}\nelapsed    {:.3} s\nthroughput {:.1} ops/s\nservice    mean {:.1} us  p50 {:.1} us  p95 {:.1} us  p99 {:.1} us\n",
             self.ops,
             self.errors,
             self.elapsed_ns as f64 / 1e9,
@@ -109,6 +139,15 @@ impl BenchReport {
             p95 as f64 / 1e3,
             p99 as f64 / 1e3,
         );
+        if let Some(h) = self.registry.histogram("latency.intended_ns") {
+            out.push_str(&format!(
+                "intended   mean {:.1} us  p50 {:.1} us  p95 {:.1} us  p99 {:.1} us  (coordinated-omission-free)\n",
+                h.mean() / 1e3,
+                h.quantile(0.50) as f64 / 1e3,
+                h.quantile(0.95) as f64 / 1e3,
+                h.quantile(0.99) as f64 / 1e3,
+            ));
+        }
         if let Some(r) = &self.rebuild {
             out.push_str(&format!(
                 "rebuild    disk {} {:?} {}/{} stripes\n",
@@ -123,6 +162,7 @@ struct ThreadOutcome {
     ok: u64,
     errors: u64,
     hist: LogHistogram,
+    intended_hist: LogHistogram,
 }
 
 fn bench_thread(
@@ -137,10 +177,24 @@ fn bench_thread(
     let unit = info.unit_bytes as usize;
     let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed.wrapping_add(thread_index));
     let mut hist = LogHistogram::new();
+    let mut intended_hist = LogHistogram::new();
     let mut ok = 0u64;
     let mut errors = 0u64;
+    let epoch = Instant::now();
 
-    for _ in 0..cfg.ops_per_thread {
+    for i in 0..cfg.ops_per_thread {
+        // Fixed intended-start schedule: op i should begin at
+        // epoch + i·pace_us regardless of how long earlier ops took.
+        // Sleeping only when early means a backlogged thread issues
+        // back-to-back, and the intended histogram charges each op the
+        // wait it inherited — the coordinated-omission fix.
+        let intended = epoch + Duration::from_micros(i.saturating_mul(cfg.pace_us));
+        if cfg.pace_us > 0 {
+            let now = Instant::now();
+            if intended > now {
+                std::thread::sleep(intended - now);
+            }
+        }
         let units = 1 + (rng.below_u64(cfg.max_units.max(1) as u64)) as u32;
         let span = units as u64;
         let offset = if cap > span {
@@ -156,16 +210,28 @@ fn bench_thread(
             let fill = (rng.next_u64() & 0xff) as u8;
             client.write_units(offset, &vec![fill; units as usize * unit])
         };
-        let latency = t.elapsed().as_nanos() as u64;
+        let done = Instant::now();
+        let latency = done.duration_since(t).as_nanos() as u64;
+        let from_intended = if cfg.pace_us > 0 {
+            done.duration_since(intended).as_nanos() as u64
+        } else {
+            latency
+        };
         match result {
             Ok(()) => {
                 ok += 1;
                 hist.record(latency);
+                intended_hist.record(from_intended);
             }
             Err(_) => errors += 1,
         }
     }
-    Ok(ThreadOutcome { ok, errors, hist })
+    Ok(ThreadOutcome {
+        ok,
+        errors,
+        hist,
+        intended_hist,
+    })
 }
 
 /// Run the closed-loop benchmark against a serving address.
@@ -199,6 +265,7 @@ pub fn run(addr: SocketAddr, cfg: &BenchConfig) -> Result<BenchReport, ClientErr
     });
 
     let mut merged = LogHistogram::new();
+    let mut merged_intended = LogHistogram::new();
     let mut ops = 0u64;
     let mut errors = 0u64;
     for h in handles {
@@ -208,6 +275,7 @@ pub fn run(addr: SocketAddr, cfg: &BenchConfig) -> Result<BenchReport, ClientErr
         ops += outcome.ok;
         errors += outcome.errors;
         merged.merge(&outcome.hist);
+        merged_intended.merge(&outcome.intended_hist);
     }
     let elapsed_ns = start.elapsed().as_nanos() as u64;
     let rebuild = match mgmt {
@@ -226,6 +294,13 @@ pub fn run(addr: SocketAddr, cfg: &BenchConfig) -> Result<BenchReport, ClientErr
         // registry's histogram equal quantiles of the merged one.
         for _ in 0..count {
             registry.record("latency.client_ns", lo);
+        }
+    }
+    if cfg.pace_us > 0 {
+        for (lo, _hi, count) in merged_intended.nonzero_buckets() {
+            for _ in 0..count {
+                registry.record("latency.intended_ns", lo);
+            }
         }
     }
     Ok(BenchReport {

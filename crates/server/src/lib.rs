@@ -11,6 +11,9 @@
 //! | [`engine`] | volume resolution + request execution over per-array stripe shard locks |
 //! | [`server`] | accept loop, per-connection readers, QoS admission, worker pool, graceful shutdown |
 //! | [`metrics_http`] | `/metrics` Prometheus exposition over minimal HTTP/1.0 |
+//! | [`shaping`] | per-connection client-side network shaping (bandwidth caps, latency, stalls) |
+//! | [`workload`] | seeded access-distribution + arrival-process generators for scenario workloads |
+//! | [`trace`]  | op-trace record/replay format with typed parse errors and FNV digests |
 //!
 //! plus an in-crate blocking [`client`] and a closed-loop [`bench`]
 //! load generator, so the protocol's two ends live (and are tested)
@@ -52,7 +55,10 @@ pub mod engine;
 pub mod metrics_http;
 pub mod queue;
 pub mod server;
+pub mod shaping;
+pub mod trace;
 pub mod wire;
+pub mod workload;
 
 pub use bench::{run as run_bench, BenchConfig, BenchReport};
 pub use client::{Client, ClientError};
@@ -63,7 +69,10 @@ pub use pddl_volume::{
 };
 pub use queue::BoundedQueue;
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use shaping::{Conn, NetShape, ShapedStream};
+pub use trace::{tag_bytes, OpTrace, TraceError, TraceOp};
 pub use wire::{
     Op, PoolArrayInfo, PoolInfo, RebuildState, RebuildStatus, Request, Response, Status,
     VolumeInfo, WireError,
 };
+pub use workload::{AccessDist, AccessSampler, Arrival, ArrivalGen};

@@ -35,7 +35,7 @@
 //! they exit within one tick.
 
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -63,6 +63,14 @@ pub struct ServerConfig {
     /// Group-commit age bound (`serve --commit-interval`): the longest
     /// a deposited WRITE waits for batch-mates before a flush.
     pub commit_interval: Duration,
+    /// Longest a worker may block writing one response to a slow
+    /// consumer before the connection is declared dead and evicted.
+    /// This bounds head-of-line blocking: a reader that stops draining
+    /// its socket can wedge at most `workers` threads for at most this
+    /// long, once, after which its queued jobs are shed without
+    /// executing. A genuinely slow-but-alive client must drain each
+    /// response within this budget or lose the connection.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -75,8 +83,19 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             commit_batch: commit.batch,
             commit_interval: commit.interval,
+            write_timeout: Duration::from_secs(10),
         }
     }
+}
+
+/// A connection's write side, shared between its reader and every
+/// worker holding one of its jobs. `dead` flips once a response write
+/// fails or times out; pending jobs for a dead connection are shed
+/// without executing, so one stalled reader cannot serially wedge the
+/// worker pool on a connection that can no longer receive answers.
+struct ConnState {
+    stream: Mutex<TcpStream>,
+    dead: AtomicBool,
 }
 
 /// One queued unit of work: a decoded request plus the connection to
@@ -84,7 +103,7 @@ impl Default for ServerConfig {
 struct Job {
     client: u32,
     request: Request,
-    stream: Arc<Mutex<TcpStream>>,
+    conn: Arc<ConnState>,
     /// When the reader pushed the job, so the worker can attribute
     /// queue wait separately from array service time in telemetry.
     enqueued: Instant,
@@ -288,13 +307,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, config: &ServerConf
 
 /// Answer directly on the reader thread — used for failures that must
 /// not go through the queue (shutdown refusal, decode errors).
-fn answer_inline(stream: &Arc<Mutex<TcpStream>>, id: u64, status: Status) {
+fn answer_inline(conn: &Arc<ConnState>, id: u64, status: Status) {
     let resp = Response {
         id,
         status,
         payload: Vec::new(),
     };
-    let mut s = stream
+    let mut s = conn
+        .stream
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let _ = wire::write_response(&mut *s, &resp);
@@ -304,12 +324,19 @@ fn answer_inline(stream: &Arc<Mutex<TcpStream>>, id: u64, status: Status) {
 fn reader_loop(stream: TcpStream, client: u32, shared: &Arc<Shared>, config: &ServerConfig) {
     // Short kernel read timeout = the poll tick; idle tracking on top.
     let _ = stream.set_read_timeout(Some(config.poll_interval));
+    // Response writes are bounded: a consumer that stops draining its
+    // socket turns worker writes into timeouts instead of wedging the
+    // pool forever (see ServerConfig::write_timeout).
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
     let _ = stream.set_nodelay(true);
     let mut read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let write_half = Arc::new(Mutex::new(stream));
+    let write_half = Arc::new(ConnState {
+        stream: Mutex::new(stream),
+        dead: AtomicBool::new(false),
+    });
     // The incremental reader keeps partial frames across poll ticks, so
     // a network stall in the middle of a large WRITE only delays the
     // request instead of desyncing the stream.
@@ -329,10 +356,16 @@ fn reader_loop(stream: TcpStream, client: u32, shared: &Arc<Shared>, config: &Se
                 // Classify before queueing: which tenant pays, and how
                 // many bytes the token bucket should charge.
                 let (tenant, bytes) = shared.engine.admission(&request);
+                // A connection a worker declared dead sheds the rest
+                // of its inflight pipeline here instead of queueing
+                // more work nothing can answer.
+                if write_half.dead.load(Ordering::SeqCst) {
+                    return;
+                }
                 let job = Job {
                     client,
                     request,
-                    stream: Arc::clone(&write_half),
+                    conn: Arc::clone(&write_half),
                     enqueued: Instant::now(),
                 };
                 if shared.queue.push(tenant, bytes, job).is_err() {
@@ -373,6 +406,12 @@ fn worker_loop(shared: &Arc<Shared>) {
     // pass per request.
     let mut frame = Vec::new();
     while let Some(job) = shared.queue.pop() {
+        // Shed without executing: the connection died after this job
+        // was queued (a peer write timed out), so no answer can land
+        // and running the request would only burn array time.
+        if job.conn.dead.load(Ordering::SeqCst) {
+            continue;
+        }
         // The engine shapes the frame in place; for reads the array
         // wrote the payload bytes straight into it, so the bytes hit
         // the socket without an intermediate copy. Frame construction
@@ -388,12 +427,23 @@ fn worker_loop(shared: &Arc<Shared>) {
         // answer anyway; at worst the desynced client drops the
         // connection, which is its recovery path regardless.
         let mut s = job
+            .conn
             .stream
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        // A transport failure means the connection is dead; nothing can
-        // reach this client, so the worker moves on.
-        let _ = wire::write_frame(&mut *s, &frame);
+        // Re-check under the lock: a peer worker may have waited out
+        // its write timeout on this very stream while we parked here.
+        if job.conn.dead.load(Ordering::SeqCst) {
+            continue;
+        }
+        // A transport failure — including a write timeout against a
+        // reader that stopped draining — means the connection can no
+        // longer receive answers: flag it dead (sheds its queued jobs)
+        // and tear the socket down so its reader exits promptly.
+        if wire::write_frame(&mut *s, &frame).is_err() {
+            job.conn.dead.store(true, Ordering::SeqCst);
+            let _ = s.shutdown(Shutdown::Both);
+        }
     }
 }
 

@@ -1,0 +1,273 @@
+//! Client-side network shaping: a [`ShapedStream`] wraps a
+//! [`TcpStream`] and applies per-connection bandwidth caps, added
+//! request latency, and injected stalls, so scenario workloads can
+//! model WAN clients, trickle readers, and head-of-line-blocking
+//! pathologies against a real server without leaving the process.
+//!
+//! The [`Conn`] trait is the small read/write surface
+//! [`crate::client::Client`] actually needs, implemented by both the
+//! bare socket (the default, zero-overhead path) and the shaped
+//! wrapper — shaping is opt-in per connection via
+//! [`crate::client::Client::connect_shaped`].
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// The transport surface the blocking client requires. `TcpStream`'s
+/// timeout setters take `&self`, so the trait does too — a trait
+/// object stays usable behind the client's `Box`.
+pub trait Conn: Read + Write + Send {
+    /// Bound how long a read may block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the setsockopt failure.
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()>;
+
+    /// Bound how long a write may block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the setsockopt failure.
+    fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, t)
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, t)
+    }
+}
+
+/// Per-connection shaping parameters. The default is a no-op shape
+/// (uncapped, zero latency, no stalls).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetShape {
+    /// Per-direction bandwidth cap in bytes/second; 0 = uncapped.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Extra one-way latency injected before each request frame.
+    pub latency_us: u64,
+    /// Stall before every Nth request boundary; 0 = never.
+    pub stall_every: u64,
+    /// Stall length when one fires.
+    pub stall_ms: u64,
+}
+
+impl NetShape {
+    /// Does this shape change anything at all?
+    pub fn is_noop(&self) -> bool {
+        *self == NetShape::default()
+    }
+}
+
+/// One direction's token-bucket ledger: `done_bytes` have been moved
+/// since `epoch`; the next chunk may not complete before the time at
+/// which the capped link would have delivered it.
+#[derive(Debug)]
+struct Ledger {
+    done_bytes: u64,
+}
+
+impl Ledger {
+    fn throttle(&mut self, epoch: Instant, bytes: usize, bw: u64) {
+        if bw == 0 {
+            return;
+        }
+        self.done_bytes += bytes as u64;
+        let due = Duration::from_secs_f64(self.done_bytes as f64 / bw as f64);
+        let elapsed = epoch.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+    }
+}
+
+/// Largest chunk moved per syscall under a bandwidth cap, so sleeps
+/// interleave with progress instead of bunching at frame ends.
+const CHUNK: usize = 16 * 1024;
+
+/// A [`TcpStream`] with a [`NetShape`] applied. Request boundaries are
+/// detected by the write-after-read transition, which is exact for the
+/// client's strict request/response alternation.
+pub struct ShapedStream {
+    inner: TcpStream,
+    shape: NetShape,
+    epoch: Instant,
+    read_ledger: Ledger,
+    write_ledger: Ledger,
+    /// True once a response byte has been read since the last request
+    /// write — the next write starts a new request.
+    at_boundary: bool,
+    /// Requests begun so far (drives `stall_every`).
+    requests: u64,
+}
+
+impl ShapedStream {
+    /// Wrap a connected socket.
+    pub fn new(inner: TcpStream, shape: NetShape) -> Self {
+        Self {
+            inner,
+            shape,
+            epoch: Instant::now(),
+            read_ledger: Ledger { done_bytes: 0 },
+            write_ledger: Ledger { done_bytes: 0 },
+            at_boundary: true,
+            requests: 0,
+        }
+    }
+
+    /// The shape in force.
+    pub fn shape(&self) -> NetShape {
+        self.shape
+    }
+}
+
+impl Read for ShapedStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.at_boundary = true;
+        let want = if self.shape.bandwidth_bytes_per_sec > 0 {
+            buf.len().min(CHUNK)
+        } else {
+            buf.len()
+        };
+        let n = self.inner.read(&mut buf[..want])?;
+        self.read_ledger
+            .throttle(self.epoch, n, self.shape.bandwidth_bytes_per_sec);
+        Ok(n)
+    }
+}
+
+impl Write for ShapedStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.at_boundary {
+            self.at_boundary = false;
+            self.requests += 1;
+            if self.shape.latency_us > 0 {
+                std::thread::sleep(Duration::from_micros(self.shape.latency_us));
+            }
+            if self.shape.stall_every > 0
+                && self.requests.is_multiple_of(self.shape.stall_every)
+                && self.shape.stall_ms > 0
+            {
+                std::thread::sleep(Duration::from_millis(self.shape.stall_ms));
+            }
+        }
+        let mut sent = 0;
+        for chunk in buf.chunks(if self.shape.bandwidth_bytes_per_sec > 0 {
+            CHUNK
+        } else {
+            buf.len().max(1)
+        }) {
+            let n = self.inner.write(chunk)?;
+            self.write_ledger
+                .throttle(self.epoch, n, self.shape.bandwidth_bytes_per_sec);
+            sent += n;
+            if n < chunk.len() {
+                break;
+            }
+        }
+        Ok(sent)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Conn for ShapedStream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(t)
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (b, _) = l.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn noop_shape_passes_bytes_through() {
+        let (a, mut b) = pair();
+        let mut shaped = ShapedStream::new(a, NetShape::default());
+        assert!(shaped.shape().is_noop());
+        shaped.write_all(b"hello").unwrap();
+        shaped.flush().unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn bandwidth_cap_slows_transfer() {
+        let (a, mut b) = pair();
+        let shape = NetShape {
+            bandwidth_bytes_per_sec: 64 * 1024,
+            ..NetShape::default()
+        };
+        let mut shaped = ShapedStream::new(a, shape);
+        let payload = vec![7u8; 32 * 1024];
+        let drain = std::thread::spawn(move || {
+            let mut sunk = vec![0u8; 32 * 1024];
+            b.read_exact(&mut sunk).unwrap();
+        });
+        let t = Instant::now();
+        shaped.write_all(&payload).unwrap();
+        // 32 KiB at 64 KiB/s is 500 ms of budget; allow scheduler slop
+        // below but the cap must clearly bite.
+        assert!(
+            t.elapsed() >= Duration::from_millis(300),
+            "cap did not bite: {:?}",
+            t.elapsed()
+        );
+        drain.join().unwrap();
+    }
+
+    #[test]
+    fn stall_fires_on_request_boundaries_only() {
+        let (a, mut b) = pair();
+        let shape = NetShape {
+            stall_every: 2,
+            stall_ms: 120,
+            ..NetShape::default()
+        };
+        let mut shaped = ShapedStream::new(a, shape);
+        let drain = std::thread::spawn(move || {
+            let mut sunk = [0u8; 8];
+            for _ in 0..4 {
+                b.read_exact(&mut sunk[..2]).unwrap();
+                b.write_all(b"ok").unwrap();
+            }
+        });
+        let mut resp = [0u8; 2];
+        let mut slow = 0;
+        for _ in 0..4 {
+            let t = Instant::now();
+            // Two writes within one request: only the first is a
+            // boundary, so at most one stall per round trip.
+            shaped.write_all(b"x").unwrap();
+            shaped.write_all(b"y").unwrap();
+            shaped.flush().unwrap();
+            shaped.read_exact(&mut resp).unwrap();
+            if t.elapsed() >= Duration::from_millis(100) {
+                slow += 1;
+            }
+        }
+        assert_eq!(slow, 2, "every 2nd request should stall");
+        drain.join().unwrap();
+    }
+}

@@ -1,0 +1,373 @@
+//! The op-trace record/replay format: a plain-text, line-oriented
+//! schedule of client operations with intended-start timestamps, so a
+//! scenario's generated workload — or a chaos run's per-client history
+//! — can be saved, diffed, digested, and re-driven as a benchmark.
+//!
+//! ```text
+//! pddl-trace v1
+//! unit_bytes = 512
+//! capacity_units = 840
+//! ops = 2
+//! 0 0 w 17 2 00000001deadbeef
+//! 1250 1 r 40 1 0
+//! ```
+//!
+//! Each op line is `start_us client r|w offset units tag-hex`:
+//! `start_us` is the intended start relative to the schedule epoch
+//! (all-zero means closed loop, ordered per client), `client` the
+//! issuing connection index, and `tag` the write-fill identity
+//! (expanded to bytes exactly like the chaos harness's `token_bytes`,
+//! so replayed writes are byte-deterministic).
+//!
+//! The whole-trace [`OpTrace::digest`] is FNV-1a over the canonical
+//! rendering; two schedules agree iff their digests do. Parsing never
+//! panics — hostile input comes back as a typed [`TraceError`].
+
+use std::fmt;
+
+/// One scheduled operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Intended start in microseconds from the schedule epoch
+    /// (0 everywhere = closed loop).
+    pub start_us: u64,
+    /// Issuing client index.
+    pub client: u32,
+    /// `false` = read, `true` = write.
+    pub write: bool,
+    /// Starting logical unit.
+    pub offset: u64,
+    /// Units covered (nonzero).
+    pub units: u32,
+    /// Write-fill identity; ignored for reads.
+    pub tag: u64,
+}
+
+/// A complete recorded schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTrace {
+    /// Unit size of the stack the trace was recorded against.
+    pub unit_bytes: u32,
+    /// Capacity (in units) the offsets were drawn from.
+    pub capacity_units: u64,
+    /// The schedule, in issue order (per client; across clients when
+    /// timestamps are present).
+    pub ops: Vec<TraceOp>,
+}
+
+/// Why a trace failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The `pddl-trace v1` magic line is missing or wrong.
+    BadHeader {
+        /// What the first line actually was.
+        found: String,
+    },
+    /// A `key = value` header field is missing.
+    MissingField {
+        /// The absent key.
+        key: &'static str,
+    },
+    /// A field or op-line column failed to parse.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// What could not be parsed.
+        what: String,
+    },
+    /// The `ops = N` count disagrees with the number of op lines.
+    CountMismatch {
+        /// Declared count.
+        declared: u64,
+        /// Lines actually present.
+        found: usize,
+    },
+    /// An op's extent falls outside `capacity_units` or covers zero
+    /// units.
+    BadExtent {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadHeader { found } => {
+                write!(f, "not a pddl-trace v1 file (first line {found:?})")
+            }
+            TraceError::MissingField { key } => write!(f, "missing header field {key}"),
+            TraceError::BadValue { line, what } => write!(f, "line {line}: bad value {what:?}"),
+            TraceError::CountMismatch { declared, found } => {
+                write!(f, "header declares {declared} ops but {found} lines follow")
+            }
+            TraceError::BadExtent { line } => {
+                write!(f, "line {line}: op extent outside the recorded capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+const MAGIC: &str = "pddl-trace v1";
+
+impl OpTrace {
+    /// Canonical text rendering (what [`OpTrace::parse`] accepts and
+    /// [`OpTrace::digest`] hashes).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(64 + self.ops.len() * 24);
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("unit_bytes = {}\n", self.unit_bytes));
+        out.push_str(&format!("capacity_units = {}\n", self.capacity_units));
+        out.push_str(&format!("ops = {}\n", self.ops.len()));
+        for op in &self.ops {
+            out.push_str(&format!(
+                "{} {} {} {} {} {:x}\n",
+                op.start_us,
+                op.client,
+                if op.write { 'w' } else { 'r' },
+                op.offset,
+                op.units,
+                op.tag
+            ));
+        }
+        out
+    }
+
+    /// FNV-1a over the canonical rendering: the trace's identity.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in self.render().as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Parse a canonical rendering back into a trace.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`TraceError`] pinpointing the first offending line;
+    /// never panics on hostile input.
+    pub fn parse(text: &str) -> Result<Self, TraceError> {
+        let mut lines = text.lines().enumerate();
+        let (_, first) = lines.next().unwrap_or((0, ""));
+        if first.trim() != MAGIC {
+            return Err(TraceError::BadHeader {
+                found: first.chars().take(40).collect(),
+            });
+        }
+        let mut unit_bytes: Option<u32> = None;
+        let mut capacity_units: Option<u64> = None;
+        let mut declared: Option<u64> = None;
+        let mut ops = Vec::new();
+        for (i, raw) in lines {
+            let line = i + 1;
+            let text = raw.trim();
+            if text.is_empty() {
+                continue;
+            }
+            if let Some((key, value)) = text.split_once('=') {
+                let (key, value) = (key.trim(), value.trim());
+                let parsed = value.parse::<u64>().map_err(|_| TraceError::BadValue {
+                    line,
+                    what: value.chars().take(40).collect(),
+                })?;
+                match key {
+                    "unit_bytes" => {
+                        unit_bytes =
+                            Some(u32::try_from(parsed).map_err(|_| TraceError::BadValue {
+                                line,
+                                what: value.into(),
+                            })?);
+                    }
+                    "capacity_units" => capacity_units = Some(parsed),
+                    "ops" => declared = Some(parsed),
+                    other => {
+                        return Err(TraceError::BadValue {
+                            line,
+                            what: other.chars().take(40).collect(),
+                        })
+                    }
+                }
+                continue;
+            }
+            ops.push(Self::parse_op(line, text)?);
+        }
+        let trace = OpTrace {
+            unit_bytes: unit_bytes.ok_or(TraceError::MissingField { key: "unit_bytes" })?,
+            capacity_units: capacity_units.ok_or(TraceError::MissingField {
+                key: "capacity_units",
+            })?,
+            ops,
+        };
+        let declared = declared.ok_or(TraceError::MissingField { key: "ops" })?;
+        if declared != trace.ops.len() as u64 {
+            return Err(TraceError::CountMismatch {
+                declared,
+                found: trace.ops.len(),
+            });
+        }
+        for (i, op) in trace.ops.iter().enumerate() {
+            if op.units == 0
+                || u64::from(op.units) > trace.capacity_units
+                || op.offset > trace.capacity_units - u64::from(op.units)
+            {
+                // Op lines start after the 4 header lines; report the
+                // first bad one by position rather than re-tracking
+                // line numbers through blank-line skips.
+                return Err(TraceError::BadExtent { line: i + 5 });
+            }
+        }
+        Ok(trace)
+    }
+
+    fn parse_op(line: usize, text: &str) -> Result<TraceOp, TraceError> {
+        let bad = |what: &str| TraceError::BadValue {
+            line,
+            what: what.chars().take(40).collect(),
+        };
+        let mut cols = text.split_whitespace();
+        let mut next = |name: &'static str| cols.next().ok_or(bad(name));
+        let start_us = next("start_us")?.parse().map_err(|_| bad(text))?;
+        let client = next("client")?.parse().map_err(|_| bad(text))?;
+        let write = match next("r|w")? {
+            "r" => false,
+            "w" => true,
+            other => return Err(bad(other)),
+        };
+        let offset = next("offset")?.parse().map_err(|_| bad(text))?;
+        let units = next("units")?.parse().map_err(|_| bad(text))?;
+        let tag = u64::from_str_radix(next("tag")?, 16).map_err(|_| bad(text))?;
+        if cols.next().is_some() {
+            return Err(bad(text));
+        }
+        Ok(TraceOp {
+            start_us,
+            client,
+            write,
+            offset,
+            units,
+            tag,
+        })
+    }
+
+    /// Highest client index + 1 (0 for an empty trace).
+    pub fn clients(&self) -> u32 {
+        self.ops.iter().map(|o| o.client + 1).max().unwrap_or(0)
+    }
+}
+
+/// Expand a write tag into the unit's byte pattern — the same
+/// SplitMix64 expansion the chaos harness uses, so a replayed chaos
+/// trace writes byte-identical data.
+pub fn tag_bytes(tag: u64, unit_index: u32, unit_bytes: usize) -> Vec<u8> {
+    let token = tag.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ u64::from(unit_index);
+    let mut sm = pddl_core::rng::SplitMix64::new(token);
+    let mut out = Vec::with_capacity(unit_bytes);
+    while out.len() < unit_bytes {
+        out.extend_from_slice(&sm.next_u64().to_le_bytes());
+    }
+    out.truncate(unit_bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OpTrace {
+        OpTrace {
+            unit_bytes: 512,
+            capacity_units: 840,
+            ops: vec![
+                TraceOp {
+                    start_us: 0,
+                    client: 0,
+                    write: true,
+                    offset: 17,
+                    units: 2,
+                    tag: 0xdead_beef,
+                },
+                TraceOp {
+                    start_us: 1250,
+                    client: 1,
+                    write: false,
+                    offset: 40,
+                    units: 1,
+                    tag: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_preserves_digest() {
+        let t = sample();
+        let parsed = OpTrace::parse(&t.render()).unwrap();
+        assert_eq!(parsed, t);
+        assert_eq!(parsed.digest(), t.digest());
+        assert_eq!(t.clients(), 2);
+    }
+
+    #[test]
+    fn hostile_inputs_fail_typed_not_panic() {
+        assert!(matches!(
+            OpTrace::parse("nonsense"),
+            Err(TraceError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            OpTrace::parse("pddl-trace v1\nunit_bytes = 512\nops = 0\n"),
+            Err(TraceError::MissingField {
+                key: "capacity_units"
+            })
+        ));
+        let overflow =
+            "pddl-trace v1\nunit_bytes = 99999999999999999999\ncapacity_units = 8\nops = 0\n";
+        assert!(matches!(
+            OpTrace::parse(overflow),
+            Err(TraceError::BadValue { .. })
+        ));
+        let mismatch =
+            "pddl-trace v1\nunit_bytes = 512\ncapacity_units = 8\nops = 3\n0 0 r 0 1 0\n";
+        assert!(matches!(
+            OpTrace::parse(mismatch),
+            Err(TraceError::CountMismatch {
+                declared: 3,
+                found: 1
+            })
+        ));
+        let extent = "pddl-trace v1\nunit_bytes = 512\ncapacity_units = 8\nops = 1\n0 0 r 8 1 0\n";
+        assert!(matches!(
+            OpTrace::parse(extent),
+            Err(TraceError::BadExtent { .. })
+        ));
+        let zero_units =
+            "pddl-trace v1\nunit_bytes = 512\ncapacity_units = 8\nops = 1\n0 0 w 0 0 0\n";
+        assert!(matches!(
+            OpTrace::parse(zero_units),
+            Err(TraceError::BadExtent { .. })
+        ));
+    }
+
+    #[test]
+    fn tag_bytes_match_chaos_token_expansion() {
+        // Mirrors plan::block_token + plan::token_bytes.
+        let unit = 32;
+        let tag = 0x0001_0002_0000_0003u64;
+        let expect = {
+            let token = tag.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 2u64;
+            let mut sm = pddl_core::rng::SplitMix64::new(token);
+            let mut out = Vec::new();
+            while out.len() < unit {
+                out.extend_from_slice(&sm.next_u64().to_le_bytes());
+            }
+            out.truncate(unit);
+            out
+        };
+        assert_eq!(tag_bytes(tag, 2, unit), expect);
+    }
+}

@@ -1,0 +1,468 @@
+//! Workload generators for the scenario engine: seeded access
+//! distributions (uniform, zipfian-θ, shifting hotspot) and arrival
+//! processes (closed-loop, open-loop Poisson, bursty on/off Poisson).
+//!
+//! These live in `pddl-server` rather than `pddl-bench` because both
+//! ends of the stack consume them: the bench crate's scenario runner
+//! drives shaped [`crate::client::Client`]s from them, and the chaos
+//! harness's `client_round_ops` draws offsets through the same
+//! [`AccessSampler`] so a chaos run's access skew is reproducible by
+//! construction.
+//!
+//! Everything here is a pure function of `(parameters, seed)`; the
+//! property suite in `crates/bench/tests/workload_prop.rs` pins each
+//! generator's statistics (zipfian rank-frequency against the closed
+//! form, Poisson inter-arrival mean/variance, hotspot mode movement)
+//! with deterministic seeds.
+
+use pddl_core::rng::{SplitMix64, Xoshiro256pp};
+
+/// How a workload spreads accesses over a block range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessDist {
+    /// Every unit equally likely.
+    Uniform,
+    /// Zipfian over ranks with exponent `theta` in `(0, 2]`: rank `r`
+    /// (0-based) has probability `∝ 1/(r+1)^θ`. Ranks are scattered
+    /// over the range by a seeded affine permutation so the hot set is
+    /// not a contiguous prefix (see [`AccessSampler::rank_unit`]).
+    Zipfian {
+        /// Skew exponent; YCSB's default is 0.99.
+        theta: f64,
+    },
+    /// A moving hot region: a window covering `fraction` of the range
+    /// receives `weight` of all accesses, and the window jumps to a
+    /// new deterministic position every `shift_every` draws.
+    Hotspot {
+        /// Hot-window size as a fraction of the range, in `(0, 1]`.
+        fraction: f64,
+        /// Probability a draw lands inside the hot window, in `[0, 1]`.
+        weight: f64,
+        /// Draws between window jumps (nonzero).
+        shift_every: u64,
+    },
+}
+
+impl AccessDist {
+    /// Validate parameter ranges, returning a printable reason when
+    /// the distribution is unusable.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            AccessDist::Uniform => Ok(()),
+            AccessDist::Zipfian { theta } => {
+                if theta.is_finite() && theta > 0.0 && theta <= 2.0 {
+                    Ok(())
+                } else {
+                    Err(format!("zipfian theta {theta} outside (0, 2]"))
+                }
+            }
+            AccessDist::Hotspot {
+                fraction,
+                weight,
+                shift_every,
+            } => {
+                if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+                    Err(format!("hotspot fraction {fraction} outside (0, 1]"))
+                } else if !(weight.is_finite() && (0.0..=1.0).contains(&weight)) {
+                    Err(format!("hotspot weight {weight} outside [0, 1]"))
+                } else if shift_every == 0 {
+                    Err("hotspot shift_every is a zero-size window".into())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Zipfian CDF tables are capped at this many ranks; larger ranges
+/// spread each rank over a block of consecutive units.
+const MAX_RANKS: u64 = 1 << 20;
+
+/// A seeded sampler drawing unit offsets in `[0, range)` according to
+/// an [`AccessDist`]. Construction precomputes the zipfian CDF once so
+/// each draw is `O(log ranks)` worst case.
+#[derive(Debug, Clone)]
+pub struct AccessSampler {
+    dist: AccessDist,
+    range: u64,
+    rng: Xoshiro256pp,
+    /// Zipfian cumulative probabilities, one per rank (empty otherwise).
+    cdf: Vec<f64>,
+    /// Units covered by one rank (`range / cdf.len()`, at least 1).
+    rank_span: u64,
+    /// Affine rank→unit permutation multiplier (coprime with `range`).
+    perm_mul: u64,
+    /// Affine permutation offset.
+    perm_add: u64,
+    /// Draws made so far (drives the hotspot shift epoch).
+    draws: u64,
+    /// Seed retained for the hotspot window walk.
+    seed: u64,
+}
+
+impl AccessSampler {
+    /// Build a sampler over `[0, range)`; `range` must be nonzero and
+    /// `dist` must pass [`AccessDist::validate`].
+    ///
+    /// # Panics
+    ///
+    /// On a zero range or invalid distribution parameters — callers
+    /// (the DSL parser, the chaos config) validate first.
+    pub fn new(dist: AccessDist, range: u64, seed: u64) -> Self {
+        assert!(range > 0, "sampler range must be nonzero");
+        dist.validate().expect("validated distribution");
+        let mut cdf = Vec::new();
+        let mut rank_span = 1;
+        let mut perm_mul = 1;
+        let mut perm_add = 0;
+        if let AccessDist::Zipfian { theta } = dist {
+            let ranks = range.min(MAX_RANKS);
+            rank_span = range / ranks;
+            let mut sum = 0.0f64;
+            cdf.reserve(ranks as usize);
+            for r in 0..ranks {
+                sum += 1.0 / ((r + 1) as f64).powf(theta);
+                cdf.push(sum);
+            }
+            let total = sum;
+            for c in &mut cdf {
+                *c /= total;
+            }
+            // Scatter ranks over the range with a seeded affine
+            // permutation: unit = (rank·a + b) mod range, gcd(a, range)
+            // = 1 so the map is a bijection and the hot ranks are not a
+            // sequential prefix (which would alias stripe locality).
+            let mut sm = SplitMix64::new(seed ^ 0x5bf0_3635_dee9_91bb);
+            perm_add = sm.next_u64() % range;
+            perm_mul = if range <= 2 {
+                1
+            } else {
+                let mut a = (sm.next_u64() % range).max(2);
+                while gcd(a, range) != 1 {
+                    a = if a + 1 >= range { 2 } else { a + 1 };
+                }
+                a
+            };
+        }
+        Self {
+            dist,
+            range,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+            cdf,
+            rank_span,
+            perm_mul,
+            perm_add,
+            draws: 0,
+            seed,
+        }
+    }
+
+    /// The range this sampler draws from.
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+
+    /// The unit a zipfian rank maps to (identity for other
+    /// distributions) — exposed so tests can invert the scatter and
+    /// compare rank frequencies against the closed form.
+    pub fn rank_unit(&self, rank: u64) -> u64 {
+        let base = (rank % self.range)
+            .wrapping_mul(self.perm_mul)
+            .wrapping_add(self.perm_add)
+            % self.range;
+        // Spread over the rank's block when ranks were capped.
+        base.wrapping_mul(self.rank_span.max(1)) % self.range
+    }
+
+    /// Where the hot window starts during shift epoch `epoch`. The
+    /// stride `range/2 + 1` guarantees consecutive epochs start at
+    /// different units whenever `range > 1`, so a shift always moves
+    /// the mode.
+    pub fn hot_start(&self, epoch: u64) -> u64 {
+        let base = SplitMix64::new(self.seed ^ 0x9e37_79b9_7f4a_7c15).next_u64() % self.range;
+        let stride = self.range / 2 + 1;
+        (base + epoch.wrapping_mul(stride)) % self.range
+    }
+
+    /// Draw the next unit offset in `[0, range)`.
+    pub fn draw(&mut self) -> u64 {
+        let drawn = match self.dist {
+            AccessDist::Uniform => self.rng.below_u64(self.range),
+            AccessDist::Zipfian { .. } => {
+                let u = self.rng.next_f64();
+                let rank = self.cdf.partition_point(|&c| c < u) as u64;
+                let rank = rank.min(self.cdf.len() as u64 - 1);
+                let jitter = if self.rank_span > 1 {
+                    self.rng.below_u64(self.rank_span)
+                } else {
+                    0
+                };
+                (self.rank_unit(rank) + jitter) % self.range
+            }
+            AccessDist::Hotspot {
+                fraction,
+                weight,
+                shift_every,
+            } => {
+                let epoch = self.draws / shift_every;
+                let start = self.hot_start(epoch);
+                let hot_len = ((self.range as f64 * fraction) as u64).clamp(1, self.range);
+                if self.rng.chance(weight) {
+                    (start + self.rng.below_u64(hot_len)) % self.range
+                } else {
+                    self.rng.below_u64(self.range)
+                }
+            }
+        };
+        self.draws += 1;
+        drawn
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// How requests are spaced in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Closed loop: the next op is issued the instant the previous
+    /// completes; there is no intended-start schedule.
+    ClosedLoop,
+    /// Open-loop Poisson arrivals at `rate` ops/s: exponential
+    /// inter-arrival gaps, issued against intended-start timestamps so
+    /// latency includes queueing delay (coordinated-omission-free).
+    Poisson {
+        /// Mean arrival rate in operations per second (positive).
+        rate: f64,
+    },
+    /// On/off modulated Poisson: the base `rate` multiplied by
+    /// `burst_factor` during the first `on_ms` of every `period_ms`
+    /// window.
+    Bursty {
+        /// Off-window arrival rate in operations per second (positive).
+        rate: f64,
+        /// Rate multiplier inside a burst (≥ 1).
+        burst_factor: f64,
+        /// Burst length per window, `0 < on_ms ≤ period_ms`.
+        on_ms: u64,
+        /// Window length (nonzero).
+        period_ms: u64,
+    },
+}
+
+impl Arrival {
+    /// Validate parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Arrival::ClosedLoop => Ok(()),
+            Arrival::Poisson { rate } => {
+                if rate.is_finite() && rate > 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!("poisson rate {rate} must be positive"))
+                }
+            }
+            Arrival::Bursty {
+                rate,
+                burst_factor,
+                on_ms,
+                period_ms,
+            } => {
+                if !(rate.is_finite() && rate > 0.0) {
+                    Err(format!("bursty rate {rate} must be positive"))
+                } else if !(burst_factor.is_finite() && burst_factor >= 1.0) {
+                    Err(format!("burst factor {burst_factor} must be ≥ 1"))
+                } else if period_ms == 0 || on_ms == 0 {
+                    Err("bursty on/period window must be nonzero".into())
+                } else if on_ms > period_ms {
+                    Err(format!("burst on_ms {on_ms} exceeds period_ms {period_ms}"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// A seeded intended-start generator: successive calls yield a
+/// monotone sequence of microsecond timestamps from a virtual epoch
+/// (or `None` forever for closed-loop arrival).
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    arrival: Arrival,
+    rng: Xoshiro256pp,
+    t_us: f64,
+}
+
+impl ArrivalGen {
+    /// Build a generator; `arrival` must pass [`Arrival::validate`].
+    ///
+    /// # Panics
+    ///
+    /// On invalid parameters — callers validate first.
+    pub fn new(arrival: Arrival, seed: u64) -> Self {
+        arrival.validate().expect("validated arrival process");
+        Self {
+            arrival,
+            rng: Xoshiro256pp::seed_from_u64(seed ^ 0xa076_1d64_78bd_642f),
+            t_us: 0.0,
+        }
+    }
+
+    /// The next intended start, microseconds from the schedule epoch;
+    /// `None` when the process is closed-loop.
+    pub fn next_start_us(&mut self) -> Option<u64> {
+        let rate = match self.arrival {
+            Arrival::ClosedLoop => return None,
+            Arrival::Poisson { rate } => rate,
+            Arrival::Bursty {
+                rate,
+                burst_factor,
+                on_ms,
+                period_ms,
+            } => {
+                let in_burst = (self.t_us as u64 / 1000) % period_ms < on_ms;
+                if in_burst {
+                    rate * burst_factor
+                } else {
+                    rate
+                }
+            }
+        };
+        // Exponential inter-arrival gap at the window's current rate.
+        let gap_us = -self.rng.open01().ln() / rate * 1e6;
+        self.t_us += gap_us;
+        Some(self.t_us as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut s = AccessSampler::new(AccessDist::Uniform, 64, 1);
+        let mut seen = [false; 64];
+        for _ in 0..4000 {
+            seen[s.draw() as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "uniform left units unvisited");
+    }
+
+    #[test]
+    fn zipfian_permutation_is_a_bijection() {
+        for range in [2u64, 3, 10, 97, 840] {
+            let s = AccessSampler::new(AccessDist::Zipfian { theta: 0.99 }, range, 7);
+            let mut seen = vec![false; range as usize];
+            for r in 0..range {
+                let u = s.rank_unit(r);
+                assert!(u < range);
+                assert!(!seen[u as usize], "range {range}: rank collision at {u}");
+                seen[u as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn samplers_stay_in_range_and_are_deterministic() {
+        let dists = [
+            AccessDist::Uniform,
+            AccessDist::Zipfian { theta: 0.99 },
+            AccessDist::Hotspot {
+                fraction: 0.1,
+                weight: 0.9,
+                shift_every: 100,
+            },
+        ];
+        for dist in dists {
+            let mut a = AccessSampler::new(dist, 321, 9);
+            let mut b = AccessSampler::new(dist, 321, 9);
+            for _ in 0..2000 {
+                let x = a.draw();
+                assert!(x < 321);
+                assert_eq!(x, b.draw(), "{dist:?} diverged between equal seeds");
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_start_moves_every_epoch() {
+        let s = AccessSampler::new(
+            AccessDist::Hotspot {
+                fraction: 0.2,
+                weight: 0.9,
+                shift_every: 10,
+            },
+            100,
+            3,
+        );
+        for e in 0..20 {
+            assert_ne!(s.hot_start(e), s.hot_start(e + 1), "epoch {e} did not move");
+        }
+    }
+
+    #[test]
+    fn arrival_timestamps_are_monotone() {
+        let mut g = ArrivalGen::new(
+            Arrival::Bursty {
+                rate: 5000.0,
+                burst_factor: 8.0,
+                on_ms: 5,
+                period_ms: 20,
+            },
+            11,
+        );
+        let mut last = 0;
+        for _ in 0..5000 {
+            let t = g.next_start_us().unwrap();
+            assert!(t >= last);
+            last = t;
+        }
+        assert!(ArrivalGen::new(Arrival::ClosedLoop, 0)
+            .next_start_us()
+            .is_none());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_parameters() {
+        assert!(AccessDist::Zipfian { theta: 0.0 }.validate().is_err());
+        assert!(AccessDist::Zipfian { theta: f64::NAN }.validate().is_err());
+        assert!(AccessDist::Hotspot {
+            fraction: 0.0,
+            weight: 0.9,
+            shift_every: 10
+        }
+        .validate()
+        .is_err());
+        assert!(AccessDist::Hotspot {
+            fraction: 0.1,
+            weight: 0.9,
+            shift_every: 0
+        }
+        .validate()
+        .is_err());
+        assert!(Arrival::Poisson { rate: 0.0 }.validate().is_err());
+        assert!(Arrival::Bursty {
+            rate: 100.0,
+            burst_factor: 2.0,
+            on_ms: 30,
+            period_ms: 20
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -286,6 +286,7 @@ fn bench_runs_and_reports_quantiles() {
         seed: 7,
         fail_disk: None,
         volume: 0,
+        pace_us: 0,
     };
     let report = pddl_server::run_bench(handle.local_addr(), &cfg).unwrap();
     assert_eq!(report.ops + report.errors, 4 * 50);
@@ -315,6 +316,7 @@ fn bench_fail_disk_scenario_rebuilds_under_load() {
         seed: 11,
         fail_disk: Some(1),
         volume: 0,
+        pace_us: 0,
     };
     let report = pddl_server::run_bench(handle.local_addr(), &cfg).unwrap();
     assert_eq!(report.ops + report.errors, 2 * 2000);
