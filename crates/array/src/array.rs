@@ -21,7 +21,7 @@
 //! stripe-striped lock table; embedders driving the array directly from
 //! multiple threads must do the same. Writes to distinct stripes need
 //! no external coordination. The remaining lifecycle operations
-//! (replacement installation, journal recovery) take `&mut self` and
+//! (replacement installation, journal recovery) quiesce writes and
 //! thus exclude all concurrent I/O by construction.
 //!
 //! Rebuild is *online*: [`DeclusteredArray::begin_rebuild`] and
@@ -924,7 +924,7 @@ impl DeclusteredArray {
     /// `after_writes` physical unit writes. The interrupted stripe's
     /// intent stays journaled; call [`DeclusteredArray::recover`] to
     /// repair parity, as a controller would on power-up.
-    pub fn arm_crash(&mut self, after_writes: u64) {
+    pub fn arm_crash(&self, after_writes: u64) {
         *lock(&self.crash_after_writes) = Some(after_writes);
     }
 
@@ -1113,13 +1113,15 @@ impl DeclusteredArray {
     /// [`DeclusteredArray::rebuild_step`]; completion returns the slot to
     /// fault-free operation.
     ///
-    /// Takes `&mut self`: installing the replacement must not race
-    /// in-flight I/O. The stepping afterwards is `&self` and online.
+    /// Takes `&self` so it is reachable through a shared handle, but
+    /// installing the replacement must not race in-flight I/O: callers
+    /// quiesce writes for the call (the server's lifecycle discipline).
+    /// The stepping afterwards is `&self` and online.
     ///
     /// # Errors
     ///
     /// [`ArrayError::WrongDiskState`] if the disk is not failed.
-    pub fn begin_copy_back(&mut self, disk: usize) -> Result<RebuildTicket, ArrayError> {
+    pub fn begin_copy_back(&self, disk: usize) -> Result<RebuildTicket, ArrayError> {
         if !rlock(&self.failed).contains(&disk) {
             return Err(ArrayError::WrongDiskState);
         }
@@ -1315,7 +1317,7 @@ impl DeclusteredArray {
     /// [`DeclusteredArray::rebuild_step`]. On a mid-rebuild error the
     /// completed units stay redirected and a retry (after repairing the
     /// cause) skips them.
-    pub fn rebuild_to_spare(&mut self, disk: usize) -> Result<u64, ArrayError> {
+    pub fn rebuild_to_spare(&self, disk: usize) -> Result<u64, ArrayError> {
         let mut ticket = self.begin_rebuild(disk)?;
         let progress = self.rebuild_step(&mut ticket, u64::MAX)?;
         Ok(progress.repaired)
@@ -1330,7 +1332,7 @@ impl DeclusteredArray {
     ///
     /// [`ArrayError::WrongDiskState`] if the disk is not failed;
     /// [`ArrayError::Unrecoverable`] if reconstruction is impossible.
-    pub fn replace_and_rebuild(&mut self, disk: usize) -> Result<u64, ArrayError> {
+    pub fn replace_and_rebuild(&self, disk: usize) -> Result<u64, ArrayError> {
         let mut ticket = self.begin_copy_back(disk)?;
         let progress = self.rebuild_step(&mut ticket, u64::MAX)?;
         Ok(progress.repaired)
@@ -1538,7 +1540,7 @@ mod tests {
 
     #[test]
     fn degraded_writes_preserved_through_repair() {
-        let mut a = small_array();
+        let a = small_array();
         a.write(0, &pattern(16 * 8, 4)).unwrap();
         a.fail_disk(2).unwrap();
         // Overwrite while degraded — including units whose home is disk 2.
@@ -1559,7 +1561,7 @@ mod tests {
 
     #[test]
     fn replacement_without_sparing() {
-        let mut a = DeclusteredArray::new(Box::new(Raid5::new(5).unwrap()), 8, 2).unwrap();
+        let a = DeclusteredArray::new(Box::new(Raid5::new(5).unwrap()), 8, 2).unwrap();
         let buf = pattern(8 * 6, 6);
         a.write(0, &buf).unwrap();
         a.fail_disk(1).unwrap();
@@ -1574,7 +1576,7 @@ mod tests {
     #[test]
     fn double_failure_with_two_checks() {
         let layout = Pddl::new(13, 4).unwrap().with_check_units(2).unwrap();
-        let mut a = DeclusteredArray::new(Box::new(layout), 8, 1).unwrap();
+        let a = DeclusteredArray::new(Box::new(layout), 8, 1).unwrap();
         let buf = pattern(8 * 20, 7);
         a.write(0, &buf).unwrap();
         a.fail_disk(3).unwrap();
@@ -1605,7 +1607,7 @@ mod tests {
         // Fail disk A, rebuild to spare, then fail disk B: the array is
         // again degraded but still serves everything (A's data lives in
         // spare space; B reconstructs on the fly).
-        let mut a = small_array();
+        let a = small_array();
         let buf = pattern(16 * 24, 9);
         a.write(0, &buf)?;
         a.fail_disk(6)?;
@@ -1625,7 +1627,7 @@ mod tests {
 
     #[test]
     fn address_validation() {
-        let mut a = small_array();
+        let a = small_array();
         let cap = a.capacity_units();
         assert_eq!(a.read(cap, 1), Err(ArrayError::BadAddress));
         assert_eq!(a.read(0, 0), Err(ArrayError::BadAddress));
@@ -1704,7 +1706,7 @@ mod tests {
 
     #[test]
     fn batched_rebuild_steps_report_progress_and_complete() {
-        let mut a = small_array();
+        let a = small_array();
         let buf = pattern(16 * 24, 10);
         a.write(0, &buf).unwrap();
         a.fail_disk(5).unwrap();
@@ -1736,7 +1738,7 @@ mod tests {
         // Replace a degraded (never-spared) disk and restore it in small
         // batches: mid-restore reads reconstruct through parity, and a
         // client write validates its units ahead of the copy-back.
-        let mut a = small_array();
+        let a = small_array();
         let buf = pattern(16 * 24, 13);
         a.write(0, &buf).unwrap();
         a.fail_disk(4).unwrap();
@@ -1840,7 +1842,7 @@ mod tests {
     #[test]
     fn missing_spare_cell_is_a_typed_error_not_a_panic() {
         let layout = SparelessSparing(Pddl::new(7, 3).unwrap());
-        let mut a = DeclusteredArray::new(Box::new(layout), 16, 2).unwrap();
+        let a = DeclusteredArray::new(Box::new(layout), 16, 2).unwrap();
         let buf = pattern(16 * 10, 9);
         a.write(0, &buf).unwrap();
         a.fail_disk(1).unwrap();
@@ -1959,7 +1961,7 @@ mod small_write_tests {
         };
         let healthy = make();
         healthy.write(7, &pattern(16, 4)).unwrap(); // delta path
-        let mut degraded = make();
+        let degraded = make();
         degraded.fail_disk(12).unwrap();
         degraded.write(7, &pattern(16, 4)).unwrap(); // RMW path
         degraded.replace_and_rebuild(12).unwrap();
@@ -2221,7 +2223,7 @@ mod file_backed_tests {
                 Box::new(FileDisk::create(path, rows, 64).unwrap()) as Box<dyn BlockDevice>
             })
             .collect();
-        let mut a = DeclusteredArray::with_devices(Box::new(layout), 64, 2, devices).unwrap();
+        let a = DeclusteredArray::with_devices(Box::new(layout), 64, 2, devices).unwrap();
         let cap = a.capacity_units();
         let payload: Vec<u8> = (0..cap as usize * 64)
             .map(|i| (i * 7 % 256) as u8)
@@ -2302,7 +2304,7 @@ mod write_hole_tests {
         // The 6-unit write over old data costs at most ~16 physical
         // writes; crash after every possible prefix.
         for crash_at in 0..18u64 {
-            let mut a = fresh();
+            let a = fresh();
             a.arm_crash(crash_at);
             let result = a.write(4, &new_block);
             let crashed = matches!(result, Err(ArrayError::InjectedCrash));
@@ -2345,7 +2347,7 @@ mod write_hole_tests {
 
     #[test]
     fn recovery_refuses_while_degraded() {
-        let mut a = fresh();
+        let a = fresh();
         a.arm_crash(1);
         let _ = a.write(0, &pattern(8, 3));
         a.fail_disk(2).unwrap();

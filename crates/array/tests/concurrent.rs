@@ -101,7 +101,7 @@ fn concurrent_degraded_readers_reconstruct_correctly() {
 #[test]
 fn journal_recovery_then_scrub_reports_zero_inconsistencies() -> Result<(), ArrayError> {
     let layout = Pddl::new(7, 3).unwrap();
-    let mut a = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
+    let a = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
     a.write(0, &pattern(16 * 30, 1))?;
 
     // Crash after a single physical write: the data unit may be new

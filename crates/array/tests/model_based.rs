@@ -64,7 +64,7 @@ fn array_matches_flat_model() {
     let mut rng = Xoshiro256pp::seed_from_u64(0xa88a1);
     for case in 0..cases(48) {
         let layout = Pddl::new(7, 3).unwrap();
-        let mut array = DeclusteredArray::new(Box::new(layout), unit, 2).unwrap();
+        let array = DeclusteredArray::new(Box::new(layout), unit, 2).unwrap();
         let mut model = vec![0u8; capacity as usize * unit];
         // At most one un-rebuilt failure at a time (single-check layout);
         // the driver only injects a failure when the array is healthy.
@@ -141,7 +141,7 @@ fn scrub_passes_after_every_prefix_of_fault_interleavings() {
     let mut rng = Xoshiro256pp::seed_from_u64(0x5c2b_71ef);
     for case in 0..cases(16) {
         let layout = Pddl::new(7, 3).unwrap();
-        let mut array = DeclusteredArray::new(Box::new(layout), unit, 2).unwrap();
+        let array = DeclusteredArray::new(Box::new(layout), unit, 2).unwrap();
         let capacity = array.capacity_units();
         let mut model = vec![0u8; capacity as usize * unit];
         let mut stage = Stage::Healthy;

@@ -58,7 +58,7 @@ fn read_into_matches_read_degraded() {
 
 #[test]
 fn read_into_matches_read_after_rebuild() {
-    let mut a = filled_array();
+    let a = filled_array();
     a.fail_disk(3).unwrap();
     a.rebuild_to_spare(3).unwrap();
     assert_paths_agree(&a, "post-rebuild");

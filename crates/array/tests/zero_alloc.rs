@@ -8,6 +8,7 @@
 //! test can perturb the counter.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pddl_array::DeclusteredArray;
@@ -15,23 +16,41 @@ use pddl_core::Pddl;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Only the test thread counts: the libtest harness thread can
+    /// allocate concurrently (e.g. the mpsc park path the first time
+    /// it blocks, which only happens on a loaded machine) and must not
+    /// pollute the proof.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 struct CountingAllocator;
 
 // SAFETY: delegates verbatim to `System`; the counter has no effect on
 // the returned memory.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -45,6 +64,7 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 
 #[test]
 fn healthy_read_into_makes_zero_allocations() {
+    COUNTING.with(|c| c.set(true));
     const UNIT: usize = 64;
     let a = DeclusteredArray::new(Box::new(Pddl::new(7, 3).unwrap()), UNIT, 2).unwrap();
     let cap = a.capacity_units();

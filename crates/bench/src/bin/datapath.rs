@@ -59,13 +59,22 @@
 //! carry `pairing` and `trace_digest` fields; see
 //! `pddl_bench::report` for the schema.
 //!
-//! Emits a machine-readable JSON report (default `BENCH_PR9.json` in
+//! The `fan_in_1k` scenario gates the thread-per-core sharded runtime:
+//! 1k+ closed-loop TCP clients issue single-unit READs against a live
+//! loopback server, once with one event-loop shard (baseline) and once
+//! with four (optimized). Each side is a whole run over a freshly
+//! served engine; the samples are per-op client-observed latencies.
+//! On multi-core hosts the 4-shard side must scale ≥1.5×; single-core
+//! hosts report the ratio unguarded (PR 8 precedent — there is nothing
+//! for extra shards to run on), with the p99 bound still in force.
+//!
+//! Emits a machine-readable JSON report (default `BENCH_PR10.json` in
 //! the current directory) holding both runs from the same process on
 //! the same machine, seeding the repo's perf trajectory.
 //!
 //! Usage: `datapath [--tiny] [--out PATH]`
 //!   --tiny   CI smoke configuration: small array, few iterations.
-//!   --out    Report path (default: BENCH_PR9.json).
+//!   --out    Report path (default: BENCH_PR10.json).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -74,9 +83,10 @@ use pddl_array::DeclusteredArray;
 use pddl_bench::report::{measure_pair, render_report, ReportConfig, Scenario};
 use pddl_bench::scenario::{run_spec, ScenarioSpec};
 use pddl_core::{Layout, Pddl};
+use pddl_server::server::{serve, ServerConfig};
 use pddl_server::wire::{self, Status, RESPONSE_HEADER_LEN};
 use pddl_server::workload::{AccessDist, Arrival};
-use pddl_server::{CommitConfig, Engine, Op, QosQueue, RebuildConfig, Request, VolumeSpec};
+use pddl_server::{Client, CommitConfig, Engine, Op, QosQueue, RebuildConfig, Request, VolumeSpec};
 
 fn pattern(len: usize, tag: u8) -> Vec<u8> {
     (0..len)
@@ -831,6 +841,85 @@ fn scenario_engine_scenarios(cfg: &Config, tiny: bool) -> Vec<Scenario> {
     out
 }
 
+/// Connection fan-in under the sharded runtime: `clients` closed-loop
+/// TCP clients hammer single-unit READs, 1 event-loop shard (baseline)
+/// vs 4 (optimized). Whole runs, freshly served engines; samples are
+/// client-observed per-op latencies, so the p99 includes connect-storm
+/// survivors queueing behind a thousand peers on one epoll.
+fn fan_in_scenario(cfg: &Config, tiny: bool) -> Scenario {
+    let clients: usize = if tiny { 64 } else { 1024 };
+    let ops: usize = if tiny { 8 } else { 16 };
+    let unit = cfg.unit_bytes;
+
+    let run = |shards: usize| -> Vec<u64> {
+        let engine = Arc::new(Engine::new(build_array(cfg)));
+        let cap = engine.volume_info().capacity_units;
+        let handle = serve(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServerConfig {
+                shards,
+                // The portable fallback ignores `shards`; give it
+                // enough workers that the comparison still runs.
+                workers: 8,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("serve fan-in stack");
+        let addr = handle.local_addr();
+        let barrier = Arc::new(std::sync::Barrier::new(clients));
+        let (tx, rx) = mpsc::channel::<Vec<u64>>();
+        let mut threads = Vec::with_capacity(clients);
+        for c in 0..clients {
+            let barrier = Arc::clone(&barrier);
+            let tx = tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .stack_size(128 * 1024)
+                    .spawn(move || {
+                        // The connect storm itself can transiently
+                        // exhaust the accept queue; retry briefly.
+                        let mut client = loop {
+                            match Client::connect(addr) {
+                                Ok(c) => break c,
+                                Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+                            }
+                        };
+                        barrier.wait();
+                        let mut samples = Vec::with_capacity(ops);
+                        for i in 0..ops {
+                            let off = ((c as u64) * 31 + (i as u64) * 97) % cap;
+                            let t = std::time::Instant::now();
+                            let data = client.read_units(off, 1).expect("fan-in read");
+                            samples.push(t.elapsed().as_nanos() as u64);
+                            assert_eq!(data.len(), unit, "fan-in read returned a short unit");
+                        }
+                        tx.send(samples).expect("main thread alive");
+                    })
+                    .expect("spawn fan-in client"),
+            );
+        }
+        drop(tx);
+        let mut all = Vec::with_capacity(clients * ops);
+        while let Ok(mut s) = rx.recv() {
+            all.append(&mut s);
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        handle.shutdown();
+        all
+    };
+
+    let baseline = run(1);
+    let optimized = run(4);
+    let mut s = Scenario::from_samples("fan_in_1k", unit, baseline, optimized);
+    s.pairing = Some(format!(
+        "{clients} closed-loop TCP clients, single-unit reads: 1 runtime shard (baseline) vs 4 shards (optimized), whole runs"
+    ));
+    s
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tiny = args.iter().any(|a| a == "--tiny");
@@ -839,7 +928,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let cfg = if tiny {
         Config {
             n: 7,
@@ -874,9 +963,10 @@ fn main() {
     scenarios.extend(telemetry_scenarios(&cfg));
     scenarios.push(multi_tenant_skew_scenario(&cfg));
     scenarios.extend(scenario_engine_scenarios(&cfg, tiny));
+    scenarios.push(fan_in_scenario(&cfg, tiny));
 
     let body = render_report(
-        9,
+        10,
         &ReportConfig {
             disks: cfg.n,
             stripe_width: cfg.k,

@@ -211,6 +211,10 @@ pub fn run(cfg: &ChaosConfig, plan: &FaultPlan) -> Result<RunResult, String> {
         ServerConfig {
             workers: cfg.clients + 2,
             queue_depth: 64,
+            // Pin two event-loop shards so every chaos run exercises
+            // cross-shard routing and fan-out joins, even on the
+            // single-core CI hosts where the auto default would be 1.
+            shards: 2,
             idle_timeout: Duration::from_secs(120),
             poll_interval: Duration::from_millis(5),
             // Group commit stays off in chaos runs: coalescing ops

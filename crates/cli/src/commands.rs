@@ -48,11 +48,17 @@ USAGE:
                    summarize a metrics file: latency percentiles and
                    per-disk utilization skew
   pddl serve     --disks N --width K [--unit B] [--periods P]
-                 [--addr HOST:PORT] [--workers W] [--queue-depth Q]
-                 [--shards S] [--duration-ms T] [--rebuild-batch B]
-                 [--rebuild-rate R] [--metrics-addr HOST:PORT]
+                 [--addr HOST:PORT] [--shards S] [--stripe-shards L]
+                 [--workers W] [--queue-depth Q] [--duration-ms T]
+                 [--rebuild-batch B] [--rebuild-rate R]
+                 [--metrics-addr HOST:PORT]
                  [--commit-batch N] [--commit-interval US]
                    export the functional array as a TCP block service;
+                   --shards S = thread-per-core event loops on the
+                   sharded runtime (0 = one per core, the default);
+                   --stripe-shards L = engine stripe-lock table size;
+                   --workers/--queue-depth only shape the portable
+                   worker-pool backend (non-Linux fallback);
                    REBUILD runs online in batches of B stripes,
                    throttled to R stripes/sec (0 = unthrottled);
                    --metrics-addr adds a Prometheus /metrics endpoint;
@@ -72,7 +78,9 @@ USAGE:
                  [--volume V]
                    live per-op rates and latency percentiles, polled
                    from STATS every M ms (N = 0 runs until killed);
-                   --volume V narrows the per-volume rows to volume V
+                   --volume V narrows the per-volume rows to volume V;
+                   on the sharded runtime, adds a per-shard table:
+                   queued frames, cross-shard ring depth, wakeups/s
   pddl trace-dump --addr HOST:PORT [--out FILE]
                    dump the server's flight recorder (recent + slow op
                    spans) as chrome://tracing JSON to FILE or stdout
@@ -644,7 +652,7 @@ fn build_engine(cli: &Cli, obs: Option<&ObsOutput>) -> Result<Engine, String> {
     let k: usize = cli.num("width", 4)?;
     let unit: usize = cli.num("unit", 512)?;
     let periods: u64 = cli.num("periods", 4)?;
-    let shards: usize = cli.num("shards", pddl_server::engine::DEFAULT_SHARDS)?;
+    let shards: usize = cli.num("stripe-shards", pddl_server::engine::DEFAULT_SHARDS)?;
     let rebuild = RebuildConfig {
         batch: cli.num("rebuild-batch", RebuildConfig::default().batch)?,
         rate: cli.num("rebuild-rate", 0.0)?,
@@ -674,6 +682,9 @@ fn server_config(cli: &Cli) -> Result<ServerConfig, String> {
     Ok(ServerConfig {
         workers: cli.num("workers", 4)?,
         queue_depth: cli.num("queue-depth", 64)?,
+        // 0 = one event-loop shard per available core (the pool
+        // backend ignores this field entirely).
+        shards: cli.num("shards", 0)?,
         commit_batch: cli.num("commit-batch", defaults.commit_batch)?,
         commit_interval: std::time::Duration::from_micros(commit_interval_us),
         ..defaults
@@ -696,14 +707,19 @@ pub fn serve_cmd(cli: &Cli) -> Result<(), String> {
         Some(maddr) => Some(serve_metrics(Arc::clone(&engine), maddr).map_err(|e| e.to_string())?),
         None => None,
     };
+    let backend = match handle.runtime_shards() {
+        Some(n) => format!("{n} runtime shard(s)"),
+        None => "worker pool".to_string(),
+    };
     println!(
-        "serving on {}: {} disks, {} units × {} B ({} KiB client capacity), {} stripe shards",
+        "serving on {}: {} disks, {} units × {} B ({} KiB client capacity), {} stripe shards, {}",
         handle.local_addr(),
         info.disks,
         info.capacity_units,
         info.unit_bytes,
         info.capacity_units * info.unit_bytes as u64 / 1024,
         handle.engine().shards(),
+        backend,
     );
     if let Some(m) = &metrics {
         println!("metrics on http://{}/metrics", m.local_addr());
@@ -965,6 +981,38 @@ pub fn top(cli: &Cli) -> Result<(), String> {
             let before = prev.counter(name).unwrap_or(0);
             let rate = (total.saturating_sub(before)) as f64 / dt;
             println!("{name:<44} {rate:>9.1} {total:>10}");
+        }
+        // Per-shard runtime health (sharded backend only): queued
+        // connection frames, cross-shard ring depth, epoll wakeup
+        // rate, plus accept-loop exhaustion backoffs.
+        let mut shard_any = false;
+        for (name, queued) in &snap.gauges {
+            let Some(label) = name
+                .strip_prefix("shard.queue_depth{shard=\"")
+                .and_then(|n| n.strip_suffix("\"}"))
+            else {
+                continue;
+            };
+            if !shard_any {
+                println!(
+                    "{:<8} {:>9} {:>10} {:>10}",
+                    "shard", "queued", "ring", "wakeups/s"
+                );
+                shard_any = true;
+            }
+            let ring = snap
+                .gauge(&format!("shard.ring_depth{{shard=\"{label}\"}}"))
+                .unwrap_or(0.0);
+            let wname = format!("shard.wakeups{{shard=\"{label}\"}}");
+            let wakeups = snap.counter(&wname).unwrap_or(0);
+            let wrate = wakeups.saturating_sub(prev.counter(&wname).unwrap_or(0)) as f64 / dt;
+            println!("{label:<8} {queued:>9.0} {ring:>10.0} {wrate:>10.1}");
+        }
+        if shard_any {
+            let accept_errors = snap.counter("server.accept_errors").unwrap_or(0);
+            if accept_errors > 0 {
+                println!("accept errors (fd exhaustion backoffs): {accept_errors}");
+            }
         }
         let state = snap.gauge("rebuild.state").unwrap_or(0.0) as usize;
         if state != 0 {

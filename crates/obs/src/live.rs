@@ -402,6 +402,10 @@ thread_local! {
 /// [`Telemetry::set_gauge_source`]).
 type GaugeSource = (String, Box<dyn Fn() -> f64 + Send + Sync>);
 
+/// A named scrape-time counter callback (see
+/// [`Telemetry::set_counter_source`]).
+type CounterSource = (String, Box<dyn Fn() -> u64 + Send + Sync>);
+
 /// The live telemetry plane: sharded lock-free recording, merge-at-
 /// scrape snapshots, and the flight recorder. Shared as `Arc`.
 pub struct Telemetry {
@@ -411,6 +415,9 @@ pub struct Telemetry {
     /// Scrape-time-only gauge sources (e.g. queue depth); never touched
     /// on the recording path, so the `Mutex` costs nothing per op.
     gauge_sources: Mutex<Vec<GaugeSource>>,
+    /// Scrape-time-only monotone counter sources (e.g. shard wakeups);
+    /// same contract as `gauge_sources` but rendered as counters.
+    counter_sources: Mutex<Vec<CounterSource>>,
 }
 
 impl Telemetry {
@@ -423,6 +430,7 @@ impl Telemetry {
             enabled: AtomicBool::new(true),
             slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NS),
             gauge_sources: Mutex::new(Vec::new()),
+            counter_sources: Mutex::new(Vec::new()),
         }
     }
 
@@ -470,6 +478,30 @@ impl Telemetry {
     /// so a queue-depth closure cannot keep the server alive).
     pub fn clear_gauge_sources(&self) {
         self.gauge_sources
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+
+    /// Register a monotone counter evaluated only at scrape time
+    /// (shard wakeups, accept errors). Re-registering a name replaces
+    /// it. The callback must be non-decreasing for rate math to hold.
+    pub fn set_counter_source(&self, name: &str, f: Box<dyn Fn() -> u64 + Send + Sync>) {
+        let mut sources = self
+            .counter_sources
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(slot) = sources.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = f;
+        } else {
+            sources.push((name.to_string(), f));
+        }
+    }
+
+    /// Drop all scrape-time counter sources (pairs with
+    /// [`Telemetry::clear_gauge_sources`] at server shutdown).
+    pub fn clear_counter_sources(&self) {
+        self.counter_sources
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clear();
@@ -555,6 +587,15 @@ impl Telemetry {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             for (name, f) in sources.iter() {
                 snap.gauges.push((name.clone(), f()));
+            }
+        }
+        {
+            let sources = self
+                .counter_sources
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (name, f) in sources.iter() {
+                snap.counters.push((name.clone(), f()));
             }
         }
         snap.sort();

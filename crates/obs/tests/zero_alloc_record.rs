@@ -5,6 +5,7 @@
 //! test, so no other test's allocations can pollute the count.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pddl_obs::{OpKind, OpRecord, Telemetry};
@@ -13,9 +14,23 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Only the test thread counts: the libtest harness thread can
+    /// allocate concurrently (e.g. the mpsc park path the first time
+    /// it blocks, which only happens on a loaded machine) and must not
+    /// pollute the proof.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -24,7 +39,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -34,6 +51,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn recording_makes_zero_allocations() {
+    COUNTING.with(|c| c.set(true));
     let telemetry = Telemetry::new(4);
     let rec = OpRecord {
         id: 7,

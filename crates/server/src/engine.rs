@@ -19,16 +19,31 @@
 //! read-modify-write would race). The engine enforces that per array
 //! with two layers:
 //!
-//! * an `RwLock<DeclusteredArray>` — client I/O holds the **read**
-//!   lock (so any number of ops run concurrently), lifecycle ops
-//!   (`FAIL_DISK`) take the **write** lock and therefore see a quiesced
-//!   array;
+//! * each array lives behind a plain `Arc` plus a `quiesce: RwLock<()>`
+//!   — client I/O on the legacy worker path holds the **read** side (so
+//!   any number of ops run concurrently), lifecycle ops (`scrub`,
+//!   `recover`, `replace_disk`, `arm_crash`) take the **write** side and
+//!   therefore see a quiesced array. The thread-per-core runtime's
+//!   shard threads take *neither*: stripe ownership serializes
+//!   same-stripe ops by construction, and lifecycle ops first park
+//!   every shard through the registered runtime pauser (see
+//!   [`Engine::set_runtime_pauser`]) before taking the write side, so
+//!   the exclusion shard threads would get from the lock they get from
+//!   being parked;
 //! * a fixed table of stripe shard locks — each I/O computes the set of
 //!   `stripe % shards` indices its range touches and acquires them in
 //!   ascending order (total order ⇒ no deadlock). Writes to distinct
 //!   stripes proceed in parallel; writes that collide on a stripe (or a
 //!   shard) serialize. Reads take the same locks so a degraded-mode
-//!   reconstruction never observes a half-written stripe.
+//!   reconstruction never observes a half-written stripe. Runtime shard
+//!   threads skip this table too — *except* while a rebuild is running,
+//!   whose worker batches hold stripe locks and are the one writer that
+//!   stripe ownership cannot order (`do_rebuild` parks the shards once
+//!   after flipping the state so no lock-free op is still in flight).
+//!
+//! Every acquisition made through the engine's lock helpers bumps a
+//! process-wide counter ([`lock_acquisitions`]); the healthy-READ
+//! proof test asserts the shard-exec path's delta is exactly zero.
 //!
 //! A request resolving to several physical segments locks and serves
 //! them one segment at a time (lock, I/O, release, next), so no op ever
@@ -79,7 +94,8 @@ use std::time::{Duration, Instant};
 use pddl_array::{ArrayError, ArrayMode, DeclusteredArray, RebuildTicket};
 use pddl_obs::{Actor, Event, OpKind, OpRecord, SyncSharedSink, Telemetry, TelemetrySnapshot};
 use pddl_volume::{
-    Segment, TenantLimits, TenantRegistry, VolumeError, VolumeManager, VolumeSpec, REBUILD_TENANT,
+    Resolved, Segment, TenantLimits, TenantRegistry, VolumeError, VolumeManager, VolumeSpec,
+    REBUILD_TENANT,
 };
 
 use crate::wire::{
@@ -123,7 +139,7 @@ fn set_header_frame(frame: &mut Vec<u8>, id: u64, status: Status) {
         .expect("header-only frame is under the payload cap");
 }
 
-fn status_of(e: &ArrayError) -> Status {
+pub(crate) fn status_of(e: &ArrayError) -> Status {
     match e {
         ArrayError::BadAddress => Status::BadAddress,
         ArrayError::Unrecoverable { .. } => Status::Unrecoverable,
@@ -142,20 +158,36 @@ fn status_of(e: &ArrayError) -> Status {
     }
 }
 
+/// Process-wide count of every mutex / rwlock acquisition made through
+/// the engine's lock helpers. Purely diagnostic: the zero-lock proof
+/// test samples it around a healthy shard-exec READ and asserts the
+/// delta is zero, so a lock quietly reintroduced on that path fails a
+/// test instead of silently serializing the runtime.
+static LOCK_ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Engine-layer lock acquisitions since process start (see
+/// [`LOCK_ACQUISITIONS`]). Monotone; meaningful only as a delta.
+pub fn lock_acquisitions() -> u64 {
+    LOCK_ACQUISITIONS.load(Ordering::Relaxed)
+}
+
 fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    LOCK_ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn rdlock<T: ?Sized>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    LOCK_ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
     l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn wrlock<T: ?Sized>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    LOCK_ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
     l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Map a volume-layer failure onto a wire status.
-fn status_of_volume(e: VolumeError) -> Status {
+pub(crate) fn status_of_volume(e: VolumeError) -> Status {
     match e {
         VolumeError::NotFound => Status::VolumeNotFound,
         VolumeError::OutOfRange => Status::BadAddress,
@@ -311,7 +343,15 @@ struct PendingWrite {
 /// so sharing a table across arrays would only manufacture false
 /// collisions.
 struct ArrayShard {
-    array: RwLock<DeclusteredArray>,
+    /// The array itself is reachable lock-free (all client I/O entry
+    /// points take `&self`); `quiesce` below provides the exclusion
+    /// lifecycle ops need.
+    array: Arc<DeclusteredArray>,
+    /// Quiesce gate: legacy client I/O and the rebuild worker hold the
+    /// read side across each op/batch; lifecycle ops (scrub, recover,
+    /// replace, arm_crash) hold the write side — after parking any
+    /// runtime shards, which deliberately never touch this lock.
+    quiesce: RwLock<()>,
     stripe_locks: Vec<Mutex<()>>,
     /// The open group-commit batch: deposits accumulate here until a
     /// leader takes the whole vector and commits it in one
@@ -359,7 +399,17 @@ struct Inner {
     /// Group-commit age bound in nanoseconds (see
     /// [`CommitConfig::interval`]).
     commit_interval_ns: AtomicU64,
+    /// Hook installed by the thread-per-core runtime: invoking it parks
+    /// every shard thread at its loop boundary and returns a guard that
+    /// resumes them on drop. Lifecycle ops call it *before* taking any
+    /// `quiesce` write lock so in-flight lock-free shard ops are flushed
+    /// without shard threads ever touching a lock themselves.
+    pauser: Mutex<Option<RuntimePauser>>,
 }
+
+/// See [`Inner::pauser`]. The returned guard's `Drop` resumes the
+/// shards.
+pub type RuntimePauser = Box<dyn Fn() -> Box<dyn std::any::Any + Send> + Send + Sync>;
 
 impl Inner {
     fn now_ns(&self) -> u64 {
@@ -463,7 +513,7 @@ fn rebuild_worker(inner: Arc<Inner>, array_idx: usize, mut ticket: RebuildTicket
         }
         let started = Instant::now();
         let outcome = {
-            let a = rdlock(&shard.array);
+            let _q = rdlock(&shard.quiesce);
             // Hold only the shard locks this batch's stripes hash to:
             // a client op collides for at most one batch, everything
             // else proceeds untouched.
@@ -472,7 +522,7 @@ fn rebuild_worker(inner: Arc<Inner>, array_idx: usize, mut ticket: RebuildTicket
                     .into_iter()
                     .map(|i| lock(&shard.stripe_locks[i]))
                     .collect();
-            a.rebuild_step(&mut ticket, batch)
+            shard.array.rebuild_step(&mut ticket, batch)
         };
         inner
             .rebuild
@@ -508,6 +558,17 @@ fn rebuild_worker(inner: Arc<Inner>, array_idx: usize, mut ticket: RebuildTicket
 /// threads via `Arc`.
 pub struct Engine {
     inner: Arc<Inner>,
+}
+
+/// An open observability bracket for one request: returned by
+/// [`Engine::begin_access`], consumed by [`Engine::end_access`]. The
+/// runtime carries it alongside a routed job so the recorded span
+/// covers routing + owner execution, not just the final frame write.
+#[derive(Debug)]
+pub struct AccessSpan {
+    access: u64,
+    start_ns: u64,
+    started: Instant,
 }
 
 impl Engine {
@@ -566,7 +627,8 @@ impl Engine {
         let pool = arrays
             .into_iter()
             .map(|array| ArrayShard {
-                array: RwLock::new(array),
+                array: Arc::new(array),
+                quiesce: RwLock::new(()),
                 stripe_locks: (0..shards.max(1)).map(|_| Mutex::new(())).collect(),
                 commit: Mutex::new(Vec::new()),
             })
@@ -590,6 +652,7 @@ impl Engine {
                 commit_interval_ns: AtomicU64::new(
                     CommitConfig::default().interval.as_nanos() as u64
                 ),
+                pauser: Mutex::new(None),
             }),
         }
     }
@@ -717,11 +780,35 @@ impl Engine {
     /// `after_writes` more physical unit writes, the next write fails
     /// with `InjectedCrash` and leaves journal intents outstanding —
     /// the chaos harness's torn-batch entry point. Quiesces each array
-    /// (write lock) to set the hook.
+    /// (runtime pause + quiesce write lock) to set the hook.
     pub fn arm_crash(&self, after_writes: u64) {
+        let _pause = self.pause_runtime();
         for shard in &self.inner.pool {
-            wrlock(&shard.array).arm_crash(after_writes);
+            let _q = wrlock(&shard.quiesce);
+            shard.array.arm_crash(after_writes);
         }
+    }
+
+    /// Install the thread-per-core runtime's pause hook (see
+    /// [`RuntimePauser`]). Lifecycle ops call it before quiescing;
+    /// [`Engine::clear_runtime_pauser`] must be called before the
+    /// runtime's shard threads exit.
+    pub fn set_runtime_pauser(&self, p: RuntimePauser) {
+        *lock(&self.inner.pauser) = Some(p);
+    }
+
+    /// Remove the runtime pause hook (runtime shutdown).
+    pub fn clear_runtime_pauser(&self) {
+        *lock(&self.inner.pauser) = None;
+    }
+
+    /// Park the runtime's shard threads (if a runtime is attached) for
+    /// the lifetime of the returned guard. Holding the pauser lock
+    /// across the park also serializes concurrent lifecycle ops'
+    /// barriers, which is harmless: they serialize on the quiesce write
+    /// locks anyway.
+    fn pause_runtime(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        lock(&self.inner.pauser).as_ref().map(|p| p())
     }
 
     /// Geometry and failure state of the default volume 0 — the
@@ -757,7 +844,7 @@ impl Engine {
         let mut failed = Vec::new();
         let mut base = 0u64;
         for (ai, shard) in self.inner.pool.iter().enumerate() {
-            let a = rdlock(&shard.array);
+            let a = &shard.array;
             match a.mode() {
                 ArrayMode::Degraded => degraded = true,
                 ArrayMode::PostReconstruction => post = true,
@@ -786,7 +873,7 @@ impl Engine {
             .iter()
             .zip(free)
             .map(|(shard, free_units)| {
-                let a = rdlock(&shard.array);
+                let a = &shard.array;
                 PoolArrayInfo {
                     disks: a.layout().disks() as u32,
                     capacity_units: a.capacity_units(),
@@ -865,9 +952,11 @@ impl Engine {
     /// the suspect stripes of all arrays concatenated in pool order
     /// (stripe ids are array-local).
     pub fn scrub(&self) -> Result<Vec<u64>, ArrayError> {
+        let _pause = self.pause_runtime();
         let mut out = Vec::new();
         for shard in &self.inner.pool {
-            out.extend(wrlock(&shard.array).scrub()?);
+            let _q = wrlock(&shard.quiesce);
+            out.extend(shard.array.scrub()?);
         }
         Ok(out)
     }
@@ -875,9 +964,11 @@ impl Engine {
     /// Replay outstanding write-intent journal entries on every
     /// quiesced array; returns the total stripes repaired.
     pub fn recover(&self) -> Result<u64, ArrayError> {
+        let _pause = self.pause_runtime();
         let mut total = 0;
         for shard in &self.inner.pool {
-            total += wrlock(&shard.array).recover()?;
+            let _q = wrlock(&shard.quiesce);
+            total += shard.array.recover()?;
         }
         Ok(total)
     }
@@ -890,7 +981,10 @@ impl Engine {
             .inner
             .locate_disk(disk as u64)
             .ok_or(ArrayError::WrongDiskState)?;
-        wrlock(&self.inner.pool[ai].array).replace_and_rebuild(local)
+        let _pause = self.pause_runtime();
+        let shard = &self.inner.pool[ai];
+        let _q = wrlock(&shard.quiesce);
+        shard.array.replace_and_rebuild(local)
     }
 
     /// Stripes with outstanding write intents (torn by an injected
@@ -899,7 +993,8 @@ impl Engine {
     pub fn outstanding_intents(&self) -> Vec<u64> {
         let mut out = Vec::new();
         for shard in &self.inner.pool {
-            out.extend(rdlock(&shard.array).outstanding_intents());
+            let _q = rdlock(&shard.quiesce);
+            out.extend(shard.array.outstanding_intents());
         }
         out
     }
@@ -998,15 +1093,7 @@ impl Engine {
         frame: &mut Vec<u8>,
         queue_ns: u64,
     ) {
-        let access = self.inner.access_seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let start_ns = self.inner.now_ns();
-        let start = Instant::now();
-        self.emit(Event::AccessStart {
-            access,
-            actor: Actor::Client(client),
-            units: req.length,
-            write: matches!(req.op, Op::Write | Op::Trim),
-        });
+        let span = self.begin_access(client, req);
         match req.op {
             Op::Read => self.do_read_frame_into(req, frame),
             _ => {
@@ -1020,18 +1107,233 @@ impl Engine {
                 }
             }
         }
-        let service_ns = start.elapsed().as_nanos() as u64;
-        self.emit(Event::AccessEnd {
-            access,
-            latency_ns: service_ns,
-        });
         let status = frame
             .get(12)
             .copied()
             .and_then(Status::from_code)
             .unwrap_or(Status::Internal);
         let payload_len = frame.len().saturating_sub(RESPONSE_HEADER_LEN);
-        self.record_op(req, status, payload_len, start_ns, queue_ns, service_ns);
+        self.end_access(span, req, status, payload_len, queue_ns);
+    }
+
+    // ------------------------------------------------------------------
+    // Shard-exec API: the thread-per-core runtime's entry points.
+    //
+    // The runtime splits a data op the way `dispatch` never needs to:
+    // validation + volume resolution on the connection's net shard
+    // (`prepare_*`), the unit I/O on the stripe-owning shard(s)
+    // (`shard_*`), telemetry bracketing wherever the response is
+    // finally written (`begin_access`/`end_access`). The `shard_*`
+    // methods take no quiesce lock and — outside a running rebuild —
+    // no stripe locks either; the caller must uphold the runtime's
+    // exclusion protocol (one thread per stripe, lifecycle ops park
+    // all shard threads first via the registered pauser).
+    // ------------------------------------------------------------------
+
+    /// Whether a background rebuild may currently be holding stripe
+    /// locks — the one writer stripe ownership cannot order, so shard
+    /// threads fall back to stripe locking while it runs.
+    pub fn rebuild_locking(&self) -> bool {
+        self.inner.rebuild.state.load(Ordering::Acquire) == REBUILD_RUNNING
+    }
+
+    /// Arrays in the pool (shard-exec `array` indices are `0..this`).
+    pub fn array_count(&self) -> usize {
+        self.inner.pool.len()
+    }
+
+    /// Stripe index of physical unit `phys` on `array` — the routing
+    /// key the runtime hashes to a shard. Pure layout arithmetic.
+    pub fn stripe_of(&self, array: usize, phys: u64) -> u64 {
+        self.inner.pool[array].array.layout().locate(phys).0
+    }
+
+    /// Validate a READ and resolve it through the volume table.
+    /// Returns the resolved segments plus the response payload size.
+    ///
+    /// # Errors
+    ///
+    /// The wire status the caller should answer with.
+    pub fn prepare_read(&self, req: &Request) -> Result<(Resolved, usize), Status> {
+        if !req.payload.is_empty() || req.length == 0 {
+            return Err(Status::BadRequest);
+        }
+        // The response must fit in one frame; refuse up front rather
+        // than reading the data and failing to encode it (the client
+        // would otherwise never get an answer for this id).
+        let bytes = u64::from(req.length) * self.inner.unit_bytes as u64;
+        if bytes > u64::from(MAX_PAYLOAD) {
+            return Err(Status::BadRequest);
+        }
+        self.inner
+            .volumes
+            .resolve(req.volume, req.offset, u64::from(req.length))
+            .map(|r| (r, bytes as usize))
+            .map_err(status_of_volume)
+    }
+
+    /// Validate a WRITE and resolve it through the volume table.
+    ///
+    /// # Errors
+    ///
+    /// The wire status the caller should answer with.
+    pub fn prepare_write(&self, req: &Request) -> Result<Resolved, Status> {
+        let expect = u64::from(req.length) * self.inner.unit_bytes as u64;
+        if req.length == 0 || req.payload.len() as u64 != expect {
+            return Err(Status::BadRequest);
+        }
+        self.inner
+            .volumes
+            .resolve(req.volume, req.offset, u64::from(req.length))
+            .map_err(status_of_volume)
+    }
+
+    /// Validate a TRIM and resolve it through the volume table.
+    ///
+    /// # Errors
+    ///
+    /// The wire status the caller should answer with.
+    pub fn prepare_trim(&self, req: &Request) -> Result<Resolved, Status> {
+        if !req.payload.is_empty() || req.length == 0 {
+            return Err(Status::BadRequest);
+        }
+        self.inner
+            .volumes
+            .resolve(req.volume, req.offset, u64::from(req.length))
+            .map_err(status_of_volume)
+    }
+
+    /// Read `out.len()` bytes of resolved physical units on `array`
+    /// starting at `phys`, under the shard-exec exclusion contract.
+    /// Lock-free and allocation-free while no rebuild is running.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError`] from the device layer.
+    pub fn shard_read(&self, array: usize, phys: u64, out: &mut [u8]) -> Result<(), ArrayError> {
+        let shard = &self.inner.pool[array];
+        if self.rebuild_locking() {
+            let units = (out.len() / self.inner.unit_bytes) as u64;
+            let _guards: Vec<_> = shard_set(&shard.array, &shard.stripe_locks, phys, units)
+                .into_iter()
+                .map(|i| lock(&shard.stripe_locks[i]))
+                .collect();
+            return shard.array.read_into(phys, out);
+        }
+        shard.array.read_into(phys, out)
+    }
+
+    /// Write a batch of physical unit runs on `array` through the
+    /// array's batched journal path (one intent append, coalesced
+    /// parity), under the shard-exec exclusion contract. Returns one
+    /// result per op, like [`DeclusteredArray::write_batch`].
+    pub fn shard_write_batch(
+        &self,
+        array: usize,
+        ops: &[(u64, &[u8])],
+    ) -> Vec<Result<(), ArrayError>> {
+        let shard = &self.inner.pool[array];
+        let _guards: Vec<_> = if self.rebuild_locking() {
+            let unit = self.inner.unit_bytes as u64;
+            let mut set: Vec<usize> = Vec::new();
+            for &(phys, data) in ops {
+                set.extend(shard_set(
+                    &shard.array,
+                    &shard.stripe_locks,
+                    phys,
+                    data.len() as u64 / unit,
+                ));
+            }
+            set.sort_unstable();
+            set.dedup();
+            set.into_iter()
+                .map(|i| lock(&shard.stripe_locks[i]))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        shard.array.write_batch(ops)
+    }
+
+    /// Zero-fill `units` physical units on `array` starting at `phys`
+    /// in chunks of `zeros` (whose length fixes the chunk size), under
+    /// the shard-exec exclusion contract — the owner-side half of TRIM.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError`] from the device layer; partial progress stands.
+    pub fn shard_trim(
+        &self,
+        array: usize,
+        phys: u64,
+        units: u64,
+        zeros: &[u8],
+    ) -> Result<(), ArrayError> {
+        let shard = &self.inner.pool[array];
+        let unit = self.inner.unit_bytes;
+        let chunk_units = (zeros.len() / unit).max(1) as u64;
+        let _guards: Vec<_> = if self.rebuild_locking() {
+            shard_set(&shard.array, &shard.stripe_locks, phys, units)
+                .into_iter()
+                .map(|i| lock(&shard.stripe_locks[i]))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut done = 0u64;
+        while done < units {
+            let n = chunk_units.min(units - done);
+            shard
+                .array
+                .write(phys + done, &zeros[..n as usize * unit])?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Open the observability bracket for one request: emits
+    /// `AccessStart` and captures the timing baseline. Pair with
+    /// [`Engine::end_access`] when the response frame is final.
+    pub fn begin_access(&self, client: u32, req: &Request) -> AccessSpan {
+        let access = self.inner.access_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let start_ns = self.inner.now_ns();
+        let started = Instant::now();
+        self.emit(Event::AccessStart {
+            access,
+            actor: Actor::Client(client),
+            units: req.length,
+            write: matches!(req.op, Op::Write | Op::Trim),
+        });
+        AccessSpan {
+            access,
+            start_ns,
+            started,
+        }
+    }
+
+    /// Close an access bracket: emits `AccessEnd` and records the op
+    /// into the telemetry plane. Lock-free and allocation-free.
+    pub fn end_access(
+        &self,
+        span: AccessSpan,
+        req: &Request,
+        status: Status,
+        response_payload: usize,
+        queue_ns: u64,
+    ) {
+        let service_ns = span.started.elapsed().as_nanos() as u64;
+        self.emit(Event::AccessEnd {
+            access: span.access,
+            latency_ns: service_ns,
+        });
+        self.record_op(
+            req,
+            status,
+            response_payload,
+            span.start_ns,
+            queue_ns,
+            service_ns,
+        );
     }
 
     /// Serve one resolved segment of a READ into `out` (lock, read,
@@ -1041,39 +1343,24 @@ impl Engine {
         if self.inner.commit_batch.load(Ordering::Acquire) >= 2 {
             self.flush_overlapping(shard, seg.phys, seg.units);
         }
-        let a = rdlock(&shard.array);
-        let _guards: Vec<_> = shard_set(&a, &shard.stripe_locks, seg.phys, seg.units)
+        let _q = rdlock(&shard.quiesce);
+        let _guards: Vec<_> = shard_set(&shard.array, &shard.stripe_locks, seg.phys, seg.units)
             .into_iter()
             .map(|i| lock(&shard.stripe_locks[i]))
             .collect();
-        a.read_into(seg.phys, out)
+        shard.array.read_into(seg.phys, out)
     }
 
     /// Serve a READ straight into the response frame's payload region.
     fn do_read_frame_into(&self, req: &Request, frame: &mut Vec<u8>) {
-        if !req.payload.is_empty() || req.length == 0 {
-            return set_header_frame(frame, req.id, Status::BadRequest);
-        }
-        let unit = self.inner.unit_bytes as u64;
-        // The response must fit in one frame; refuse up front rather
-        // than reading the data and failing to encode it (the client
-        // would otherwise never get an answer for this id).
-        let bytes = u64::from(req.length) * unit;
-        if bytes > u64::from(MAX_PAYLOAD) {
-            return set_header_frame(frame, req.id, Status::BadRequest);
-        }
-        let resolved =
-            match self
-                .inner
-                .volumes
-                .resolve(req.volume, req.offset, u64::from(req.length))
-            {
-                Ok(r) => r,
-                Err(e) => return set_header_frame(frame, req.id, status_of_volume(e)),
-            };
-        if wire::response_frame_into(frame, req.id, Status::Ok, bytes as usize).is_err() {
+        let (resolved, bytes) = match self.prepare_read(req) {
+            Ok(v) => v,
+            Err(status) => return set_header_frame(frame, req.id, status),
+        };
+        if wire::response_frame_into(frame, req.id, Status::Ok, bytes).is_err() {
             return set_header_frame(frame, req.id, Status::Internal);
         }
+        let unit = self.inner.unit_bytes as u64;
         let mut at = RESPONSE_HEADER_LEN;
         for seg in &resolved.segments {
             let len = (seg.units * unit) as usize;
@@ -1087,7 +1374,7 @@ impl Engine {
         resolved
             .stats
             .bytes_read
-            .fetch_add(bytes, Ordering::Relaxed);
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     fn dispatch(&self, req: &Request) -> (Status, Vec<u8>) {
@@ -1205,7 +1492,7 @@ impl Engine {
             let mut unit_writes = 0u64;
             let mut degraded = 0u64;
             for shard in &self.inner.pool {
-                let a = rdlock(&shard.array);
+                let a = &shard.array;
                 let (r, w) = a.io_counts();
                 unit_reads += r;
                 unit_writes += w;
@@ -1284,12 +1571,12 @@ impl Engine {
             return self.deposit_write(seg, data);
         }
         let shard = &self.inner.pool[seg.array as usize];
-        let a = rdlock(&shard.array);
-        let _guards: Vec<_> = shard_set(&a, &shard.stripe_locks, seg.phys, seg.units)
+        let _q = rdlock(&shard.quiesce);
+        let _guards: Vec<_> = shard_set(&shard.array, &shard.stripe_locks, seg.phys, seg.units)
             .into_iter()
             .map(|i| lock(&shard.stripe_locks[i]))
             .collect();
-        a.write(seg.phys, data)
+        shard.array.write(seg.phys, data)
     }
 
     /// Park a WRITE segment in its shard's open batch and wait for the
@@ -1348,10 +1635,15 @@ impl Engine {
             return;
         }
         let results = {
-            let a = rdlock(&shard.array);
+            let _q = rdlock(&shard.quiesce);
             let mut set: Vec<usize> = Vec::new();
             for e in &entries {
-                set.extend(shard_set(&a, &shard.stripe_locks, e.phys, e.units));
+                set.extend(shard_set(
+                    &shard.array,
+                    &shard.stripe_locks,
+                    e.phys,
+                    e.units,
+                ));
             }
             set.sort_unstable();
             set.dedup();
@@ -1363,7 +1655,7 @@ impl Engine {
                 .iter()
                 .map(|e| (e.phys, e.data.as_slice()))
                 .collect();
-            a.write_batch(&ops)
+            shard.array.write_batch(&ops)
         };
         for (e, r) in entries.iter().zip(results) {
             *lock(&e.slot.result) = Some(r);
@@ -1387,18 +1679,10 @@ impl Engine {
     fn do_write(&self, req: &Request) -> (Status, Vec<u8>) {
         let unit = self.inner.unit_bytes as u64;
         let expect = u64::from(req.length) * unit;
-        if req.length == 0 || req.payload.len() as u64 != expect {
-            return (Status::BadRequest, Vec::new());
-        }
-        let resolved =
-            match self
-                .inner
-                .volumes
-                .resolve(req.volume, req.offset, u64::from(req.length))
-            {
-                Ok(r) => r,
-                Err(e) => return (status_of_volume(e), Vec::new()),
-            };
+        let resolved = match self.prepare_write(req) {
+            Ok(r) => r,
+            Err(status) => return (status, Vec::new()),
+        };
         let mut at = 0usize;
         for seg in &resolved.segments {
             let len = (seg.units * unit) as usize;
@@ -1420,18 +1704,10 @@ impl Engine {
     /// subsequent reads of the range return zeros, which is the
     /// strongest discard semantic the array can offer.
     fn do_trim(&self, req: &Request) -> (Status, Vec<u8>) {
-        if !req.payload.is_empty() || req.length == 0 {
-            return (Status::BadRequest, Vec::new());
-        }
-        let resolved =
-            match self
-                .inner
-                .volumes
-                .resolve(req.volume, req.offset, u64::from(req.length))
-            {
-                Ok(r) => r,
-                Err(e) => return (status_of_volume(e), Vec::new()),
-            };
+        let resolved = match self.prepare_trim(req) {
+            Ok(r) => r,
+            Err(status) => return (status, Vec::new()),
+        };
         // Zero-fill in bounded chunks: a volume-sized trim must not
         // allocate a volume-sized buffer.
         const TRIM_CHUNK_UNITS: u64 = 1024;
@@ -1440,18 +1716,21 @@ impl Engine {
         let zeros = vec![0u8; chunk as usize * unit];
         for seg in &resolved.segments {
             let shard = &self.inner.pool[seg.array as usize];
-            let a = rdlock(&shard.array);
+            let _q = rdlock(&shard.quiesce);
             // The shard guards span this segment's whole loop, so the
             // segment still clears atomically with respect to colliding
             // writes.
-            let _guards: Vec<_> = shard_set(&a, &shard.stripe_locks, seg.phys, seg.units)
+            let _guards: Vec<_> = shard_set(&shard.array, &shard.stripe_locks, seg.phys, seg.units)
                 .into_iter()
                 .map(|i| lock(&shard.stripe_locks[i]))
                 .collect();
             let mut done = 0u64;
             while done < seg.units {
                 let n = TRIM_CHUNK_UNITS.min(seg.units - done);
-                if let Err(e) = a.write(seg.phys + done, &zeros[..n as usize * unit]) {
+                if let Err(e) = shard
+                    .array
+                    .write(seg.phys + done, &zeros[..n as usize * unit])
+                {
                     resolved.stats.errors.fetch_add(1, Ordering::Relaxed);
                     return (status_of(&e), Vec::new());
                 }
@@ -1470,11 +1749,11 @@ impl Engine {
         let Some((ai, local)) = self.inner.locate_disk(req.offset) else {
             return (Status::WrongDiskState, Vec::new());
         };
-        // `fail_disk` is interior-mutable: the read lock suffices, so a
-        // failure can land while client I/O is in flight — exactly the
-        // timing a chaos nemesis wants to exercise.
-        let a = rdlock(&self.inner.pool[ai].array);
-        match a.fail_disk(local) {
+        // `fail_disk` is interior-mutable, so a failure can land while
+        // client I/O is in flight — exactly the timing a chaos nemesis
+        // wants to exercise. No quiesce: in-flight ops observe the flip
+        // mid-op and degrade, same as a real disk dying under load.
+        match self.inner.pool[ai].array.fail_disk(local) {
             Ok(()) => (Status::Ok, Vec::new()),
             Err(e) => (status_of(&e), Vec::new()),
         }
@@ -1508,8 +1787,8 @@ impl Engine {
             return (Status::WrongDiskState, Vec::new());
         };
         let ticket = {
-            let a = rdlock(&inner.pool[array_idx].array);
-            match a.begin_rebuild(disk) {
+            let _q = rdlock(&inner.pool[array_idx].quiesce);
+            match inner.pool[array_idx].array.begin_rebuild(disk) {
                 Ok(t) => t,
                 Err(e) => return (status_of(&e), Vec::new()),
             }
@@ -1537,6 +1816,12 @@ impl Engine {
             .store(REBUILD_RUNNING, Ordering::Release);
         // Close the bracket (even): the fields above are coherent again.
         inner.rebuild.gen.fetch_add(1, Ordering::Release);
+        // One runtime pause barrier before the worker's first batch:
+        // shard threads that sampled the state as not-running may still
+        // be mid-op without stripe locks; parking them once flushes
+        // those, and every op after the resume sees RUNNING and takes
+        // stripe locks for the rebuild's duration.
+        drop(self.pause_runtime());
         let worker_inner = Arc::clone(inner);
         let spawned = std::thread::Builder::new()
             .name("pddl-rebuild".into())
@@ -2226,8 +2511,7 @@ mod tests {
     fn shard_set_is_sorted_and_deduplicated() {
         let e = engine();
         let shard = &e.inner.pool[0];
-        let a = shard.array.read().unwrap();
-        let set = shard_set(&a, &shard.stripe_locks, 0, 64);
+        let set = shard_set(&shard.array, &shard.stripe_locks, 0, 64);
         let mut sorted = set.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -2374,7 +2658,7 @@ mod tests {
     #[test]
     fn startup_replays_outstanding_journal_intents() {
         let layout = Pddl::new(7, 3).unwrap();
-        let mut a = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
+        let a = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
         a.write(0, &[0x31u8; 16 * 8]).unwrap();
         a.arm_crash(1);
         assert!(a.write(0, &[0x32u8; 16]).is_err());

@@ -8,8 +8,11 @@
 //! |------------|------|
 //! | [`wire`]   | frame codec: request/response encode + decode, volume + pool payloads |
 //! | [`queue`]  | bounded blocking MPMC queue (legacy FIFO; admission now uses [`pddl_volume::QosQueue`]) |
+//! | [`ring`]   | bounded SPSC ring, the inter-shard mailbox of the sharded runtime |
+//! | `reactor`  | zero-dep epoll reactor (raw syscalls, edge-triggered; Linux x86_64/aarch64) |
 //! | [`engine`] | volume resolution + request execution over per-array stripe shard locks |
-//! | [`server`] | accept loop, per-connection readers, QoS admission, worker pool, graceful shutdown |
+//! | `runtime`  | thread-per-core shard runtime: per-core event loops, stripe-owner routing, fan-out/join |
+//! | [`server`] | accept loop + serve entry: sharded runtime on Linux, blocking worker pool elsewhere |
 //! | [`metrics_http`] | `/metrics` Prometheus exposition over minimal HTTP/1.0 |
 //! | [`shaping`] | per-connection client-side network shaping (bandwidth caps, latency, stalls) |
 //! | [`workload`] | seeded access-distribution + arrival-process generators for scenario workloads |
@@ -54,6 +57,17 @@ pub mod client;
 pub mod engine;
 pub mod metrics_http;
 pub mod queue;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod reactor;
+pub mod ring;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod runtime;
 pub mod server;
 pub mod shaping;
 pub mod trace;
@@ -68,7 +82,7 @@ pub use pddl_volume::{
     QosQueue, TenantLimits, TenantRegistry, VolumeMeta, VolumeSpec, REBUILD_TENANT,
 };
 pub use queue::BoundedQueue;
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, serve_threaded, ServerConfig, ServerHandle};
 pub use shaping::{Conn, NetShape, ShapedStream};
 pub use trace::{tag_bytes, OpTrace, TraceError, TraceOp};
 pub use wire::{

@@ -1,0 +1,1970 @@
+//! Thread-per-core shard runtime: the readiness-driven serving path.
+//!
+//! One OS thread per shard, each running its own edge-triggered epoll
+//! loop over the connections an acceptor thread dealt to it. Stripes
+//! are partitioned across shards by stripe-group ([`owner_of`]), and a
+//! decoded frame executes on the shard that owns its stripes:
+//!
+//! * **All stripes owned by the receiving shard** — the healthy fast
+//!   path. The request executes inline through the engine's shard-exec
+//!   API ([`crate::engine`]): no queue hop, no stripe lock, no
+//!   allocation once buffers are warm. Fully-local WRITEs decoded in
+//!   one reactor tick coalesce into a single
+//!   [`Engine::shard_write_batch`] submission (one intent append).
+//! * **Stripes owned elsewhere** — the frame is split into owner
+//!   chunks, each pushed over a bounded SPSC [`ring`](crate::ring) to
+//!   its owning shard, executed there, and joined back on the
+//!   originating shard, which finalizes the response.
+//! * **Cross-shard barriers** (`FLUSH`) — fan out a barrier message to
+//!   every peer ring and join: because rings are FIFO, the joined
+//!   barrier proves every shard has drained all work enqueued before
+//!   it.
+//! * **Blocking ops** (volume lifecycle, `REBUILD`, `STATS`, ...) —
+//!   handed to a dedicated control thread so a shard's event loop
+//!   never blocks; the response rides a control→shard ring home.
+//!
+//! # The shard-ownership invariant
+//!
+//! A stripe is touched by exactly one shard thread (its owner), so the
+//! engine's per-stripe exclusion needs no locks on this path. The two
+//! writers that cannot be ordered by ownership are handled out of
+//! band: background rebuild flips [`Engine::rebuild_locking`] and both
+//! sides fall back to stripe locks; array lifecycle ops
+//! (scrub/recover/replace) park every shard thread first through the
+//! runtime pauser registered with [`Engine::set_runtime_pauser`].
+//! Shard threads park only *between* requests, so an in-flight op is
+//! never interrupted.
+//!
+//! A shard thread must never issue a blocking lifecycle op itself (it
+//! would wait for its own park), which is why every such op routes to
+//! the control thread.
+//!
+//! # Backpressure
+//!
+//! One request per connection is in flight at a time; further
+//! pipelined frames stay in the socket buffer until the response is
+//! queued, so TCP flow control is the backpressure path. Per-tenant
+//! QoS is enforced at admission: a frame that exceeds its tenant's
+//! token bucket parks with a deadline ([`TenantRegistry::try_admit`]'s
+//! wait hint) instead of blocking the loop, and the reactor's wait
+//! timeout shrinks to the nearest deadline. Ring-full conditions park
+//! messages in a local outbox and retry next tick — shards never block
+//! on each other.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::{status_of, AccessSpan, Engine};
+use crate::reactor::{
+    Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use crate::ring::{ring, Consumer, Producer};
+use crate::wire::{self, Op, Request, Status, WireError, RESPONSE_HEADER_LEN};
+use pddl_volume::{Resolved, TenantRegistry};
+
+/// Stripes per ownership group: ownership rotates between shards every
+/// this many consecutive stripes, so neighbouring stripes usually
+/// share an owner (keeping short multi-stripe requests single-owner)
+/// while load still spreads across shards.
+pub const STRIPE_GROUP: u64 = 16;
+
+/// Epoll token of the shard's doorbell eventfd.
+const DOORBELL: u64 = u64::MAX;
+
+/// Readiness records drained per `epoll_pwait`.
+const EVENTS_CAP: usize = 256;
+
+/// Capacity of each inter-shard / control ring.
+const RING_CAPACITY: usize = 1024;
+
+/// Default reactor tick when nothing is imminent (idle sweeps land
+/// within this granularity).
+const IDLE_TICK_MS: i32 = 100;
+
+/// Longest a QoS-parked request sleeps before re-probing its bucket —
+/// bounds shutdown latency and keeps stale wait hints honest.
+const MAX_PARK: Duration = Duration::from_millis(100);
+
+/// The shard that owns `stripe` of `array`: contiguous
+/// [`STRIPE_GROUP`]-stripe runs rotate round-robin, offset by the
+/// array index so a multi-array pool doesn't pile group 0 of every
+/// array onto shard 0.
+pub fn owner_of(array: usize, stripe: u64, shards: usize) -> usize {
+    ((stripe / STRIPE_GROUP) as usize).wrapping_add(array) % shards.max(1)
+}
+
+/// Whether an `accept` failure is a descriptor/memory-exhaustion
+/// condition that a bounded sleep can relieve (`EMFILE`, `ENFILE`,
+/// `ENOMEM`). Anything else (e.g. `ECONNABORTED`) is per-connection
+/// noise to skip without slowing the accept loop.
+pub fn accept_should_backoff(e: &io::Error) -> bool {
+    // ENOMEM=12, ENFILE=23, EMFILE=24 on Linux.
+    matches!(e.raw_os_error(), Some(12 | 23 | 24))
+}
+
+/// Runtime tuning, distilled from [`crate::server::ServerConfig`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Shard (event-loop) threads; minimum 1.
+    pub shards: usize,
+    /// Drop a connection idle (no frame, no partial progress) this long.
+    pub idle_timeout: Duration,
+    /// Kill a connection whose response bytes make no progress for
+    /// this long (slow-consumer defense).
+    pub write_timeout: Duration,
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// One owner-chunk of a data op, executed on the owning shard.
+enum SubKind {
+    Read {
+        array: usize,
+        phys: u64,
+        bytes: usize,
+    },
+    Write {
+        array: usize,
+        phys: u64,
+        data: Vec<u8>,
+    },
+    Trim {
+        array: usize,
+        phys: u64,
+        units: u64,
+    },
+    /// FLUSH fence: answering proves this ring drained past everything
+    /// enqueued before the barrier.
+    Barrier,
+}
+
+struct Sub {
+    origin: usize,
+    job: u64,
+    /// Byte offset of this chunk's data within the response frame
+    /// (reads) — echoed back so the origin can place the bytes.
+    frame_off: usize,
+    kind: SubKind,
+}
+
+struct Done {
+    job: u64,
+    frame_off: usize,
+    payload: Result<Vec<u8>, Status>,
+}
+
+enum ShardMsg {
+    Sub(Sub),
+    Done(Done),
+}
+
+/// A blocking op, executed off-loop by the control thread.
+struct ControlJob {
+    origin: usize,
+    job: u64,
+    client: u32,
+    queue_ns: u64,
+    req: Request,
+}
+
+/// The control thread's answer: a finished response frame.
+struct CtlDone {
+    job: u64,
+    frame: Vec<u8>,
+}
+
+// ---------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------
+
+struct PauseState {
+    /// Outstanding pause requests (lifecycle ops may stack).
+    want: usize,
+    /// Shard threads currently parked.
+    parked: usize,
+    /// Shutdown: parks and pause-waits return immediately.
+    closed: bool,
+}
+
+struct Pause {
+    state: Mutex<PauseState>,
+    cv: Condvar,
+    /// Mirror of `want > 0` so the shard fast path is one atomic load.
+    flag: AtomicBool,
+}
+
+/// Per-shard observability counters, written by the owning shard each
+/// tick and read by scrape-time gauge closures.
+#[derive(Default)]
+struct ShardStats {
+    /// Reactor waits that returned at least one event.
+    wakeups: AtomicU64,
+    /// Messages queued in this shard's incoming rings at last tick.
+    ring_depth: AtomicU64,
+    /// Requests parked awaiting QoS admission at last tick. In-flight
+    /// work (cross-shard joins, control-thread ops) is deliberately
+    /// excluded so `queue.depth` keeps the pool backend's contract:
+    /// admitted-but-waiting work only, never the op that is itself
+    /// observing the gauge. Executing jobs show in
+    /// `server.jobs_inflight`.
+    queued: AtomicU64,
+}
+
+struct RtShared {
+    engine: Arc<Engine>,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    accept_errors: AtomicU64,
+    jobs_inflight: AtomicU64,
+    conn_seq: AtomicU32,
+    pause: Pause,
+    stats: Vec<ShardStats>,
+    /// Fresh connections dealt by the acceptor, one mailbox per shard.
+    mailboxes: Vec<Mutex<Vec<TcpStream>>>,
+    /// Each shard's doorbell, signalled by anyone who queued it work.
+    doorbells: Vec<Arc<EventFd>>,
+}
+
+impl RtShared {
+    fn wake(&self, shard: usize) {
+        self.doorbells[shard].signal();
+    }
+}
+
+fn plock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A pause guard: constructed by the registered runtime pauser with
+/// every shard parked; dropping it resumes them.
+struct PauseGuard {
+    shared: Arc<RtShared>,
+}
+
+impl PauseGuard {
+    fn acquire(shared: &Arc<RtShared>) -> Self {
+        let shards = shared.stats.len();
+        let mut st = plock(&shared.pause.state);
+        st.want += 1;
+        shared.pause.flag.store(true, Ordering::Release);
+        for bell in &shared.doorbells {
+            bell.signal();
+        }
+        while st.parked < shards && !st.closed {
+            st = shared
+                .pause
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        Self {
+            shared: Arc::clone(shared),
+        }
+    }
+}
+
+impl Drop for PauseGuard {
+    fn drop(&mut self) {
+        let mut st = plock(&self.shared.pause.state);
+        st.want -= 1;
+        if st.want == 0 {
+            self.shared.pause.flag.store(false, Ordering::Release);
+        }
+        self.shared.pause.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The runtime handle
+// ---------------------------------------------------------------------
+
+/// A running sharded server; see [`start`].
+pub struct Runtime {
+    addr: SocketAddr,
+    shared: Arc<RtShared>,
+    accept: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+    control: Option<JoinHandle<()>>,
+    control_tx: Option<mpsc::Sender<ControlJob>>,
+}
+
+impl Runtime {
+    /// Requests executed so far (any status).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Accept-loop failures that triggered exhaustion backoff.
+    pub fn accept_errors(&self) -> u64 {
+        self.shared.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Number of shard (event-loop) threads this runtime is running.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Stop accepting, wake and join every thread. In-flight responses
+    /// are abandoned (connections see a close); acknowledged writes
+    /// are already durable.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        plock(&self.shared.pause.state).closed = true;
+        self.shared.pause.cv.notify_all();
+        // Unblock the acceptor with a throwaway connection, then the
+        // shard loops with their doorbells.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for bell in &self.shared.doorbells {
+            bell.signal();
+        }
+        for t in self.shards.drain(..) {
+            let _ = t.join();
+        }
+        // Shards are gone: unregister the pauser, then retire the
+        // control thread by dropping its queue.
+        self.shared.engine.clear_runtime_pauser();
+        drop(self.control_tx.take());
+        if let Some(t) = self.control.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start the sharded runtime on an already-bound listener. Registers
+/// the runtime pauser with the engine and the shard gauges/counters
+/// with its telemetry plane.
+///
+/// # Errors
+///
+/// Reactor or thread creation failure; everything started so far is
+/// torn down first.
+pub fn start(
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    cfg: &RuntimeConfig,
+) -> io::Result<Runtime> {
+    let addr = listener.local_addr()?;
+    let nshards = cfg.shards.max(1);
+
+    let shared = Arc::new(RtShared {
+        engine: Arc::clone(&engine),
+        stop: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        accept_errors: AtomicU64::new(0),
+        jobs_inflight: AtomicU64::new(0),
+        conn_seq: AtomicU32::new(0),
+        pause: Pause {
+            state: Mutex::new(PauseState {
+                want: 0,
+                parked: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            flag: AtomicBool::new(false),
+        },
+        stats: (0..nshards).map(|_| ShardStats::default()).collect(),
+        mailboxes: (0..nshards).map(|_| Mutex::new(Vec::new())).collect(),
+        doorbells: (0..nshards)
+            .map(|_| EventFd::new().map(Arc::new))
+            .collect::<io::Result<_>>()?,
+    });
+
+    // Ring matrix: producers[i][j] carries messages from shard i to
+    // shard j; ctl rings carry control-thread answers to each shard.
+    let mut producers: Vec<Vec<Option<Producer<ShardMsg>>>> = (0..nshards)
+        .map(|_| (0..nshards).map(|_| None).collect())
+        .collect();
+    let mut consumers: Vec<Vec<Option<Consumer<ShardMsg>>>> = (0..nshards)
+        .map(|_| (0..nshards).map(|_| None).collect())
+        .collect();
+    for i in 0..nshards {
+        for j in 0..nshards {
+            if i == j {
+                continue;
+            }
+            let (p, c) = ring(RING_CAPACITY);
+            producers[i][j] = Some(p);
+            consumers[j][i] = Some(c);
+        }
+    }
+    let mut ctl_producers = Vec::with_capacity(nshards);
+    let mut ctl_consumers = Vec::with_capacity(nshards);
+    for _ in 0..nshards {
+        let (p, c) = ring::<CtlDone>(RING_CAPACITY);
+        ctl_producers.push(p);
+        ctl_consumers.push(c);
+    }
+
+    let (control_tx, control_rx) = mpsc::channel::<ControlJob>();
+
+    // Telemetry: per-shard ring-depth gauges, aggregate wakeup/accept
+    // counters, and the queue-depth gauge the legacy path also exports.
+    let telemetry = engine.telemetry();
+    for i in 0..nshards {
+        let w = Arc::downgrade(&shared);
+        telemetry.set_gauge_source(
+            &format!("shard.ring_depth{{shard=\"{i}\"}}"),
+            Box::new(move || {
+                w.upgrade().map_or(0.0, |s| {
+                    s.stats[i].ring_depth.load(Ordering::Relaxed) as f64
+                })
+            }),
+        );
+        let w = Arc::downgrade(&shared);
+        telemetry.set_gauge_source(
+            &format!("shard.queue_depth{{shard=\"{i}\"}}"),
+            Box::new(move || {
+                w.upgrade()
+                    .map_or(0.0, |s| s.stats[i].queued.load(Ordering::Relaxed) as f64)
+            }),
+        );
+        let w = Arc::downgrade(&shared);
+        telemetry.set_counter_source(
+            &format!("shard.wakeups{{shard=\"{i}\"}}"),
+            Box::new(move || {
+                w.upgrade()
+                    .map_or(0, |s| s.stats[i].wakeups.load(Ordering::Relaxed))
+            }),
+        );
+    }
+    let w = Arc::downgrade(&shared);
+    telemetry.set_gauge_source(
+        "queue.depth",
+        Box::new(move || {
+            w.upgrade().map_or(0.0, |s| {
+                s.stats
+                    .iter()
+                    .map(|st| st.queued.load(Ordering::Relaxed))
+                    .sum::<u64>() as f64
+            })
+        }),
+    );
+    let w = Arc::downgrade(&shared);
+    telemetry.set_gauge_source(
+        "server.jobs_inflight",
+        Box::new(move || {
+            w.upgrade()
+                .map_or(0.0, |s| s.jobs_inflight.load(Ordering::Relaxed) as f64)
+        }),
+    );
+    let w = Arc::downgrade(&shared);
+    telemetry.set_counter_source(
+        "shard.wakeups",
+        Box::new(move || {
+            w.upgrade().map_or(0, |s| {
+                s.stats
+                    .iter()
+                    .map(|st| st.wakeups.load(Ordering::Relaxed))
+                    .sum()
+            })
+        }),
+    );
+    let w = Arc::downgrade(&shared);
+    telemetry.set_counter_source(
+        "server.accept_errors",
+        Box::new(move || {
+            w.upgrade()
+                .map_or(0, |s| s.accept_errors.load(Ordering::Relaxed))
+        }),
+    );
+
+    // Lifecycle ops (scrub/recover/replace/arm-crash) park every shard
+    // thread through this hook before taking their write locks.
+    {
+        let ps = Arc::clone(&shared);
+        engine.set_runtime_pauser(Box::new(move || {
+            Box::new(PauseGuard::acquire(&ps)) as Box<dyn std::any::Any + Send>
+        }));
+    }
+
+    let join_all = |shards: Vec<JoinHandle<()>>, shared: &Arc<RtShared>| {
+        shared.stop.store(true, Ordering::SeqCst);
+        plock(&shared.pause.state).closed = true;
+        shared.pause.cv.notify_all();
+        for bell in &shared.doorbells {
+            bell.signal();
+        }
+        for t in shards {
+            let _ = t.join();
+        }
+        shared.engine.clear_runtime_pauser();
+    };
+
+    let mut shard_threads: Vec<JoinHandle<()>> = Vec::with_capacity(nshards);
+    for (i, ctl_rx) in ctl_consumers.into_iter().enumerate() {
+        let mut to = Vec::with_capacity(nshards);
+        let mut from = Vec::with_capacity(nshards);
+        for j in 0..nshards {
+            to.push(producers[i][j].take());
+            from.push(consumers[i][j].take());
+        }
+        let epoll = match Epoll::new() {
+            Ok(ep) => ep,
+            Err(e) => {
+                join_all(shard_threads, &shared);
+                return Err(e);
+            }
+        };
+        let shard = Shard::new(
+            i,
+            nshards,
+            Arc::clone(&shared),
+            epoll,
+            to,
+            from,
+            ctl_rx,
+            control_tx.clone(),
+            cfg,
+        );
+        let spawned = std::thread::Builder::new()
+            .name(format!("pddl-shard-{i}"))
+            .spawn(move || shard.run());
+        match spawned {
+            Ok(h) => shard_threads.push(h),
+            Err(e) => {
+                join_all(shard_threads, &shared);
+                return Err(e);
+            }
+        }
+    }
+
+    let control = {
+        let engine = Arc::clone(&engine);
+        let shared2 = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("pddl-control".into())
+            .spawn(move || control_loop(&engine, &shared2, &control_rx, &ctl_producers));
+        match spawned {
+            Ok(h) => h,
+            Err(e) => {
+                join_all(shard_threads, &shared);
+                return Err(e);
+            }
+        }
+    };
+
+    let accept = {
+        let shared2 = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("pddl-accept".into())
+            .spawn(move || accept_loop(&listener, &shared2));
+        match spawned {
+            Ok(h) => h,
+            Err(e) => {
+                join_all(shard_threads, &shared);
+                return Err(e);
+            }
+        }
+    };
+
+    Ok(Runtime {
+        addr,
+        shared,
+        accept: Some(accept),
+        shards: shard_threads,
+        control: Some(control),
+        control_tx: Some(control_tx),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Acceptor
+// ---------------------------------------------------------------------
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<RtShared>) {
+    let nshards = shared.stats.len();
+    let mut next = 0usize;
+    let mut backoff = Duration::from_millis(1);
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                backoff = Duration::from_millis(1);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let shard = next % nshards;
+                next = next.wrapping_add(1);
+                plock(&shared.mailboxes[shard]).push(stream);
+                shared.wake(shard);
+            }
+            Err(e) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if accept_should_backoff(&e) {
+                    // Descriptor/memory exhaustion: count it, sleep a
+                    // bounded growing interval so the fd table can
+                    // drain (idle/write timeouts keep reaping), retry.
+                    shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(100));
+                }
+                // Per-connection failures (ECONNABORTED...) just skip.
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Control thread
+// ---------------------------------------------------------------------
+
+fn control_loop(
+    engine: &Arc<Engine>,
+    shared: &Arc<RtShared>,
+    rx: &mpsc::Receiver<ControlJob>,
+    to_shards: &[Producer<CtlDone>],
+) {
+    while let Ok(job) = rx.recv() {
+        let mut frame = Vec::new();
+        engine.execute_queued_frame_into(job.client, &job.req, &mut frame, job.queue_ns);
+        let mut msg = CtlDone {
+            job: job.job,
+            frame,
+        };
+        loop {
+            match to_shards[job.origin].push(msg) {
+                Ok(()) => {
+                    shared.wake(job.origin);
+                    break;
+                }
+                Err(back) => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    msg = back;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard event loop
+// ---------------------------------------------------------------------
+
+/// A connection owned by one shard. `gen` disambiguates a recycled
+/// slot: jobs hold `(slot, gen)`, so a completion for a connection
+/// that died mid-flight hits a mismatch instead of a stranger.
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    client: u32,
+    reader: wire::RequestReader,
+    /// Residual read readiness: edge-triggered epoll only reports
+    /// transitions, so this stays set until a read hits `WouldBlock`.
+    readable: bool,
+    /// One-in-flight: a decoded frame is executing (inline, batched,
+    /// cross-shard join, control thread, or QoS-parked).
+    inflight: bool,
+    parked: Option<Parked>,
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    /// Registered for `EPOLLOUT` (response bytes pending).
+    want_write: bool,
+    /// When the current response write first hit `WouldBlock`.
+    write_stalled: Option<Instant>,
+    last_activity: Instant,
+    /// Bytes of partial frame seen at the last progress check.
+    buffered_prev: usize,
+    /// Peer sent EOF: close once the pipeline drains.
+    eof: bool,
+    /// Protocol error: answer what's queued, then close.
+    close_after_flush: bool,
+    dead: bool,
+}
+
+/// A QoS-deferred request: re-probes its token bucket at `deadline`.
+struct Parked {
+    req: Request,
+    tenant: u32,
+    bytes: u64,
+    deadline: Instant,
+    decoded_at: Instant,
+}
+
+/// A fully-local WRITE decoded this tick, awaiting the end-of-tick
+/// batch submission.
+struct PendingWrite {
+    slot: usize,
+    gen: u64,
+    req: Request,
+    resolved: Resolved,
+    span: AccessSpan,
+    queue_ns: u64,
+}
+
+enum JobKind {
+    Read,
+    Write,
+    Trim,
+    Flush,
+    Control,
+}
+
+/// A request whose completion is asynchronous to the decode tick:
+/// cross-shard chunks, a FLUSH barrier, or a control-thread op.
+struct Job {
+    slot: usize,
+    gen: u64,
+    kind: JobKind,
+    req: Request,
+    span: Option<AccessSpan>,
+    queue_ns: u64,
+    /// Response under construction (reads: pre-sized, chunk data lands
+    /// at its frame offset).
+    frame: Vec<u8>,
+    payload_bytes: usize,
+    remaining: usize,
+    /// Sticky first error.
+    status: Status,
+    /// Pins the volume mapping until every chunk lands.
+    resolved: Option<Resolved>,
+}
+
+/// One owner-chunk of a resolved data op.
+#[derive(Clone, Copy)]
+struct Chunk {
+    owner: usize,
+    array: usize,
+    phys: u64,
+    units: u64,
+    /// Byte offset within the op's logical payload.
+    byte_off: usize,
+}
+
+struct Shard {
+    id: usize,
+    nshards: usize,
+    shared: Arc<RtShared>,
+    engine: Arc<Engine>,
+    tenants: Arc<TenantRegistry>,
+    epoll: Epoll,
+    bell: Arc<EventFd>,
+    to: Vec<Option<Producer<ShardMsg>>>,
+    from: Vec<Option<Consumer<ShardMsg>>>,
+    ctl_rx: Consumer<CtlDone>,
+    ctl_tx: mpsc::Sender<ControlJob>,
+    /// Ring-full spill, one FIFO per destination shard.
+    outbox: Vec<VecDeque<ShardMsg>>,
+    /// Destinations to ring after this tick's pushes.
+    signal: Vec<bool>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    jobs: HashMap<u64, Job>,
+    next_job: u64,
+    gen_seq: u64,
+    wbatch: Vec<PendingWrite>,
+    /// Scratch: per-request chunk list (reused; allocation-free warm).
+    chunks: Vec<Chunk>,
+    /// Scratch: response frame for inline ops (reused).
+    scratch: Vec<u8>,
+    /// Scratch: zero block for TRIM.
+    zeros: Vec<u8>,
+    parked_count: usize,
+    wakeups: u64,
+    idle_timeout: Duration,
+    write_timeout: Duration,
+}
+
+impl Shard {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        id: usize,
+        nshards: usize,
+        shared: Arc<RtShared>,
+        epoll: Epoll,
+        to: Vec<Option<Producer<ShardMsg>>>,
+        from: Vec<Option<Consumer<ShardMsg>>>,
+        ctl_rx: Consumer<CtlDone>,
+        ctl_tx: mpsc::Sender<ControlJob>,
+        cfg: &RuntimeConfig,
+    ) -> Self {
+        let engine = Arc::clone(&shared.engine);
+        let tenants = Arc::clone(engine.tenants());
+        let unit = engine.unit_bytes();
+        // TRIM zero block: up to 1024 units, capped near 256 KiB so a
+        // huge unit size doesn't pin a huge block per shard.
+        let zero_units = (256 * 1024 / unit).clamp(1, 1024);
+        let bell = Arc::clone(&shared.doorbells[id]);
+        let _ = epoll.add(bell.raw_fd(), EPOLLIN | EPOLLET, DOORBELL);
+        Self {
+            id,
+            nshards,
+            engine,
+            tenants,
+            epoll,
+            bell,
+            to,
+            from,
+            ctl_rx,
+            ctl_tx,
+            outbox: (0..nshards).map(|_| VecDeque::new()).collect(),
+            signal: vec![false; nshards],
+            conns: Vec::new(),
+            free: Vec::new(),
+            jobs: HashMap::new(),
+            next_job: 0,
+            gen_seq: 0,
+            wbatch: Vec::new(),
+            chunks: Vec::new(),
+            scratch: Vec::new(),
+            zeros: vec![0u8; zero_units * unit],
+            parked_count: 0,
+            wakeups: 0,
+            idle_timeout: cfg.idle_timeout,
+            write_timeout: cfg.write_timeout,
+            shared,
+        }
+    }
+
+    fn run(mut self) {
+        let mut events = [EpollEvent::empty(); EVENTS_CAP];
+        loop {
+            let timeout = self.tick_timeout();
+            let n = self.epoll.wait(&mut events, timeout).unwrap_or(0);
+            if n > 0 {
+                self.wakeups += 1;
+            }
+            for ev in &events[..n] {
+                match ev.token() {
+                    DOORBELL => {
+                        self.bell.drain();
+                    }
+                    token => {
+                        let slot = token as usize;
+                        if let Some(Some(conn)) = self.conns.get_mut(slot) {
+                            let bits = ev.events();
+                            if bits & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 {
+                                // Error/hangup also goes through the
+                                // read path so in-flight work drains
+                                // before the close is observed.
+                                conn.readable = true;
+                            }
+                            // EPOLLOUT needs no flag: every tick
+                            // retries pending outbufs.
+                        }
+                    }
+                }
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if self.shared.pause.flag.load(Ordering::Acquire) {
+                self.park();
+            }
+            self.drain_mailbox();
+            self.drain_rings();
+            self.service_conns();
+            self.flush_write_batch();
+            self.flush_outboxes();
+            self.ring_doorbells();
+            self.sweep();
+        }
+        // Drop jobs/conns explicitly so volume pins release before the
+        // runtime handle is torn down.
+        self.jobs.clear();
+        self.conns.clear();
+    }
+
+    // -- tick plumbing -------------------------------------------------
+
+    /// How long the reactor may sleep: zero when decodable input or
+    /// retries are pending, else bounded by the nearest parked-request
+    /// deadline and the idle-sweep granularity.
+    fn tick_timeout(&self) -> i32 {
+        if self.outbox.iter().any(|q| !q.is_empty()) || !self.wbatch.is_empty() {
+            return 0;
+        }
+        let mut timeout = IDLE_TICK_MS;
+        let now = Instant::now();
+        for conn in self.conns.iter().flatten() {
+            if conn.dead || (conn.readable && !conn.inflight && !conn.close_after_flush) {
+                return 0;
+            }
+            if let Some(p) = &conn.parked {
+                let ms = p
+                    .deadline
+                    .saturating_duration_since(now)
+                    .as_millis()
+                    .min(i32::MAX as u128) as i32;
+                timeout = timeout.min(ms.max(1));
+            }
+        }
+        timeout
+    }
+
+    fn park(&self) {
+        let mut st = plock(&self.shared.pause.state);
+        if st.want == 0 || st.closed {
+            return;
+        }
+        st.parked += 1;
+        self.shared.pause.cv.notify_all();
+        while st.want > 0 && !st.closed {
+            st = self
+                .shared
+                .pause
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.parked -= 1;
+        self.shared.pause.cv.notify_all();
+    }
+
+    fn drain_mailbox(&mut self) {
+        let fresh = std::mem::take(&mut *plock(&self.shared.mailboxes[self.id]));
+        for stream in fresh {
+            let slot = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.conns.len() - 1
+            });
+            self.gen_seq += 1;
+            if self
+                .epoll
+                .add(
+                    stream.as_raw_fd(),
+                    EPOLLIN | EPOLLRDHUP | EPOLLET,
+                    slot as u64,
+                )
+                .is_err()
+            {
+                // Registration failed (fd pressure): shed this
+                // connection, keep the slot free.
+                self.free.push(slot);
+                continue;
+            }
+            self.conns[slot] = Some(Conn {
+                stream,
+                gen: self.gen_seq,
+                client: self.shared.conn_seq.fetch_add(1, Ordering::Relaxed),
+                reader: wire::RequestReader::new(),
+                readable: true,
+                inflight: false,
+                parked: None,
+                outbuf: Vec::new(),
+                out_pos: 0,
+                want_write: false,
+                write_stalled: None,
+                last_activity: Instant::now(),
+                buffered_prev: 0,
+                eof: false,
+                close_after_flush: false,
+                dead: false,
+            });
+        }
+    }
+
+    fn drain_rings(&mut self) {
+        for peer in 0..self.nshards {
+            while let Some(msg) = self.from[peer].as_ref().and_then(Consumer::pop) {
+                match msg {
+                    ShardMsg::Sub(sub) => self.execute_sub(sub),
+                    ShardMsg::Done(done) => self.apply_done(done),
+                }
+            }
+        }
+        while let Some(done) = self.ctl_rx.pop() {
+            self.finish_control(done);
+        }
+    }
+
+    /// Execute an owner-chunk for a peer and answer on its ring.
+    fn execute_sub(&mut self, sub: Sub) {
+        let payload = match sub.kind {
+            SubKind::Read { array, phys, bytes } => {
+                let mut buf = vec![0u8; bytes];
+                match self.engine.shard_read(array, phys, &mut buf) {
+                    Ok(()) => Ok(buf),
+                    Err(e) => Err(status_of(&e)),
+                }
+            }
+            SubKind::Write {
+                array,
+                phys,
+                ref data,
+            } => match self
+                .engine
+                .shard_write_batch(array, &[(phys, data.as_slice())])
+                .pop()
+            {
+                Some(Err(e)) => Err(status_of(&e)),
+                _ => Ok(Vec::new()),
+            },
+            SubKind::Trim { array, phys, units } => {
+                match self.engine.shard_trim(array, phys, units, &self.zeros) {
+                    Ok(()) => Ok(Vec::new()),
+                    Err(e) => Err(status_of(&e)),
+                }
+            }
+            SubKind::Barrier => Ok(Vec::new()),
+        };
+        self.send(
+            sub.origin,
+            ShardMsg::Done(Done {
+                job: sub.job,
+                frame_off: sub.frame_off,
+                payload,
+            }),
+        );
+    }
+
+    fn apply_done(&mut self, done: Done) {
+        let finished = {
+            let Some(job) = self.jobs.get_mut(&done.job) else {
+                return;
+            };
+            match done.payload {
+                Ok(buf) => {
+                    if matches!(job.kind, JobKind::Read) && job.status == Status::Ok {
+                        let end = done.frame_off + buf.len();
+                        if end <= job.frame.len() {
+                            job.frame[done.frame_off..end].copy_from_slice(&buf);
+                        }
+                    }
+                }
+                Err(status) => {
+                    if job.status == Status::Ok {
+                        job.status = status;
+                    }
+                }
+            }
+            job.remaining -= 1;
+            job.remaining == 0
+        };
+        if finished {
+            self.finalize_job(done.job);
+        }
+    }
+
+    fn finish_control(&mut self, done: CtlDone) {
+        let Some(mut job) = self.jobs.remove(&done.job) else {
+            return;
+        };
+        job.frame = done.frame;
+        self.complete(job);
+    }
+
+    fn finalize_job(&mut self, id: u64) {
+        let Some(mut job) = self.jobs.remove(&id) else {
+            return;
+        };
+        let ok = job.status == Status::Ok;
+        let stats = job.resolved.as_ref().map(|r| Arc::clone(&r.stats));
+        match job.kind {
+            JobKind::Read => {
+                if ok {
+                    if let Some(stats) = &stats {
+                        stats.reads.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .bytes_read
+                            .fetch_add(job.payload_bytes as u64, Ordering::Relaxed);
+                    }
+                } else {
+                    if let Some(stats) = &stats {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    wire::demote_frame(&mut job.frame, job.status);
+                }
+            }
+            JobKind::Write | JobKind::Trim => {
+                if ok {
+                    if let (JobKind::Write, Some(stats)) = (&job.kind, &stats) {
+                        stats.writes.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .bytes_written
+                            .fetch_add(job.req.payload.len() as u64, Ordering::Relaxed);
+                    }
+                } else if let Some(stats) = &stats {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                job.frame.clear();
+                let _ = wire::response_frame_into(&mut job.frame, job.req.id, job.status, 0);
+            }
+            JobKind::Flush => {
+                // The barriers joined: every shard has drained work
+                // enqueued before this FLUSH. Drain the engine-side
+                // group-commit batch for parity with the legacy path.
+                self.engine.flush_commits();
+                job.frame.clear();
+                let _ = wire::response_frame_into(&mut job.frame, job.req.id, job.status, 0);
+            }
+            JobKind::Control => {}
+        }
+        self.complete(job);
+    }
+
+    /// Account a finished job and deliver its frame if the connection
+    /// is still the one that asked.
+    fn complete(&mut self, job: Job) {
+        if let Some(span) = job.span {
+            let payload = if job.status == Status::Ok {
+                job.payload_bytes
+            } else {
+                0
+            };
+            self.engine
+                .end_access(span, &job.req, job.status, payload, job.queue_ns);
+        }
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.jobs_inflight.fetch_sub(1, Ordering::Relaxed);
+        // `resolved` (the volume pin) drops with the job here.
+        let Job {
+            slot, gen, frame, ..
+        } = job;
+        let live = matches!(
+            self.conns.get(slot),
+            Some(Some(c)) if c.gen == gen && !c.dead
+        );
+        if !live {
+            // The connection died mid-flight (e.g. teardown during a
+            // cross-shard FLUSH): the join state was reclaimed above;
+            // there is just nobody left to answer.
+            return;
+        }
+        if let Some(Some(conn)) = self.conns.get_mut(slot) {
+            conn.outbuf.extend_from_slice(&frame);
+            conn.inflight = false;
+            conn.last_activity = Instant::now();
+        }
+        self.try_flush_conn(slot);
+    }
+
+    // -- connection servicing -----------------------------------------
+
+    fn service_conns(&mut self) {
+        for slot in 0..self.conns.len() {
+            self.retry_parked(slot);
+            if self
+                .conns
+                .get(slot)
+                .is_some_and(|c| c.as_ref().is_some_and(|c| !c.outbuf.is_empty()))
+            {
+                self.try_flush_conn(slot);
+            }
+            self.service_reads(slot);
+        }
+    }
+
+    fn retry_parked(&mut self, slot: usize) {
+        let due = {
+            let Some(Some(conn)) = self.conns.get_mut(slot) else {
+                return;
+            };
+            matches!(&conn.parked, Some(p) if !conn.dead && Instant::now() >= p.deadline)
+        };
+        if !due {
+            return;
+        }
+        let parked = {
+            let conn = self.conns[slot].as_mut().expect("checked above");
+            conn.parked.take().expect("checked above")
+        };
+        self.parked_count -= 1;
+        match self.tenants.try_admit(parked.tenant, parked.bytes) {
+            Ok(()) => {
+                let queue_ns = parked.decoded_at.elapsed().as_nanos() as u64;
+                self.dispatch(slot, parked.req, queue_ns);
+            }
+            Err(wait_ns) => self.park_request(
+                slot,
+                parked.req,
+                parked.tenant,
+                parked.bytes,
+                wait_ns,
+                parked.decoded_at,
+            ),
+        }
+    }
+
+    fn park_request(
+        &mut self,
+        slot: usize,
+        req: Request,
+        tenant: u32,
+        bytes: u64,
+        wait_ns: u64,
+        decoded_at: Instant,
+    ) {
+        let wait = Duration::from_nanos(wait_ns.max(1_000)).min(MAX_PARK);
+        if let Some(Some(conn)) = self.conns.get_mut(slot) {
+            conn.inflight = true;
+            conn.parked = Some(Parked {
+                req,
+                tenant,
+                bytes,
+                deadline: Instant::now() + wait,
+                decoded_at,
+            });
+            self.parked_count += 1;
+        }
+    }
+
+    fn service_reads(&mut self, slot: usize) {
+        loop {
+            let polled = {
+                let Some(Some(conn)) = self.conns.get_mut(slot) else {
+                    return;
+                };
+                if conn.dead || conn.inflight || conn.close_after_flush || !conn.readable {
+                    return;
+                }
+                let Conn { reader, stream, .. } = conn;
+                reader.poll(stream)
+            };
+            match polled {
+                Ok(Some(req)) => {
+                    let decoded_at = Instant::now();
+                    if let Some(Some(conn)) = self.conns.get_mut(slot) {
+                        conn.last_activity = decoded_at;
+                        conn.buffered_prev = 0;
+                        conn.inflight = true;
+                    }
+                    let (tenant, bytes) = self.engine.admission(&req);
+                    match self.tenants.try_admit(tenant, bytes) {
+                        Ok(()) => self.dispatch(slot, req, 0),
+                        Err(wait_ns) => {
+                            self.park_request(slot, req, tenant, bytes, wait_ns, decoded_at);
+                        }
+                    }
+                }
+                Ok(None) => {
+                    if let Some(Some(conn)) = self.conns.get_mut(slot) {
+                        conn.eof = true;
+                        conn.readable = false;
+                        if conn.outbuf.is_empty() && !conn.inflight {
+                            conn.dead = true;
+                        }
+                    }
+                    return;
+                }
+                Err(WireError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if let Some(Some(conn)) = self.conns.get_mut(slot) {
+                        conn.readable = false;
+                        let buffered = conn.reader.buffered();
+                        if buffered != conn.buffered_prev {
+                            // Partial-frame progress counts as
+                            // activity (slow-sender grace).
+                            conn.last_activity = Instant::now();
+                            conn.buffered_prev = buffered;
+                        }
+                    }
+                    return;
+                }
+                Err(WireError::Io(e)) if e.kind() != io::ErrorKind::UnexpectedEof => {
+                    if let Some(Some(conn)) = self.conns.get_mut(slot) {
+                        conn.dead = true;
+                    }
+                    return;
+                }
+                Err(_) => {
+                    // Malformed frame — including a clean half-close
+                    // midway through one (the reader's UnexpectedEof):
+                    // the stream is desynced. Answer once, flush, close.
+                    self.scratch.clear();
+                    let _ = wire::response_frame_into(&mut self.scratch, 0, Status::BadRequest, 0);
+                    if let Some(Some(conn)) = self.conns.get_mut(slot) {
+                        conn.outbuf.extend_from_slice(&self.scratch);
+                        conn.close_after_flush = true;
+                        conn.readable = false;
+                    }
+                    self.try_flush_conn(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    // -- request dispatch ---------------------------------------------
+
+    fn dispatch(&mut self, slot: usize, req: Request, queue_ns: u64) {
+        match req.op {
+            Op::Read => self.dispatch_read(slot, req, queue_ns),
+            Op::Write => self.dispatch_write(slot, req, queue_ns),
+            Op::Trim => self.dispatch_trim(slot, req, queue_ns),
+            Op::Flush => self.dispatch_flush(slot, req, queue_ns),
+            // Everything else may block (volume-table writes, rebuild
+            // admission, snapshot encoding): hand it to the control
+            // thread. The engine does its own access accounting there.
+            _ => self.dispatch_control(slot, req, queue_ns),
+        }
+    }
+
+    /// Split `resolved` into owner chunks in `self.chunks`. Returns
+    /// `true` when every chunk is owned by this shard.
+    fn chunk_resolved(&mut self, resolved: &Resolved) -> bool {
+        let unit = self.engine.unit_bytes();
+        self.chunks.clear();
+        let mut all_local = true;
+        let mut seg_base = 0usize;
+        for seg in resolved.segments.iter() {
+            let array = seg.array as usize;
+            let mut start = 0u64;
+            let mut owner = owner_of(array, self.engine.stripe_of(array, seg.phys), self.nshards);
+            for u in 1..seg.units {
+                let o = owner_of(
+                    array,
+                    self.engine.stripe_of(array, seg.phys + u),
+                    self.nshards,
+                );
+                if o != owner {
+                    self.chunks.push(Chunk {
+                        owner,
+                        array,
+                        phys: seg.phys + start,
+                        units: u - start,
+                        byte_off: seg_base + start as usize * unit,
+                    });
+                    all_local &= owner == self.id;
+                    start = u;
+                    owner = o;
+                }
+            }
+            self.chunks.push(Chunk {
+                owner,
+                array,
+                phys: seg.phys + start,
+                units: seg.units - start,
+                byte_off: seg_base + start as usize * unit,
+            });
+            all_local &= owner == self.id;
+            seg_base += seg.units as usize * unit;
+        }
+        all_local
+    }
+
+    fn respond_error(&mut self, slot: usize, req: &Request, status: Status, queue_ns: u64) {
+        let span = self.engine.begin_access(self.client_of(slot), req);
+        self.engine.end_access(span, req, status, 0, queue_ns);
+        self.scratch.clear();
+        let _ = wire::response_frame_into(&mut self.scratch, req.id, status, 0);
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        self.deliver_scratch(slot);
+    }
+
+    /// Queue `self.scratch` as the response on `slot` and clear the
+    /// in-flight flag.
+    fn deliver_scratch(&mut self, slot: usize) {
+        if let Some(Some(conn)) = self.conns.get_mut(slot) {
+            conn.outbuf.extend_from_slice(&self.scratch);
+            conn.inflight = false;
+            conn.last_activity = Instant::now();
+        }
+        self.try_flush_conn(slot);
+    }
+
+    fn client_of(&self, slot: usize) -> u32 {
+        self.conns
+            .get(slot)
+            .and_then(|c| c.as_ref())
+            .map_or(0, |c| c.client)
+    }
+
+    fn dispatch_read(&mut self, slot: usize, req: Request, queue_ns: u64) {
+        let (resolved, bytes) = match self.engine.prepare_read(&req) {
+            Ok(v) => v,
+            Err(status) => return self.respond_error(slot, &req, status, queue_ns),
+        };
+        let span = self.engine.begin_access(self.client_of(slot), &req);
+        if self.chunk_resolved(&resolved) {
+            // The healthy fast path: data lands straight in the
+            // response frame; no locks, no allocation once warm.
+            let unit = self.engine.unit_bytes();
+            let _ = wire::response_frame_into(&mut self.scratch, req.id, Status::Ok, bytes);
+            let mut status = Status::Ok;
+            for i in 0..self.chunks.len() {
+                let c = self.chunks[i];
+                let at = RESPONSE_HEADER_LEN + c.byte_off;
+                let len = c.units as usize * unit;
+                if let Err(e) =
+                    self.engine
+                        .shard_read(c.array, c.phys, &mut self.scratch[at..at + len])
+                {
+                    status = status_of(&e);
+                    break;
+                }
+            }
+            if status == Status::Ok {
+                resolved.stats.reads.fetch_add(1, Ordering::Relaxed);
+                resolved
+                    .stats
+                    .bytes_read
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+            } else {
+                resolved.stats.errors.fetch_add(1, Ordering::Relaxed);
+                wire::demote_frame(&mut self.scratch, status);
+            }
+            let payload = if status == Status::Ok { bytes } else { 0 };
+            self.engine
+                .end_access(span, &req, status, payload, queue_ns);
+            drop(resolved);
+            self.shared.requests.fetch_add(1, Ordering::Relaxed);
+            self.deliver_scratch(slot);
+            return;
+        }
+        // Cross-shard: pre-size the frame, fan the chunks out to their
+        // owners, join on the last Done.
+        let mut frame = Vec::with_capacity(RESPONSE_HEADER_LEN + bytes);
+        let _ = wire::response_frame_into(&mut frame, req.id, Status::Ok, bytes);
+        self.submit_chunked(
+            slot,
+            req,
+            span,
+            queue_ns,
+            frame,
+            bytes,
+            resolved,
+            JobKind::Read,
+        );
+    }
+
+    fn dispatch_write(&mut self, slot: usize, req: Request, queue_ns: u64) {
+        let resolved = match self.engine.prepare_write(&req) {
+            Ok(r) => r,
+            Err(status) => return self.respond_error(slot, &req, status, queue_ns),
+        };
+        let span = self.engine.begin_access(self.client_of(slot), &req);
+        if self.chunk_resolved(&resolved) {
+            // Fully local: join this tick's batch — one journal append
+            // covers every local WRITE decoded in the same tick.
+            if let Some(Some(conn)) = self.conns.get(slot).and_then(|c| c.as_ref().map(Some)) {
+                let gen = conn.gen;
+                self.wbatch.push(PendingWrite {
+                    slot,
+                    gen,
+                    req,
+                    resolved,
+                    span,
+                    queue_ns,
+                });
+            } else {
+                self.engine
+                    .end_access(span, &req, Status::Internal, 0, queue_ns);
+            }
+            return;
+        }
+        self.submit_chunked(
+            slot,
+            req,
+            span,
+            queue_ns,
+            Vec::new(),
+            0,
+            resolved,
+            JobKind::Write,
+        );
+    }
+
+    fn dispatch_trim(&mut self, slot: usize, req: Request, queue_ns: u64) {
+        let resolved = match self.engine.prepare_trim(&req) {
+            Ok(r) => r,
+            Err(status) => return self.respond_error(slot, &req, status, queue_ns),
+        };
+        let span = self.engine.begin_access(self.client_of(slot), &req);
+        if self.chunk_resolved(&resolved) {
+            let mut status = Status::Ok;
+            for i in 0..self.chunks.len() {
+                let c = self.chunks[i];
+                if let Err(e) = self
+                    .engine
+                    .shard_trim(c.array, c.phys, c.units, &self.zeros)
+                {
+                    status = status_of(&e);
+                    break;
+                }
+            }
+            if status != Status::Ok {
+                resolved.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            self.engine.end_access(span, &req, status, 0, queue_ns);
+            self.scratch.clear();
+            let _ = wire::response_frame_into(&mut self.scratch, req.id, status, 0);
+            drop(resolved);
+            self.shared.requests.fetch_add(1, Ordering::Relaxed);
+            self.deliver_scratch(slot);
+            return;
+        }
+        self.submit_chunked(
+            slot,
+            req,
+            span,
+            queue_ns,
+            Vec::new(),
+            0,
+            resolved,
+            JobKind::Trim,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_chunked(
+        &mut self,
+        slot: usize,
+        req: Request,
+        span: AccessSpan,
+        queue_ns: u64,
+        frame: Vec<u8>,
+        payload_bytes: usize,
+        resolved: Resolved,
+        kind: JobKind,
+    ) {
+        let gen = match self.conns.get(slot) {
+            Some(Some(c)) => c.gen,
+            _ => 0,
+        };
+        let id = self.next_job;
+        self.next_job += 1;
+        let mut job = Job {
+            slot,
+            gen,
+            kind,
+            req,
+            span: Some(span),
+            queue_ns,
+            frame,
+            payload_bytes,
+            remaining: 0,
+            status: Status::Ok,
+            resolved: None,
+        };
+        // Local chunks execute inline; remote chunks ride the rings.
+        let unit = self.engine.unit_bytes();
+        let chunks = std::mem::take(&mut self.chunks);
+        for c in &chunks {
+            if c.owner == self.id {
+                if let Err(s) = self.run_local_chunk(c, &mut job, unit) {
+                    if job.status == Status::Ok {
+                        job.status = s;
+                    }
+                }
+            } else {
+                let sub_kind = match job.kind {
+                    JobKind::Read => SubKind::Read {
+                        array: c.array,
+                        phys: c.phys,
+                        bytes: c.units as usize * unit,
+                    },
+                    JobKind::Write => SubKind::Write {
+                        array: c.array,
+                        phys: c.phys,
+                        data: job.req.payload[c.byte_off..c.byte_off + c.units as usize * unit]
+                            .to_vec(),
+                    },
+                    JobKind::Trim => SubKind::Trim {
+                        array: c.array,
+                        phys: c.phys,
+                        units: c.units,
+                    },
+                    JobKind::Flush | JobKind::Control => unreachable!("data kinds only"),
+                };
+                self.send(
+                    c.owner,
+                    ShardMsg::Sub(Sub {
+                        origin: self.id,
+                        job: id,
+                        frame_off: RESPONSE_HEADER_LEN + c.byte_off,
+                        kind: sub_kind,
+                    }),
+                );
+                job.remaining += 1;
+            }
+        }
+        self.chunks = chunks;
+        job.resolved = Some(resolved);
+        self.shared.jobs_inflight.fetch_add(1, Ordering::Relaxed);
+        let all_local_after_all = job.remaining == 0;
+        self.jobs.insert(id, job);
+        if all_local_after_all {
+            self.finalize_job(id);
+        }
+    }
+
+    fn run_local_chunk(&self, c: &Chunk, job: &mut Job, unit: usize) -> Result<(), Status> {
+        match job.kind {
+            JobKind::Read => {
+                let at = RESPONSE_HEADER_LEN + c.byte_off;
+                let len = c.units as usize * unit;
+                self.engine
+                    .shard_read(c.array, c.phys, &mut job.frame[at..at + len])
+                    .map_err(|e| status_of(&e))
+            }
+            JobKind::Write => {
+                let data = &job.req.payload[c.byte_off..c.byte_off + c.units as usize * unit];
+                match self
+                    .engine
+                    .shard_write_batch(c.array, &[(c.phys, data)])
+                    .pop()
+                {
+                    Some(Err(e)) => Err(status_of(&e)),
+                    _ => Ok(()),
+                }
+            }
+            JobKind::Trim => self
+                .engine
+                .shard_trim(c.array, c.phys, c.units, &self.zeros)
+                .map_err(|e| status_of(&e)),
+            JobKind::Flush | JobKind::Control => Ok(()),
+        }
+    }
+
+    fn dispatch_flush(&mut self, slot: usize, req: Request, queue_ns: u64) {
+        let span = self.engine.begin_access(self.client_of(slot), &req);
+        let gen = match self.conns.get(slot) {
+            Some(Some(c)) => c.gen,
+            _ => 0,
+        };
+        let id = self.next_job;
+        self.next_job += 1;
+        let mut remaining = 0;
+        for peer in 0..self.nshards {
+            if peer == self.id {
+                continue;
+            }
+            self.send(
+                peer,
+                ShardMsg::Sub(Sub {
+                    origin: self.id,
+                    job: id,
+                    frame_off: 0,
+                    kind: SubKind::Barrier,
+                }),
+            );
+            remaining += 1;
+        }
+        self.jobs.insert(
+            id,
+            Job {
+                slot,
+                gen,
+                kind: JobKind::Flush,
+                req,
+                span: Some(span),
+                queue_ns,
+                frame: Vec::new(),
+                payload_bytes: 0,
+                remaining,
+                status: Status::Ok,
+                resolved: None,
+            },
+        );
+        self.shared.jobs_inflight.fetch_add(1, Ordering::Relaxed);
+        if remaining == 0 {
+            self.finalize_job(id);
+        }
+    }
+
+    fn dispatch_control(&mut self, slot: usize, req: Request, queue_ns: u64) {
+        let (gen, client) = match self.conns.get(slot) {
+            Some(Some(c)) => (c.gen, c.client),
+            _ => (0, 0),
+        };
+        let id = self.next_job;
+        self.next_job += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                slot,
+                gen,
+                kind: JobKind::Control,
+                req: Request {
+                    id: req.id,
+                    op: req.op,
+                    volume: req.volume,
+                    offset: req.offset,
+                    length: req.length,
+                    payload: Vec::new(),
+                },
+                span: None,
+                queue_ns,
+                frame: Vec::new(),
+                payload_bytes: 0,
+                remaining: 1,
+                status: Status::Ok,
+                resolved: None,
+            },
+        );
+        self.shared.jobs_inflight.fetch_add(1, Ordering::Relaxed);
+        let sent = self
+            .ctl_tx
+            .send(ControlJob {
+                origin: self.id,
+                job: id,
+                client,
+                queue_ns,
+                req,
+            })
+            .is_ok();
+        if !sent {
+            // Control thread gone (shutdown): answer what we can.
+            if let Some(mut job) = self.jobs.remove(&id) {
+                job.status = Status::Shutdown;
+                let _ = wire::response_frame_into(&mut job.frame, job.req.id, Status::Shutdown, 0);
+                self.complete(job);
+            }
+        }
+    }
+
+    // -- batched local writes -----------------------------------------
+
+    fn flush_write_batch(&mut self) {
+        if self.wbatch.is_empty() {
+            return;
+        }
+        let unit = self.engine.unit_bytes();
+        let wbatch = std::mem::take(&mut self.wbatch);
+        let mut statuses = vec![Status::Ok; wbatch.len()];
+        // One submission per array: (phys, payload-slice) pairs across
+        // every pending write, in decode order.
+        for array in 0..self.engine.array_count() {
+            let mut ops: Vec<(u64, &[u8])> = Vec::new();
+            let mut owners: Vec<usize> = Vec::new();
+            for (i, pw) in wbatch.iter().enumerate() {
+                let mut at = 0usize;
+                for seg in pw.resolved.segments.iter() {
+                    let len = seg.units as usize * unit;
+                    if seg.array as usize == array {
+                        ops.push((seg.phys, &pw.req.payload[at..at + len]));
+                        owners.push(i);
+                    }
+                    at += len;
+                }
+            }
+            if ops.is_empty() {
+                continue;
+            }
+            let results = self.engine.shard_write_batch(array, &ops);
+            for (idx, res) in owners.iter().zip(results) {
+                if let Err(e) = res {
+                    if statuses[*idx] == Status::Ok {
+                        statuses[*idx] = status_of(&e);
+                    }
+                }
+            }
+        }
+        for (pw, status) in wbatch.into_iter().zip(statuses) {
+            if status == Status::Ok {
+                pw.resolved.stats.writes.fetch_add(1, Ordering::Relaxed);
+                pw.resolved
+                    .stats
+                    .bytes_written
+                    .fetch_add(pw.req.payload.len() as u64, Ordering::Relaxed);
+            } else {
+                pw.resolved.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            self.engine
+                .end_access(pw.span, &pw.req, status, 0, pw.queue_ns);
+            self.scratch.clear();
+            let _ = wire::response_frame_into(&mut self.scratch, pw.req.id, status, 0);
+            self.shared.requests.fetch_add(1, Ordering::Relaxed);
+            let live = matches!(
+                self.conns.get(pw.slot),
+                Some(Some(c)) if c.gen == pw.gen && !c.dead
+            );
+            if live {
+                self.deliver_scratch(pw.slot);
+            }
+        }
+    }
+
+    // -- ring plumbing ------------------------------------------------
+
+    fn send(&mut self, dest: usize, msg: ShardMsg) {
+        if !self.outbox[dest].is_empty() {
+            // Preserve FIFO behind already-spilled messages.
+            self.outbox[dest].push_back(msg);
+            return;
+        }
+        match self.to[dest].as_ref() {
+            Some(p) => match p.push(msg) {
+                Ok(()) => self.signal[dest] = true,
+                Err(back) => self.outbox[dest].push_back(back),
+            },
+            None => debug_assert!(false, "self-send on shard {}", self.id),
+        }
+    }
+
+    fn flush_outboxes(&mut self) {
+        for dest in 0..self.nshards {
+            while let Some(msg) = self.outbox[dest].pop_front() {
+                match self.to[dest].as_ref().map(|p| p.push(msg)) {
+                    Some(Ok(())) => self.signal[dest] = true,
+                    Some(Err(back)) => {
+                        self.outbox[dest].push_front(back);
+                        break;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    fn ring_doorbells(&mut self) {
+        for dest in 0..self.nshards {
+            if self.signal[dest] {
+                self.signal[dest] = false;
+                self.shared.wake(dest);
+            }
+        }
+    }
+
+    // -- writes, timeouts, cleanup ------------------------------------
+
+    fn try_flush_conn(&mut self, slot: usize) {
+        let Some(Some(conn)) = self.conns.get_mut(slot) else {
+            return;
+        };
+        if conn.dead {
+            return;
+        }
+        let mut progressed = false;
+        while conn.out_pos < conn.outbuf.len() {
+            match conn.stream.write(&conn.outbuf[conn.out_pos..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if progressed || conn.write_stalled.is_none() {
+                        conn.write_stalled = Some(Instant::now());
+                    }
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let _ = self.epoll.modify(
+                            conn.stream.as_raw_fd(),
+                            EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+                            slot as u64,
+                        );
+                    }
+                    return;
+                }
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+        conn.outbuf.clear();
+        conn.out_pos = 0;
+        conn.write_stalled = None;
+        if conn.want_write {
+            conn.want_write = false;
+            let _ = self.epoll.modify(
+                conn.stream.as_raw_fd(),
+                EPOLLIN | EPOLLRDHUP | EPOLLET,
+                slot as u64,
+            );
+        }
+        if (conn.close_after_flush || conn.eof) && !conn.inflight {
+            conn.dead = true;
+        }
+    }
+
+    /// Reap dead/expired connections and refresh the scrape counters.
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let reap = {
+                let Some(Some(conn)) = self.conns.get_mut(slot) else {
+                    continue;
+                };
+                if !conn.dead {
+                    if let Some(stalled) = conn.write_stalled {
+                        if now.duration_since(stalled) >= self.write_timeout {
+                            conn.dead = true;
+                        }
+                    }
+                }
+                if !conn.dead
+                    && !conn.inflight
+                    && conn.outbuf.is_empty()
+                    && now.duration_since(conn.last_activity) >= self.idle_timeout
+                {
+                    conn.dead = true;
+                }
+                conn.dead
+            };
+            if reap {
+                let conn = self.conns[slot].take().expect("checked above");
+                if conn.parked.is_some() {
+                    self.parked_count -= 1;
+                }
+                let _ = self.epoll.delete(conn.stream.as_raw_fd());
+                drop(conn);
+                self.free.push(slot);
+            }
+        }
+        let ring_depth: u64 = self
+            .from
+            .iter()
+            .flatten()
+            .map(|c| c.len() as u64)
+            .sum::<u64>()
+            + self.ctl_rx.len() as u64;
+        let st = &self.shared.stats[self.id];
+        st.ring_depth.store(ring_depth, Ordering::Relaxed);
+        st.queued.store(self.parked_count as u64, Ordering::Relaxed);
+        st.wakeups.store(self.wakeups, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_partitions_stripe_groups_stably() {
+        // Within one group the owner never changes...
+        for s in 0..STRIPE_GROUP {
+            assert_eq!(owner_of(0, s, 4), owner_of(0, 0, 4));
+        }
+        // ...across groups it rotates round-robin...
+        for g in 0..16u64 {
+            assert_eq!(owner_of(0, g * STRIPE_GROUP, 4), (g % 4) as usize);
+        }
+        // ...the array index offsets the rotation, and a single shard
+        // owns everything.
+        assert_ne!(owner_of(0, 0, 4), owner_of(1, 0, 4));
+        for s in 0..200 {
+            assert_eq!(owner_of(0, s, 1), 0);
+        }
+    }
+
+    #[test]
+    fn accept_backoff_classifier_matches_exhaustion_errnos() {
+        // ENOMEM, ENFILE, EMFILE back off...
+        for errno in [12, 23, 24] {
+            assert!(accept_should_backoff(&io::Error::from_raw_os_error(errno)));
+        }
+        // ...ECONNABORTED (103), EINTR (4), EBADF (9) do not.
+        for errno in [103, 4, 9] {
+            assert!(!accept_should_backoff(&io::Error::from_raw_os_error(errno)));
+        }
+        assert!(!accept_should_backoff(&io::Error::other("synthetic")));
+    }
+}

@@ -1,8 +1,18 @@
-//! The TCP server: accept loop, per-connection reader threads, a
-//! QoS-scheduled admission queue, and a worker pool executing against
-//! the shared [`Engine`].
+//! The TCP serve entry point and its two backends.
 //!
-//! # Thread topology
+//! [`serve`] picks the backend for the platform:
+//!
+//! * **Sharded runtime** (Linux x86_64/aarch64, the default) — the
+//!   thread-per-core, epoll-driven runtime in [`crate::runtime`]: one
+//!   event loop per shard, stripes partitioned by owner, healthy I/O
+//!   lock-free. `ServerConfig::shards` sets the shard count (0 = one
+//!   per available core).
+//! * **Worker pool** (everywhere; [`serve_threaded`] forces it) — the
+//!   portable blocking backend below: per-connection reader threads, a
+//!   QoS-scheduled admission queue, and a worker pool executing against
+//!   the shared [`Engine`].
+//!
+//! # Worker-pool thread topology
 //!
 //! ```text
 //! accept loop ──spawns──▶ reader (1 per conn) ──push──▶ QosQueue
@@ -48,7 +58,12 @@ use pddl_volume::QosQueue;
 /// Tuning knobs for [`serve`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads executing requests (minimum 1).
+    /// Shard (event-loop) threads for the sharded runtime backend;
+    /// `0` means one per available core. Ignored by the worker-pool
+    /// backend.
+    pub shards: usize,
+    /// Worker threads executing requests (minimum 1). Worker-pool
+    /// backend only.
     pub workers: usize,
     /// Bounded *per-tenant* request-queue depth (minimum 1); the
     /// backpressure point. Each tenant gets its own lane this deep.
@@ -77,6 +92,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         let commit = CommitConfig::default();
         Self {
+            shards: 0,
             workers: 4,
             queue_depth: 64,
             idle_timeout: Duration::from_secs(30),
@@ -120,13 +136,28 @@ struct Shared {
     requests: AtomicU64,
 }
 
+/// The serving machinery behind a [`ServerHandle`].
+enum Backend {
+    /// The portable blocking worker-pool backend.
+    Pool {
+        shared: Arc<Shared>,
+        accept_thread: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    /// The thread-per-core sharded runtime ([`crate::runtime`]).
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Sharded(Option<crate::runtime::Runtime>),
+}
+
 /// A running server; dropping the handle does **not** stop it — call
 /// [`ServerHandle::shutdown`].
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    engine: Arc<Engine>,
+    backend: Backend,
 }
 
 impl ServerHandle {
@@ -137,50 +168,93 @@ impl ServerHandle {
 
     /// Requests executed so far.
     pub fn requests_served(&self) -> u64 {
-        self.shared.requests.load(Ordering::Relaxed)
+        match &self.backend {
+            Backend::Pool { shared, .. } => shared.requests.load(Ordering::Relaxed),
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backend::Sharded(rt) => rt
+                .as_ref()
+                .map_or(0, crate::runtime::Runtime::requests_served),
+        }
     }
 
     /// The shared engine (e.g. to snapshot volume info while serving).
     pub fn engine(&self) -> &Arc<Engine> {
-        &self.shared.engine
+        &self.engine
+    }
+
+    /// Event-loop shards when the sharded runtime backend is serving;
+    /// `None` under the portable worker-pool backend.
+    pub fn runtime_shards(&self) -> Option<usize> {
+        match &self.backend {
+            Backend::Pool { .. } => None,
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backend::Sharded(rt) => rt.as_ref().map(crate::runtime::Runtime::shard_count),
+        }
     }
 
     /// Stop accepting, let queued requests finish, join every thread.
     pub fn shutdown(mut self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        // Close the queue: blocked readers fail their push and exit;
-        // workers drain what is left, then see None.
-        self.shared.queue.close();
-        // Release any writers parked in an open group-commit batch so
-        // the worker join below is prompt. A deposit racing this flush
-        // still self-flushes within one commit interval.
-        self.shared.engine.flush_commits();
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        match &mut self.backend {
+            Backend::Pool {
+                shared,
+                accept_thread,
+                workers,
+            } => {
+                shared.stop.store(true, Ordering::SeqCst);
+                // Close the queue: blocked readers fail their push and
+                // exit; workers drain what is left, then see None.
+                shared.queue.close();
+                // Release any writers parked in an open group-commit
+                // batch so the worker join below is prompt. A deposit
+                // racing this flush still self-flushes within one
+                // commit interval.
+                shared.engine.flush_commits();
+                // Unblock the accept loop with a throwaway connection.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+                let readers = std::mem::take(
+                    &mut *shared
+                        .readers
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                );
+                for t in readers {
+                    let _ = t.join();
+                }
+                for t in workers.drain(..) {
+                    let _ = t.join();
+                }
+            }
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backend::Sharded(rt) => {
+                // Release group-commit parkees first so shard joins
+                // are prompt, then stop the runtime.
+                self.engine.flush_commits();
+                if let Some(rt) = rt.take() {
+                    rt.shutdown();
+                }
+            }
         }
-        let readers = std::mem::take(
-            &mut *self
-                .shared
-                .readers
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
-        );
-        for t in readers {
-            let _ = t.join();
-        }
-        for t in self.workers.drain(..) {
-            let _ = t.join();
-        }
-        // Workers are done, so no new rebuild can start; pause and join
-        // any in-flight background rebuild rather than leaking it (its
-        // ticket stays resumable — a later REBUILD picks up where it
-        // stopped).
-        self.shared.engine.stop_rebuild();
-        // Drop the queue-depth gauge so the engine (often longer-lived
-        // than any one server) stops reporting a dead queue.
-        self.shared.engine.telemetry().clear_gauge_sources();
+        // Serving threads are done, so no new rebuild can start; pause
+        // and join any in-flight background rebuild rather than leaking
+        // it (its ticket stays resumable — a later REBUILD picks up
+        // where it stopped).
+        self.engine.stop_rebuild();
+        // Drop the scrape closures so the engine (often longer-lived
+        // than any one server) stops reporting a dead backend.
+        self.engine.telemetry().clear_gauge_sources();
+        self.engine.telemetry().clear_counter_sources();
     }
 }
 
@@ -188,10 +262,67 @@ impl ServerHandle {
 /// engine. Returns once the listener is bound; serving continues on
 /// background threads until [`ServerHandle::shutdown`].
 ///
+/// On Linux (x86_64/aarch64) this starts the thread-per-core sharded
+/// runtime; elsewhere it falls back to the portable worker pool
+/// ([`serve_threaded`]).
+///
+/// # Errors
+///
+/// Propagates the bind failure (or runtime setup failure).
+pub fn serve(engine: Arc<Engine>, addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        engine.set_commit_config(CommitConfig {
+            batch: config.commit_batch,
+            interval: config.commit_interval,
+        });
+        let shards = if config.shards == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            config.shards
+        };
+        let rt = crate::runtime::start(
+            Arc::clone(&engine),
+            listener,
+            &crate::runtime::RuntimeConfig {
+                shards,
+                idle_timeout: config.idle_timeout,
+                write_timeout: config.write_timeout,
+            },
+        )?;
+        Ok(ServerHandle {
+            addr: local,
+            engine,
+            backend: Backend::Sharded(Some(rt)),
+        })
+    }
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    {
+        serve_threaded(engine, addr, config)
+    }
+}
+
+/// Bind `addr` and serve with the portable blocking worker-pool
+/// backend, regardless of platform. [`serve`] prefers the sharded
+/// runtime where available; this entry exists for comparison runs and
+/// as the fallback path.
+///
 /// # Errors
 ///
 /// Propagates the bind failure.
-pub fn serve(engine: Arc<Engine>, addr: &str, config: ServerConfig) -> io::Result<ServerHandle> {
+pub fn serve_threaded(
+    engine: Arc<Engine>,
+    addr: &str,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     engine.set_commit_config(CommitConfig {
@@ -261,9 +392,12 @@ pub fn serve(engine: Arc<Engine>, addr: &str, config: ServerConfig) -> io::Resul
 
     Ok(ServerHandle {
         addr: local,
-        shared,
-        accept_thread: Some(accept_thread),
-        workers: workers.into_iter().collect(),
+        engine: Arc::clone(&shared.engine),
+        backend: Backend::Pool {
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+        },
     })
 }
 
@@ -469,6 +603,74 @@ mod tests {
         c.write_units(0, &data).unwrap();
         assert_eq!(c.read_units(0, 1).unwrap(), data);
         assert!(handle.requests_served() >= 2);
+        handle.shutdown();
+    }
+
+    /// The portable worker-pool backend stays functional even where
+    /// [`serve`] prefers the sharded runtime.
+    #[test]
+    fn worker_pool_backend_still_serves() {
+        let layout = Pddl::new(7, 3).unwrap();
+        let array = DeclusteredArray::new(Box::new(layout), 16, 4).unwrap();
+        let handle = serve_threaded(
+            Arc::new(Engine::new(array)),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut c = Client::connect(handle.local_addr()).unwrap();
+        let data = vec![0xa5u8; 16];
+        c.write_units(0, &data).unwrap();
+        assert_eq!(c.read_units(0, 1).unwrap(), data);
+        assert!(handle.requests_served() >= 2);
+        handle.shutdown();
+    }
+
+    /// Explicit multi-shard runtime: requests that span stripe groups
+    /// exercise the cross-shard fan-out/join path, FLUSH exercises the
+    /// barrier, and everything must still round-trip exactly.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[test]
+    fn four_shards_serve_cross_shard_requests_and_flush() {
+        let layout = Pddl::new(7, 3).unwrap();
+        // 4096 stripes, 16 units each: plenty of stripe groups so a
+        // long run of units crosses shard owners.
+        let array = DeclusteredArray::new(Box::new(layout), 16, 4096).unwrap();
+        let handle = serve(
+            Arc::new(Engine::new(array)),
+            "127.0.0.1:0",
+            ServerConfig {
+                shards: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.local_addr();
+        let clients: Vec<_> = (0..4u64)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    // Spread across the unit space so different shards
+                    // own different clients' stripes; 512 units per op
+                    // crosses several 16-stripe ownership groups.
+                    let base = i * 20_000;
+                    for round in 0..4u64 {
+                        let fill = (i * 16 + round + 1) as u8;
+                        let data = vec![fill; 512 * 16];
+                        c.write_units(base + round * 512, &data).unwrap();
+                        c.flush().unwrap();
+                        assert_eq!(c.read_units(base + round * 512, 512).unwrap(), data);
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert!(handle.requests_served() >= 4 * 4 * 3);
         handle.shutdown();
     }
 

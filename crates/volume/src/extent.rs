@@ -31,6 +31,112 @@ pub struct Segment {
     pub units: u64,
 }
 
+/// Segments a [`SegmentList`] holds without touching the heap.
+///
+/// Resolution emits one segment per extent crossed, and on a fresh
+/// pool nearly every volume is a single extent — so the common READ /
+/// WRITE resolves into zero or one boundary split. Two inline slots
+/// cover that without an allocation, which is what keeps the sharded
+/// runtime's healthy READ path allocation-free end to end.
+const INLINE_SEGMENTS: usize = 2;
+
+/// A short list of [`Segment`]s with small-vector storage: up to
+/// [`INLINE_SEGMENTS`] entries live inline, longer resolutions spill
+/// to the heap. Dereferences to `[Segment]`, so callers index and
+/// iterate it like a slice.
+#[derive(Debug, Clone)]
+pub struct SegmentList {
+    inline: [Segment; INLINE_SEGMENTS],
+    /// Inline entries in use; meaningless once `spill` is non-empty.
+    len: usize,
+    /// Heap storage; once non-empty it holds *all* entries (the inline
+    /// prefix is copied over on the first spill, keeping the list
+    /// contiguous for `Deref`).
+    spill: Vec<Segment>,
+}
+
+impl SegmentList {
+    /// An empty list (no allocation).
+    pub fn new() -> Self {
+        const ZERO: Segment = Segment {
+            array: 0,
+            phys: 0,
+            units: 0,
+        };
+        Self {
+            inline: [ZERO; INLINE_SEGMENTS],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Append a segment, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, s: Segment) {
+        if self.spill.is_empty() {
+            if self.len < INLINE_SEGMENTS {
+                self.inline[self.len] = s;
+                self.len += 1;
+                return;
+            }
+            self.spill.reserve(INLINE_SEGMENTS + 1);
+            self.spill.extend_from_slice(&self.inline[..self.len]);
+        }
+        self.spill.push(s);
+    }
+
+    /// The segments as one contiguous slice.
+    pub fn as_slice(&self) -> &[Segment] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Default for SegmentList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for SegmentList {
+    type Target = [Segment];
+
+    fn deref(&self) -> &[Segment] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a SegmentList {
+    type Item = &'a Segment;
+    type IntoIter = std::slice::Iter<'a, Segment>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for SegmentList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SegmentList {}
+
+impl PartialEq<[Segment]> for SegmentList {
+    fn eq(&self, other: &[Segment]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[Segment; N]> for SegmentList {
+    fn eq(&self, other: &[Segment; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
 /// A hole-free, logically-sorted list of extents for one volume.
 #[derive(Debug, Clone, Default)]
 pub struct ExtentMap {
@@ -106,13 +212,13 @@ impl ExtentMap {
     /// Resolve `[offset, offset + units)` of logical space into
     /// physical segments, in logical order. Returns `None` when the
     /// range is not fully mapped (out of bounds or overflowing).
-    pub fn resolve(&self, offset: u64, units: u64) -> Option<Vec<Segment>> {
+    pub fn resolve(&self, offset: u64, units: u64) -> Option<SegmentList> {
         let end = offset.checked_add(units)?;
         if end > self.capacity() {
             return None;
         }
         if units == 0 {
-            return Some(Vec::new());
+            return Some(SegmentList::new());
         }
         // Find the covering extent for `offset`: last extent whose
         // logical start is <= offset.
@@ -121,7 +227,7 @@ impl ExtentMap {
             .partition_point(|e| e.logical <= offset)
             .checked_sub(1)?;
         let mut at = offset;
-        let mut out = Vec::new();
+        let mut out = SegmentList::new();
         while at < end {
             let e = self.extents.get(i)?;
             debug_assert!(e.logical <= at && at < e.logical + e.units);
@@ -161,7 +267,7 @@ mod tests {
         assert_eq!(m.capacity(), 10);
         assert_eq!(
             m.resolve(0, 8).unwrap(),
-            vec![Segment {
+            [Segment {
                 array: 0,
                 phys: 100,
                 units: 8
@@ -174,7 +280,7 @@ mod tests {
         let m = map();
         assert_eq!(
             m.resolve(8, 9).unwrap(),
-            vec![
+            [
                 Segment {
                     array: 0,
                     phys: 108,
@@ -190,7 +296,7 @@ mod tests {
                     phys: 200,
                     units: 2
                 },
-            ]
+            ] as [Segment; 3]
         );
     }
 
@@ -201,7 +307,7 @@ mod tests {
         assert!(m.resolve(0, 21).is_none());
         assert!(m.resolve(20, 1).is_none());
         assert!(m.resolve(u64::MAX, 2).is_none());
-        assert_eq!(m.resolve(5, 0).unwrap(), Vec::new());
+        assert!(m.resolve(5, 0).unwrap().is_empty());
     }
 
     #[test]
@@ -226,7 +332,7 @@ mod tests {
         );
         assert_eq!(
             m.resolve(10, 2).unwrap(),
-            vec![Segment {
+            [Segment {
                 array: 1,
                 phys: 0,
                 units: 2

@@ -25,7 +25,7 @@ pub mod extent;
 pub mod manager;
 pub mod qos;
 
-pub use extent::{Extent, ExtentMap, Segment};
+pub use extent::{Extent, ExtentMap, Segment, SegmentList};
 pub use manager::{
     IoPermit, Resolved, VolumeError, VolumeManager, VolumeMeta, VolumeSpec, VolumeStats,
     MAX_VOLUMES,

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use crate::extent::{ExtentMap, Segment};
+use crate::extent::{ExtentMap, SegmentList};
 use crate::qos::REBUILD_TENANT;
 
 /// Hard cap on live volumes: volume ids travel in one wire byte.
@@ -211,7 +211,7 @@ impl Drop for IoPermit {
 #[derive(Debug)]
 pub struct Resolved {
     /// Physical runs covering the request, in logical order.
-    pub segments: Vec<Segment>,
+    pub segments: SegmentList,
     /// The volume's tenant.
     pub tenant: u32,
     /// The volume's counters (bump after the I/O completes).
@@ -579,6 +579,7 @@ impl VolumeManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::extent::Segment;
 
     #[test]
     fn default_volume_spans_array_zero() {
@@ -589,7 +590,7 @@ mod tests {
         let r = m.resolve(0, 10, 5).unwrap();
         assert_eq!(
             r.segments,
-            vec![Segment {
+            [Segment {
                 array: 0,
                 phys: 10,
                 units: 5
@@ -607,7 +608,7 @@ mod tests {
         assert_eq!((a, b), (1, 2));
         assert_eq!(
             m.resolve(a, 0, 30).unwrap().segments,
-            vec![Segment {
+            [Segment {
                 array: 0,
                 phys: 40,
                 units: 30
@@ -615,7 +616,7 @@ mod tests {
         );
         assert_eq!(
             m.resolve(b, 0, 20).unwrap().segments,
-            vec![Segment {
+            [Segment {
                 array: 0,
                 phys: 70,
                 units: 20
@@ -632,7 +633,7 @@ mod tests {
         let segs = m.resolve(v, 0, 12).unwrap().segments;
         assert_eq!(
             segs,
-            vec![
+            [
                 Segment {
                     array: 0,
                     phys: 4,
@@ -643,7 +644,7 @@ mod tests {
                     phys: 0,
                     units: 6
                 },
-            ]
+            ] as [Segment; 2]
         );
     }
 

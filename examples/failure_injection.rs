@@ -12,7 +12,7 @@ use pddl::layout::Pddl;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 13-disk PDDL array, 8 KB stripe units, real XOR parity.
     let layout = Pddl::new(13, 4)?;
-    let mut array = DeclusteredArray::new(Box::new(layout), 8192, 8)?;
+    let array = DeclusteredArray::new(Box::new(layout), 8192, 8)?;
     println!(
         "array: 13 disks, k = 4, {} data units of 8 KB ({} MB usable)",
         array.capacity_units(),
